@@ -1,0 +1,106 @@
+// Regenerates the §III.B.6 model-efficiency comparison with
+// google-benchmark: per-batch training and scoring time plus parameter
+// counts for PLE, MiNet, HeroGraph and NMCDR on the Phone-Elec scenario.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/register_all.h"
+#include "bench/bench_util.h"
+
+namespace nmcdr {
+namespace {
+
+/// Shared fixture state: scenario + per-model instance. Built once.
+struct EfficiencyContext {
+  std::unique_ptr<ExperimentData> data;
+  CommonHyper hyper;
+  TrainConfig train;
+
+  static EfficiencyContext& Get() {
+    static EfficiencyContext* ctx = [] {
+      RegisterAllModels();
+      auto* c = new EfficiencyContext();
+      const BenchScale scale = BenchScaleFromEnv();
+      Rng rng(91);
+      CdrScenario masked = ApplyOverlapRatio(
+          GenerateScenario(PhoneElecSpec(scale)), /*ratio=*/0.5, &rng);
+      c->data = std::make_unique<ExperimentData>(std::move(masked), 7);
+      c->hyper.embed_dim = 16;
+      c->train = bench::DefaultTrainConfig(scale);
+      return c;
+    }();
+    return *ctx;
+  }
+};
+
+LabeledBatch MakeBatch(const ExperimentData& data, DomainSide side, int size,
+                       Rng* rng) {
+  const DomainSplit& split = side == DomainSide::kZ ? data.split_z()
+                                                    : data.split_zbar();
+  const InteractionGraph& graph = side == DomainSide::kZ
+                                      ? data.train_graph_z()
+                                      : data.train_graph_zbar();
+  NegativeSampler sampler(&graph);
+  LabeledBatch batch;
+  for (int i = 0; i < size / 2; ++i) {
+    const Interaction pos =
+        split.train[rng->NextUint64(split.train.size())];
+    batch.users.push_back(pos.user);
+    batch.items.push_back(pos.item);
+    batch.labels.push_back(1.f);
+    batch.users.push_back(pos.user);
+    batch.items.push_back(sampler.SampleNegative(pos.user, rng));
+    batch.labels.push_back(0.f);
+  }
+  return batch;
+}
+
+void BM_TrainBatch(benchmark::State& state, const std::string& model_name) {
+  EfficiencyContext& ctx = EfficiencyContext::Get();
+  std::unique_ptr<RecModel> model = ModelRegistry::Instance().Get(model_name)(
+      ctx.data->View(), ctx.hyper, ctx.train.learning_rate);
+  Rng rng(3);
+  const LabeledBatch bz = MakeBatch(*ctx.data, DomainSide::kZ, 256, &rng);
+  const LabeledBatch bzbar =
+      MakeBatch(*ctx.data, DomainSide::kZbar, 256, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->TrainStep(bz, bzbar));
+  }
+  state.counters["params"] =
+      static_cast<double>(model->ParameterCount());
+}
+
+void BM_ScoreBatch(benchmark::State& state, const std::string& model_name) {
+  EfficiencyContext& ctx = EfficiencyContext::Get();
+  std::unique_ptr<RecModel> model = ModelRegistry::Instance().Get(model_name)(
+      ctx.data->View(), ctx.hyper, ctx.train.learning_rate);
+  Rng rng(3);
+  // One warm-up train step so cached representations exist & are realistic.
+  model->TrainStep(MakeBatch(*ctx.data, DomainSide::kZ, 64, &rng),
+                   MakeBatch(*ctx.data, DomainSide::kZbar, 64, &rng));
+  const LabeledBatch batch = MakeBatch(*ctx.data, DomainSide::kZ, 512, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model->Score(DomainSide::kZ, batch.users, batch.items));
+  }
+}
+
+}  // namespace
+}  // namespace nmcdr
+
+int main(int argc, char** argv) {
+  using namespace nmcdr;
+  for (const char* name : {"PLE", "MiNet", "HeroGraph", "NMCDR"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("train_batch/") + name).c_str(),
+        [name](benchmark::State& s) { BM_TrainBatch(s, name); });
+    benchmark::RegisterBenchmark(
+        (std::string("score_batch/") + name).c_str(),
+        [name](benchmark::State& s) { BM_ScoreBatch(s, name); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

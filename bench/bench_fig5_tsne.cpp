@@ -1,0 +1,92 @@
+// Regenerates Fig. 5: t-SNE visualization of head (label 1) and tail
+// (label 0) user embeddings on Cloth-Sport at K_u = 50%, after (a) the
+// heterogeneous graph encoder, (b) the intra-to-inter node matching
+// module, and (c) the intra node complementing module. Writes the 2-D
+// coordinates to CSV and prints the head/tail separation score per stage —
+// the paper's qualitative claim is that the score falls stage by stage
+// (tail users align with head users).
+#include <cstdio>
+
+#include "analysis/embedding_stats.h"
+#include "analysis/tsne.h"
+#include "bench/bench_util.h"
+#include "core/nmcdr_model.h"
+#include "util/csv_writer.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace nmcdr;
+  const BenchScale scale = BenchScaleFromEnv();
+  const TrainConfig train = bench::DefaultTrainConfig(scale);
+
+  Rng rng(91);
+  CdrScenario masked = ApplyOverlapRatio(
+      GenerateScenario(ClothSportSpec(scale)), /*ratio=*/0.5, &rng);
+  ExperimentData data(std::move(masked), train.seed);
+
+  NmcdrConfig config;
+  config.hidden_dim = 16;
+  NmcdrModel model(data.View(), config, /*seed=*/42, train.learning_rate);
+  Trainer trainer(data.View(), train, &data.full_graph_z(),
+                  &data.full_graph_zbar());
+  trainer.Train(&model);
+
+  CsvWriter csv("fig5_tsne.csv");
+  csv.WriteRow({"domain", "stage", "user", "is_head", "x", "y"});
+
+  TablePrinter table;
+  table.SetHeader({"Domain", "Stage", "separation", "centroid dist",
+                   "head spread", "tail spread"});
+
+  const DomainSide sides[2] = {DomainSide::kZ, DomainSide::kZbar};
+  for (int s = 0; s < 2; ++s) {
+    const InteractionGraph& graph =
+        s == 0 ? data.train_graph_z() : data.train_graph_zbar();
+    std::vector<bool> is_head(graph.num_users());
+    for (int u = 0; u < graph.num_users(); ++u) {
+      is_head[u] = graph.UserDegree(u) > config.k_head;
+    }
+    const NmcdrModel::StageReps reps = model.ComputeStageReps(sides[s]);
+    const std::string domain_name =
+        s == 0 ? data.scenario().z.name : data.scenario().zbar.name;
+    const struct {
+      const char* name;
+      const Matrix* reps;
+    } stages[] = {{"graph-encoder", &reps.g1},
+                  {"intra-to-inter", &reps.g3},
+                  {"complementing", &reps.g4}};
+    for (const auto& stage : stages) {
+      const HeadTailSeparation sep =
+          ComputeHeadTailSeparation(*stage.reps, is_head);
+      table.AddRow({domain_name, stage.name,
+                    FormatFloat(sep.separation_score, 4),
+                    FormatFloat(sep.centroid_distance, 4),
+                    FormatFloat(sep.head_spread, 4),
+                    FormatFloat(sep.tail_spread, 4)});
+      // t-SNE on a capped subset for O(n^2) tractability.
+      const int cap = 600;
+      const int n = std::min(stage.reps->rows(), cap);
+      Matrix subset(n, stage.reps->cols());
+      for (int i = 0; i < n; ++i) {
+        for (int c = 0; c < stage.reps->cols(); ++c) {
+          subset.At(i, c) = stage.reps->At(i, c);
+        }
+      }
+      TsneConfig tsne_config;
+      tsne_config.iterations = scale == BenchScale::kSmoke ? 120 : 300;
+      const Matrix embedded = Tsne(subset, tsne_config);
+      for (int i = 0; i < n; ++i) {
+        csv.WriteRow({domain_name, stage.name, std::to_string(i),
+                      is_head[i] ? "1" : "0",
+                      FormatFloat(embedded.At(i, 0), 4),
+                      FormatFloat(embedded.At(i, 1), 4)});
+      }
+    }
+  }
+  std::printf("\nFig. 5 — head/tail embedding separation per NMCDR stage\n"
+              "(paper claim: separation falls from graph-encoder to "
+              "complementing)\n%s\nt-SNE coordinates written to "
+              "fig5_tsne.csv\n",
+              table.ToString().c_str());
+  return 0;
+}

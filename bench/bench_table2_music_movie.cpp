@@ -1,0 +1,17 @@
+// Regenerates Table II: bi-directional Music-Movie CDR with overlap
+// ratios K_u in {0.1, 1, 10, 50, 90}% across all 12 models.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace nmcdr;
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::OverlapTableOptions options;
+  options.table_name = "Table II (Music-Movie)";
+  options.spec = MusicMovieSpec(scale);
+  options.models = bench::BenchModelList();
+  options.train = bench::DefaultTrainConfig(scale);
+  options.eval = bench::DefaultEvalConfig();
+  options.csv_path = "table2_music_movie.csv";
+  bench::RunOverlapTable(options);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Table III: bi-directional Cloth-Sport CDR with overlap
+// ratios K_u in {0.1, 1, 10, 50, 90}% across all 12 models.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace nmcdr;
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::OverlapTableOptions options;
+  options.table_name = "Table III (Cloth-Sport)";
+  options.spec = ClothSportSpec(scale);
+  options.models = bench::BenchModelList();
+  options.train = bench::DefaultTrainConfig(scale);
+  options.eval = bench::DefaultEvalConfig();
+  options.csv_path = "table3_cloth_sport.csv";
+  bench::RunOverlapTable(options);
+  return 0;
+}

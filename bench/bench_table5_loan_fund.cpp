@@ -1,0 +1,17 @@
+// Regenerates Table V: bi-directional Loan-Fund CDR (the MYbank-shaped
+// financial scenario) with overlap ratios K_u in {0.1, 1, 10, 50, 90}%.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace nmcdr;
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::OverlapTableOptions options;
+  options.table_name = "Table V (Loan-Fund)";
+  options.spec = LoanFundSpec(scale);
+  options.models = bench::BenchModelList();
+  options.train = bench::DefaultTrainConfig(scale);
+  options.eval = bench::DefaultEvalConfig();
+  options.csv_path = "table5_loan_fund.csv";
+  bench::RunOverlapTable(options);
+  return 0;
+}

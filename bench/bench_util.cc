@@ -1,0 +1,178 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/register_all.h"
+#include "util/csv_writer.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace nmcdr {
+namespace bench {
+
+TrainConfig DefaultTrainConfig(BenchScale scale) {
+  TrainConfig config;
+  config.batch_size = 256;
+  config.learning_rate = 2e-3f;
+  config.negatives_per_positive = 4;
+  config.seed = 7;
+  config.eval_every = -1;       // auto: ~8 validation checkpoints
+  config.early_stop_patience = 3;
+  switch (scale) {
+    case BenchScale::kSmoke:
+      config.epochs = 3;
+      config.min_total_steps = 200;
+      break;
+    case BenchScale::kSmall:
+      config.epochs = 8;
+      config.min_total_steps = 1200;
+      break;
+    case BenchScale::kFull:
+      config.epochs = 15;
+      config.min_total_steps = 2500;
+      break;
+  }
+  return config;
+}
+
+EvalConfig DefaultEvalConfig() { return EvalConfig{}; }
+
+std::vector<std::string> BenchModelList() {
+  // NMCDR_BENCH_MODELS=NMCDR,PLE,... restricts the grid (calibration runs).
+  if (const char* env = std::getenv("NMCDR_BENCH_MODELS")) {
+    std::vector<std::string> models;
+    std::string token;
+    for (const char* p = env;; ++p) {
+      if (*p == ',' || *p == '\0') {
+        if (!token.empty()) models.push_back(token);
+        token.clear();
+        if (*p == '\0') break;
+      } else {
+        token += *p;
+      }
+    }
+    if (!models.empty()) return models;
+  }
+  return PaperModelOrder();
+}
+
+std::vector<CellResult> RunOverlapTable(const OverlapTableOptions& options) {
+  RegisterAllModels();
+  CommonHyper hyper;
+  hyper.embed_dim = 16;
+
+  // One base scenario per table; each K_u masks links off the same data.
+  CdrScenario base = GenerateScenario(options.spec);
+  std::printf("== %s ==\n  %s\n  %s\n  true overlap: %d users\n",
+              options.table_name.c_str(), DomainStatsString(base.z).c_str(),
+              DomainStatsString(base.zbar).c_str(), base.NumOverlapping());
+
+  std::vector<CellResult> cells;
+  for (double ratio : options.overlap_ratios) {
+    Rng rng(options.train.seed + static_cast<uint64_t>(ratio * 1e6));
+    CdrScenario masked = ApplyOverlapRatio(base, ratio, &rng);
+    ExperimentData data(std::move(masked), /*seed=*/options.train.seed);
+    for (const std::string& model_name : options.models) {
+      const ExperimentResult result =
+          RunExperiment(data, ModelRegistry::Instance().Get(model_name),
+                        hyper, options.train, options.eval);
+      CellResult cell;
+      cell.model = model_name;
+      cell.overlap_ratio = ratio;
+      cell.ndcg_z = result.test.z.ndcg * 100.0;
+      cell.hr_z = result.test.z.hr * 100.0;
+      cell.ndcg_zbar = result.test.zbar.ndcg * 100.0;
+      cell.hr_zbar = result.test.zbar.hr * 100.0;
+      cell.train_seconds = result.training.train_seconds;
+      cells.push_back(cell);
+      LOG_INFO << options.table_name << " K_u=" << ratio * 100 << "% "
+               << model_name << ": Z ndcg/hr " << cell.ndcg_z << "/"
+               << cell.hr_z << "  Z̄ ndcg/hr " << cell.ndcg_zbar << "/"
+               << cell.hr_zbar << " (" << cell.train_seconds << "s)";
+    }
+  }
+
+  PrintOverlapTable(options.table_name + " — " + options.spec.z.name +
+                        "-domain recommendation (%)",
+                    cells, options.overlap_ratios, options.models, true);
+  PrintOverlapTable(options.table_name + " — " + options.spec.zbar.name +
+                        "-domain recommendation (%)",
+                    cells, options.overlap_ratios, options.models, false);
+  if (!options.csv_path.empty()) {
+    WriteCellsCsv(options.csv_path, cells, options.table_name);
+  }
+  return cells;
+}
+
+void PrintOverlapTable(const std::string& title,
+                       const std::vector<CellResult>& cells,
+                       const std::vector<double>& ratios,
+                       const std::vector<std::string>& models,
+                       bool domain_z) {
+  TablePrinter table;
+  std::vector<std::string> header = {"Method"};
+  for (double r : ratios) {
+    const std::string ku = FormatFloat(r * 100.0, r < 0.01 ? 1 : 0) + "%";
+    header.push_back("NDCG " + ku);
+    header.push_back("HR " + ku);
+  }
+  table.SetHeader(header);
+
+  auto cell_of = [&](const std::string& model, double ratio) {
+    for (const CellResult& c : cells) {
+      if (c.model == model && c.overlap_ratio == ratio) return c;
+    }
+    return CellResult{};
+  };
+  // Identify column-best values (the paper's boldface).
+  std::vector<double> best_ndcg(ratios.size(), -1.0),
+      best_hr(ratios.size(), -1.0);
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    for (const std::string& m : models) {
+      const CellResult c = cell_of(m, ratios[i]);
+      const double ndcg = domain_z ? c.ndcg_z : c.ndcg_zbar;
+      const double hr = domain_z ? c.hr_z : c.hr_zbar;
+      best_ndcg[i] = std::max(best_ndcg[i], ndcg);
+      best_hr[i] = std::max(best_hr[i], hr);
+    }
+  }
+  for (const std::string& m : models) {
+    std::vector<std::string> row = {m};
+    for (size_t i = 0; i < ratios.size(); ++i) {
+      const CellResult c = cell_of(m, ratios[i]);
+      const double ndcg = domain_z ? c.ndcg_z : c.ndcg_zbar;
+      const double hr = domain_z ? c.hr_z : c.hr_zbar;
+      const bool bold_ndcg = ndcg >= best_ndcg[i] - 1e-9;
+      const bool bold_hr = hr >= best_hr[i] - 1e-9;
+      row.push_back(FormatFloat(ndcg, 2) + (bold_ndcg ? "*" : ""));
+      row.push_back(FormatFloat(hr, 2) + (bold_hr ? "*" : ""));
+    }
+    table.AddRow(row);
+  }
+  std::printf("\n%s  (* = column best)\n%s", title.c_str(),
+              table.ToString().c_str());
+}
+
+void WriteCellsCsv(const std::string& path,
+                   const std::vector<CellResult>& cells,
+                   const std::string& table_name) {
+  CsvWriter csv(path);
+  if (!csv.ok()) {
+    LOG_WARNING << "cannot write " << path;
+    return;
+  }
+  csv.WriteRow({"table", "model", "overlap_ratio", "ndcg_z", "hr_z",
+                "ndcg_zbar", "hr_zbar", "train_seconds"});
+  for (const CellResult& c : cells) {
+    csv.WriteRow({table_name, c.model, FormatFloat(c.overlap_ratio, 4),
+                  FormatFloat(c.ndcg_z, 4), FormatFloat(c.hr_z, 4),
+                  FormatFloat(c.ndcg_zbar, 4), FormatFloat(c.hr_zbar, 4),
+                  FormatFloat(c.train_seconds, 2)});
+  }
+  std::printf("raw cells written to %s\n", path.c_str());
+}
+
+}  // namespace bench
+}  // namespace nmcdr

@@ -1,0 +1,62 @@
+#ifndef NMCDR_BENCH_BENCH_UTIL_H_
+#define NMCDR_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/presets.h"
+#include "train/registry.h"
+
+namespace nmcdr {
+namespace bench {
+
+/// Train/eval settings scaled by NMCDR_BENCH_SCALE.
+TrainConfig DefaultTrainConfig(BenchScale scale);
+EvalConfig DefaultEvalConfig();
+
+/// Model rows included at a scale (always the full paper list; smoke runs
+/// are kept fast by the tiny datasets, not by dropping rows).
+std::vector<std::string> BenchModelList();
+
+/// One measured cell of an overlap table.
+struct CellResult {
+  std::string model;
+  double overlap_ratio = 0.0;
+  double ndcg_z = 0.0, hr_z = 0.0;
+  double ndcg_zbar = 0.0, hr_zbar = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Options for a Tables II-V style bench: every registered model crossed
+/// with the overlap ratios K_u on one scenario preset.
+struct OverlapTableOptions {
+  std::string table_name;        // e.g. "Table II (Music-Movie)"
+  SyntheticScenarioSpec spec;    // scenario preset
+  std::vector<double> overlap_ratios = {0.001, 0.01, 0.1, 0.5, 0.9};
+  std::vector<std::string> models;
+  TrainConfig train;
+  EvalConfig eval;
+  std::string csv_path;          // where to write the raw cells
+};
+
+/// Runs the full grid and prints the two per-domain paper-style tables
+/// (models as rows, K_u columns, NDCG@10 and HR@10 in %). Returns all
+/// cells for further analysis.
+std::vector<CellResult> RunOverlapTable(const OverlapTableOptions& options);
+
+/// Prints a formatted comparison block and flags the best model per
+/// column, mirroring the boldface of the paper's tables.
+void PrintOverlapTable(const std::string& title,
+                       const std::vector<CellResult>& cells,
+                       const std::vector<double>& ratios,
+                       const std::vector<std::string>& models, bool domain_z);
+
+/// Writes cells to CSV (header + one row per model x ratio).
+void WriteCellsCsv(const std::string& path,
+                   const std::vector<CellResult>& cells,
+                   const std::string& table_name);
+
+}  // namespace bench
+}  // namespace nmcdr
+
+#endif  // NMCDR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,142 @@
+// Workload diagnostics: for each scenario preset, reports the leave-one-out
+// ranking quality of three reference policies:
+//   random    — the floor,
+//   popularity— ranking by train interaction count (no personalization),
+//   oracle    — ranking by the generator's ground-truth affinity (ceiling).
+// The popularity-to-oracle gap is the headroom personalized models compete
+// over; presets are tuned so that gap is wide (DESIGN.md §1).
+//
+//   ./build/examples/data_diagnostics [smoke|small|full]
+
+#include <cstdio>
+#include <cmath>
+#include <cstring>
+
+#include "data/presets.h"
+#include "eval/evaluator.h"
+#include "train/experiment.h"
+
+namespace nmcdr {
+namespace {
+
+/// Reference policy wrapped as a RecModel (Score only; TrainStep is a
+/// no-op) so it can run through the standard evaluator.
+class PolicyModel : public RecModel {
+ public:
+  using ScoreFn = std::function<float(DomainSide, int user, int item)>;
+  PolicyModel(std::string name, ScoreFn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  std::string name() const override { return name_; }
+  float TrainStep(const LabeledBatch&, const LabeledBatch&) override {
+    return 0.f;
+  }
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override {
+    std::vector<float> out(users.size());
+    for (size_t i = 0; i < users.size(); ++i) {
+      out[i] = fn_(side, users[i], items[i]);
+    }
+    return out;
+  }
+  ag::ParameterStore* params() override { return &store_; }
+
+ private:
+  std::string name_;
+  ScoreFn fn_;
+  ag::ParameterStore store_;
+};
+
+void Report(const char* policy, const ScenarioMetrics& m,
+            const CdrScenario& s) {
+  std::printf("  %-11s %-8s HR@10 %6.2f%%  NDCG@10 %6.2f%%   %-8s HR@10 "
+              "%6.2f%%  NDCG@10 %6.2f%%\n",
+              policy, s.z.name.c_str(), 100 * m.z.hr, 100 * m.z.ndcg,
+              s.zbar.name.c_str(), 100 * m.zbar.hr, 100 * m.zbar.ndcg);
+}
+
+void Diagnose(const SyntheticScenarioSpec& spec) {
+  SyntheticGroundTruth gt;
+  CdrScenario scenario = GenerateScenario(spec, &gt);
+  std::printf("%s\n  %s\n  %s\n", scenario.name.c_str(),
+              DomainStatsString(scenario.z).c_str(),
+              DomainStatsString(scenario.zbar).c_str());
+  ExperimentData data(std::move(scenario), /*seed=*/11);
+  EvalConfig eval;
+
+  auto evaluate = [&](RecModel* model) {
+    return EvaluateScenario(model, data.full_graph_z(), data.full_graph_zbar(),
+                            data.split_z(), data.split_zbar(),
+                            EvalPhase::kTest, eval);
+  };
+
+  Rng rng(3);
+  PolicyModel random_policy("random", [&rng](DomainSide, int, int) {
+    return static_cast<float>(rng.UniformDouble());
+  });
+  Report("random", evaluate(&random_policy), data.scenario());
+
+  std::vector<int> pop_z(data.scenario().z.num_items, 0);
+  std::vector<int> pop_zbar(data.scenario().zbar.num_items, 0);
+  for (const Interaction& e : data.split_z().train) ++pop_z[e.item];
+  for (const Interaction& e : data.split_zbar().train) ++pop_zbar[e.item];
+  PolicyModel popularity("popularity",
+                         [&](DomainSide side, int, int item) {
+                           return static_cast<float>(
+                               side == DomainSide::kZ ? pop_z[item]
+                                                      : pop_zbar[item]);
+                         });
+  Report("popularity", evaluate(&popularity), data.scenario());
+
+  // Item-item co-occurrence KNN: score(u,v) = sum over the user's train
+  // items j of cosine similarity between v's and j's user sets. A strong
+  // non-parametric reference for how much collaborative signal the
+  // observed interactions carry.
+  auto knn_score = [&](const InteractionGraph& g, int user, int item) {
+    double score = 0.0;
+    const std::vector<int>& item_users = g.ItemNeighbors(item);
+    for (int j : g.UserNeighbors(user)) {
+      if (j == item) continue;
+      const std::vector<int>& ju = g.ItemNeighbors(j);
+      // |intersection| via two-pointer (both sorted).
+      size_t a = 0, b = 0;
+      int common = 0;
+      while (a < item_users.size() && b < ju.size()) {
+        if (item_users[a] == ju[b]) { ++common; ++a; ++b; }
+        else if (item_users[a] < ju[b]) ++a;
+        else ++b;
+      }
+      const double denom = std::sqrt(double(item_users.size()) * ju.size());
+      if (denom > 0) score += common / denom;
+    }
+    return static_cast<float>(score);
+  };
+  PolicyModel item_knn("item-knn", [&](DomainSide side, int user, int item) {
+    return knn_score(side == DomainSide::kZ ? data.train_graph_z()
+                                            : data.train_graph_zbar(),
+                     user, item);
+  });
+  Report("item-knn", evaluate(&item_knn), data.scenario());
+
+  PolicyModel oracle("oracle", [&gt](DomainSide side, int user, int item) {
+    return side == DomainSide::kZ ? gt.AffinityZ(user, item)
+                                  : gt.AffinityZbar(user, item);
+  });
+  Report("oracle", evaluate(&oracle), data.scenario());
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace nmcdr
+
+int main(int argc, char** argv) {
+  using namespace nmcdr;
+  BenchScale scale = BenchScale::kSmall;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "smoke") == 0) scale = BenchScale::kSmoke;
+    if (std::strcmp(argv[1], "full") == 0) scale = BenchScale::kFull;
+  }
+  for (const SyntheticScenarioSpec& spec : AllScenarioSpecs(scale)) {
+    Diagnose(spec);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Single-run exploration tool: trains one model on one scenario with a
+// verbose validation trace and prints the final test metrics. This is the
+// tool behind the hyper-parameter calibration documented in DESIGN.md.
+//
+//   ./build/examples/model_trace <model|NMCDR-flags> [lr]
+//
+// The first argument is a registry name (LR, BPR, ..., NMCDR) or
+// "NMCDR-<flags>", where flags concatenate any of:
+//   noI noC noN noS  — drop intra / inter / complementing / companions
+//   obs              — literal Eq. 18 (observed candidates only)
+//   w03 / w10        — companion weights 0.3 / 1.0
+//   lr5              — learning rate 5e-3
+//   h1 / h3          — 1 or 3 encoder layers
+//   L2               — 2 stacked intra+inter blocks
+//
+// Environment:
+//   SCEN=mm|cs|lf    — scenario (default Phone-Elec)
+//   KU=0.5           — overlap ratio
+//   STEPS=4000       — minimum optimizer steps
+//   WD=0.001         — weight decay override for baselines (NMCDR_WD)
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "baselines/register_all.h"
+#include "bench/bench_util.h"
+#include "core/nmcdr_model.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace nmcdr;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: model_trace <model> [lr]\n");
+    return 2;
+  }
+  RegisterAllModels();
+  Rng rng(91);
+  SyntheticScenarioSpec spec = PhoneElecSpec(BenchScale::kSmall);
+  if (const char* sc = std::getenv("SCEN")) {
+    const std::string s2(sc);
+    if (s2 == "mm") spec = MusicMovieSpec(BenchScale::kSmall);
+    if (s2 == "cs") spec = ClothSportSpec(BenchScale::kSmall);
+    if (s2 == "lf") spec = LoanFundSpec(BenchScale::kSmall);
+  }
+  const double ku = std::getenv("KU") ? std::atof(std::getenv("KU")) : 0.5;
+  CdrScenario masked = ApplyOverlapRatio(GenerateScenario(spec), ku, &rng);
+  ExperimentData data(std::move(masked), 7);
+
+  CommonHyper hyper;
+  hyper.embed_dim = 16;
+  TrainConfig train;
+  train.learning_rate =
+      argc > 2 ? static_cast<float>(std::atof(argv[2])) : 2e-3f;
+  if (const char* wd = std::getenv("WD")) setenv("NMCDR_WD", wd, 1);
+  train.min_total_steps =
+      std::getenv("STEPS") ? std::atoi(std::getenv("STEPS")) : 4000;
+  train.eval_every = 4;
+  train.early_stop_patience = 0;
+  train.verbose = true;
+  EvalConfig eval;
+
+  std::unique_ptr<RecModel> model;
+  if (std::strncmp(argv[1], "NMCDR-", 6) == 0) {
+    NmcdrConfig cfg;
+    cfg.hidden_dim = 16;
+    const std::string flags(argv[1] + 6);
+    if (flags.find("noI") != std::string::npos) cfg.use_intra = false;
+    if (flags.find("noC") != std::string::npos) cfg.use_inter = false;
+    if (flags.find("noN") != std::string::npos) cfg.use_complement = false;
+    if (flags.find("noS") != std::string::npos) cfg.use_companion = false;
+    if (flags.find("obs") != std::string::npos) {
+      cfg.complement_observed_only = true;
+    }
+    if (flags.find("w03") != std::string::npos) {
+      cfg.companion_weights = {0.3f, 0.3f, 0.3f, 0.3f};
+    }
+    if (flags.find("w10") != std::string::npos) {
+      cfg.companion_weights = {1.f, 1.f, 1.f, 1.f};
+    }
+    if (flags.find("lr5") != std::string::npos) train.learning_rate = 5e-3f;
+    if (flags.find("h1") != std::string::npos) cfg.hge_layers = 1;
+    if (flags.find("h3") != std::string::npos) cfg.hge_layers = 3;
+    if (flags.find("L2") != std::string::npos) cfg.intra_inter_layers = 2;
+    model = std::make_unique<NmcdrModel>(data.View(), cfg, hyper.seed,
+                                         train.learning_rate);
+  } else {
+    model = ModelRegistry::Instance().Get(argv[1])(data.View(), hyper,
+                                                   train.learning_rate);
+  }
+  Trainer trainer(data.View(), train, &data.full_graph_z(),
+                  &data.full_graph_zbar());
+  trainer.Train(model.get());
+  const ScenarioMetrics test = EvaluateScenario(
+      model.get(), data.full_graph_z(), data.full_graph_zbar(),
+      data.split_z(), data.split_zbar(), EvalPhase::kTest, eval);
+  std::printf("TEST %s: Z %.2f/%.2f  Zbar %.2f/%.2f\n", argv[1],
+              100 * test.z.ndcg, 100 * test.z.hr, 100 * test.zbar.ndcg,
+              100 * test.zbar.hr);
+  return 0;
+}

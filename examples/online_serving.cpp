@@ -1,0 +1,79 @@
+// Online-serving demo (§III.C in miniature): build a two-domain financial
+// serving world, train NMCDR offline on the pairwise scenario, and run a
+// three-group A/B test — Control (popularity), random, and NMCDR — for a
+// few simulated days, reporting the CVR per domain.
+//
+//   ./build/examples/online_serving
+
+#include <cstdio>
+#include <memory>
+
+#include "core/nmcdr_model.h"
+#include "serving/ab_test.h"
+#include "train/experiment.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace nmcdr;
+
+  // 1. A small Loan/Fund world with a shared person population.
+  std::vector<ServingWorld::DomainSpec> specs(2);
+  specs[0].data = {"Loan", 0, 50, 6.0, 0.9};
+  specs[0].target_base_cvr = 0.10;
+  specs[1].data = {"Fund", 0, 35, 4.0, 0.9};
+  specs[1].target_base_cvr = 0.06;
+  ServingWorld world(specs, /*num_persons=*/900,
+                     /*membership_prob=*/{0.85, 0.35},
+                     /*latent_dim=*/8, /*preference_sharpness=*/4.5,
+                     /*seed=*/5);
+  for (int d = 0; d < world.num_domains(); ++d) {
+    std::printf("  %s\n", DomainStatsString(world.domain(d)).c_str());
+  }
+
+  // 2. Offline training of NMCDR on the pairwise projection.
+  ExperimentData data(world.MakePairScenario(0, 1), /*seed=*/7);
+  NmcdrConfig config;
+  config.hidden_dim = 16;
+  auto model = std::make_unique<NmcdrModel>(data.View(), config, 42, 2e-3f);
+  TrainConfig train;
+  train.min_total_steps = 900;
+  train.eval_every = -1;
+  train.early_stop_patience = 3;
+  Trainer trainer(data.View(), train, &data.full_graph_z(),
+                  &data.full_graph_zbar());
+  const TrainSummary summary = trainer.Train(model.get());
+  std::printf("trained NMCDR for %d epochs (%.1fs)\n", summary.epochs_run,
+              summary.train_seconds);
+
+  // 3. Deploy: 3 groups share traffic for 8 days.
+  Ranker nmcdr_ranker = [&model](int domain, int user,
+                                 const std::vector<int>& candidates) {
+    const DomainSide side = domain == 0 ? DomainSide::kZ : DomainSide::kZbar;
+    return model->Score(side, std::vector<int>(candidates.size(), user),
+                        candidates);
+  };
+  Rng noise(13);
+  Ranker random_ranker = [&noise](int, int, const std::vector<int>& cands) {
+    std::vector<float> s(cands.size());
+    for (float& v : s) v = static_cast<float>(noise.UniformDouble());
+    return s;
+  };
+  AbTestConfig ab;
+  ab.days = 8;
+  ab.impressions_per_day_per_domain = 1200;
+  const std::vector<GroupResult> results =
+      RunAbTest(world,
+                {{"Random", random_ranker},
+                 {"Control (popularity)", PopularityRanker(world)},
+                 {"NMCDR", nmcdr_ranker}},
+                ab);
+
+  TablePrinter table;
+  table.SetHeader({"Group", "Loan CVR", "Fund CVR"});
+  for (const GroupResult& r : results) {
+    table.AddRow({r.name, FormatFloat(r.cvr[0] * 100, 2) + "%",
+                  FormatFloat(r.cvr[1] * 100, 2) + "%"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

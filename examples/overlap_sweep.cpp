@@ -1,0 +1,61 @@
+// Overlap-robustness demo (the paper's headline claim): sweep the visible
+// overlap ratio K_u and compare NMCDR against a single-domain baseline
+// that cannot transfer (LR) and a transfer method that depends on links
+// (GA-DTCDR). NMCDR's intra/inter matching keeps transfer alive even when
+// almost no identity links remain.
+//
+//   ./build/examples/overlap_sweep [smoke|small|full]
+
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/register_all.h"
+#include "data/presets.h"
+#include "train/registry.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace nmcdr;
+  RegisterAllModels();
+
+  BenchScale scale = BenchScale::kSmoke;
+  if (argc > 1 && std::strcmp(argv[1], "small") == 0) {
+    scale = BenchScale::kSmall;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "full") == 0) scale = BenchScale::kFull;
+
+  const SyntheticScenarioSpec spec = MusicMovieSpec(scale);
+  CdrScenario base = GenerateScenario(spec);
+  std::printf("scenario %s (%d true overlapping users)\n",
+              base.name.c_str(), base.NumOverlapping());
+
+  CommonHyper hyper;
+  hyper.embed_dim = 16;
+  TrainConfig train;
+  train.min_total_steps = scale == BenchScale::kSmoke ? 300 : 1500;
+  train.eval_every = -1;
+  train.early_stop_patience = 3;
+  train.learning_rate = 2e-3f;
+  EvalConfig eval;
+
+  TablePrinter table;
+  table.SetHeader({"K_u", "Model", "HR@10 Z", "NDCG@10 Z", "HR@10 Z̄",
+                   "NDCG@10 Z̄"});
+  for (double ratio : {0.001, 0.1, 0.9}) {
+    Rng rng(31);
+    ExperimentData data(ApplyOverlapRatio(base, ratio, &rng), 7);
+    for (const char* model_name : {"LR", "GA-DTCDR", "NMCDR"}) {
+      const ExperimentResult result = RunExperiment(
+          data, ModelRegistry::Instance().Get(model_name), hyper, train,
+          eval);
+      table.AddRow({FormatFloat(ratio * 100, 1) + "%", model_name,
+                    FormatFloat(result.test.z.hr * 100, 2),
+                    FormatFloat(result.test.z.ndcg * 100, 2),
+                    FormatFloat(result.test.zbar.hr * 100, 2),
+                    FormatFloat(result.test.zbar.ndcg * 100, 2)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Tail-user analysis (the paper's CH2): trains NMCDR with and without the
+// intra node complementing module and reports test metrics separately for
+// head users (> K_head train interactions) and tail users, plus the
+// head/tail embedding separation per stage (the Fig. 5 statistic).
+//
+//   ./build/examples/tail_user_analysis
+
+#include <cstdio>
+
+#include "analysis/embedding_stats.h"
+#include "core/nmcdr_model.h"
+#include "data/presets.h"
+#include "train/experiment.h"
+#include "util/table_printer.h"
+
+namespace nmcdr {
+namespace {
+
+struct GroupMetrics {
+  RankingMetrics head;
+  RankingMetrics tail;
+};
+
+/// Evaluates one domain's test split split by head/tail user group, via
+/// the library's grouped-evaluation API.
+GroupMetrics EvaluateByGroup(RecModel* model, DomainSide side,
+                             const ExperimentData& data, int k_head) {
+  const InteractionGraph& train_graph = side == DomainSide::kZ
+                                            ? data.train_graph_z()
+                                            : data.train_graph_zbar();
+  const InteractionGraph& full_graph = side == DomainSide::kZ
+                                           ? data.full_graph_z()
+                                           : data.full_graph_zbar();
+  const DomainSplit& split =
+      side == DomainSide::kZ ? data.split_z() : data.split_zbar();
+  const std::vector<RankingMetrics> groups = EvaluateRankingGrouped(
+      model, side, full_graph, split, EvalPhase::kTest, EvalConfig{},
+      [&train_graph, k_head](int user) {
+        return train_graph.UserDegree(user) > k_head ? 0 : 1;
+      },
+      /*num_groups=*/2);
+  return GroupMetrics{groups[0], groups[1]};
+}
+
+}  // namespace
+}  // namespace nmcdr
+
+int main() {
+  using namespace nmcdr;
+  Rng rng(91);
+  ExperimentData data(
+      ApplyOverlapRatio(GenerateScenario(ClothSportSpec(BenchScale::kSmoke)),
+                        0.5, &rng),
+      7);
+
+  TrainConfig train;
+  train.min_total_steps = 600;
+  train.eval_every = -1;
+  train.early_stop_patience = 3;
+
+  TablePrinter table;
+  table.SetHeader({"Variant", "Group", "HR@10", "NDCG@10", "users"});
+  NmcdrConfig with_inc;
+  with_inc.hidden_dim = 16;
+  NmcdrConfig without_inc = with_inc;
+  without_inc.use_complement = false;
+
+  for (const auto& [label, config] :
+       {std::pair<const char*, NmcdrConfig>{"full NMCDR", with_inc},
+        std::pair<const char*, NmcdrConfig>{"w/o complementing",
+                                            without_inc}}) {
+    NmcdrModel model(data.View(), config, 42, 2e-3f);
+    Trainer trainer(data.View(), train, &data.full_graph_z(),
+                    &data.full_graph_zbar());
+    trainer.Train(&model);
+    const GroupMetrics groups =
+        EvaluateByGroup(&model, DomainSide::kZbar, data, config.k_head);
+    table.AddRow({label, "head",
+                  FormatFloat(groups.head.hr * 100, 2),
+                  FormatFloat(groups.head.ndcg * 100, 2),
+                  std::to_string(groups.head.num_users)});
+    table.AddRow({label, "tail",
+                  FormatFloat(groups.tail.hr * 100, 2),
+                  FormatFloat(groups.tail.ndcg * 100, 2),
+                  std::to_string(groups.tail.num_users)});
+    table.AddSeparator();
+
+    // Fig. 5 statistic: head/tail separation per stage.
+    const NmcdrModel::StageReps reps =
+        model.ComputeStageReps(DomainSide::kZbar);
+    std::vector<bool> is_head(data.scenario().zbar.num_users);
+    for (int u = 0; u < data.scenario().zbar.num_users; ++u) {
+      is_head[u] = data.train_graph_zbar().UserDegree(u) > config.k_head;
+    }
+    std::printf("%s — head/tail separation: encoder %.3f -> "
+                "intra-to-inter %.3f -> complementing %.3f\n",
+                label,
+                ComputeHeadTailSeparation(reps.g1, is_head).separation_score,
+                ComputeHeadTailSeparation(reps.g3, is_head).separation_score,
+                ComputeHeadTailSeparation(reps.g4, is_head).separation_score);
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

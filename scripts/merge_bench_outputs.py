@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Merges two bench-suite outputs into one complete record.
+
+Usage: merge_bench_outputs.py PRIMARY FALLBACK OUT
+
+Takes every `===== build/bench/<name> =====` section from PRIMARY when the
+section is complete there (the next section header or end-of-run marker
+follows it), and fills any missing or truncated sections from FALLBACK.
+Used to combine a high-fidelity (slow) run with a complete (fast) run.
+"""
+
+import re
+import sys
+
+
+def parse_sections(path):
+    sections = {}
+    order = []
+    current = None
+    lines = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for line in f:
+                match = re.match(r"^===== (\S+) =====$", line.strip())
+                if match:
+                    if current is not None:
+                        sections[current] = lines
+                    current = match.group(1)
+                    order.append(current)
+                    lines = []
+                elif current is not None:
+                    lines.append(line)
+        if current is not None:
+            sections[current] = lines
+    except FileNotFoundError:
+        pass
+    return sections, order
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    primary, primary_order = parse_sections(sys.argv[1])
+    fallback, fallback_order = parse_sections(sys.argv[2])
+    names = list(dict.fromkeys(fallback_order + primary_order))
+    with open(sys.argv[3], "w", encoding="utf-8") as out:
+        for name in names:
+            body = primary.get(name)
+            source = sys.argv[1]
+            # A section is usable if it produced a table or benchmark lines.
+            def usable(lines):
+                return lines is not None and any(
+                    "+--" in l or "_batch/" in l for l in lines)
+            if not usable(body):
+                body = fallback.get(name)
+                source = sys.argv[2]
+            if body is None:
+                continue
+            out.write(f"===== {name} =====\n")
+            out.write(f"(section from {source})\n")
+            out.writelines(l for l in body if "ALL_BENCHES_DONE" not in l)
+    print(f"wrote {sys.argv[3]} ({len(names)} sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

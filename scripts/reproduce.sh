@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, run the test suite, regenerate every paper
+# table/figure, and collect the outputs.
+#
+#   scripts/reproduce.sh [smoke|small|full]
+#
+# smoke finishes in minutes on one core; small (default) is the recorded
+# configuration; full is ~4x small.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+export NMCDR_BENCH_SCALE="$SCALE"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+mkdir -p "results/$SCALE"
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "===== $b ====="
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+mv -f ./*.csv "results/$SCALE"/ 2>/dev/null || true
+
+echo
+echo "done: test_output.txt, bench_output.txt, results/$SCALE/*.csv"

@@ -1,0 +1,58 @@
+#include "analysis/embedding_stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+double Distance(const std::vector<double>& a, const float* b, int d) {
+  double acc = 0.0;
+  for (int c = 0; c < d; ++c) {
+    const double diff = a[c] - b[c];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+HeadTailSeparation ComputeHeadTailSeparation(
+    const Matrix& embeddings, const std::vector<bool>& is_head) {
+  NMCDR_CHECK_EQ(static_cast<int>(is_head.size()), embeddings.rows());
+  const int d = embeddings.cols();
+  std::vector<double> head_centroid(d, 0.0), tail_centroid(d, 0.0);
+  HeadTailSeparation out;
+  for (int i = 0; i < embeddings.rows(); ++i) {
+    std::vector<double>& centroid = is_head[i] ? head_centroid : tail_centroid;
+    (is_head[i] ? out.num_head : out.num_tail)++;
+    const float* row = embeddings.row(i);
+    for (int c = 0; c < d; ++c) centroid[c] += row[c];
+  }
+  NMCDR_CHECK_GT(out.num_head, 0);
+  NMCDR_CHECK_GT(out.num_tail, 0);
+  for (int c = 0; c < d; ++c) {
+    head_centroid[c] /= out.num_head;
+    tail_centroid[c] /= out.num_tail;
+  }
+  double centroid_diff = 0.0;
+  for (int c = 0; c < d; ++c) {
+    const double diff = head_centroid[c] - tail_centroid[c];
+    centroid_diff += diff * diff;
+  }
+  out.centroid_distance = std::sqrt(centroid_diff);
+  for (int i = 0; i < embeddings.rows(); ++i) {
+    const double dist = Distance(is_head[i] ? head_centroid : tail_centroid,
+                                 embeddings.row(i), d);
+    (is_head[i] ? out.head_spread : out.tail_spread) += dist;
+  }
+  out.head_spread /= out.num_head;
+  out.tail_spread /= out.num_tail;
+  const double mean_spread = 0.5 * (out.head_spread + out.tail_spread);
+  out.separation_score =
+      mean_spread > 1e-12 ? out.centroid_distance / mean_spread : 0.0;
+  return out;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,35 @@
+#ifndef NMCDR_ANALYSIS_EMBEDDING_STATS_H_
+#define NMCDR_ANALYSIS_EMBEDDING_STATS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace nmcdr {
+
+/// Quantifies what Fig. 5 shows qualitatively: how separated the head and
+/// tail user embedding distributions are at each model stage. The paper's
+/// claim is that intra/inter matching and complementing progressively
+/// ALIGN the tail distribution with the head distribution.
+struct HeadTailSeparation {
+  /// Euclidean distance between the head and tail centroids.
+  double centroid_distance = 0.0;
+  /// Mean distance of members to their own group centroid.
+  double head_spread = 0.0;
+  double tail_spread = 0.0;
+  /// centroid_distance / mean spread — the dimensionless separation score
+  /// reported by the Fig. 5 bench (lower = better aligned).
+  double separation_score = 0.0;
+  int num_head = 0;
+  int num_tail = 0;
+};
+
+/// Computes the separation between rows flagged head (true) and tail
+/// (false). `is_head.size()` must equal `embeddings.rows()`; both groups
+/// must be non-empty.
+HeadTailSeparation ComputeHeadTailSeparation(const Matrix& embeddings,
+                                             const std::vector<bool>& is_head);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_ANALYSIS_EMBEDDING_STATS_H_

@@ -1,0 +1,152 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+/// Squared euclidean distance matrix.
+std::vector<double> PairwiseSquaredDistances(const Matrix& x) {
+  const int n = x.rows();
+  std::vector<double> d2(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const float* a = x.row(i);
+      const float* b = x.row(j);
+      for (int c = 0; c < x.cols(); ++c) {
+        const double diff = static_cast<double>(a[c]) - b[c];
+        acc += diff * diff;
+      }
+      d2[static_cast<size_t>(i) * n + j] = acc;
+      d2[static_cast<size_t>(j) * n + i] = acc;
+    }
+  }
+  return d2;
+}
+
+/// Binary-searches the Gaussian bandwidth of row i to hit the target
+/// perplexity; writes the conditional probabilities p_{j|i} into `row`.
+void RowConditionals(const std::vector<double>& d2, int n, int i,
+                     double perplexity, double* row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = -1e30, beta_max = 1e30;
+  for (int it = 0; it < 60; ++it) {
+    double sum = 0.0, dot = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) {
+        row[j] = 0.0;
+        continue;
+      }
+      const double p = std::exp(-beta * d2[static_cast<size_t>(i) * n + j]);
+      row[j] = p;
+      sum += p;
+      dot += p * d2[static_cast<size_t>(i) * n + j];
+    }
+    if (sum <= 1e-300) {
+      beta /= 2.0;
+      continue;
+    }
+    const double entropy = std::log(sum) + beta * dot / sum;
+    if (std::fabs(entropy - target_entropy) < 1e-5) break;
+    if (entropy > target_entropy) {
+      beta_min = beta;
+      beta = beta_max > 1e29 ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = beta_min < -1e29 ? beta / 2.0 : 0.5 * (beta + beta_min);
+    }
+  }
+  double sum = 0.0;
+  for (int j = 0; j < n; ++j) sum += row[j];
+  if (sum > 0.0) {
+    for (int j = 0; j < n; ++j) row[j] /= sum;
+  }
+}
+
+}  // namespace
+
+Matrix Tsne(const Matrix& points, const TsneConfig& config) {
+  const int n = points.rows();
+  NMCDR_CHECK_GT(n, 1);
+  const int out_dim = config.output_dim;
+  const std::vector<double> d2 = PairwiseSquaredDistances(points);
+
+  // Symmetrized joint probabilities P.
+  std::vector<double> p(static_cast<size_t>(n) * n, 0.0);
+  {
+    std::vector<double> row(n);
+    for (int i = 0; i < n; ++i) {
+      RowConditionals(d2, n, i, std::min(config.perplexity, (n - 1) / 3.0),
+                      row.data());
+      for (int j = 0; j < n; ++j) p[static_cast<size_t>(i) * n + j] = row[j];
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double v = (p[static_cast<size_t>(i) * n + j] +
+                          p[static_cast<size_t>(j) * n + i]) /
+                         (2.0 * n);
+        p[static_cast<size_t>(i) * n + j] = std::max(v, 1e-12);
+        p[static_cast<size_t>(j) * n + i] = std::max(v, 1e-12);
+      }
+    }
+  }
+
+  Rng rng(config.seed);
+  Matrix y = Matrix::Gaussian(n, out_dim, &rng, 0.f, 1e-2f);
+  Matrix velocity(n, out_dim);
+  std::vector<double> q_num(static_cast<size_t>(n) * n, 0.0);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.iterations / 4 ? config.early_exaggeration : 1.0;
+    // Student-t numerators and normalizer.
+    double q_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (int c = 0; c < out_dim; ++c) {
+          const double diff =
+              static_cast<double>(y.At(i, c)) - y.At(j, c);
+          acc += diff * diff;
+        }
+        const double num = 1.0 / (1.0 + acc);
+        q_num[static_cast<size_t>(i) * n + j] = num;
+        q_num[static_cast<size_t>(j) * n + i] = num;
+        q_sum += 2.0 * num;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    for (int i = 0; i < n; ++i) {
+      double grad[4] = {0, 0, 0, 0};
+      NMCDR_CHECK_LE(out_dim, 4);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double num = q_num[static_cast<size_t>(i) * n + j];
+        const double q = std::max(num / q_sum, 1e-12);
+        const double coeff =
+            4.0 * (exaggeration * p[static_cast<size_t>(i) * n + j] - q) *
+            num;
+        for (int c = 0; c < out_dim; ++c) {
+          grad[c] += coeff * (static_cast<double>(y.At(i, c)) - y.At(j, c));
+        }
+      }
+      for (int c = 0; c < out_dim; ++c) {
+        velocity.At(i, c) = static_cast<float>(
+            config.momentum * velocity.At(i, c) -
+            config.learning_rate * grad[c]);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int c = 0; c < out_dim; ++c) y.At(i, c) += velocity.At(i, c);
+    }
+  }
+  return y;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,27 @@
+#ifndef NMCDR_ANALYSIS_TSNE_H_
+#define NMCDR_ANALYSIS_TSNE_H_
+
+#include "tensor/matrix.h"
+
+namespace nmcdr {
+
+/// Exact (O(n^2)) t-SNE for the Fig. 5 embedding visualization. Suitable
+/// for the <= a-few-thousand user embeddings produced by the scaled
+/// scenarios.
+struct TsneConfig {
+  int output_dim = 2;
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  /// Early exaggeration factor applied for the first quarter of the run.
+  double early_exaggeration = 4.0;
+  uint64_t seed = 5;
+};
+
+/// Embeds `points` ([n, d]) into config.output_dim dimensions.
+Matrix Tsne(const Matrix& points, const TsneConfig& config);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_ANALYSIS_TSNE_H_

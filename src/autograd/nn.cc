@@ -1,0 +1,122 @@
+#include "autograd/nn.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace ag {
+
+Tensor ParameterStore::Register(const std::string& name, Matrix init) {
+  NMCDR_CHECK(!Contains(name));
+  Tensor t(std::move(init), /*requires_grad=*/true);
+  t.node()->name = name;
+  params_.push_back(t);
+  names_.push_back(name);
+  return t;
+}
+
+Tensor ParameterStore::Get(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return params_[i];
+  }
+  NMCDR_CHECK(false);
+  return Tensor();
+}
+
+bool ParameterStore::Contains(const std::string& name) const {
+  for (const std::string& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+int64_t ParameterStore::ParameterCount() const {
+  int64_t total = 0;
+  for (const Tensor& p : params_) total += p.value().size();
+  return total;
+}
+
+void ParameterStore::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float ParameterStore::ClipGradNorm(float max_norm) {
+  double sq = 0.0;
+  for (const Tensor& p : params_) {
+    const Matrix& g = p.grad();
+    for (int i = 0; i < g.size(); ++i) {
+      sq += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      Matrix& g = p.raw()->grad;
+      for (int i = 0; i < g.size(); ++i) g.data()[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+std::vector<Matrix> ParameterStore::SnapshotValues() const {
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(params_.size());
+  for (const Tensor& p : params_) snapshot.push_back(p.value());
+  return snapshot;
+}
+
+void ParameterStore::RestoreValues(const std::vector<Matrix>& snapshot) {
+  NMCDR_CHECK_EQ(snapshot.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    NMCDR_CHECK(snapshot[i].SameShape(params_[i].value()));
+    params_[i].mutable_value() = snapshot[i];
+  }
+}
+
+Tensor Activate(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kTanh:
+      return Tanh(x);
+  }
+  NMCDR_CHECK(false);
+  return x;
+}
+
+Linear::Linear(ParameterStore* store, const std::string& name, int in,
+               int out, Rng* rng)
+    : w_(store->Register(name + ".W", Matrix::Xavier(in, out, rng))),
+      b_(store->Register(name + ".b", Matrix(1, out))) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return AddRowBroadcast(MatMul(x, w_), b_);
+}
+
+Mlp::Mlp(ParameterStore* store, const std::string& name,
+         const std::vector<int>& dims, Rng* rng, Activation hidden_act)
+    : hidden_act_(hidden_act) {
+  NMCDR_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(store, name + ".l" + std::to_string(i), dims[i],
+                         dims[i + 1], rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = Activate(h, hidden_act_);
+  }
+  return h;
+}
+
+}  // namespace ag
+}  // namespace nmcdr

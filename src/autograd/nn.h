@@ -1,0 +1,109 @@
+#ifndef NMCDR_AUTOGRAD_NN_H_
+#define NMCDR_AUTOGRAD_NN_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+#include "tensor/rng.h"
+
+namespace nmcdr {
+namespace ag {
+
+/// Owns every trainable tensor of a model. Parameters are registered once
+/// at construction time and iterated by optimizers. Names must be unique
+/// (checked) and stable, so experiments are reproducible and parameter
+/// counts auditable.
+class ParameterStore {
+ public:
+  /// Registers a parameter initialized with `init`; returns the handle.
+  Tensor Register(const std::string& name, Matrix init);
+
+  /// Returns the parameter registered under `name`; checks existence.
+  Tensor Get(const std::string& name) const;
+
+  /// True if `name` was registered.
+  bool Contains(const std::string& name) const;
+
+  /// All parameters in registration order.
+  const std::vector<Tensor>& params() const { return params_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Total scalar count across all parameters.
+  int64_t ParameterCount() const;
+
+  /// Zeroes every parameter's gradient.
+  void ZeroGrad();
+
+  /// Global gradient-norm clipping; returns the pre-clip norm. No-op
+  /// (returns norm) when norm <= max_norm. Guards against the exploding
+  /// updates the paper's Eq. 31 stability analysis warns about.
+  float ClipGradNorm(float max_norm);
+
+  /// Deep-copies all parameter values (best-checkpoint snapshots).
+  std::vector<Matrix> SnapshotValues() const;
+
+  /// Restores values from a snapshot taken on this store.
+  void RestoreValues(const std::vector<Matrix>& snapshot);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::string> names_;
+};
+
+/// Activation applied between MLP layers.
+enum class Activation { kNone, kRelu, kSigmoid, kTanh };
+
+/// Applies `act` to `x`.
+Tensor Activate(const Tensor& x, Activation act);
+
+/// Affine layer y = x W + b with Xavier-initialized W and zero b.
+class Linear {
+ public:
+  /// Registers `<name>.W` [in,out] and `<name>.b` [1,out] in `store`.
+  Linear(ParameterStore* store, const std::string& name, int in, int out,
+         Rng* rng);
+
+  /// y = x W + b.
+  Tensor Forward(const Tensor& x) const;
+
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
+  int in_features() const { return w_.rows(); }
+  int out_features() const { return w_.cols(); }
+
+ private:
+  Tensor w_;
+  Tensor b_;
+};
+
+/// Stack of Linear layers with a hidden activation; the final layer is
+/// linear (logit output), matching Eq. 20's "stacked MLPs" before the
+/// sigmoid.
+class Mlp {
+ public:
+  /// `dims` = {in, h1, ..., out}; must have >= 2 entries.
+  Mlp(ParameterStore* store, const std::string& name,
+      const std::vector<int>& dims, Rng* rng,
+      Activation hidden_act = Activation::kRelu);
+
+  /// Forward pass; returns the final linear output (no output activation).
+  Tensor Forward(const Tensor& x) const;
+
+  int in_features() const { return layers_.front().in_features(); }
+  int out_features() const { return layers_.back().out_features(); }
+
+  /// Access to individual layers (e.g. for the Eq. 31 stability bound).
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const Linear& layer(int i) const { return layers_[i]; }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_act_;
+};
+
+}  // namespace ag
+}  // namespace nmcdr
+
+#endif  // NMCDR_AUTOGRAD_NN_H_

@@ -1,0 +1,485 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace ag {
+namespace {
+
+// Shorthand: the dense kernels live in ::nmcdr.
+namespace k = ::nmcdr;
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix out = k::MatMul(a.value(), b.value());
+  return MakeOpNode(std::move(out), {a, b}, [a, b](Node* self) {
+    a.raw()->AccumulateGrad(k::MatMulTransB(self->grad, b.value()));
+    b.raw()->AccumulateGrad(k::MatMulTransA(a.value(), self->grad));
+  });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return MakeOpNode(k::Add(a.value(), b.value()), {a, b}, [a, b](Node* self) {
+    a.raw()->AccumulateGrad(self->grad);
+    b.raw()->AccumulateGrad(self->grad);
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return MakeOpNode(k::Sub(a.value(), b.value()), {a, b}, [a, b](Node* self) {
+    a.raw()->AccumulateGrad(self->grad);
+    b.raw()->AccumulateGrad(k::Scale(self->grad, -1.f));
+  });
+}
+
+Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  return MakeOpNode(k::Hadamard(a.value(), b.value()), {a, b},
+                    [a, b](Node* self) {
+                      a.raw()->AccumulateGrad(k::Hadamard(self->grad, b.value()));
+                      b.raw()->AccumulateGrad(k::Hadamard(self->grad, a.value()));
+                    });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  return MakeOpNode(k::AddRowBroadcast(a.value(), bias.value()), {a, bias},
+                    [a, bias](Node* self) {
+                      a.raw()->AccumulateGrad(self->grad);
+                      bias.raw()->AccumulateGrad(k::ColSum(self->grad));
+                    });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return MakeOpNode(k::Scale(a.value(), s), {a}, [a, s](Node* self) {
+    a.raw()->AccumulateGrad(k::Scale(self->grad, s));
+  });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return MakeOpNode(k::AddScalar(a.value(), s), {a}, [a](Node* self) {
+    a.raw()->AccumulateGrad(self->grad);
+  });
+}
+
+Tensor OneMinus(const Tensor& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = 1.f - a.value().data()[i];
+  return MakeOpNode(std::move(out), {a}, [a](Node* self) {
+    a.raw()->AccumulateGrad(k::Scale(self->grad, -1.f));
+  });
+}
+
+Tensor Exp(const Tensor& a) {
+  return MakeOpNode(k::Exp(a.value()), {a}, [a](Node* self) {
+    a.raw()->AccumulateGrad(k::Hadamard(self->grad, self->value));
+  });
+}
+
+Tensor Relu(const Tensor& a) {
+  return MakeOpNode(k::Relu(a.value()), {a}, [a](Node* self) {
+    Matrix da(self->grad.rows(), self->grad.cols());
+    for (int i = 0; i < da.size(); ++i) {
+      da.data()[i] = self->value.data()[i] > 0.f ? self->grad.data()[i] : 0.f;
+    }
+    a.raw()->AccumulateGrad(da);
+  });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return MakeOpNode(k::Sigmoid(a.value()), {a}, [a](Node* self) {
+    Matrix da(self->grad.rows(), self->grad.cols());
+    for (int i = 0; i < da.size(); ++i) {
+      const float y = self->value.data()[i];
+      da.data()[i] = self->grad.data()[i] * y * (1.f - y);
+    }
+    a.raw()->AccumulateGrad(da);
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return MakeOpNode(k::Tanh(a.value()), {a}, [a](Node* self) {
+    Matrix da(self->grad.rows(), self->grad.cols());
+    for (int i = 0; i < da.size(); ++i) {
+      const float y = self->value.data()[i];
+      da.data()[i] = self->grad.data()[i] * (1.f - y * y);
+    }
+    a.raw()->AccumulateGrad(da);
+  });
+}
+
+Tensor Softplus(const Tensor& a) {
+  return MakeOpNode(k::Softplus(a.value()), {a}, [a](Node* self) {
+    // d softplus(x)/dx = sigmoid(x)
+    Matrix sig = k::Sigmoid(a.value());
+    a.raw()->AccumulateGrad(k::Hadamard(self->grad, sig));
+  });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  return MakeOpNode(k::SoftmaxRows(a.value()), {a}, [a](Node* self) {
+    const Matrix& y = self->value;
+    const Matrix& g = self->grad;
+    Matrix da(y.rows(), y.cols());
+    for (int r = 0; r < y.rows(); ++r) {
+      const float* yr = y.row(r);
+      const float* gr = g.row(r);
+      double dot = 0.0;
+      for (int c = 0; c < y.cols(); ++c) dot += static_cast<double>(gr[c]) * yr[c];
+      float* dr = da.row(r);
+      for (int c = 0; c < y.cols(); ++c) {
+        dr[c] = yr[c] * (gr[c] - static_cast<float>(dot));
+      }
+    }
+    a.raw()->AccumulateGrad(da);
+  });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  return MakeOpNode(
+      k::ConcatCols(a.value(), b.value()), {a, b}, [a, b](Node* self) {
+        const int ca = a.cols(), cb = b.cols();
+        Matrix da(a.rows(), ca), db(b.rows(), cb);
+        for (int r = 0; r < self->grad.rows(); ++r) {
+          const float* g = self->grad.row(r);
+          float* dar = da.row(r);
+          float* dbr = db.row(r);
+          for (int c = 0; c < ca; ++c) dar[c] = g[c];
+          for (int c = 0; c < cb; ++c) dbr[c] = g[ca + c];
+        }
+        a.raw()->AccumulateGrad(da);
+        b.raw()->AccumulateGrad(db);
+      });
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  NMCDR_CHECK_GE(start, 0);
+  NMCDR_CHECK_GT(len, 0);
+  NMCDR_CHECK_LE(start + len, a.cols());
+  Matrix out(a.rows(), len);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* src = a.value().row(r);
+    float* dst = out.row(r);
+    for (int c = 0; c < len; ++c) dst[c] = src[start + c];
+  }
+  return MakeOpNode(std::move(out), {a}, [a, start, len](Node* self) {
+    Matrix da(a.rows(), a.cols());
+    for (int r = 0; r < a.rows(); ++r) {
+      const float* g = self->grad.row(r);
+      float* dr = da.row(r);
+      for (int c = 0; c < len; ++c) dr[start + c] = g[c];
+    }
+    a.raw()->AccumulateGrad(da);
+  });
+}
+
+Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
+  return MakeOpNode(k::GatherRows(table.value(), ids), {table},
+                    [table, ids](Node* self) {
+                      Matrix dt(table.rows(), table.cols());
+                      k::ScatterAddRows(self->grad, ids, &dt);
+                      table.raw()->AccumulateGrad(dt);
+                    });
+}
+
+Tensor Transpose(const Tensor& a) {
+  return MakeOpNode(k::Transpose(a.value()), {a}, [a](Node* self) {
+    a.raw()->AccumulateGrad(k::Transpose(self->grad));
+  });
+}
+
+Tensor SegmentMeanRows(
+    const Tensor& table,
+    std::shared_ptr<const std::vector<std::vector<int>>> lists) {
+  NMCDR_CHECK(lists != nullptr);
+  const int n = static_cast<int>(lists->size());
+  const int d = table.cols();
+  Matrix out(n, d);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int>& ids = (*lists)[i];
+    if (ids.empty()) continue;
+    float* o = out.row(i);
+    for (int id : ids) {
+      NMCDR_CHECK_GE(id, 0);
+      NMCDR_CHECK_LT(id, table.rows());
+      const float* src = table.value().row(id);
+      for (int c = 0; c < d; ++c) o[c] += src[c];
+    }
+    const float inv = 1.f / static_cast<float>(ids.size());
+    for (int c = 0; c < d; ++c) o[c] *= inv;
+  }
+  return MakeOpNode(std::move(out), {table}, [table, lists, n, d](Node* self) {
+    Matrix dt(table.rows(), d);
+    for (int i = 0; i < n; ++i) {
+      const std::vector<int>& ids = (*lists)[i];
+      if (ids.empty()) continue;
+      const float inv = 1.f / static_cast<float>(ids.size());
+      const float* g = self->grad.row(i);
+      for (int id : ids) {
+        float* dr = dt.row(id);
+        for (int c = 0; c < d; ++c) dr[c] += g[c] * inv;
+      }
+    }
+    table.raw()->AccumulateGrad(dt);
+  });
+}
+
+Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
+  NMCDR_CHECK(a != nullptr);
+  return MakeOpNode(a->Multiply(x.value()), {x}, [a, x](Node* self) {
+    x.raw()->AccumulateGrad(a->MultiplyTransposed(self->grad));
+  });
+}
+
+Tensor Sum(const Tensor& a) {
+  Matrix out(1, 1);
+  out.At(0, 0) = a.value().Sum();
+  return MakeOpNode(std::move(out), {a}, [a](Node* self) {
+    a.raw()->AccumulateGrad(
+        Matrix(a.rows(), a.cols(), self->grad.At(0, 0)));
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  const float inv = 1.f / static_cast<float>(a.value().size());
+  Matrix out(1, 1);
+  out.At(0, 0) = a.value().Sum() * inv;
+  return MakeOpNode(std::move(out), {a}, [a, inv](Node* self) {
+    a.raw()->AccumulateGrad(
+        Matrix(a.rows(), a.cols(), self->grad.At(0, 0) * inv));
+  });
+}
+
+Tensor SumSquares(const Tensor& a) {
+  Matrix out(1, 1);
+  double acc = 0.0;
+  for (int i = 0; i < a.value().size(); ++i) {
+    const float v = a.value().data()[i];
+    acc += static_cast<double>(v) * v;
+  }
+  out.At(0, 0) = static_cast<float>(acc);
+  return MakeOpNode(std::move(out), {a}, [a](Node* self) {
+    a.raw()->AccumulateGrad(k::Scale(a.value(), 2.f * self->grad.At(0, 0)));
+  });
+}
+
+Tensor ColMean(const Tensor& a) {
+  NMCDR_CHECK_GT(a.rows(), 0);
+  const float inv = 1.f / static_cast<float>(a.rows());
+  return MakeOpNode(k::ColMean(a.value()), {a}, [a, inv](Node* self) {
+    Matrix da(a.rows(), a.cols());
+    const float* g = self->grad.row(0);
+    for (int r = 0; r < a.rows(); ++r) {
+      float* dr = da.row(r);
+      for (int c = 0; c < a.cols(); ++c) dr[c] = g[c] * inv;
+    }
+    a.raw()->AccumulateGrad(da);
+  });
+}
+
+Tensor TileRows(const Tensor& a, int n) {
+  NMCDR_CHECK_EQ(a.rows(), 1);
+  NMCDR_CHECK_GT(n, 0);
+  Matrix out(n, a.cols());
+  for (int r = 0; r < n; ++r) {
+    const float* src = a.value().row(0);
+    float* dst = out.row(r);
+    for (int c = 0; c < a.cols(); ++c) dst[c] = src[c];
+  }
+  return MakeOpNode(std::move(out), {a}, [a](Node* self) {
+    a.raw()->AccumulateGrad(k::ColSum(self->grad));
+  });
+}
+
+Tensor RowDot(const Tensor& a, const Tensor& b) {
+  return MakeOpNode(
+      k::RowDot(a.value(), b.value()), {a, b}, [a, b](Node* self) {
+        Matrix da(a.rows(), a.cols()), db(b.rows(), b.cols());
+        for (int r = 0; r < a.rows(); ++r) {
+          const float g = self->grad.At(r, 0);
+          const float* ar = a.value().row(r);
+          const float* br = b.value().row(r);
+          float* dar = da.row(r);
+          float* dbr = db.row(r);
+          for (int c = 0; c < a.cols(); ++c) {
+            dar[c] = g * br[c];
+            dbr[c] = g * ar[c];
+          }
+        }
+        a.raw()->AccumulateGrad(da);
+        b.raw()->AccumulateGrad(db);
+      });
+}
+
+Tensor ScaleRows(const Tensor& a, const Tensor& s) {
+  NMCDR_CHECK_EQ(s.cols(), 1);
+  NMCDR_CHECK_EQ(s.rows(), a.rows());
+  Matrix out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float sv = s.value().At(r, 0);
+    const float* ar = a.value().row(r);
+    float* o = out.row(r);
+    for (int c = 0; c < a.cols(); ++c) o[c] = sv * ar[c];
+  }
+  return MakeOpNode(std::move(out), {a, s}, [a, s](Node* self) {
+    Matrix da(a.rows(), a.cols());
+    Matrix ds(s.rows(), 1);
+    for (int r = 0; r < a.rows(); ++r) {
+      const float sv = s.value().At(r, 0);
+      const float* g = self->grad.row(r);
+      const float* ar = a.value().row(r);
+      float* dar = da.row(r);
+      double acc = 0.0;
+      for (int c = 0; c < a.cols(); ++c) {
+        dar[c] = g[c] * sv;
+        acc += static_cast<double>(g[c]) * ar[c];
+      }
+      ds.At(r, 0) = static_cast<float>(acc);
+    }
+    a.raw()->AccumulateGrad(da);
+    s.raw()->AccumulateGrad(ds);
+  });
+}
+
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
+  NMCDR_CHECK_EQ(logits.cols(), 1);
+  NMCDR_CHECK_EQ(logits.rows(), static_cast<int>(labels.size()));
+  const int n = logits.rows();
+  NMCDR_CHECK_GT(n, 0);
+  // loss_i = max(z,0) - z*y + log(1 + exp(-|z|))   (stable BCE-with-logits)
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float z = logits.value().At(i, 0);
+    const float y = labels[i];
+    total += (z > 0.f ? z : 0.f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  Matrix out(1, 1);
+  out.At(0, 0) = static_cast<float>(total / n);
+  return MakeOpNode(std::move(out), {logits}, [logits, labels, n](Node* self) {
+    const float g = self->grad.At(0, 0) / static_cast<float>(n);
+    Matrix dz(n, 1);
+    Matrix p = k::Sigmoid(logits.value());
+    for (int i = 0; i < n; ++i) dz.At(i, 0) = g * (p.At(i, 0) - labels[i]);
+    logits.raw()->AccumulateGrad(dz);
+  });
+}
+
+Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
+  NMCDR_CHECK_EQ(pos_scores.cols(), 1);
+  NMCDR_CHECK(pos_scores.value().SameShape(neg_scores.value()));
+  const int n = pos_scores.rows();
+  NMCDR_CHECK_GT(n, 0);
+  // loss = mean( softplus(-(pos - neg)) ) = mean( -log sigmoid(pos - neg) )
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float d = pos_scores.value().At(i, 0) - neg_scores.value().At(i, 0);
+    total += (d < 0.f ? -d : 0.f) + std::log1p(std::exp(-std::fabs(d)));
+  }
+  Matrix out(1, 1);
+  out.At(0, 0) = static_cast<float>(total / n);
+  return MakeOpNode(
+      std::move(out), {pos_scores, neg_scores},
+      [pos_scores, neg_scores, n](Node* self) {
+        const float g = self->grad.At(0, 0) / static_cast<float>(n);
+        Matrix dpos(n, 1), dneg(n, 1);
+        for (int i = 0; i < n; ++i) {
+          const float d =
+              pos_scores.value().At(i, 0) - neg_scores.value().At(i, 0);
+          // d/dd softplus(-d) = -sigmoid(-d)
+          const float s = d >= 0.f ? std::exp(-d) / (1.f + std::exp(-d))
+                                   : 1.f / (1.f + std::exp(d));
+          dpos.At(i, 0) = -g * s;
+          dneg.At(i, 0) = g * s;
+        }
+        pos_scores.raw()->AccumulateGrad(dpos);
+        neg_scores.raw()->AccumulateGrad(dneg);
+      });
+}
+
+Tensor NeighborAttention(
+    const Tensor& users, const Tensor& items,
+    std::shared_ptr<const std::vector<std::vector<int>>> candidates) {
+  NMCDR_CHECK(candidates != nullptr);
+  NMCDR_CHECK_EQ(static_cast<int>(candidates->size()), users.rows());
+  NMCDR_CHECK_EQ(users.cols(), items.cols());
+  const int n = users.rows();
+  const int d = users.cols();
+  const Matrix& u = users.value();
+  const Matrix& v = items.value();
+
+  // Forward: per-user softmax attention over candidate items.
+  auto alpha = std::make_shared<std::vector<std::vector<float>>>(n);
+  Matrix out(n, d);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int>& cand = (*candidates)[i];
+    if (cand.empty()) continue;
+    std::vector<float>& a = (*alpha)[i];
+    a.resize(cand.size());
+    const float* ur = u.row(i);
+    float mx = -1e30f;
+    for (size_t j = 0; j < cand.size(); ++j) {
+      NMCDR_CHECK_GE(cand[j], 0);
+      NMCDR_CHECK_LT(cand[j], v.rows());
+      const float* vr = v.row(cand[j]);
+      double s = 0.0;
+      for (int c = 0; c < d; ++c) s += static_cast<double>(ur[c]) * vr[c];
+      a[j] = static_cast<float>(s);
+      mx = std::max(mx, a[j]);
+    }
+    double total = 0.0;
+    for (float& s : a) {
+      s = std::exp(s - mx);
+      total += s;
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    float* o = out.row(i);
+    for (size_t j = 0; j < cand.size(); ++j) {
+      a[j] *= inv;
+      const float* vr = v.row(cand[j]);
+      for (int c = 0; c < d; ++c) o[c] += a[j] * vr[c];
+    }
+  }
+
+  return MakeOpNode(
+      std::move(out), {users, items},
+      [users, items, candidates, alpha, n, d](Node* self) {
+        const Matrix& u = users.value();
+        const Matrix& v = items.value();
+        Matrix du(u.rows(), d), dv(v.rows(), d);
+        for (int i = 0; i < n; ++i) {
+          const std::vector<int>& cand = (*candidates)[i];
+          if (cand.empty()) continue;
+          const std::vector<float>& a = (*alpha)[i];
+          const float* g = self->grad.row(i);
+          const float* ur = u.row(i);
+          // gv_j = g . v_j for each candidate; gvbar = sum_j a_j gv_j.
+          std::vector<float> gv(cand.size());
+          double gvbar = 0.0;
+          for (size_t j = 0; j < cand.size(); ++j) {
+            const float* vr = v.row(cand[j]);
+            double s = 0.0;
+            for (int c = 0; c < d; ++c) s += static_cast<double>(g[c]) * vr[c];
+            gv[j] = static_cast<float>(s);
+            gvbar += a[j] * s;
+          }
+          float* dur = du.row(i);
+          for (size_t j = 0; j < cand.size(); ++j) {
+            // dL/ds_ij = a_j (gv_j - gvbar)
+            const float ds = a[j] * (gv[j] - static_cast<float>(gvbar));
+            const float* vr = v.row(cand[j]);
+            float* dvr = dv.row(cand[j]);
+            for (int c = 0; c < d; ++c) {
+              dur[c] += ds * vr[c];
+              // dv gets the score-path term plus the direct convex-mix term.
+              dvr[c] += ds * ur[c] + a[j] * g[c];
+            }
+          }
+        }
+        users.raw()->AccumulateGrad(du);
+        items.raw()->AccumulateGrad(dv);
+      });
+}
+
+}  // namespace ag
+}  // namespace nmcdr

@@ -1,0 +1,75 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace ag {
+
+Sgd::Sgd(ParameterStore* store, float lr, float weight_decay)
+    : Optimizer(store, lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (Tensor& p : const_cast<std::vector<Tensor>&>(store_->params())) {
+    Matrix& w = p.mutable_value();
+    const Matrix& g = p.grad();
+    if (g.empty()) continue;
+    for (int i = 0; i < w.size(); ++i) {
+      const float grad = g.data()[i] + weight_decay_ * w.data()[i];
+      w.data()[i] -= lr_ * grad;
+    }
+  }
+  store_->ZeroGrad();
+}
+
+Adam::Adam(ParameterStore* store, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(store, lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(store->params().size());
+  v_.reserve(store->params().size());
+  for (const Tensor& p : store->params()) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  // New parameters must not be registered after optimizer construction.
+  NMCDR_CHECK_EQ(m_.size(), store_->params().size());
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < store_->params().size(); ++pi) {
+    Tensor p = store_->params()[pi];
+    Matrix& w = p.mutable_value();
+    const Matrix& g = p.grad();
+    if (g.empty()) continue;
+    Matrix& m = m_[pi];
+    Matrix& v = v_[pi];
+    for (int i = 0; i < w.size(); ++i) {
+      const float grad = g.data()[i] + weight_decay_ * w.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.f - beta1_) * grad;
+      v.data()[i] = beta2_ * v.data()[i] + (1.f - beta2_) * grad * grad;
+      const float mhat = m.data()[i] / bc1;
+      const float vhat = v.data()[i] / bc2;
+      w.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  store_->ZeroGrad();
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name,
+                                         ParameterStore* store, float lr) {
+  if (name == "sgd") return std::make_unique<Sgd>(store, lr);
+  if (name == "adam") return std::make_unique<Adam>(store, lr);
+  NMCDR_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace ag
+}  // namespace nmcdr

@@ -1,0 +1,65 @@
+#ifndef NMCDR_AUTOGRAD_OPTIMIZER_H_
+#define NMCDR_AUTOGRAD_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/nn.h"
+
+namespace nmcdr {
+namespace ag {
+
+/// First-order optimizer interface. Step() consumes the gradients currently
+/// accumulated in the store's parameters and zeroes them afterwards.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients, then zeroes them.
+  virtual void Step() = 0;
+
+  /// Current learning rate.
+  float learning_rate() const { return lr_; }
+  /// Adjusts the learning rate (for decay schedules).
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ protected:
+  Optimizer(ParameterStore* store, float lr) : store_(store), lr_(lr) {}
+
+  ParameterStore* store_;
+  float lr_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(ParameterStore* store, float lr, float weight_decay = 0.f);
+  void Step() override;
+
+ private:
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) — the optimizer used for all paper experiments
+/// ("The Adam optimizer is used to update all parameters", §III.A.4).
+class Adam : public Optimizer {
+ public:
+  Adam(ParameterStore* store, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// Factory by name ("sgd" | "adam"); checks the name is known.
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name,
+                                         ParameterStore* store, float lr);
+
+}  // namespace ag
+}  // namespace nmcdr
+
+#endif  // NMCDR_AUTOGRAD_OPTIMIZER_H_

@@ -1,0 +1,112 @@
+#include "autograd/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace nmcdr {
+namespace ag {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'M', 'C', 'D', 'R', 'C', 'K', '1'};
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveCheckpoint(const ParameterStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    LOG_ERROR << "SaveCheckpoint: cannot open " << path;
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, static_cast<uint32_t>(store.params().size()));
+  for (size_t i = 0; i < store.params().size(); ++i) {
+    const std::string& name = store.names()[i];
+    const Matrix& value = store.params()[i].value();
+    WriteU32(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteU32(out, static_cast<uint32_t>(value.rows()));
+    WriteU32(out, static_cast<uint32_t>(value.cols()));
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(sizeof(float) * value.size()));
+  }
+  if (!out.good()) {
+    LOG_ERROR << "SaveCheckpoint: write failure for " << path;
+    return false;
+  }
+  return true;
+}
+
+bool LoadCheckpoint(const std::string& path, ParameterStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LOG_ERROR << "LoadCheckpoint: cannot open " << path;
+    return false;
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    LOG_ERROR << "LoadCheckpoint: bad magic in " << path;
+    return false;
+  }
+  uint32_t count = 0;
+  if (!ReadU32(in, &count) ||
+      count != static_cast<uint32_t>(store->params().size())) {
+    LOG_ERROR << "LoadCheckpoint: parameter count mismatch in " << path;
+    return false;
+  }
+  // Stage into a snapshot first so a truncated file cannot leave the store
+  // half-updated.
+  std::vector<Matrix> staged;
+  staged.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(in, &name_len) || name_len > 4096) {
+      LOG_ERROR << "LoadCheckpoint: bad name length in " << path;
+      return false;
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rows = 0, cols = 0;
+    if (!in.good() || !ReadU32(in, &rows) || !ReadU32(in, &cols)) {
+      LOG_ERROR << "LoadCheckpoint: truncated header in " << path;
+      return false;
+    }
+    if (name != store->names()[i]) {
+      LOG_ERROR << "LoadCheckpoint: parameter name mismatch at index " << i
+                << ": file has '" << name << "', store has '"
+                << store->names()[i] << "'";
+      return false;
+    }
+    const Matrix& current = store->params()[i].value();
+    if (static_cast<int>(rows) != current.rows() ||
+        static_cast<int>(cols) != current.cols()) {
+      LOG_ERROR << "LoadCheckpoint: shape mismatch for '" << name << "'";
+      return false;
+    }
+    Matrix value(static_cast<int>(rows), static_cast<int>(cols));
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(sizeof(float) * value.size()));
+    if (!in.good()) {
+      LOG_ERROR << "LoadCheckpoint: truncated data in " << path;
+      return false;
+    }
+    staged.push_back(std::move(value));
+  }
+  store->RestoreValues(staged);
+  return true;
+}
+
+}  // namespace ag
+}  // namespace nmcdr

@@ -1,0 +1,29 @@
+#ifndef NMCDR_AUTOGRAD_SERIALIZATION_H_
+#define NMCDR_AUTOGRAD_SERIALIZATION_H_
+
+#include <string>
+
+#include "autograd/nn.h"
+
+namespace nmcdr {
+namespace ag {
+
+/// Binary checkpoint format for a ParameterStore: a magic header followed
+/// by (name, rows, cols, float data) records for every parameter in
+/// registration order. Checkpoints are loadable only into a store with the
+/// same parameter names and shapes (checked, with a readable error), which
+/// catches config drift between save and load.
+
+/// Writes every parameter value to `path`. Returns false (and logs) on
+/// I/O failure.
+bool SaveCheckpoint(const ParameterStore& store, const std::string& path);
+
+/// Loads parameter values from `path` into `store`. Returns false (and
+/// logs the mismatch) if the file is unreadable, truncated, or its
+/// parameter names/shapes do not match the store.
+bool LoadCheckpoint(const std::string& path, ParameterStore* store);
+
+}  // namespace ag
+}  // namespace nmcdr
+
+#endif  // NMCDR_AUTOGRAD_SERIALIZATION_H_

@@ -1,0 +1,123 @@
+#include "autograd/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tensor/matrix_ops.h"
+#include "util/check.h"
+
+namespace nmcdr {
+namespace ag {
+namespace {
+
+bool& GradEnabledFlag() {
+  thread_local bool enabled = true;
+  return enabled;
+}
+
+}  // namespace
+
+void Node::AccumulateGrad(const Matrix& g) {
+  if (!requires_grad) return;
+  NMCDR_CHECK_EQ(g.rows(), value.rows());
+  NMCDR_CHECK_EQ(g.cols(), value.cols());
+  if (grad.empty()) grad = Matrix(value.rows(), value.cols());
+  AxpyInto(g, 1.f, &grad);
+}
+
+Tensor::Tensor(Matrix value, bool requires_grad) : node_(new Node) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Matrix& Tensor::value() const {
+  NMCDR_CHECK(defined());
+  return node_->value;
+}
+
+Matrix& Tensor::mutable_value() {
+  NMCDR_CHECK(defined());
+  return node_->value;
+}
+
+const Matrix& Tensor::grad() const {
+  NMCDR_CHECK(defined());
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const {
+  NMCDR_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Tensor::ZeroGrad() {
+  NMCDR_CHECK(defined());
+  if (!node_->grad.empty()) node_->grad.SetZero();
+}
+
+Tensor Tensor::Detach() const {
+  NMCDR_CHECK(defined());
+  return Tensor(node_->value, /*requires_grad=*/false);
+}
+
+bool GradEnabled() { return GradEnabledFlag(); }
+
+NoGradGuard::NoGradGuard() : previous_(GradEnabledFlag()) {
+  GradEnabledFlag() = false;
+}
+
+NoGradGuard::~NoGradGuard() { GradEnabledFlag() = previous_; }
+
+Tensor MakeOpNode(Matrix value, std::vector<Tensor> parents,
+                  std::function<void(Node*)> backward) {
+  const bool record =
+      GradEnabled() &&
+      std::any_of(parents.begin(), parents.end(),
+                  [](const Tensor& t) { return t.requires_grad(); });
+  Tensor out{Matrix(std::move(value)), /*requires_grad=*/record};
+  if (record) {
+    out.node()->parents.reserve(parents.size());
+    for (const Tensor& p : parents) out.node()->parents.push_back(p.node());
+    out.node()->backward = std::move(backward);
+  }
+  return out;
+}
+
+void Backward(const Tensor& loss) {
+  NMCDR_CHECK(loss.defined());
+  NMCDR_CHECK_EQ(loss.rows(), 1);
+  NMCDR_CHECK_EQ(loss.cols(), 1);
+  NMCDR_CHECK(loss.requires_grad());
+
+  // Iterative post-order DFS producing a reverse-topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({loss.raw(), 0});
+  visited.insert(loss.raw());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* parent = f.node->parents[f.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  loss.raw()->AccumulateGrad(Matrix(1, 1, 1.f));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward && !n->grad.empty()) n->backward(n);
+  }
+}
+
+}  // namespace ag
+}  // namespace nmcdr

@@ -1,0 +1,56 @@
+#include "baselines/common.h"
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+SharedUserIndex BuildSharedUserIndex(const CdrScenario& scenario) {
+  SharedUserIndex index;
+  index.z_to_union.resize(scenario.z.num_users);
+  index.zbar_to_union.assign(scenario.zbar.num_users, -1);
+  int next = 0;
+  for (int u = 0; u < scenario.z.num_users; ++u) {
+    index.z_to_union[u] = next;
+    const int linked = scenario.z_to_zbar[u];
+    if (linked >= 0) index.zbar_to_union[linked] = next;
+    ++next;
+  }
+  for (int u = 0; u < scenario.zbar.num_users; ++u) {
+    if (index.zbar_to_union[u] < 0) index.zbar_to_union[u] = next++;
+  }
+  index.num_union = next;
+  return index;
+}
+
+std::shared_ptr<const std::vector<std::vector<int>>> BuildUserHistories(
+    const InteractionGraph& train_graph) {
+  auto histories = std::make_shared<std::vector<std::vector<int>>>(
+      train_graph.num_users());
+  for (int u = 0; u < train_graph.num_users(); ++u) {
+    (*histories)[u] = train_graph.UserNeighbors(u);
+  }
+  return histories;
+}
+
+bool SplitPairwise(const LabeledBatch& batch, std::vector<int>* pos_users,
+                   std::vector<int>* pos_items, std::vector<int>* neg_items) {
+  pos_users->clear();
+  pos_items->clear();
+  neg_items->clear();
+  int current_user = -1, current_item = -1;
+  bool have_pos = false;
+  for (int i = 0; i < batch.size(); ++i) {
+    if (batch.labels[i] > 0.5f) {
+      current_user = batch.users[i];
+      current_item = batch.items[i];
+      have_pos = true;
+    } else if (have_pos && batch.users[i] == current_user) {
+      pos_users->push_back(current_user);
+      pos_items->push_back(current_item);
+      neg_items->push_back(batch.items[i]);
+    }
+  }
+  return !pos_users->empty();
+}
+
+}  // namespace nmcdr

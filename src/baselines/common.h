@@ -1,0 +1,75 @@
+#ifndef NMCDR_BASELINES_COMMON_H_
+#define NMCDR_BASELINES_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/optimizer.h"
+#include "core/rec_model.h"
+
+namespace nmcdr {
+
+/// Maps both domains' users onto a shared "person" id space using the
+/// visible overlap links: linked pairs share one union id. Baselines that
+/// assume shared users across domains (MMoE, PLE, HeroGraph, ...) operate
+/// on this index — exactly why their transfer degrades as K_u shrinks.
+struct SharedUserIndex {
+  int num_union = 0;
+  std::vector<int> z_to_union;
+  std::vector<int> zbar_to_union;
+};
+
+SharedUserIndex BuildSharedUserIndex(const CdrScenario& scenario);
+
+/// Per-user TRAIN interaction histories (item id lists), used by the
+/// history-attention baselines (MiNet, PTUPCDR).
+std::shared_ptr<const std::vector<std::vector<int>>> BuildUserHistories(
+    const InteractionGraph& train_graph);
+
+/// Common scaffolding for all baselines: parameter store, seeded rng, an
+/// Adam optimizer created by FinishInit() after the derived constructor
+/// has registered every parameter, and the backward/clip/step helper.
+class BaselineBase : public RecModel {
+ public:
+  ag::ParameterStore* params() override { return &store_; }
+
+ protected:
+  BaselineBase(const ScenarioView& view, uint64_t seed)
+      : view_(view), rng_(seed) {}
+
+  /// Must be called at the end of every derived constructor.
+  /// `weight_decay` applies L2 regularization inside Adam — essential on
+  /// the sparse per-user data of the scaled scenarios.
+  void FinishInit(float learning_rate, float weight_decay = 1e-4f) {
+    if (const char* wd = std::getenv("NMCDR_WD")) weight_decay = std::atof(wd);
+    optimizer_ = std::make_unique<ag::Adam>(&store_, learning_rate,
+                                            /*beta1=*/0.9f, /*beta2=*/0.999f,
+                                            /*eps=*/1e-8f, weight_decay);
+  }
+
+  /// Backward + gradient clip + optimizer step; returns the loss value.
+  float ApplyStep(const ag::Tensor& loss) {
+    const float value = loss.value().At(0, 0);
+    ag::Backward(loss);
+    store_.ClipGradNorm(5.f);
+    optimizer_->Step();
+    return value;
+  }
+
+  ScenarioView view_;
+  ag::ParameterStore store_;
+  Rng rng_;
+  std::unique_ptr<ag::Adam> optimizer_;
+};
+
+/// Splits a trainer batch (positives each followed by their sampled
+/// negatives) into aligned positive/negative index lists for pairwise
+/// (BPR-style) losses. Returns false if the batch has no (pos, neg) pair.
+bool SplitPairwise(const LabeledBatch& batch, std::vector<int>* pos_users,
+                   std::vector<int>* pos_items, std::vector<int>* neg_items);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_BASELINES_COMMON_H_

@@ -1,0 +1,311 @@
+#include "baselines/cross_domain.h"
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+ag::Tensor CombineLosses(const ag::Tensor& a, const ag::Tensor& b) {
+  if (a.defined() && b.defined()) return ag::Add(a, b);
+  return a.defined() ? a : b;
+}
+
+std::vector<float> ReadLogits(const ag::Tensor& logits) {
+  std::vector<float> out(logits.rows());
+  for (int i = 0; i < logits.rows(); ++i) out[i] = logits.value().At(i, 0);
+  return out;
+}
+
+/// Gathers the other-domain embedding of each batch user via the overlap
+/// link, zeroing unlinked rows.
+ag::Tensor LinkedCounterparts(const ag::Tensor& other_table,
+                              const std::vector<int>& users,
+                              const std::vector<int>& link) {
+  std::vector<int> idx(users.size(), 0);
+  Matrix mask(static_cast<int>(users.size()), 1);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const int m = link[users[i]];
+    if (m >= 0) {
+      idx[i] = m;
+      mask.At(static_cast<int>(i), 0) = 1.f;
+    }
+  }
+  return ag::ScaleRows(ag::Embedding(other_table, idx),
+                       ag::Tensor(std::move(mask)));
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- ConetModel
+
+ConetModel::ConetModel(const ScenarioView& view, const CommonHyper& hyper,
+                       float lr)
+    : BaselineBase(view, hyper.seed) {
+  const int d = hyper.embed_dim;
+  const int h = hyper.mlp_hidden.empty() ? 2 * d : hyper.mlp_hidden[0];
+  auto init_domain = [&](Domain* dom, const DomainData& data,
+                         const std::string& prefix) {
+    dom->user_emb = store_.Register(
+        prefix + ".user", Matrix::Gaussian(data.num_users, d, &rng_, 0.f, 0.1f));
+    dom->item_emb = store_.Register(
+        prefix + ".item", Matrix::Gaussian(data.num_items, d, &rng_, 0.f, 0.1f));
+    dom->l1 = std::make_unique<ag::Linear>(&store_, prefix + ".l1", 2 * d, h,
+                                           &rng_);
+    dom->l2 =
+        std::make_unique<ag::Linear>(&store_, prefix + ".l2", h, h, &rng_);
+    dom->out =
+        std::make_unique<ag::Linear>(&store_, prefix + ".out", h, 1, &rng_);
+    dom->cross1 = std::make_unique<ag::Linear>(&store_, prefix + ".h1", d, h,
+                                               &rng_);
+    dom->cross2 = std::make_unique<ag::Linear>(&store_, prefix + ".h2", d, h,
+                                               &rng_);
+  };
+  init_domain(&z_, view.scenario->z, "z");
+  init_domain(&zbar_, view.scenario->zbar, "zbar");
+  FinishInit(lr);
+}
+
+ag::Tensor ConetModel::Logits(DomainSide side, const std::vector<int>& users,
+                              const std::vector<int>& items) const {
+  const bool is_z = side == DomainSide::kZ;
+  const Domain& dom = is_z ? z_ : zbar_;
+  const Domain& other = is_z ? zbar_ : z_;
+  const std::vector<int>& link = is_z ? view_.scenario->z_to_zbar
+                                      : view_.scenario->zbar_to_z;
+  const ag::Tensor u = ag::Embedding(dom.user_emb, users);
+  const ag::Tensor v = ag::Embedding(dom.item_emb, items);
+  const ag::Tensor cross_u = LinkedCounterparts(other.user_emb, users, link);
+  // Cross connections: each hidden layer receives the other domain's user
+  // signal through the shared transfer matrices H1/H2.
+  const ag::Tensor h1 = ag::Relu(ag::Add(dom.l1->Forward(ag::ConcatCols(u, v)),
+                                         dom.cross1->Forward(cross_u)));
+  const ag::Tensor h2 = ag::Relu(
+      ag::Add(dom.l2->Forward(h1), dom.cross2->Forward(cross_u)));
+  return dom.out->Forward(h2);
+}
+
+float ConetModel::TrainStep(const LabeledBatch& batch_z,
+                            const LabeledBatch& batch_zbar) {
+  ag::Tensor lz, lzbar;
+  if (!batch_z.empty()) {
+    lz = ag::BceWithLogits(
+        Logits(DomainSide::kZ, batch_z.users, batch_z.items), batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    lzbar = ag::BceWithLogits(
+        Logits(DomainSide::kZbar, batch_zbar.users, batch_zbar.items),
+        batch_zbar.labels);
+  }
+  const ag::Tensor total = CombineLosses(lz, lzbar);
+  if (!total.defined()) return 0.f;
+  return ApplyStep(total);
+}
+
+std::vector<float> ConetModel::Score(DomainSide side,
+                                     const std::vector<int>& users,
+                                     const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  return ReadLogits(Logits(side, users, items));
+}
+
+// --------------------------------------------------------------- MinetModel
+
+MinetModel::MinetModel(const ScenarioView& view, const CommonHyper& hyper,
+                       float lr)
+    : BaselineBase(view, hyper.seed) {
+  const int d = hyper.embed_dim;
+  auto init_domain = [&](Domain* dom, const DomainData& data,
+                         const std::string& prefix) {
+    dom->user_emb = store_.Register(
+        prefix + ".user", Matrix::Gaussian(data.num_users, d, &rng_, 0.f, 0.1f));
+    dom->item_emb = store_.Register(
+        prefix + ".item", Matrix::Gaussian(data.num_items, d, &rng_, 0.f, 0.1f));
+    dom->transfer = std::make_unique<ag::Linear>(&store_, prefix + ".transfer",
+                                                 d, d, &rng_);
+    std::vector<int> dims = {4 * d};
+    for (int hdim : hyper.mlp_hidden) dims.push_back(hdim);
+    dims.push_back(1);
+    dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp", dims, &rng_);
+  };
+  init_domain(&z_, view.scenario->z, "z");
+  init_domain(&zbar_, view.scenario->zbar, "zbar");
+  history_z_ = BuildUserHistories(*view.train_graph_z);
+  history_zbar_ = BuildUserHistories(*view.train_graph_zbar);
+  FinishInit(lr);
+}
+
+ag::Tensor MinetModel::Logits(DomainSide side, const std::vector<int>& users,
+                              const std::vector<int>& items) const {
+  const bool is_z = side == DomainSide::kZ;
+  const Domain& dom = is_z ? z_ : zbar_;
+  const Domain& other = is_z ? zbar_ : z_;
+  const auto& own_history = is_z ? history_z_ : history_zbar_;
+  const auto& other_history = is_z ? history_zbar_ : history_z_;
+  const std::vector<int>& link = is_z ? view_.scenario->z_to_zbar
+                                      : view_.scenario->zbar_to_z;
+
+  const ag::Tensor u = ag::Embedding(dom.user_emb, users);
+  const ag::Tensor v = ag::Embedding(dom.item_emb, items);
+
+  // Target-domain interest: candidate-keyed attention over own history.
+  auto own_lists = std::make_shared<std::vector<std::vector<int>>>();
+  auto cross_lists = std::make_shared<std::vector<std::vector<int>>>();
+  own_lists->reserve(users.size());
+  cross_lists->reserve(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    own_lists->push_back((*own_history)[users[i]]);
+    const int m = link[users[i]];
+    cross_lists->push_back(m >= 0 ? (*other_history)[m]
+                                  : std::vector<int>());
+  }
+  const ag::Tensor target_interest =
+      ag::NeighborAttention(v, dom.item_emb, own_lists);
+  // Cross-domain interest: candidate transferred into the other domain's
+  // item space, then attention over the linked user's history there.
+  const ag::Tensor cross_interest = ag::NeighborAttention(
+      dom.transfer->Forward(v), other.item_emb, cross_lists);
+
+  return dom.mlp->Forward(ag::ConcatCols(
+      ag::ConcatCols(u, v), ag::ConcatCols(target_interest, cross_interest)));
+}
+
+float MinetModel::TrainStep(const LabeledBatch& batch_z,
+                            const LabeledBatch& batch_zbar) {
+  ag::Tensor lz, lzbar;
+  if (!batch_z.empty()) {
+    lz = ag::BceWithLogits(
+        Logits(DomainSide::kZ, batch_z.users, batch_z.items), batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    lzbar = ag::BceWithLogits(
+        Logits(DomainSide::kZbar, batch_zbar.users, batch_zbar.items),
+        batch_zbar.labels);
+  }
+  const ag::Tensor total = CombineLosses(lz, lzbar);
+  if (!total.defined()) return 0.f;
+  return ApplyStep(total);
+}
+
+std::vector<float> MinetModel::Score(DomainSide side,
+                                     const std::vector<int>& users,
+                                     const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  return ReadLogits(Logits(side, users, items));
+}
+
+// ------------------------------------------------------------ GaDtcdrModel
+
+GaDtcdrModel::GaDtcdrModel(const ScenarioView& view, const CommonHyper& hyper,
+                           float lr)
+    : BaselineBase(view, hyper.seed) {
+  const int d = hyper.embed_dim;
+  auto init_domain = [&](Domain* dom, const DomainData& data,
+                         const InteractionGraph& graph,
+                         const std::string& prefix) {
+    dom->user_emb = store_.Register(
+        prefix + ".user", Matrix::Gaussian(data.num_users, d, &rng_, 0.f, 0.1f));
+    dom->item_emb = store_.Register(
+        prefix + ".item", Matrix::Gaussian(data.num_items, d, &rng_, 0.f, 0.1f));
+    dom->encoder = std::make_unique<HeteroGraphEncoder>(&store_, prefix, d,
+                                                        /*num_layers=*/2, &rng_);
+    dom->adj_ui = graph.NormalizedUserItemAdj();
+    dom->adj_iu = graph.NormalizedItemUserAdj();
+    dom->map_other = std::make_unique<ag::Linear>(&store_, prefix + ".map", d,
+                                                  d, &rng_);
+    dom->gate = std::make_unique<ag::Linear>(&store_, prefix + ".gate", 2 * d,
+                                             d, &rng_);
+    std::vector<int> dims = {2 * d};
+    for (int hdim : hyper.mlp_hidden) dims.push_back(hdim);
+    dims.push_back(1);
+    dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp", dims, &rng_);
+  };
+  init_domain(&z_, view.scenario->z, *view.train_graph_z, "z");
+  init_domain(&zbar_, view.scenario->zbar, *view.train_graph_zbar, "zbar");
+  z_.self_index = &view.scenario->z_to_zbar;
+  zbar_.self_index = &view.scenario->zbar_to_z;
+  FinishInit(lr);
+}
+
+ag::Tensor GaDtcdrModel::FusedUsers(Domain& dom, const ag::Tensor& own_reps,
+                                    const ag::Tensor& other_reps) const {
+  const int n = own_reps.rows();
+  std::vector<int> idx(n, 0);
+  Matrix mask(n, 1), inv_mask(n, 1, 1.f);
+  for (int u = 0; u < n; ++u) {
+    const int m = (*dom.self_index)[u];
+    if (m >= 0) {
+      idx[u] = m;
+      mask.At(u, 0) = 1.f;
+      inv_mask.At(u, 0) = 0.f;
+    }
+  }
+  const ag::Tensor mapped =
+      dom.map_other->Forward(ag::Embedding(other_reps, idx));
+  // Element-wise attention between the two domain embeddings (the paper's
+  // pairwise attention-based sharing), applied only to overlapped users.
+  const ag::Tensor gate =
+      ag::Sigmoid(dom.gate->Forward(ag::ConcatCols(own_reps, mapped)));
+  const ag::Tensor fused = ag::Add(ag::Hadamard(gate, own_reps),
+                                   ag::Hadamard(ag::OneMinus(gate), mapped));
+  return ag::Add(ag::ScaleRows(fused, ag::Tensor(std::move(mask))),
+                 ag::ScaleRows(own_reps, ag::Tensor(std::move(inv_mask))));
+}
+
+void GaDtcdrModel::ForwardBoth(ag::Tensor* fused_z, ag::Tensor* fused_zbar) {
+  const ag::Tensor reps_z =
+      z_.encoder->Forward(z_.user_emb, z_.item_emb, z_.adj_ui, z_.adj_iu);
+  const ag::Tensor reps_zbar =
+      zbar_.encoder->Forward(zbar_.user_emb, zbar_.item_emb, zbar_.adj_ui, zbar_.adj_iu);
+  *fused_z = FusedUsers(z_, reps_z, reps_zbar);
+  *fused_zbar = FusedUsers(zbar_, reps_zbar, reps_z);
+}
+
+float GaDtcdrModel::TrainStep(const LabeledBatch& batch_z,
+                              const LabeledBatch& batch_zbar) {
+  if (batch_z.empty() && batch_zbar.empty()) return 0.f;
+  ag::Tensor fused_z, fused_zbar;
+  ForwardBoth(&fused_z, &fused_zbar);
+  ag::Tensor lz, lzbar;
+  // NeuMF-style head per the original GA-DTCDR: inner product + MLP.
+  auto logits_for = [](const Domain& dom, const ag::Tensor& fused,
+                       const LabeledBatch& batch) {
+    const ag::Tensor u = ag::Embedding(fused, batch.users);
+    const ag::Tensor v = ag::Embedding(dom.item_emb, batch.items);
+    return ag::Add(ag::RowDot(u, v), dom.mlp->Forward(ag::ConcatCols(u, v)));
+  };
+  if (!batch_z.empty()) {
+    lz = ag::BceWithLogits(logits_for(z_, fused_z, batch_z), batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    lzbar = ag::BceWithLogits(logits_for(zbar_, fused_zbar, batch_zbar),
+                              batch_zbar.labels);
+  }
+  const ag::Tensor total = CombineLosses(lz, lzbar);
+  reps_dirty_ = true;
+  return ApplyStep(total);
+}
+
+void GaDtcdrModel::RefreshEvalReps() {
+  if (!reps_dirty_) return;
+  ag::NoGradGuard no_grad;
+  ag::Tensor fused_z, fused_zbar;
+  ForwardBoth(&fused_z, &fused_zbar);
+  cached_z_ = fused_z.value();
+  cached_zbar_ = fused_zbar.value();
+  reps_dirty_ = false;
+}
+
+std::vector<float> GaDtcdrModel::Score(DomainSide side,
+                                       const std::vector<int>& users,
+                                       const std::vector<int>& items) {
+  RefreshEvalReps();
+  ag::NoGradGuard no_grad;
+  Domain& dom = side == DomainSide::kZ ? z_ : zbar_;
+  const Matrix& reps = side == DomainSide::kZ ? cached_z_ : cached_zbar_;
+  const ag::Tensor u{GatherRows(reps, users)};
+  const ag::Tensor v{GatherRows(dom.item_emb.value(), items)};
+  return ReadLogits(
+      ag::Add(ag::RowDot(u, v), dom.mlp->Forward(ag::ConcatCols(u, v))));
+}
+
+}  // namespace nmcdr

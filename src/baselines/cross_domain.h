@@ -1,0 +1,102 @@
+#ifndef NMCDR_BASELINES_CROSS_DOMAIN_H_
+#define NMCDR_BASELINES_CROSS_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/hetero_encoder.h"
+
+namespace nmcdr {
+
+/// CoNet [4]: per-domain MLP towers with cross connections that inject the
+/// linked user's other-domain embedding into each hidden layer (zero for
+/// non-overlapped users). Port note: the original pairs fully-overlapped
+/// examples tower-to-tower; with partial overlap we cross-connect through
+/// the user representation, which preserves the dual-transfer mechanism
+/// and its dependence on overlap.
+class ConetModel : public BaselineBase {
+ public:
+  ConetModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "CoNet"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  struct Domain {
+    ag::Tensor user_emb, item_emb;
+    std::unique_ptr<ag::Linear> l1, l2, out;
+    std::unique_ptr<ag::Linear> cross1, cross2;  // H matrices
+  };
+  ag::Tensor Logits(DomainSide side, const std::vector<int>& users,
+                    const std::vector<int>& items) const;
+  Domain z_, zbar_;
+};
+
+/// MiNet [6]: three interest levels per prediction — the user embedding,
+/// an attention-pooled target-domain history interest, and an attention-
+/// pooled cross-domain history interest from the linked user (zero when
+/// unlinked), with item-level attention keyed by the candidate item.
+class MinetModel : public BaselineBase {
+ public:
+  MinetModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "MiNet"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  struct Domain {
+    ag::Tensor user_emb, item_emb;
+    std::unique_ptr<ag::Linear> transfer;  // candidate item -> other space
+    std::unique_ptr<ag::Mlp> mlp;          // [u||v||target||cross] -> 1
+  };
+  ag::Tensor Logits(DomainSide side, const std::vector<int>& users,
+                    const std::vector<int>& items) const;
+  Domain z_, zbar_;
+  std::shared_ptr<const std::vector<std::vector<int>>> history_z_;
+  std::shared_ptr<const std::vector<std::vector<int>>> history_zbar_;
+};
+
+/// GA-DTCDR [5]: per-domain graph (GNN) user representations with an
+/// element-wise attention (gate) that fuses the two domains' embeddings of
+/// each overlapped user; non-overlapped users keep their local embedding.
+class GaDtcdrModel : public BaselineBase {
+ public:
+  GaDtcdrModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "GA-DTCDR"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+  void InvalidateCaches() override { reps_dirty_ = true; }
+
+ private:
+  struct Domain {
+    ag::Tensor user_emb, item_emb;
+    std::unique_ptr<HeteroGraphEncoder> encoder;
+    std::shared_ptr<const CsrMatrix> adj_ui;
+    std::shared_ptr<const CsrMatrix> adj_iu;
+    std::unique_ptr<ag::Linear> map_other;  // other-domain emb -> this space
+    std::unique_ptr<ag::Linear> gate;       // [u || mapped] -> D
+    std::unique_ptr<ag::Mlp> mlp;
+    const std::vector<int>* self_index = nullptr;
+  };
+  /// Full-graph fused user representations of one domain.
+  ag::Tensor FusedUsers(Domain& dom, const ag::Tensor& own_reps,
+                        const ag::Tensor& other_reps) const;
+  void ForwardBoth(ag::Tensor* fused_z, ag::Tensor* fused_zbar);
+  void RefreshEvalReps();
+
+  Domain z_, zbar_;
+  bool reps_dirty_ = true;
+  Matrix cached_z_, cached_zbar_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_BASELINES_CROSS_DOMAIN_H_

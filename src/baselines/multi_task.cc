@@ -1,0 +1,209 @@
+#include "baselines/multi_task.h"
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+std::vector<int> TowerDims(int in, const std::vector<int>& hidden) {
+  std::vector<int> dims = {in};
+  for (int h : hidden) dims.push_back(h);
+  dims.push_back(1);
+  return dims;
+}
+
+std::vector<int> MapToUnion(const std::vector<int>& users,
+                            const std::vector<int>& to_union) {
+  std::vector<int> out(users.size());
+  for (size_t i = 0; i < users.size(); ++i) out[i] = to_union[users[i]];
+  return out;
+}
+
+/// Softmax-gated mixture of `experts` applied to `x`, with gate `gate`.
+ag::Tensor ExpertMixture(
+    const ag::Tensor& x, const ag::Linear& gate,
+    const std::vector<const ag::Linear*>& experts) {
+  const ag::Tensor weights = ag::SoftmaxRows(gate.Forward(x));
+  ag::Tensor mixed;
+  for (size_t k = 0; k < experts.size(); ++k) {
+    const ag::Tensor out = ag::Relu(experts[k]->Forward(x));
+    const ag::Tensor scaled =
+        ag::ScaleRows(out, ag::SliceCols(weights, static_cast<int>(k), 1));
+    mixed = mixed.defined() ? ag::Add(mixed, scaled) : scaled;
+  }
+  return mixed;
+}
+
+ag::Tensor CombineLosses(const ag::Tensor& a, const ag::Tensor& b) {
+  if (a.defined() && b.defined()) return ag::Add(a, b);
+  return a.defined() ? a : b;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- MmoeModel
+
+MmoeModel::MmoeModel(const ScenarioView& view, const CommonHyper& hyper,
+                     float lr)
+    : BaselineBase(view, hyper.seed),
+      shared_(BuildSharedUserIndex(*view.scenario)) {
+  const int d = hyper.embed_dim;
+  user_emb = store_.Register(
+      "user", Matrix::Gaussian(shared_.num_union, d, &rng_, 0.f, 0.1f));
+  item_emb_z = store_.Register(
+      "item_z",
+      Matrix::Gaussian(view.scenario->z.num_items, d, &rng_, 0.f, 0.1f));
+  item_emb_zbar = store_.Register(
+      "item_zbar",
+      Matrix::Gaussian(view.scenario->zbar.num_items, d, &rng_, 0.f, 0.1f));
+  for (int k = 0; k < kNumExperts; ++k) {
+    experts_.push_back(std::make_unique<ag::Linear>(
+        &store_, "expert" + std::to_string(k), 2 * d, d, &rng_));
+  }
+  gate_z_ =
+      std::make_unique<ag::Linear>(&store_, "gate_z", 2 * d, kNumExperts,
+                                   &rng_);
+  gate_zbar_ = std::make_unique<ag::Linear>(&store_, "gate_zbar", 2 * d,
+                                            kNumExperts, &rng_);
+  tower_z_ = std::make_unique<ag::Mlp>(&store_, "tower_z",
+                                       TowerDims(d, hyper.mlp_hidden), &rng_);
+  tower_zbar_ = std::make_unique<ag::Mlp>(
+      &store_, "tower_zbar", TowerDims(d, hyper.mlp_hidden), &rng_);
+  FinishInit(lr);
+}
+
+ag::Tensor MmoeModel::Logits(DomainSide side, const std::vector<int>& users,
+                             const std::vector<int>& items) const {
+  const bool is_z = side == DomainSide::kZ;
+  const std::vector<int> union_ids = MapToUnion(
+      users, is_z ? shared_.z_to_union : shared_.zbar_to_union);
+  const ag::Tensor u = ag::Embedding(user_emb, union_ids);
+  const ag::Tensor v =
+      ag::Embedding(is_z ? item_emb_z : item_emb_zbar, items);
+  const ag::Tensor x = ag::ConcatCols(u, v);
+  std::vector<const ag::Linear*> experts;
+  for (const auto& e : experts_) experts.push_back(e.get());
+  const ag::Tensor mixed =
+      ExpertMixture(x, is_z ? *gate_z_ : *gate_zbar_, experts);
+  return (is_z ? tower_z_ : tower_zbar_)->Forward(mixed);
+}
+
+float MmoeModel::TrainStep(const LabeledBatch& batch_z,
+                           const LabeledBatch& batch_zbar) {
+  ag::Tensor lz, lzbar;
+  if (!batch_z.empty()) {
+    lz = ag::BceWithLogits(Logits(DomainSide::kZ, batch_z.users,
+                                  batch_z.items),
+                           batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    lzbar = ag::BceWithLogits(Logits(DomainSide::kZbar, batch_zbar.users,
+                                     batch_zbar.items),
+                              batch_zbar.labels);
+  }
+  const ag::Tensor total = CombineLosses(lz, lzbar);
+  if (!total.defined()) return 0.f;
+  return ApplyStep(total);
+}
+
+std::vector<float> MmoeModel::Score(DomainSide side,
+                                    const std::vector<int>& users,
+                                    const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  const ag::Tensor logits = Logits(side, users, items);
+  std::vector<float> out(users.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.value().At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- PleModel
+
+PleModel::PleModel(const ScenarioView& view, const CommonHyper& hyper,
+                   float lr)
+    : BaselineBase(view, hyper.seed),
+      shared_(BuildSharedUserIndex(*view.scenario)) {
+  const int d = hyper.embed_dim;
+  user_emb = store_.Register(
+      "user", Matrix::Gaussian(shared_.num_union, d, &rng_, 0.f, 0.1f));
+  item_emb_z = store_.Register(
+      "item_z",
+      Matrix::Gaussian(view.scenario->z.num_items, d, &rng_, 0.f, 0.1f));
+  item_emb_zbar = store_.Register(
+      "item_zbar",
+      Matrix::Gaussian(view.scenario->zbar.num_items, d, &rng_, 0.f, 0.1f));
+  for (int k = 0; k < kSharedExperts; ++k) {
+    shared_experts_.push_back(std::make_unique<ag::Linear>(
+        &store_, "shared_expert" + std::to_string(k), 2 * d, d, &rng_));
+  }
+  for (int k = 0; k < kTaskExperts; ++k) {
+    experts_z_.push_back(std::make_unique<ag::Linear>(
+        &store_, "expert_z" + std::to_string(k), 2 * d, d, &rng_));
+    experts_zbar_.push_back(std::make_unique<ag::Linear>(
+        &store_, "expert_zbar" + std::to_string(k), 2 * d, d, &rng_));
+  }
+  const int gate_width = kSharedExperts + kTaskExperts;
+  gate_z_ = std::make_unique<ag::Linear>(&store_, "gate_z", 2 * d, gate_width,
+                                         &rng_);
+  gate_zbar_ = std::make_unique<ag::Linear>(&store_, "gate_zbar", 2 * d,
+                                            gate_width, &rng_);
+  tower_z_ = std::make_unique<ag::Mlp>(&store_, "tower_z",
+                                       TowerDims(d, hyper.mlp_hidden), &rng_);
+  tower_zbar_ = std::make_unique<ag::Mlp>(
+      &store_, "tower_zbar", TowerDims(d, hyper.mlp_hidden), &rng_);
+  FinishInit(lr);
+}
+
+ag::Tensor PleModel::Logits(DomainSide side, const std::vector<int>& users,
+                            const std::vector<int>& items) const {
+  const bool is_z = side == DomainSide::kZ;
+  const std::vector<int> union_ids = MapToUnion(
+      users, is_z ? shared_.z_to_union : shared_.zbar_to_union);
+  const ag::Tensor u = ag::Embedding(user_emb, union_ids);
+  const ag::Tensor v =
+      ag::Embedding(is_z ? item_emb_z : item_emb_zbar, items);
+  const ag::Tensor x = ag::ConcatCols(u, v);
+  // Progressive extraction: the task gate addresses its own experts first,
+  // then the shared pool.
+  std::vector<const ag::Linear*> experts;
+  for (const auto& e : (is_z ? experts_z_ : experts_zbar_)) {
+    experts.push_back(e.get());
+  }
+  for (const auto& e : shared_experts_) experts.push_back(e.get());
+  const ag::Tensor mixed =
+      ExpertMixture(x, is_z ? *gate_z_ : *gate_zbar_, experts);
+  return (is_z ? tower_z_ : tower_zbar_)->Forward(mixed);
+}
+
+float PleModel::TrainStep(const LabeledBatch& batch_z,
+                          const LabeledBatch& batch_zbar) {
+  ag::Tensor lz, lzbar;
+  if (!batch_z.empty()) {
+    lz = ag::BceWithLogits(Logits(DomainSide::kZ, batch_z.users,
+                                  batch_z.items),
+                           batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    lzbar = ag::BceWithLogits(Logits(DomainSide::kZbar, batch_zbar.users,
+                                     batch_zbar.items),
+                              batch_zbar.labels);
+  }
+  const ag::Tensor total = CombineLosses(lz, lzbar);
+  if (!total.defined()) return 0.f;
+  return ApplyStep(total);
+}
+
+std::vector<float> PleModel::Score(DomainSide side,
+                                   const std::vector<int>& users,
+                                   const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  const ag::Tensor logits = Logits(side, users, items);
+  std::vector<float> out(users.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.value().At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+}  // namespace nmcdr

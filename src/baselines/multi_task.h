@@ -1,0 +1,67 @@
+#ifndef NMCDR_BASELINES_MULTI_TASK_H_
+#define NMCDR_BASELINES_MULTI_TASK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace nmcdr {
+
+/// MMoE [30]: shared user embeddings over the union person space (linked
+/// pairs share a row), per-domain item embeddings, a pool of shared expert
+/// networks, and per-domain gates + towers. Treats each domain as one task.
+class MmoeModel : public BaselineBase {
+ public:
+  MmoeModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "MMoE"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  ag::Tensor Logits(DomainSide side, const std::vector<int>& users,
+                    const std::vector<int>& items) const;
+
+  static constexpr int kNumExperts = 4;
+  SharedUserIndex shared_;
+  ag::Tensor user_emb;  // union person space
+  ag::Tensor item_emb_z, item_emb_zbar;
+  std::vector<std::unique_ptr<ag::Linear>> experts_;
+  std::unique_ptr<ag::Linear> gate_z_, gate_zbar_;
+  std::unique_ptr<ag::Mlp> tower_z_, tower_zbar_;
+};
+
+/// PLE [31] with one extraction layer: shared experts plus task-specific
+/// experts; each task's gate mixes its own experts with the shared pool,
+/// followed by a task tower. The explicit shared/specific separation is
+/// what lets it beat MMoE in the paper's analysis.
+class PleModel : public BaselineBase {
+ public:
+  PleModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "PLE"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  ag::Tensor Logits(DomainSide side, const std::vector<int>& users,
+                    const std::vector<int>& items) const;
+
+  static constexpr int kSharedExperts = 2;
+  static constexpr int kTaskExperts = 2;
+  SharedUserIndex shared_;
+  ag::Tensor user_emb;
+  ag::Tensor item_emb_z, item_emb_zbar;
+  std::vector<std::unique_ptr<ag::Linear>> shared_experts_;
+  std::vector<std::unique_ptr<ag::Linear>> experts_z_, experts_zbar_;
+  std::unique_ptr<ag::Linear> gate_z_, gate_zbar_;
+  std::unique_ptr<ag::Mlp> tower_z_, tower_zbar_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_BASELINES_MULTI_TASK_H_

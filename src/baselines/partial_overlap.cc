@@ -1,0 +1,356 @@
+#include "baselines/partial_overlap.h"
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+ag::Tensor CombineLosses(const ag::Tensor& a, const ag::Tensor& b) {
+  if (a.defined() && b.defined()) return ag::Add(a, b);
+  return a.defined() ? a : b;
+}
+
+std::vector<float> ReadLogits(const ag::Tensor& logits) {
+  std::vector<float> out(logits.rows());
+  for (int i = 0; i < logits.rows(); ++i) out[i] = logits.value().At(i, 0);
+  return out;
+}
+
+std::vector<int> MlpDims(int in, const std::vector<int>& hidden) {
+  std::vector<int> dims = {in};
+  for (int h : hidden) dims.push_back(h);
+  dims.push_back(1);
+  return dims;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- DmlModel
+
+DmlModel::DmlModel(const ScenarioView& view, const CommonHyper& hyper,
+                   float lr)
+    : BaselineBase(view, hyper.seed) {
+  const int d = hyper.embed_dim;
+  user_z_ = store_.Register(
+      "z.user",
+      Matrix::Gaussian(view.scenario->z.num_users, d, &rng_, 0.f, 0.1f));
+  item_z_ = store_.Register(
+      "z.item",
+      Matrix::Gaussian(view.scenario->z.num_items, d, &rng_, 0.f, 0.1f));
+  user_zbar_ = store_.Register(
+      "zbar.user",
+      Matrix::Gaussian(view.scenario->zbar.num_users, d, &rng_, 0.f, 0.1f));
+  item_zbar_ = store_.Register(
+      "zbar.item",
+      Matrix::Gaussian(view.scenario->zbar.num_items, d, &rng_, 0.f, 0.1f));
+  mapping_ = store_.Register("mapping", Matrix::Identity(d));
+  FinishInit(lr);
+}
+
+ag::Tensor DmlModel::EnhancedUsers(DomainSide side,
+                                   const std::vector<int>& users) const {
+  const bool is_z = side == DomainSide::kZ;
+  const ag::Tensor& own = is_z ? user_z_ : user_zbar_;
+  const ag::Tensor& other = is_z ? user_zbar_ : user_z_;
+  const std::vector<int>& link = is_z ? view_.scenario->z_to_zbar
+                                      : view_.scenario->zbar_to_z;
+  std::vector<int> idx(users.size(), 0);
+  Matrix mask(static_cast<int>(users.size()), 1);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const int m = link[users[i]];
+    if (m >= 0) {
+      idx[i] = m;
+      mask.At(static_cast<int>(i), 0) = 0.5f;  // mix weight for linked rows
+    }
+  }
+  const ag::Tensor u = ag::Embedding(own, users);
+  // Mapped counterpart: W maps Z -> Z̄, so Z users receive W^T u_z̄ and
+  // Z̄ users receive W u_z (the dual directions of the metric learning).
+  const ag::Tensor counterpart = ag::Embedding(other, idx);
+  const ag::Tensor mapped =
+      is_z ? ag::MatMul(counterpart, ag::Transpose(mapping_))
+           : ag::MatMul(counterpart, mapping_);
+  const ag::Tensor mixed = ag::ScaleRows(mapped, ag::Tensor(std::move(mask)));
+  return ag::Add(u, mixed);
+}
+
+float DmlModel::TrainStep(const LabeledBatch& batch_z,
+                          const LabeledBatch& batch_zbar) {
+  ag::Tensor lz, lzbar;
+  if (!batch_z.empty()) {
+    const ag::Tensor scores =
+        ag::RowDot(EnhancedUsers(DomainSide::kZ, batch_z.users),
+                   ag::Embedding(item_z_, batch_z.items));
+    lz = ag::BceWithLogits(scores, batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    const ag::Tensor scores =
+        ag::RowDot(EnhancedUsers(DomainSide::kZbar, batch_zbar.users),
+                   ag::Embedding(item_zbar_, batch_zbar.items));
+    lzbar = ag::BceWithLogits(scores, batch_zbar.labels);
+  }
+  ag::Tensor total = CombineLosses(lz, lzbar);
+  if (!total.defined()) return 0.f;
+
+  // Dual metric alignment on the visible overlapped pairs in this batch.
+  std::vector<int> linked_z, linked_zbar;
+  for (int u : batch_z.users) {
+    const int m = view_.scenario->z_to_zbar[u];
+    if (m >= 0) {
+      linked_z.push_back(u);
+      linked_zbar.push_back(m);
+    }
+  }
+  if (!linked_z.empty()) {
+    const ag::Tensor uz = ag::Embedding(user_z_, linked_z);
+    const ag::Tensor uzbar = ag::Embedding(user_zbar_, linked_zbar);
+    const ag::Tensor diff = ag::Sub(ag::MatMul(uz, mapping_), uzbar);
+    const ag::Tensor align = ag::Scale(
+        ag::SumSquares(diff), 1.f / static_cast<float>(linked_z.size()));
+    total = ag::Add(total, ag::Scale(align, 0.5f));
+  }
+  // Orthogonality penalty keeps the mapping distance-preserving.
+  const ag::Tensor gram = ag::MatMul(ag::Transpose(mapping_), mapping_);
+  const ag::Tensor eye{Matrix::Identity(mapping_.cols())};
+  total = ag::Add(total, ag::Scale(ag::SumSquares(ag::Sub(gram, eye)), 0.1f));
+  return ApplyStep(total);
+}
+
+std::vector<float> DmlModel::Score(DomainSide side,
+                                   const std::vector<int>& users,
+                                   const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  const ag::Tensor& item_table = side == DomainSide::kZ ? item_z_ : item_zbar_;
+  return ReadLogits(ag::RowDot(EnhancedUsers(side, users),
+                               ag::Embedding(item_table, items)));
+}
+
+// ---------------------------------------------------------- HeroGraphModel
+
+HeroGraphModel::HeroGraphModel(const ScenarioView& view,
+                               const CommonHyper& hyper, float lr)
+    : BaselineBase(view, hyper.seed),
+      shared_(BuildSharedUserIndex(*view.scenario)) {
+  const int d = hyper.embed_dim;
+  const int items_z = view.scenario->z.num_items;
+  const int items_zbar = view.scenario->zbar.num_items;
+  item_offset_zbar_ = items_z;
+  user_emb_ = store_.Register(
+      "user", Matrix::Gaussian(shared_.num_union, d, &rng_, 0.f, 0.1f));
+  item_emb_ = store_.Register(
+      "item", Matrix::Gaussian(items_z + items_zbar, d, &rng_, 0.f, 0.1f));
+  encoder_ = std::make_unique<HeteroGraphEncoder>(&store_, "global", d,
+                                                  /*num_layers=*/2, &rng_);
+
+  // Global adjacency: union users -> global item ids, both domains' train
+  // edges, Laplacian-normalized by the user's GLOBAL degree — this is the
+  // shared global graph that routes cross-domain information through
+  // overlapped users.
+  std::vector<std::vector<std::pair<int, float>>> rows(shared_.num_union);
+  auto add_edges = [&](const InteractionGraph& graph,
+                       const std::vector<int>& to_union, int offset) {
+    for (int u = 0; u < graph.num_users(); ++u) {
+      for (int v : graph.UserNeighbors(u)) {
+        rows[to_union[u]].emplace_back(offset + v, 1.f);
+      }
+    }
+  };
+  add_edges(*view.train_graph_z, shared_.z_to_union, 0);
+  add_edges(*view.train_graph_zbar, shared_.zbar_to_union, item_offset_zbar_);
+  for (auto& row : rows) {
+    if (row.empty()) continue;
+    const float norm = 1.f / static_cast<float>(row.size());
+    for (auto& [col, value] : row) value = norm;
+  }
+  adj_ui_ = std::make_shared<CsrMatrix>(shared_.num_union,
+                                        items_z + items_zbar, rows);
+  // Item -> union-user adjacency with item-degree normalization.
+  std::vector<std::vector<std::pair<int, float>>> item_rows(items_z +
+                                                            items_zbar);
+  for (int u = 0; u < shared_.num_union; ++u) {
+    for (const auto& [col, value] : rows[u]) item_rows[col].emplace_back(u, 1.f);
+  }
+  for (auto& row : item_rows) {
+    if (row.empty()) continue;
+    const float norm = 1.f / static_cast<float>(row.size());
+    for (auto& [col, value] : row) value = norm;
+  }
+  adj_iu_ = std::make_shared<CsrMatrix>(items_z + items_zbar,
+                                        shared_.num_union, item_rows);
+
+  mlp_z_ = std::make_unique<ag::Mlp>(&store_, "mlp_z",
+                                     MlpDims(2 * d, hyper.mlp_hidden), &rng_);
+  mlp_zbar_ = std::make_unique<ag::Mlp>(
+      &store_, "mlp_zbar", MlpDims(2 * d, hyper.mlp_hidden), &rng_);
+  FinishInit(lr);
+}
+
+ag::Tensor HeroGraphModel::GlobalUserReps() const {
+  return encoder_->Forward(user_emb_, item_emb_, adj_ui_, adj_iu_);
+}
+
+std::vector<int> HeroGraphModel::ToUnion(DomainSide side,
+                                         const std::vector<int>& users) const {
+  const std::vector<int>& map = side == DomainSide::kZ
+                                    ? shared_.z_to_union
+                                    : shared_.zbar_to_union;
+  std::vector<int> out(users.size());
+  for (size_t i = 0; i < users.size(); ++i) out[i] = map[users[i]];
+  return out;
+}
+
+std::vector<int> HeroGraphModel::ToGlobalItems(
+    DomainSide side, const std::vector<int>& items) const {
+  const int offset = side == DomainSide::kZ ? 0 : item_offset_zbar_;
+  std::vector<int> out(items.size());
+  for (size_t i = 0; i < items.size(); ++i) out[i] = items[i] + offset;
+  return out;
+}
+
+float HeroGraphModel::TrainStep(const LabeledBatch& batch_z,
+                                const LabeledBatch& batch_zbar) {
+  if (batch_z.empty() && batch_zbar.empty()) return 0.f;
+  const ag::Tensor reps = GlobalUserReps();
+  ag::Tensor lz, lzbar;
+  // Inner-product matching of global reps plus the domain MLP refinement.
+  auto logits_for = [this, &reps](DomainSide side, ag::Mlp* mlp,
+                                  const LabeledBatch& batch) {
+    const ag::Tensor u = ag::Embedding(reps, ToUnion(side, batch.users));
+    const ag::Tensor v =
+        ag::Embedding(item_emb_, ToGlobalItems(side, batch.items));
+    return ag::Add(ag::RowDot(u, v), mlp->Forward(ag::ConcatCols(u, v)));
+  };
+  if (!batch_z.empty()) {
+    lz = ag::BceWithLogits(logits_for(DomainSide::kZ, mlp_z_.get(), batch_z),
+                           batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    lzbar = ag::BceWithLogits(
+        logits_for(DomainSide::kZbar, mlp_zbar_.get(), batch_zbar),
+        batch_zbar.labels);
+  }
+  reps_dirty_ = true;
+  return ApplyStep(CombineLosses(lz, lzbar));
+}
+
+void HeroGraphModel::RefreshEvalReps() {
+  if (!reps_dirty_) return;
+  ag::NoGradGuard no_grad;
+  cached_users_ = GlobalUserReps().value();
+  reps_dirty_ = false;
+}
+
+std::vector<float> HeroGraphModel::Score(DomainSide side,
+                                         const std::vector<int>& users,
+                                         const std::vector<int>& items) {
+  RefreshEvalReps();
+  ag::NoGradGuard no_grad;
+  const ag::Tensor user_rows{
+      GatherRows(cached_users_, ToUnion(side, users))};
+  const ag::Tensor item_rows{
+      GatherRows(item_emb_.value(), ToGlobalItems(side, items))};
+  ag::Mlp* mlp = side == DomainSide::kZ ? mlp_z_.get() : mlp_zbar_.get();
+  return ReadLogits(
+      ag::Add(ag::RowDot(user_rows, item_rows),
+              mlp->Forward(ag::ConcatCols(user_rows, item_rows))));
+}
+
+// ------------------------------------------------------------ PtupcdrModel
+
+PtupcdrModel::PtupcdrModel(const ScenarioView& view, const CommonHyper& hyper,
+                           float lr)
+    : BaselineBase(view, hyper.seed) {
+  const int d = hyper.embed_dim;
+  auto init_domain = [&](Domain* dom, const DomainData& data,
+                         const std::string& prefix) {
+    dom->user_emb = store_.Register(
+        prefix + ".user", Matrix::Gaussian(data.num_users, d, &rng_, 0.f, 0.1f));
+    dom->item_emb = store_.Register(
+        prefix + ".item", Matrix::Gaussian(data.num_items, d, &rng_, 0.f, 0.1f));
+    // Meta network: source profile -> personalized (scale, shift) bridge.
+    dom->meta = std::make_unique<ag::Mlp>(
+        &store_, prefix + ".meta", std::vector<int>{d, 2 * d, 2 * d}, &rng_);
+    dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp",
+                                         MlpDims(2 * d, hyper.mlp_hidden),
+                                         &rng_);
+  };
+  init_domain(&z_, view.scenario->z, "z");
+  init_domain(&zbar_, view.scenario->zbar, "zbar");
+  history_z_ = BuildUserHistories(*view.train_graph_z);
+  history_zbar_ = BuildUserHistories(*view.train_graph_zbar);
+  FinishInit(lr);
+}
+
+ag::Tensor PtupcdrModel::EffectiveUsers(DomainSide side,
+                                        const std::vector<int>& users) const {
+  const bool is_z = side == DomainSide::kZ;
+  const Domain& dom = is_z ? z_ : zbar_;
+  const Domain& other = is_z ? zbar_ : z_;
+  const auto& other_history = is_z ? history_zbar_ : history_z_;
+  const std::vector<int>& link = is_z ? view_.scenario->z_to_zbar
+                                      : view_.scenario->zbar_to_z;
+  const int d = dom.user_emb.cols();
+
+  // Source profile p_u: mean of the linked user's source-domain history
+  // (the characteristic encoder); zero rows for unlinked users.
+  auto profiles = std::make_shared<std::vector<std::vector<int>>>();
+  std::vector<int> idx(users.size(), 0);
+  Matrix mask(static_cast<int>(users.size()), 1);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const int m = link[users[i]];
+    if (m >= 0) {
+      idx[i] = m;
+      mask.At(static_cast<int>(i), 0) = 0.5f;  // mix weight of the bridge
+      profiles->push_back((*other_history)[m]);
+    } else {
+      profiles->push_back({});
+    }
+  }
+  const ag::Tensor profile = ag::SegmentMeanRows(other.item_emb, profiles);
+  const ag::Tensor bridge = dom.meta->Forward(profile);  // [B, 2D]
+  const ag::Tensor scale = ag::Tanh(ag::SliceCols(bridge, 0, d));
+  const ag::Tensor shift = ag::SliceCols(bridge, d, d);
+  // Personalized bridge applied to the source user embedding.
+  const ag::Tensor source_emb = ag::Embedding(other.user_emb, idx);
+  const ag::Tensor mapped =
+      ag::Add(ag::Hadamard(scale, source_emb), shift);
+  const ag::Tensor gated = ag::ScaleRows(mapped, ag::Tensor(std::move(mask)));
+  return ag::Add(ag::Embedding(dom.user_emb, users), gated);
+}
+
+float PtupcdrModel::TrainStep(const LabeledBatch& batch_z,
+                              const LabeledBatch& batch_zbar) {
+  ag::Tensor lz, lzbar;
+  // Original PTUPCDR scores the (bridged) user embedding against the item
+  // embedding by inner product; the small MLP refines it.
+  auto logits_for = [this](const Domain& dom, DomainSide side,
+                           const LabeledBatch& batch) {
+    const ag::Tensor u = EffectiveUsers(side, batch.users);
+    const ag::Tensor v = ag::Embedding(dom.item_emb, batch.items);
+    return ag::Add(ag::RowDot(u, v), dom.mlp->Forward(ag::ConcatCols(u, v)));
+  };
+  if (!batch_z.empty()) {
+    lz = ag::BceWithLogits(logits_for(z_, DomainSide::kZ, batch_z),
+                           batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    lzbar = ag::BceWithLogits(logits_for(zbar_, DomainSide::kZbar, batch_zbar),
+                              batch_zbar.labels);
+  }
+  const ag::Tensor total = CombineLosses(lz, lzbar);
+  if (!total.defined()) return 0.f;
+  return ApplyStep(total);
+}
+
+std::vector<float> PtupcdrModel::Score(DomainSide side,
+                                       const std::vector<int>& users,
+                                       const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  const Domain& dom = side == DomainSide::kZ ? z_ : zbar_;
+  const ag::Tensor u = EffectiveUsers(side, users);
+  const ag::Tensor v = ag::Embedding(dom.item_emb, items);
+  return ReadLogits(
+      ag::Add(ag::RowDot(u, v), dom.mlp->Forward(ag::ConcatCols(u, v))));
+}
+
+}  // namespace nmcdr

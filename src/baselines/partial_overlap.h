@@ -1,0 +1,98 @@
+#ifndef NMCDR_BASELINES_PARTIAL_OVERLAP_H_
+#define NMCDR_BASELINES_PARTIAL_OVERLAP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "core/hetero_encoder.h"
+
+namespace nmcdr {
+
+/// DML [10]: per-domain matrix factorization with a latent orthogonal
+/// mapping between the two user spaces, trained with (a) pointwise BCE on
+/// enhanced embeddings (linked users mix in the mapped counterpart),
+/// (b) a dual metric-learning alignment term on the overlapped pairs, and
+/// (c) an orthogonality penalty ||W^T W - I||_F^2.
+class DmlModel : public BaselineBase {
+ public:
+  DmlModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "DML"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  ag::Tensor EnhancedUsers(DomainSide side, const std::vector<int>& users)
+      const;
+  ag::Tensor user_z_, item_z_, user_zbar_, item_zbar_;
+  ag::Tensor mapping_;  // W: Z user space -> Z̄ user space (orthogonal-ish)
+};
+
+/// HeroGraph [11]: one shared global heterogeneous graph over the union
+/// persons and both domains' items; GCN layers propagate over the global
+/// graph, and per-domain MLPs predict from the global user representation
+/// and the (global) item representation.
+class HeroGraphModel : public BaselineBase {
+ public:
+  HeroGraphModel(const ScenarioView& view, const CommonHyper& hyper,
+                 float lr);
+  std::string name() const override { return "HeroGraph"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+  void InvalidateCaches() override { reps_dirty_ = true; }
+
+ private:
+  ag::Tensor GlobalUserReps() const;
+  void RefreshEvalReps();
+  std::vector<int> ToUnion(DomainSide side,
+                           const std::vector<int>& users) const;
+  std::vector<int> ToGlobalItems(DomainSide side,
+                                 const std::vector<int>& items) const;
+
+  SharedUserIndex shared_;
+  int item_offset_zbar_ = 0;  // zbar item ids start here in the global table
+  ag::Tensor user_emb_, item_emb_;
+  std::unique_ptr<HeteroGraphEncoder> encoder_;
+  std::shared_ptr<const CsrMatrix> adj_ui_;
+  std::shared_ptr<const CsrMatrix> adj_iu_;
+  std::unique_ptr<ag::Mlp> mlp_z_, mlp_zbar_;
+  bool reps_dirty_ = true;
+  Matrix cached_users_;
+};
+
+/// PTUPCDR [12]: per-domain embeddings plus, per direction, a meta network
+/// fed with the user's source-domain history (characteristic encoder =
+/// mean-pooled history embeddings) that generates a personalized bridge.
+/// Port note: the original emits a full D x D bridge per user; we generate
+/// a rank-1 (scale, shift) bridge, which keeps the personalized-transfer
+/// mechanism at CPU scale (see DESIGN.md).
+class PtupcdrModel : public BaselineBase {
+ public:
+  PtupcdrModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "PTUPCDR"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  struct Domain {
+    ag::Tensor user_emb, item_emb;
+    std::unique_ptr<ag::Mlp> meta;  // other-domain profile -> [scale||shift]
+    std::unique_ptr<ag::Mlp> mlp;   // [u || v] -> 1
+  };
+  ag::Tensor EffectiveUsers(DomainSide side,
+                            const std::vector<int>& users) const;
+  Domain z_, zbar_;
+  std::shared_ptr<const std::vector<std::vector<int>>> history_z_;
+  std::shared_ptr<const std::vector<std::vector<int>>> history_zbar_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_BASELINES_PARTIAL_OVERLAP_H_

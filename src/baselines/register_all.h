@@ -1,0 +1,20 @@
+#ifndef NMCDR_BASELINES_REGISTER_ALL_H_
+#define NMCDR_BASELINES_REGISTER_ALL_H_
+
+#include <string>
+#include <vector>
+
+namespace nmcdr {
+
+/// Registers the 11 baselines of §III.A.3 plus NMCDR in the model
+/// registry. Call once from main() before using the registry.
+void RegisterAllModels();
+
+/// All model names in the paper's table row order:
+/// LR, BPR, NeuMF | MMoE, PLE | CoNet, MiNet, GA-DTCDR | DML, HeroGraph,
+/// PTUPCDR | NMCDR.
+std::vector<std::string> PaperModelOrder();
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_BASELINES_REGISTER_ALL_H_

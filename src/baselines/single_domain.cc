@@ -1,0 +1,193 @@
+#include "baselines/single_domain.h"
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+ag::Tensor EmbeddingTable(ag::ParameterStore* store, const std::string& name,
+                          int rows, int dim, Rng* rng) {
+  return store->Register(name, Matrix::Gaussian(rows, dim, rng, 0.f, 0.1f));
+}
+
+/// Combines per-domain losses that may be undefined (empty batches).
+ag::Tensor CombineLosses(const ag::Tensor& a, const ag::Tensor& b) {
+  if (a.defined() && b.defined()) return ag::Add(a, b);
+  return a.defined() ? a : b;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- LrModel
+
+LrModel::LrModel(const ScenarioView& view, const CommonHyper& hyper, float lr)
+    : BaselineBase(view, hyper.seed) {
+  auto init_domain = [&](Domain* dom, const DomainData& data,
+                         const std::string& prefix) {
+    dom->user_emb = EmbeddingTable(&store_, prefix + ".user", data.num_users,
+                                   hyper.embed_dim, &rng_);
+    dom->item_emb = EmbeddingTable(&store_, prefix + ".item", data.num_items,
+                                   hyper.embed_dim, &rng_);
+    std::vector<int> dims = {2 * hyper.embed_dim};
+    for (int h : hyper.mlp_hidden) dims.push_back(h);
+    dims.push_back(1);
+    dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp", dims, &rng_);
+  };
+  init_domain(&z_, view.scenario->z, "z");
+  init_domain(&zbar_, view.scenario->zbar, "zbar");
+  FinishInit(lr);
+}
+
+ag::Tensor LrModel::Logits(Domain& dom, const std::vector<int>& users,
+                           const std::vector<int>& items) const {
+  const ag::Tensor u = ag::Embedding(dom.user_emb, users);
+  const ag::Tensor v = ag::Embedding(dom.item_emb, items);
+  return dom.mlp->Forward(ag::ConcatCols(u, v));
+}
+
+float LrModel::TrainStep(const LabeledBatch& batch_z,
+                         const LabeledBatch& batch_zbar) {
+  ag::Tensor loss_z, loss_zbar;
+  if (!batch_z.empty()) {
+    loss_z = ag::BceWithLogits(Logits(z_, batch_z.users, batch_z.items),
+                               batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    loss_zbar = ag::BceWithLogits(
+        Logits(zbar_, batch_zbar.users, batch_zbar.items), batch_zbar.labels);
+  }
+  const ag::Tensor total = CombineLosses(loss_z, loss_zbar);
+  if (!total.defined()) return 0.f;
+  return ApplyStep(total);
+}
+
+std::vector<float> LrModel::Score(DomainSide side,
+                                  const std::vector<int>& users,
+                                  const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  Domain& dom = side == DomainSide::kZ ? z_ : zbar_;
+  const ag::Tensor logits = Logits(dom, users, items);
+  std::vector<float> out(users.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.value().At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- BprModel
+
+BprModel::BprModel(const ScenarioView& view, const CommonHyper& hyper,
+                   float lr)
+    : BaselineBase(view, hyper.seed) {
+  z_.user_emb = EmbeddingTable(&store_, "z.user", view.scenario->z.num_users,
+                               hyper.embed_dim, &rng_);
+  z_.item_emb = EmbeddingTable(&store_, "z.item", view.scenario->z.num_items,
+                               hyper.embed_dim, &rng_);
+  zbar_.user_emb = EmbeddingTable(
+      &store_, "zbar.user", view.scenario->zbar.num_users, hyper.embed_dim,
+      &rng_);
+  zbar_.item_emb = EmbeddingTable(
+      &store_, "zbar.item", view.scenario->zbar.num_items, hyper.embed_dim,
+      &rng_);
+  FinishInit(lr);
+}
+
+float BprModel::TrainStep(const LabeledBatch& batch_z,
+                          const LabeledBatch& batch_zbar) {
+  ag::Tensor total;
+  const LabeledBatch* batches[2] = {&batch_z, &batch_zbar};
+  Domain* doms[2] = {&z_, &zbar_};
+  for (int s = 0; s < 2; ++s) {
+    std::vector<int> pu, pi, ni;
+    if (!SplitPairwise(*batches[s], &pu, &pi, &ni)) continue;
+    const ag::Tensor u = ag::Embedding(doms[s]->user_emb, pu);
+    const ag::Tensor pos = ag::RowDot(u, ag::Embedding(doms[s]->item_emb, pi));
+    const ag::Tensor neg = ag::RowDot(u, ag::Embedding(doms[s]->item_emb, ni));
+    const ag::Tensor loss = ag::BprLoss(pos, neg);
+    total = total.defined() ? ag::Add(total, loss) : loss;
+  }
+  if (!total.defined()) return 0.f;
+  return ApplyStep(total);
+}
+
+std::vector<float> BprModel::Score(DomainSide side,
+                                   const std::vector<int>& users,
+                                   const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  Domain& dom = side == DomainSide::kZ ? z_ : zbar_;
+  const ag::Tensor scores = ag::RowDot(ag::Embedding(dom.user_emb, users),
+                                       ag::Embedding(dom.item_emb, items));
+  std::vector<float> out(users.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = scores.value().At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- NeuMfModel
+
+NeuMfModel::NeuMfModel(const ScenarioView& view, const CommonHyper& hyper,
+                       float lr)
+    : BaselineBase(view, hyper.seed) {
+  auto init_domain = [&](Domain* dom, const DomainData& data,
+                         const std::string& prefix) {
+    const int d = hyper.embed_dim;
+    dom->gmf_user =
+        EmbeddingTable(&store_, prefix + ".gmf_u", data.num_users, d, &rng_);
+    dom->gmf_item =
+        EmbeddingTable(&store_, prefix + ".gmf_v", data.num_items, d, &rng_);
+    dom->mlp_user =
+        EmbeddingTable(&store_, prefix + ".mlp_u", data.num_users, d, &rng_);
+    dom->mlp_item =
+        EmbeddingTable(&store_, prefix + ".mlp_v", data.num_items, d, &rng_);
+    std::vector<int> dims = {2 * d};
+    for (int h : hyper.mlp_hidden) dims.push_back(h);
+    dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp", dims, &rng_);
+    dom->fuse = std::make_unique<ag::Linear>(
+        &store_, prefix + ".fuse", d + dims.back(), 1, &rng_);
+  };
+  init_domain(&z_, view.scenario->z, "z");
+  init_domain(&zbar_, view.scenario->zbar, "zbar");
+  FinishInit(lr);
+}
+
+ag::Tensor NeuMfModel::Logits(Domain& dom, const std::vector<int>& users,
+                              const std::vector<int>& items) const {
+  const ag::Tensor gmf = ag::Hadamard(ag::Embedding(dom.gmf_user, users),
+                                      ag::Embedding(dom.gmf_item, items));
+  const ag::Tensor mlp_in = ag::ConcatCols(ag::Embedding(dom.mlp_user, users),
+                                           ag::Embedding(dom.mlp_item, items));
+  const ag::Tensor mlp_out = ag::Relu(dom.mlp->Forward(mlp_in));
+  return dom.fuse->Forward(ag::ConcatCols(gmf, mlp_out));
+}
+
+float NeuMfModel::TrainStep(const LabeledBatch& batch_z,
+                            const LabeledBatch& batch_zbar) {
+  ag::Tensor loss_z, loss_zbar;
+  if (!batch_z.empty()) {
+    loss_z = ag::BceWithLogits(Logits(z_, batch_z.users, batch_z.items),
+                               batch_z.labels);
+  }
+  if (!batch_zbar.empty()) {
+    loss_zbar = ag::BceWithLogits(
+        Logits(zbar_, batch_zbar.users, batch_zbar.items), batch_zbar.labels);
+  }
+  const ag::Tensor total = CombineLosses(loss_z, loss_zbar);
+  if (!total.defined()) return 0.f;
+  return ApplyStep(total);
+}
+
+std::vector<float> NeuMfModel::Score(DomainSide side,
+                                     const std::vector<int>& users,
+                                     const std::vector<int>& items) {
+  ag::NoGradGuard no_grad;
+  Domain& dom = side == DomainSide::kZ ? z_ : zbar_;
+  const ag::Tensor logits = Logits(dom, users, items);
+  std::vector<float> out(users.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.value().At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,75 @@
+#ifndef NMCDR_BASELINES_SINGLE_DOMAIN_H_
+#define NMCDR_BASELINES_SINGLE_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace nmcdr {
+
+/// LR [29] as instantiated by the paper's baseline list: embeddings +
+/// stacked MLPs over [u || v] with pointwise BCE, trained per domain with
+/// no cross-domain sharing.
+class LrModel : public BaselineBase {
+ public:
+  LrModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "LR"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  struct Domain {
+    ag::Tensor user_emb, item_emb;
+    std::unique_ptr<ag::Mlp> mlp;
+  };
+  ag::Tensor Logits(Domain& dom, const std::vector<int>& users,
+                    const std::vector<int>& items) const;
+  Domain z_, zbar_;
+};
+
+/// BPR [26]: matrix factorization with the Bayesian personalized ranking
+/// pairwise loss, per domain.
+class BprModel : public BaselineBase {
+ public:
+  BprModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "BPR"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  struct Domain {
+    ag::Tensor user_emb, item_emb;
+  };
+  Domain z_, zbar_;
+};
+
+/// NeuMF [25]: GMF (elementwise-product path) + MLP path with a fused
+/// output layer, per domain, pointwise BCE.
+class NeuMfModel : public BaselineBase {
+ public:
+  NeuMfModel(const ScenarioView& view, const CommonHyper& hyper, float lr);
+  std::string name() const override { return "NeuMF"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+
+ private:
+  struct Domain {
+    ag::Tensor gmf_user, gmf_item, mlp_user, mlp_item;
+    std::unique_ptr<ag::Mlp> mlp;
+    std::unique_ptr<ag::Linear> fuse;  // [gmf_dim + mlp_out] -> 1
+  };
+  ag::Tensor Logits(Domain& dom, const std::vector<int>& users,
+                    const std::vector<int>& items) const;
+  Domain z_, zbar_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_BASELINES_SINGLE_DOMAIN_H_

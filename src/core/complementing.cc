@@ -1,0 +1,63 @@
+#include "core/complementing.h"
+
+#include <algorithm>
+
+namespace nmcdr {
+
+ComplementingComponent::ComplementingComponent(ag::ParameterStore* store,
+                                               const std::string& name,
+                                               int dim, Rng* rng)
+    : ref_(store, name + ".ref", dim, dim, rng) {}
+
+ag::Tensor ComplementingComponent::Forward(
+    const ag::Tensor& users, const ag::Tensor& items,
+    const std::shared_ptr<const std::vector<std::vector<int>>>& candidates)
+    const {
+  // Eq. 18: alpha = softmax over candidates of u . v; the weighted item
+  // mix sum_j alpha_j v_j comes out of the fused attention op, and
+  // Eq. 19's (sum_j alpha_j v_j) W_ref + b_ref is the linear below.
+  ag::Tensor mixed = ag::NeighborAttention(users, items, candidates);
+  return ag::Add(users, ref_.Forward(mixed));
+}
+
+std::shared_ptr<const std::vector<std::vector<int>>> BuildComplementCandidates(
+    const InteractionGraph& train_graph, int extra, bool observed_only,
+    Rng* rng) {
+  auto candidates = std::make_shared<std::vector<std::vector<int>>>(
+      train_graph.num_users());
+  const int num_items = train_graph.num_items();
+  for (int u = 0; u < train_graph.num_users(); ++u) {
+    std::vector<int>& list = (*candidates)[u];
+    list = train_graph.UserNeighbors(u);
+    if (observed_only || extra <= 0) continue;
+    const int budget = std::min(extra, num_items - train_graph.UserDegree(u));
+    // "Potential missing interactions": propose items from the user's
+    // two-hop neighbourhood (items of users who share an item with u) —
+    // plausible virtual links rather than uniform noise. Draw a co-user,
+    // then one of its items; fall back to uniform when the walk stalls.
+    int added = 0, attempts = 0;
+    while (added < budget && attempts++ < budget * 20 + 20) {
+      int item = -1;
+      const std::vector<int>& own = train_graph.UserNeighbors(u);
+      if (!own.empty() && rng->UniformDouble() < 0.8) {
+        const int via = own[rng->NextUint64(own.size())];
+        const std::vector<int>& co_users = train_graph.ItemNeighbors(via);
+        const int w = co_users[rng->NextUint64(co_users.size())];
+        const std::vector<int>& w_items = train_graph.UserNeighbors(w);
+        item = w_items[rng->NextUint64(w_items.size())];
+      } else {
+        item = static_cast<int>(rng->NextUint64(num_items));
+      }
+      if (train_graph.HasInteraction(u, item)) continue;
+      if (std::find(list.begin() + train_graph.UserDegree(u), list.end(),
+                    item) != list.end()) {
+        continue;
+      }
+      list.push_back(item);
+      ++added;
+    }
+  }
+  return candidates;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,44 @@
+#ifndef NMCDR_CORE_COMPLEMENTING_H_
+#define NMCDR_CORE_COMPLEMENTING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/nn.h"
+#include "graph/interaction_graph.h"
+
+namespace nmcdr {
+
+/// Intra node complementing module (§II.E, Eqs. 18-19): per user, a
+/// softmax "virtual link strength" over candidate items (Eq. 18) and a
+/// residual update with the attention-weighted, transformed item mix
+/// (Eq. 19), correcting under-represented (tail) user embeddings.
+class ComplementingComponent {
+ public:
+  ComplementingComponent(ag::ParameterStore* store, const std::string& name,
+                         int dim, Rng* rng);
+
+  /// `candidates[i]` lists the item ids user i attends over (observed
+  /// neighbours, optionally extended by sampled items; see
+  /// NmcdrConfig::complement_observed_only).
+  ag::Tensor Forward(
+      const ag::Tensor& users, const ag::Tensor& items,
+      const std::shared_ptr<const std::vector<std::vector<int>>>& candidates)
+      const;
+
+ private:
+  ag::Linear ref_;
+};
+
+/// Builds the per-user candidate lists for the complementing attention:
+/// the user's TRAIN neighbours plus (unless `observed_only`) `extra`
+/// uniformly sampled non-interacted items — the "potential missing
+/// interactions" the module is meant to recover.
+std::shared_ptr<const std::vector<std::vector<int>>> BuildComplementCandidates(
+    const InteractionGraph& train_graph, int extra, bool observed_only,
+    Rng* rng);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_COMPLEMENTING_H_

@@ -1,0 +1,63 @@
+#include "core/hetero_encoder.h"
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+HeteroGraphEncoder::HeteroGraphEncoder(ag::ParameterStore* store,
+                                       const std::string& name, int dim,
+                                       int num_layers, Rng* rng,
+                                       GnnKernel kernel)
+    : kernel_(kernel) {
+  NMCDR_CHECK_GE(num_layers, 1);
+  user_layers_.reserve(num_layers);
+  item_layers_.reserve(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    user_layers_.emplace_back(store, name + ".hge_u" + std::to_string(l), dim,
+                              dim, rng);
+    if (l > 0) {
+      item_layers_.emplace_back(store, name + ".hge_v" + std::to_string(l),
+                                dim, dim, rng);
+    }
+  }
+}
+
+ag::Tensor HeteroGraphEncoder::Forward(
+    const ag::Tensor& users, const ag::Tensor& items,
+    const std::shared_ptr<const CsrMatrix>& adj_ui,
+    const std::shared_ptr<const CsrMatrix>& adj_iu,
+    const std::shared_ptr<const std::vector<std::vector<int>>>&
+        user_neighbors) const {
+  if (kernel_ == GnnKernel::kGat) NMCDR_CHECK(user_neighbors != nullptr);
+  ag::Tensor u = users;
+  ag::Tensor v = items;
+  for (size_t l = 0; l < user_layers_.size(); ++l) {
+    if (l > 0) {
+      // Item-side Eq. 3/4: items aggregate their interacting users.
+      const ag::Linear& vl = item_layers_[l - 1];
+      ag::Tensor user_msg = vl.Forward(u);
+      v = ag::Add(v, ag::Relu(ag::Add(ag::MatMul(v, vl.weight()),
+                                      ag::SpMM(adj_iu, user_msg))));
+    }
+    // User-side Eq. 3/4: the item message (v W + b) aggregated with the
+    // 1/|N_u| Laplacian norm (adjacency rows sum to 1, so the bias
+    // survives exactly once), plus the self message u W.
+    const ag::Linear& ul = user_layers_[l];
+    ag::Tensor item_msg = ul.Forward(v);
+    ag::Tensor self_msg = ag::MatMul(u, ul.weight());
+    ag::Tensor aggregated =
+        kernel_ == GnnKernel::kGat
+            // Attention aggregation: alpha = softmax over N_u of the
+            // transformed query/message dot products.
+            ? ag::NeighborAttention(self_msg, item_msg, user_neighbors)
+            : ag::SpMM(adj_ui, item_msg);
+    u = ag::Add(u, ag::Relu(ag::Add(self_msg, aggregated)));
+  }
+  return u;
+}
+
+float HeteroGraphEncoder::FirstLayerSpectralNorm() const {
+  return user_layers_.front().weight().value().SpectralNorm();
+}
+
+}  // namespace nmcdr

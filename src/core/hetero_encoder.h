@@ -1,0 +1,57 @@
+#ifndef NMCDR_CORE_HETERO_ENCODER_H_
+#define NMCDR_CORE_HETERO_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/nn.h"
+#include "core/nmcdr_config.h"
+#include "tensor/matrix_ops.h"
+
+namespace nmcdr {
+
+/// Heterogeneous graph encoder (§II.C, Eqs. 2-4): per layer,
+///   u_g1 = ReLU( u W_hge  +  sum_{v in N_u} (1/|N_u|) (v W_hge + b_hge) )
+/// i.e. a self message through the shared transform plus the Laplacian-
+/// normalized neighbour aggregation, executed as one SpMM over the whole
+/// domain.
+///
+/// With num_layers >= 2, layers alternate an item-side update (items
+/// aggregate their users by the same Eq. 3/4 message form) before the
+/// user-side update, so a 2-layer stack gives each user visibility into
+/// user-item-user co-occurrence — the "any GNN kernel" generality the
+/// paper notes under Eq. 3. Layer outputs are added residually to the
+/// embeddings (the LightGCN/NGCF layer-sum convention) so the raw
+/// user-item matching geometry survives the stack.
+class HeteroGraphEncoder {
+ public:
+  HeteroGraphEncoder(ag::ParameterStore* store, const std::string& name,
+                     int dim, int num_layers, Rng* rng,
+                     GnnKernel kernel = GnnKernel::kVanilla);
+
+  /// Computes the user representations u_g1 from the initial embeddings.
+  /// `adj_ui` is NormalizedUserItemAdj() and `adj_iu` is
+  /// NormalizedItemUserAdj() of the TRAIN graph.
+  /// `user_neighbors` (per-user item lists) is required for the kGat
+  /// kernel and ignored otherwise.
+  ag::Tensor Forward(
+      const ag::Tensor& users, const ag::Tensor& items,
+      const std::shared_ptr<const CsrMatrix>& adj_ui,
+      const std::shared_ptr<const CsrMatrix>& adj_iu,
+      const std::shared_ptr<const std::vector<std::vector<int>>>&
+          user_neighbors = nullptr) const;
+
+  /// Spectral norm of the first user-side transform (W_a^1 = W_n^1 in the
+  /// Eq. 31 stability bound).
+  float FirstLayerSpectralNorm() const;
+
+ private:
+  std::vector<ag::Linear> user_layers_;
+  std::vector<ag::Linear> item_layers_;  // empty entries for layer 0
+  GnnKernel kernel_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_HETERO_ENCODER_H_

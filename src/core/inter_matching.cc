@@ -1,0 +1,67 @@
+#include "core/inter_matching.h"
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+InterMatchingComponent::InterMatchingComponent(ag::ParameterStore* store,
+                                               const std::string& name,
+                                               int dim, Rng* rng,
+                                               bool gate_fusion)
+    : self_(store, name + ".self", dim, dim, rng),
+      other_(store, name + ".other", dim, dim, rng),
+      gate_self_(store, name + ".gate_s", dim, dim, rng),
+      gate_other_(store, name + ".gate_o", dim, dim, rng),
+      gate_fusion_(gate_fusion) {}
+
+ag::Tensor InterMatchingComponent::Forward(
+    const ag::Tensor& users, const ag::Tensor& other_users,
+    const std::vector<int>& self_index, const std::vector<int>& other_sample,
+    const ag::Tensor& w_cross_own, const ag::Tensor& w_cross_other) const {
+  const int n = users.rows();
+  NMCDR_CHECK_EQ(static_cast<int>(self_index.size()), n);
+
+  // Self message (Eq. 13 top) for overlapped users; zero rows otherwise.
+  std::vector<int> gather_index(n, 0);
+  Matrix mask(n, 1);
+  for (int u = 0; u < n; ++u) {
+    if (self_index[u] >= 0) {
+      gather_index[u] = self_index[u];
+      mask.At(u, 0) = 1.f;
+    }
+  }
+  ag::Tensor counterpart = ag::Embedding(other_users, gather_index);
+  ag::Tensor m_self =
+      ag::ScaleRows(self_.Forward(counterpart), ag::Tensor(std::move(mask)));
+  ag::Tensor u_self = ag::Relu(m_self);  // Eq. 14 top
+
+  // Other message (Eq. 13 bottom): mean over the sampled non-overlapped
+  // pool of the other domain, shared by all receiving users (the
+  // fully connected cross-domain graph with the 1/|N^cdr| norm).
+  ag::Tensor u_other;
+  if (other_sample.empty()) {
+    u_other = ag::Tensor(Matrix(n, users.cols()));
+  } else {
+    ag::Tensor pooled = ag::ColMean(ag::Embedding(other_users, other_sample));
+    u_other = ag::Relu(ag::TileRows(other_.Forward(pooled), n));  // Eq. 14
+  }
+
+  // Eq. 15: u_g3* = u_g2 W_cross^own + u_self (1 - W_cross^other).
+  ag::Tensor g3_star = ag::Add(ag::MatMul(users, w_cross_own),
+                               ag::MatMul(u_self, ag::OneMinus(w_cross_other)));
+
+  ag::Tensor fused;
+  if (gate_fusion_) {
+    // Eq. 16 gate between the self-path mix and the other-user message.
+    ag::Tensor gate = ag::Sigmoid(ag::Add(gate_self_.Forward(g3_star),
+                                          gate_other_.Forward(u_other)));
+    fused = ag::Tanh(ag::Add(ag::Hadamard(ag::OneMinus(gate), g3_star),
+                             ag::Hadamard(gate, u_other)));
+  } else {
+    fused = ag::Tanh(ag::Add(g3_star, u_other));
+  }
+  // Eq. 17 residual.
+  return ag::Add(fused, users);
+}
+
+}  // namespace nmcdr

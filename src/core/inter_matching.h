@@ -1,0 +1,46 @@
+#ifndef NMCDR_CORE_INTER_MATCHING_H_
+#define NMCDR_CORE_INTER_MATCHING_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/nn.h"
+
+namespace nmcdr {
+
+/// Inter node matching component (§II.D.2, Eqs. 12-17): transfers
+/// knowledge across domains for every user. Overlapped users receive a
+/// "self" message from their linked counterpart (Eq. 13 top); ALL users
+/// receive an "other" message aggregated from sampled non-overlapped users
+/// of the other domain (Eq. 13 bottom), fused by the Eq. 16 gate with the
+/// Eq. 17 residual.
+class InterMatchingComponent {
+ public:
+  InterMatchingComponent(ag::ParameterStore* store, const std::string& name,
+                         int dim, Rng* rng, bool gate_fusion);
+
+  /// `users`:        this domain's u_g2 representations [N,D].
+  /// `other_users`:  the other domain's u_g2 representations [N̄,D].
+  /// `self_index`:   per user, the linked row of `other_users` or -1
+  ///                 (the K_u-masked overlap links).
+  /// `other_sample`: sampled non-overlapped user ids of the other domain.
+  /// `w_cross_own` / `w_cross_other`: the W_cross matrices of Eq. 15 —
+  ///                 owned by the model because Eq. 15 mixes both domains'
+  ///                 matrices.
+  ag::Tensor Forward(const ag::Tensor& users, const ag::Tensor& other_users,
+                     const std::vector<int>& self_index,
+                     const std::vector<int>& other_sample,
+                     const ag::Tensor& w_cross_own,
+                     const ag::Tensor& w_cross_other) const;
+
+ private:
+  ag::Linear self_;
+  ag::Linear other_;
+  ag::Linear gate_self_;
+  ag::Linear gate_other_;
+  bool gate_fusion_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_INTER_MATCHING_H_

@@ -1,0 +1,60 @@
+#include "core/intra_matching.h"
+
+namespace nmcdr {
+
+IntraMatchingComponent::IntraMatchingComponent(ag::ParameterStore* store,
+                                               const std::string& name,
+                                               int dim, Rng* rng,
+                                               bool gate_fusion,
+                                               bool shared_transform)
+    : head_(store, name + ".head", dim, dim, rng),
+      tail_(store, name + ".tail", dim, dim, rng),
+      gate_head_(store, name + ".gate_h", dim, dim, rng),
+      gate_tail_(store, name + ".gate_t", dim, dim, rng),
+      gate_fusion_(gate_fusion),
+      shared_transform_(shared_transform) {}
+
+ag::Tensor IntraMatchingComponent::PoolMessage(
+    const ag::Tensor& users, const std::vector<int>& sample,
+    const ag::Linear& transform, int rows) const {
+  if (sample.empty()) {
+    return ag::Tensor(Matrix(rows, users.cols()));
+  }
+  // mean_k (u_k W + b) == (mean_k u_k) W + b : Eq. 8 with Laplacian norm.
+  ag::Tensor pooled = ag::ColMean(ag::Embedding(users, sample));
+  ag::Tensor msg = transform.Forward(pooled);
+  return ag::Relu(ag::TileRows(msg, rows));  // Eq. 9 aggregation
+}
+
+ag::Tensor IntraMatchingComponent::Forward(
+    const ag::Tensor& users, const std::vector<int>& head_sample,
+    const std::vector<int>& tail_sample) const {
+  const int n = users.rows();
+  const ag::Linear& tail_transform = shared_transform_ ? head_ : tail_;
+  ag::Tensor u_head = PoolMessage(users, head_sample, head_, n);
+  ag::Tensor u_tail = PoolMessage(users, tail_sample, tail_transform, n);
+
+  ag::Tensor fused;
+  if (gate_fusion_) {
+    // Eq. 10: fine-grained gate between the two message types.
+    ag::Tensor gate = ag::Sigmoid(
+        ag::Add(gate_head_.Forward(u_head), gate_tail_.Forward(u_tail)));
+    fused = ag::Tanh(ag::Add(ag::Hadamard(ag::OneMinus(gate), u_head),
+                             ag::Hadamard(gate, u_tail)));
+  } else {
+    fused = ag::Tanh(ag::Add(u_head, u_tail));
+  }
+  // Eq. 11 residual.
+  return ag::Add(fused, users);
+}
+
+float IntraMatchingComponent::HeadSpectralNorm() const {
+  return head_.weight().value().SpectralNorm();
+}
+
+float IntraMatchingComponent::TailSpectralNorm() const {
+  const ag::Linear& t = shared_transform_ ? head_ : tail_;
+  return t.weight().value().SpectralNorm();
+}
+
+}  // namespace nmcdr

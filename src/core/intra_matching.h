@@ -1,0 +1,53 @@
+#ifndef NMCDR_CORE_INTRA_MATCHING_H_
+#define NMCDR_CORE_INTRA_MATCHING_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/nn.h"
+
+namespace nmcdr {
+
+/// Intra node matching component (§II.D.1, Eqs. 5-11): each user receives
+/// a head-user message and a tail-user message from the (sampled) fully
+/// connected user-user graph of its own domain, fused by the fine-grained
+/// gate of Eq. 10 and added residually (Eq. 11).
+///
+/// With the 1/|N| Laplacian norm of Eq. 8, the aggregated head message is
+/// the mean over the head pool pushed through the head transform — the
+/// same vector for every receiving user (the paper's graph is fully
+/// connected), so it is computed once on the sampled pool and tiled.
+class IntraMatchingComponent {
+ public:
+  /// `shared_transform=true` collapses W_head/W_tail into one matrix — the
+  /// ablation motivated by the Eq. 31 stability analysis (DESIGN.md §4).
+  IntraMatchingComponent(ag::ParameterStore* store, const std::string& name,
+                         int dim, Rng* rng, bool gate_fusion,
+                         bool shared_transform);
+
+  /// `head_sample` / `tail_sample`: user ids sampled from the head/tail
+  /// pools for this step (either may be empty -> zero message).
+  ag::Tensor Forward(const ag::Tensor& users,
+                     const std::vector<int>& head_sample,
+                     const std::vector<int>& tail_sample) const;
+
+  /// Spectral norms of the message transforms (W_a^2/W_n^2 in Eq. 31).
+  float HeadSpectralNorm() const;
+  float TailSpectralNorm() const;
+
+ private:
+  ag::Tensor PoolMessage(const ag::Tensor& users,
+                         const std::vector<int>& sample,
+                         const ag::Linear& transform, int rows) const;
+
+  ag::Linear head_;
+  ag::Linear tail_;
+  ag::Linear gate_head_;
+  ag::Linear gate_tail_;
+  bool gate_fusion_;
+  bool shared_transform_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_INTRA_MATCHING_H_

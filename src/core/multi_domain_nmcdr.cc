@@ -1,0 +1,289 @@
+#include "core/multi_domain_nmcdr.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+void MultiDomainView::CheckConsistency() const {
+  NMCDR_CHECK_EQ(domains.size(), train_graphs.size());
+  NMCDR_CHECK_EQ(domains.size(), user_to_person.size());
+  for (int d = 0; d < num_domains(); ++d) {
+    NMCDR_CHECK(domains[d] != nullptr);
+    NMCDR_CHECK(train_graphs[d] != nullptr);
+    NMCDR_CHECK_EQ(static_cast<int>(user_to_person[d].size()),
+                   domains[d]->num_users);
+    for (int person : user_to_person[d]) {
+      NMCDR_CHECK_GE(person, -1);
+      NMCDR_CHECK_LT(person, num_persons);
+    }
+  }
+}
+
+MultiDomainNmcdrModel::MultiDomainNmcdrModel(const MultiDomainView& view,
+                                             const NmcdrConfig& config,
+                                             uint64_t seed,
+                                             float learning_rate)
+    : view_(view), config_(config), rng_(seed) {
+  view_.CheckConsistency();
+  const int d = config_.hidden_dim;
+  domains_.resize(view_.num_domains());
+  for (int k = 0; k < view_.num_domains(); ++k) {
+    DomainState& dom = domains_[k];
+    const DomainData& data = *view_.domains[k];
+    const InteractionGraph& graph = *view_.train_graphs[k];
+    const std::string prefix = "d" + std::to_string(k);
+    dom.user_emb = store_.Register(
+        prefix + ".user_emb",
+        Matrix::Gaussian(data.num_users, d, &rng_, 0.f, 0.1f));
+    dom.item_emb = store_.Register(
+        prefix + ".item_emb",
+        Matrix::Gaussian(data.num_items, d, &rng_, 0.f, 0.1f));
+    dom.encoder = std::make_unique<HeteroGraphEncoder>(
+        &store_, prefix, d, config_.hge_layers, &rng_, config_.gnn_kernel);
+    dom.intra = std::make_unique<IntraMatchingComponent>(
+        &store_, prefix + ".intra", d, &rng_, config_.gate_fusion,
+        config_.shared_intra_transform);
+    dom.inter_self =
+        std::make_unique<ag::Linear>(&store_, prefix + ".self", d, d, &rng_);
+    dom.inter_other =
+        std::make_unique<ag::Linear>(&store_, prefix + ".other", d, d, &rng_);
+    dom.gate_self =
+        std::make_unique<ag::Linear>(&store_, prefix + ".gate_s", d, d, &rng_);
+    dom.gate_other =
+        std::make_unique<ag::Linear>(&store_, prefix + ".gate_o", d, d, &rng_);
+    dom.w_cross =
+        store_.Register(prefix + ".w_cross", Matrix::Xavier(d, d, &rng_));
+    dom.complement = std::make_unique<ComplementingComponent>(
+        &store_, prefix + ".comp", d, &rng_);
+    dom.prediction = std::make_unique<PredictionLayer>(
+        &store_, prefix + ".pred", d, config_.mlp_hidden, &rng_);
+    dom.adj_ui = graph.NormalizedUserItemAdj();
+    dom.adj_iu = graph.NormalizedItemUserAdj();
+    auto neighbors = std::make_shared<std::vector<std::vector<int>>>(
+        graph.num_users());
+    for (int u = 0; u < graph.num_users(); ++u) {
+      (*neighbors)[u] = graph.UserNeighbors(u);
+    }
+    dom.neighbors = neighbors;
+    dom.pools = BuildMatchingPools(graph, config_.k_head);
+    dom.graph = &graph;
+    dom.person_to_user.assign(view_.num_persons, -1);
+    for (int u = 0; u < data.num_users; ++u) {
+      const int person = view_.user_to_person[k][u];
+      if (person >= 0) dom.person_to_user[person] = u;
+    }
+    dom.non_overlap_pool.clear();
+    for (int u = 0; u < data.num_users; ++u) {
+      // Non-overlapped from the perspective of other domains: users whose
+      // person id is unknown or present in this domain only.
+      const int person = view_.user_to_person[k][u];
+      bool elsewhere = false;
+      if (person >= 0) {
+        for (int j = 0; j < view_.num_domains(); ++j) {
+          if (j == k) continue;
+          for (int v : view_.user_to_person[j]) {
+            if (v == person) {
+              elsewhere = true;
+              break;
+            }
+          }
+          if (elsewhere) break;
+        }
+      }
+      if (!elsewhere) dom.non_overlap_pool.push_back(u);
+    }
+  }
+  optimizer_ = std::make_unique<ag::Adam>(&store_, learning_rate,
+                                          /*beta1=*/0.9f, /*beta2=*/0.999f,
+                                          /*eps=*/1e-8f,
+                                          /*weight_decay=*/1e-4f);
+}
+
+std::vector<ag::Tensor> MultiDomainNmcdrModel::ForwardAll(
+    Rng* rng, bool force_candidate_refresh) {
+  const int k_domains = num_domains();
+  std::vector<ag::Tensor> h(k_domains);
+
+  // Stage g1 + intra matching per domain.
+  for (int k = 0; k < k_domains; ++k) {
+    DomainState& dom = domains_[k];
+    h[k] = dom.encoder->Forward(dom.user_emb, dom.item_emb, dom.adj_ui,
+                                dom.adj_iu, dom.neighbors);
+    if (config_.use_intra) {
+      const std::vector<int> heads =
+          SamplePool(dom.pools.head_users, config_.matching_neighbors, rng);
+      const std::vector<int> tails =
+          SamplePool(dom.pools.tail_users, config_.matching_neighbors, rng);
+      h[k] = dom.intra->Forward(h[k], heads, tails);
+    }
+  }
+
+  // Inter matching across all other domains (Eqs. 12-17 generalized):
+  // self message = mean of the person's representations in the other
+  // domains where the link is visible; other message = pooled mean over
+  // sampled non-overlap users of every other domain.
+  std::vector<ag::Tensor> next(k_domains);
+  if (config_.use_inter && k_domains > 1) {
+    for (int k = 0; k < k_domains; ++k) {
+      DomainState& dom = domains_[k];
+      const int n = view_.domains[k]->num_users;
+
+      // Self message, averaged over linked source domains.
+      ag::Tensor self_sum;
+      Matrix link_counts(n, 1);
+      for (int j = 0; j < k_domains; ++j) {
+        if (j == k) continue;
+        std::vector<int> idx(n, 0);
+        Matrix mask(n, 1);
+        bool any = false;
+        for (int u = 0; u < n; ++u) {
+          const int person = view_.user_to_person[k][u];
+          const int counterpart =
+              person >= 0 ? domains_[j].person_to_user[person] : -1;
+          if (counterpart >= 0) {
+            idx[u] = counterpart;
+            mask.At(u, 0) = 1.f;
+            link_counts.At(u, 0) += 1.f;
+            any = true;
+          }
+        }
+        if (!any) continue;
+        ag::Tensor gathered = ag::ScaleRows(ag::Embedding(h[j], idx),
+                                            ag::Tensor(std::move(mask)));
+        self_sum = self_sum.defined() ? ag::Add(self_sum, gathered)
+                                      : gathered;
+      }
+      ag::Tensor u_self;
+      if (self_sum.defined()) {
+        Matrix inv(n, 1);
+        for (int u = 0; u < n; ++u) {
+          const float c = link_counts.At(u, 0);
+          inv.At(u, 0) = c > 0.f ? 1.f / c : 0.f;
+        }
+        u_self = ag::Relu(dom.inter_self->Forward(
+            ag::ScaleRows(self_sum, ag::Tensor(std::move(inv)))));
+      } else {
+        u_self = ag::Tensor(Matrix(n, config_.hidden_dim));
+      }
+
+      // Other message: pooled over all other domains' sampled pools.
+      ag::Tensor pooled_sum;
+      int pooled_domains = 0;
+      for (int j = 0; j < k_domains; ++j) {
+        if (j == k) continue;
+        const std::vector<int> sample = SamplePool(
+            domains_[j].non_overlap_pool, config_.matching_neighbors, rng);
+        if (sample.empty()) continue;
+        ag::Tensor pooled = ag::ColMean(ag::Embedding(h[j], sample));
+        pooled_sum =
+            pooled_sum.defined() ? ag::Add(pooled_sum, pooled) : pooled;
+        ++pooled_domains;
+      }
+      ag::Tensor u_other;
+      if (pooled_domains > 0) {
+        u_other = ag::Relu(ag::TileRows(
+            dom.inter_other->Forward(
+                ag::Scale(pooled_sum, 1.f / pooled_domains)),
+            n));
+      } else {
+        u_other = ag::Tensor(Matrix(n, config_.hidden_dim));
+      }
+
+      // Eq. 15 with the domain's own W_cross both ways (a shared pair per
+      // ordered domain couple would be quadratic in K).
+      ag::Tensor g3_star =
+          ag::Add(ag::MatMul(h[k], dom.w_cross),
+                  ag::MatMul(u_self, ag::OneMinus(dom.w_cross)));
+      ag::Tensor fused;
+      if (config_.gate_fusion) {
+        ag::Tensor gate = ag::Sigmoid(ag::Add(dom.gate_self->Forward(g3_star),
+                                              dom.gate_other->Forward(u_other)));
+        fused = ag::Tanh(ag::Add(ag::Hadamard(ag::OneMinus(gate), g3_star),
+                                 ag::Hadamard(gate, u_other)));
+      } else {
+        fused = ag::Tanh(ag::Add(g3_star, u_other));
+      }
+      next[k] = ag::Add(fused, h[k]);
+    }
+    h = next;
+  }
+
+  // Complementing per domain.
+  const bool refresh =
+      force_candidate_refresh ||
+      steps_ % std::max(1, config_.complement_resample_every) == 0;
+  for (int k = 0; k < k_domains; ++k) {
+    DomainState& dom = domains_[k];
+    if (!config_.use_complement) continue;
+    if (refresh || dom.complement_cache == nullptr) {
+      dom.complement_cache = BuildComplementCandidates(
+          *dom.graph, config_.complement_candidates,
+          config_.complement_observed_only, rng);
+    }
+    h[k] = dom.complement->Forward(h[k], dom.item_emb, dom.complement_cache);
+  }
+  return h;
+}
+
+float MultiDomainNmcdrModel::TrainStep(
+    const std::vector<LabeledBatch>& batches) {
+  NMCDR_CHECK_EQ(static_cast<int>(batches.size()), num_domains());
+  bool any = false;
+  for (const LabeledBatch& b : batches) any |= !b.empty();
+  if (!any) return 0.f;
+
+  std::vector<ag::Tensor> reps = ForwardAll(&rng_);
+  ag::Tensor total;
+  for (int k = 0; k < num_domains(); ++k) {
+    const LabeledBatch& batch = batches[k];
+    if (batch.empty()) continue;
+    const DomainState& dom = domains_[k];
+    const ag::Tensor logits = dom.prediction->Forward(
+        ag::Embedding(reps[k], batch.users),
+        ag::Embedding(dom.item_emb, batch.items));
+    ag::Tensor loss = ag::BceWithLogits(logits, batch.labels);
+    total = total.defined() ? ag::Add(total, loss) : loss;
+  }
+  const float value = total.value().At(0, 0);
+  ag::Backward(total);
+  if (config_.grad_clip > 0.f) store_.ClipGradNorm(config_.grad_clip);
+  optimizer_->Step();
+  ++steps_;
+  reps_dirty_ = true;
+  return value;
+}
+
+void MultiDomainNmcdrModel::RefreshEvalReps() {
+  if (!reps_dirty_) return;
+  ag::NoGradGuard no_grad;
+  Rng eval_rng(0xE7A2ULL);
+  std::vector<ag::Tensor> reps =
+      ForwardAll(&eval_rng, /*force_candidate_refresh=*/true);
+  cached_reps_.clear();
+  for (const ag::Tensor& t : reps) cached_reps_.push_back(t.value());
+  for (DomainState& dom : domains_) dom.complement_cache = nullptr;
+  reps_dirty_ = false;
+}
+
+std::vector<float> MultiDomainNmcdrModel::Score(
+    int domain, const std::vector<int>& users,
+    const std::vector<int>& items) {
+  NMCDR_CHECK_GE(domain, 0);
+  NMCDR_CHECK_LT(domain, num_domains());
+  NMCDR_CHECK_EQ(users.size(), items.size());
+  RefreshEvalReps();
+  ag::NoGradGuard no_grad;
+  const DomainState& dom = domains_[domain];
+  const ag::Tensor user_rows{GatherRows(cached_reps_[domain], users)};
+  const ag::Tensor item_rows{GatherRows(dom.item_emb.value(), items)};
+  const ag::Tensor logits = dom.prediction->Forward(user_rows, item_rows);
+  std::vector<float> out(users.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.value().At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,115 @@
+#ifndef NMCDR_CORE_MULTI_DOMAIN_NMCDR_H_
+#define NMCDR_CORE_MULTI_DOMAIN_NMCDR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/optimizer.h"
+#include "core/complementing.h"
+#include "core/hetero_encoder.h"
+#include "core/intra_matching.h"
+#include "core/nmcdr_config.h"
+#include "core/prediction.h"
+#include "core/rec_model.h"
+#include "graph/sampling.h"
+
+namespace nmcdr {
+
+/// A K-domain multi-target CDR setting: the §II.A formulation generalized
+/// from two domains to K, with user identity expressed through shared
+/// person ids (the MYbank online deployment of §III.C spans three domains).
+/// All pointers outlive the model.
+struct MultiDomainView {
+  /// One entry per domain.
+  std::vector<const DomainData*> domains;
+  /// TRAIN interaction graphs (held-out items excluded), one per domain.
+  std::vector<const InteractionGraph*> train_graphs;
+  /// user_to_person[d][u] = person id of domain-d user u, or -1 when the
+  /// identity is unknown (the K_u masking generalized to K domains).
+  /// Person ids shared across domains define the overlaps.
+  std::vector<std::vector<int>> user_to_person;
+  int num_persons = 0;
+
+  int num_domains() const { return static_cast<int>(domains.size()); }
+
+  /// CHECK-fails on inconsistent sizes or out-of-range person ids.
+  void CheckConsistency() const;
+};
+
+/// NMCDR generalized to K target domains. Per domain it keeps the paper's
+/// pipeline (heterogeneous graph encoder -> intra node matching ->
+/// inter node matching -> intra node complementing -> prediction); the
+/// inter component's "self" message for a user averages the
+/// representations of the SAME person in every other domain where the
+/// identity link is visible, and the "other" message pools sampled
+/// non-overlapped users from all other domains — exactly Eq. 13 with the
+/// fully connected cross-domain graph spanning K-1 domains.
+class MultiDomainNmcdrModel {
+ public:
+  MultiDomainNmcdrModel(const MultiDomainView& view,
+                        const NmcdrConfig& config, uint64_t seed,
+                        float learning_rate = 1e-3f);
+
+  /// One optimization step on per-domain batches (size must equal the
+  /// domain count; empty batches are skipped). Returns the total loss.
+  float TrainStep(const std::vector<LabeledBatch>& batches);
+
+  /// Affinity scores for user-item pairs of domain `d`.
+  std::vector<float> Score(int domain, const std::vector<int>& users,
+                           const std::vector<int>& items);
+
+  ag::ParameterStore* params() { return &store_; }
+  int64_t ParameterCount() { return store_.ParameterCount(); }
+  int num_domains() const { return static_cast<int>(domains_.size()); }
+
+  /// Drops cached evaluation representations (call after external
+  /// parameter mutation).
+  void InvalidateCaches() { reps_dirty_ = true; }
+
+ private:
+  struct DomainState {
+    ag::Tensor user_emb;
+    ag::Tensor item_emb;
+    std::unique_ptr<HeteroGraphEncoder> encoder;
+    std::unique_ptr<IntraMatchingComponent> intra;
+    // Inter-matching parameters (Eqs. 13-17 across K-1 source domains).
+    std::unique_ptr<ag::Linear> inter_self;
+    std::unique_ptr<ag::Linear> inter_other;
+    std::unique_ptr<ag::Linear> gate_self;
+    std::unique_ptr<ag::Linear> gate_other;
+    ag::Tensor w_cross;
+    std::unique_ptr<ComplementingComponent> complement;
+    std::unique_ptr<PredictionLayer> prediction;
+    std::shared_ptr<const CsrMatrix> adj_ui;
+    std::shared_ptr<const CsrMatrix> adj_iu;
+    std::shared_ptr<const std::vector<std::vector<int>>> neighbors;
+    std::shared_ptr<const std::vector<std::vector<int>>> complement_cache;
+    MatchingPools pools;
+    std::vector<int> non_overlap_pool;
+    const InteractionGraph* graph = nullptr;
+    /// person -> local user id (or -1), the inverse of user_to_person.
+    std::vector<int> person_to_user;
+  };
+
+  /// Full forward over all domains; fills per-domain final reps.
+  /// `force_candidate_refresh` rebuilds complement candidates from `rng`
+  /// (evaluation paths), making cached reps a pure function of parameters.
+  std::vector<ag::Tensor> ForwardAll(Rng* rng,
+                                     bool force_candidate_refresh = false);
+  void RefreshEvalReps();
+
+  MultiDomainView view_;
+  NmcdrConfig config_;
+  ag::ParameterStore store_;
+  Rng rng_;
+  std::vector<DomainState> domains_;
+  std::unique_ptr<ag::Adam> optimizer_;
+  int64_t steps_ = 0;
+  bool reps_dirty_ = true;
+  std::vector<Matrix> cached_reps_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_MULTI_DOMAIN_NMCDR_H_

@@ -1,0 +1,83 @@
+#ifndef NMCDR_CORE_NMCDR_CONFIG_H_
+#define NMCDR_CORE_NMCDR_CONFIG_H_
+
+#include <array>
+#include <vector>
+
+namespace nmcdr {
+
+/// Message-mapping kernel of the heterogeneous graph encoder. The paper
+/// notes (under Eq. 3) that the mapping function "can be replaced with any
+/// proposed graph neural network kernels such as GCN and GAT".
+enum class GnnKernel {
+  kVanilla,  // Eq. 3: Laplacian-normalized mean aggregation
+  kGat,      // dot-product attention over each user's neighbours
+};
+
+/// Hyper-parameters of NMCDR (§III.A.4). The paper sets every transform
+/// dimension (D, D_hge, D_igm, D_cgm, D_ref) to 128; the residual
+/// connections of Eqs. 11 and 17 require them equal, so this port exposes a
+/// single `hidden_dim`.
+struct NmcdrConfig {
+  /// Shared embedding/transform dimension.
+  int hidden_dim = 16;
+
+  /// Heterogeneous-graph-encoder layers (Eqs. 2-4).
+  int hge_layers = 2;
+  /// Message-mapping kernel of the encoder's user-side aggregation.
+  GnnKernel gnn_kernel = GnnKernel::kVanilla;
+  /// Stacked (intra + inter) node-matching blocks (paper: 3).
+  int intra_inter_layers = 1;
+  /// Stacked intra-node-complementing blocks (paper: 2).
+  int complement_layers = 1;
+
+  /// Head/tail discrimination threshold K_head of Eq. 5 (paper: 7).
+  int k_head = 7;
+  /// Sampled matching neighbours per pool per step (Fig. 3; paper: 512).
+  int matching_neighbors = 512;
+
+  /// Sampled candidate items per user added to the observed neighbours in
+  /// the complementing attention (Eq. 18); see DESIGN.md on the two
+  /// readings of Eq. 18.
+  int complement_candidates = 20;
+  /// Literal Eq. 18: attend over observed neighbours only.
+  bool complement_observed_only = false;
+  /// Training steps between complement-candidate resamples (1 = every
+  /// step; larger values amortize the proposal walks).
+  int complement_resample_every = 25;
+
+  /// Ablation switches (Table IX): w/o-Igm, w/o-Cgm, w/o-Inc, w/o-Sup.
+  bool use_intra = true;
+  bool use_inter = true;
+  bool use_complement = true;
+  bool use_companion = true;
+
+  /// Design-choice ablations (DESIGN.md §4).
+  bool gate_fusion = true;             // Eq. 10/16 gating vs plain sum
+  bool shared_intra_transform = false; // one transform for head+tail msgs
+
+  /// Learn the companion weights instead of fixing them: each stage's
+  /// loss enters as exp(-s_i) * L_i + s_i with trainable s_i (homoscedastic
+  /// uncertainty weighting) — the "dynamically computed weight" option the
+  /// paper mentions under Eq. 22.
+  bool dynamic_companion_weights = false;
+
+  /// Companion-objective weights w1..w4 of Eq. 22. The paper sets 1.0 at
+  /// D=128; at this port's CPU scale (D=16, small MLP) four unit-weight
+  /// companion heads dominate the final-loss gradient, so the default is
+  /// calibrated to 0.3 (the paper allows "static or dynamically computed"
+  /// weights; see EXPERIMENTS.md).
+  std::array<float, 4> companion_weights = {0.3f, 0.3f, 0.3f, 0.3f};
+  /// Loss mixture w5..w8 of Eq. 24: {CO_Z, CO_Z̄, CLS_Z, CLS_Z̄}.
+  std::array<float, 4> loss_weights = {1.f, 1.f, 1.f, 1.f};
+
+  /// Hidden sizes of the shared prediction MLP (Eq. 20).
+  std::vector<int> mlp_hidden = {32};
+
+  /// Global gradient-norm clip (0 disables).
+  float grad_clip = 5.f;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_NMCDR_CONFIG_H_

@@ -1,0 +1,300 @@
+#include "core/nmcdr_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+NmcdrModel::NmcdrModel(const ScenarioView& view, const NmcdrConfig& config,
+                       uint64_t seed, float learning_rate)
+    : config_(config), view_(view), rng_(seed) {
+  NMCDR_CHECK(view.scenario != nullptr);
+  InitDomain(DomainSide::kZ, &z_, &rng_);
+  InitDomain(DomainSide::kZbar, &zbar_, &rng_);
+  z_.self_index = &view_.scenario->z_to_zbar;
+  zbar_.self_index = &view_.scenario->zbar_to_z;
+  if (config_.dynamic_companion_weights) {
+    companion_log_vars_ = store_.Register("companion_log_vars", Matrix(1, 4));
+  }
+  optimizer_ = std::make_unique<ag::Adam>(&store_, learning_rate,
+                                        /*beta1=*/0.9f,
+                                        /*beta2=*/0.999f,
+                                        /*eps=*/1e-8f,
+                                        /*weight_decay=*/1e-4f);
+}
+
+void NmcdrModel::InitDomain(DomainSide side, DomainState* dom, Rng* rng) {
+  const DomainData& data = view_.domain(side);
+  const InteractionGraph& graph = view_.train_graph(side);
+  const std::string prefix = side == DomainSide::kZ ? "z" : "zbar";
+  const int d = config_.hidden_dim;
+
+  dom->user_emb = store_.Register(
+      prefix + ".user_emb",
+      Matrix::Gaussian(data.num_users, d, rng, 0.f, 0.1f));
+  dom->item_emb = store_.Register(
+      prefix + ".item_emb",
+      Matrix::Gaussian(data.num_items, d, rng, 0.f, 0.1f));
+  dom->encoder = std::make_unique<HeteroGraphEncoder>(
+      &store_, prefix, d, config_.hge_layers, rng, config_.gnn_kernel);
+  for (int l = 0; l < config_.intra_inter_layers; ++l) {
+    dom->intra.push_back(std::make_unique<IntraMatchingComponent>(
+        &store_, prefix + ".intra" + std::to_string(l), d, rng,
+        config_.gate_fusion, config_.shared_intra_transform));
+    dom->inter.push_back(std::make_unique<InterMatchingComponent>(
+        &store_, prefix + ".inter" + std::to_string(l), d, rng,
+        config_.gate_fusion));
+  }
+  for (int l = 0; l < config_.complement_layers; ++l) {
+    dom->complement.push_back(std::make_unique<ComplementingComponent>(
+        &store_, prefix + ".comp" + std::to_string(l), d, rng));
+  }
+  dom->prediction = std::make_unique<PredictionLayer>(
+      &store_, prefix + ".pred", d, config_.mlp_hidden, rng);
+  dom->w_cross =
+      store_.Register(prefix + ".w_cross", Matrix::Xavier(d, d, rng));
+  dom->adj_ui = graph.NormalizedUserItemAdj();
+  dom->adj_iu = graph.NormalizedItemUserAdj();
+  {
+    auto neighbors = std::make_shared<std::vector<std::vector<int>>>(
+        graph.num_users());
+    for (int u = 0; u < graph.num_users(); ++u) {
+      (*neighbors)[u] = graph.UserNeighbors(u);
+    }
+    dom->neighbors = neighbors;
+  }
+  dom->pools = BuildMatchingPools(graph, config_.k_head);
+  dom->graph = &graph;
+}
+
+void NmcdrModel::ForwardBoth(Rng* rng, StageTensors* z, StageTensors* zbar,
+                             bool force_candidate_refresh) {
+  // Refresh the non-overlap pools (links are fixed per scenario, so this
+  // could be cached; kept explicit for clarity and low cost).
+  auto build_non_overlap = [](const std::vector<int>& self_index) {
+    std::vector<int> pool;
+    for (size_t u = 0; u < self_index.size(); ++u) {
+      if (self_index[u] < 0) pool.push_back(static_cast<int>(u));
+    }
+    return pool;
+  };
+  z_.non_overlap_pool = build_non_overlap(*z_.self_index);
+  zbar_.non_overlap_pool = build_non_overlap(*zbar_.self_index);
+
+  StageTensors* stages[2] = {z, zbar};
+  DomainState* doms[2] = {&z_, &zbar_};
+
+  // Stage g0/g1 per domain.
+  for (int s = 0; s < 2; ++s) {
+    DomainState& dom = *doms[s];
+    stages[s]->g0 = dom.user_emb;
+    stages[s]->g1 = dom.encoder->Forward(dom.user_emb, dom.item_emb,
+                                         dom.adj_ui, dom.adj_iu,
+                                         dom.neighbors);
+  }
+
+  // Stacked intra + inter blocks, advancing both domains in lockstep so
+  // each inter block consumes the other domain's post-intra representation
+  // of the same depth (Eq. 12 uses u_g2 of both domains).
+  ag::Tensor h[2] = {stages[0]->g1, stages[1]->g1};
+  for (int l = 0; l < config_.intra_inter_layers; ++l) {
+    if (config_.use_intra) {
+      for (int s = 0; s < 2; ++s) {
+        DomainState& dom = *doms[s];
+        const std::vector<int> heads =
+            SamplePool(dom.pools.head_users, config_.matching_neighbors, rng);
+        const std::vector<int> tails =
+            SamplePool(dom.pools.tail_users, config_.matching_neighbors, rng);
+        h[s] = dom.intra[l]->Forward(h[s], heads, tails);
+      }
+    }
+    stages[0]->g2 = h[0];
+    stages[1]->g2 = h[1];
+    if (config_.use_inter) {
+      ag::Tensor next[2];
+      for (int s = 0; s < 2; ++s) {
+        DomainState& dom = *doms[s];
+        DomainState& other = *doms[1 - s];
+        const std::vector<int> other_sample = SamplePool(
+            other.non_overlap_pool, config_.matching_neighbors, rng);
+        next[s] = dom.inter[l]->Forward(h[s], h[1 - s], *dom.self_index,
+                                        other_sample, dom.w_cross,
+                                        other.w_cross);
+      }
+      h[0] = next[0];
+      h[1] = next[1];
+    }
+    stages[0]->g3 = h[0];
+    stages[1]->g3 = h[1];
+  }
+  if (config_.intra_inter_layers == 0 ||
+      (!config_.use_intra && !config_.use_inter)) {
+    stages[0]->g2 = h[0];
+    stages[1]->g2 = h[1];
+    stages[0]->g3 = h[0];
+    stages[1]->g3 = h[1];
+  }
+
+  // Intra node complementing (Eqs. 18-19). Candidate lists are refreshed
+  // periodically rather than per step.
+  const bool refresh_candidates =
+      force_candidate_refresh ||
+      steps_ % std::max(1, config_.complement_resample_every) == 0;
+  for (int s = 0; s < 2; ++s) {
+    DomainState& dom = *doms[s];
+    if (config_.use_complement) {
+      if (refresh_candidates || dom.complement_cache == nullptr) {
+        dom.complement_cache = BuildComplementCandidates(
+            *dom.graph, config_.complement_candidates,
+            config_.complement_observed_only, rng);
+      }
+      for (int l = 0; l < config_.complement_layers; ++l) {
+        h[s] = dom.complement[l]->Forward(h[s], dom.item_emb,
+                                          dom.complement_cache);
+      }
+    }
+    stages[s]->g4 = h[s];
+  }
+}
+
+NmcdrModel::DomainLosses NmcdrModel::ComputeDomainLosses(
+    const StageTensors& stages, const DomainState& dom,
+    const LabeledBatch& batch) const {
+  DomainLosses losses;
+  if (batch.empty()) return losses;
+  const ag::Tensor item_rows = ag::Embedding(dom.item_emb, batch.items);
+  auto stage_loss = [&](const ag::Tensor& stage) {
+    const ag::Tensor user_rows = ag::Embedding(stage, batch.users);
+    return ag::BceWithLogits(dom.prediction->Forward(user_rows, item_rows),
+                             batch.labels);
+  };
+  losses.cls = stage_loss(stages.g4);  // Eq. 23
+  if (config_.use_companion) {
+    // Eq. 22: the four companion stages share the prediction layer.
+    const ag::Tensor* companion_stages[4] = {&stages.g0, &stages.g1,
+                                             &stages.g2, &stages.g3};
+    ag::Tensor total;
+    for (int i = 0; i < 4; ++i) {
+      ag::Tensor term;
+      if (config_.dynamic_companion_weights) {
+        // Uncertainty weighting: exp(-s_i) * L_i + s_i, s_i trainable.
+        const ag::Tensor s_i = ag::SliceCols(companion_log_vars_, i, 1);
+        term = ag::Add(ag::Hadamard(ag::Exp(ag::Scale(s_i, -1.f)),
+                                    stage_loss(*companion_stages[i])),
+                       s_i);
+      } else {
+        term = ag::Scale(stage_loss(*companion_stages[i]),
+                         config_.companion_weights[i]);
+      }
+      total = total.defined() ? ag::Add(total, term) : term;
+    }
+    losses.companion = total;
+  }
+  return losses;
+}
+
+float NmcdrModel::TrainStep(const LabeledBatch& batch_z,
+                            const LabeledBatch& batch_zbar) {
+  if (batch_z.empty() && batch_zbar.empty()) return 0.f;
+  StageTensors sz, szbar;
+  ForwardBoth(&rng_, &sz, &szbar);
+
+  const DomainLosses lz = ComputeDomainLosses(sz, z_, batch_z);
+  const DomainLosses lzbar = ComputeDomainLosses(szbar, zbar_, batch_zbar);
+
+  // Eq. 24: L = w5 CO_Z + w6 CO_Z̄ + w7 CLS_Z + w8 CLS_Z̄.
+  ag::Tensor total;
+  auto add_term = [&total](const ag::Tensor& t, float w) {
+    if (!t.defined()) return;
+    ag::Tensor term = ag::Scale(t, w);
+    total = total.defined() ? ag::Add(total, term) : term;
+  };
+  add_term(lz.companion, config_.loss_weights[0]);
+  add_term(lzbar.companion, config_.loss_weights[1]);
+  add_term(lz.cls, config_.loss_weights[2]);
+  add_term(lzbar.cls, config_.loss_weights[3]);
+  NMCDR_CHECK(total.defined());
+
+  const float loss_value = total.value().At(0, 0);
+  ag::Backward(total);
+  if (config_.grad_clip > 0.f) store_.ClipGradNorm(config_.grad_clip);
+  optimizer_->Step();
+  ++steps_;
+  reps_dirty_ = true;
+  return loss_value;
+}
+
+void NmcdrModel::RefreshEvalReps() {
+  if (!reps_dirty_) return;
+  ag::NoGradGuard no_grad;
+  // Fixed seed: evaluation representations are deterministic given the
+  // parameters, so repeated scoring is consistent within an evaluation.
+  Rng eval_rng(0xE7A1ULL);
+  StageTensors sz, szbar;
+  ForwardBoth(&eval_rng, &sz, &szbar, /*force_candidate_refresh=*/true);
+  cached_g4_z_ = sz.g4.value();
+  cached_g4_zbar_ = szbar.g4.value();
+  z_.complement_cache = nullptr;
+  zbar_.complement_cache = nullptr;
+  reps_dirty_ = false;
+}
+
+std::vector<float> NmcdrModel::Score(DomainSide side,
+                                     const std::vector<int>& users,
+                                     const std::vector<int>& items) {
+  NMCDR_CHECK_EQ(users.size(), items.size());
+  RefreshEvalReps();
+  const Matrix& user_reps =
+      side == DomainSide::kZ ? cached_g4_z_ : cached_g4_zbar_;
+  const DomainState& dom = side == DomainSide::kZ ? z_ : zbar_;
+
+  ag::NoGradGuard no_grad;
+  ag::Tensor user_rows{GatherRows(user_reps, users)};
+  ag::Tensor item_rows{GatherRows(dom.item_emb.value(), items)};
+  const ag::Tensor logits = dom.prediction->Forward(user_rows, item_rows);
+  std::vector<float> out(users.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.value().At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+NmcdrModel::StageReps NmcdrModel::ComputeStageReps(DomainSide side) {
+  ag::NoGradGuard no_grad;
+  Rng fixed_rng(20230101);
+  StageTensors sz, szbar;
+  ForwardBoth(&fixed_rng, &sz, &szbar, /*force_candidate_refresh=*/true);
+  const StageTensors& s = side == DomainSide::kZ ? sz : szbar;
+  return StageReps{s.g0.value(), s.g1.value(), s.g2.value(), s.g3.value(),
+                   s.g4.value()};
+}
+
+float NmcdrModel::StabilityUpperBound(DomainSide side) const {
+  const DomainState& dom = side == DomainSide::kZ ? z_ : zbar_;
+  const InteractionGraph& graph = *dom.graph;
+  // Eq. 31 with C_sf = C_sp = 1: ||W_a^3|| ( ||W_a^2|| ||W_a^1||
+  //   + (sum_{v_j in N_u} 1/n_j)/(N-1) ||W_n^2|| ||W_n^1|| ),
+  // averaged over users u. W^1 is the (shared) encoder transform, W^2 the
+  // intra-matching head/tail transforms, W^3 the first prediction layer.
+  const float w1 = dom.encoder->FirstLayerSpectralNorm();
+  const float wa2 = dom.intra.empty() ? 1.f : dom.intra[0]->HeadSpectralNorm();
+  const float wn2 = dom.intra.empty() ? 1.f : dom.intra[0]->TailSpectralNorm();
+  const float wa3 = dom.prediction->FirstLayerSpectralNorm();
+  const int n_users = graph.num_users();
+  if (n_users <= 1) return 0.f;
+  double mean_neighbor_term = 0.0;
+  for (int u = 0; u < n_users; ++u) {
+    double acc = 0.0;
+    for (int v : graph.UserNeighbors(u)) {
+      const int nj = graph.ItemDegree(v);
+      if (nj > 0) acc += 1.0 / nj;
+    }
+    mean_neighbor_term += acc / (n_users - 1);
+  }
+  mean_neighbor_term /= n_users;
+  return wa3 * (wa2 * w1 +
+                static_cast<float>(mean_neighbor_term) * wn2 * w1);
+}
+
+}  // namespace nmcdr

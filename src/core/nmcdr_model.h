@@ -1,0 +1,121 @@
+#ifndef NMCDR_CORE_NMCDR_MODEL_H_
+#define NMCDR_CORE_NMCDR_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/optimizer.h"
+#include "core/complementing.h"
+#include "core/hetero_encoder.h"
+#include "core/inter_matching.h"
+#include "core/intra_matching.h"
+#include "core/nmcdr_config.h"
+#include "core/prediction.h"
+#include "core/rec_model.h"
+#include "graph/sampling.h"
+
+namespace nmcdr {
+
+/// NMCDR (the paper's contribution, §II): heterogeneous graph encoder →
+/// stacked intra/inter node matching blocks → intra node complementing →
+/// per-domain prediction, trained with the companion objectives of Eq. 22
+/// and the total loss of Eq. 24 for both domains simultaneously.
+class NmcdrModel : public RecModel {
+ public:
+  /// `learning_rate` feeds the internal Adam optimizer (§III.A.4).
+  NmcdrModel(const ScenarioView& view, const NmcdrConfig& config,
+             uint64_t seed, float learning_rate = 1e-3f);
+
+  std::string name() const override { return "NMCDR"; }
+  float TrainStep(const LabeledBatch& batch_z,
+                  const LabeledBatch& batch_zbar) override;
+  std::vector<float> Score(DomainSide side, const std::vector<int>& users,
+                           const std::vector<int>& items) override;
+  ag::ParameterStore* params() override { return &store_; }
+  void InvalidateCaches() override { reps_dirty_ = true; }
+
+  /// User representations after each module, for the Fig. 5 analysis:
+  /// g0 = embedding table, g1 = graph encoder, g2 = intra matching,
+  /// g3 = inter matching, g4 = complementing.
+  struct StageReps {
+    Matrix g0, g1, g2, g3, g4;
+  };
+  StageReps ComputeStageReps(DomainSide side);
+
+  /// The Eq. 31 instability upper bound (with C_sf = C_sp = 1), averaged
+  /// over the domain's users. Exposed so tests can check the perturbation
+  /// property and benches can report the robustness/discernibility
+  /// trade-off of §II.H.
+  float StabilityUpperBound(DomainSide side) const;
+
+  const NmcdrConfig& config() const { return config_; }
+
+ private:
+  struct DomainState {
+    ag::Tensor user_emb;  // U^Z of Eq. 1
+    ag::Tensor item_emb;  // V^Z of Eq. 1
+    std::unique_ptr<HeteroGraphEncoder> encoder;
+    std::vector<std::unique_ptr<IntraMatchingComponent>> intra;
+    std::vector<std::unique_ptr<InterMatchingComponent>> inter;
+    std::vector<std::unique_ptr<ComplementingComponent>> complement;
+    std::unique_ptr<PredictionLayer> prediction;
+    ag::Tensor w_cross;  // W_cross of Eq. 15
+    std::shared_ptr<const CsrMatrix> adj_ui;
+    std::shared_ptr<const CsrMatrix> adj_iu;
+    std::shared_ptr<const std::vector<std::vector<int>>> neighbors;
+    /// Complement candidate lists, refreshed every
+    /// `complement_resample_every` steps (they mix observed neighbours
+    /// with sampled proposals; resampling every step is pure overhead).
+    std::shared_ptr<const std::vector<std::vector<int>>> complement_cache;
+    MatchingPools pools;
+    /// This domain's users with no (visible) overlap link — the pool the
+    /// OTHER domain samples its Eq. 13 "other" messages from.
+    std::vector<int> non_overlap_pool;
+    /// Per user: linked row in the other domain, or -1.
+    const std::vector<int>* self_index = nullptr;
+    const InteractionGraph* graph = nullptr;
+  };
+
+  struct StageTensors {
+    ag::Tensor g0, g1, g2, g3, g4;
+  };
+
+  void InitDomain(DomainSide side, DomainState* dom, Rng* rng);
+
+  /// Full forward of both domains with fresh pool/candidate samples.
+  /// `force_candidate_refresh` rebuilds the complement candidates from
+  /// `rng` regardless of the resample schedule — evaluation paths use it
+  /// so cached representations are a pure function of the parameters.
+  void ForwardBoth(Rng* rng, StageTensors* z, StageTensors* zbar,
+                   bool force_candidate_refresh = false);
+
+  struct DomainLosses {
+    ag::Tensor companion;  // L_CO (Eq. 22), undefined when batch empty
+    ag::Tensor cls;        // L_CLS (Eq. 23), undefined when batch empty
+  };
+  DomainLosses ComputeDomainLosses(const StageTensors& stages,
+                                   const DomainState& dom,
+                                   const LabeledBatch& batch) const;
+
+  /// Recomputes the cached evaluation representations if stale.
+  void RefreshEvalReps();
+
+  NmcdrConfig config_;
+  ScenarioView view_;
+  ag::ParameterStore store_;
+  Rng rng_;
+  DomainState z_;
+  DomainState zbar_;
+  ag::Tensor companion_log_vars_;  // [1,4]; dynamic_companion_weights only
+  std::unique_ptr<ag::Adam> optimizer_;
+
+  bool reps_dirty_ = true;
+  int64_t steps_ = 0;
+  Matrix cached_g4_z_;
+  Matrix cached_g4_zbar_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_NMCDR_MODEL_H_

@@ -1,0 +1,36 @@
+#include "core/prediction.h"
+
+namespace nmcdr {
+namespace {
+
+std::vector<int> MlpDims(int dim, const std::vector<int>& hidden) {
+  std::vector<int> dims;
+  dims.push_back(2 * dim);
+  for (int h : hidden) dims.push_back(h);
+  dims.push_back(1);
+  return dims;
+}
+
+}  // namespace
+
+PredictionLayer::PredictionLayer(ag::ParameterStore* store,
+                                 const std::string& name, int dim,
+                                 const std::vector<int>& hidden, Rng* rng)
+    : mlp_(store, name + ".mlp", MlpDims(dim, hidden), rng),
+      gmf_(store, name + ".gmf", dim, 1, rng) {
+  // Start the product path as a plain inner product.
+  ag::Tensor w = gmf_.weight();
+  w.mutable_value().Fill(1.f);
+}
+
+ag::Tensor PredictionLayer::Forward(const ag::Tensor& user_rows,
+                                    const ag::Tensor& item_rows) const {
+  return ag::Add(mlp_.Forward(ag::ConcatCols(user_rows, item_rows)),
+                 gmf_.Forward(ag::Hadamard(user_rows, item_rows)));
+}
+
+float PredictionLayer::FirstLayerSpectralNorm() const {
+  return mlp_.layer(0).weight().value().SpectralNorm();
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,37 @@
+#ifndef NMCDR_CORE_PREDICTION_H_
+#define NMCDR_CORE_PREDICTION_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/nn.h"
+
+namespace nmcdr {
+
+/// Prediction layer (§II.F, Eq. 20): stacked MLPs over [u || v] plus an
+/// explicit weighted inner-product (matching) term,
+/// logit = MLP([u||v]) + w . (u ⊙ v).
+/// Returns logits (the sigmoid lives inside the BCE loss for numerical
+/// stability, and ranking is monotone in the logit). Port note: at D=128
+/// the paper's MLP can approximate the inner product; at this port's D=16
+/// the explicit term restores that capacity (DESIGN.md §1).
+class PredictionLayer {
+ public:
+  PredictionLayer(ag::ParameterStore* store, const std::string& name,
+                  int dim, const std::vector<int>& hidden, Rng* rng);
+
+  /// `user_rows` and `item_rows` are [B,D] each; returns [B,1] logits.
+  ag::Tensor Forward(const ag::Tensor& user_rows,
+                     const ag::Tensor& item_rows) const;
+
+  /// Spectral norm of the first MLP transform (W_a^3 of Eq. 31).
+  float FirstLayerSpectralNorm() const;
+
+ private:
+  ag::Mlp mlp_;
+  ag::Linear gmf_;  // weighted product term over u ⊙ v
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_PREDICTION_H_

@@ -1,0 +1,95 @@
+#ifndef NMCDR_CORE_REC_MODEL_H_
+#define NMCDR_CORE_REC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/nn.h"
+#include "data/dataset.h"
+#include "graph/interaction_graph.h"
+
+namespace nmcdr {
+
+/// Which of the two domains of a CdrScenario a call refers to.
+enum class DomainSide { kZ, kZbar };
+
+/// A mini-batch of labeled user-item pairs (1 = observed interaction,
+/// 0 = sampled negative) within one domain.
+struct LabeledBatch {
+  std::vector<int> users;
+  std::vector<int> items;
+  std::vector<float> labels;
+
+  int size() const { return static_cast<int>(users.size()); }
+  bool empty() const { return users.empty(); }
+};
+
+/// Everything a model may see at training time: the scenario (with the
+/// K_u-masked overlap links), the leave-one-out splits, and interaction
+/// graphs built from the TRAIN portions only (test positives must never
+/// leak into message passing). All pointers outlive the model.
+struct ScenarioView {
+  const CdrScenario* scenario = nullptr;
+  const DomainSplit* split_z = nullptr;
+  const DomainSplit* split_zbar = nullptr;
+  const InteractionGraph* train_graph_z = nullptr;
+  const InteractionGraph* train_graph_zbar = nullptr;
+
+  const DomainData& domain(DomainSide side) const {
+    return side == DomainSide::kZ ? scenario->z : scenario->zbar;
+  }
+  const InteractionGraph& train_graph(DomainSide side) const {
+    return side == DomainSide::kZ ? *train_graph_z : *train_graph_zbar;
+  }
+  const DomainSplit& split(DomainSide side) const {
+    return side == DomainSide::kZ ? *split_z : *split_zbar;
+  }
+};
+
+/// Common interface of NMCDR and every baseline. A model is trained by
+/// repeated TrainStep calls (one mini-batch per domain) and evaluated via
+/// Score, which must not record autograd history or mutate parameters.
+class RecModel {
+ public:
+  virtual ~RecModel() = default;
+
+  /// Model identifier as used in the paper's tables (e.g. "NMCDR", "PLE").
+  virtual std::string name() const = 0;
+
+  /// Runs one forward/backward/update step on a batch from each domain
+  /// (either batch may be empty for single-domain steps) and returns the
+  /// total loss value of the step.
+  virtual float TrainStep(const LabeledBatch& batch_z,
+                          const LabeledBatch& batch_zbar) = 0;
+
+  /// Affinity scores for the given user-item id pairs in one domain.
+  /// Higher means more preferred. Sizes of `users` and `items` must match.
+  virtual std::vector<float> Score(DomainSide side,
+                                   const std::vector<int>& users,
+                                   const std::vector<int>& items) = 0;
+
+  /// The model's trainable parameters (optimizers iterate this store).
+  virtual ag::ParameterStore* params() = 0;
+
+  /// Called after parameters were mutated outside TrainStep (e.g. the
+  /// trainer restoring a best-validation checkpoint); models that cache
+  /// full-graph representations must drop them here.
+  virtual void InvalidateCaches() {}
+
+  /// Total scalar parameter count (the §III.B.6 efficiency statistic).
+  int64_t ParameterCount() { return params()->ParameterCount(); }
+};
+
+/// Hyper-parameters shared by all models so comparisons are fair
+/// (§III.A.4: "we adopt the same hyper-parameters for all the approaches").
+struct CommonHyper {
+  /// Embedding dimension D (paper: 128; scaled for CPU).
+  int embed_dim = 16;
+  /// Hidden sizes of prediction MLPs.
+  std::vector<int> mlp_hidden = {32};
+  uint64_t seed = 42;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_CORE_REC_MODEL_H_

@@ -1,0 +1,167 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+double DomainData::Density() const {
+  if (num_users == 0 || num_items == 0) return 0.0;
+  return static_cast<double>(interactions.size()) /
+         (static_cast<double>(num_users) * num_items);
+}
+
+int CdrScenario::NumOverlapping() const {
+  int n = 0;
+  for (int v : z_to_zbar) {
+    if (v >= 0) ++n;
+  }
+  return n;
+}
+
+void CdrScenario::CheckConsistency() const {
+  NMCDR_CHECK_EQ(static_cast<int>(z_to_zbar.size()), z.num_users);
+  NMCDR_CHECK_EQ(static_cast<int>(zbar_to_z.size()), zbar.num_users);
+  for (int u = 0; u < z.num_users; ++u) {
+    const int m = z_to_zbar[u];
+    if (m < 0) continue;
+    NMCDR_CHECK_LT(m, zbar.num_users);
+    NMCDR_CHECK_EQ(zbar_to_z[m], u);
+  }
+  for (int u = 0; u < zbar.num_users; ++u) {
+    const int m = zbar_to_z[u];
+    if (m < 0) continue;
+    NMCDR_CHECK_LT(m, z.num_users);
+    NMCDR_CHECK_EQ(z_to_zbar[m], u);
+  }
+  for (const Interaction& e : z.interactions) {
+    NMCDR_CHECK_GE(e.user, 0);
+    NMCDR_CHECK_LT(e.user, z.num_users);
+    NMCDR_CHECK_GE(e.item, 0);
+    NMCDR_CHECK_LT(e.item, z.num_items);
+  }
+  for (const Interaction& e : zbar.interactions) {
+    NMCDR_CHECK_GE(e.user, 0);
+    NMCDR_CHECK_LT(e.user, zbar.num_users);
+    NMCDR_CHECK_GE(e.item, 0);
+    NMCDR_CHECK_LT(e.item, zbar.num_items);
+  }
+}
+
+std::vector<int> DomainSplit::TestUsers() const {
+  std::vector<int> out;
+  for (size_t u = 0; u < test_item.size(); ++u) {
+    if (test_item[u] >= 0) out.push_back(static_cast<int>(u));
+  }
+  return out;
+}
+
+std::vector<int> DomainSplit::ValidUsers() const {
+  std::vector<int> out;
+  for (size_t u = 0; u < valid_item.size(); ++u) {
+    if (valid_item[u] >= 0) out.push_back(static_cast<int>(u));
+  }
+  return out;
+}
+
+DomainSplit LeaveOneOutSplit(const DomainData& domain, Rng* rng) {
+  std::vector<std::vector<int>> per_user(domain.num_users);
+  for (const Interaction& e : domain.interactions) {
+    per_user[e.user].push_back(e.item);
+  }
+  DomainSplit split;
+  split.valid_item.assign(domain.num_users, -1);
+  split.test_item.assign(domain.num_users, -1);
+  split.train.reserve(domain.interactions.size());
+  for (int u = 0; u < domain.num_users; ++u) {
+    std::vector<int>& items = per_user[u];
+    if (items.size() >= 3) {
+      // Hold out two distinct positions for test/valid.
+      const int i_test = static_cast<int>(rng->NextUint64(items.size()));
+      std::swap(items[i_test], items.back());
+      split.test_item[u] = items.back();
+      items.pop_back();
+      const int i_valid = static_cast<int>(rng->NextUint64(items.size()));
+      std::swap(items[i_valid], items.back());
+      split.valid_item[u] = items.back();
+      items.pop_back();
+    }
+    for (int v : items) split.train.push_back({u, v});
+  }
+  return split;
+}
+
+CdrScenario ApplyOverlapRatio(const CdrScenario& scenario, double ratio,
+                              Rng* rng) {
+  NMCDR_CHECK_GE(ratio, 0.0);
+  NMCDR_CHECK_LE(ratio, 1.0);
+  std::vector<int> linked;
+  for (int u = 0; u < scenario.z.num_users; ++u) {
+    if (scenario.z_to_zbar[u] >= 0) linked.push_back(u);
+  }
+  const int keep = static_cast<int>(
+      std::ceil(ratio * static_cast<double>(linked.size())));
+  std::vector<int> keep_idx = rng->SampleWithoutReplacement(
+      static_cast<int>(linked.size()), std::min<int>(keep, linked.size()));
+  std::vector<bool> kept(scenario.z.num_users, false);
+  for (int i : keep_idx) kept[linked[i]] = true;
+
+  CdrScenario out = scenario;
+  for (int u = 0; u < out.z.num_users; ++u) {
+    if (out.z_to_zbar[u] >= 0 && !kept[u]) {
+      out.zbar_to_z[out.z_to_zbar[u]] = -1;
+      out.z_to_zbar[u] = -1;
+    }
+  }
+  out.CheckConsistency();
+  return out;
+}
+
+namespace {
+
+DomainData ApplyDensityToDomain(const DomainData& domain, double ratio,
+                                int min_per_user, Rng* rng) {
+  std::vector<std::vector<int>> per_user(domain.num_users);
+  for (const Interaction& e : domain.interactions) {
+    per_user[e.user].push_back(e.item);
+  }
+  DomainData out = domain;
+  out.interactions.clear();
+  for (int u = 0; u < domain.num_users; ++u) {
+    std::vector<int>& items = per_user[u];
+    const int n = static_cast<int>(items.size());
+    int keep = static_cast<int>(std::lround(ratio * n));
+    keep = std::max(keep, std::min(min_per_user, n));
+    std::vector<int> idx = rng->SampleWithoutReplacement(n, keep);
+    for (int i : idx) out.interactions.push_back({u, items[i]});
+  }
+  return out;
+}
+
+}  // namespace
+
+CdrScenario ApplyDensity(const CdrScenario& scenario, double ratio,
+                         int min_per_user, Rng* rng) {
+  NMCDR_CHECK_GT(ratio, 0.0);
+  NMCDR_CHECK_LE(ratio, 1.0);
+  CdrScenario out = scenario;
+  out.z = ApplyDensityToDomain(scenario.z, ratio, min_per_user, rng);
+  out.zbar = ApplyDensityToDomain(scenario.zbar, ratio, min_per_user, rng);
+  out.CheckConsistency();
+  return out;
+}
+
+std::string DomainStatsString(const DomainData& domain) {
+  std::ostringstream oss;
+  oss << domain.name << ": users=" << domain.num_users
+      << " items=" << domain.num_items
+      << " ratings=" << domain.interactions.size() << " density="
+      << domain.Density() * 100.0 << "%";
+  return oss.str();
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,79 @@
+#ifndef NMCDR_DATA_DATASET_H_
+#define NMCDR_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/interaction_graph.h"
+#include "tensor/rng.h"
+
+namespace nmcdr {
+
+/// All observed data of one domain (§II.A: G = (U, V, E)).
+struct DomainData {
+  std::string name;
+  int num_users = 0;
+  int num_items = 0;
+  std::vector<Interaction> interactions;
+
+  /// Density |E| / (|U| * |V|), the statistic of Table I.
+  double Density() const;
+};
+
+/// A two-domain multi-target CDR scenario. Domain Z and domain Z̄ have
+/// disjoint id spaces; `z_to_zbar[u]` gives the Z̄ user id of the Z user u
+/// when the identity link is known (the "overlapped" users), or -1.
+struct CdrScenario {
+  std::string name;
+  DomainData z;
+  DomainData zbar;
+  std::vector<int> z_to_zbar;  // size z.num_users, -1 when not linked
+  std::vector<int> zbar_to_z;  // size zbar.num_users, -1 when not linked
+
+  /// Number of linked (overlapping) user pairs.
+  int NumOverlapping() const;
+
+  /// Validates invariants (sizes, symmetric links, id ranges); CHECK-fails
+  /// on violation. Called by the generator and the loader.
+  void CheckConsistency() const;
+};
+
+/// Leave-one-out split of one domain (§III.A.2): for every user with at
+/// least 3 interactions, one is held out for test and one for validation;
+/// the remainder train. Users with fewer interactions contribute all their
+/// interactions to train and are skipped at evaluation.
+struct DomainSplit {
+  std::vector<Interaction> train;
+  /// Held-out item per user, or -1.
+  std::vector<int> valid_item;
+  std::vector<int> test_item;
+
+  /// Users with a test (resp. valid) positive.
+  std::vector<int> TestUsers() const;
+  std::vector<int> ValidUsers() const;
+};
+
+/// Produces the leave-one-out split. Interactions carry no timestamps in
+/// the synthetic substrate, so the held-out pair is drawn uniformly from
+/// the user's interactions with the given seeded rng (deterministic).
+DomainSplit LeaveOneOutSplit(const DomainData& domain, Rng* rng);
+
+/// Applies the overlap ratio K_u of §III.A.2: keeps ceil(ratio * overlap)
+/// of the identity links (chosen with `rng`) and severs the rest, so the
+/// two users remain in their domains but the model can no longer tell they
+/// are the same person. Returns a new scenario.
+CdrScenario ApplyOverlapRatio(const CdrScenario& scenario, double ratio,
+                              Rng* rng);
+
+/// Applies the density ratio D_s of §III.B.5: uniformly keeps `ratio` of
+/// each domain's interactions, but never drops a user below
+/// `min_per_user` interactions (so leave-one-out remains possible).
+CdrScenario ApplyDensity(const CdrScenario& scenario, double ratio,
+                         int min_per_user, Rng* rng);
+
+/// Formats the Table-I style statistics line for one domain.
+std::string DomainStatsString(const DomainData& domain);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_DATA_DATASET_H_

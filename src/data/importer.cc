@@ -1,0 +1,130 @@
+#include "data/importer.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace nmcdr {
+namespace {
+
+struct RawInteraction {
+  std::string user;
+  std::string item;
+};
+
+bool ParseLine(const std::string& line, char separator, double min_rating,
+               RawInteraction* out) {
+  std::stringstream ss(line);
+  std::string user, item, rating;
+  if (!std::getline(ss, user, separator) ||
+      !std::getline(ss, item, separator)) {
+    return false;
+  }
+  if (user.empty() || item.empty()) return false;
+  if (min_rating > 0.0) {
+    if (!std::getline(ss, rating, separator)) return false;
+    char* end = nullptr;
+    const double r = std::strtod(rating.c_str(), &end);
+    if (end == rating.c_str()) return false;
+    if (r < min_rating) {
+      out->user.clear();  // signal "valid but filtered"
+      return true;
+    }
+  }
+  out->user = user;
+  out->item = item;
+  return true;
+}
+
+}  // namespace
+
+bool ImportInteractions(const std::string& path, const ImportOptions& options,
+                        ImportedDomain* out) {
+  std::ifstream in(path);
+  if (!in) {
+    LOG_ERROR << "ImportInteractions: cannot open " << path;
+    return false;
+  }
+  std::vector<RawInteraction> raw;
+  std::string line;
+  bool first = true;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (first && options.skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    RawInteraction parsed;
+    if (!ParseLine(line, options.separator, options.min_rating, &parsed)) {
+      LOG_ERROR << "ImportInteractions: parse failure at " << path << ":"
+                << line_number;
+      return false;
+    }
+    if (!parsed.user.empty()) raw.push_back(std::move(parsed));
+  }
+
+  // Count per-user interactions on distinct (user, item) pairs and drop
+  // low-activity users (§III.E.2: "we remove the user with less than 5
+  // interactions" in the paper's preprocessing).
+  std::unordered_map<std::string, int> user_counts;
+  {
+    std::unordered_map<std::string, std::unordered_map<std::string, bool>>
+        seen;
+    for (const RawInteraction& r : raw) {
+      if (seen[r.user].emplace(r.item, true).second) ++user_counts[r.user];
+    }
+  }
+
+  ImportedDomain imported;
+  imported.domain.name = path;
+  std::unordered_map<std::string, int> user_ids, item_ids;
+  std::unordered_map<int64_t, bool> dedup;
+  for (const RawInteraction& r : raw) {
+    if (user_counts[r.user] < options.min_user_interactions) continue;
+    auto [uit, user_inserted] =
+        user_ids.emplace(r.user, static_cast<int>(user_ids.size()));
+    if (user_inserted) imported.user_keys.push_back(r.user);
+    auto [iit, item_inserted] =
+        item_ids.emplace(r.item, static_cast<int>(item_ids.size()));
+    if (item_inserted) imported.item_keys.push_back(r.item);
+    const int64_t key =
+        static_cast<int64_t>(uit->second) * (1ll << 31) + iit->second;
+    if (!dedup.emplace(key, true).second) continue;
+    imported.domain.interactions.push_back({uit->second, iit->second});
+  }
+  imported.domain.num_users = static_cast<int>(imported.user_keys.size());
+  imported.domain.num_items = static_cast<int>(imported.item_keys.size());
+  *out = std::move(imported);
+  return true;
+}
+
+CdrScenario JoinDomains(const std::string& name, const ImportedDomain& z,
+                        const ImportedDomain& zbar) {
+  CdrScenario scenario;
+  scenario.name = name;
+  scenario.z = z.domain;
+  scenario.zbar = zbar.domain;
+  scenario.z_to_zbar.assign(z.domain.num_users, -1);
+  scenario.zbar_to_z.assign(zbar.domain.num_users, -1);
+  std::unordered_map<std::string, int> zbar_users;
+  for (int u = 0; u < zbar.domain.num_users; ++u) {
+    zbar_users[zbar.user_keys[u]] = u;
+  }
+  for (int u = 0; u < z.domain.num_users; ++u) {
+    auto it = zbar_users.find(z.user_keys[u]);
+    if (it != zbar_users.end()) {
+      scenario.z_to_zbar[u] = it->second;
+      scenario.zbar_to_z[it->second] = u;
+    }
+  }
+  scenario.CheckConsistency();
+  return scenario;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,47 @@
+#ifndef NMCDR_DATA_IMPORTER_H_
+#define NMCDR_DATA_IMPORTER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace nmcdr {
+
+/// Options for importing real interaction logs (MovieLens-style / Amazon
+/// review dumps) into a DomainData. Input format: one interaction per
+/// line, `user<sep>item[<sep>rating[<sep>anything]]`, with arbitrary
+/// string ids. This is the on-ramp for running the NMCDR pipeline on the
+/// paper's actual datasets when they are available.
+struct ImportOptions {
+  char separator = '\t';
+  /// Lines with a rating below this are dropped (implicit-feedback
+  /// thresholding; 0 keeps everything).
+  double min_rating = 0.0;
+  /// Users with fewer interactions than this are dropped AFTER rating
+  /// filtering (the paper removes users with < 5 interactions).
+  int min_user_interactions = 0;
+  /// Skip the first line (CSV headers).
+  bool skip_header = false;
+};
+
+/// Result of an import: the domain plus the id mappings, so two imported
+/// domains can be joined on shared user keys.
+struct ImportedDomain {
+  DomainData domain;
+  std::vector<std::string> user_keys;  // dense id -> original key
+  std::vector<std::string> item_keys;
+};
+
+/// Imports one interaction file. Returns false (and logs) on I/O or parse
+/// failure; partial data is not returned.
+bool ImportInteractions(const std::string& path, const ImportOptions& options,
+                        ImportedDomain* out);
+
+/// Joins two imported domains into a CdrScenario: users whose original
+/// keys match become the overlapped users (identity links).
+CdrScenario JoinDomains(const std::string& name, const ImportedDomain& z,
+                        const ImportedDomain& zbar);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_DATA_IMPORTER_H_

@@ -1,0 +1,101 @@
+#include "data/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace nmcdr {
+namespace {
+
+constexpr char kMagic[] = "NMCDR_SCENARIO_V1";
+
+bool WriteDomain(std::ofstream& out, const DomainData& d) {
+  out << "domain\t" << d.name << "\t" << d.num_users << "\t" << d.num_items
+      << "\t" << d.interactions.size() << "\n";
+  for (const Interaction& e : d.interactions) {
+    out << e.user << "\t" << e.item << "\n";
+  }
+  return out.good();
+}
+
+bool ReadDomain(std::ifstream& in, DomainData* d) {
+  std::string tag;
+  size_t num_edges = 0;
+  if (!(in >> tag >> d->name >> d->num_users >> d->num_items >> num_edges) ||
+      tag != "domain") {
+    return false;
+  }
+  d->interactions.resize(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    if (!(in >> d->interactions[i].user >> d->interactions[i].item)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveScenario(const CdrScenario& scenario, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_ERROR << "SaveScenario: cannot open " << path;
+    return false;
+  }
+  out << kMagic << "\t" << scenario.name << "\n";
+  if (!WriteDomain(out, scenario.z) || !WriteDomain(out, scenario.zbar)) {
+    LOG_ERROR << "SaveScenario: write failure for " << path;
+    return false;
+  }
+  int links = 0;
+  for (int m : scenario.z_to_zbar) {
+    if (m >= 0) ++links;
+  }
+  out << "overlap\t" << links << "\n";
+  for (int u = 0; u < scenario.z.num_users; ++u) {
+    if (scenario.z_to_zbar[u] >= 0) {
+      out << u << "\t" << scenario.z_to_zbar[u] << "\n";
+    }
+  }
+  return out.good();
+}
+
+bool LoadScenario(const std::string& path, CdrScenario* scenario) {
+  std::ifstream in(path);
+  if (!in) {
+    LOG_ERROR << "LoadScenario: cannot open " << path;
+    return false;
+  }
+  std::string magic;
+  if (!(in >> magic >> scenario->name) || magic != kMagic) {
+    LOG_ERROR << "LoadScenario: bad header in " << path;
+    return false;
+  }
+  if (!ReadDomain(in, &scenario->z) || !ReadDomain(in, &scenario->zbar)) {
+    LOG_ERROR << "LoadScenario: bad domain block in " << path;
+    return false;
+  }
+  std::string tag;
+  int links = 0;
+  if (!(in >> tag >> links) || tag != "overlap") {
+    LOG_ERROR << "LoadScenario: bad overlap block in " << path;
+    return false;
+  }
+  scenario->z_to_zbar.assign(scenario->z.num_users, -1);
+  scenario->zbar_to_z.assign(scenario->zbar.num_users, -1);
+  for (int i = 0; i < links; ++i) {
+    int a = 0, b = 0;
+    if (!(in >> a >> b) || a < 0 || a >= scenario->z.num_users || b < 0 ||
+        b >= scenario->zbar.num_users) {
+      LOG_ERROR << "LoadScenario: bad link in " << path;
+      return false;
+    }
+    scenario->z_to_zbar[a] = b;
+    scenario->zbar_to_z[b] = a;
+  }
+  scenario->CheckConsistency();
+  return true;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,22 @@
+#ifndef NMCDR_DATA_LOADER_H_
+#define NMCDR_DATA_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace nmcdr {
+
+/// Persists a scenario as a single TSV file (header lines with domain
+/// sizes, then one interaction per line, then the overlap links), so
+/// generated workloads can be cached across bench runs or exported.
+/// Returns false (and logs) on I/O failure.
+bool SaveScenario(const CdrScenario& scenario, const std::string& path);
+
+/// Loads a scenario written by SaveScenario. Returns false on parse or
+/// I/O failure; on success the scenario passes CheckConsistency().
+bool LoadScenario(const std::string& path, CdrScenario* scenario);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_DATA_LOADER_H_

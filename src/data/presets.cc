@@ -1,0 +1,109 @@
+#include "data/presets.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace nmcdr {
+namespace {
+
+/// Multiplier applied to user/item/overlap counts per scale.
+double ScaleFactor(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke:
+      return 0.2;
+    case BenchScale::kSmall:
+      return 1.0;
+    case BenchScale::kFull:
+      return 4.0;
+  }
+  return 1.0;
+}
+
+int Scaled(int base, double f, int floor_value) {
+  const int v = static_cast<int>(base * f);
+  return v < floor_value ? floor_value : v;
+}
+
+}  // namespace
+
+BenchScale BenchScaleFromEnv() {
+  const char* env = std::getenv("NMCDR_BENCH_SCALE");
+  if (env == nullptr) return BenchScale::kSmall;
+  const std::string s(env);
+  if (s == "smoke") return BenchScale::kSmoke;
+  if (s == "small") return BenchScale::kSmall;
+  if (s == "full") return BenchScale::kFull;
+  LOG_WARNING << "Unknown NMCDR_BENCH_SCALE '" << s << "', using 'small'";
+  return BenchScale::kSmall;
+}
+
+std::string BenchScaleName(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke:
+      return "smoke";
+    case BenchScale::kSmall:
+      return "small";
+    case BenchScale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+// Base counts are ~1/100 of the paper's Table I; mean_extra_interactions
+// reproduces the per-user interaction averages (ratings/users - min 3).
+
+SyntheticScenarioSpec MusicMovieSpec(BenchScale scale) {
+  const double f = ScaleFactor(scale);
+  SyntheticScenarioSpec spec;
+  spec.name = "Music-Movie";
+  spec.z = {"Music", Scaled(500, f, 60), Scaled(440, f, 50), 11.0, 0.9};
+  spec.zbar = {"Movie", Scaled(880, f, 90), Scaled(390, f, 45), 10.5, 0.9};
+  spec.num_overlapping = Scaled(150, f, 20);
+  spec.seed = 1101;
+  return spec;
+}
+
+SyntheticScenarioSpec ClothSportSpec(BenchScale scale) {
+  const double f = ScaleFactor(scale);
+  SyntheticScenarioSpec spec;
+  spec.name = "Cloth-Sport";
+  spec.z = {"Cloth", Scaled(280, f, 40), Scaled(95, f, 25), 2.9, 0.9};
+  spec.zbar = {"Sport", Scaled(1080, f, 110), Scaled(400, f, 45), 4.9, 0.9};
+  spec.num_overlapping = Scaled(160, f, 20);
+  spec.seed = 1102;
+  return spec;
+}
+
+SyntheticScenarioSpec PhoneElecSpec(BenchScale scale) {
+  const double f = ScaleFactor(scale);
+  SyntheticScenarioSpec spec;
+  spec.name = "Phone-Elec";
+  spec.z = {"Phone", Scaled(420, f, 50), Scaled(180, f, 30), 1.7, 0.9};
+  spec.zbar = {"Elec", Scaled(270, f, 40), Scaled(130, f, 25), 3.3, 0.9};
+  spec.num_overlapping = Scaled(78, f, 12);
+  spec.seed = 1103;
+  return spec;
+}
+
+SyntheticScenarioSpec LoanFundSpec(BenchScale scale) {
+  const double f = ScaleFactor(scale);
+  SyntheticScenarioSpec spec;
+  spec.name = "Loan-Fund";
+  // Few items, many users: preserves the very high average interactions
+  // per item of the MYbank data (Table I / §III.B.4). The paper's mean
+  // interactions per *user* are below 3; leave-one-out needs >= 3, so we
+  // generate ~3.4 per user (documented substitution, DESIGN.md).
+  spec.z = {"Loan", Scaled(1480, f, 150), Scaled(60, f, 40), 0.5, 0.7};
+  spec.zbar = {"Fund", Scaled(650, f, 80), Scaled(50, f, 35), 0.4, 0.7};
+  spec.num_overlapping = Scaled(65, f, 10);
+  spec.seed = 1104;
+  return spec;
+}
+
+std::vector<SyntheticScenarioSpec> AllScenarioSpecs(BenchScale scale) {
+  return {MusicMovieSpec(scale), ClothSportSpec(scale), PhoneElecSpec(scale),
+          LoanFundSpec(scale)};
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,39 @@
+#ifndef NMCDR_DATA_PRESETS_H_
+#define NMCDR_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace nmcdr {
+
+/// Dataset/workload scale used by benchmarks and examples:
+///   kSmoke — seconds-level sanity runs (CI / tests);
+///   kSmall — the default for the single-core container (minutes/table);
+///   kFull  — ~4x small, closer to the paper's statistical regime.
+enum class BenchScale { kSmoke, kSmall, kFull };
+
+/// Reads NMCDR_BENCH_SCALE ("smoke" | "small" | "full"); defaults to
+/// kSmall. Unrecognized values fall back to the default with a warning.
+BenchScale BenchScaleFromEnv();
+
+/// Human-readable name of a scale.
+std::string BenchScaleName(BenchScale scale);
+
+/// The four scenario presets of Table I, scaled down (~1/100 of the paper
+/// at kSmall) with the per-domain shape preserved: relative user/item
+/// counts, overlap fraction, interaction density, and — crucially for the
+/// Table II vs III/IV improvement discussion — the average interactions
+/// per item.
+SyntheticScenarioSpec MusicMovieSpec(BenchScale scale);
+SyntheticScenarioSpec ClothSportSpec(BenchScale scale);
+SyntheticScenarioSpec PhoneElecSpec(BenchScale scale);
+SyntheticScenarioSpec LoanFundSpec(BenchScale scale);
+
+/// All four presets in paper order.
+std::vector<SyntheticScenarioSpec> AllScenarioSpecs(BenchScale scale);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_DATA_PRESETS_H_

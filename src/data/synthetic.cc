@@ -1,0 +1,193 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+float Dot(const Matrix& a, int ra, const Matrix& b, int rb) {
+  const float* ar = a.row(ra);
+  const float* br = b.row(rb);
+  double acc = 0.0;
+  for (int c = 0; c < a.cols(); ++c) acc += static_cast<double>(ar[c]) * br[c];
+  return static_cast<float>(acc);
+}
+
+/// Draws a user's interaction count: min + floor(lognormal) with the mean
+/// of the lognormal part equal to `mean_extra`. Sigma=1 gives the heavy
+/// tail that creates the paper's head/tail dichotomy.
+int DrawActivity(double mean_extra, int min_interactions, int num_items,
+                 Rng* rng) {
+  int extra = 0;
+  if (mean_extra > 0.0) {
+    const double sigma = 1.0;
+    const double mu = std::log(mean_extra) - 0.5 * sigma * sigma;
+    extra = static_cast<int>(
+        std::floor(std::exp(rng->Gaussian(static_cast<float>(mu),
+                                          static_cast<float>(sigma)))));
+  }
+  const int n = min_interactions + extra;
+  // A user cannot interact with more items than exist.
+  return std::min(n, num_items);
+}
+
+}  // namespace
+
+// Samples one domain's interactions: every pick draws a popularity-biased
+// candidate window and takes the candidate with the highest
+// affinity + Gumbel noise (a softmax choice with the configured
+// sharpness). Retries on duplicates.
+DomainData GenerateDomainFromLatents(const SyntheticDomainSpec& spec,
+                                     const Matrix& user_latent,
+                                     const Matrix& item_latent,
+                                     double preference_sharpness,
+                                     int min_interactions, Rng* rng) {
+  DomainData domain;
+  DomainData* out = &domain;
+  out->name = spec.name;
+  out->num_users = spec.num_users;
+  out->num_items = spec.num_items;
+  out->interactions.clear();
+
+  ZipfSampler popularity(spec.num_items, spec.item_popularity_exponent);
+  // Popularity rank -> item id: a fixed random permutation, so popularity
+  // is independent of the latent geometry.
+  std::vector<int> rank_to_item(spec.num_items);
+  for (int i = 0; i < spec.num_items; ++i) rank_to_item[i] = i;
+  rng->Shuffle(&rank_to_item);
+
+  constexpr int kCandidateWindow = 24;
+  for (int u = 0; u < spec.num_users; ++u) {
+    const int target =
+        DrawActivity(spec.mean_extra_interactions, min_interactions,
+                     spec.num_items, rng);
+    std::unordered_set<int> taken;
+    int attempts = 0;
+    const int max_attempts = target * 50 + 200;
+    while (static_cast<int>(taken.size()) < target &&
+           attempts++ < max_attempts) {
+      // Candidate window drawn from the popularity law.
+      int best_item = -1;
+      float best_score = -1e30f;
+      for (int c = 0; c < kCandidateWindow; ++c) {
+        const int item = rank_to_item[popularity.Sample(rng)];
+        if (taken.count(item)) continue;
+        // Gumbel-max trick: argmax(beta*affinity + Gumbel) is a softmax
+        // draw with inverse temperature beta.
+        const float gumbel = -std::log(
+            -std::log(static_cast<float>(rng->UniformDouble()) + 1e-12f) +
+            1e-12f);
+        const float score =
+            static_cast<float>(preference_sharpness) *
+                Dot(user_latent, u, item_latent, item) +
+            gumbel;
+        if (score > best_score) {
+          best_score = score;
+          best_item = item;
+        }
+      }
+      if (best_item < 0) continue;
+      taken.insert(best_item);
+    }
+    for (int item : taken) out->interactions.push_back({u, item});
+  }
+  return domain;
+}
+
+float SyntheticGroundTruth::AffinityZ(int user, int item) const {
+  return Dot(z_user_latent, user, z_item_latent, item);
+}
+
+float SyntheticGroundTruth::AffinityZbar(int user, int item) const {
+  return Dot(zbar_user_latent, user, zbar_item_latent, item);
+}
+
+CdrScenario GenerateScenario(const SyntheticScenarioSpec& spec,
+                             SyntheticGroundTruth* ground_truth) {
+  NMCDR_CHECK_GT(spec.z.num_users, 0);
+  NMCDR_CHECK_GT(spec.zbar.num_users, 0);
+  NMCDR_CHECK_GE(spec.num_overlapping, 0);
+  NMCDR_CHECK_LE(spec.num_overlapping,
+                 std::min(spec.z.num_users, spec.zbar.num_users));
+  NMCDR_CHECK_GE(spec.cross_domain_correlation, 0.0);
+  NMCDR_CHECK_LE(spec.cross_domain_correlation, 1.0);
+
+  Rng rng(spec.seed);
+  const int L = spec.latent_dim;
+  // Per-coordinate scale L^{-1/4}: user-item affinity dot products then
+  // have ~unit variance, so preference_sharpness is calibrated in units of
+  // Gumbel noise (the choice model's randomness).
+  const float latent_std = std::pow(static_cast<float>(L), -0.25f);
+  const float w_core =
+      std::sqrt(static_cast<float>(spec.cross_domain_correlation));
+  const float w_local =
+      std::sqrt(1.f - static_cast<float>(spec.cross_domain_correlation));
+
+  // Overlapping persons share a latent core across domains; every user's
+  // domain latent mixes that core with a domain-local component.
+  Matrix core = Matrix::Gaussian(spec.num_overlapping, L, &rng, 0.f,
+                                 latent_std);
+  auto make_user_latent = [&](int num_users) {
+    Matrix lat = Matrix::Gaussian(num_users, L, &rng, 0.f, latent_std);
+    for (int u = 0; u < std::min(num_users, spec.num_overlapping); ++u) {
+      float* lr = lat.row(u);
+      const float* cr = core.row(u);
+      for (int c = 0; c < L; ++c) lr[c] = w_core * cr[c] + w_local * lr[c];
+    }
+    return lat;
+  };
+
+  Matrix z_user = make_user_latent(spec.z.num_users);
+  Matrix zbar_user = make_user_latent(spec.zbar.num_users);
+  // Clustered item latents: a shared set of "genre" centroids per domain.
+  auto make_item_latent = [&](int num_items) {
+    Matrix lat = Matrix::Gaussian(num_items, L, &rng, 0.f, latent_std);
+    if (spec.item_clusters <= 0) return lat;
+    const float w_noise = static_cast<float>(spec.cluster_noise);
+    const float w_centroid = std::sqrt(1.f - w_noise * w_noise);
+    Matrix centroids =
+        Matrix::Gaussian(spec.item_clusters, L, &rng, 0.f, latent_std);
+    for (int v = 0; v < num_items; ++v) {
+      const float* c =
+          centroids.row(static_cast<int>(rng.NextUint64(spec.item_clusters)));
+      float* row = lat.row(v);
+      for (int d = 0; d < L; ++d) {
+        row[d] = w_centroid * c[d] + w_noise * row[d];
+      }
+    }
+    return lat;
+  };
+  Matrix z_item = make_item_latent(spec.z.num_items);
+  Matrix zbar_item = make_item_latent(spec.zbar.num_items);
+
+  CdrScenario scenario;
+  scenario.name = spec.name;
+  scenario.z = GenerateDomainFromLatents(spec.z, z_user, z_item,
+                                         spec.preference_sharpness,
+                                         spec.min_interactions, &rng);
+  scenario.zbar = GenerateDomainFromLatents(spec.zbar, zbar_user, zbar_item,
+                                            spec.preference_sharpness,
+                                            spec.min_interactions, &rng);
+
+  scenario.z_to_zbar.assign(spec.z.num_users, -1);
+  scenario.zbar_to_z.assign(spec.zbar.num_users, -1);
+  for (int u = 0; u < spec.num_overlapping; ++u) {
+    scenario.z_to_zbar[u] = u;
+    scenario.zbar_to_z[u] = u;
+  }
+  scenario.CheckConsistency();
+
+  if (ground_truth != nullptr) {
+    ground_truth->z_user_latent = std::move(z_user);
+    ground_truth->z_item_latent = std::move(z_item);
+    ground_truth->zbar_user_latent = std::move(zbar_user);
+    ground_truth->zbar_item_latent = std::move(zbar_item);
+  }
+  return scenario;
+}
+
+}  // namespace nmcdr

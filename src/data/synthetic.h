@@ -1,0 +1,88 @@
+#ifndef NMCDR_DATA_SYNTHETIC_H_
+#define NMCDR_DATA_SYNTHETIC_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace nmcdr {
+
+/// Spec of one synthetic domain. The generator substitutes for the Amazon
+/// and MYbank corpora (see DESIGN.md §1): it produces implicit-feedback
+/// interactions with (a) Zipf item popularity, (b) long-tailed user
+/// activity, and (c) preference-driven choices from latent factors, so the
+/// long-tail/tail-user phenomena the paper targets are genuinely present.
+struct SyntheticDomainSpec {
+  std::string name;
+  int num_users = 0;
+  int num_items = 0;
+  /// Mean number of interactions beyond `min_interactions`, with a
+  /// lognormal (heavy) tail across users — creates head/tail users.
+  double mean_extra_interactions = 5.0;
+  /// Zipf exponent of item popularity.
+  double item_popularity_exponent = 1.0;
+};
+
+/// Spec of a two-domain scenario.
+struct SyntheticScenarioSpec {
+  std::string name;
+  SyntheticDomainSpec z;
+  SyntheticDomainSpec zbar;
+  /// Number of persons present in both domains (the overlap of Table I).
+  int num_overlapping = 0;
+  /// Dimension of the latent preference space.
+  int latent_dim = 8;
+  /// Fraction of a user's domain latent that comes from the shared
+  /// cross-domain core (0 = domains unrelated, 1 = identical tastes):
+  /// the knob that makes cross-domain transfer genuinely informative.
+  double cross_domain_correlation = 0.75;
+  /// Inverse temperature of preference-driven item choice: higher values
+  /// concentrate users on their true-affinity items.
+  double preference_sharpness = 4.5;
+  /// Items are organized into latent clusters (genres/categories):
+  /// item latent = sqrt(1-w^2) * cluster centroid + w * idiosyncratic
+  /// noise, w = cluster_noise. Clustered catalogs are what makes taste
+  /// learnable from a handful of interactions — both in real data and
+  /// here (see examples/data_diagnostics.cpp).
+  int item_clusters = 8;
+  double cluster_noise = 0.4;
+  /// Minimum interactions per user (3 keeps leave-one-out feasible).
+  int min_interactions = 3;
+  uint64_t seed = 17;
+};
+
+/// Ground-truth latents behind a generated scenario; consumed by the
+/// online-serving simulator (Table VIII) to compute true conversion
+/// probabilities, and by tests to verify signal is transferable.
+struct SyntheticGroundTruth {
+  Matrix z_user_latent;     // [z.num_users, latent_dim]
+  Matrix z_item_latent;     // [z.num_items, latent_dim]
+  Matrix zbar_user_latent;  // [zbar.num_users, latent_dim]
+  Matrix zbar_item_latent;  // [zbar.num_items, latent_dim]
+
+  /// True affinity logit of a user-item pair in domain Z (resp. Z̄).
+  float AffinityZ(int user, int item) const;
+  float AffinityZbar(int user, int item) const;
+};
+
+/// Generates a scenario from the spec. Overlapping persons occupy user ids
+/// [0, num_overlapping) in BOTH domains (the identity links of z_to_zbar);
+/// ApplyOverlapRatio then hides a fraction of those links per K_u.
+/// If `ground_truth` is non-null it receives the generating latents.
+CdrScenario GenerateScenario(const SyntheticScenarioSpec& spec,
+                             SyntheticGroundTruth* ground_truth = nullptr);
+
+/// Lower-level entry: generates one domain's interactions from given user
+/// and item latents (preference-driven, popularity-skewed, long-tailed).
+/// Used by GenerateScenario and by the multi-domain online-serving world
+/// (Table VIII), where several domains must share person latents.
+DomainData GenerateDomainFromLatents(const SyntheticDomainSpec& spec,
+                                     const Matrix& user_latent,
+                                     const Matrix& item_latent,
+                                     double preference_sharpness,
+                                     int min_interactions, Rng* rng);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_DATA_SYNTHETIC_H_

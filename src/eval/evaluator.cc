@@ -1,0 +1,125 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+RankingMetrics EvaluateRanking(RecModel* model, DomainSide side,
+                               const InteractionGraph& full_graph,
+                               const DomainSplit& split, EvalPhase phase,
+                               const EvalConfig& config) {
+  const std::vector<int>& held_out = phase == EvalPhase::kTest
+                                         ? split.test_item
+                                         : split.valid_item;
+  NegativeSampler sampler(&full_graph);
+
+  // Per-user candidate counts: the paper uses 199 negatives; on small item
+  // spaces (smoke-scale runs) we clamp to the items actually available so
+  // every test user is still ranked. All models share the same per-user
+  // candidate sets (pure function of config.seed and the user id).
+  struct Case {
+    int user;
+    int num_negatives;
+  };
+  std::vector<Case> cases;
+  for (size_t u = 0; u < held_out.size(); ++u) {
+    if (held_out[u] < 0) continue;
+    const int available =
+        full_graph.num_items() - full_graph.UserDegree(static_cast<int>(u));
+    const int negs = std::min(config.num_negatives, available);
+    if (negs < 1) continue;
+    cases.push_back({static_cast<int>(u), negs});
+  }
+
+  RankingMetrics metrics;
+  size_t start = 0;
+  while (start < cases.size()) {
+    // Assemble a chunk of roughly score_batch pairs.
+    std::vector<int> users, items;
+    std::vector<int> chunk_negs;
+    size_t end = start;
+    int pairs = 0;
+    while (end < cases.size() && pairs < config.score_batch) {
+      const Case& c = cases[end];
+      Rng rng(config.seed * 0x9E3779B9ULL +
+              static_cast<uint64_t>(c.user) * 7919ULL);
+      users.push_back(c.user);
+      items.push_back(held_out[c.user]);
+      for (int neg : sampler.SampleNegatives(c.user, c.num_negatives,
+                                             /*exclude=*/{}, &rng)) {
+        users.push_back(c.user);
+        items.push_back(neg);
+      }
+      chunk_negs.push_back(c.num_negatives);
+      pairs += c.num_negatives + 1;
+      ++end;
+    }
+    const std::vector<float> scores = model->Score(side, users, items);
+    NMCDR_CHECK_EQ(scores.size(), users.size());
+    size_t offset = 0;
+    for (int negs : chunk_negs) {
+      const float pos = scores[offset];
+      std::vector<float> neg_scores(scores.begin() + offset + 1,
+                                    scores.begin() + offset + 1 + negs);
+      metrics.Add(RankOfPositive(pos, neg_scores), config.k);
+      offset += negs + 1;
+    }
+    start = end;
+  }
+  metrics.Finalize();
+  return metrics;
+}
+
+std::vector<RankingMetrics> EvaluateRankingGrouped(
+    RecModel* model, DomainSide side, const InteractionGraph& full_graph,
+    const DomainSplit& split, EvalPhase phase, const EvalConfig& config,
+    const std::function<int(int user)>& group_of, int num_groups) {
+  NMCDR_CHECK_GT(num_groups, 0);
+  const std::vector<int>& held_out = phase == EvalPhase::kTest
+                                         ? split.test_item
+                                         : split.valid_item;
+  NegativeSampler sampler(&full_graph);
+  std::vector<RankingMetrics> groups(num_groups);
+  for (size_t u = 0; u < held_out.size(); ++u) {
+    if (held_out[u] < 0) continue;
+    const int user = static_cast<int>(u);
+    const int negs = std::min(config.num_negatives,
+                              full_graph.num_items() -
+                                  full_graph.UserDegree(user));
+    if (negs < 1) continue;
+    Rng rng(config.seed * 0x9E3779B9ULL +
+            static_cast<uint64_t>(user) * 7919ULL);
+    std::vector<int> users(negs + 1, user), items;
+    items.reserve(negs + 1);
+    items.push_back(held_out[u]);
+    for (int neg : sampler.SampleNegatives(user, negs, {}, &rng)) {
+      items.push_back(neg);
+    }
+    const std::vector<float> scores = model->Score(side, users, items);
+    const std::vector<float> neg_scores(scores.begin() + 1, scores.end());
+    const int group = group_of(user);
+    NMCDR_CHECK_GE(group, 0);
+    NMCDR_CHECK_LT(group, num_groups);
+    groups[group].Add(RankOfPositive(scores[0], neg_scores), config.k);
+  }
+  for (RankingMetrics& m : groups) m.Finalize();
+  return groups;
+}
+
+ScenarioMetrics EvaluateScenario(RecModel* model,
+                                 const InteractionGraph& full_graph_z,
+                                 const InteractionGraph& full_graph_zbar,
+                                 const DomainSplit& split_z,
+                                 const DomainSplit& split_zbar,
+                                 EvalPhase phase, const EvalConfig& config) {
+  ScenarioMetrics out;
+  out.z = EvaluateRanking(model, DomainSide::kZ, full_graph_z, split_z, phase,
+                          config);
+  out.zbar = EvaluateRanking(model, DomainSide::kZbar, full_graph_zbar,
+                             split_zbar, phase, config);
+  return out;
+}
+
+}  // namespace nmcdr

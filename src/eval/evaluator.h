@@ -1,0 +1,59 @@
+#ifndef NMCDR_EVAL_EVALUATOR_H_
+#define NMCDR_EVAL_EVALUATOR_H_
+
+#include <functional>
+
+#include "core/rec_model.h"
+#include "eval/metrics.h"
+#include "graph/sampling.h"
+
+namespace nmcdr {
+
+/// Which held-out positive to rank.
+enum class EvalPhase { kValidation, kTest };
+
+/// Parameters of the §III.A.2 protocol: leave-one-out ranking of the
+/// held-out positive against `num_negatives` items the user never
+/// interacted with, reporting HR@k and NDCG@k.
+struct EvalConfig {
+  int k = 10;
+  int num_negatives = 199;
+  uint64_t seed = 97;
+  /// Pairs scored per Score() call (memory/throughput knob).
+  int score_batch = 20000;
+};
+
+/// Runs the ranking evaluation for one domain. `full_graph` must contain
+/// ALL interactions of the domain (train + valid + test) so that sampled
+/// negatives are true negatives. The negative sample per user is a pure
+/// function of (config.seed, user), so every model ranks against the same
+/// candidates — the paper's paired comparison.
+RankingMetrics EvaluateRanking(RecModel* model, DomainSide side,
+                               const InteractionGraph& full_graph,
+                               const DomainSplit& split, EvalPhase phase,
+                               const EvalConfig& config);
+
+/// Ranking evaluation split by a user partition (e.g. head vs tail by
+/// train degree — the §III.F / CH2 analysis). `group_of(user)` returns a
+/// group index in [0, num_groups); each group gets its own RankingMetrics.
+std::vector<RankingMetrics> EvaluateRankingGrouped(
+    RecModel* model, DomainSide side, const InteractionGraph& full_graph,
+    const DomainSplit& split, EvalPhase phase, const EvalConfig& config,
+    const std::function<int(int user)>& group_of, int num_groups);
+
+/// Convenience: evaluates both domains at once.
+struct ScenarioMetrics {
+  RankingMetrics z;
+  RankingMetrics zbar;
+};
+
+ScenarioMetrics EvaluateScenario(RecModel* model,
+                                 const InteractionGraph& full_graph_z,
+                                 const InteractionGraph& full_graph_zbar,
+                                 const DomainSplit& split_z,
+                                 const DomainSplit& split_zbar,
+                                 EvalPhase phase, const EvalConfig& config);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_EVAL_EVALUATOR_H_

@@ -1,0 +1,48 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+int RankOfPositive(float positive_score,
+                   const std::vector<float>& negative_scores) {
+  int rank = 1;
+  for (float s : negative_scores) {
+    if (s >= positive_score) ++rank;
+  }
+  return rank;
+}
+
+double HitRateAtK(int rank, int k) {
+  NMCDR_CHECK_GE(rank, 1);
+  return rank <= k ? 1.0 : 0.0;
+}
+
+double NdcgAtK(int rank, int k) {
+  NMCDR_CHECK_GE(rank, 1);
+  if (rank > k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+}
+
+double ReciprocalRank(int rank) {
+  NMCDR_CHECK_GE(rank, 1);
+  return 1.0 / rank;
+}
+
+void RankingMetrics::Add(int rank, int k) {
+  hr += HitRateAtK(rank, k);
+  ndcg += NdcgAtK(rank, k);
+  mrr += ReciprocalRank(rank);
+  ++num_users;
+}
+
+void RankingMetrics::Finalize() {
+  if (num_users == 0) return;
+  hr /= num_users;
+  ndcg /= num_users;
+  mrr /= num_users;
+}
+
+}  // namespace nmcdr

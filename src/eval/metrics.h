@@ -1,0 +1,41 @@
+#ifndef NMCDR_EVAL_METRICS_H_
+#define NMCDR_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace nmcdr {
+
+/// Rank of the positive item among the candidate list (1-based):
+/// 1 + number of negatives scored strictly higher, with ties broken
+/// pessimistically (ties count against the positive, the conservative
+/// convention). `positive_score` vs `negative_scores`.
+int RankOfPositive(float positive_score,
+                   const std::vector<float>& negative_scores);
+
+/// HR@K for a single ranked test case: 1 if rank <= K else 0.
+double HitRateAtK(int rank, int k);
+
+/// NDCG@K for a single test case with one relevant item:
+/// 1/log2(rank+1) if rank <= K else 0 (the standard leave-one-out form).
+double NdcgAtK(int rank, int k);
+
+/// Reciprocal rank 1/rank (no cutoff) — reported alongside HR/NDCG by the
+/// CLI for richer comparisons.
+double ReciprocalRank(int rank);
+
+/// Aggregated ranking metrics over a set of test users.
+struct RankingMetrics {
+  double hr = 0.0;    // mean HR@K
+  double ndcg = 0.0;  // mean NDCG@K
+  double mrr = 0.0;   // mean reciprocal rank
+  int num_users = 0;  // evaluated users
+
+  /// Accumulates one test case.
+  void Add(int rank, int k);
+  /// Averages the accumulated sums; call once after all Add()s.
+  void Finalize();
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_EVAL_METRICS_H_

@@ -1,0 +1,105 @@
+#include "graph/interaction_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+InteractionGraph::InteractionGraph(int num_users, int num_items,
+                                   const std::vector<Interaction>& interactions)
+    : num_users_(num_users), num_items_(num_items) {
+  NMCDR_CHECK_GE(num_users, 0);
+  NMCDR_CHECK_GE(num_items, 0);
+  user_adj_.resize(num_users);
+  item_adj_.resize(num_items);
+  for (const Interaction& e : interactions) {
+    NMCDR_CHECK_GE(e.user, 0);
+    NMCDR_CHECK_LT(e.user, num_users);
+    NMCDR_CHECK_GE(e.item, 0);
+    NMCDR_CHECK_LT(e.item, num_items);
+    user_adj_[e.user].push_back(e.item);
+  }
+  for (int u = 0; u < num_users; ++u) {
+    std::vector<int>& adj = user_adj_[u];
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    num_edges_ += static_cast<int64_t>(adj.size());
+    for (int v : adj) item_adj_[v].push_back(u);
+  }
+  // item_adj_ rows are already sorted because u ascends.
+}
+
+const std::vector<int>& InteractionGraph::UserNeighbors(int user) const {
+  NMCDR_CHECK_GE(user, 0);
+  NMCDR_CHECK_LT(user, num_users_);
+  return user_adj_[user];
+}
+
+const std::vector<int>& InteractionGraph::ItemNeighbors(int item) const {
+  NMCDR_CHECK_GE(item, 0);
+  NMCDR_CHECK_LT(item, num_items_);
+  return item_adj_[item];
+}
+
+int InteractionGraph::UserDegree(int user) const {
+  return static_cast<int>(UserNeighbors(user).size());
+}
+
+int InteractionGraph::ItemDegree(int item) const {
+  return static_cast<int>(ItemNeighbors(item).size());
+}
+
+bool InteractionGraph::HasInteraction(int user, int item) const {
+  const std::vector<int>& adj = UserNeighbors(user);
+  return std::binary_search(adj.begin(), adj.end(), item);
+}
+
+std::vector<int> InteractionGraph::HeadUsers(int k_head) const {
+  std::vector<int> out;
+  for (int u = 0; u < num_users_; ++u) {
+    if (UserDegree(u) > k_head) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<int> InteractionGraph::TailUsers(int k_head) const {
+  std::vector<int> out;
+  for (int u = 0; u < num_users_; ++u) {
+    if (UserDegree(u) <= k_head) out.push_back(u);
+  }
+  return out;
+}
+
+double InteractionGraph::AverageItemInteractions() const {
+  if (num_items_ == 0) return 0.0;
+  return static_cast<double>(num_edges_) / num_items_;
+}
+
+std::shared_ptr<const CsrMatrix> InteractionGraph::NormalizedUserItemAdj()
+    const {
+  std::vector<std::vector<std::pair<int, float>>> rows(num_users_);
+  for (int u = 0; u < num_users_; ++u) {
+    const std::vector<int>& adj = user_adj_[u];
+    if (adj.empty()) continue;
+    const float norm = 1.f / static_cast<float>(adj.size());
+    rows[u].reserve(adj.size());
+    for (int v : adj) rows[u].emplace_back(v, norm);
+  }
+  return std::make_shared<CsrMatrix>(num_users_, num_items_, rows);
+}
+
+std::shared_ptr<const CsrMatrix> InteractionGraph::NormalizedItemUserAdj()
+    const {
+  std::vector<std::vector<std::pair<int, float>>> rows(num_items_);
+  for (int v = 0; v < num_items_; ++v) {
+    const std::vector<int>& adj = item_adj_[v];
+    if (adj.empty()) continue;
+    const float norm = 1.f / static_cast<float>(adj.size());
+    rows[v].reserve(adj.size());
+    for (int u : adj) rows[v].emplace_back(u, norm);
+  }
+  return std::make_shared<CsrMatrix>(num_items_, num_users_, rows);
+}
+
+}  // namespace nmcdr

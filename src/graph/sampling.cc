@@ -1,0 +1,61 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+NegativeSampler::NegativeSampler(const InteractionGraph* graph)
+    : graph_(graph) {
+  NMCDR_CHECK(graph != nullptr);
+}
+
+int NegativeSampler::SampleNegative(int user, Rng* rng) const {
+  const int n = graph_->num_items();
+  NMCDR_CHECK_GT(n, graph_->UserDegree(user));
+  for (;;) {
+    const int item = static_cast<int>(rng->NextUint64(n));
+    if (!graph_->HasInteraction(user, item)) return item;
+  }
+}
+
+std::vector<int> NegativeSampler::SampleNegatives(
+    int user, int count, const std::vector<int>& exclude, Rng* rng) const {
+  const int n = graph_->num_items();
+  NMCDR_CHECK_GE(n - graph_->UserDegree(user) -
+                     static_cast<int>(exclude.size()),
+                 count);
+  std::unordered_set<int> taken(exclude.begin(), exclude.end());
+  std::vector<int> out;
+  out.reserve(count);
+  while (static_cast<int>(out.size()) < count) {
+    const int item = static_cast<int>(rng->NextUint64(n));
+    if (graph_->HasInteraction(user, item)) continue;
+    if (!taken.insert(item).second) continue;
+    out.push_back(item);
+  }
+  return out;
+}
+
+MatchingPools BuildMatchingPools(const InteractionGraph& graph, int k_head) {
+  MatchingPools pools;
+  pools.head_users = graph.HeadUsers(k_head);
+  pools.tail_users = graph.TailUsers(k_head);
+  return pools;
+}
+
+std::vector<int> SamplePool(const std::vector<int>& pool, int count,
+                            Rng* rng) {
+  NMCDR_CHECK_GE(count, 0);
+  if (static_cast<int>(pool.size()) <= count) return pool;
+  std::vector<int> idx = rng->SampleWithoutReplacement(
+      static_cast<int>(pool.size()), count);
+  std::vector<int> out;
+  out.reserve(count);
+  for (int i : idx) out.push_back(pool[i]);
+  return out;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,52 @@
+#ifndef NMCDR_GRAPH_SAMPLING_H_
+#define NMCDR_GRAPH_SAMPLING_H_
+
+#include <vector>
+
+#include "graph/interaction_graph.h"
+#include "tensor/rng.h"
+
+namespace nmcdr {
+
+/// Uniform negative-item sampler: draws items the user has NOT interacted
+/// with, per the paper's protocol ("randomly sample 199 negative items ...
+/// items are not interacted by the user", §III.A.2). Rejection sampling
+/// against the interaction graph.
+class NegativeSampler {
+ public:
+  /// The graph must outlive the sampler.
+  explicit NegativeSampler(const InteractionGraph* graph);
+
+  /// One negative item for `user`.
+  int SampleNegative(int user, Rng* rng) const;
+
+  /// `count` distinct negatives for `user`, excluding items in `exclude`
+  /// as well. Requires enough non-interacted items to exist.
+  std::vector<int> SampleNegatives(int user, int count,
+                                   const std::vector<int>& exclude,
+                                   Rng* rng) const;
+
+ private:
+  const InteractionGraph* graph_;
+};
+
+/// Head/tail user pools for the sampled fully-connected matching graphs
+/// (intra node matching, Eq. 5-9) and the cross-domain pools (inter node
+/// matching, Eq. 12-14). The paper caps fully-connected aggregation at
+/// `matching_neighbors` sampled users (Fig. 3; default 512).
+struct MatchingPools {
+  std::vector<int> head_users;
+  std::vector<int> tail_users;
+};
+
+/// Splits users of `graph` into head/tail pools by Eq. 5 (with the
+/// head = degree > k_head reading; see InteractionGraph::HeadUsers).
+MatchingPools BuildMatchingPools(const InteractionGraph& graph, int k_head);
+
+/// Samples up to `count` users uniformly without replacement from `pool`.
+/// Returns the whole pool when it is smaller than `count`.
+std::vector<int> SamplePool(const std::vector<int>& pool, int count, Rng* rng);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_GRAPH_SAMPLING_H_

@@ -1,0 +1,209 @@
+#include "serving/ab_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace nmcdr {
+namespace {
+
+float Dot(const Matrix& a, int ra, const Matrix& b, int rb) {
+  const float* ar = a.row(ra);
+  const float* br = b.row(rb);
+  double acc = 0.0;
+  for (int c = 0; c < a.cols(); ++c) acc += static_cast<double>(ar[c]) * br[c];
+  return static_cast<float>(acc);
+}
+
+double Logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+ServingWorld::ServingWorld(std::vector<DomainSpec> specs, int num_persons,
+                           std::vector<double> membership_prob,
+                           int latent_dim, double preference_sharpness,
+                           uint64_t seed)
+    : sharpness_(preference_sharpness) {
+  NMCDR_CHECK_EQ(specs.size(), membership_prob.size());
+  NMCDR_CHECK_GT(num_persons, 0);
+  Rng rng(seed);
+  const int k = static_cast<int>(specs.size());
+
+  // Shared person latents: cross-domain transfer is real by construction.
+  Matrix person_latent =
+      Matrix::Gaussian(num_persons, latent_dim, &rng, 0.f,
+                       1.f / std::sqrt(static_cast<float>(latent_dim)));
+
+  person_of_.resize(k);
+  user_of_.assign(k, std::vector<int>(num_persons, -1));
+  for (int p = 0; p < num_persons; ++p) {
+    bool joined = false;
+    for (int d = 0; d < k; ++d) {
+      if (rng.Bernoulli(membership_prob[d])) {
+        user_of_[d][p] = static_cast<int>(person_of_[d].size());
+        person_of_[d].push_back(p);
+        joined = true;
+      }
+    }
+    if (!joined) {
+      const int d = static_cast<int>(rng.NextUint64(k));
+      user_of_[d][p] = static_cast<int>(person_of_[d].size());
+      person_of_[d].push_back(p);
+    }
+  }
+
+  domains_.resize(k);
+  user_latent_.resize(k);
+  item_latent_.resize(k);
+  bias_.resize(k);
+  for (int d = 0; d < k; ++d) {
+    SyntheticDomainSpec spec = specs[d].data;
+    spec.num_users = static_cast<int>(person_of_[d].size());
+    // Domain user latents: the shared person latent plus small local noise.
+    Matrix lat(spec.num_users, latent_dim);
+    for (int u = 0; u < spec.num_users; ++u) {
+      const float* src = person_latent.row(person_of_[d][u]);
+      float* dst = lat.row(u);
+      for (int c = 0; c < latent_dim; ++c) {
+        dst[c] = 0.9f * src[c] + 0.436f * rng.Gaussian(0.f, 1.f / std::sqrt(
+                                              static_cast<float>(latent_dim)));
+      }
+    }
+    item_latent_[d] =
+        Matrix::Gaussian(spec.num_items, latent_dim, &rng, 0.f,
+                         1.f / std::sqrt(static_cast<float>(latent_dim)));
+    domains_[d] = GenerateDomainFromLatents(spec, lat, item_latent_[d],
+                                            preference_sharpness,
+                                            /*min_interactions=*/3, &rng);
+    user_latent_[d] = std::move(lat);
+
+    // Calibrate the logistic bias so a random policy converts at roughly
+    // the target CVR: solve E[sigmoid(s * affinity + b)] = target by
+    // bisection over random (user, item) pairs.
+    std::vector<float> sample_affinity;
+    for (int i = 0; i < 4000; ++i) {
+      const int u = static_cast<int>(rng.NextUint64(spec.num_users));
+      const int v = static_cast<int>(rng.NextUint64(spec.num_items));
+      sample_affinity.push_back(
+          static_cast<float>(sharpness_) *
+          Dot(user_latent_[d], u, item_latent_[d], v));
+    }
+    double lo = -15.0, hi = 15.0;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      double mean = 0.0;
+      for (float a : sample_affinity) mean += Logistic(a + mid);
+      mean /= sample_affinity.size();
+      (mean < specs[d].target_base_cvr ? lo : hi) = mid;
+    }
+    bias_[d] = 0.5 * (lo + hi);
+  }
+}
+
+double ServingWorld::ConversionProbability(int d, int user, int item) const {
+  return Logistic(sharpness_ * Dot(user_latent_[d], user, item_latent_[d],
+                                   item) +
+                  bias_[d]);
+}
+
+CdrScenario ServingWorld::MakePairScenario(int d1, int d2) const {
+  CdrScenario scenario;
+  scenario.name = domain_name(d1) + "-" + domain_name(d2);
+  scenario.z = domains_[d1];
+  scenario.zbar = domains_[d2];
+  scenario.z_to_zbar.assign(scenario.z.num_users, -1);
+  scenario.zbar_to_z.assign(scenario.zbar.num_users, -1);
+  for (int u = 0; u < scenario.z.num_users; ++u) {
+    const int person = person_of_[d1][u];
+    const int counterpart = user_of_[d2][person];
+    if (counterpart >= 0) {
+      scenario.z_to_zbar[u] = counterpart;
+      scenario.zbar_to_z[counterpart] = u;
+    }
+  }
+  scenario.CheckConsistency();
+  return scenario;
+}
+
+std::vector<int> ServingWorld::ItemPopularity(int d) const {
+  std::vector<int> popularity(domains_[d].num_items, 0);
+  for (const Interaction& e : domains_[d].interactions) ++popularity[e.item];
+  return popularity;
+}
+
+std::vector<GroupResult> RunAbTest(
+    const ServingWorld& world,
+    const std::vector<std::pair<std::string, Ranker>>& groups,
+    const AbTestConfig& config) {
+  NMCDR_CHECK(!groups.empty());
+  Rng rng(config.seed);
+  const int g = static_cast<int>(groups.size());
+
+  std::vector<GroupResult> results(g);
+  for (int i = 0; i < g; ++i) {
+    results[i].name = groups[i].first;
+    results[i].cvr.assign(world.num_domains(), 0.0);
+    results[i].impressions.assign(world.num_domains(), 0);
+  }
+  std::vector<std::vector<int64_t>> conversions(
+      g, std::vector<int64_t>(world.num_domains(), 0));
+
+  for (int day = 0; day < config.days; ++day) {
+    for (int d = 0; d < world.num_domains(); ++d) {
+      const int num_users = world.NumUsers(d);
+      const int num_items = world.domain(d).num_items;
+      for (int imp = 0; imp < config.impressions_per_day_per_domain; ++imp) {
+        const int user = static_cast<int>(rng.NextUint64(num_users));
+        // Stable traffic split by person id: a person stays in one group
+        // for the whole test (standard A/B hygiene).
+        const int person = world.PersonOfUser(d, user);
+        const int group =
+            static_cast<int>((static_cast<uint64_t>(person) * 2654435761ULL) %
+                             g);
+        // Shared candidate retrieval.
+        std::vector<int> candidates = rng.SampleWithoutReplacement(
+            num_items, std::min(config.candidate_pool, num_items));
+        const std::vector<float> scores =
+            groups[group].second(d, user, candidates);
+        NMCDR_CHECK_EQ(scores.size(), candidates.size());
+        int best = 0;
+        for (size_t i = 1; i < candidates.size(); ++i) {
+          if (scores[i] > scores[best]) best = static_cast<int>(i);
+        }
+        ++results[group].impressions[d];
+        if (rng.Bernoulli(
+                world.ConversionProbability(d, user, candidates[best]))) {
+          ++conversions[group][d];
+        }
+      }
+    }
+  }
+  for (int i = 0; i < g; ++i) {
+    for (int d = 0; d < world.num_domains(); ++d) {
+      if (results[i].impressions[d] > 0) {
+        results[i].cvr[d] = static_cast<double>(conversions[i][d]) /
+                            results[i].impressions[d];
+      }
+    }
+  }
+  return results;
+}
+
+Ranker PopularityRanker(const ServingWorld& world) {
+  std::vector<std::vector<int>> popularity;
+  for (int d = 0; d < world.num_domains(); ++d) {
+    popularity.push_back(world.ItemPopularity(d));
+  }
+  return [popularity](int domain, int /*user*/,
+                      const std::vector<int>& candidates) {
+    std::vector<float> scores(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      scores[i] = static_cast<float>(popularity[domain][candidates[i]]);
+    }
+    return scores;
+  };
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,144 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nmcdr {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, 0.f) {
+  NMCDR_CHECK_GE(rows, 0);
+  NMCDR_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, fill) {
+  NMCDR_CHECK_GE(rows, 0);
+  NMCDR_CHECK_GE(cols, 0);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  NMCDR_CHECK(!rows.empty());
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    NMCDR_CHECK_EQ(rows[r].size(), rows[0].size());
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.At(i, i) = 1.f;
+  return m;
+}
+
+Matrix Matrix::Gaussian(int rows, int cols, Rng* rng, float mean,
+                        float stddev) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = rng->Gaussian(mean, stddev);
+  return m;
+}
+
+Matrix Matrix::Xavier(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  const float a = std::sqrt(6.f / static_cast<float>(rows + cols));
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-a, a);
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float Matrix::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Matrix::Mean() const {
+  NMCDR_CHECK_GT(size(), 0);
+  return Sum() / static_cast<float>(size());
+}
+
+float Matrix::Min() const {
+  NMCDR_CHECK_GT(size(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Matrix::Max() const {
+  NMCDR_CHECK_GT(size(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::SpectralNorm(int iters) const {
+  if (empty()) return 0.f;
+  // Power iteration on A^T A.
+  Rng rng(12345);
+  std::vector<double> v(cols_);
+  for (double& x : v) x = rng.Gaussian();
+  std::vector<double> av(rows_), atav(cols_);
+  double sigma = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    // av = A v
+    for (int r = 0; r < rows_; ++r) {
+      double acc = 0.0;
+      const float* rp = row(r);
+      for (int c = 0; c < cols_; ++c) acc += static_cast<double>(rp[c]) * v[c];
+      av[r] = acc;
+    }
+    // atav = A^T av
+    std::fill(atav.begin(), atav.end(), 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      const float* rp = row(r);
+      for (int c = 0; c < cols_; ++c) atav[c] += static_cast<double>(rp[c]) * av[r];
+    }
+    double norm = 0.0;
+    for (double x : atav) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-30) return 0.f;
+    for (int c = 0; c < cols_; ++c) v[c] = atav[c] / norm;
+    double av_norm = 0.0;
+    for (double x : av) av_norm += x * x;
+    sigma = std::sqrt(av_norm);
+  }
+  return static_cast<float>(sigma);
+}
+
+std::string Matrix::DebugString() const {
+  std::ostringstream oss;
+  oss << "Matrix(" << rows_ << "x" << cols_ << ")";
+  const int max_rows = std::min(rows_, 8);
+  const int max_cols = std::min(cols_, 8);
+  for (int r = 0; r < max_rows; ++r) {
+    oss << "\n  [";
+    for (int c = 0; c < max_cols; ++c) {
+      if (c > 0) oss << ", ";
+      oss << At(r, c);
+    }
+    if (max_cols < cols_) oss << ", ...";
+    oss << "]";
+  }
+  if (max_rows < rows_) oss << "\n  ...";
+  return oss.str();
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float atol) {
+  if (!a.SameShape(b)) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace nmcdr

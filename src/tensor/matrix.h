@@ -1,0 +1,114 @@
+#ifndef NMCDR_TENSOR_MATRIX_H_
+#define NMCDR_TENSOR_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "util/check.h"
+
+namespace nmcdr {
+
+/// Dense row-major float matrix: the single value type flowing through the
+/// autograd engine. A row vector is a 1xN matrix; scalars are 1x1.
+///
+/// Copyable and movable; copies are deep.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(int rows, int cols);
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(int rows, int cols, float fill);
+
+  /// Builds a matrix from nested initializer data (row-major), used by
+  /// tests for literal fixtures. All rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// All-zeros / all-ones factories.
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Ones(int rows, int cols) { return Matrix(rows, cols, 1.f); }
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int n);
+
+  /// I.i.d. N(mean, stddev^2) entries.
+  static Matrix Gaussian(int rows, int cols, Rng* rng, float mean = 0.f,
+                         float stddev = 1.f);
+
+  /// Xavier/Glorot uniform init: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+  /// The default init for all trainable weight matrices in this repo.
+  static Matrix Xavier(int rows, int cols, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  /// Total element count.
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  /// Bounds-checked element access.
+  float& At(int r, int c) {
+    NMCDR_CHECK_GE(r, 0);
+    NMCDR_CHECK_LT(r, rows_);
+    NMCDR_CHECK_GE(c, 0);
+    NMCDR_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float At(int r, int c) const {
+    NMCDR_CHECK_GE(r, 0);
+    NMCDR_CHECK_LT(r, rows_);
+    NMCDR_CHECK_GE(c, 0);
+    NMCDR_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Unchecked flat access for kernels.
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// True if shapes match.
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+
+  /// Sets every entry to zero (keeps shape).
+  void SetZero() { Fill(0.f); }
+
+  /// Sum / mean / min / max over all entries.
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+
+  /// Frobenius norm.
+  float FrobeniusNorm() const;
+
+  /// Largest singular value estimated by power iteration (`iters` steps);
+  /// used by the Eq. 31 stability-bound computation.
+  float SpectralNorm(int iters = 30) const;
+
+  /// Human-readable dump (small matrices only; rows truncated past 8).
+  std::string DebugString() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// True if a and b have the same shape and all entries differ by <= atol.
+bool AllClose(const Matrix& a, const Matrix& b, float atol = 1e-5f);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_TENSOR_MATRIX_H_

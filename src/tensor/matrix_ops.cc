@@ -1,0 +1,324 @@
+#include "tensor/matrix_ops.h"
+
+#include <cmath>
+
+namespace nmcdr {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  MatMulAccumInto(a, b, &out);
+  return out;
+}
+
+void MatMulAccumInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  NMCDR_CHECK_EQ(a.cols(), b.rows());
+  NMCDR_CHECK_EQ(out->rows(), a.rows());
+  NMCDR_CHECK_EQ(out->cols(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  // ikj loop order: streams over B and C rows, cache-friendly row-major.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = out->row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  NMCDR_CHECK_EQ(a.rows(), b.rows());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.f) continue;
+      float* crow = out.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  NMCDR_CHECK_EQ(a.cols(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix out(m, n);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = out.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename F>
+Matrix Elementwise(const Matrix& a, F f) {
+  Matrix out(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) out.data()[i] = f(a.data()[i]);
+  return out;
+}
+
+template <typename F>
+Matrix Elementwise2(const Matrix& a, const Matrix& b, F f) {
+  NMCDR_CHECK(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) out.data()[i] = f(a.data()[i], b.data()[i]);
+  return out;
+}
+
+}  // namespace
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  return Elementwise2(a, b, [](float x, float y) { return x + y; });
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  return Elementwise2(a, b, [](float x, float y) { return x - y; });
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  return Elementwise2(a, b, [](float x, float y) { return x * y; });
+}
+
+Matrix Axpby(const Matrix& a, float alpha, const Matrix& b, float beta) {
+  return Elementwise2(a, b, [alpha, beta](float x, float y) {
+    return alpha * x + beta * y;
+  });
+}
+
+void AxpyInto(const Matrix& a, float alpha, Matrix* out) {
+  NMCDR_CHECK(a.SameShape(*out));
+  for (int i = 0; i < a.size(); ++i) out->data()[i] += alpha * a.data()[i];
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  return Elementwise(a, [s](float x) { return s * x; });
+}
+
+Matrix AddScalar(const Matrix& a, float s) {
+  return Elementwise(a, [s](float x) { return x + s; });
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& b) {
+  NMCDR_CHECK_EQ(b.rows(), 1);
+  NMCDR_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), a.cols());
+  const float* brow = b.row(0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float* orow = out.row(r);
+    for (int c = 0; c < a.cols(); ++c) orow[c] = arow[c] + brow[c];
+  }
+  return out;
+}
+
+Matrix Relu(const Matrix& a) {
+  return Elementwise(a, [](float x) { return x > 0.f ? x : 0.f; });
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  return Elementwise(a, [](float x) {
+    // Numerically stable in both tails.
+    if (x >= 0.f) {
+      const float z = std::exp(-x);
+      return 1.f / (1.f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.f + z);
+  });
+}
+
+Matrix Tanh(const Matrix& a) {
+  return Elementwise(a, [](float x) { return std::tanh(x); });
+}
+
+Matrix Softplus(const Matrix& a) {
+  return Elementwise(a, [](float x) {
+    // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
+    return (x > 0.f ? x : 0.f) + std::log1p(std::exp(-std::fabs(x)));
+  });
+}
+
+Matrix Exp(const Matrix& a) {
+  return Elementwise(a, [](float x) { return std::exp(x); });
+}
+
+Matrix Log(const Matrix& a) {
+  return Elementwise(a, [](float x) {
+    return std::log(x > 1e-12f ? x : 1e-12f);
+  });
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* in = a.row(r);
+    float* o = out.row(r);
+    float mx = in[0];
+    for (int c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+    double total = 0.0;
+    for (int c = 0; c < a.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      total += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int c = 0; c < a.cols(); ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const float* arow = a.row(r);
+    for (int c = 0; c < a.cols(); ++c) acc += arow[c];
+    out.At(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Matrix RowMean(const Matrix& a) {
+  NMCDR_CHECK_GT(a.cols(), 0);
+  return Scale(RowSum(a), 1.f / static_cast<float>(a.cols()));
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  float* o = out.row(0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (int c = 0; c < a.cols(); ++c) o[c] += arow[c];
+  }
+  return out;
+}
+
+Matrix ColMean(const Matrix& a) {
+  NMCDR_CHECK_GT(a.rows(), 0);
+  return Scale(ColSum(a), 1.f / static_cast<float>(a.rows()));
+}
+
+Matrix GatherRows(const Matrix& table, const std::vector<int>& ids) {
+  Matrix out(static_cast<int>(ids.size()), table.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    NMCDR_CHECK_GE(ids[i], 0);
+    NMCDR_CHECK_LT(ids[i], table.rows());
+    const float* src = table.row(ids[i]);
+    float* dst = out.row(static_cast<int>(i));
+    for (int c = 0; c < table.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+void ScatterAddRows(const Matrix& src, const std::vector<int>& ids,
+                    Matrix* out) {
+  NMCDR_CHECK_EQ(src.rows(), static_cast<int>(ids.size()));
+  NMCDR_CHECK_EQ(src.cols(), out->cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    NMCDR_CHECK_GE(ids[i], 0);
+    NMCDR_CHECK_LT(ids[i], out->rows());
+    const float* s = src.row(static_cast<int>(i));
+    float* d = out->row(ids[i]);
+    for (int c = 0; c < src.cols(); ++c) d[c] += s[c];
+  }
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  NMCDR_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    float* o = out.row(r);
+    const float* ar = a.row(r);
+    const float* br = b.row(r);
+    for (int c = 0; c < a.cols(); ++c) o[c] = ar[c];
+    for (int c = 0; c < b.cols(); ++c) o[a.cols() + c] = br[c];
+  }
+  return out;
+}
+
+Matrix RowDot(const Matrix& a, const Matrix& b) {
+  NMCDR_CHECK(a.SameShape(b));
+  Matrix out(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* ar = a.row(r);
+    const float* br = b.row(r);
+    double acc = 0.0;
+    for (int c = 0; c < a.cols(); ++c) acc += static_cast<double>(ar[c]) * br[c];
+    out.At(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+CsrMatrix::CsrMatrix(
+    int rows, int cols,
+    const std::vector<std::vector<std::pair<int, float>>>& row_entries)
+    : rows_(rows), cols_(cols) {
+  NMCDR_CHECK_EQ(static_cast<int>(row_entries.size()), rows);
+  row_ptr_.resize(rows + 1, 0);
+  int64_t nnz = 0;
+  for (int r = 0; r < rows; ++r) {
+    nnz += static_cast<int64_t>(row_entries[r].size());
+    row_ptr_[r + 1] = nnz;
+  }
+  col_idx_.reserve(nnz);
+  values_.reserve(nnz);
+  for (int r = 0; r < rows; ++r) {
+    for (const auto& [c, v] : row_entries[r]) {
+      NMCDR_CHECK_GE(c, 0);
+      NMCDR_CHECK_LT(c, cols);
+      col_idx_.push_back(c);
+      values_.push_back(v);
+    }
+  }
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& x) const {
+  NMCDR_CHECK_EQ(x.rows(), cols_);
+  Matrix out(rows_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    float* orow = out.row(r);
+    for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float v = values_[e];
+      const float* xrow = x.row(col_idx_[e]);
+      for (int c = 0; c < x.cols(); ++c) orow[c] += v * xrow[c];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::MultiplyTransposed(const Matrix& x) const {
+  NMCDR_CHECK_EQ(x.rows(), rows_);
+  Matrix out(cols_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    const float* xrow = x.row(r);
+    for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float v = values_[e];
+      float* orow = out.row(col_idx_[e]);
+      for (int c = 0; c < x.cols(); ++c) orow[c] += v * xrow[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,159 @@
+#include "tensor/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  NMCDR_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  NMCDR_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::Uniform(float lo, float hi) {
+  return lo + static_cast<float>(UniformDouble()) * (hi - lo);
+}
+
+float Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = UniformDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586;
+  spare_gaussian_ = static_cast<float>(mag * std::sin(two_pi * u2));
+  has_spare_gaussian_ = true;
+  return static_cast<float>(mag * std::cos(two_pi * u2));
+}
+
+float Rng::Gaussian(float mean, float stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+int Rng::SampleDiscrete(const std::vector<double>& weights) {
+  NMCDR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    NMCDR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  NMCDR_CHECK_GT(total, 0.0);
+  double r = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::Zipf(int n, double s) {
+  NMCDR_CHECK_GT(n, 0);
+  std::vector<double> w(n);
+  for (int r = 0; r < n; ++r) w[r] = 1.0 / std::pow(r + 1.0, s);
+  return SampleDiscrete(w);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  NMCDR_CHECK_GE(n, k);
+  NMCDR_CHECK_GE(k, 0);
+  if (k == 0) return {};
+  // For small k relative to n, hash-set rejection; otherwise partial shuffle.
+  if (k * 4 < n) {
+    std::unordered_set<int> seen;
+    std::vector<int> out;
+    out.reserve(k);
+    while (static_cast<int>(out.size()) < k) {
+      int v = static_cast<int>(NextUint64(n));
+      if (seen.insert(v).second) out.push_back(v);
+    }
+    return out;
+  }
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(NextUint64(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+ZipfSampler::ZipfSampler(int n, double s) {
+  NMCDR_CHECK_GT(n, 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (int r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(r + 1.0, s);
+    cdf_[r] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+int ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int>(cdf_.size()) - 1;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(int r) const {
+  NMCDR_CHECK_GE(r, 0);
+  NMCDR_CHECK_LT(r, static_cast<int>(cdf_.size()));
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,54 @@
+#include "train/experiment.h"
+
+namespace nmcdr {
+
+ExperimentData::ExperimentData(CdrScenario scenario, uint64_t seed)
+    : scenario_(std::move(scenario)) {
+  scenario_.CheckConsistency();
+  Rng rng(seed);
+  split_z_ = LeaveOneOutSplit(scenario_.z, &rng);
+  split_zbar_ = LeaveOneOutSplit(scenario_.zbar, &rng);
+  train_graph_z_ = std::make_unique<InteractionGraph>(
+      scenario_.z.num_users, scenario_.z.num_items, split_z_.train);
+  train_graph_zbar_ = std::make_unique<InteractionGraph>(
+      scenario_.zbar.num_users, scenario_.zbar.num_items, split_zbar_.train);
+  full_graph_z_ = std::make_unique<InteractionGraph>(
+      scenario_.z.num_users, scenario_.z.num_items, scenario_.z.interactions);
+  full_graph_zbar_ = std::make_unique<InteractionGraph>(
+      scenario_.zbar.num_users, scenario_.zbar.num_items,
+      scenario_.zbar.interactions);
+}
+
+ScenarioView ExperimentData::View() const {
+  ScenarioView view;
+  view.scenario = &scenario_;
+  view.split_z = &split_z_;
+  view.split_zbar = &split_zbar_;
+  view.train_graph_z = train_graph_z_.get();
+  view.train_graph_zbar = train_graph_zbar_.get();
+  return view;
+}
+
+ExperimentResult RunExperiment(const ExperimentData& data,
+                               const ModelFactory& factory,
+                               const CommonHyper& hyper,
+                               const TrainConfig& train_config,
+                               const EvalConfig& eval_config) {
+  const ScenarioView view = data.View();
+  std::unique_ptr<RecModel> model =
+      factory(view, hyper, train_config.learning_rate);
+
+  Trainer trainer(view, train_config, &data.full_graph_z(),
+                  &data.full_graph_zbar());
+  ExperimentResult result;
+  result.model_name = model->name();
+  result.training = trainer.Train(model.get());
+  result.parameter_count = model->ParameterCount();
+  result.test = EvaluateScenario(model.get(), data.full_graph_z(),
+                                 data.full_graph_zbar(), data.split_z(),
+                                 data.split_zbar(), EvalPhase::kTest,
+                                 eval_config);
+  return result;
+}
+
+}  // namespace nmcdr

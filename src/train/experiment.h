@@ -1,0 +1,72 @@
+#ifndef NMCDR_TRAIN_EXPERIMENT_H_
+#define NMCDR_TRAIN_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/rec_model.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+namespace nmcdr {
+
+/// Builds a RecModel for a prepared scenario. `lr` is the learning rate
+/// the model's internal optimizer should use.
+using ModelFactory = std::function<std::unique_ptr<RecModel>(
+    const ScenarioView& view, const CommonHyper& hyper, float lr)>;
+
+/// Owns everything derived from a scenario that an experiment needs:
+/// the (K_u/D_s-adjusted) scenario, leave-one-out splits, train-only
+/// graphs for message passing, and full graphs for negative sampling.
+class ExperimentData {
+ public:
+  /// Splits `scenario` (deterministically from `seed`) and builds graphs.
+  ExperimentData(CdrScenario scenario, uint64_t seed);
+
+  ExperimentData(const ExperimentData&) = delete;
+  ExperimentData& operator=(const ExperimentData&) = delete;
+
+  /// Borrow-view handed to models and the trainer; valid while this
+  /// object lives.
+  ScenarioView View() const;
+
+  const CdrScenario& scenario() const { return scenario_; }
+  const DomainSplit& split_z() const { return split_z_; }
+  const DomainSplit& split_zbar() const { return split_zbar_; }
+  const InteractionGraph& full_graph_z() const { return *full_graph_z_; }
+  const InteractionGraph& full_graph_zbar() const { return *full_graph_zbar_; }
+  const InteractionGraph& train_graph_z() const { return *train_graph_z_; }
+  const InteractionGraph& train_graph_zbar() const {
+    return *train_graph_zbar_;
+  }
+
+ private:
+  CdrScenario scenario_;
+  DomainSplit split_z_;
+  DomainSplit split_zbar_;
+  std::unique_ptr<InteractionGraph> train_graph_z_;
+  std::unique_ptr<InteractionGraph> train_graph_zbar_;
+  std::unique_ptr<InteractionGraph> full_graph_z_;
+  std::unique_ptr<InteractionGraph> full_graph_zbar_;
+};
+
+/// Outcome of one (model, scenario) run.
+struct ExperimentResult {
+  std::string model_name;
+  ScenarioMetrics test;
+  TrainSummary training;
+  int64_t parameter_count = 0;
+};
+
+/// Trains a fresh model from `factory` on `data` and evaluates the test
+/// split of both domains: one cell-group of the paper's Tables II-V.
+ExperimentResult RunExperiment(const ExperimentData& data,
+                               const ModelFactory& factory,
+                               const CommonHyper& hyper,
+                               const TrainConfig& train_config,
+                               const EvalConfig& eval_config);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_TRAIN_EXPERIMENT_H_

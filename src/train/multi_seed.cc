@@ -1,0 +1,51 @@
+#include "train/multi_seed.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / values.size();
+  if (values.size() < 2) return out;
+  double sq = 0.0;
+  for (double v : values) sq += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(sq / (values.size() - 1));
+  return out;
+}
+
+MultiSeedResult RunExperimentMultiSeed(const ExperimentData& data,
+                                       const ModelFactory& factory,
+                                       const CommonHyper& hyper,
+                                       const TrainConfig& train_config,
+                                       const EvalConfig& eval_config,
+                                       const std::vector<uint64_t>& seeds) {
+  NMCDR_CHECK(!seeds.empty());
+  std::vector<double> hr_z, ndcg_z, hr_zbar, ndcg_zbar;
+  for (uint64_t seed : seeds) {
+    CommonHyper seeded_hyper = hyper;
+    seeded_hyper.seed = seed;
+    TrainConfig seeded_train = train_config;
+    seeded_train.seed = seed;
+    const ExperimentResult result =
+        RunExperiment(data, factory, seeded_hyper, seeded_train, eval_config);
+    hr_z.push_back(result.test.z.hr);
+    ndcg_z.push_back(result.test.z.ndcg);
+    hr_zbar.push_back(result.test.zbar.hr);
+    ndcg_zbar.push_back(result.test.zbar.ndcg);
+  }
+  MultiSeedResult out;
+  out.hr_z = Aggregate(hr_z);
+  out.ndcg_z = Aggregate(ndcg_z);
+  out.hr_zbar = Aggregate(hr_zbar);
+  out.ndcg_zbar = Aggregate(ndcg_zbar);
+  out.num_seeds = static_cast<int>(seeds.size());
+  return out;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,39 @@
+#ifndef NMCDR_TRAIN_MULTI_SEED_H_
+#define NMCDR_TRAIN_MULTI_SEED_H_
+
+#include <vector>
+
+#include "train/experiment.h"
+
+namespace nmcdr {
+
+/// Mean and sample standard deviation of a metric across seeds.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+/// Computes mean/std (sample std; 0 for n < 2) of `values`.
+MeanStd Aggregate(const std::vector<double>& values);
+
+/// Per-domain aggregated metrics across seeds.
+struct MultiSeedResult {
+  MeanStd hr_z, ndcg_z, hr_zbar, ndcg_zbar;
+  int num_seeds = 0;
+};
+
+/// Runs the same (model, scenario) experiment once per seed — re-seeding
+/// model initialization and the training stream, keeping the data split
+/// fixed — and aggregates the test metrics. The paper reports the best of
+/// 5 runs; this reports mean ± std, the variance-honest alternative used
+/// by EXPERIMENTS.md when quantifying cell noise.
+MultiSeedResult RunExperimentMultiSeed(const ExperimentData& data,
+                                       const ModelFactory& factory,
+                                       const CommonHyper& hyper,
+                                       const TrainConfig& train_config,
+                                       const EvalConfig& eval_config,
+                                       const std::vector<uint64_t>& seeds);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_TRAIN_MULTI_SEED_H_

@@ -1,0 +1,52 @@
+#include "train/registry.h"
+
+#include "core/nmcdr_model.h"
+#include "util/check.h"
+
+namespace nmcdr {
+
+ModelRegistry& ModelRegistry::Instance() {
+  static ModelRegistry* registry = new ModelRegistry();
+  return *registry;
+}
+
+void ModelRegistry::Register(const std::string& name, ModelFactory factory) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      factories_[i] = std::move(factory);
+      return;
+    }
+  }
+  names_.push_back(name);
+  factories_.push_back(std::move(factory));
+}
+
+ModelFactory ModelRegistry::Get(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return factories_[i];
+  }
+  NMCDR_CHECK(false);
+  return nullptr;
+}
+
+bool ModelRegistry::Contains(const std::string& name) const {
+  for (const std::string& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ModelRegistry::Names() const { return names_; }
+
+void RegisterNmcdrModel() {
+  ModelRegistry::Instance().Register(
+      "NMCDR",
+      [](const ScenarioView& view, const CommonHyper& hyper, float lr) {
+        NmcdrConfig config;
+        config.hidden_dim = hyper.embed_dim;
+        config.mlp_hidden = hyper.mlp_hidden;
+        return std::make_unique<NmcdrModel>(view, config, hyper.seed, lr);
+      });
+}
+
+}  // namespace nmcdr

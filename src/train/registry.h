@@ -1,0 +1,44 @@
+#ifndef NMCDR_TRAIN_REGISTRY_H_
+#define NMCDR_TRAIN_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "train/experiment.h"
+
+namespace nmcdr {
+
+/// Process-wide model registry mapping table row names ("NMCDR", "PLE",
+/// "PTUPCDR", ...) to factories. Registration is explicit (call
+/// RegisterBaselineModels() / RegisterNmcdrModel() from main) — no static
+/// initialization order games.
+class ModelRegistry {
+ public:
+  /// The singleton registry.
+  static ModelRegistry& Instance();
+
+  /// Registers `factory` under `name`; re-registering a name replaces the
+  /// previous factory (used by tests to stub models).
+  void Register(const std::string& name, ModelFactory factory);
+
+  /// Returns the factory for `name`; CHECK-fails if unknown.
+  ModelFactory Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names in registration order.
+  std::vector<std::string> Names() const;
+
+ private:
+  ModelRegistry() = default;
+  std::vector<std::string> names_;
+  std::vector<ModelFactory> factories_;
+};
+
+/// Registers NMCDR (with default NmcdrConfig scaled to the hyper's
+/// embed_dim) under "NMCDR".
+void RegisterNmcdrModel();
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_TRAIN_REGISTRY_H_

@@ -1,0 +1,59 @@
+#ifndef NMCDR_UTIL_CHECK_H_
+#define NMCDR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nmcdr {
+namespace internal_check {
+
+/// Prints a fatal-check failure and aborts. Never returns.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr, "[CHECK FAILED] %s:%d: %s %s\n", file, line, condition,
+               message.c_str());
+  std::abort();
+}
+
+/// Stringifies two operands for CHECK_XX failure messages.
+template <typename A, typename B>
+std::string FormatOperands(const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << "(" << a << " vs. " << b << ")";
+  return oss.str();
+}
+
+}  // namespace internal_check
+}  // namespace nmcdr
+
+/// Aborts with a diagnostic if `condition` is false. Active in all builds:
+/// these guard programmer errors (bad shapes, out-of-range ids), which must
+/// not silently corrupt results in Release benchmarks either.
+#define NMCDR_CHECK(condition)                                          \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::nmcdr::internal_check::CheckFail(__FILE__, __LINE__,            \
+                                         "CHECK(" #condition ")", "");  \
+    }                                                                   \
+  } while (0)
+
+#define NMCDR_CHECK_OP(op, a, b)                                             \
+  do {                                                                       \
+    if (!((a)op(b))) {                                                       \
+      ::nmcdr::internal_check::CheckFail(                                    \
+          __FILE__, __LINE__, "CHECK(" #a " " #op " " #b ")",                \
+          ::nmcdr::internal_check::FormatOperands((a), (b)));                \
+    }                                                                        \
+  } while (0)
+
+#define NMCDR_CHECK_EQ(a, b) NMCDR_CHECK_OP(==, a, b)
+#define NMCDR_CHECK_NE(a, b) NMCDR_CHECK_OP(!=, a, b)
+#define NMCDR_CHECK_LT(a, b) NMCDR_CHECK_OP(<, a, b)
+#define NMCDR_CHECK_LE(a, b) NMCDR_CHECK_OP(<=, a, b)
+#define NMCDR_CHECK_GT(a, b) NMCDR_CHECK_OP(>, a, b)
+#define NMCDR_CHECK_GE(a, b) NMCDR_CHECK_OP(>=, a, b)
+
+#endif  // NMCDR_UTIL_CHECK_H_

@@ -1,0 +1,32 @@
+#include "util/csv_writer.h"
+
+namespace nmcdr {
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ",";
+    out_ << (NeedsQuoting(cells[i]) ? Quote(cells[i]) : cells[i]);
+  }
+  out_ << "\n";
+}
+
+}  // namespace nmcdr

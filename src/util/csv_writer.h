@@ -1,0 +1,30 @@
+#ifndef NMCDR_UTIL_CSV_WRITER_H_
+#define NMCDR_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nmcdr {
+
+/// Minimal CSV writer; each bench writes its table next to the binary so the
+/// series can be re-plotted outside this repo. Values containing commas or
+/// quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  /// True if the output file opened successfully.
+  bool ok() const { return out_.good(); }
+
+  /// Writes one row.
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_UTIL_CSV_WRITER_H_

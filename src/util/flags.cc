@@ -1,0 +1,93 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int FlagParser::GetInt(const std::string& name, int default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  NMCDR_CHECK(end != nullptr && *end == '\0' && !it->second.empty());
+  return static_cast<int>(v);
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  NMCDR_CHECK(end != nullptr && *end == '\0' && !it->second.empty());
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  NMCDR_CHECK(false);
+  return default_value;
+}
+
+std::vector<std::string> FlagParser::GetList(const std::string& name) const {
+  std::vector<std::string> out;
+  const std::string value = GetString(name);
+  std::string token;
+  for (char c : value) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+std::vector<std::string> FlagParser::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,52 @@
+#ifndef NMCDR_UTIL_FLAGS_H_
+#define NMCDR_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nmcdr {
+
+/// Minimal command-line flag parser for the CLI tool and examples.
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean
+/// true); positional arguments are collected in order. Unknown flags are
+/// kept (queryable) so callers can decide whether to reject them.
+class FlagParser {
+ public:
+  /// Parses argv (argv[0] skipped). Later duplicates override earlier.
+  FlagParser(int argc, const char* const* argv);
+
+  /// True if `--name` was present in any form.
+  bool Has(const std::string& name) const;
+
+  /// String value of `--name`, or `default_value` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value = "") const;
+
+  /// Integer value; CHECK-fails if present but not parseable.
+  int GetInt(const std::string& name, int default_value) const;
+
+  /// Double value; CHECK-fails if present but not parseable.
+  double GetDouble(const std::string& name, double default_value) const;
+
+  /// Boolean: absent -> default; bare flag or "true"/"1" -> true;
+  /// "false"/"0" -> false; anything else CHECK-fails.
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated list value.
+  std::vector<std::string> GetList(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All flag names seen, for unknown-flag validation.
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_UTIL_FLAGS_H_

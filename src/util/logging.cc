@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <ctime>
+
+namespace nmcdr {
+namespace {
+
+LogLevel* MutableMinLevel() {
+  static LogLevel level = [] {
+    if (const char* env = std::getenv("NMCDR_LOG_LEVEL")) {
+      int v = std::atoi(env);
+      if (v >= 0 && v <= 3) return static_cast<LogLevel>(v);
+    }
+    return LogLevel::kInfo;
+  }();
+  return &level;
+}
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() { return *MutableMinLevel(); }
+
+void SetMinLogLevel(LogLevel level) { *MutableMinLevel() = level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << LevelChar(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < MinLogLevel()) return;
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace internal_logging
+}  // namespace nmcdr

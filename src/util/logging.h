@@ -1,0 +1,77 @@
+#ifndef NMCDR_UTIL_LOGGING_H_
+#define NMCDR_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace nmcdr {
+
+/// Log severities, ordered by importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is actually emitted.
+/// Defaults to kInfo; override with SetMinLogLevel or NMCDR_LOG_LEVEL env var
+/// (0=debug .. 3=error) read on first use.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum emitted severity.
+void SetMinLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active severity without evaluating
+/// the streamed expressions' formatting.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace nmcdr
+
+#define NMCDR_LOG_AT(level)                                              \
+  (::nmcdr::MinLogLevel() > (level))                                     \
+      ? void(0)                                                          \
+      : void(::nmcdr::internal_logging::LogMessage((level), __FILE__,    \
+                                                   __LINE__)             \
+                 .stream())
+
+// Stream-style logging:  LOG_INFO << "epoch " << e << " loss " << l;
+#define LOG_DEBUG                                                      \
+  ::nmcdr::internal_logging::LogMessage(::nmcdr::LogLevel::kDebug,     \
+                                        __FILE__, __LINE__)            \
+      .stream()
+#define LOG_INFO                                                       \
+  ::nmcdr::internal_logging::LogMessage(::nmcdr::LogLevel::kInfo,      \
+                                        __FILE__, __LINE__)            \
+      .stream()
+#define LOG_WARNING                                                    \
+  ::nmcdr::internal_logging::LogMessage(::nmcdr::LogLevel::kWarning,   \
+                                        __FILE__, __LINE__)            \
+      .stream()
+#define LOG_ERROR                                                      \
+  ::nmcdr::internal_logging::LogMessage(::nmcdr::LogLevel::kError,     \
+                                        __FILE__, __LINE__)            \
+      .stream()
+
+#endif  // NMCDR_UTIL_LOGGING_H_

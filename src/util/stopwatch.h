@@ -1,0 +1,31 @@
+#ifndef NMCDR_UTIL_STOPWATCH_H_
+#define NMCDR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace nmcdr {
+
+/// Wall-clock stopwatch used by the trainer and the efficiency benchmark.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_UTIL_STOPWATCH_H_

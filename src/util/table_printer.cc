@@ -1,0 +1,89 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+void TablePrinter::SetHeader(const std::vector<std::string>& header) {
+  NMCDR_CHECK(!header.empty());
+  header_ = header;
+}
+
+void TablePrinter::AddRow(const std::vector<std::string>& row) {
+  NMCDR_CHECK(!header_.empty());
+  NMCDR_CHECK_LE(row.size(), header_.size());
+  Row r;
+  r.cells = row;
+  r.cells.resize(header_.size());
+  rows_.push_back(std::move(r));
+}
+
+void TablePrinter::AddSeparator() {
+  Row r;
+  r.separator = true;
+  rows_.push_back(std::move(r));
+}
+
+int TablePrinter::NumRows() const {
+  int n = 0;
+  for (const Row& r : rows_) {
+    if (!r.separator) ++n;
+  }
+  return n;
+}
+
+std::string TablePrinter::ToString() const {
+  const size_t cols = header_.size();
+  std::vector<size_t> width(cols);
+  for (size_t c = 0; c < cols; ++c) width[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (size_t c = 0; c < cols; ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  auto emit_line = [&](std::ostringstream& oss,
+                       const std::vector<std::string>& cells) {
+    oss << "|";
+    for (size_t c = 0; c < cols; ++c) {
+      oss << " " << cells[c];
+      oss << std::string(width[c] - cells[c].size(), ' ') << " |";
+    }
+    oss << "\n";
+  };
+  auto emit_separator = [&](std::ostringstream& oss) {
+    oss << "+";
+    for (size_t c = 0; c < cols; ++c) {
+      oss << std::string(width[c] + 2, '-') << "+";
+    }
+    oss << "\n";
+  };
+
+  std::ostringstream oss;
+  emit_separator(oss);
+  emit_line(oss, header_);
+  emit_separator(oss);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].separator) {
+      // A trailing separator would duplicate the closing border.
+      if (i + 1 < rows_.size()) emit_separator(oss);
+    } else {
+      emit_line(oss, rows_[i].cells);
+    }
+  }
+  emit_separator(oss);
+  return oss.str();
+}
+
+std::string FormatFloat(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,50 @@
+#ifndef NMCDR_UTIL_TABLE_PRINTER_H_
+#define NMCDR_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace nmcdr {
+
+/// Fixed-width ASCII table printer used by the benchmark harnesses to emit
+/// paper-style result tables (models as rows, overlap ratios as columns).
+///
+/// Usage:
+///   TablePrinter t;
+///   t.SetHeader({"Method", "NDCG", "HR"});
+///   t.AddRow({"NMCDR", "11.26", "21.58"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  /// Sets the column headers; defines the column count.
+  void SetHeader(const std::vector<std::string>& header);
+
+  /// Appends a row. Rows shorter than the header are right-padded with "".
+  void AddRow(const std::vector<std::string>& row);
+
+  /// Inserts a horizontal separator line at the current position.
+  void AddSeparator();
+
+  /// Renders the table with column-aligned cells.
+  std::string ToString() const;
+
+  /// Number of data rows added so far (separators excluded).
+  int NumRows() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double as a fixed-precision string, e.g. FormatFloat(9.2561, 2)
+/// == "9.26". Used for metric cells reported in percent.
+std::string FormatFloat(double value, int precision);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_UTIL_TABLE_PRINTER_H_

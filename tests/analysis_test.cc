@@ -1,0 +1,97 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/embedding_stats.h"
+#include "analysis/tsne.h"
+
+namespace nmcdr {
+namespace {
+
+TEST(EmbeddingStatsTest, HandComputedSeparation) {
+  // Heads at (0,0) and (0,2); tails at (10,0) and (10,2).
+  Matrix emb = Matrix::FromRows({{0, 0}, {0, 2}, {10, 0}, {10, 2}});
+  const std::vector<bool> is_head = {true, true, false, false};
+  const HeadTailSeparation sep = ComputeHeadTailSeparation(emb, is_head);
+  EXPECT_EQ(sep.num_head, 2);
+  EXPECT_EQ(sep.num_tail, 2);
+  EXPECT_NEAR(sep.centroid_distance, 10.0, 1e-6);
+  EXPECT_NEAR(sep.head_spread, 1.0, 1e-6);
+  EXPECT_NEAR(sep.tail_spread, 1.0, 1e-6);
+  EXPECT_NEAR(sep.separation_score, 10.0, 1e-6);
+}
+
+TEST(EmbeddingStatsTest, AlignedGroupsScoreNearZero) {
+  Rng rng(1);
+  Matrix emb = Matrix::Gaussian(200, 4, &rng);
+  std::vector<bool> is_head(200);
+  for (int i = 0; i < 200; ++i) is_head[i] = i % 2 == 0;
+  const HeadTailSeparation sep = ComputeHeadTailSeparation(emb, is_head);
+  // Random split of one distribution: centroids nearly coincide.
+  EXPECT_LT(sep.separation_score, 0.3);
+}
+
+TEST(EmbeddingStatsTest, SeparationDetectsShiftedGroups) {
+  Rng rng(2);
+  Matrix emb = Matrix::Gaussian(100, 4, &rng);
+  std::vector<bool> is_head(100);
+  for (int i = 0; i < 100; ++i) {
+    is_head[i] = i < 50;
+    if (!is_head[i]) {
+      for (int c = 0; c < 4; ++c) emb.At(i, c) += 5.f;
+    }
+  }
+  const HeadTailSeparation shifted = ComputeHeadTailSeparation(emb, is_head);
+  EXPECT_GT(shifted.separation_score, 2.0);
+}
+
+TEST(EmbeddingStatsDeathTest, SingleGroupAborts) {
+  Matrix emb(3, 2);
+  EXPECT_DEATH(ComputeHeadTailSeparation(emb, {true, true, true}), "CHECK");
+}
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(3);
+  Matrix points = Matrix::Gaussian(40, 6, &rng);
+  TsneConfig config;
+  config.iterations = 60;
+  Matrix embedded = Tsne(points, config);
+  EXPECT_EQ(embedded.rows(), 40);
+  EXPECT_EQ(embedded.cols(), 2);
+  for (int i = 0; i < embedded.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(embedded.data()[i]));
+  }
+}
+
+TEST(TsneTest, WellSeparatedClustersStaySeparated) {
+  Rng rng(4);
+  const int per_cluster = 25;
+  Matrix points(2 * per_cluster, 5);
+  for (int i = 0; i < per_cluster; ++i) {
+    for (int c = 0; c < 5; ++c) {
+      points.At(i, c) = rng.Gaussian(0.f, 0.2f);
+      points.At(per_cluster + i, c) = rng.Gaussian(8.f, 0.2f);
+    }
+  }
+  TsneConfig config;
+  config.iterations = 250;
+  config.perplexity = 10;
+  Matrix y = Tsne(points, config);
+  std::vector<bool> is_first(2 * per_cluster);
+  for (int i = 0; i < per_cluster; ++i) is_first[i] = true;
+  const HeadTailSeparation sep = ComputeHeadTailSeparation(y, is_first);
+  EXPECT_GT(sep.separation_score, 1.5);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  Rng rng(5);
+  Matrix points = Matrix::Gaussian(20, 4, &rng);
+  TsneConfig config;
+  config.iterations = 50;
+  Matrix a = Tsne(points, config);
+  Matrix b = Tsne(points, config);
+  EXPECT_TRUE(AllClose(a, b, 1e-6f));
+}
+
+}  // namespace
+}  // namespace nmcdr

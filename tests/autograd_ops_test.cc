@@ -1,0 +1,184 @@
+// Forward-value and graph-bookkeeping tests for the autograd ops (the
+// backward passes are covered by autograd_grad_check_test.cc).
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+
+namespace nmcdr {
+namespace ag {
+namespace {
+
+Tensor Leaf(std::vector<std::vector<float>> rows, bool requires_grad = true) {
+  return Tensor(Matrix::FromRows(std::move(rows)), requires_grad);
+}
+
+TEST(AutogradOpsTest, MatMulValue) {
+  Tensor c = MatMul(Leaf({{1, 2}}), Leaf({{3}, {4}}));
+  EXPECT_EQ(c.value().At(0, 0), 11.f);
+}
+
+TEST(AutogradOpsTest, ArithmeticValues) {
+  Tensor a = Leaf({{1, -2}});
+  Tensor b = Leaf({{3, 5}});
+  EXPECT_TRUE(AllClose(Add(a, b).value(), Matrix::FromRows({{4, 3}})));
+  EXPECT_TRUE(AllClose(Sub(a, b).value(), Matrix::FromRows({{-2, -7}})));
+  EXPECT_TRUE(AllClose(Hadamard(a, b).value(), Matrix::FromRows({{3, -10}})));
+  EXPECT_TRUE(AllClose(Scale(a, 2.f).value(), Matrix::FromRows({{2, -4}})));
+  EXPECT_TRUE(
+      AllClose(AddScalar(a, 1.f).value(), Matrix::FromRows({{2, -1}})));
+  EXPECT_TRUE(AllClose(OneMinus(a).value(), Matrix::FromRows({{0, 3}})));
+}
+
+TEST(AutogradOpsTest, NonlinearityValues) {
+  Tensor a = Leaf({{0.f, 1.f}});
+  EXPECT_NEAR(Sigmoid(a).value().At(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(Tanh(a).value().At(0, 1), std::tanh(1.f), 1e-6f);
+  EXPECT_NEAR(Softplus(a).value().At(0, 0), std::log(2.f), 1e-6f);
+  EXPECT_NEAR(Exp(a).value().At(0, 1), std::exp(1.f), 1e-5f);
+  EXPECT_EQ(Relu(Leaf({{-3.f, 3.f}})).value().At(0, 0), 0.f);
+}
+
+TEST(AutogradOpsTest, ReductionValues) {
+  Tensor a = Leaf({{1, 2}, {3, 4}});
+  EXPECT_EQ(Sum(a).value().At(0, 0), 10.f);
+  EXPECT_EQ(Mean(a).value().At(0, 0), 2.5f);
+  EXPECT_EQ(SumSquares(a).value().At(0, 0), 30.f);
+  EXPECT_TRUE(AllClose(ColMean(a).value(), Matrix::FromRows({{2, 3}})));
+}
+
+TEST(AutogradOpsTest, ShapeOps) {
+  Tensor a = Leaf({{1, 2, 3}});
+  EXPECT_TRUE(AllClose(TileRows(a, 2).value(),
+                       Matrix::FromRows({{1, 2, 3}, {1, 2, 3}})));
+  EXPECT_TRUE(AllClose(SliceCols(a, 1, 2).value(),
+                       Matrix::FromRows({{2, 3}})));
+  EXPECT_TRUE(AllClose(Transpose(a).value(),
+                       Matrix::FromRows({{1}, {2}, {3}})));
+  Tensor b = Leaf({{9}});
+  EXPECT_TRUE(AllClose(ConcatCols(b, Leaf({{8, 7}})).value(),
+                       Matrix::FromRows({{9, 8, 7}})));
+}
+
+TEST(AutogradOpsTest, EmbeddingAndScaleRows) {
+  Tensor table = Leaf({{1, 1}, {2, 2}, {3, 3}});
+  EXPECT_TRUE(AllClose(Embedding(table, {2, 2, 0}).value(),
+                       Matrix::FromRows({{3, 3}, {3, 3}, {1, 1}})));
+  Tensor rows = Leaf({{1, 2}, {3, 4}});
+  Tensor scales = Leaf({{2}, {0}});
+  EXPECT_TRUE(AllClose(ScaleRows(rows, scales).value(),
+                       Matrix::FromRows({{2, 4}, {0, 0}})));
+}
+
+TEST(AutogradOpsTest, BceValueMatchesClosedForm) {
+  // z=0, y=1: loss = log(2). z=0, y=0: loss = log(2).
+  Tensor logits = Leaf({{0.f}, {0.f}});
+  const float loss = BceWithLogits(logits, {1.f, 0.f}).value().At(0, 0);
+  EXPECT_NEAR(loss, std::log(2.f), 1e-6f);
+}
+
+TEST(AutogradOpsTest, BceExtremeLogitsStable) {
+  Tensor logits = Leaf({{80.f}, {-80.f}});
+  const float good = BceWithLogits(logits, {1.f, 0.f}).value().At(0, 0);
+  EXPECT_NEAR(good, 0.f, 1e-5f);
+  const float bad =
+      BceWithLogits(Leaf({{80.f}, {-80.f}}), {0.f, 1.f}).value().At(0, 0);
+  EXPECT_NEAR(bad, 80.f, 1e-3f);
+  EXPECT_FALSE(std::isnan(bad));
+}
+
+TEST(AutogradOpsTest, BprValue) {
+  // pos - neg = 1 -> loss = softplus(-1) = log(1 + e^-1).
+  const float loss =
+      BprLoss(Leaf({{2.f}}), Leaf({{1.f}})).value().At(0, 0);
+  EXPECT_NEAR(loss, std::log1p(std::exp(-1.f)), 1e-6f);
+}
+
+TEST(AutogradOpsTest, NeighborAttentionUniformOverIdenticalItems) {
+  // All candidate items identical -> attention output equals that item.
+  Tensor users = Leaf({{1.f, 0.f}});
+  Tensor items = Leaf({{0.5f, 0.5f}, {0.5f, 0.5f}, {9.f, 9.f}});
+  auto cand = std::make_shared<std::vector<std::vector<int>>>(
+      std::vector<std::vector<int>>{{0, 1}});
+  Tensor out = NeighborAttention(users, items, cand);
+  EXPECT_NEAR(out.value().At(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(out.value().At(0, 1), 0.5f, 1e-6f);
+}
+
+TEST(AutogradOpsTest, NeighborAttentionPrefersAlignedItem) {
+  Tensor users = Leaf({{10.f, 0.f}});
+  Tensor items = Leaf({{1.f, 0.f}, {0.f, 1.f}});
+  auto cand = std::make_shared<std::vector<std::vector<int>>>(
+      std::vector<std::vector<int>>{{0, 1}});
+  Tensor out = NeighborAttention(users, items, cand);
+  // Attention mass concentrates on item 0 (dot 10 vs 0).
+  EXPECT_GT(out.value().At(0, 0), 0.99f);
+  EXPECT_LT(out.value().At(0, 1), 0.01f);
+}
+
+TEST(AutogradOpsTest, SegmentMeanValue) {
+  Tensor table = Leaf({{2, 0}, {4, 2}, {0, 0}});
+  auto lists = std::make_shared<std::vector<std::vector<int>>>(
+      std::vector<std::vector<int>>{{0, 1}, {}});
+  Tensor out = SegmentMeanRows(table, lists);
+  EXPECT_TRUE(AllClose(out.value(), Matrix::FromRows({{3, 1}, {0, 0}})));
+}
+
+// ------------------------------------------------- graph bookkeeping
+
+TEST(AutogradGraphTest, RequiresGradPropagates) {
+  Tensor a = Leaf({{1.f}}, /*requires_grad=*/true);
+  Tensor b = Leaf({{2.f}}, /*requires_grad=*/false);
+  EXPECT_TRUE(Add(a, b).requires_grad());
+  EXPECT_FALSE(Add(b, b).requires_grad());
+}
+
+TEST(AutogradGraphTest, DiamondGraphAccumulatesOnce) {
+  // loss = sum(x*x + x*x): dx = 4x.
+  Tensor x = Leaf({{3.f}});
+  Tensor sq = Hadamard(x, x);
+  Backward(Sum(Add(sq, sq)));
+  EXPECT_NEAR(x.grad().At(0, 0), 12.f, 1e-5f);
+}
+
+TEST(AutogradGraphTest, BackwardTwiceAccumulates) {
+  Tensor x = Leaf({{1.f}});
+  Tensor loss = Sum(Scale(x, 3.f));
+  Backward(loss);
+  EXPECT_NEAR(x.grad().At(0, 0), 3.f, 1e-6f);
+  Tensor loss2 = Sum(Scale(x, 3.f));
+  Backward(loss2);
+  EXPECT_NEAR(x.grad().At(0, 0), 6.f, 1e-6f);  // accumulation semantics
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad().At(0, 0), 0.f);
+}
+
+TEST(AutogradGraphTest, DeepChainBackwardIterative) {
+  // 3000-deep chain: the iterative topological sort must not overflow any
+  // recursion limit.
+  Tensor x = Leaf({{1.f}});
+  Tensor h = x;
+  for (int i = 0; i < 3000; ++i) h = AddScalar(h, 1.f);
+  Backward(Sum(h));
+  EXPECT_NEAR(x.grad().At(0, 0), 1.f, 1e-6f);
+  EXPECT_NEAR(h.value().At(0, 0), 3001.f, 1e-3f);
+}
+
+TEST(AutogradGraphDeathTest, BackwardRequiresScalar) {
+  Tensor x = Leaf({{1.f, 2.f}});
+  Tensor y = Scale(x, 2.f);
+  EXPECT_DEATH(Backward(y), "CHECK");
+}
+
+TEST(AutogradGraphDeathTest, UndefinedTensorAborts) {
+  Tensor undefined;
+  EXPECT_FALSE(undefined.defined());
+  EXPECT_DEATH(undefined.value(), "CHECK");
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace nmcdr

@@ -1,0 +1,184 @@
+// Parameterized contract tests that every registered model — the 11
+// baselines of §III.A.3 plus NMCDR — must satisfy.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/common.h"
+#include "baselines/register_all.h"
+#include "tests/test_util.h"
+#include "train/registry.h"
+
+namespace nmcdr {
+namespace {
+
+using testing_util::TinyData;
+
+class ModelContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() { RegisterAllModels(); }
+
+  std::unique_ptr<RecModel> MakeModel(const ExperimentData& data,
+                                      float lr = 5e-3f) {
+    CommonHyper hyper;
+    hyper.embed_dim = 8;
+    hyper.mlp_hidden = {16};
+    return ModelRegistry::Instance().Get(GetParam())(data.View(), hyper, lr);
+  }
+};
+
+TEST_P(ModelContractTest, RegisteredUnderPaperName) {
+  EXPECT_TRUE(ModelRegistry::Instance().Contains(GetParam()));
+}
+
+TEST_P(ModelContractTest, NameMatchesRegistryKey) {
+  auto data = TinyData();
+  EXPECT_EQ(MakeModel(*data)->name(), GetParam());
+}
+
+TEST_P(ModelContractTest, HasTrainableParameters) {
+  auto data = TinyData();
+  EXPECT_GT(MakeModel(*data)->ParameterCount(), 0);
+}
+
+TEST_P(ModelContractTest, TrainStepProducesFiniteLossAndLearns) {
+  auto data = TinyData();
+  auto model = MakeModel(*data);
+  const auto [first, last] =
+      testing_util::TrainLossTrend(model.get(), *data, /*steps=*/80);
+  EXPECT_TRUE(std::isfinite(first));
+  EXPECT_TRUE(std::isfinite(last));
+  EXPECT_LT(last, first + 1e-4f) << "no learning progress";
+}
+
+TEST_P(ModelContractTest, ScoreShapeAndFiniteness) {
+  auto data = TinyData();
+  auto model = MakeModel(*data);
+  const std::vector<int> users = {0, 1, 2, 3, 0};
+  const std::vector<int> items = {4, 3, 2, 1, 0};
+  for (DomainSide side : {DomainSide::kZ, DomainSide::kZbar}) {
+    const std::vector<float> scores = model->Score(side, users, items);
+    ASSERT_EQ(scores.size(), users.size());
+    for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST_P(ModelContractTest, ScoreDoesNotMutateState) {
+  auto data = TinyData();
+  auto model = MakeModel(*data);
+  testing_util::TrainLossTrend(model.get(), *data, 5);
+  const std::vector<int> users = {0, 1, 2};
+  const std::vector<int> items = {0, 1, 2};
+  const std::vector<float> a = model->Score(DomainSide::kZ, users, items);
+  const std::vector<float> b = model->Score(DomainSide::kZ, users, items);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(ModelContractTest, EmptyBatchesAreSafe) {
+  auto data = TinyData();
+  auto model = MakeModel(*data);
+  EXPECT_EQ(model->TrainStep(LabeledBatch{}, LabeledBatch{}), 0.f);
+}
+
+TEST_P(ModelContractTest, SingleDomainBatchIsSafe) {
+  auto data = TinyData();
+  auto model = MakeModel(*data);
+  LabeledBatch batch;
+  batch.users = {0, 0};
+  batch.items = {0, 1};
+  batch.labels = {1.f, 0.f};
+  const float loss = model->TrainStep(batch, LabeledBatch{});
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST_P(ModelContractTest, TrainsAtZeroOverlap) {
+  // The partial-overlap setting the paper targets: no visible links.
+  CdrScenario scenario = GenerateScenario(testing_util::TinySpec());
+  Rng rng(2);
+  scenario = ApplyOverlapRatio(scenario, 0.0, &rng);
+  ExperimentData data(std::move(scenario), 3);
+  CommonHyper hyper;
+  hyper.embed_dim = 8;
+  auto model = ModelRegistry::Instance().Get(GetParam())(data.View(), hyper,
+                                                         5e-3f);
+  const auto [first, last] =
+      testing_util::TrainLossTrend(model.get(), data, 30);
+  EXPECT_TRUE(std::isfinite(last));
+  (void)first;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelContractTest, ::testing::ValuesIn(PaperModelOrder()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------------- shared helpers
+
+TEST(SharedUserIndexTest, LinkedPairsShareUnionId) {
+  CdrScenario scenario = GenerateScenario(testing_util::TinySpec());
+  const SharedUserIndex index = BuildSharedUserIndex(scenario);
+  EXPECT_EQ(index.num_union,
+            scenario.z.num_users + scenario.zbar.num_users -
+                scenario.NumOverlapping());
+  for (int u = 0; u < scenario.z.num_users; ++u) {
+    const int link = scenario.z_to_zbar[u];
+    if (link >= 0) {
+      EXPECT_EQ(index.z_to_union[u], index.zbar_to_union[link]);
+    }
+  }
+  // Union ids are a bijection onto [0, num_union).
+  std::vector<int> seen(index.num_union, 0);
+  for (int id : index.z_to_union) ++seen[id];
+  for (int u = 0; u < scenario.zbar.num_users; ++u) {
+    if (scenario.zbar_to_z[u] < 0) ++seen[index.zbar_to_union[u]];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(SharedUserIndexTest, MaskedOverlapGrowsUnion) {
+  CdrScenario scenario = GenerateScenario(testing_util::TinySpec());
+  const int full_union = BuildSharedUserIndex(scenario).num_union;
+  Rng rng(4);
+  CdrScenario masked = ApplyOverlapRatio(scenario, 0.2, &rng);
+  EXPECT_GT(BuildSharedUserIndex(masked).num_union, full_union);
+}
+
+TEST(BuildUserHistoriesTest, MatchesTrainGraph) {
+  auto data = TinyData();
+  auto histories = BuildUserHistories(data->train_graph_z());
+  ASSERT_EQ(static_cast<int>(histories->size()),
+            data->scenario().z.num_users);
+  for (int u = 0; u < data->scenario().z.num_users; ++u) {
+    EXPECT_EQ((*histories)[u], data->train_graph_z().UserNeighbors(u));
+  }
+}
+
+TEST(SplitPairwiseTest, PairsPositivesWithTheirNegatives) {
+  LabeledBatch batch;
+  batch.users = {3, 3, 3, 5, 5};
+  batch.items = {10, 11, 12, 20, 21};
+  batch.labels = {1.f, 0.f, 0.f, 1.f, 0.f};
+  std::vector<int> pu, pi, ni;
+  ASSERT_TRUE(SplitPairwise(batch, &pu, &pi, &ni));
+  EXPECT_EQ(pu, (std::vector<int>{3, 3, 5}));
+  EXPECT_EQ(pi, (std::vector<int>{10, 10, 20}));
+  EXPECT_EQ(ni, (std::vector<int>{11, 12, 21}));
+}
+
+TEST(SplitPairwiseTest, NoPairsReturnsFalse) {
+  LabeledBatch batch;
+  batch.users = {1};
+  batch.items = {2};
+  batch.labels = {1.f};
+  std::vector<int> pu, pi, ni;
+  EXPECT_FALSE(SplitPairwise(batch, &pu, &pi, &ni));
+}
+
+}  // namespace
+}  // namespace nmcdr

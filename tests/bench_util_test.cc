@@ -1,0 +1,69 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace nmcdr {
+namespace bench {
+namespace {
+
+TEST(BenchUtilTest, TrainConfigScalesWithBenchScale) {
+  const TrainConfig smoke = DefaultTrainConfig(BenchScale::kSmoke);
+  const TrainConfig small = DefaultTrainConfig(BenchScale::kSmall);
+  const TrainConfig full = DefaultTrainConfig(BenchScale::kFull);
+  EXPECT_LT(smoke.min_total_steps, small.min_total_steps);
+  EXPECT_LT(small.min_total_steps, full.min_total_steps);
+  EXPECT_EQ(small.eval_every, -1);  // auto validation checkpoints
+  EXPECT_GT(small.early_stop_patience, 0);
+}
+
+TEST(BenchUtilTest, ModelListDefaultsToPaperOrder) {
+  unsetenv("NMCDR_BENCH_MODELS");
+  const std::vector<std::string> models = BenchModelList();
+  ASSERT_EQ(models.size(), 12u);
+  EXPECT_EQ(models.front(), "LR");
+  EXPECT_EQ(models.back(), "NMCDR");
+}
+
+TEST(BenchUtilTest, ModelListEnvOverride) {
+  setenv("NMCDR_BENCH_MODELS", "NMCDR,LR", 1);
+  EXPECT_EQ(BenchModelList(), (std::vector<std::string>{"NMCDR", "LR"}));
+  setenv("NMCDR_BENCH_MODELS", "", 1);
+  EXPECT_EQ(BenchModelList().size(), 12u);  // empty -> default
+  unsetenv("NMCDR_BENCH_MODELS");
+}
+
+TEST(BenchUtilTest, CsvRoundTripOfCells) {
+  std::vector<CellResult> cells(2);
+  cells[0].model = "NMCDR";
+  cells[0].overlap_ratio = 0.5;
+  cells[0].ndcg_z = 11.26;
+  cells[1].model = "LR";
+  cells[1].overlap_ratio = 0.5;
+  const std::string path = ::testing::TempDir() + "/cells.csv";
+  WriteCellsCsv(path, cells, "Test Table");
+  std::ifstream in(path);
+  std::string header, row1;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row1));
+  EXPECT_NE(header.find("ndcg_z"), std::string::npos);
+  EXPECT_NE(row1.find("NMCDR"), std::string::npos);
+  EXPECT_NE(row1.find("11.26"), std::string::npos);
+}
+
+TEST(BenchUtilTest, PrintOverlapTableDoesNotCrashOnSparseCells) {
+  // Missing (model, ratio) combinations render as zeros rather than
+  // crashing — guards the bench against partially filled grids.
+  std::vector<CellResult> cells(1);
+  cells[0].model = "NMCDR";
+  cells[0].overlap_ratio = 0.1;
+  cells[0].ndcg_z = 5.0;
+  PrintOverlapTable("partial", cells, {0.1, 0.5}, {"NMCDR", "LR"}, true);
+  PrintOverlapTable("partial", cells, {0.1, 0.5}, {"NMCDR", "LR"}, false);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nmcdr

@@ -1,0 +1,158 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace nmcdr {
+namespace {
+
+CdrScenario SmallScenario() {
+  SyntheticScenarioSpec spec;
+  spec.name = "test";
+  spec.z = {"A", 60, 30, 4.0, 1.0};
+  spec.zbar = {"B", 80, 40, 5.0, 1.0};
+  spec.num_overlapping = 20;
+  spec.seed = 5;
+  return GenerateScenario(spec);
+}
+
+TEST(DomainDataTest, Density) {
+  DomainData d;
+  d.num_users = 10;
+  d.num_items = 20;
+  d.interactions.resize(40);
+  EXPECT_DOUBLE_EQ(d.Density(), 0.2);
+  DomainData empty;
+  EXPECT_DOUBLE_EQ(empty.Density(), 0.0);
+}
+
+TEST(CdrScenarioTest, NumOverlappingCountsLinks) {
+  CdrScenario s = SmallScenario();
+  EXPECT_EQ(s.NumOverlapping(), 20);
+}
+
+TEST(CdrScenarioDeathTest, AsymmetricLinksAbort) {
+  CdrScenario s = SmallScenario();
+  s.zbar_to_z[0] = -1;  // break symmetry
+  EXPECT_DEATH(s.CheckConsistency(), "CHECK");
+}
+
+TEST(LeaveOneOutTest, PartitionIsExact) {
+  CdrScenario s = SmallScenario();
+  Rng rng(1);
+  DomainSplit split = LeaveOneOutSplit(s.z, &rng);
+  // Rebuild per-user multisets and compare with the originals.
+  std::map<int, std::multiset<int>> original, rebuilt;
+  for (const Interaction& e : s.z.interactions) original[e.user].insert(e.item);
+  for (const Interaction& e : split.train) rebuilt[e.user].insert(e.item);
+  for (int u = 0; u < s.z.num_users; ++u) {
+    if (split.valid_item[u] >= 0) rebuilt[u].insert(split.valid_item[u]);
+    if (split.test_item[u] >= 0) rebuilt[u].insert(split.test_item[u]);
+  }
+  EXPECT_EQ(original, rebuilt);
+}
+
+TEST(LeaveOneOutTest, UsersWithThreePlusInteractionsGetHoldouts) {
+  CdrScenario s = SmallScenario();
+  std::map<int, int> count;
+  for (const Interaction& e : s.z.interactions) ++count[e.user];
+  Rng rng(1);
+  DomainSplit split = LeaveOneOutSplit(s.z, &rng);
+  for (int u = 0; u < s.z.num_users; ++u) {
+    if (count[u] >= 3) {
+      EXPECT_GE(split.valid_item[u], 0) << "user " << u;
+      EXPECT_GE(split.test_item[u], 0) << "user " << u;
+    } else {
+      EXPECT_EQ(split.valid_item[u], -1) << "user " << u;
+      EXPECT_EQ(split.test_item[u], -1) << "user " << u;
+    }
+  }
+}
+
+TEST(LeaveOneOutTest, TestAndValidUsersListsMatch) {
+  CdrScenario s = SmallScenario();
+  Rng rng(1);
+  DomainSplit split = LeaveOneOutSplit(s.z, &rng);
+  for (int u : split.TestUsers()) EXPECT_GE(split.test_item[u], 0);
+  for (int u : split.ValidUsers()) EXPECT_GE(split.valid_item[u], 0);
+  EXPECT_EQ(split.TestUsers().size(), split.ValidUsers().size());
+}
+
+TEST(LeaveOneOutTest, DeterministicForSameSeed) {
+  CdrScenario s = SmallScenario();
+  Rng rng1(9), rng2(9);
+  DomainSplit a = LeaveOneOutSplit(s.z, &rng1);
+  DomainSplit b = LeaveOneOutSplit(s.z, &rng2);
+  EXPECT_EQ(a.test_item, b.test_item);
+  EXPECT_EQ(a.valid_item, b.valid_item);
+}
+
+/// Parameterized sweep over overlap ratios: kept-link count follows the
+/// ceil(ratio * overlap) formula of §III.A.2 and symmetry is preserved.
+class OverlapRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverlapRatioSweep, KeepsCeilFractionOfLinks) {
+  const double ratio = GetParam();
+  CdrScenario s = SmallScenario();
+  const int before = s.NumOverlapping();
+  Rng rng(3);
+  CdrScenario masked = ApplyOverlapRatio(s, ratio, &rng);
+  EXPECT_EQ(masked.NumOverlapping(),
+            static_cast<int>(std::ceil(ratio * before)));
+  masked.CheckConsistency();
+  // Interactions untouched.
+  EXPECT_EQ(masked.z.interactions.size(), s.z.interactions.size());
+  // Every kept link existed before.
+  for (int u = 0; u < masked.z.num_users; ++u) {
+    if (masked.z_to_zbar[u] >= 0) {
+      EXPECT_EQ(masked.z_to_zbar[u], s.z_to_zbar[u]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, OverlapRatioSweep,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.1, 0.5, 0.9,
+                                           1.0));
+
+/// Parameterized sweep over densities: per-user floors hold and totals
+/// shrink roughly proportionally.
+class DensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensitySweep, RespectsFloorAndShrinks) {
+  const double ds = GetParam();
+  CdrScenario s = SmallScenario();
+  Rng rng(4);
+  CdrScenario sparse = ApplyDensity(s, ds, /*min_per_user=*/3, &rng);
+  sparse.CheckConsistency();
+  std::map<int, int> count_before, count_after;
+  for (const Interaction& e : s.z.interactions) ++count_before[e.user];
+  for (const Interaction& e : sparse.z.interactions) ++count_after[e.user];
+  for (const auto& [user, before] : count_before) {
+    const int after = count_after[user];
+    EXPECT_GE(after, std::min(3, before)) << "user " << user;
+    EXPECT_LE(after, before);
+  }
+  if (ds < 1.0) {
+    EXPECT_LT(sparse.z.interactions.size(), s.z.interactions.size());
+  } else {
+    EXPECT_EQ(sparse.z.interactions.size(), s.z.interactions.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DensitySweep,
+                         ::testing::Values(0.1, 0.5, 0.7, 1.0));
+
+TEST(DomainStatsStringTest, MentionsCounts) {
+  CdrScenario s = SmallScenario();
+  const std::string stats = DomainStatsString(s.z);
+  EXPECT_NE(stats.find("users=60"), std::string::npos);
+  EXPECT_NE(stats.find("items=30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nmcdr

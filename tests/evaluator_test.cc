@@ -1,0 +1,169 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace nmcdr {
+namespace {
+
+using testing_util::PolicyModel;
+using testing_util::TinyData;
+
+TEST(EvaluatorTest, OracleThatPrefersHeldOutGetsPerfectScore) {
+  auto data = TinyData();
+  const DomainSplit& split = data->split_z();
+  PolicyModel oracle("oracle", [&split](DomainSide side, int user, int item) {
+    if (side != DomainSide::kZ) return 0.f;
+    return split.test_item[user] == item ? 1.f : 0.f;
+  });
+  EvalConfig config;
+  const RankingMetrics m = EvaluateRanking(
+      &oracle, DomainSide::kZ, data->full_graph_z(), split, EvalPhase::kTest,
+      config);
+  EXPECT_GT(m.num_users, 0);
+  EXPECT_DOUBLE_EQ(m.hr, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+}
+
+TEST(EvaluatorTest, AdversaryThatHatesHeldOutScoresZero) {
+  auto data = TinyData();
+  const DomainSplit& split = data->split_z();
+  PolicyModel adversary("adv", [&split](DomainSide, int user, int item) {
+    return split.test_item[user] == item ? -1.f : 1.f;
+  });
+  EvalConfig config;
+  config.num_negatives = 30;
+  const RankingMetrics m = EvaluateRanking(
+      &adversary, DomainSide::kZ, data->full_graph_z(), split,
+      EvalPhase::kTest, config);
+  EXPECT_DOUBLE_EQ(m.hr, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+}
+
+TEST(EvaluatorTest, ValidationPhaseUsesValidItems) {
+  auto data = TinyData();
+  const DomainSplit& split = data->split_z();
+  PolicyModel valid_oracle("v", [&split](DomainSide, int user, int item) {
+    return split.valid_item[user] == item ? 1.f : 0.f;
+  });
+  EvalConfig config;
+  const RankingMetrics m = EvaluateRanking(
+      &valid_oracle, DomainSide::kZ, data->full_graph_z(), split,
+      EvalPhase::kValidation, config);
+  EXPECT_DOUBLE_EQ(m.hr, 1.0);
+}
+
+TEST(EvaluatorTest, CandidatesDeterministicAcrossModels) {
+  // Two models that score identically must get identical metrics — the
+  // candidate sets are a pure function of (seed, user).
+  auto data = TinyData();
+  Rng noise_rng(3);
+  std::vector<float> fixed_noise(100000);
+  for (float& v : fixed_noise) v = noise_rng.Uniform(0.f, 1.f);
+  auto score = [&fixed_noise](DomainSide, int user, int item) {
+    return fixed_noise[(user * 131 + item * 7919) % fixed_noise.size()];
+  };
+  PolicyModel a("a", score), b("b", score);
+  EvalConfig config;
+  const RankingMetrics ma = EvaluateRanking(
+      &a, DomainSide::kZ, data->full_graph_z(), data->split_z(),
+      EvalPhase::kTest, config);
+  const RankingMetrics mb = EvaluateRanking(
+      &b, DomainSide::kZ, data->full_graph_z(), data->split_z(),
+      EvalPhase::kTest, config);
+  EXPECT_DOUBLE_EQ(ma.hr, mb.hr);
+  EXPECT_DOUBLE_EQ(ma.ndcg, mb.ndcg);
+}
+
+TEST(EvaluatorTest, RandomPolicyNearExpectedHitRate) {
+  auto data = TinyData();
+  Rng rng(5);
+  PolicyModel random_policy("r", [&rng](DomainSide, int, int) {
+    return static_cast<float>(rng.UniformDouble());
+  });
+  EvalConfig config;
+  config.num_negatives = 19;  // HR@10 of random over 20 candidates = 0.5
+  const RankingMetrics m = EvaluateRanking(
+      &random_policy, DomainSide::kZ, data->full_graph_z(), data->split_z(),
+      EvalPhase::kTest, config);
+  EXPECT_NEAR(m.hr, 0.5, 0.15);
+}
+
+TEST(EvaluatorTest, NegativeCountClampedOnTinyItemSpaces) {
+  auto data = TinyData();
+  EvalConfig config;
+  config.num_negatives = 10000;  // far more than the 40-item catalog
+  PolicyModel any("any", [](DomainSide, int, int) { return 0.f; });
+  const RankingMetrics m = EvaluateRanking(
+      &any, DomainSide::kZ, data->full_graph_z(), data->split_z(),
+      EvalPhase::kTest, config);
+  EXPECT_GT(m.num_users, 0);  // users still evaluated via clamping
+}
+
+TEST(EvaluatorTest, SmallScoreBatchChunksGiveSameResult) {
+  auto data = TinyData();
+  const DomainSplit& split = data->split_z();
+  PolicyModel oracle("oracle", [&split](DomainSide, int user, int item) {
+    return split.test_item[user] == item ? 1.f : 0.f;
+  });
+  EvalConfig small_chunks;
+  small_chunks.score_batch = 25;  // forces many chunks
+  const RankingMetrics m = EvaluateRanking(
+      &oracle, DomainSide::kZ, data->full_graph_z(), split, EvalPhase::kTest,
+      small_chunks);
+  EXPECT_DOUBLE_EQ(m.hr, 1.0);
+}
+
+TEST(EvaluatorTest, GroupedEvaluationPartitionsUsers) {
+  auto data = TinyData();
+  const DomainSplit& split = data->split_z();
+  PolicyModel oracle("oracle", [&split](DomainSide, int user, int item) {
+    return split.test_item[user] == item ? 1.f : 0.f;
+  });
+  EvalConfig config;
+  // Partition by parity; group sizes must sum to the ungrouped count and
+  // the oracle is perfect in both groups.
+  const std::vector<RankingMetrics> groups = EvaluateRankingGrouped(
+      &oracle, DomainSide::kZ, data->full_graph_z(), split, EvalPhase::kTest,
+      config, [](int user) { return user % 2; }, 2);
+  const RankingMetrics all = EvaluateRanking(
+      &oracle, DomainSide::kZ, data->full_graph_z(), split, EvalPhase::kTest,
+      config);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].num_users + groups[1].num_users, all.num_users);
+  EXPECT_DOUBLE_EQ(groups[0].hr, 1.0);
+  EXPECT_DOUBLE_EQ(groups[1].hr, 1.0);
+}
+
+TEST(EvaluatorTest, GroupedUsesSameCandidatesAsUngrouped) {
+  // A deterministic scorer must get identical aggregate NDCG whether
+  // evaluated grouped (then merged) or ungrouped.
+  auto data = TinyData();
+  PolicyModel scorer("s", [](DomainSide, int user, int item) {
+    return static_cast<float>(((user * 131 + item * 7919) % 97) / 97.0);
+  });
+  EvalConfig config;
+  const std::vector<RankingMetrics> groups = EvaluateRankingGrouped(
+      &scorer, DomainSide::kZ, data->full_graph_z(), data->split_z(),
+      EvalPhase::kTest, config, [](int) { return 0; }, 1);
+  const RankingMetrics all = EvaluateRanking(
+      &scorer, DomainSide::kZ, data->full_graph_z(), data->split_z(),
+      EvalPhase::kTest, config);
+  EXPECT_EQ(groups[0].num_users, all.num_users);
+  EXPECT_NEAR(groups[0].ndcg, all.ndcg, 1e-12);
+}
+
+TEST(EvaluatorTest, EvaluateScenarioCoversBothDomains) {
+  auto data = TinyData();
+  PolicyModel any("any", [](DomainSide, int, int) { return 1.f; });
+  EvalConfig config;
+  const ScenarioMetrics m = EvaluateScenario(
+      &any, data->full_graph_z(), data->full_graph_zbar(), data->split_z(),
+      data->split_zbar(), EvalPhase::kTest, config);
+  EXPECT_GT(m.z.num_users, 0);
+  EXPECT_GT(m.zbar.num_users, 0);
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,97 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace nmcdr {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = Parse({"--name=value", "--num=42"});
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(flags.GetInt("num", 0), 42);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags = Parse({"--model", "NMCDR", "--lr", "0.002"});
+  EXPECT_EQ(flags.GetString("model"), "NMCDR");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.002);
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  FlagParser flags = Parse({"--verbose", "--gat", "--x=1"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("gat", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(FlagParserTest, ExplicitBooleanValues) {
+  FlagParser flags = Parse({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagParserTest, BareFlagBeforeAnotherFlag) {
+  FlagParser flags = Parse({"--verbose", "--model", "LR"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetString("model"), "LR");
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags = Parse({"run", "--model=LR", "extra"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"run", "extra"}));
+}
+
+TEST(FlagParserTest, LaterDuplicateWins) {
+  FlagParser flags = Parse({"--x=1", "--x=2"});
+  EXPECT_EQ(flags.GetInt("x", 0), 2);
+}
+
+TEST(FlagParserTest, NegativeNumbers) {
+  FlagParser flags = Parse({"--x=-5", "--y=-0.25"});
+  EXPECT_EQ(flags.GetInt("x", 0), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("y", 0.0), -0.25);
+}
+
+TEST(FlagParserTest, ListParsing) {
+  FlagParser flags = Parse({"--models=LR,NMCDR,PLE"});
+  EXPECT_EQ(flags.GetList("models"),
+            (std::vector<std::string>{"LR", "NMCDR", "PLE"}));
+  EXPECT_TRUE(flags.GetList("absent").empty());
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetString("s", "d"), "d");
+  EXPECT_EQ(flags.GetInt("i", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("f", 1.5), 1.5);
+}
+
+TEST(FlagParserTest, FlagNamesEnumerated) {
+  FlagParser flags = Parse({"--b=1", "--a=2"});
+  const std::vector<std::string> names = flags.FlagNames();
+  EXPECT_EQ(names.size(), 2u);  // sorted by map: a, b
+  EXPECT_EQ(names[0], "a");
+}
+
+TEST(FlagParserDeathTest, MalformedIntAborts) {
+  FlagParser flags = Parse({"--x=abc"});
+  EXPECT_DEATH(flags.GetInt("x", 0), "CHECK");
+}
+
+TEST(FlagParserDeathTest, MalformedBoolAborts) {
+  FlagParser flags = Parse({"--x=maybe"});
+  EXPECT_DEATH(flags.GetBool("x", false), "CHECK");
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,150 @@
+#include "graph/interaction_graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/sampling.h"
+
+namespace nmcdr {
+namespace {
+
+InteractionGraph MakeGraph() {
+  // user 0: items {0,1,2}; user 1: item {1}; user 2: none.
+  return InteractionGraph(3, 4, {{0, 0}, {0, 1}, {0, 2}, {1, 1}});
+}
+
+TEST(InteractionGraphTest, BasicAccessors) {
+  InteractionGraph g = MakeGraph();
+  EXPECT_EQ(g.num_users(), 3);
+  EXPECT_EQ(g.num_items(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.UserDegree(0), 3);
+  EXPECT_EQ(g.UserDegree(2), 0);
+  EXPECT_EQ(g.ItemDegree(1), 2);
+  EXPECT_EQ(g.ItemDegree(3), 0);
+}
+
+TEST(InteractionGraphTest, DuplicateEdgesCollapsed) {
+  InteractionGraph g(2, 2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.UserDegree(0), 1);
+  EXPECT_EQ(g.ItemDegree(1), 1);
+}
+
+TEST(InteractionGraphTest, NeighborsSorted) {
+  InteractionGraph g(1, 5, {{0, 4}, {0, 1}, {0, 3}});
+  EXPECT_EQ(g.UserNeighbors(0), (std::vector<int>{1, 3, 4}));
+}
+
+TEST(InteractionGraphTest, HasInteraction) {
+  InteractionGraph g = MakeGraph();
+  EXPECT_TRUE(g.HasInteraction(0, 2));
+  EXPECT_FALSE(g.HasInteraction(1, 0));
+  EXPECT_FALSE(g.HasInteraction(2, 0));
+}
+
+TEST(InteractionGraphTest, HeadTailPartitionByThreshold) {
+  InteractionGraph g = MakeGraph();
+  // K_head = 2: head iff degree > 2 (see header re. the Eq. 5 typo).
+  EXPECT_EQ(g.HeadUsers(2), (std::vector<int>{0}));
+  EXPECT_EQ(g.TailUsers(2), (std::vector<int>{1, 2}));
+  // Partition property for all thresholds.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(g.HeadUsers(k).size() + g.TailUsers(k).size(), 3u);
+  }
+}
+
+TEST(InteractionGraphTest, AverageItemInteractions) {
+  InteractionGraph g = MakeGraph();
+  EXPECT_DOUBLE_EQ(g.AverageItemInteractions(), 1.0);  // 4 edges / 4 items
+}
+
+TEST(InteractionGraphTest, NormalizedUserItemAdjRowsSumToOne) {
+  InteractionGraph g = MakeGraph();
+  auto adj = g.NormalizedUserItemAdj();
+  EXPECT_EQ(adj->rows(), 3);
+  EXPECT_EQ(adj->cols(), 4);
+  Matrix ones(4, 1, 1.f);
+  Matrix row_sums = adj->Multiply(ones);
+  EXPECT_NEAR(row_sums.At(0, 0), 1.f, 1e-6f);
+  EXPECT_NEAR(row_sums.At(1, 0), 1.f, 1e-6f);
+  EXPECT_NEAR(row_sums.At(2, 0), 0.f, 1e-6f);  // zero-degree user
+}
+
+TEST(InteractionGraphTest, NormalizedItemUserAdjRowsSumToOne) {
+  InteractionGraph g = MakeGraph();
+  auto adj = g.NormalizedItemUserAdj();
+  EXPECT_EQ(adj->rows(), 4);
+  Matrix ones(3, 1, 1.f);
+  Matrix row_sums = adj->Multiply(ones);
+  EXPECT_NEAR(row_sums.At(1, 0), 1.f, 1e-6f);
+  EXPECT_NEAR(row_sums.At(3, 0), 0.f, 1e-6f);
+}
+
+TEST(InteractionGraphTest, AdjacencyAggregationMatchesMeanOfNeighbors) {
+  InteractionGraph g = MakeGraph();
+  Matrix item_feat = Matrix::FromRows({{2}, {4}, {6}, {100}});
+  Matrix agg = g.NormalizedUserItemAdj()->Multiply(item_feat);
+  EXPECT_NEAR(agg.At(0, 0), 4.f, 1e-5f);   // mean(2,4,6)
+  EXPECT_NEAR(agg.At(1, 0), 4.f, 1e-5f);   // item 1 only
+}
+
+TEST(InteractionGraphDeathTest, OutOfRangeEdgeAborts) {
+  EXPECT_DEATH(InteractionGraph(1, 1, {{0, 1}}), "CHECK");
+  EXPECT_DEATH(InteractionGraph(1, 1, {{-1, 0}}), "CHECK");
+}
+
+// ----------------------------------------------------------------- sampling
+
+TEST(NegativeSamplerTest, NeverReturnsInteracted) {
+  InteractionGraph g = MakeGraph();
+  NegativeSampler sampler(&g);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const int neg = sampler.SampleNegative(0, &rng);
+    EXPECT_FALSE(g.HasInteraction(0, neg));
+    EXPECT_EQ(neg, 3);  // only non-interacted item of user 0
+  }
+}
+
+TEST(NegativeSamplerTest, BatchNegativesDistinctAndExcluded) {
+  InteractionGraph g(1, 50, {{0, 0}});
+  NegativeSampler sampler(&g);
+  Rng rng(2);
+  std::vector<int> negs = sampler.SampleNegatives(0, 10, {5, 6}, &rng);
+  ASSERT_EQ(negs.size(), 10u);
+  std::set<int> unique(negs.begin(), negs.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_EQ(unique.count(0), 0u);
+  EXPECT_EQ(unique.count(5), 0u);
+  EXPECT_EQ(unique.count(6), 0u);
+}
+
+TEST(MatchingPoolsTest, PartitionAndThreshold) {
+  InteractionGraph g = MakeGraph();
+  MatchingPools pools = BuildMatchingPools(g, 2);
+  EXPECT_EQ(pools.head_users, (std::vector<int>{0}));
+  EXPECT_EQ(pools.tail_users, (std::vector<int>{1, 2}));
+}
+
+TEST(SamplePoolTest, ReturnsWholePoolWhenSmall) {
+  Rng rng(3);
+  const std::vector<int> pool = {7, 8, 9};
+  EXPECT_EQ(SamplePool(pool, 10, &rng), pool);
+  EXPECT_EQ(SamplePool(pool, 3, &rng), pool);
+}
+
+TEST(SamplePoolTest, SamplesSubsetWithoutReplacement) {
+  Rng rng(4);
+  std::vector<int> pool;
+  for (int i = 0; i < 100; ++i) pool.push_back(i * 2);
+  std::vector<int> sample = SamplePool(pool, 20, &rng);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (int v : sample) EXPECT_EQ(v % 2, 0);
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,131 @@
+#include "data/importer.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace nmcdr {
+namespace {
+
+std::string WriteFile(const std::string& name, const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream(path) << contents;
+  return path;
+}
+
+TEST(ImporterTest, BasicImportWithIdRemapping) {
+  const std::string path = WriteFile("basic.tsv",
+                                     "alice\tbook1\n"
+                                     "bob\tbook2\n"
+                                     "alice\tbook2\n");
+  ImportedDomain imported;
+  ASSERT_TRUE(ImportInteractions(path, ImportOptions{}, &imported));
+  EXPECT_EQ(imported.domain.num_users, 2);
+  EXPECT_EQ(imported.domain.num_items, 2);
+  EXPECT_EQ(imported.domain.interactions.size(), 3u);
+  EXPECT_EQ(imported.user_keys[0], "alice");
+  EXPECT_EQ(imported.item_keys[1], "book2");
+}
+
+TEST(ImporterTest, DuplicatePairsCollapsed) {
+  const std::string path = WriteFile("dups.tsv",
+                                     "u\ti\n"
+                                     "u\ti\n"
+                                     "u\tj\n");
+  ImportedDomain imported;
+  ASSERT_TRUE(ImportInteractions(path, ImportOptions{}, &imported));
+  EXPECT_EQ(imported.domain.interactions.size(), 2u);
+}
+
+TEST(ImporterTest, RatingThresholdFilters) {
+  const std::string path = WriteFile("ratings.tsv",
+                                     "u\ta\t5.0\n"
+                                     "u\tb\t2.0\n"
+                                     "u\tc\t4.0\n");
+  ImportOptions options;
+  options.min_rating = 4.0;
+  ImportedDomain imported;
+  ASSERT_TRUE(ImportInteractions(path, options, &imported));
+  EXPECT_EQ(imported.domain.interactions.size(), 2u);
+  EXPECT_EQ(imported.domain.num_items, 2);  // "b" never materializes
+}
+
+TEST(ImporterTest, MinUserInteractionsDropsColdUsers) {
+  const std::string path = WriteFile("cold.tsv",
+                                     "active\ta\n"
+                                     "active\tb\n"
+                                     "active\tc\n"
+                                     "cold\ta\n");
+  ImportOptions options;
+  options.min_user_interactions = 3;
+  ImportedDomain imported;
+  ASSERT_TRUE(ImportInteractions(path, options, &imported));
+  EXPECT_EQ(imported.domain.num_users, 1);
+  EXPECT_EQ(imported.user_keys[0], "active");
+}
+
+TEST(ImporterTest, HeaderSkippedAndCustomSeparator) {
+  const std::string path = WriteFile("csv.csv",
+                                     "user,item\n"
+                                     "u1,i1\n"
+                                     "u2,i2\n");
+  ImportOptions options;
+  options.separator = ',';
+  options.skip_header = true;
+  ImportedDomain imported;
+  ASSERT_TRUE(ImportInteractions(path, options, &imported));
+  EXPECT_EQ(imported.domain.interactions.size(), 2u);
+}
+
+TEST(ImporterTest, MalformedLineFails) {
+  const std::string path = WriteFile("bad.tsv", "only_one_field\n");
+  ImportedDomain imported;
+  EXPECT_FALSE(ImportInteractions(path, ImportOptions{}, &imported));
+}
+
+TEST(ImporterTest, MissingFileFails) {
+  ImportedDomain imported;
+  EXPECT_FALSE(ImportInteractions(::testing::TempDir() + "/nope.tsv",
+                                  ImportOptions{}, &imported));
+}
+
+TEST(ImporterTest, JoinDomainsLinksSharedUserKeys) {
+  const std::string path_z = WriteFile("z.tsv",
+                                       "shared\ta\n"
+                                       "only_z\tb\n");
+  const std::string path_zbar = WriteFile("zbar.tsv",
+                                          "only_zbar\tx\n"
+                                          "shared\ty\n");
+  ImportedDomain z, zbar;
+  ASSERT_TRUE(ImportInteractions(path_z, ImportOptions{}, &z));
+  ASSERT_TRUE(ImportInteractions(path_zbar, ImportOptions{}, &zbar));
+  const CdrScenario scenario = JoinDomains("joined", z, zbar);
+  EXPECT_EQ(scenario.NumOverlapping(), 1);
+  // "shared" is z user 0 and zbar user 1.
+  EXPECT_EQ(scenario.z_to_zbar[0], 1);
+  EXPECT_EQ(scenario.zbar_to_z[1], 0);
+  EXPECT_EQ(scenario.z_to_zbar[1], -1);
+}
+
+TEST(ImporterTest, ImportedScenarioRunsThroughPipeline) {
+  // Importing, joining and splitting a small log works end-to-end.
+  std::string contents;
+  for (int u = 0; u < 10; ++u) {
+    for (int i = 0; i < 4; ++i) {
+      contents += "user" + std::to_string(u) + "\titem" +
+                  std::to_string((u + i) % 8) + "\n";
+    }
+  }
+  const std::string path = WriteFile("pipeline.tsv", contents);
+  ImportedDomain z, zbar;
+  ASSERT_TRUE(ImportInteractions(path, ImportOptions{}, &z));
+  ASSERT_TRUE(ImportInteractions(path, ImportOptions{}, &zbar));
+  const CdrScenario scenario = JoinDomains("self-join", z, zbar);
+  EXPECT_EQ(scenario.NumOverlapping(), 10);
+  Rng rng(1);
+  const DomainSplit split = LeaveOneOutSplit(scenario.z, &rng);
+  EXPECT_EQ(split.TestUsers().size(), 10u);
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,146 @@
+// End-to-end integration tests across the full stack: data generation,
+// splitting, training, evaluation, and the experiment driver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/embedding_stats.h"
+#include "baselines/register_all.h"
+#include "core/nmcdr_model.h"
+#include "tests/test_util.h"
+#include "train/registry.h"
+
+namespace nmcdr {
+namespace {
+
+using testing_util::PolicyModel;
+using testing_util::TinySpec;
+
+TEST(IntegrationTest, TrainedNmcdrBeatsRandomPolicy) {
+  ExperimentData data(GenerateScenario(TinySpec()), 3);
+  NmcdrConfig config;
+  config.hidden_dim = 8;
+  NmcdrModel model(data.View(), config, 1, 5e-3f);
+  TrainConfig train;
+  train.epochs = 2;
+  train.min_total_steps = 250;
+  train.batch_size = 128;
+  Trainer trainer(data.View(), train, &data.full_graph_z(),
+                  &data.full_graph_zbar());
+  trainer.Train(&model);
+
+  EvalConfig eval;
+  eval.num_negatives = 30;
+  const ScenarioMetrics trained = EvaluateScenario(
+      &model, data.full_graph_z(), data.full_graph_zbar(), data.split_z(),
+      data.split_zbar(), EvalPhase::kTest, eval);
+
+  Rng rng(9);
+  PolicyModel random_policy("rand", [&rng](DomainSide, int, int) {
+    return static_cast<float>(rng.UniformDouble());
+  });
+  const ScenarioMetrics random_result = EvaluateScenario(
+      &random_policy, data.full_graph_z(), data.full_graph_zbar(),
+      data.split_z(), data.split_zbar(), EvalPhase::kTest, eval);
+
+  EXPECT_GT(trained.z.hr + trained.zbar.hr,
+            random_result.z.hr + random_result.zbar.hr);
+}
+
+TEST(IntegrationTest, RunExperimentProducesCompleteResult) {
+  RegisterAllModels();
+  ExperimentData data(GenerateScenario(TinySpec()), 3);
+  CommonHyper hyper;
+  hyper.embed_dim = 8;
+  TrainConfig train;
+  train.epochs = 1;
+  train.min_total_steps = 60;
+  EvalConfig eval;
+  eval.num_negatives = 20;
+  const ExperimentResult result = RunExperiment(
+      data, ModelRegistry::Instance().Get("NMCDR"), hyper, train, eval);
+  EXPECT_EQ(result.model_name, "NMCDR");
+  EXPECT_GT(result.parameter_count, 0);
+  EXPECT_GT(result.test.z.num_users, 0);
+  EXPECT_GT(result.test.zbar.num_users, 0);
+  EXPECT_GE(result.test.z.hr, 0.0);
+  EXPECT_LE(result.test.z.hr, 1.0);
+  EXPECT_GT(result.training.train_seconds, 0.0);
+}
+
+TEST(IntegrationTest, OverlapMaskingPreservesEvaluationUsers) {
+  // Masking identity links must not change which users are evaluated
+  // (only the knowledge available for transfer).
+  CdrScenario base = GenerateScenario(TinySpec());
+  Rng rng(5);
+  ExperimentData full(base, 3);
+  ExperimentData masked(ApplyOverlapRatio(base, 0.01, &rng), 3);
+  EXPECT_EQ(full.split_z().TestUsers(), masked.split_z().TestUsers());
+}
+
+TEST(IntegrationTest, ExperimentDeterministicForSeeds) {
+  RegisterAllModels();
+  CommonHyper hyper;
+  hyper.embed_dim = 8;
+  TrainConfig train;
+  train.epochs = 1;
+  train.min_total_steps = 40;
+  EvalConfig eval;
+  eval.num_negatives = 20;
+  ExperimentData data_a(GenerateScenario(TinySpec()), 3);
+  ExperimentData data_b(GenerateScenario(TinySpec()), 3);
+  const ExperimentResult a = RunExperiment(
+      data_a, ModelRegistry::Instance().Get("LR"), hyper, train, eval);
+  const ExperimentResult b = RunExperiment(
+      data_b, ModelRegistry::Instance().Get("LR"), hyper, train, eval);
+  EXPECT_DOUBLE_EQ(a.test.z.hr, b.test.z.hr);
+  EXPECT_DOUBLE_EQ(a.test.zbar.ndcg, b.test.zbar.ndcg);
+}
+
+TEST(IntegrationTest, TestPositivesNeverAppearInTrainGraph) {
+  // Leakage guard: the message-passing graph must not contain held-out
+  // interactions.
+  ExperimentData data(GenerateScenario(TinySpec()), 3);
+  for (int u = 0; u < data.scenario().z.num_users; ++u) {
+    const int test_item = data.split_z().test_item[u];
+    if (test_item >= 0) {
+      EXPECT_FALSE(data.train_graph_z().HasInteraction(u, test_item));
+    }
+    const int valid_item = data.split_z().valid_item[u];
+    if (valid_item >= 0) {
+      EXPECT_FALSE(data.train_graph_z().HasInteraction(u, valid_item));
+    }
+  }
+}
+
+TEST(IntegrationTest, FullGraphContainsAllInteractions) {
+  ExperimentData data(GenerateScenario(TinySpec()), 3);
+  EXPECT_EQ(data.full_graph_z().num_edges(),
+            static_cast<int64_t>(data.scenario().z.interactions.size()));
+}
+
+TEST(IntegrationTest, StageRepsTailAlignmentComputable) {
+  // The Fig. 5 pipeline end-to-end: train briefly, compute stage reps,
+  // verify the separation statistic is finite at every stage.
+  ExperimentData data(GenerateScenario(TinySpec()), 3);
+  NmcdrConfig config;
+  config.hidden_dim = 8;
+  NmcdrModel model(data.View(), config, 1, 5e-3f);
+  testing_util::TrainLossTrend(&model, data, 40);
+  const NmcdrModel::StageReps reps = model.ComputeStageReps(DomainSide::kZ);
+  std::vector<bool> is_head(data.scenario().z.num_users);
+  bool any_head = false, any_tail = false;
+  for (int u = 0; u < data.scenario().z.num_users; ++u) {
+    is_head[u] = data.train_graph_z().UserDegree(u) > config.k_head;
+    (is_head[u] ? any_head : any_tail) = true;
+  }
+  ASSERT_TRUE(any_head && any_tail);
+  for (const Matrix* stage : {&reps.g1, &reps.g3, &reps.g4}) {
+    const HeadTailSeparation sep = ComputeHeadTailSeparation(*stage, is_head);
+    EXPECT_TRUE(std::isfinite(sep.separation_score));
+  }
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,84 @@
+#include "data/loader.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace nmcdr {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(LoaderTest, RoundTripPreservesScenario) {
+  SyntheticScenarioSpec spec;
+  spec.name = "roundtrip";
+  spec.z = {"A", 40, 20, 3.0, 1.0};
+  spec.zbar = {"B", 30, 15, 2.0, 1.0};
+  spec.num_overlapping = 10;
+  spec.seed = 3;
+  const CdrScenario original = GenerateScenario(spec);
+
+  const std::string path = TempPath("scenario.tsv");
+  ASSERT_TRUE(SaveScenario(original, path));
+
+  CdrScenario loaded;
+  ASSERT_TRUE(LoadScenario(path, &loaded));
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.z.num_users, original.z.num_users);
+  EXPECT_EQ(loaded.z.num_items, original.z.num_items);
+  ASSERT_EQ(loaded.z.interactions.size(), original.z.interactions.size());
+  for (size_t i = 0; i < loaded.z.interactions.size(); ++i) {
+    EXPECT_EQ(loaded.z.interactions[i], original.z.interactions[i]);
+  }
+  EXPECT_EQ(loaded.z_to_zbar, original.z_to_zbar);
+  EXPECT_EQ(loaded.zbar_to_z, original.zbar_to_z);
+}
+
+TEST_F(LoaderTest, LoadFailsOnMissingFile) {
+  CdrScenario scenario;
+  EXPECT_FALSE(LoadScenario(TempPath("does_not_exist.tsv"), &scenario));
+}
+
+TEST_F(LoaderTest, LoadFailsOnBadMagic) {
+  const std::string path = TempPath("bad_magic.tsv");
+  std::ofstream(path) << "NOT_A_SCENARIO\tfoo\n";
+  CdrScenario scenario;
+  EXPECT_FALSE(LoadScenario(path, &scenario));
+}
+
+TEST_F(LoaderTest, LoadFailsOnTruncatedFile) {
+  SyntheticScenarioSpec spec;
+  spec.z = {"A", 10, 5, 2.0, 1.0};
+  spec.zbar = {"B", 10, 5, 2.0, 1.0};
+  spec.num_overlapping = 2;
+  const CdrScenario original = GenerateScenario(spec);
+  const std::string path = TempPath("truncated.tsv");
+  ASSERT_TRUE(SaveScenario(original, path));
+  // Truncate to half.
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::ofstream(path) << contents.substr(0, contents.size() / 2);
+  CdrScenario scenario;
+  EXPECT_FALSE(LoadScenario(path, &scenario));
+}
+
+TEST_F(LoaderTest, SaveFailsOnUnwritablePath) {
+  SyntheticScenarioSpec spec;
+  spec.z = {"A", 5, 5, 2.0, 1.0};
+  spec.zbar = {"B", 5, 5, 2.0, 1.0};
+  spec.num_overlapping = 1;
+  EXPECT_FALSE(SaveScenario(GenerateScenario(spec),
+                            "/nonexistent_dir/file.tsv"));
+}
+
+}  // namespace
+}  // namespace nmcdr

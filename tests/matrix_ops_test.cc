@@ -1,0 +1,189 @@
+#include "tensor/matrix_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nmcdr {
+namespace {
+
+TEST(MatrixOpsTest, MatMulHandValues) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_TRUE(AllClose(c, Matrix::FromRows({{19, 22}, {43, 50}})));
+}
+
+TEST(MatrixOpsTest, MatMulTransAEqualsExplicitTranspose) {
+  Rng rng(1);
+  Matrix a = Matrix::Gaussian(4, 3, &rng);
+  Matrix b = Matrix::Gaussian(4, 5, &rng);
+  EXPECT_TRUE(AllClose(MatMulTransA(a, b), MatMul(Transpose(a), b), 1e-4f));
+}
+
+TEST(MatrixOpsTest, MatMulTransBEqualsExplicitTranspose) {
+  Rng rng(2);
+  Matrix a = Matrix::Gaussian(4, 3, &rng);
+  Matrix b = Matrix::Gaussian(5, 3, &rng);
+  EXPECT_TRUE(AllClose(MatMulTransB(a, b), MatMul(a, Transpose(b)), 1e-4f));
+}
+
+TEST(MatrixOpsTest, TransposeRoundTrip) {
+  Rng rng(3);
+  Matrix a = Matrix::Gaussian(3, 7, &rng);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(a)), a));
+}
+
+TEST(MatrixOpsTest, ElementwiseOps) {
+  Matrix a = Matrix::FromRows({{1, -2}});
+  Matrix b = Matrix::FromRows({{3, 4}});
+  EXPECT_TRUE(AllClose(Add(a, b), Matrix::FromRows({{4, 2}})));
+  EXPECT_TRUE(AllClose(Sub(a, b), Matrix::FromRows({{-2, -6}})));
+  EXPECT_TRUE(AllClose(Hadamard(a, b), Matrix::FromRows({{3, -8}})));
+  EXPECT_TRUE(AllClose(Axpby(a, 2.f, b, -1.f), Matrix::FromRows({{-1, -8}})));
+  EXPECT_TRUE(AllClose(Scale(a, -2.f), Matrix::FromRows({{-2, 4}})));
+  EXPECT_TRUE(AllClose(AddScalar(a, 1.f), Matrix::FromRows({{2, -1}})));
+}
+
+TEST(MatrixOpsTest, AxpyInto) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix out = Matrix::FromRows({{10, 20}});
+  AxpyInto(a, 3.f, &out);
+  EXPECT_TRUE(AllClose(out, Matrix::FromRows({{13, 26}})));
+}
+
+TEST(MatrixOpsTest, AddRowBroadcast) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix bias = Matrix::FromRows({{10, 20}});
+  EXPECT_TRUE(
+      AllClose(AddRowBroadcast(a, bias), Matrix::FromRows({{11, 22}, {13, 24}})));
+}
+
+TEST(MatrixOpsTest, Nonlinearities) {
+  Matrix a = Matrix::FromRows({{-1, 0, 2}});
+  EXPECT_TRUE(AllClose(Relu(a), Matrix::FromRows({{0, 0, 2}})));
+  Matrix sig = Sigmoid(a);
+  EXPECT_NEAR(sig.At(0, 0), 1.f / (1.f + std::exp(1.f)), 1e-6f);
+  EXPECT_NEAR(sig.At(0, 1), 0.5f, 1e-6f);
+  Matrix th = Tanh(a);
+  EXPECT_NEAR(th.At(0, 2), std::tanh(2.f), 1e-6f);
+  Matrix sp = Softplus(a);
+  EXPECT_NEAR(sp.At(0, 1), std::log(2.f), 1e-6f);
+}
+
+TEST(MatrixOpsTest, SigmoidExtremeValuesStable) {
+  Matrix a = Matrix::FromRows({{-100.f, 100.f}});
+  Matrix s = Sigmoid(a);
+  EXPECT_NEAR(s.At(0, 0), 0.f, 1e-6f);
+  EXPECT_NEAR(s.At(0, 1), 1.f, 1e-6f);
+  EXPECT_FALSE(std::isnan(s.At(0, 0)));
+}
+
+TEST(MatrixOpsTest, SoftmaxRowsSumToOne) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {-5, 0, 5}, {100, 100, 100}});
+  Matrix s = SoftmaxRows(a);
+  for (int r = 0; r < 3; ++r) {
+    double total = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GT(s.At(r, c), 0.f);
+      total += s.At(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+  EXPECT_NEAR(s.At(2, 0), 1.f / 3.f, 1e-6f);  // uniform row
+}
+
+TEST(MatrixOpsTest, Reductions) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(AllClose(RowSum(a), Matrix::FromRows({{3}, {7}})));
+  EXPECT_TRUE(AllClose(RowMean(a), Matrix::FromRows({{1.5}, {3.5}})));
+  EXPECT_TRUE(AllClose(ColSum(a), Matrix::FromRows({{4, 6}})));
+  EXPECT_TRUE(AllClose(ColMean(a), Matrix::FromRows({{2, 3}})));
+  EXPECT_TRUE(AllClose(RowDot(a, a), Matrix::FromRows({{5}, {25}})));
+}
+
+TEST(MatrixOpsTest, GatherScatterRoundTrip) {
+  Matrix table = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Matrix gathered = GatherRows(table, {2, 0, 2});
+  EXPECT_TRUE(AllClose(gathered, Matrix::FromRows({{3, 3}, {1, 1}, {3, 3}})));
+  Matrix acc(3, 2);
+  ScatterAddRows(gathered, {2, 0, 2}, &acc);
+  EXPECT_TRUE(AllClose(acc, Matrix::FromRows({{1, 1}, {0, 0}, {6, 6}})));
+}
+
+TEST(MatrixOpsTest, ConcatCols) {
+  Matrix a = Matrix::FromRows({{1}, {2}});
+  Matrix b = Matrix::FromRows({{3, 4}, {5, 6}});
+  EXPECT_TRUE(
+      AllClose(ConcatCols(a, b), Matrix::FromRows({{1, 3, 4}, {2, 5, 6}})));
+}
+
+TEST(MatrixOpsTest, LogClampsToAvoidNan) {
+  Matrix a = Matrix::FromRows({{0.f, 1.f}});
+  Matrix l = Log(a);
+  EXPECT_FALSE(std::isnan(l.At(0, 0)));
+  EXPECT_NEAR(l.At(0, 1), 0.f, 1e-6f);
+}
+
+// --------------------------------------------------------------- CsrMatrix
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  // A = [[0, 2, 0], [1, 0, 3]]
+  CsrMatrix a(2, 3, {{{1, 2.f}}, {{0, 1.f}, {2, 3.f}}});
+  EXPECT_EQ(a.nnz(), 3);
+  Matrix x = Matrix::FromRows({{1, 10}, {2, 20}, {3, 30}});
+  Matrix y = a.Multiply(x);
+  EXPECT_TRUE(AllClose(y, Matrix::FromRows({{4, 40}, {10, 100}})));
+}
+
+TEST(CsrMatrixTest, MultiplyTransposedMatchesDense) {
+  CsrMatrix a(2, 3, {{{1, 2.f}}, {{0, 1.f}, {2, 3.f}}});
+  Matrix x = Matrix::FromRows({{1, 2}, {3, 4}});
+  // A^T x: [3x2]
+  Matrix y = a.MultiplyTransposed(x);
+  EXPECT_TRUE(AllClose(y, Matrix::FromRows({{3, 4}, {2, 4}, {9, 12}})));
+}
+
+TEST(CsrMatrixTest, EmptyRowsYieldZeros) {
+  CsrMatrix a(3, 2, {{}, {{0, 1.f}}, {}});
+  Matrix x = Matrix::FromRows({{5, 5}, {7, 7}});
+  Matrix y = a.Multiply(x);
+  EXPECT_EQ(y.At(0, 0), 0.f);
+  EXPECT_EQ(y.At(1, 0), 5.f);
+  EXPECT_EQ(y.At(2, 1), 0.f);
+}
+
+/// Property sweep: CSR multiply agrees with dense multiply for random
+/// sparse matrices of several shapes.
+class CsrDenseEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CsrDenseEquivalence, AgreesWithDense) {
+  const auto [rows, cols, d] = GetParam();
+  Rng rng(rows * 1000 + cols);
+  Matrix dense(rows, cols);
+  std::vector<std::vector<std::pair<int, float>>> entries(rows);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(0.3)) {
+        const float v = rng.Gaussian();
+        dense.At(r, c) = v;
+        entries[r].emplace_back(c, v);
+      }
+    }
+  }
+  CsrMatrix sparse(rows, cols, entries);
+  Matrix x = Matrix::Gaussian(cols, d, &rng);
+  EXPECT_TRUE(AllClose(sparse.Multiply(x), MatMul(dense, x), 1e-4f));
+  Matrix y = Matrix::Gaussian(rows, d, &rng);
+  EXPECT_TRUE(AllClose(sparse.MultiplyTransposed(y),
+                       MatMulTransA(dense, y), 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CsrDenseEquivalence,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(5, 8, 3),
+                      std::make_tuple(16, 4, 7), std::make_tuple(30, 30, 2)));
+
+}  // namespace
+}  // namespace nmcdr

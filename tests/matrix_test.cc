@@ -1,0 +1,129 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nmcdr {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(m.At(r, c), 0.f);
+  }
+}
+
+TEST(MatrixTest, FillConstructorAndFill) {
+  Matrix m(2, 2, 3.5f);
+  EXPECT_EQ(m.At(1, 1), 3.5f);
+  m.Fill(-1.f);
+  EXPECT_EQ(m.Sum(), -4.f);
+  m.SetZero();
+  EXPECT_EQ(m.Sum(), 0.f);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.At(0, 2), 3.f);
+  EXPECT_EQ(m.At(1, 0), 4.f);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(eye.At(r, c), r == c ? 1.f : 0.f);
+    }
+  }
+}
+
+TEST(MatrixTest, RowPointerMatchesAt) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.row(1)[0], 3.f);
+  m.row(1)[1] = 9.f;
+  EXPECT_EQ(m.At(1, 1), 9.f);
+}
+
+TEST(MatrixTest, SumMeanMinMax) {
+  Matrix m = Matrix::FromRows({{1, -2}, {3, 4}});
+  EXPECT_EQ(m.Sum(), 6.f);
+  EXPECT_EQ(m.Mean(), 1.5f);
+  EXPECT_EQ(m.Min(), -2.f);
+  EXPECT_EQ(m.Max(), 4.f);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m = Matrix::FromRows({{3, 4}});
+  EXPECT_NEAR(m.FrobeniusNorm(), 5.f, 1e-6f);
+}
+
+TEST(MatrixTest, SpectralNormDiagonal) {
+  Matrix m = Matrix::FromRows({{3, 0}, {0, 2}});
+  EXPECT_NEAR(m.SpectralNorm(), 3.f, 1e-3f);
+}
+
+TEST(MatrixTest, SpectralNormBoundedByFrobenius) {
+  Rng rng(4);
+  Matrix m = Matrix::Gaussian(6, 5, &rng);
+  const float spectral = m.SpectralNorm();
+  EXPECT_LE(spectral, m.FrobeniusNorm() + 1e-4f);
+  EXPECT_GT(spectral, 0.f);
+}
+
+TEST(MatrixTest, GaussianMoments) {
+  Rng rng(8);
+  Matrix m = Matrix::Gaussian(100, 100, &rng, 2.f, 0.5f);
+  EXPECT_NEAR(m.Mean(), 2.f, 0.02f);
+}
+
+TEST(MatrixTest, XavierWithinBound) {
+  Rng rng(8);
+  const int in = 30, out = 20;
+  Matrix m = Matrix::Xavier(in, out, &rng);
+  const float bound = std::sqrt(6.f / (in + out));
+  EXPECT_GE(m.Min(), -bound);
+  EXPECT_LE(m.Max(), bound);
+}
+
+TEST(MatrixTest, SameShapeAndAllClose) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{1, 2.0000001f}});
+  Matrix c = Matrix::FromRows({{1}, {2}});
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+  EXPECT_TRUE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(a, c));
+  EXPECT_FALSE(AllClose(a, Matrix::FromRows({{1, 3}})));
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a(2, 2, 1.f);
+  Matrix b = a;
+  b.At(0, 0) = 9.f;
+  EXPECT_EQ(a.At(0, 0), 1.f);
+}
+
+TEST(MatrixDeathTest, OutOfRangeAccessAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.At(2, 0), "CHECK");
+  EXPECT_DEATH(m.At(0, -1), "CHECK");
+}
+
+TEST(MatrixTest, DebugStringMentionsShape) {
+  Matrix m(3, 4);
+  EXPECT_NE(m.DebugString().find("3x4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,69 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nmcdr {
+namespace {
+
+TEST(RankTest, TopWhenNoNegativeBeats) {
+  EXPECT_EQ(RankOfPositive(1.0f, {0.5f, 0.2f, 0.9f}), 1);
+}
+
+TEST(RankTest, CountsStrictlyHigher) {
+  EXPECT_EQ(RankOfPositive(0.5f, {0.6f, 0.4f, 0.7f}), 3);
+}
+
+TEST(RankTest, TiesCountAgainstPositive) {
+  // Conservative convention: equal scores push the positive down.
+  EXPECT_EQ(RankOfPositive(0.5f, {0.5f, 0.5f}), 3);
+}
+
+TEST(RankTest, EmptyNegativesIsRankOne) {
+  EXPECT_EQ(RankOfPositive(0.5f, {}), 1);
+}
+
+TEST(HitRateTest, ThresholdAtK) {
+  EXPECT_DOUBLE_EQ(HitRateAtK(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(11, 10), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(1, 10), 1.0);
+}
+
+TEST(NdcgTest, HandValues) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(1, 10), 1.0);
+  EXPECT_NEAR(NdcgAtK(2, 10), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_NEAR(NdcgAtK(10, 10), 1.0 / std::log2(11.0), 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAtK(11, 10), 0.0);
+}
+
+TEST(NdcgTest, MonotoneDecreasingInRank) {
+  for (int rank = 1; rank < 10; ++rank) {
+    EXPECT_GT(NdcgAtK(rank, 10), NdcgAtK(rank + 1, 10));
+  }
+}
+
+TEST(RankingMetricsTest, AggregationAndFinalize) {
+  RankingMetrics m;
+  m.Add(1, 10);   // hr 1, ndcg 1
+  m.Add(11, 10);  // hr 0, ndcg 0
+  m.Finalize();
+  EXPECT_EQ(m.num_users, 2);
+  EXPECT_DOUBLE_EQ(m.hr, 0.5);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.5);
+}
+
+TEST(RankingMetricsTest, FinalizeOnEmptyIsSafe) {
+  RankingMetrics m;
+  m.Finalize();
+  EXPECT_EQ(m.num_users, 0);
+  EXPECT_DOUBLE_EQ(m.hr, 0.0);
+}
+
+TEST(MetricsDeathTest, InvalidRankAborts) {
+  EXPECT_DEATH(HitRateAtK(0, 10), "CHECK");
+  EXPECT_DEATH(NdcgAtK(0, 10), "CHECK");
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,186 @@
+#include "core/multi_domain_nmcdr.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "serving/ab_test.h"
+
+namespace nmcdr {
+namespace {
+
+/// Builds a 3-domain world and the MultiDomainView over it.
+struct TriDomainFixture {
+  std::unique_ptr<ServingWorld> world;
+  std::vector<std::unique_ptr<InteractionGraph>> graphs;
+  MultiDomainView view;
+
+  explicit TriDomainFixture(uint64_t seed = 11, int persons = 220) {
+    std::vector<ServingWorld::DomainSpec> specs(3);
+    specs[0].data = {"A", 0, 22, 4.0, 0.9};
+    specs[1].data = {"B", 0, 18, 3.0, 0.9};
+    specs[2].data = {"C", 0, 20, 3.5, 0.9};
+    world = std::make_unique<ServingWorld>(
+        specs, persons, std::vector<double>{0.7, 0.4, 0.5},
+        /*latent_dim=*/6, /*preference_sharpness=*/4.0, seed);
+    view.num_persons = persons;
+    for (int d = 0; d < 3; ++d) {
+      const DomainData& data = world->domain(d);
+      graphs.push_back(std::make_unique<InteractionGraph>(
+          data.num_users, data.num_items, data.interactions));
+      view.domains.push_back(&data);
+      view.train_graphs.push_back(graphs.back().get());
+      std::vector<int> to_person(data.num_users);
+      for (int u = 0; u < data.num_users; ++u) {
+        to_person[u] = world->PersonOfUser(d, u);
+      }
+      view.user_to_person.push_back(std::move(to_person));
+    }
+    view.CheckConsistency();
+  }
+
+  LabeledBatch DrawBatch(int d, Rng* rng, int size = 32) const {
+    const DomainData& data = world->domain(d);
+    NegativeSampler sampler(view.train_graphs[d]);
+    LabeledBatch batch;
+    int added = 0, attempts = 0;
+    while (added < size / 2 && attempts++ < size * 20) {
+      const Interaction pos =
+          data.interactions[rng->NextUint64(data.interactions.size())];
+      // Heavy users of tiny catalogs may have interacted with every item;
+      // they admit no negative, so skip them.
+      if (view.train_graphs[d]->UserDegree(pos.user) >= data.num_items) {
+        continue;
+      }
+      batch.users.push_back(pos.user);
+      batch.items.push_back(pos.item);
+      batch.labels.push_back(1.f);
+      batch.users.push_back(pos.user);
+      batch.items.push_back(sampler.SampleNegative(pos.user, rng));
+      batch.labels.push_back(0.f);
+      ++added;
+    }
+    return batch;
+  }
+};
+
+NmcdrConfig TinyConfig() {
+  NmcdrConfig config;
+  config.hidden_dim = 8;
+  config.mlp_hidden = {16};
+  return config;
+}
+
+TEST(MultiDomainViewTest, ConsistencyChecks) {
+  TriDomainFixture fixture;
+  MultiDomainView bad = fixture.view;
+  bad.user_to_person[0][0] = bad.num_persons + 5;  // out of range
+  EXPECT_DEATH(bad.CheckConsistency(), "CHECK");
+}
+
+TEST(MultiDomainNmcdrTest, TrainsAcrossThreeDomains) {
+  TriDomainFixture fixture;
+  MultiDomainNmcdrModel model(fixture.view, TinyConfig(), 1, 5e-3f);
+  EXPECT_EQ(model.num_domains(), 3);
+  EXPECT_GT(model.ParameterCount(), 0);
+
+  Rng rng(3);
+  float first = 0.f, last = 0.f;
+  const int steps = 60;
+  for (int s = 0; s < steps; ++s) {
+    std::vector<LabeledBatch> batches;
+    for (int d = 0; d < 3; ++d) {
+      batches.push_back(fixture.DrawBatch(d, &rng));
+    }
+    const float loss = model.TrainStep(batches);
+    EXPECT_TRUE(std::isfinite(loss));
+    if (s < 5) first += loss / 5.f;
+    if (s >= steps - 5) last += loss / 5.f;
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(MultiDomainNmcdrTest, ScoreShapesAndDeterminism) {
+  TriDomainFixture fixture;
+  MultiDomainNmcdrModel model(fixture.view, TinyConfig(), 1, 1e-3f);
+  for (int d = 0; d < 3; ++d) {
+    const std::vector<float> a = model.Score(d, {0, 1}, {0, 1});
+    const std::vector<float> b = model.Score(d, {0, 1}, {0, 1});
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a, b);
+    for (float s : a) EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(MultiDomainNmcdrTest, EmptyBatchesSafe) {
+  TriDomainFixture fixture;
+  MultiDomainNmcdrModel model(fixture.view, TinyConfig(), 1, 1e-3f);
+  EXPECT_EQ(model.TrainStep({LabeledBatch{}, LabeledBatch{}, LabeledBatch{}}),
+            0.f);
+  // Single-domain batch also fine.
+  Rng rng(5);
+  std::vector<LabeledBatch> batches(3);
+  batches[1] = fixture.DrawBatch(1, &rng);
+  EXPECT_TRUE(std::isfinite(model.TrainStep(batches)));
+}
+
+TEST(MultiDomainNmcdrTest, CrossDomainSignalFlowsToLinkedUsers) {
+  // Training ONLY on domains 1 and 2 must still move domain-0 scores of
+  // persons present in those domains (through the inter-matching bridge).
+  TriDomainFixture fixture;
+  MultiDomainNmcdrModel model(fixture.view, TinyConfig(), 1, 5e-3f);
+  // A domain-0 user also present in domain 1:
+  int linked_user = -1;
+  for (int u = 0; u < fixture.world->domain(0).num_users && linked_user < 0;
+       ++u) {
+    const int person = fixture.view.user_to_person[0][u];
+    if (fixture.world->UserOfPerson(1, person) >= 0) linked_user = u;
+  }
+  ASSERT_GE(linked_user, 0);
+  const std::vector<float> before = model.Score(0, {linked_user}, {0});
+  Rng rng(7);
+  for (int s = 0; s < 10; ++s) {
+    std::vector<LabeledBatch> batches(3);
+    batches[1] = fixture.DrawBatch(1, &rng);
+    batches[2] = fixture.DrawBatch(2, &rng);
+    model.TrainStep(batches);
+  }
+  const std::vector<float> after = model.Score(0, {linked_user}, {0});
+  EXPECT_NE(before[0], after[0]);
+}
+
+TEST(MultiDomainNmcdrTest, TwoDomainViewMatchesPairwiseSemantics) {
+  // K=2 is the paper's setting; the model must run there too.
+  TriDomainFixture fixture;
+  MultiDomainView pair;
+  pair.num_persons = fixture.view.num_persons;
+  for (int d = 0; d < 2; ++d) {
+    pair.domains.push_back(fixture.view.domains[d]);
+    pair.train_graphs.push_back(fixture.view.train_graphs[d]);
+    pair.user_to_person.push_back(fixture.view.user_to_person[d]);
+  }
+  MultiDomainNmcdrModel model(pair, TinyConfig(), 1, 5e-3f);
+  Rng rng(9);
+  std::vector<LabeledBatch> batches;
+  for (int d = 0; d < 2; ++d) batches.push_back(fixture.DrawBatch(d, &rng));
+  EXPECT_TRUE(std::isfinite(model.TrainStep(batches)));
+}
+
+TEST(MultiDomainNmcdrTest, AblationFlagsApply) {
+  TriDomainFixture fixture;
+  for (int variant = 0; variant < 3; ++variant) {
+    NmcdrConfig config = TinyConfig();
+    if (variant == 0) config.use_intra = false;
+    if (variant == 1) config.use_inter = false;
+    if (variant == 2) config.use_complement = false;
+    MultiDomainNmcdrModel model(fixture.view, config, 1, 5e-3f);
+    Rng rng(11);
+    std::vector<LabeledBatch> batches;
+    for (int d = 0; d < 3; ++d) batches.push_back(fixture.DrawBatch(d, &rng));
+    EXPECT_TRUE(std::isfinite(model.TrainStep(batches)));
+  }
+}
+
+}  // namespace
+}  // namespace nmcdr

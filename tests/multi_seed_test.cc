@@ -1,0 +1,80 @@
+#include "train/multi_seed.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/register_all.h"
+#include "tests/test_util.h"
+#include "train/registry.h"
+
+namespace nmcdr {
+namespace {
+
+TEST(AggregateTest, HandValues) {
+  const MeanStd single = Aggregate({3.0});
+  EXPECT_DOUBLE_EQ(single.mean, 3.0);
+  EXPECT_DOUBLE_EQ(single.std, 0.0);
+  const MeanStd pair = Aggregate({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(pair.mean, 2.0);
+  EXPECT_NEAR(pair.std, std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Aggregate({}).mean, 0.0);
+}
+
+TEST(MultiSeedTest, AggregatesAcrossSeeds) {
+  RegisterAllModels();
+  auto data = testing_util::TinyData();
+  CommonHyper hyper;
+  hyper.embed_dim = 8;
+  TrainConfig train;
+  train.epochs = 1;
+  train.min_total_steps = 40;
+  EvalConfig eval;
+  eval.num_negatives = 20;
+  const MultiSeedResult result = RunExperimentMultiSeed(
+      *data, ModelRegistry::Instance().Get("LR"), hyper, train, eval,
+      {1, 2, 3});
+  EXPECT_EQ(result.num_seeds, 3);
+  EXPECT_GE(result.hr_z.mean, 0.0);
+  EXPECT_LE(result.hr_z.mean, 1.0);
+  EXPECT_GE(result.hr_z.std, 0.0);
+}
+
+TEST(MultiSeedTest, DifferentSeedsProduceVariance) {
+  RegisterAllModels();
+  auto data = testing_util::TinyData();
+  CommonHyper hyper;
+  hyper.embed_dim = 8;
+  TrainConfig train;
+  train.epochs = 1;
+  train.min_total_steps = 60;
+  EvalConfig eval;
+  eval.num_negatives = 20;
+  const MultiSeedResult result = RunExperimentMultiSeed(
+      *data, ModelRegistry::Instance().Get("NeuMF"), hyper, train, eval,
+      {11, 22, 33, 44});
+  // Seeded inits differ, so some metric must vary across runs.
+  EXPECT_GT(result.hr_z.std + result.ndcg_z.std + result.hr_zbar.std +
+                result.ndcg_zbar.std,
+            0.0);
+}
+
+TEST(MultiSeedTest, SameSeedIsDeterministic) {
+  RegisterAllModels();
+  auto data = testing_util::TinyData();
+  CommonHyper hyper;
+  hyper.embed_dim = 8;
+  TrainConfig train;
+  train.epochs = 1;
+  train.min_total_steps = 30;
+  EvalConfig eval;
+  eval.num_negatives = 20;
+  const MultiSeedResult result = RunExperimentMultiSeed(
+      *data, ModelRegistry::Instance().Get("LR"), hyper, train, eval,
+      {5, 5, 5});
+  EXPECT_DOUBLE_EQ(result.hr_z.std, 0.0);
+  EXPECT_DOUBLE_EQ(result.ndcg_zbar.std, 0.0);
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/complementing.h"
+#include "core/hetero_encoder.h"
+#include "core/inter_matching.h"
+#include "core/intra_matching.h"
+#include "core/prediction.h"
+#include "graph/interaction_graph.h"
+
+namespace nmcdr {
+namespace {
+
+constexpr int kDim = 8;
+
+TEST(HeteroEncoderTest, OutputShapeAndFiniteness) {
+  ag::ParameterStore store;
+  Rng rng(1);
+  HeteroGraphEncoder encoder(&store, "enc", kDim, 2, &rng);
+  InteractionGraph graph(4, 5, {{0, 0}, {0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  ag::Tensor users{Matrix::Gaussian(4, kDim, &rng, 0.f, 0.1f), true};
+  ag::Tensor items{Matrix::Gaussian(5, kDim, &rng, 0.f, 0.1f), true};
+  ag::Tensor out = encoder.Forward(users, items,
+                                   graph.NormalizedUserItemAdj(),
+                                   graph.NormalizedItemUserAdj());
+  EXPECT_EQ(out.rows(), 4);
+  EXPECT_EQ(out.cols(), kDim);
+  for (int i = 0; i < out.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.value().data()[i]));
+  }
+}
+
+TEST(HeteroEncoderTest, ZeroDegreeUserKeepsResidualIdentityPath) {
+  // A user with no interactions receives no aggregated message; with the
+  // residual convention its representation stays anchored at its
+  // embedding plus the self transform.
+  ag::ParameterStore store;
+  Rng rng(2);
+  HeteroGraphEncoder encoder(&store, "enc", kDim, 1, &rng);
+  InteractionGraph graph(2, 2, {{0, 0}});  // user 1 isolated
+  Matrix user_values = Matrix::Gaussian(2, kDim, &rng, 0.f, 0.1f);
+  ag::Tensor users{user_values, true};
+  ag::Tensor items{Matrix::Gaussian(2, kDim, &rng, 0.f, 0.1f), true};
+  ag::Tensor out = encoder.Forward(users, items,
+                                   graph.NormalizedUserItemAdj(),
+                                   graph.NormalizedItemUserAdj());
+  // The isolated user's output differs from the raw embedding only by the
+  // (deterministic) self-message delta; crucially it is finite and the
+  // residual keeps it within a bounded distance of the embedding.
+  for (int c = 0; c < kDim; ++c) {
+    EXPECT_TRUE(std::isfinite(out.value().At(1, c)));
+  }
+}
+
+TEST(HeteroEncoderTest, GradientsReachEmbeddings) {
+  ag::ParameterStore store;
+  Rng rng(3);
+  HeteroGraphEncoder encoder(&store, "enc", kDim, 2, &rng);
+  InteractionGraph graph(3, 3, {{0, 0}, {1, 1}, {2, 2}, {0, 2}});
+  ag::Tensor users = store.Register("u", Matrix::Gaussian(3, kDim, &rng));
+  ag::Tensor items = store.Register("v", Matrix::Gaussian(3, kDim, &rng));
+  ag::Tensor out = encoder.Forward(users, items,
+                                   graph.NormalizedUserItemAdj(),
+                                   graph.NormalizedItemUserAdj());
+  ag::Backward(ag::Sum(out));
+  EXPECT_FALSE(users.grad().empty());
+  EXPECT_FALSE(items.grad().empty());
+  EXPECT_GT(users.grad().FrobeniusNorm(), 0.f);
+  EXPECT_GT(items.grad().FrobeniusNorm(), 0.f);
+}
+
+TEST(IntraMatchingTest, EmptyPoolsReduceToResidual) {
+  // With both pools empty, messages are zero, the gate outputs tanh of a
+  // bias-path constant; the residual keeps the result finite and
+  // row-wise equal across users receiving identical (zero) messages.
+  ag::ParameterStore store;
+  Rng rng(4);
+  IntraMatchingComponent intra(&store, "intra", kDim, &rng,
+                               /*gate_fusion=*/true,
+                               /*shared_transform=*/false);
+  Matrix input = Matrix::Gaussian(5, kDim, &rng, 0.f, 0.1f);
+  ag::Tensor users{input, true};
+  ag::Tensor out = intra.Forward(users, {}, {});
+  ASSERT_EQ(out.rows(), 5);
+  // delta = out - input must be the same for every row (global message).
+  for (int r = 1; r < 5; ++r) {
+    for (int c = 0; c < kDim; ++c) {
+      const float d0 = out.value().At(0, c) - input.At(0, c);
+      const float dr = out.value().At(r, c) - input.At(r, c);
+      EXPECT_NEAR(d0, dr, 1e-5f);
+    }
+  }
+}
+
+TEST(IntraMatchingTest, HeadAndTailMessagesDiffer) {
+  ag::ParameterStore store;
+  Rng rng(5);
+  IntraMatchingComponent intra(&store, "intra", kDim, &rng, true, false);
+  Matrix input = Matrix::Gaussian(6, kDim, &rng, 0.f, 0.5f);
+  ag::Tensor users{input, true};
+  ag::Tensor head_only = intra.Forward(users, {0, 1}, {});
+  ag::Tensor tail_only = intra.Forward(users, {}, {0, 1});
+  // Same sampled users routed through different transforms => different
+  // outputs (the W_head vs W_tail distinction of Eq. 8).
+  EXPECT_FALSE(AllClose(head_only.value(), tail_only.value(), 1e-4f));
+}
+
+TEST(IntraMatchingTest, SharedTransformCollapsesDistinction) {
+  ag::ParameterStore store;
+  Rng rng(6);
+  IntraMatchingComponent intra(&store, "intra", kDim, &rng, true,
+                               /*shared_transform=*/true);
+  Matrix input = Matrix::Gaussian(6, kDim, &rng, 0.f, 0.5f);
+  ag::Tensor users{input, true};
+  ag::Tensor head_only = intra.Forward(users, {2, 3}, {});
+  ag::Tensor tail_only = intra.Forward(users, {}, {2, 3});
+  // With one shared transform the message paths coincide up to the gate's
+  // own (head/tail-specific) mixing; the raw pooled messages are equal, so
+  // outputs built from swapped pools must agree when gates are disabled.
+  ag::ParameterStore store2;
+  Rng rng2(6);
+  IntraMatchingComponent no_gate(&store2, "intra", kDim, &rng2,
+                                 /*gate_fusion=*/false, true);
+  ag::Tensor a = no_gate.Forward(users, {2, 3}, {});
+  ag::Tensor b = no_gate.Forward(users, {}, {2, 3});
+  EXPECT_TRUE(AllClose(a.value(), b.value(), 1e-5f));
+  (void)head_only;
+  (void)tail_only;
+}
+
+TEST(InterMatchingTest, NonOverlappedUsersGetNoSelfMessage) {
+  ag::ParameterStore store;
+  Rng rng(7);
+  InterMatchingComponent inter(&store, "inter", kDim, &rng, true);
+  ag::Tensor w_own = store.Register("wo", Matrix::Xavier(kDim, kDim, &rng));
+  ag::Tensor w_other = store.Register("wx", Matrix::Xavier(kDim, kDim, &rng));
+  Matrix input = Matrix::Gaussian(4, kDim, &rng, 0.f, 0.5f);
+  ag::Tensor users{input, true};
+  ag::Tensor other{Matrix::Gaussian(3, kDim, &rng, 0.f, 0.5f), true};
+
+  // Users 0,1 linked; 2,3 not. With an empty other-sample, the only
+  // cross-domain signal is the self message, so unlinked users must see an
+  // identical (user-independent) delta while linked users differ.
+  const std::vector<int> links = {0, 2, -1, -1};
+  ag::Tensor out = inter.Forward(users, other, links, {}, w_own, w_other);
+  auto delta = [&](int r, int c) {
+    return out.value().At(r, c) - 0.f;  // absolute output compared below
+  };
+  (void)delta;
+  // Outputs for users 2 and 3 follow the same linear map of their inputs:
+  // out = tanh-gate(u W_own) + u. Verify by recomputing for user 3 with
+  // user 2's input: swap rows and compare.
+  Matrix swapped = input;
+  for (int c = 0; c < kDim; ++c) {
+    std::swap(swapped.At(2, c), swapped.At(3, c));
+  }
+  ag::Tensor users_swapped{swapped, true};
+  ag::Tensor out_swapped =
+      inter.Forward(users_swapped, other, links, {}, w_own, w_other);
+  for (int c = 0; c < kDim; ++c) {
+    EXPECT_NEAR(out.value().At(2, c), out_swapped.value().At(3, c), 1e-5f);
+    EXPECT_NEAR(out.value().At(3, c), out_swapped.value().At(2, c), 1e-5f);
+  }
+}
+
+TEST(InterMatchingTest, LinkedUserReactsToCounterpart) {
+  ag::ParameterStore store;
+  Rng rng(8);
+  InterMatchingComponent inter(&store, "inter", kDim, &rng, true);
+  ag::Tensor w_own = store.Register("wo", Matrix::Xavier(kDim, kDim, &rng));
+  ag::Tensor w_other = store.Register("wx", Matrix::Xavier(kDim, kDim, &rng));
+  ag::Tensor users{Matrix::Gaussian(2, kDim, &rng, 0.f, 0.5f), true};
+  Matrix other_a = Matrix::Gaussian(2, kDim, &rng, 0.f, 0.5f);
+  Matrix other_b = other_a;
+  for (int c = 0; c < kDim; ++c) other_b.At(0, c) += 1.f;
+
+  const std::vector<int> links = {0, -1};
+  ag::Tensor out_a = inter.Forward(users, ag::Tensor(other_a, true), links,
+                                   {}, w_own, w_other);
+  ag::Tensor out_b = inter.Forward(users, ag::Tensor(other_b, true), links,
+                                   {}, w_own, w_other);
+  // Linked user 0 changes; unlinked user 1 does not.
+  bool user0_changed = false;
+  for (int c = 0; c < kDim; ++c) {
+    if (std::fabs(out_a.value().At(0, c) - out_b.value().At(0, c)) > 1e-6f) {
+      user0_changed = true;
+    }
+    EXPECT_NEAR(out_a.value().At(1, c), out_b.value().At(1, c), 1e-6f);
+  }
+  EXPECT_TRUE(user0_changed);
+}
+
+TEST(ComplementingTest, CandidateListsContainObservedNeighbors) {
+  InteractionGraph graph(3, 10,
+                         {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {1, 1}, {2, 1}});
+  Rng rng(9);
+  auto candidates =
+      BuildComplementCandidates(graph, /*extra=*/4, /*observed_only=*/false,
+                                &rng);
+  ASSERT_EQ(candidates->size(), 3u);
+  for (int u = 0; u < 3; ++u) {
+    const std::vector<int>& list = (*candidates)[u];
+    // Prefix equals the observed neighbours.
+    const std::vector<int>& observed = graph.UserNeighbors(u);
+    ASSERT_GE(list.size(), observed.size());
+    for (size_t i = 0; i < observed.size(); ++i) {
+      EXPECT_EQ(list[i], observed[i]);
+    }
+    // Extras are non-observed and unique.
+    std::set<int> seen;
+    for (size_t i = observed.size(); i < list.size(); ++i) {
+      EXPECT_FALSE(graph.HasInteraction(u, list[i]));
+      EXPECT_TRUE(seen.insert(list[i]).second);
+    }
+  }
+}
+
+TEST(ComplementingTest, ObservedOnlyModeAddsNothing) {
+  InteractionGraph graph(2, 10, {{0, 1}, {1, 2}, {1, 3}});
+  Rng rng(10);
+  auto candidates = BuildComplementCandidates(graph, 5, true, &rng);
+  EXPECT_EQ((*candidates)[0], graph.UserNeighbors(0));
+  EXPECT_EQ((*candidates)[1], graph.UserNeighbors(1));
+}
+
+TEST(ComplementingTest, ForwardChangesUsersWithCandidates) {
+  ag::ParameterStore store;
+  Rng rng(11);
+  ComplementingComponent comp(&store, "comp", kDim, &rng);
+  ag::Tensor users{Matrix::Gaussian(2, kDim, &rng, 0.f, 0.5f), true};
+  ag::Tensor items{Matrix::Gaussian(6, kDim, &rng, 0.f, 0.5f), true};
+  auto candidates = std::make_shared<std::vector<std::vector<int>>>(
+      std::vector<std::vector<int>>{{0, 1, 5}, {}});
+  ag::Tensor out = comp.Forward(users, items, candidates);
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_FALSE(AllClose(out.value(), users.value(), 1e-6f));
+}
+
+TEST(PredictionLayerTest, LogitsShapeAndGradients) {
+  ag::ParameterStore store;
+  Rng rng(12);
+  PredictionLayer pred(&store, "pred", kDim, {16}, &rng);
+  ag::Tensor u = store.Register("u", Matrix::Gaussian(7, kDim, &rng));
+  ag::Tensor v = store.Register("v", Matrix::Gaussian(7, kDim, &rng));
+  ag::Tensor logits = pred.Forward(u, v);
+  EXPECT_EQ(logits.rows(), 7);
+  EXPECT_EQ(logits.cols(), 1);
+  ag::Backward(ag::Sum(logits));
+  EXPECT_GT(u.grad().FrobeniusNorm(), 0.f);
+  EXPECT_GT(v.grad().FrobeniusNorm(), 0.f);
+}
+
+TEST(PredictionLayerTest, MatchingTermFavorsAlignedPairs) {
+  // At init the product path is a plain inner product, so an aligned
+  // (u ~= v) pair must out-score an anti-aligned one on average.
+  ag::ParameterStore store;
+  Rng rng(13);
+  PredictionLayer pred(&store, "pred", kDim, {16}, &rng);
+  Matrix base = Matrix::Gaussian(1, kDim, &rng, 0.f, 1.f);
+  Matrix anti = base;
+  for (int c = 0; c < kDim; ++c) anti.At(0, c) = -anti.At(0, c);
+  ag::Tensor u{base};
+  const float aligned = pred.Forward(u, ag::Tensor(base)).value().At(0, 0);
+  const float opposed = pred.Forward(u, ag::Tensor(anti)).value().At(0, 0);
+  EXPECT_GT(aligned, opposed);
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,84 @@
+#include "train/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/register_all.h"
+#include "tests/test_util.h"
+
+namespace nmcdr {
+namespace {
+
+TEST(ModelRegistryTest, RegisterAllIsIdempotent) {
+  RegisterAllModels();
+  const size_t count = ModelRegistry::Instance().Names().size();
+  RegisterAllModels();  // re-registration replaces, never duplicates
+  EXPECT_EQ(ModelRegistry::Instance().Names().size(), count);
+}
+
+TEST(ModelRegistryTest, NamesPreserveRegistrationOrder) {
+  RegisterAllModels();
+  const std::vector<std::string> names = ModelRegistry::Instance().Names();
+  // The paper-order list is a subset in order (the registry may contain
+  // test stubs registered by other suites).
+  size_t cursor = 0;
+  for (const std::string& expected : PaperModelOrder()) {
+    while (cursor < names.size() && names[cursor] != expected) ++cursor;
+    EXPECT_LT(cursor, names.size()) << "missing " << expected;
+  }
+}
+
+TEST(ModelRegistryTest, ReplacementTakesEffect) {
+  RegisterAllModels();
+  int calls = 0;
+  ModelRegistry::Instance().Register(
+      "StubModel", [&calls](const ScenarioView& view, const CommonHyper&,
+                            float) -> std::unique_ptr<RecModel> {
+        ++calls;
+        return std::make_unique<testing_util::PolicyModel>(
+            "StubModel", [](DomainSide, int, int) { return 0.f; });
+        (void)view;
+      });
+  auto data = testing_util::TinyData();
+  CommonHyper hyper;
+  auto model =
+      ModelRegistry::Instance().Get("StubModel")(data->View(), hyper, 0.f);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(model->name(), "StubModel");
+  // Replace with a different stub.
+  ModelRegistry::Instance().Register(
+      "StubModel", [](const ScenarioView&, const CommonHyper&,
+                      float) -> std::unique_ptr<RecModel> {
+        return std::make_unique<testing_util::PolicyModel>(
+            "StubModel2", [](DomainSide, int, int) { return 1.f; });
+      });
+  auto replaced =
+      ModelRegistry::Instance().Get("StubModel")(data->View(), hyper, 0.f);
+  EXPECT_EQ(replaced->name(), "StubModel2");
+}
+
+TEST(ModelRegistryDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(ModelRegistry::Instance().Get("no-such-model"), "CHECK");
+}
+
+TEST(ScenarioViewTest, AccessorsRouteBySide) {
+  auto data = testing_util::TinyData();
+  const ScenarioView view = data->View();
+  EXPECT_EQ(&view.domain(DomainSide::kZ), &data->scenario().z);
+  EXPECT_EQ(&view.domain(DomainSide::kZbar), &data->scenario().zbar);
+  EXPECT_EQ(&view.train_graph(DomainSide::kZ), &data->train_graph_z());
+  EXPECT_EQ(&view.split(DomainSide::kZbar), &data->split_zbar());
+}
+
+TEST(LabeledBatchTest, SizeAndEmpty) {
+  LabeledBatch batch;
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.size(), 0);
+  batch.users = {1, 2};
+  batch.items = {3, 4};
+  batch.labels = {1.f, 0.f};
+  EXPECT_FALSE(batch.empty());
+  EXPECT_EQ(batch.size(), 2);
+}
+
+}  // namespace
+}  // namespace nmcdr

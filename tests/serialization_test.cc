@@ -1,0 +1,130 @@
+#include "autograd/serialization.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/nmcdr_model.h"
+#include "tests/test_util.h"
+
+namespace nmcdr {
+namespace ag {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripPreservesValues) {
+  ParameterStore store;
+  Rng rng(1);
+  Tensor a = store.Register("a", Matrix::Gaussian(3, 4, &rng));
+  Tensor b = store.Register("b", Matrix::Gaussian(1, 7, &rng));
+  const Matrix a_before = a.value();
+  const Matrix b_before = b.value();
+
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(store, path));
+
+  // Scramble, then load back.
+  a.mutable_value().Fill(0.f);
+  b.mutable_value().Fill(-1.f);
+  ASSERT_TRUE(LoadCheckpoint(path, &store));
+  EXPECT_TRUE(AllClose(a.value(), a_before));
+  EXPECT_TRUE(AllClose(b.value(), b_before));
+}
+
+TEST(SerializationTest, RejectsNameMismatch) {
+  ParameterStore save_store;
+  save_store.Register("x", Matrix(2, 2));
+  const std::string path = TempPath("names.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(save_store, path));
+
+  ParameterStore load_store;
+  load_store.Register("y", Matrix(2, 2));
+  EXPECT_FALSE(LoadCheckpoint(path, &load_store));
+}
+
+TEST(SerializationTest, RejectsShapeMismatch) {
+  ParameterStore save_store;
+  save_store.Register("x", Matrix(2, 2));
+  const std::string path = TempPath("shapes.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(save_store, path));
+
+  ParameterStore load_store;
+  load_store.Register("x", Matrix(2, 3));
+  EXPECT_FALSE(LoadCheckpoint(path, &load_store));
+}
+
+TEST(SerializationTest, RejectsCountMismatch) {
+  ParameterStore save_store;
+  save_store.Register("x", Matrix(1, 1));
+  const std::string path = TempPath("count.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(save_store, path));
+
+  ParameterStore load_store;
+  load_store.Register("x", Matrix(1, 1));
+  load_store.Register("extra", Matrix(1, 1));
+  EXPECT_FALSE(LoadCheckpoint(path, &load_store));
+}
+
+TEST(SerializationTest, RejectsTruncatedFileWithoutPartialLoad) {
+  ParameterStore store;
+  Rng rng(2);
+  Tensor a = store.Register("a", Matrix::Gaussian(4, 4, &rng, 5.f, 0.1f));
+  Tensor b = store.Register("b", Matrix::Gaussian(4, 4, &rng, 5.f, 0.1f));
+  const std::string path = TempPath("truncated.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(store, path));
+
+  // Truncate mid-file.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << contents.substr(0, contents.size() * 2 / 3);
+
+  const Matrix a_before = a.value();
+  EXPECT_FALSE(LoadCheckpoint(path, &store));
+  // Staged loading: nothing mutated on failure.
+  EXPECT_TRUE(AllClose(a.value(), a_before));
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  const std::string path = TempPath("magic.ckpt");
+  std::ofstream(path, std::ios::binary) << "NOTACKPT garbage";
+  ParameterStore store;
+  store.Register("x", Matrix(1, 1));
+  EXPECT_FALSE(LoadCheckpoint(path, &store));
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  ParameterStore store;
+  EXPECT_FALSE(LoadCheckpoint(TempPath("missing.ckpt"), &store));
+}
+
+TEST(SerializationTest, ModelCheckpointReproducesScores) {
+  // Full-model property: save -> perturb -> load must restore exact
+  // scoring behaviour.
+  auto data = testing_util::TinyData();
+  NmcdrConfig config;
+  config.hidden_dim = 8;
+  NmcdrModel model(data->View(), config, 1, 5e-3f);
+  testing_util::TrainLossTrend(&model, *data, 20);
+
+  const std::vector<int> users = {0, 1, 2, 3};
+  const std::vector<int> items = {3, 2, 1, 0};
+  const std::vector<float> before =
+      model.Score(DomainSide::kZ, users, items);
+
+  const std::string path = TempPath("model.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(*model.params(), path));
+  testing_util::TrainLossTrend(&model, *data, 10);  // drift the params
+  ASSERT_TRUE(LoadCheckpoint(path, model.params()));
+  model.InvalidateCaches();
+  EXPECT_EQ(model.Score(DomainSide::kZ, users, items), before);
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace nmcdr

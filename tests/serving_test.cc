@@ -1,0 +1,182 @@
+#include "serving/ab_test.h"
+
+#include <gtest/gtest.h>
+
+namespace nmcdr {
+namespace {
+
+ServingWorld MakeWorld(uint64_t seed = 11) {
+  std::vector<ServingWorld::DomainSpec> specs(3);
+  specs[0].data = {"Loan", 0, 30, 5.0, 0.9};
+  specs[0].target_base_cvr = 0.10;
+  specs[1].data = {"Fund", 0, 20, 3.0, 0.9};
+  specs[1].target_base_cvr = 0.06;
+  specs[2].data = {"Account", 0, 25, 4.0, 0.9};
+  specs[2].target_base_cvr = 0.02;
+  return ServingWorld(specs, /*num_persons=*/400,
+                      /*membership_prob=*/{0.8, 0.3, 0.5},
+                      /*latent_dim=*/6, /*preference_sharpness=*/4.0, seed);
+}
+
+TEST(ServingWorldTest, DomainsPopulated) {
+  ServingWorld world = MakeWorld();
+  ASSERT_EQ(world.num_domains(), 3);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_GT(world.NumUsers(d), 0);
+    EXPECT_FALSE(world.domain(d).interactions.empty());
+  }
+  EXPECT_EQ(world.domain_name(0), "Loan");
+}
+
+TEST(ServingWorldTest, PersonUserMappingIsConsistent) {
+  ServingWorld world = MakeWorld();
+  for (int d = 0; d < 3; ++d) {
+    for (int u = 0; u < world.NumUsers(d); ++u) {
+      const int person = world.PersonOfUser(d, u);
+      EXPECT_EQ(world.UserOfPerson(d, person), u);
+    }
+  }
+}
+
+TEST(ServingWorldTest, EveryPersonJoinsAtLeastOneDomain) {
+  ServingWorld world = MakeWorld();
+  for (int p = 0; p < 400; ++p) {
+    bool member = false;
+    for (int d = 0; d < 3; ++d) {
+      if (world.UserOfPerson(d, p) >= 0) member = true;
+    }
+    EXPECT_TRUE(member) << "person " << p;
+  }
+}
+
+TEST(ServingWorldTest, ConversionProbabilityInUnitInterval) {
+  ServingWorld world = MakeWorld();
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const int d = static_cast<int>(rng.NextUint64(3));
+    const int u = static_cast<int>(rng.NextUint64(world.NumUsers(d)));
+    const int v =
+        static_cast<int>(rng.NextUint64(world.domain(d).num_items));
+    const double p = world.ConversionProbability(d, u, v);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(ServingWorldTest, BaseCvrCalibrationNearTarget) {
+  ServingWorld world = MakeWorld();
+  Rng rng(5);
+  const double targets[3] = {0.10, 0.06, 0.02};
+  for (int d = 0; d < 3; ++d) {
+    double mean = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      const int u = static_cast<int>(rng.NextUint64(world.NumUsers(d)));
+      const int v =
+          static_cast<int>(rng.NextUint64(world.domain(d).num_items));
+      mean += world.ConversionProbability(d, u, v);
+    }
+    mean /= n;
+    EXPECT_NEAR(mean, targets[d], targets[d] * 0.4) << "domain " << d;
+  }
+}
+
+TEST(ServingWorldTest, PairScenarioOverlapsAreCommonPersons) {
+  ServingWorld world = MakeWorld();
+  const CdrScenario pair = world.MakePairScenario(0, 1);
+  pair.CheckConsistency();
+  int expected = 0;
+  for (int p = 0; p < 400; ++p) {
+    if (world.UserOfPerson(0, p) >= 0 && world.UserOfPerson(1, p) >= 0) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(pair.NumOverlapping(), expected);
+  EXPECT_GT(expected, 0);
+}
+
+TEST(ServingWorldTest, ItemPopularitySumsToInteractions) {
+  ServingWorld world = MakeWorld();
+  const std::vector<int> pop = world.ItemPopularity(0);
+  int64_t total = 0;
+  for (int c : pop) total += c;
+  EXPECT_EQ(total, static_cast<int64_t>(world.domain(0).interactions.size()));
+}
+
+TEST(AbTestTest, OracleBeatsRandomRanker) {
+  ServingWorld world = MakeWorld();
+  Ranker oracle = [&world](int d, int user, const std::vector<int>& cands) {
+    std::vector<float> scores(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      scores[i] =
+          static_cast<float>(world.ConversionProbability(d, user, cands[i]));
+    }
+    return scores;
+  };
+  Rng noise(7);
+  Ranker random_ranker = [&noise](int, int, const std::vector<int>& cands) {
+    std::vector<float> scores(cands.size());
+    for (float& s : scores) s = static_cast<float>(noise.UniformDouble());
+    return scores;
+  };
+  AbTestConfig config;
+  config.days = 6;
+  config.impressions_per_day_per_domain = 800;
+  const std::vector<GroupResult> results =
+      RunAbTest(world, {{"oracle", oracle}, {"random", random_ranker}},
+                config);
+  ASSERT_EQ(results.size(), 2u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_GT(results[0].cvr[d], results[1].cvr[d]) << "domain " << d;
+  }
+}
+
+TEST(AbTestTest, TrafficSplitRoughlyEqual) {
+  ServingWorld world = MakeWorld();
+  Ranker any = [](int, int, const std::vector<int>& cands) {
+    return std::vector<float>(cands.size(), 0.f);
+  };
+  AbTestConfig config;
+  config.days = 4;
+  config.impressions_per_day_per_domain = 1000;
+  const auto results = RunAbTest(
+      world, {{"a", any}, {"b", any}, {"c", any}, {"d", any}}, config);
+  int64_t total = 0;
+  for (const GroupResult& r : results) total += r.impressions[0];
+  for (const GroupResult& r : results) {
+    EXPECT_NEAR(static_cast<double>(r.impressions[0]) / total, 0.25, 0.08);
+  }
+}
+
+TEST(AbTestTest, PopularityRankerPrefersPopular) {
+  ServingWorld world = MakeWorld();
+  Ranker pop = PopularityRanker(world);
+  const std::vector<int> popularity = world.ItemPopularity(0);
+  int best = 0, worst = 0;
+  for (size_t v = 1; v < popularity.size(); ++v) {
+    if (popularity[v] > popularity[best]) best = static_cast<int>(v);
+    if (popularity[v] < popularity[worst]) worst = static_cast<int>(v);
+  }
+  const std::vector<float> scores = pop(0, 0, {best, worst});
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(AbTestTest, DeterministicForSeed) {
+  ServingWorld world = MakeWorld();
+  Ranker any = [](int, int, const std::vector<int>& cands) {
+    std::vector<float> s(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      s[i] = static_cast<float>(cands[i] % 7);
+    }
+    return s;
+  };
+  AbTestConfig config;
+  config.days = 2;
+  config.impressions_per_day_per_domain = 300;
+  const auto a = RunAbTest(world, {{"g", any}}, config);
+  const auto b = RunAbTest(world, {{"g", any}}, config);
+  EXPECT_EQ(a[0].cvr, b[0].cvr);
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -1,0 +1,210 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/presets.h"
+#include "graph/interaction_graph.h"
+
+namespace nmcdr {
+namespace {
+
+SyntheticScenarioSpec TestSpec() {
+  SyntheticScenarioSpec spec;
+  spec.name = "test";
+  spec.z = {"A", 120, 50, 6.0, 1.0};
+  spec.zbar = {"B", 90, 40, 4.0, 1.0};
+  spec.num_overlapping = 30;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(SyntheticTest, SizesMatchSpec) {
+  CdrScenario s = GenerateScenario(TestSpec());
+  EXPECT_EQ(s.z.num_users, 120);
+  EXPECT_EQ(s.z.num_items, 50);
+  EXPECT_EQ(s.zbar.num_users, 90);
+  EXPECT_EQ(s.NumOverlapping(), 30);
+  s.CheckConsistency();
+}
+
+TEST(SyntheticTest, OverlappingUsersAreLowIdsInBothDomains) {
+  CdrScenario s = GenerateScenario(TestSpec());
+  for (int u = 0; u < 30; ++u) {
+    EXPECT_EQ(s.z_to_zbar[u], u);
+    EXPECT_EQ(s.zbar_to_z[u], u);
+  }
+  for (int u = 30; u < s.z.num_users; ++u) EXPECT_EQ(s.z_to_zbar[u], -1);
+}
+
+TEST(SyntheticTest, EveryUserHasMinInteractions) {
+  SyntheticScenarioSpec spec = TestSpec();
+  spec.min_interactions = 3;
+  CdrScenario s = GenerateScenario(spec);
+  std::map<int, int> count;
+  for (const Interaction& e : s.z.interactions) ++count[e.user];
+  for (int u = 0; u < s.z.num_users; ++u) {
+    EXPECT_GE(count[u], 3) << "user " << u;
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  CdrScenario a = GenerateScenario(TestSpec());
+  CdrScenario b = GenerateScenario(TestSpec());
+  ASSERT_EQ(a.z.interactions.size(), b.z.interactions.size());
+  EXPECT_TRUE(std::equal(a.z.interactions.begin(), a.z.interactions.end(),
+                         b.z.interactions.begin()));
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticScenarioSpec spec = TestSpec();
+  CdrScenario a = GenerateScenario(spec);
+  spec.seed = 8;
+  CdrScenario b = GenerateScenario(spec);
+  EXPECT_FALSE(a.z.interactions.size() == b.z.interactions.size() &&
+               std::equal(a.z.interactions.begin(), a.z.interactions.end(),
+                          b.z.interactions.begin()));
+}
+
+TEST(SyntheticTest, LongTailExists) {
+  // With heavy-tailed activity there must be both head users (many
+  // interactions) and a majority of tail users.
+  SyntheticScenarioSpec spec = TestSpec();
+  spec.z.num_users = 400;
+  spec.z.mean_extra_interactions = 8.0;
+  CdrScenario s = GenerateScenario(spec);
+  InteractionGraph g(s.z.num_users, s.z.num_items, s.z.interactions);
+  const int heads = static_cast<int>(g.HeadUsers(15).size());
+  const int tails = static_cast<int>(g.TailUsers(15).size());
+  EXPECT_GT(heads, 0);
+  EXPECT_GT(tails, heads);  // tail users are the majority (§I)
+}
+
+TEST(SyntheticTest, ItemPopularityIsSkewed) {
+  CdrScenario s = GenerateScenario(TestSpec());
+  InteractionGraph g(s.z.num_users, s.z.num_items, s.z.interactions);
+  std::vector<int> degrees;
+  for (int v = 0; v < g.num_items(); ++v) degrees.push_back(g.ItemDegree(v));
+  std::sort(degrees.rbegin(), degrees.rend());
+  // Top 20% of items should hold well above 20% of interactions.
+  int64_t top = 0, total = 0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    total += degrees[i];
+    if (i < degrees.size() / 5) top += degrees[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / total, 0.3);
+}
+
+TEST(SyntheticTest, GroundTruthShapes) {
+  SyntheticGroundTruth gt;
+  CdrScenario s = GenerateScenario(TestSpec(), &gt);
+  EXPECT_EQ(gt.z_user_latent.rows(), s.z.num_users);
+  EXPECT_EQ(gt.z_item_latent.rows(), s.z.num_items);
+  EXPECT_EQ(gt.zbar_user_latent.rows(), s.zbar.num_users);
+  EXPECT_EQ(gt.z_user_latent.cols(), 8);
+  // Affinity accessible and finite.
+  EXPECT_TRUE(std::isfinite(gt.AffinityZ(0, 0)));
+  EXPECT_TRUE(std::isfinite(gt.AffinityZbar(0, 0)));
+}
+
+TEST(SyntheticTest, OverlappedUsersShareCrossDomainTaste) {
+  // With high correlation, an overlapped person's Z and Z̄ latents must be
+  // far more aligned than two random users' latents.
+  SyntheticScenarioSpec spec = TestSpec();
+  spec.cross_domain_correlation = 0.9;
+  SyntheticGroundTruth gt;
+  GenerateScenario(spec, &gt);
+  auto dot_rows = [&](const Matrix& a, int ra, const Matrix& b, int rb) {
+    double acc = 0.0;
+    for (int c = 0; c < a.cols(); ++c) {
+      acc += static_cast<double>(a.At(ra, c)) * b.At(rb, c);
+    }
+    return acc;
+  };
+  double linked = 0.0, unlinked = 0.0;
+  for (int u = 0; u < 30; ++u) {
+    linked += dot_rows(gt.z_user_latent, u, gt.zbar_user_latent, u);
+    unlinked += dot_rows(gt.z_user_latent, u + 40, gt.zbar_user_latent, u + 40);
+  }
+  EXPECT_GT(linked, unlinked + 1.0);
+}
+
+TEST(SyntheticTest, ClusteredItemsAreMoreSimilarWithinCluster) {
+  // cluster_noise -> 0 puts items exactly on centroids; verify clustering
+  // tightens item similarity vs the unclustered generator.
+  SyntheticScenarioSpec spec = TestSpec();
+  spec.item_clusters = 4;
+  spec.cluster_noise = 0.1;
+  SyntheticGroundTruth clustered;
+  GenerateScenario(spec, &clustered);
+  spec.item_clusters = 0;
+  SyntheticGroundTruth flat;
+  GenerateScenario(spec, &flat);
+  auto max_abs_cosine = [](const Matrix& items) {
+    double best = -1.0;
+    for (int i = 0; i < std::min(items.rows(), 20); ++i) {
+      for (int j = i + 1; j < std::min(items.rows(), 20); ++j) {
+        double dot = 0, ni = 0, nj = 0;
+        for (int c = 0; c < items.cols(); ++c) {
+          dot += static_cast<double>(items.At(i, c)) * items.At(j, c);
+          ni += static_cast<double>(items.At(i, c)) * items.At(i, c);
+          nj += static_cast<double>(items.At(j, c)) * items.At(j, c);
+        }
+        best = std::max(best, dot / std::sqrt(ni * nj + 1e-12));
+      }
+    }
+    return best;
+  };
+  EXPECT_GT(max_abs_cosine(clustered.z_item_latent), 0.9);
+}
+
+TEST(PresetsTest, ScaleMonotonicity) {
+  for (auto spec_fn : {MusicMovieSpec, ClothSportSpec, PhoneElecSpec,
+                       LoanFundSpec}) {
+    const SyntheticScenarioSpec smoke = spec_fn(BenchScale::kSmoke);
+    const SyntheticScenarioSpec small = spec_fn(BenchScale::kSmall);
+    const SyntheticScenarioSpec full = spec_fn(BenchScale::kFull);
+    EXPECT_LE(smoke.z.num_users, small.z.num_users);
+    EXPECT_LT(small.z.num_users, full.z.num_users);
+    EXPECT_LE(smoke.num_overlapping, small.num_overlapping);
+  }
+}
+
+TEST(PresetsTest, AllScenarioSpecsInPaperOrder) {
+  const auto specs = AllScenarioSpecs(BenchScale::kSmall);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "Music-Movie");
+  EXPECT_EQ(specs[1].name, "Cloth-Sport");
+  EXPECT_EQ(specs[2].name, "Phone-Elec");
+  EXPECT_EQ(specs[3].name, "Loan-Fund");
+}
+
+TEST(PresetsTest, BenchScaleFromEnvParsesValues) {
+  setenv("NMCDR_BENCH_SCALE", "smoke", 1);
+  EXPECT_EQ(BenchScaleFromEnv(), BenchScale::kSmoke);
+  setenv("NMCDR_BENCH_SCALE", "full", 1);
+  EXPECT_EQ(BenchScaleFromEnv(), BenchScale::kFull);
+  setenv("NMCDR_BENCH_SCALE", "garbage", 1);
+  EXPECT_EQ(BenchScaleFromEnv(), BenchScale::kSmall);
+  unsetenv("NMCDR_BENCH_SCALE");
+  EXPECT_EQ(BenchScaleFromEnv(), BenchScale::kSmall);
+}
+
+TEST(PresetsTest, LoanFundPreservesHighItemDegreeRegime) {
+  // The Table V discussion hinges on very high average interactions per
+  // item in the financial scenario relative to the Amazon ones.
+  CdrScenario loan_fund = GenerateScenario(LoanFundSpec(BenchScale::kSmall));
+  CdrScenario phone_elec = GenerateScenario(PhoneElecSpec(BenchScale::kSmall));
+  InteractionGraph loan(loan_fund.z.num_users, loan_fund.z.num_items,
+                        loan_fund.z.interactions);
+  InteractionGraph phone(phone_elec.z.num_users, phone_elec.z.num_items,
+                         phone_elec.z.interactions);
+  EXPECT_GT(loan.AverageItemInteractions(),
+            3.0 * phone.AverageItemInteractions());
+}
+
+}  // namespace
+}  // namespace nmcdr

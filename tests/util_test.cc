@@ -1,0 +1,133 @@
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/csv_writer.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace nmcdr {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsAndCounts) {
+  TablePrinter table;
+  table.SetHeader({"Method", "NDCG"});
+  table.AddRow({"NMCDR", "11.26"});
+  table.AddRow({"LR", "5.25"});
+  EXPECT_EQ(table.NumRows(), 2);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("NMCDR"), std::string::npos);
+  EXPECT_NE(out.find("| Method"), std::string::npos);
+  // All lines same width.
+  std::istringstream iss(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(iss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table;
+  table.SetHeader({"A", "B", "C"});
+  table.AddRow({"x"});
+  EXPECT_NE(table.ToString().find("x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRendered) {
+  TablePrinter table;
+  table.SetHeader({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  // Header sep + top + bottom + middle = 4 separator lines.
+  const std::string out = table.ToString();
+  int seps = 0;
+  std::istringstream iss(out);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (!line.empty() && line[0] == '+') ++seps;
+  }
+  EXPECT_EQ(seps, 4);
+}
+
+TEST(TablePrinterTest, TrailingSeparatorNotDuplicated) {
+  TablePrinter table;
+  table.SetHeader({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();  // trailing: must not double the closing border
+  const std::string out = table.ToString();
+  EXPECT_EQ(out.find("+\n+"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowBeforeHeaderAborts) {
+  TablePrinter table;
+  EXPECT_DEATH(table.AddRow({"x"}), "CHECK");
+}
+
+TEST(FormatFloatTest, Precision) {
+  EXPECT_EQ(FormatFloat(9.2561, 2), "9.26");
+  EXPECT_EQ(FormatFloat(-1.0, 0), "-1");
+  EXPECT_EQ(FormatFloat(0.5, 3), "0.500");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "/test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.WriteRow({"plain", "with,comma", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
+}
+
+TEST(CsvWriterTest, FailsGracefullyOnBadPath) {
+  CsvWriter csv("/nonexistent_dir/x.csv");
+  EXPECT_FALSE(csv.ok());
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  double sink_val = 0;
+  volatile double* sink = &sink_val;
+  for (int i = 0; i < 100000; ++i) *sink = *sink + i;
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedMillis() * 0.5 + 1.0);
+  const double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(LoggingTest, LevelFilteringAndRestore) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  LOG_INFO << "suppressed";   // must not crash
+  LOG_ERROR << "emitted";     // must not crash
+  SetMinLogLevel(original);
+}
+
+TEST(CheckMacrosTest, PassingChecksAreSilent) {
+  NMCDR_CHECK(true);
+  NMCDR_CHECK_EQ(1, 1);
+  NMCDR_CHECK_LT(1, 2);
+  NMCDR_CHECK_GE(2, 2);
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(NMCDR_CHECK(false), "CHECK");
+  EXPECT_DEATH(NMCDR_CHECK_EQ(1, 2), "1 vs. 2");
+}
+
+}  // namespace
+}  // namespace nmcdr
