@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_design.cpp" "bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/nmcdr_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nmcdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/nmcdr_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nmcdr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nmcdr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/nmcdr_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/nmcdr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/nmcdr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nmcdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nmcdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nmcdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nmcdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

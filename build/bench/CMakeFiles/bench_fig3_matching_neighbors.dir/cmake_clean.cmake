@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_matching_neighbors.dir/bench_fig3_matching_neighbors.cpp.o"
+  "CMakeFiles/bench_fig3_matching_neighbors.dir/bench_fig3_matching_neighbors.cpp.o.d"
+  "bench_fig3_matching_neighbors"
+  "bench_fig3_matching_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_matching_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tsne.dir/bench_fig5_tsne.cpp.o"
+  "CMakeFiles/bench_fig5_tsne.dir/bench_fig5_tsne.cpp.o.d"
+  "bench_fig5_tsne"
+  "bench_fig5_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

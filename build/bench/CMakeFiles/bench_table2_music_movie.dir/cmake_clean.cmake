@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_music_movie.dir/bench_table2_music_movie.cpp.o"
+  "CMakeFiles/bench_table2_music_movie.dir/bench_table2_music_movie.cpp.o.d"
+  "bench_table2_music_movie"
+  "bench_table2_music_movie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_music_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

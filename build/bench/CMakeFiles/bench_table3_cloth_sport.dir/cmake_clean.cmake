@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cloth_sport.dir/bench_table3_cloth_sport.cpp.o"
+  "CMakeFiles/bench_table3_cloth_sport.dir/bench_table3_cloth_sport.cpp.o.d"
+  "bench_table3_cloth_sport"
+  "bench_table3_cloth_sport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cloth_sport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_phone_elec.dir/bench_table4_phone_elec.cpp.o"
+  "CMakeFiles/bench_table4_phone_elec.dir/bench_table4_phone_elec.cpp.o.d"
+  "bench_table4_phone_elec"
+  "bench_table4_phone_elec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_phone_elec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

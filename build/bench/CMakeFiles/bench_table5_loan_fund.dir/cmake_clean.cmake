@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_loan_fund.dir/bench_table5_loan_fund.cpp.o"
+  "CMakeFiles/bench_table5_loan_fund.dir/bench_table5_loan_fund.cpp.o.d"
+  "bench_table5_loan_fund"
+  "bench_table5_loan_fund.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_loan_fund.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_online_ab.dir/bench_table8_online_ab.cpp.o"
+  "CMakeFiles/bench_table8_online_ab.dir/bench_table8_online_ab.cpp.o.d"
+  "bench_table8_online_ab"
+  "bench_table8_online_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_online_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/nmcdr_bench_util.dir/bench_util.cc.o.d"
+  "libnmcdr_bench_util.a"
+  "libnmcdr_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

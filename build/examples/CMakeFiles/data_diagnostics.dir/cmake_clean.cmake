@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_diagnostics.dir/data_diagnostics.cpp.o"
+  "CMakeFiles/data_diagnostics.dir/data_diagnostics.cpp.o.d"
+  "data_diagnostics"
+  "data_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_trace.dir/model_trace.cpp.o"
+  "CMakeFiles/model_trace.dir/model_trace.cpp.o.d"
+  "model_trace"
+  "model_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_sweep.dir/overlap_sweep.cpp.o"
+  "CMakeFiles/overlap_sweep.dir/overlap_sweep.cpp.o.d"
+  "overlap_sweep"
+  "overlap_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_user_analysis.dir/tail_user_analysis.cpp.o"
+  "CMakeFiles/tail_user_analysis.dir/tail_user_analysis.cpp.o.d"
+  "tail_user_analysis"
+  "tail_user_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_user_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_analysis.dir/embedding_stats.cc.o"
+  "CMakeFiles/nmcdr_analysis.dir/embedding_stats.cc.o.d"
+  "CMakeFiles/nmcdr_analysis.dir/tsne.cc.o"
+  "CMakeFiles/nmcdr_analysis.dir/tsne.cc.o.d"
+  "libnmcdr_analysis.a"
+  "libnmcdr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

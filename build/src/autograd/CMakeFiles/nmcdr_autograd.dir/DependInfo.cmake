@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/nn.cc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/nn.cc.o" "gcc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/nn.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/ops.cc.o" "gcc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/ops.cc.o.d"
+  "/root/repo/src/autograd/optimizer.cc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/optimizer.cc.o" "gcc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/optimizer.cc.o.d"
+  "/root/repo/src/autograd/serialization.cc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/serialization.cc.o" "gcc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/serialization.cc.o.d"
+  "/root/repo/src/autograd/tensor.cc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/tensor.cc.o" "gcc" "src/autograd/CMakeFiles/nmcdr_autograd.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nmcdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nmcdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_autograd.dir/nn.cc.o"
+  "CMakeFiles/nmcdr_autograd.dir/nn.cc.o.d"
+  "CMakeFiles/nmcdr_autograd.dir/ops.cc.o"
+  "CMakeFiles/nmcdr_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/nmcdr_autograd.dir/optimizer.cc.o"
+  "CMakeFiles/nmcdr_autograd.dir/optimizer.cc.o.d"
+  "CMakeFiles/nmcdr_autograd.dir/serialization.cc.o"
+  "CMakeFiles/nmcdr_autograd.dir/serialization.cc.o.d"
+  "CMakeFiles/nmcdr_autograd.dir/tensor.cc.o"
+  "CMakeFiles/nmcdr_autograd.dir/tensor.cc.o.d"
+  "libnmcdr_autograd.a"
+  "libnmcdr_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

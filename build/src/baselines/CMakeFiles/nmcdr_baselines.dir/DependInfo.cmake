@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/cross_domain.cc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/cross_domain.cc.o" "gcc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/cross_domain.cc.o.d"
+  "/root/repo/src/baselines/multi_task.cc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/multi_task.cc.o" "gcc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/multi_task.cc.o.d"
+  "/root/repo/src/baselines/partial_overlap.cc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/partial_overlap.cc.o" "gcc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/partial_overlap.cc.o.d"
+  "/root/repo/src/baselines/register_all.cc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/register_all.cc.o" "gcc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/register_all.cc.o.d"
+  "/root/repo/src/baselines/single_domain.cc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/single_domain.cc.o" "gcc" "src/baselines/CMakeFiles/nmcdr_baselines.dir/single_domain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nmcdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/nmcdr_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/nmcdr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nmcdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/nmcdr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nmcdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nmcdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nmcdr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

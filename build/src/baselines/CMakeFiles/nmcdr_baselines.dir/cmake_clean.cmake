@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_baselines.dir/common.cc.o"
+  "CMakeFiles/nmcdr_baselines.dir/common.cc.o.d"
+  "CMakeFiles/nmcdr_baselines.dir/cross_domain.cc.o"
+  "CMakeFiles/nmcdr_baselines.dir/cross_domain.cc.o.d"
+  "CMakeFiles/nmcdr_baselines.dir/multi_task.cc.o"
+  "CMakeFiles/nmcdr_baselines.dir/multi_task.cc.o.d"
+  "CMakeFiles/nmcdr_baselines.dir/partial_overlap.cc.o"
+  "CMakeFiles/nmcdr_baselines.dir/partial_overlap.cc.o.d"
+  "CMakeFiles/nmcdr_baselines.dir/register_all.cc.o"
+  "CMakeFiles/nmcdr_baselines.dir/register_all.cc.o.d"
+  "CMakeFiles/nmcdr_baselines.dir/single_domain.cc.o"
+  "CMakeFiles/nmcdr_baselines.dir/single_domain.cc.o.d"
+  "libnmcdr_baselines.a"
+  "libnmcdr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/complementing.cc" "src/core/CMakeFiles/nmcdr_core.dir/complementing.cc.o" "gcc" "src/core/CMakeFiles/nmcdr_core.dir/complementing.cc.o.d"
+  "/root/repo/src/core/hetero_encoder.cc" "src/core/CMakeFiles/nmcdr_core.dir/hetero_encoder.cc.o" "gcc" "src/core/CMakeFiles/nmcdr_core.dir/hetero_encoder.cc.o.d"
+  "/root/repo/src/core/inter_matching.cc" "src/core/CMakeFiles/nmcdr_core.dir/inter_matching.cc.o" "gcc" "src/core/CMakeFiles/nmcdr_core.dir/inter_matching.cc.o.d"
+  "/root/repo/src/core/intra_matching.cc" "src/core/CMakeFiles/nmcdr_core.dir/intra_matching.cc.o" "gcc" "src/core/CMakeFiles/nmcdr_core.dir/intra_matching.cc.o.d"
+  "/root/repo/src/core/multi_domain_nmcdr.cc" "src/core/CMakeFiles/nmcdr_core.dir/multi_domain_nmcdr.cc.o" "gcc" "src/core/CMakeFiles/nmcdr_core.dir/multi_domain_nmcdr.cc.o.d"
+  "/root/repo/src/core/nmcdr_model.cc" "src/core/CMakeFiles/nmcdr_core.dir/nmcdr_model.cc.o" "gcc" "src/core/CMakeFiles/nmcdr_core.dir/nmcdr_model.cc.o.d"
+  "/root/repo/src/core/prediction.cc" "src/core/CMakeFiles/nmcdr_core.dir/prediction.cc.o" "gcc" "src/core/CMakeFiles/nmcdr_core.dir/prediction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/nmcdr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nmcdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nmcdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nmcdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nmcdr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_core.dir/complementing.cc.o"
+  "CMakeFiles/nmcdr_core.dir/complementing.cc.o.d"
+  "CMakeFiles/nmcdr_core.dir/hetero_encoder.cc.o"
+  "CMakeFiles/nmcdr_core.dir/hetero_encoder.cc.o.d"
+  "CMakeFiles/nmcdr_core.dir/inter_matching.cc.o"
+  "CMakeFiles/nmcdr_core.dir/inter_matching.cc.o.d"
+  "CMakeFiles/nmcdr_core.dir/intra_matching.cc.o"
+  "CMakeFiles/nmcdr_core.dir/intra_matching.cc.o.d"
+  "CMakeFiles/nmcdr_core.dir/multi_domain_nmcdr.cc.o"
+  "CMakeFiles/nmcdr_core.dir/multi_domain_nmcdr.cc.o.d"
+  "CMakeFiles/nmcdr_core.dir/nmcdr_model.cc.o"
+  "CMakeFiles/nmcdr_core.dir/nmcdr_model.cc.o.d"
+  "CMakeFiles/nmcdr_core.dir/prediction.cc.o"
+  "CMakeFiles/nmcdr_core.dir/prediction.cc.o.d"
+  "libnmcdr_core.a"
+  "libnmcdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

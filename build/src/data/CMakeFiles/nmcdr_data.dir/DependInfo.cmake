@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/nmcdr_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/nmcdr_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/importer.cc" "src/data/CMakeFiles/nmcdr_data.dir/importer.cc.o" "gcc" "src/data/CMakeFiles/nmcdr_data.dir/importer.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/data/CMakeFiles/nmcdr_data.dir/loader.cc.o" "gcc" "src/data/CMakeFiles/nmcdr_data.dir/loader.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/data/CMakeFiles/nmcdr_data.dir/presets.cc.o" "gcc" "src/data/CMakeFiles/nmcdr_data.dir/presets.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/nmcdr_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/nmcdr_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nmcdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nmcdr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nmcdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

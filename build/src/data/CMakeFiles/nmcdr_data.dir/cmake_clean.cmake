@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_data.dir/dataset.cc.o"
+  "CMakeFiles/nmcdr_data.dir/dataset.cc.o.d"
+  "CMakeFiles/nmcdr_data.dir/importer.cc.o"
+  "CMakeFiles/nmcdr_data.dir/importer.cc.o.d"
+  "CMakeFiles/nmcdr_data.dir/loader.cc.o"
+  "CMakeFiles/nmcdr_data.dir/loader.cc.o.d"
+  "CMakeFiles/nmcdr_data.dir/presets.cc.o"
+  "CMakeFiles/nmcdr_data.dir/presets.cc.o.d"
+  "CMakeFiles/nmcdr_data.dir/synthetic.cc.o"
+  "CMakeFiles/nmcdr_data.dir/synthetic.cc.o.d"
+  "libnmcdr_data.a"
+  "libnmcdr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_eval.dir/evaluator.cc.o"
+  "CMakeFiles/nmcdr_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/nmcdr_eval.dir/metrics.cc.o"
+  "CMakeFiles/nmcdr_eval.dir/metrics.cc.o.d"
+  "libnmcdr_eval.a"
+  "libnmcdr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_graph.dir/interaction_graph.cc.o"
+  "CMakeFiles/nmcdr_graph.dir/interaction_graph.cc.o.d"
+  "CMakeFiles/nmcdr_graph.dir/sampling.cc.o"
+  "CMakeFiles/nmcdr_graph.dir/sampling.cc.o.d"
+  "libnmcdr_graph.a"
+  "libnmcdr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnmcdr_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_serving.dir/ab_test.cc.o"
+  "CMakeFiles/nmcdr_serving.dir/ab_test.cc.o.d"
+  "libnmcdr_serving.a"
+  "libnmcdr_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

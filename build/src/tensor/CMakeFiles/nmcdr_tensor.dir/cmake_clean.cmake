@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_tensor.dir/matrix.cc.o"
+  "CMakeFiles/nmcdr_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/nmcdr_tensor.dir/matrix_ops.cc.o"
+  "CMakeFiles/nmcdr_tensor.dir/matrix_ops.cc.o.d"
+  "CMakeFiles/nmcdr_tensor.dir/rng.cc.o"
+  "CMakeFiles/nmcdr_tensor.dir/rng.cc.o.d"
+  "libnmcdr_tensor.a"
+  "libnmcdr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnmcdr_tensor.a"
+)

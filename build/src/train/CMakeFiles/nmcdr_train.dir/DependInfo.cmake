@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/experiment.cc" "src/train/CMakeFiles/nmcdr_train.dir/experiment.cc.o" "gcc" "src/train/CMakeFiles/nmcdr_train.dir/experiment.cc.o.d"
+  "/root/repo/src/train/multi_seed.cc" "src/train/CMakeFiles/nmcdr_train.dir/multi_seed.cc.o" "gcc" "src/train/CMakeFiles/nmcdr_train.dir/multi_seed.cc.o.d"
+  "/root/repo/src/train/registry.cc" "src/train/CMakeFiles/nmcdr_train.dir/registry.cc.o" "gcc" "src/train/CMakeFiles/nmcdr_train.dir/registry.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/nmcdr_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/nmcdr_train.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nmcdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/nmcdr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nmcdr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nmcdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/nmcdr_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nmcdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nmcdr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_train.dir/experiment.cc.o"
+  "CMakeFiles/nmcdr_train.dir/experiment.cc.o.d"
+  "CMakeFiles/nmcdr_train.dir/multi_seed.cc.o"
+  "CMakeFiles/nmcdr_train.dir/multi_seed.cc.o.d"
+  "CMakeFiles/nmcdr_train.dir/registry.cc.o"
+  "CMakeFiles/nmcdr_train.dir/registry.cc.o.d"
+  "CMakeFiles/nmcdr_train.dir/trainer.cc.o"
+  "CMakeFiles/nmcdr_train.dir/trainer.cc.o.d"
+  "libnmcdr_train.a"
+  "libnmcdr_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

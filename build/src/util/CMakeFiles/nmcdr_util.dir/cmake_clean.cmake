@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_util.dir/csv_writer.cc.o"
+  "CMakeFiles/nmcdr_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/nmcdr_util.dir/flags.cc.o"
+  "CMakeFiles/nmcdr_util.dir/flags.cc.o.d"
+  "CMakeFiles/nmcdr_util.dir/logging.cc.o"
+  "CMakeFiles/nmcdr_util.dir/logging.cc.o.d"
+  "CMakeFiles/nmcdr_util.dir/table_printer.cc.o"
+  "CMakeFiles/nmcdr_util.dir/table_printer.cc.o.d"
+  "libnmcdr_util.a"
+  "libnmcdr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/importer_test.dir/importer_test.cc.o"
+  "CMakeFiles/importer_test.dir/importer_test.cc.o.d"
+  "importer_test"
+  "importer_test.pdb"
+  "importer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/importer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

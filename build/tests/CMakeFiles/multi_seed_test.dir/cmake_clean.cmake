@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_seed_test.dir/multi_seed_test.cc.o"
+  "CMakeFiles/multi_seed_test.dir/multi_seed_test.cc.o.d"
+  "multi_seed_test"
+  "multi_seed_test.pdb"
+  "multi_seed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_seed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_components_test.dir/nmcdr_components_test.cc.o"
+  "CMakeFiles/nmcdr_components_test.dir/nmcdr_components_test.cc.o.d"
+  "nmcdr_components_test"
+  "nmcdr_components_test.pdb"
+  "nmcdr_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

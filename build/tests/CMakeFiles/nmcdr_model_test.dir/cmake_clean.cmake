@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_model_test.dir/nmcdr_model_test.cc.o"
+  "CMakeFiles/nmcdr_model_test.dir/nmcdr_model_test.cc.o.d"
+  "nmcdr_model_test"
+  "nmcdr_model_test.pdb"
+  "nmcdr_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmcdr_cli.dir/nmcdr_cli.cpp.o"
+  "CMakeFiles/nmcdr_cli.dir/nmcdr_cli.cpp.o.d"
+  "nmcdr_cli"
+  "nmcdr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmcdr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
