@@ -17,6 +17,20 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# In smoke mode, additionally exercise the concurrent serving runtime
+# under ThreadSanitizer (separate instrumented build tree). Skipped when
+# the toolchain has no TSan runtime.
+if [ "$SCALE" = "smoke" ]; then
+  if echo 'int main(){return 0;}' \
+      | c++ -fsanitize=thread -x c++ - -o build/tsan_probe 2>/dev/null; then
+    cmake -B build-tsan -G Ninja -DNMCDR_SANITIZE=thread
+    cmake --build build-tsan --target serving_engine_test
+    ./build-tsan/tests/serving_engine_test
+  else
+    echo "no TSan runtime available; skipping sanitized serving tests"
+  fi
+fi
+
 mkdir -p "results/$SCALE"
 {
   for b in build/bench/*; do

@@ -97,6 +97,7 @@ class Mlp {
   /// Access to individual layers (e.g. for the Eq. 31 stability bound).
   int num_layers() const { return static_cast<int>(layers_.size()); }
   const Linear& layer(int i) const { return layers_[i]; }
+  Activation hidden_activation() const { return hidden_act_; }
 
  private:
   std::vector<Linear> layers_;

@@ -1,8 +1,9 @@
 #include "autograd/serialization.h"
 
-#include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
 
 #include "util/logging.h"
 
@@ -12,16 +13,67 @@ namespace {
 
 constexpr char kMagic[8] = {'N', 'M', 'C', 'D', 'R', 'C', 'K', '1'};
 
-void WriteU32(std::ofstream& out, uint32_t v) {
+/// Dimension cap for ReadMatrix/ReadIntVector: corrupt streams must fail
+/// fast instead of attempting multi-gigabyte allocations.
+constexpr uint32_t kMaxDim = 1u << 24;
+
+}  // namespace
+
+void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* v) {
+bool ReadU32(std::istream& in, uint32_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return in.good();
 }
 
-}  // namespace
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& in, std::string* s, uint32_t max_len) {
+  uint32_t len = 0;
+  if (!ReadU32(in, &len) || len > max_len) return false;
+  s->assign(len, '\0');
+  in.read(s->data(), len);
+  return in.good() || len == 0;
+}
+
+void WriteMatrix(std::ostream& out, const Matrix& m) {
+  WriteU32(out, static_cast<uint32_t>(m.rows()));
+  WriteU32(out, static_cast<uint32_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(sizeof(float) * m.size()));
+}
+
+bool ReadMatrix(std::istream& in, Matrix* m) {
+  uint32_t rows = 0, cols = 0;
+  if (!ReadU32(in, &rows) || !ReadU32(in, &cols)) return false;
+  if (rows > kMaxDim || cols > kMaxDim) return false;
+  Matrix value(static_cast<int>(rows), static_cast<int>(cols));
+  in.read(reinterpret_cast<char*>(value.data()),
+          static_cast<std::streamsize>(sizeof(float) * value.size()));
+  if (!in.good() && value.size() > 0) return false;
+  *m = std::move(value);
+  return true;
+}
+
+void WriteIntVector(std::ostream& out, const std::vector<int>& v) {
+  WriteU32(out, static_cast<uint32_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(sizeof(int32_t) * v.size()));
+}
+
+bool ReadIntVector(std::istream& in, std::vector<int>* v) {
+  uint32_t count = 0;
+  if (!ReadU32(in, &count) || count > kMaxDim) return false;
+  v->assign(count, 0);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(sizeof(int32_t) * count));
+  return in.good() || count == 0;
+}
 
 bool SaveCheckpoint(const ParameterStore& store, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
@@ -32,14 +84,8 @@ bool SaveCheckpoint(const ParameterStore& store, const std::string& path) {
   out.write(kMagic, sizeof(kMagic));
   WriteU32(out, static_cast<uint32_t>(store.params().size()));
   for (size_t i = 0; i < store.params().size(); ++i) {
-    const std::string& name = store.names()[i];
-    const Matrix& value = store.params()[i].value();
-    WriteU32(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    WriteU32(out, static_cast<uint32_t>(value.rows()));
-    WriteU32(out, static_cast<uint32_t>(value.cols()));
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(sizeof(float) * value.size()));
+    WriteString(out, store.names()[i]);
+    WriteMatrix(out, store.params()[i].value());
   }
   if (!out.good()) {
     LOG_ERROR << "SaveCheckpoint: write failure for " << path;
@@ -71,15 +117,8 @@ bool LoadCheckpoint(const std::string& path, ParameterStore* store) {
   std::vector<Matrix> staged;
   staged.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadU32(in, &name_len) || name_len > 4096) {
-      LOG_ERROR << "LoadCheckpoint: bad name length in " << path;
-      return false;
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    uint32_t rows = 0, cols = 0;
-    if (!in.good() || !ReadU32(in, &rows) || !ReadU32(in, &cols)) {
+    std::string name;
+    if (!ReadString(in, &name)) {
       LOG_ERROR << "LoadCheckpoint: truncated header in " << path;
       return false;
     }
@@ -89,17 +128,13 @@ bool LoadCheckpoint(const std::string& path, ParameterStore* store) {
                 << store->names()[i] << "'";
       return false;
     }
-    const Matrix& current = store->params()[i].value();
-    if (static_cast<int>(rows) != current.rows() ||
-        static_cast<int>(cols) != current.cols()) {
-      LOG_ERROR << "LoadCheckpoint: shape mismatch for '" << name << "'";
+    Matrix value;
+    if (!ReadMatrix(in, &value)) {
+      LOG_ERROR << "LoadCheckpoint: truncated data in " << path;
       return false;
     }
-    Matrix value(static_cast<int>(rows), static_cast<int>(cols));
-    in.read(reinterpret_cast<char*>(value.data()),
-            static_cast<std::streamsize>(sizeof(float) * value.size()));
-    if (!in.good()) {
-      LOG_ERROR << "LoadCheckpoint: truncated data in " << path;
+    if (!value.SameShape(store->params()[i].value())) {
+      LOG_ERROR << "LoadCheckpoint: shape mismatch for '" << name << "'";
       return false;
     }
     staged.push_back(std::move(value));

@@ -1,7 +1,10 @@
 #ifndef NMCDR_AUTOGRAD_SERIALIZATION_H_
 #define NMCDR_AUTOGRAD_SERIALIZATION_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "autograd/nn.h"
 
@@ -22,6 +25,28 @@ bool SaveCheckpoint(const ParameterStore& store, const std::string& path);
 /// logs the mismatch) if the file is unreadable, truncated, or its
 /// parameter names/shapes do not match the store.
 bool LoadCheckpoint(const std::string& path, ParameterStore* store);
+
+/// Low-level record primitives shared by the checkpoint format above and
+/// the serving snapshot format (src/serving/model_snapshot): raw
+/// little-endian u32 fields, length-prefixed strings, shape-prefixed
+/// float payloads, and count-prefixed int32 vectors. Every Read* returns
+/// false on a truncated or malformed stream without consuming past the
+/// bad record.
+void WriteU32(std::ostream& out, uint32_t v);
+bool ReadU32(std::istream& in, uint32_t* v);
+
+/// Strings are length-prefixed; ReadString rejects lengths > `max_len`
+/// (corrupt streams must not trigger huge allocations).
+void WriteString(std::ostream& out, const std::string& s);
+bool ReadString(std::istream& in, std::string* s, uint32_t max_len = 4096);
+
+/// Matrices are (rows, cols, row-major float payload).
+void WriteMatrix(std::ostream& out, const Matrix& m);
+bool ReadMatrix(std::istream& in, Matrix* m);
+
+/// Int vectors are (count, raw int32 payload).
+void WriteIntVector(std::ostream& out, const std::vector<int>& v);
+bool ReadIntVector(std::istream& in, std::vector<int>* v);
 
 }  // namespace ag
 }  // namespace nmcdr

@@ -286,4 +286,15 @@ std::vector<float> MultiDomainNmcdrModel::Score(
   return out;
 }
 
+bool MultiDomainNmcdrModel::FreezeDomain(int domain, FrozenDomainState* out) {
+  NMCDR_CHECK_GE(domain, 0);
+  NMCDR_CHECK_LT(domain, num_domains());
+  RefreshEvalReps();
+  const DomainState& dom = domains_[domain];
+  out->user_reps = cached_reps_[domain];
+  out->item_reps = dom.item_emb.value();
+  out->head = dom.prediction->Freeze();
+  return true;
+}
+
 }  // namespace nmcdr

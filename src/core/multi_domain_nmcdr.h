@@ -67,6 +67,10 @@ class MultiDomainNmcdrModel {
   /// parameter mutation).
   void InvalidateCaches() { reps_dirty_ = true; }
 
+  /// Freezes domain `d` into an autograd-free serving state (the same
+  /// contract as RecModel::FreezeDomain: bit-equal to Score()).
+  bool FreezeDomain(int domain, FrozenDomainState* out);
+
  private:
   struct DomainState {
     ag::Tensor user_emb;

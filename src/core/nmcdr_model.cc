@@ -260,6 +260,15 @@ std::vector<float> NmcdrModel::Score(DomainSide side,
   return out;
 }
 
+bool NmcdrModel::FreezeDomain(DomainSide side, FrozenDomainState* out) {
+  RefreshEvalReps();
+  const DomainState& dom = side == DomainSide::kZ ? z_ : zbar_;
+  out->user_reps = side == DomainSide::kZ ? cached_g4_z_ : cached_g4_zbar_;
+  out->item_reps = dom.item_emb.value();
+  out->head = dom.prediction->Freeze();
+  return true;
+}
+
 NmcdrModel::StageReps NmcdrModel::ComputeStageReps(DomainSide side) {
   ag::NoGradGuard no_grad;
   Rng fixed_rng(20230101);

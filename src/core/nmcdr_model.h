@@ -34,6 +34,7 @@ class NmcdrModel : public RecModel {
                            const std::vector<int>& items) override;
   ag::ParameterStore* params() override { return &store_; }
   void InvalidateCaches() override { reps_dirty_ = true; }
+  bool FreezeDomain(DomainSide side, FrozenDomainState* out) override;
 
   /// User representations after each module, for the Fig. 5 analysis:
   /// g0 = embedding table, g1 = graph encoder, g2 = intra matching,

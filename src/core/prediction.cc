@@ -1,5 +1,8 @@
 #include "core/prediction.h"
 
+#include "tensor/matrix_ops.h"
+#include "util/check.h"
+
 namespace nmcdr {
 namespace {
 
@@ -11,7 +14,47 @@ std::vector<int> MlpDims(int dim, const std::vector<int>& hidden) {
   return dims;
 }
 
+Matrix ApplyActivation(const Matrix& x, ag::Activation act) {
+  switch (act) {
+    case ag::Activation::kNone:
+      return x;
+    case ag::Activation::kRelu:
+      return Relu(x);
+    case ag::Activation::kSigmoid:
+      return Sigmoid(x);
+    case ag::Activation::kTanh:
+      return Tanh(x);
+  }
+  NMCDR_CHECK(false);
+  return x;
+}
+
 }  // namespace
+
+Matrix FrozenPredictionHead::Forward(const Matrix& user_rows,
+                                     const Matrix& item_rows) const {
+  NMCDR_CHECK_EQ(user_rows.rows(), item_rows.rows());
+  NMCDR_CHECK_EQ(user_rows.cols(), dim());
+  NMCDR_CHECK_EQ(item_rows.cols(), dim());
+  // First layer: the user half accumulates first, the item half second —
+  // the same fused-add sequence as MatMul([u||v], W0).
+  Matrix h0 = MatMul(user_rows, w0_user);
+  MatMulAccumInto(item_rows, w0_item, &h0);
+  const Matrix gmf_dot = MatMul(Hadamard(user_rows, item_rows), gmf_w);
+  return ForwardFromHidden(std::move(h0), gmf_dot);
+}
+
+Matrix FrozenPredictionHead::ForwardFromHidden(Matrix h0,
+                                               const Matrix& gmf_dot) const {
+  NMCDR_CHECK_EQ(h0.cols(), b0.cols());
+  NMCDR_CHECK_EQ(w.size(), b.size());
+  Matrix h = AddRowBroadcast(h0, b0);
+  for (size_t i = 0; i < w.size(); ++i) {
+    h = ApplyActivation(h, hidden_act);
+    h = AddRowBroadcast(MatMul(h, w[i]), b[i]);
+  }
+  return Add(h, AddRowBroadcast(gmf_dot, gmf_b));
+}
 
 PredictionLayer::PredictionLayer(ag::ParameterStore* store,
                                  const std::string& name, int dim,
@@ -27,6 +70,30 @@ ag::Tensor PredictionLayer::Forward(const ag::Tensor& user_rows,
                                     const ag::Tensor& item_rows) const {
   return ag::Add(mlp_.Forward(ag::ConcatCols(user_rows, item_rows)),
                  gmf_.Forward(ag::Hadamard(user_rows, item_rows)));
+}
+
+FrozenPredictionHead PredictionLayer::Freeze() const {
+  FrozenPredictionHead head;
+  const int dim = gmf_.in_features();
+  const Matrix& w0 = mlp_.layer(0).weight().value();
+  NMCDR_CHECK_EQ(w0.rows(), 2 * dim);
+  head.w0_user = Matrix(dim, w0.cols());
+  head.w0_item = Matrix(dim, w0.cols());
+  for (int r = 0; r < dim; ++r) {
+    for (int c = 0; c < w0.cols(); ++c) {
+      head.w0_user.At(r, c) = w0.At(r, c);
+      head.w0_item.At(r, c) = w0.At(dim + r, c);
+    }
+  }
+  head.b0 = mlp_.layer(0).bias().value();
+  for (int l = 1; l < mlp_.num_layers(); ++l) {
+    head.w.push_back(mlp_.layer(l).weight().value());
+    head.b.push_back(mlp_.layer(l).bias().value());
+  }
+  head.hidden_act = mlp_.hidden_activation();
+  head.gmf_w = gmf_.weight().value();
+  head.gmf_b = gmf_.bias().value();
+  return head;
 }
 
 float PredictionLayer::FirstLayerSpectralNorm() const {

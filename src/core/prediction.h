@@ -8,6 +8,38 @@
 
 namespace nmcdr {
 
+/// Autograd-free frozen copy of a PredictionLayer, the scoring head the
+/// serving layer (src/serving) evaluates against snapshot tables. The
+/// first MLP layer is pre-split at the [u || v] concatenation boundary so
+/// engines can score candidate blocks without materializing the
+/// concatenation; because the dense MatMul kernel accumulates into the
+/// output in k-order, summing the user half first and the item half on
+/// top reproduces the trainer path bit-for-bit.
+struct FrozenPredictionHead {
+  Matrix w0_user;  // rows 0..D-1 of the first MLP weight, [D, H]
+  Matrix w0_item;  // rows D..2D-1, [D, H]
+  Matrix b0;       // [1, H]
+  /// Remaining MLP layers (weight, bias) past the first.
+  std::vector<Matrix> w;
+  std::vector<Matrix> b;
+  ag::Activation hidden_act = ag::Activation::kRelu;
+  Matrix gmf_w;  // [D, 1], the weighted-product term of Eq. 20
+  Matrix gmf_b;  // [1, 1]
+
+  int dim() const { return w0_user.rows(); }
+  bool empty() const { return w0_user.empty(); }
+
+  /// [B,D] user rows x [B,D] item rows -> [B,1] logits, bit-equal to
+  /// PredictionLayer::Forward on the same rows.
+  Matrix Forward(const Matrix& user_rows, const Matrix& item_rows) const;
+
+  /// Finishes the forward pass from a first-layer pre-activation `h0`
+  /// [B,H] (user+item partial sums, bias NOT yet added) and the per-row
+  /// weighted products `gmf_dot` [B,1] (= (u (.) v) . gmf_w, bias NOT yet
+  /// added). Split out so engines can precompute either input per block.
+  Matrix ForwardFromHidden(Matrix h0, const Matrix& gmf_dot) const;
+};
+
 /// Prediction layer (§II.F, Eq. 20): stacked MLPs over [u || v] plus an
 /// explicit weighted inner-product (matching) term,
 /// logit = MLP([u||v]) + w . (u ⊙ v).
@@ -23,6 +55,10 @@ class PredictionLayer {
   /// `user_rows` and `item_rows` are [B,D] each; returns [B,1] logits.
   ag::Tensor Forward(const ag::Tensor& user_rows,
                      const ag::Tensor& item_rows) const;
+
+  /// Copies the current weights into an autograd-free head whose Forward
+  /// is bit-equal to this layer's.
+  FrozenPredictionHead Freeze() const;
 
   /// Spectral norm of the first MLP transform (W_a^3 of Eq. 31).
   float FirstLayerSpectralNorm() const;

@@ -1,0 +1,24 @@
+#include "core/rec_model.h"
+
+#include "tensor/matrix_ops.h"
+#include "util/check.h"
+
+namespace nmcdr {
+
+std::vector<float> FrozenDomainState::Score(
+    const std::vector<int>& users, const std::vector<int>& items) const {
+  NMCDR_CHECK_EQ(users.size(), items.size());
+  // Mirrors the trainer path exactly: gather rows, then the frozen head —
+  // the same kernel sequence the autograd forward runs, so logits are
+  // bit-equal.
+  const Matrix user_rows = GatherRows(user_reps, users);
+  const Matrix item_rows = GatherRows(item_reps, items);
+  const Matrix logits = head.Forward(user_rows, item_rows);
+  std::vector<float> out(users.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.At(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+}  // namespace nmcdr

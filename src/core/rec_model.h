@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "autograd/nn.h"
+#include "core/prediction.h"
 #include "data/dataset.h"
 #include "graph/interaction_graph.h"
 
@@ -46,6 +47,27 @@ struct ScenarioView {
   }
 };
 
+/// One domain of a model frozen for online serving: the final user
+/// representations Score() ranks with, the item embedding table, and the
+/// frozen prediction head — plain matrices, no autograd graph. The
+/// serving layer (src/serving) snapshots, persists, and concurrently
+/// scores against this state.
+struct FrozenDomainState {
+  Matrix user_reps;  // [num_users, D]
+  Matrix item_reps;  // [num_items, D]
+  FrozenPredictionHead head;
+
+  int num_users() const { return user_reps.rows(); }
+  int num_items() const { return item_reps.rows(); }
+  int dim() const { return user_reps.cols(); }
+
+  /// Const, autograd-free counterpart of RecModel::Score: returns
+  /// bit-equal logits for the same (user, item) pairs. Safe to call
+  /// concurrently.
+  std::vector<float> Score(const std::vector<int>& users,
+                           const std::vector<int>& items) const;
+};
+
 /// Common interface of NMCDR and every baseline. A model is trained by
 /// repeated TrainStep calls (one mini-batch per domain) and evaluated via
 /// Score, which must not record autograd history or mutate parameters.
@@ -75,6 +97,17 @@ class RecModel {
   /// trainer restoring a best-validation checkpoint); models that cache
   /// full-graph representations must drop them here.
   virtual void InvalidateCaches() {}
+
+  /// Freezes one domain into an autograd-free FrozenDomainState — the
+  /// serving snapshot path. Implementations may refresh internal
+  /// evaluation caches, but scoring behaviour must be unchanged
+  /// afterwards and the frozen state must reproduce Score() bit-exactly.
+  /// Returns false when the model has no frozen representation (default).
+  virtual bool FreezeDomain(DomainSide side, FrozenDomainState* out) {
+    (void)side;
+    (void)out;
+    return false;
+  }
 
   /// Total scalar parameter count (the §III.B.6 efficiency statistic).
   int64_t ParameterCount() { return params()->ParameterCount(); }

@@ -1,0 +1,152 @@
+#include "serving/inference_server.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace nmcdr {
+
+double ServerStats::MeanLatencyMs() const {
+  return requests_served > 0 ? total_latency_ms / requests_served : 0.0;
+}
+
+double ServerStats::MeanBatchSize() const {
+  return batches > 0 ? static_cast<double>(requests_served) / batches : 0.0;
+}
+
+double ServerStats::ThroughputPerSec() const {
+  return wall_seconds > 0.0 ? requests_served / wall_seconds : 0.0;
+}
+
+std::string ServerStats::ToString() const {
+  std::ostringstream out;
+  out << "serving stats:\n"
+      << "  requests submitted : " << requests_submitted << "\n"
+      << "  requests served    : " << requests_served << "\n"
+      << "  cold-start served  : " << cold_start_served << "\n"
+      << "  batches            : " << batches << " (mean size "
+      << MeanBatchSize() << ", max " << max_batch_size << ")\n"
+      << "  max queue depth    : " << max_queue_depth << "\n"
+      << "  latency            : mean " << MeanLatencyMs() << " ms, max "
+      << max_latency_ms << " ms\n"
+      << "  throughput         : " << ThroughputPerSec() << " req/s over "
+      << wall_seconds << " s\n";
+  return out.str();
+}
+
+InferenceServer::InferenceServer(const ScoreEngine* engine, Options options)
+    : engine_(engine), options_(options) {
+  NMCDR_CHECK(engine != nullptr);
+  NMCDR_CHECK_GT(options_.num_threads, 0);
+  NMCDR_CHECK_GT(options_.max_batch, 0);
+  workers_.reserve(options_.num_threads);
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+std::future<Recommendation> InferenceServer::Submit(RecRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<Recommendation> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      pending.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("InferenceServer is stopped")));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    ++stats_.requests_submitted;
+    stats_.max_queue_depth = std::max(
+        stats_.max_queue_depth, static_cast<int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Recommendation InferenceServer::Recommend(int domain, int user, int k) {
+  RecRequest request;
+  request.target_domain = domain;
+  request.user_domain = domain;
+  request.user = user;
+  request.k = k;
+  return Submit(std::move(request)).get();
+}
+
+void InferenceServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void InferenceServer::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      const int count = static_cast<int>(std::min<size_t>(
+          options_.max_batch, queue_.size()));
+      batch.reserve(count);
+      for (int i = 0; i < count; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    // Another worker may be waiting on remaining queued requests.
+    cv_.notify_one();
+
+    std::vector<RecRequest> requests;
+    requests.reserve(batch.size());
+    for (const Pending& pending : batch) requests.push_back(pending.request);
+    const std::vector<Recommendation> results = engine_->TopKBatch(requests);
+
+    const auto now = std::chrono::steady_clock::now();
+    int64_t cold = 0;
+    double latency_sum_ms = 0.0, latency_max_ms = 0.0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(now - batch[i].enqueued)
+              .count();
+      latency_sum_ms += ms;
+      latency_max_ms = std::max(latency_max_ms, ms);
+      if (results[i].cold_start) ++cold;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+      stats_.requests_served += static_cast<int64_t>(batch.size());
+      stats_.cold_start_served += cold;
+      stats_.max_batch_size = std::max(stats_.max_batch_size,
+                                       static_cast<int64_t>(batch.size()));
+      stats_.total_latency_ms += latency_sum_ms;
+      stats_.max_latency_ms = std::max(stats_.max_latency_ms, latency_max_ms);
+    }
+    // Fulfil promises after bookkeeping so stats() observed by a woken
+    // caller already include its own request.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(results[i]);
+    }
+  }
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats copy = stats_;
+  copy.wall_seconds = uptime_.ElapsedSeconds();
+  return copy;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,104 @@
+#ifndef NMCDR_SERVING_INFERENCE_SERVER_H_
+#define NMCDR_SERVING_INFERENCE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/score_engine.h"
+#include "util/stopwatch.h"
+
+namespace nmcdr {
+
+/// Aggregate serving counters, copied atomically by
+/// InferenceServer::stats(). Latencies are measured enqueue-to-response.
+struct ServerStats {
+  int64_t requests_submitted = 0;
+  int64_t requests_served = 0;
+  int64_t cold_start_served = 0;
+  int64_t batches = 0;
+  int64_t max_queue_depth = 0;
+  int64_t max_batch_size = 0;
+  double total_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  /// Seconds since the server started (filled when stats() is taken).
+  double wall_seconds = 0.0;
+
+  double MeanLatencyMs() const;
+  double MeanBatchSize() const;
+  /// Served requests per wall-clock second since start.
+  double ThroughputPerSec() const;
+
+  /// Human-readable one-per-line dump for demos and logs.
+  std::string ToString() const;
+};
+
+/// Concurrent top-K serving runtime over a ScoreEngine: a fixed pool of
+/// worker threads drains a shared request queue, taking up to
+/// `max_batch` queued requests per wake-up (batching amortizes queue and
+/// wake-up overhead under load; under light load a request is picked up
+/// alone and immediately). Results are delivered through futures; the
+/// engine itself is const and lock-free, so workers score in parallel.
+class InferenceServer {
+ public:
+  struct Options {
+    int num_threads = 2;
+    /// Requests drained per worker wake-up.
+    int max_batch = 8;
+  };
+
+  /// `engine` must outlive the server. Workers start immediately.
+  InferenceServer(const ScoreEngine* engine, Options options);
+  explicit InferenceServer(const ScoreEngine* engine)
+      : InferenceServer(engine, Options()) {}
+
+  /// Stops and joins the workers (serving every queued request first).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues a request; the future resolves once a worker serves it.
+  /// Cross-domain requests (user_domain != target_domain) route through
+  /// the snapshot's person links, falling back to the cold-start path.
+  std::future<Recommendation> Submit(RecRequest request);
+
+  /// Blocking same-domain convenience wrapper around Submit.
+  Recommendation Recommend(int domain, int user, int k);
+
+  /// Serves every queued request, then stops the workers. Idempotent;
+  /// Submit after Stop fails the returned future.
+  void Stop();
+
+  /// Consistent snapshot of the counters.
+  ServerStats stats() const;
+
+ private:
+  struct Pending {
+    RecRequest request;
+    std::promise<Recommendation> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+
+  const ScoreEngine* engine_;
+  Options options_;
+  Stopwatch uptime_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;     // guarded by mu_
+  bool stopping_ = false;         // guarded by mu_
+  ServerStats stats_;             // guarded by mu_; wall filled on read
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_INFERENCE_SERVER_H_

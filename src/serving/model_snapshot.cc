@@ -1,0 +1,260 @@
+#include "serving/model_snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "autograd/serialization.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace nmcdr {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'M', 'C', 'D', 'R', 'S', 'V', '1'};
+
+bool MatricesEqual(const Matrix& a, const Matrix& b) {
+  if (!a.SameShape(b)) return false;
+  return std::memcmp(a.data(), b.data(), sizeof(float) * a.size()) == 0;
+}
+
+void WriteHead(std::ostream& out, const FrozenPredictionHead& head) {
+  ag::WriteMatrix(out, head.w0_user);
+  ag::WriteMatrix(out, head.w0_item);
+  ag::WriteMatrix(out, head.b0);
+  ag::WriteU32(out, static_cast<uint32_t>(head.w.size()));
+  for (size_t i = 0; i < head.w.size(); ++i) {
+    ag::WriteMatrix(out, head.w[i]);
+    ag::WriteMatrix(out, head.b[i]);
+  }
+  ag::WriteU32(out, static_cast<uint32_t>(head.hidden_act));
+  ag::WriteMatrix(out, head.gmf_w);
+  ag::WriteMatrix(out, head.gmf_b);
+}
+
+bool ReadHead(std::istream& in, FrozenPredictionHead* head) {
+  if (!ag::ReadMatrix(in, &head->w0_user) ||
+      !ag::ReadMatrix(in, &head->w0_item) ||
+      !ag::ReadMatrix(in, &head->b0)) {
+    return false;
+  }
+  uint32_t layers = 0;
+  if (!ag::ReadU32(in, &layers) || layers > 64) return false;
+  head->w.assign(layers, Matrix());
+  head->b.assign(layers, Matrix());
+  for (uint32_t i = 0; i < layers; ++i) {
+    if (!ag::ReadMatrix(in, &head->w[i]) || !ag::ReadMatrix(in, &head->b[i])) {
+      return false;
+    }
+  }
+  uint32_t act = 0;
+  if (!ag::ReadU32(in, &act) ||
+      act > static_cast<uint32_t>(ag::Activation::kTanh)) {
+    return false;
+  }
+  head->hidden_act = static_cast<ag::Activation>(act);
+  return ag::ReadMatrix(in, &head->gmf_w) && ag::ReadMatrix(in, &head->gmf_b);
+}
+
+bool HeadsEqual(const FrozenPredictionHead& a, const FrozenPredictionHead& b) {
+  if (a.w.size() != b.w.size() || a.hidden_act != b.hidden_act) return false;
+  if (!MatricesEqual(a.w0_user, b.w0_user) ||
+      !MatricesEqual(a.w0_item, b.w0_item) || !MatricesEqual(a.b0, b.b0) ||
+      !MatricesEqual(a.gmf_w, b.gmf_w) || !MatricesEqual(a.gmf_b, b.gmf_b)) {
+    return false;
+  }
+  for (size_t i = 0; i < a.w.size(); ++i) {
+    if (!MatricesEqual(a.w[i], b.w[i]) || !MatricesEqual(a.b[i], b.b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Validates the invariants Load relies on; freezing paths construct them
+/// by design.
+bool DomainConsistent(const SnapshotDomain& dom, int num_persons) {
+  if (dom.frozen.user_reps.cols() != dom.frozen.item_reps.cols()) return false;
+  if (dom.frozen.head.dim() != dom.frozen.dim()) return false;
+  if (static_cast<int>(dom.user_to_person.size()) != dom.num_users()) {
+    return false;
+  }
+  if (static_cast<int>(dom.person_to_user.size()) != num_persons) return false;
+  for (int u = 0; u < dom.num_users(); ++u) {
+    const int p = dom.user_to_person[u];
+    if (p < -1 || p >= num_persons) return false;
+  }
+  for (int p = 0; p < num_persons; ++p) {
+    const int u = dom.person_to_user[p];
+    if (u < -1 || u >= dom.num_users()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ModelSnapshot::FreezePair(RecModel* model, const CdrScenario& scenario,
+                               ModelSnapshot* out) {
+  SnapshotDomain z, zbar;
+  if (!model->FreezeDomain(DomainSide::kZ, &z.frozen) ||
+      !model->FreezeDomain(DomainSide::kZbar, &zbar.frozen)) {
+    LOG_ERROR << "ModelSnapshot: model '" << model->name()
+              << "' does not support freezing";
+    return false;
+  }
+  z.name = scenario.z.name;
+  zbar.name = scenario.zbar.name;
+  NMCDR_CHECK_EQ(z.frozen.num_users(), scenario.z.num_users);
+  NMCDR_CHECK_EQ(zbar.frozen.num_users(), scenario.zbar.num_users);
+
+  const int nz = scenario.z.num_users;
+  const int nzbar = scenario.zbar.num_users;
+  out->num_persons_ = nz + nzbar;
+  z.user_to_person.assign(nz, -1);
+  zbar.user_to_person.assign(nzbar, -1);
+  z.person_to_user.assign(out->num_persons_, -1);
+  zbar.person_to_user.assign(out->num_persons_, -1);
+  for (int u = 0; u < nz; ++u) {
+    z.user_to_person[u] = u;
+    z.person_to_user[u] = u;
+  }
+  for (int v = 0; v < nzbar; ++v) {
+    const int linked = scenario.zbar_to_z[v];
+    const int person = linked >= 0 ? linked : nz + v;
+    zbar.user_to_person[v] = person;
+    zbar.person_to_user[person] = v;
+  }
+  out->domains_.clear();
+  out->domains_.push_back(std::move(z));
+  out->domains_.push_back(std::move(zbar));
+  return true;
+}
+
+bool ModelSnapshot::FreezeMultiDomain(MultiDomainNmcdrModel* model,
+                                      const MultiDomainView& view,
+                                      ModelSnapshot* out) {
+  NMCDR_CHECK_EQ(model->num_domains(), view.num_domains());
+  out->domains_.clear();
+  out->num_persons_ = view.num_persons;
+  for (int d = 0; d < view.num_domains(); ++d) {
+    SnapshotDomain dom;
+    if (!model->FreezeDomain(d, &dom.frozen)) return false;
+    dom.name = view.domains[d]->name;
+    dom.user_to_person = view.user_to_person[d];
+    dom.person_to_user.assign(view.num_persons, -1);
+    for (int u = 0; u < dom.num_users(); ++u) {
+      if (dom.user_to_person[u] >= 0) {
+        dom.person_to_user[dom.user_to_person[u]] = u;
+      }
+    }
+    out->domains_.push_back(std::move(dom));
+  }
+  return true;
+}
+
+int ModelSnapshot::UserOfPerson(int d, int person) const {
+  NMCDR_CHECK_GE(d, 0);
+  NMCDR_CHECK_LT(d, num_domains());
+  if (person < 0 || person >= num_persons_) return -1;
+  return domains_[d].person_to_user[person];
+}
+
+int ModelSnapshot::ResolveUser(int user_domain, int user,
+                               int target_domain) const {
+  NMCDR_CHECK_GE(user_domain, 0);
+  NMCDR_CHECK_LT(user_domain, num_domains());
+  NMCDR_CHECK_GE(user, 0);
+  NMCDR_CHECK_LT(user, domains_[user_domain].num_users());
+  if (user_domain == target_domain) return user;
+  return UserOfPerson(target_domain,
+                      domains_[user_domain].user_to_person[user]);
+}
+
+bool ModelSnapshot::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    LOG_ERROR << "ModelSnapshot::Save: cannot open " << path;
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  ag::WriteU32(out, static_cast<uint32_t>(domains_.size()));
+  ag::WriteU32(out, static_cast<uint32_t>(num_persons_));
+  for (const SnapshotDomain& dom : domains_) {
+    ag::WriteString(out, dom.name);
+    ag::WriteMatrix(out, dom.frozen.user_reps);
+    ag::WriteMatrix(out, dom.frozen.item_reps);
+    WriteHead(out, dom.frozen.head);
+    ag::WriteIntVector(out, dom.user_to_person);
+    ag::WriteIntVector(out, dom.person_to_user);
+  }
+  if (!out.good()) {
+    LOG_ERROR << "ModelSnapshot::Save: write failure for " << path;
+    return false;
+  }
+  return true;
+}
+
+bool ModelSnapshot::Load(const std::string& path, ModelSnapshot* snapshot) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LOG_ERROR << "ModelSnapshot::Load: cannot open " << path;
+    return false;
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    LOG_ERROR << "ModelSnapshot::Load: bad magic in " << path;
+    return false;
+  }
+  uint32_t num_domains = 0, num_persons = 0;
+  if (!ag::ReadU32(in, &num_domains) || num_domains > 256 ||
+      !ag::ReadU32(in, &num_persons)) {
+    LOG_ERROR << "ModelSnapshot::Load: bad header in " << path;
+    return false;
+  }
+  ModelSnapshot staged;
+  staged.num_persons_ = static_cast<int>(num_persons);
+  for (uint32_t d = 0; d < num_domains; ++d) {
+    SnapshotDomain dom;
+    if (!ag::ReadString(in, &dom.name) ||
+        !ag::ReadMatrix(in, &dom.frozen.user_reps) ||
+        !ag::ReadMatrix(in, &dom.frozen.item_reps) ||
+        !ReadHead(in, &dom.frozen.head) ||
+        !ag::ReadIntVector(in, &dom.user_to_person) ||
+        !ag::ReadIntVector(in, &dom.person_to_user)) {
+      LOG_ERROR << "ModelSnapshot::Load: truncated domain " << d << " in "
+                << path;
+      return false;
+    }
+    if (!DomainConsistent(dom, staged.num_persons_)) {
+      LOG_ERROR << "ModelSnapshot::Load: inconsistent domain '" << dom.name
+                << "' in " << path;
+      return false;
+    }
+    staged.domains_.push_back(std::move(dom));
+  }
+  *snapshot = std::move(staged);
+  return true;
+}
+
+bool ModelSnapshot::Equals(const ModelSnapshot& other) const {
+  if (num_domains() != other.num_domains() ||
+      num_persons_ != other.num_persons_) {
+    return false;
+  }
+  for (int d = 0; d < num_domains(); ++d) {
+    const SnapshotDomain& a = domains_[d];
+    const SnapshotDomain& b = other.domains_[d];
+    if (a.name != b.name || a.user_to_person != b.user_to_person ||
+        a.person_to_user != b.person_to_user) {
+      return false;
+    }
+    if (!MatricesEqual(a.frozen.user_reps, b.frozen.user_reps) ||
+        !MatricesEqual(a.frozen.item_reps, b.frozen.item_reps) ||
+        !HeadsEqual(a.frozen.head, b.frozen.head)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,82 @@
+#ifndef NMCDR_SERVING_MODEL_SNAPSHOT_H_
+#define NMCDR_SERVING_MODEL_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/multi_domain_nmcdr.h"
+#include "core/rec_model.h"
+
+namespace nmcdr {
+
+/// One domain of a frozen serving snapshot: the autograd-free scoring
+/// state plus the person links used for cross-domain (cold-start)
+/// request routing.
+struct SnapshotDomain {
+  std::string name;
+  FrozenDomainState frozen;
+  /// user_to_person[u] = shared person id of local user u, or -1 when the
+  /// identity link is hidden; person_to_user is the inverse (or -1).
+  std::vector<int> user_to_person;
+  std::vector<int> person_to_user;
+
+  int num_users() const { return frozen.num_users(); }
+  int num_items() const { return frozen.num_items(); }
+};
+
+/// A trained model frozen into plain embedding tables and prediction-head
+/// weights — the unit the online inference engine serves from. The
+/// industrial pattern (the paper's MYbank deployment, and the
+/// matching-stage serving of Xie et al.): training recomputes
+/// representations through the full graph pipeline; serving looks them up
+/// and only evaluates the tiny prediction head per candidate. Snapshots
+/// round-trip through disk (Save/Load) via the checkpoint record
+/// primitives of src/autograd/serialization.
+class ModelSnapshot {
+ public:
+  ModelSnapshot() = default;
+
+  /// Freezes a trained two-domain model. Persons are the union of the
+  /// scenario's users with VISIBLE overlap pairs collapsed (domain-Z user
+  /// u is person u; a linked Z̄ user shares it; an unlinked Z̄ user v is
+  /// person |U_Z| + v). Returns false when the model does not support
+  /// freezing (RecModel::FreezeDomain default).
+  static bool FreezePair(RecModel* model, const CdrScenario& scenario,
+                         ModelSnapshot* out);
+
+  /// Freezes a jointly trained K-domain model together with its person
+  /// mapping.
+  static bool FreezeMultiDomain(MultiDomainNmcdrModel* model,
+                                const MultiDomainView& view,
+                                ModelSnapshot* out);
+
+  int num_domains() const { return static_cast<int>(domains_.size()); }
+  int num_persons() const { return num_persons_; }
+  const SnapshotDomain& domain(int d) const { return domains_[d]; }
+
+  /// Local user id of `person` in domain `d`, or -1.
+  int UserOfPerson(int d, int person) const;
+
+  /// Resolves a user known as local id `user` of `user_domain` into a
+  /// local id of `target_domain` through the person links; -1 when the
+  /// identity is unknown there (the cold-start case).
+  int ResolveUser(int user_domain, int user, int target_domain) const;
+
+  /// Writes the snapshot to `path`. Returns false (and logs) on failure.
+  bool Save(const std::string& path) const;
+
+  /// Reads a snapshot written by Save. Returns false (and logs) if the
+  /// file is unreadable, truncated, or structurally inconsistent.
+  static bool Load(const std::string& path, ModelSnapshot* snapshot);
+
+  /// Exact structural and bitwise value equality (round-trip checks).
+  bool Equals(const ModelSnapshot& other) const;
+
+ private:
+  std::vector<SnapshotDomain> domains_;
+  int num_persons_ = 0;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_MODEL_SNAPSHOT_H_

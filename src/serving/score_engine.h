@@ -1,0 +1,133 @@
+#ifndef NMCDR_SERVING_SCORE_ENGINE_H_
+#define NMCDR_SERVING_SCORE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "serving/model_snapshot.h"
+
+namespace nmcdr {
+
+/// A top-K retrieval request: recommend `k` items of `target_domain` for
+/// the user known as local id `user` in `user_domain`. When the user has
+/// no identity link into the target domain, the engine serves the
+/// cross-domain cold-start path: the user's home-domain representation is
+/// scored through the target domain's head and item table — the paper's
+/// core promise, usable because inter-domain node matching aligns the
+/// representation spaces.
+struct RecRequest {
+  int target_domain = 0;
+  int user_domain = 0;
+  int user = 0;
+  int k = 10;
+  /// Target-domain items to exclude (already seen or impressed).
+  std::vector<int> exclude;
+};
+
+/// Ranked retrieval result, best first.
+struct Recommendation {
+  std::vector<int> items;
+  std::vector<float> scores;
+  /// True when served via the cross-domain cold-start path.
+  bool cold_start = false;
+};
+
+/// The ranking order shared by the engine's heap and any brute-force
+/// reference: higher score first, smaller item id on ties. A total order,
+/// so top-K selection agrees exactly with a full sort.
+inline bool RanksBefore(float score_a, int item_a, float score_b,
+                        int item_b) {
+  if (score_a != score_b) return score_a > score_b;
+  return item_a < item_b;
+}
+
+/// Autograd-free batched scorer over a frozen ModelSnapshot: dense GEMMs
+/// over candidate blocks plus heap-based top-K retrieval. All methods are
+/// const and safe to call concurrently (counters are atomic); the
+/// snapshot must outlive the engine.
+class ScoreEngine {
+ public:
+  /// kExact replays the trainer's kernel sequence bit-for-bit, so scores
+  /// equal RecModel::Score to the last ulp. kFast additionally
+  /// precomputes the item-side first-layer partial sums per domain at
+  /// construction; per pair only the tiny head tail remains, at the cost
+  /// of scores differing from the trainer path by first-layer summation
+  /// rounding (rankings agree except on sub-ulp near-ties).
+  enum class Mode { kExact, kFast };
+
+  struct Options {
+    Mode mode = Mode::kFast;
+    /// Items scored per dense block during full-catalog retrieval.
+    int item_block = 256;
+  };
+
+  ScoreEngine(const ModelSnapshot* snapshot, Options options);
+  explicit ScoreEngine(const ModelSnapshot* snapshot)
+      : ScoreEngine(snapshot, Options()) {}
+
+  const ModelSnapshot& snapshot() const { return *snapshot_; }
+  Mode mode() const { return options_.mode; }
+
+  /// Scores an explicit candidate list of `target_domain` for the user
+  /// known in `user_domain`; `cold_start` (optional) reports whether the
+  /// cross-domain path served the request.
+  std::vector<float> ScoreCandidates(int target_domain, int user_domain,
+                                     int user,
+                                     const std::vector<int>& candidates,
+                                     bool* cold_start = nullptr) const;
+
+  /// Same-domain convenience overload.
+  std::vector<float> ScoreCandidates(int domain, int user,
+                                     const std::vector<int>& candidates) const;
+
+  /// Full-catalog top-K retrieval with the request's exclusion set.
+  Recommendation TopK(const RecRequest& request) const;
+
+  /// Serves a batch of requests (the InferenceServer drains its queue
+  /// into this). Results are positionally aligned with `requests` and
+  /// identical to calling TopK per request.
+  std::vector<Recommendation> TopKBatch(
+      const std::vector<RecRequest>& requests) const;
+
+  /// Monotonic usage counters (atomics snapshot).
+  struct Counters {
+    int64_t requests = 0;
+    int64_t pairs_scored = 0;
+    int64_t cold_start_requests = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct ResolvedUser {
+    const float* row = nullptr;  // user representation, dim() floats
+    bool cold_start = false;
+  };
+
+  ResolvedUser Resolve(int target_domain, int user_domain, int user) const;
+
+  /// Scores items `ids[0..n)` of `target_domain` for the user row `u`
+  /// into `out[0..n)`: blocked GEMMs of options_.item_block in kExact,
+  /// the fused allocation-free path in kFast.
+  void ScoreIds(int target_domain, const float* u, const int* ids, int n,
+                float* out) const;
+
+  /// kFast inner loop: fused head evaluation from the precomputed item
+  /// partials, no per-pair heap allocation.
+  void FastScoreIds(int target_domain, const float* u, const float* u_first,
+                    const int* ids, int n, float* out) const;
+
+  const ModelSnapshot* snapshot_;
+  Options options_;
+  /// kFast only: per domain, item-side first-layer partials
+  /// item_reps * w0_item, [num_items, H].
+  std::vector<Matrix> item_first_;
+
+  mutable std::atomic<int64_t> requests_{0};
+  mutable std::atomic<int64_t> pairs_scored_{0};
+  mutable std::atomic<int64_t> cold_start_requests_{0};
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_SCORE_ENGINE_H_

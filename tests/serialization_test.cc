@@ -1,6 +1,7 @@
 #include "autograd/serialization.h"
 
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -101,6 +102,39 @@ TEST(SerializationTest, RejectsBadMagic) {
 TEST(SerializationTest, MissingFileFails) {
   ParameterStore store;
   EXPECT_FALSE(LoadCheckpoint(TempPath("missing.ckpt"), &store));
+}
+
+TEST(SerializationTest, PrimitivesRoundTripThroughStream) {
+  Rng rng(3);
+  const Matrix m = Matrix::Gaussian(5, 3, &rng);
+  const std::vector<int> ids = {0, -1, 42, 7};
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  WriteU32(stream, 123456u);
+  WriteString(stream, "domain/Loan");
+  WriteMatrix(stream, m);
+  WriteIntVector(stream, ids);
+
+  uint32_t value = 0;
+  std::string name;
+  Matrix m_back;
+  std::vector<int> ids_back;
+  ASSERT_TRUE(ReadU32(stream, &value));
+  ASSERT_TRUE(ReadString(stream, &name));
+  ASSERT_TRUE(ReadMatrix(stream, &m_back));
+  ASSERT_TRUE(ReadIntVector(stream, &ids_back));
+  EXPECT_EQ(value, 123456u);
+  EXPECT_EQ(name, "domain/Loan");
+  EXPECT_TRUE(AllClose(m_back, m, 0.f));
+  EXPECT_EQ(ids_back, ids);
+  // Stream exhausted: further reads fail cleanly.
+  EXPECT_FALSE(ReadU32(stream, &value));
+}
+
+TEST(SerializationTest, PrimitivesRejectOversizedRecords) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  WriteU32(stream, 1u << 30);  // absurd string length
+  std::string name;
+  EXPECT_FALSE(ReadString(stream, &name));
 }
 
 TEST(SerializationTest, ModelCheckpointReproducesScores) {
