@@ -20,6 +20,8 @@ struct EfficiencyContext {
   static EfficiencyContext& Get() {
     static EfficiencyContext* ctx = [] {
       RegisterAllModels();
+      // NMCDR_LINT_ALLOW(naked-new): intentional leaky singleton shared
+      // across benchmark registrations.
       auto* c = new EfficiencyContext();
       const BenchScale scale = BenchScaleFromEnv();
       Rng rng(91);

@@ -17,15 +17,29 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# In smoke mode, additionally exercise the concurrent serving runtime
-# under ThreadSanitizer (separate instrumented build tree). Skipped when
-# the toolchain has no TSan runtime.
+# In smoke mode, additionally run the sanitizer matrix (separate
+# instrumented build trees): the full suite under ASan+UBSan, and the
+# concurrent serving runtime under TSan. Each leg is skipped when the
+# toolchain lacks the runtime.
+sanitizer_available() {
+  echo 'int main(){return 0;}' \
+    | c++ "-fsanitize=$1" -x c++ - -o "build/sanitize_probe_${1//,/_}" \
+        2>/dev/null
+}
+
 if [ "$SCALE" = "smoke" ]; then
-  if echo 'int main(){return 0;}' \
-      | c++ -fsanitize=thread -x c++ - -o build/tsan_probe 2>/dev/null; then
+  if sanitizer_available address,undefined; then
+    cmake -B build-asan -G Ninja -DNMCDR_SANITIZE=address,undefined
+    cmake --build build-asan
+    ctest --test-dir build-asan --output-on-failure
+  else
+    echo "no ASan/UBSan runtime available; skipping sanitized suite"
+  fi
+  if sanitizer_available thread; then
     cmake -B build-tsan -G Ninja -DNMCDR_SANITIZE=thread
-    cmake --build build-tsan --target serving_engine_test
+    cmake --build build-tsan --target serving_engine_test serving_test
     ./build-tsan/tests/serving_engine_test
+    ./build-tsan/tests/serving_test
   else
     echo "no TSan runtime available; skipping sanitized serving tests"
   fi

@@ -1,0 +1,124 @@
+#include "autograd/debug.h"
+
+#include <atomic>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace ag {
+
+namespace {
+
+constexpr bool kDefaultOn =
+#ifdef NMCDR_DEBUG_CHECKS
+    true;
+#else
+    false;
+#endif
+
+std::atomic<bool>& TapeValidationFlag() {
+  static std::atomic<bool> enabled{kDefaultOn};
+  return enabled;
+}
+
+std::atomic<bool>& NanGuardFlag() {
+  static std::atomic<bool> enabled{kDefaultOn};
+  return enabled;
+}
+
+NanTraceScope*& ActiveScope() {
+  thread_local NanTraceScope* scope = nullptr;
+  return scope;
+}
+
+}  // namespace
+
+bool SetTapeValidation(bool enabled) {
+  return TapeValidationFlag().exchange(enabled, std::memory_order_relaxed);
+}
+
+bool TapeValidationEnabled() {
+  return TapeValidationFlag().load(std::memory_order_relaxed);
+}
+
+bool SetNanGuard(bool enabled) {
+  return NanGuardFlag().exchange(enabled, std::memory_order_relaxed);
+}
+
+bool NanGuardEnabled() {
+  return NanGuardFlag().load(std::memory_order_relaxed);
+}
+
+std::string NanTraceEvent::ToString() const {
+  if (!found) return "no non-finite op output observed";
+  std::ostringstream oss;
+  oss << op << " produced " << bad_value << " at [" << bad_row << ","
+      << bad_col << "] of output [" << rows << "," << cols << "]";
+  if (!input_shapes.empty()) oss << "; inputs: " << input_shapes;
+  return oss.str();
+}
+
+NanTraceScope::NanTraceScope() : previous_(ActiveScope()) {
+  ActiveScope() = this;
+}
+
+NanTraceScope::~NanTraceScope() { ActiveScope() = previous_; }
+
+/// Out-of-line friend giving the tracer hook write access to the scope.
+struct NanTraceAccess {
+  static NanTraceEvent* MutableEvent(NanTraceScope* scope) {
+    return &scope->event_;
+  }
+};
+
+namespace internal_debug {
+
+void TraceOpOutput(const char* op, const Matrix& out,
+                   const std::vector<Tensor>& parents) {
+  NanTraceScope* scope = ActiveScope();
+  const bool guard = NanGuardEnabled();
+  if (scope == nullptr && !guard) return;
+  // Only the first (origin) event per scope is interesting; everything
+  // downstream is propagation.
+  if (scope != nullptr && scope->found()) return;
+
+  const NonFiniteEntry bad = FindFirstNonFinite(out);
+  if (!bad.found) return;
+
+  std::ostringstream inputs;
+  bool parents_finite = true;
+  for (size_t i = 0; i < parents.size(); ++i) {
+    const Matrix& v = parents[i].value();
+    const bool finite = AllFinite(v);
+    parents_finite = parents_finite && finite;
+    if (i > 0) inputs << " ";
+    inputs << "[" << v.rows() << "," << v.cols() << "]";
+    if (!finite) inputs << "(non-finite)";
+  }
+  // A non-finite input means this op merely propagated the poison; the
+  // origin was (or will be) reported where it first appeared.
+  if (!parents_finite) return;
+
+  NanTraceEvent event;
+  event.found = true;
+  event.op = op != nullptr ? op : "leaf";
+  event.rows = out.rows();
+  event.cols = out.cols();
+  event.bad_row = bad.row;
+  event.bad_col = bad.col;
+  event.bad_value = bad.value;
+  event.input_shapes = inputs.str();
+
+  if (scope != nullptr) {
+    *NanTraceAccess::MutableEvent(scope) = std::move(event);
+    return;
+  }
+  internal_check::CheckFail("autograd/debug.cc", 0, "NAN_GUARD",
+                            "first non-finite op output: " + event.ToString());
+}
+
+}  // namespace internal_debug
+
+}  // namespace ag
+}  // namespace nmcdr

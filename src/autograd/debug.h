@@ -1,0 +1,89 @@
+#ifndef NMCDR_AUTOGRAD_DEBUG_H_
+#define NMCDR_AUTOGRAD_DEBUG_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/tensor.h"
+#include "tensor/finite.h"
+
+namespace nmcdr {
+namespace ag {
+
+/// Debug invariant layer for the autograd engine. Two facilities:
+///
+///  1. Tape validation (see tape_validator.h) — catches use-after-Backward,
+///     double-backward, and parent-graph cycles.
+///  2. NaN/Inf propagation tracing — pins the *first* op whose output
+///     contains a non-finite value while all of its inputs were finite,
+///     with full shape provenance, instead of letting the NaN surface
+///     twenty ops later in a loss.
+///
+/// Both are runtime-toggleable so tests can exercise them in any build;
+/// compiling with -DNMCDR_DEBUG_CHECKS=1 (cmake -DNMCDR_DEBUG_CHECKS=ON)
+/// only flips the defaults to on.
+
+/// Globally enables/disables tape validation. Default: on iff the build
+/// defines NMCDR_DEBUG_CHECKS. Returns the previous value.
+bool SetTapeValidation(bool enabled);
+bool TapeValidationEnabled();
+
+/// Globally enables/disables the hard NaN guard: with it on and no
+/// NanTraceScope active on the thread, the first op producing a non-finite
+/// output from finite inputs aborts with provenance. Default: on iff the
+/// build defines NMCDR_DEBUG_CHECKS. Returns the previous value.
+bool SetNanGuard(bool enabled);
+bool NanGuardEnabled();
+
+/// What the tracer recorded about the first non-finite-producing op.
+struct NanTraceEvent {
+  bool found = false;
+  /// Name of the op ("Exp", "MatMul", ...; "leaf" for leaf construction).
+  std::string op;
+  /// Output shape and the first offending entry within it.
+  int rows = 0;
+  int cols = 0;
+  int bad_row = 0;
+  int bad_col = 0;
+  float bad_value = 0.f;
+  /// Shapes (and finiteness) of the op's inputs, e.g. "[4,8] [8,2]".
+  std::string input_shapes;
+
+  /// One-line human-readable report, e.g.
+  ///   "Exp produced inf at [0,3] of output [4,8]; inputs: [4,8]".
+  std::string ToString() const;
+};
+
+/// RAII scope that arms non-finite tracing on the current thread: while
+/// alive, the first op whose output goes non-finite (with finite inputs) is
+/// recorded into the scope instead of aborting, and subsequent events are
+/// ignored (only the origin matters). Scopes nest; the innermost records.
+class NanTraceScope {
+ public:
+  NanTraceScope();
+  ~NanTraceScope();
+  NanTraceScope(const NanTraceScope&) = delete;
+  NanTraceScope& operator=(const NanTraceScope&) = delete;
+
+  bool found() const { return event_.found; }
+  const NanTraceEvent& event() const { return event_; }
+
+ private:
+  friend struct NanTraceAccess;
+  NanTraceScope* previous_;
+  NanTraceEvent event_;
+};
+
+namespace internal_debug {
+
+/// Hook called by MakeOpNode on every op output. Cheap no-op unless a
+/// trace scope is active or the NaN guard is on.
+void TraceOpOutput(const char* op, const Matrix& out,
+                   const std::vector<Tensor>& parents);
+
+}  // namespace internal_debug
+
+}  // namespace ag
+}  // namespace nmcdr
+
+#endif  // NMCDR_AUTOGRAD_DEBUG_H_

@@ -15,28 +15,28 @@ namespace k = ::nmcdr;
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   Matrix out = k::MatMul(a.value(), b.value());
-  return MakeOpNode(std::move(out), {a, b}, [a, b](Node* self) {
+  return MakeOpNode("MatMul", std::move(out), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(k::MatMulTransB(self->grad, b.value()));
     b.raw()->AccumulateGrad(k::MatMulTransA(a.value(), self->grad));
   });
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return MakeOpNode(k::Add(a.value(), b.value()), {a, b}, [a, b](Node* self) {
+  return MakeOpNode("Add", k::Add(a.value(), b.value()), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
     b.raw()->AccumulateGrad(self->grad);
   });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return MakeOpNode(k::Sub(a.value(), b.value()), {a, b}, [a, b](Node* self) {
+  return MakeOpNode("Sub", k::Sub(a.value(), b.value()), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
     b.raw()->AccumulateGrad(k::Scale(self->grad, -1.f));
   });
 }
 
 Tensor Hadamard(const Tensor& a, const Tensor& b) {
-  return MakeOpNode(k::Hadamard(a.value(), b.value()), {a, b},
+  return MakeOpNode("Hadamard", k::Hadamard(a.value(), b.value()), {a, b},
                     [a, b](Node* self) {
                       a.raw()->AccumulateGrad(k::Hadamard(self->grad, b.value()));
                       b.raw()->AccumulateGrad(k::Hadamard(self->grad, a.value()));
@@ -44,7 +44,7 @@ Tensor Hadamard(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
-  return MakeOpNode(k::AddRowBroadcast(a.value(), bias.value()), {a, bias},
+  return MakeOpNode("AddRowBroadcast", k::AddRowBroadcast(a.value(), bias.value()), {a, bias},
                     [a, bias](Node* self) {
                       a.raw()->AccumulateGrad(self->grad);
                       bias.raw()->AccumulateGrad(k::ColSum(self->grad));
@@ -52,13 +52,13 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  return MakeOpNode(k::Scale(a.value(), s), {a}, [a, s](Node* self) {
+  return MakeOpNode("Scale", k::Scale(a.value(), s), {a}, [a, s](Node* self) {
     a.raw()->AccumulateGrad(k::Scale(self->grad, s));
   });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return MakeOpNode(k::AddScalar(a.value(), s), {a}, [a](Node* self) {
+  return MakeOpNode("AddScalar", k::AddScalar(a.value(), s), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
   });
 }
@@ -66,19 +66,19 @@ Tensor AddScalar(const Tensor& a, float s) {
 Tensor OneMinus(const Tensor& a) {
   Matrix out(a.rows(), a.cols());
   for (int i = 0; i < out.size(); ++i) out.data()[i] = 1.f - a.value().data()[i];
-  return MakeOpNode(std::move(out), {a}, [a](Node* self) {
+  return MakeOpNode("OneMinus", std::move(out), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Scale(self->grad, -1.f));
   });
 }
 
 Tensor Exp(const Tensor& a) {
-  return MakeOpNode(k::Exp(a.value()), {a}, [a](Node* self) {
+  return MakeOpNode("Exp", k::Exp(a.value()), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Hadamard(self->grad, self->value));
   });
 }
 
 Tensor Relu(const Tensor& a) {
-  return MakeOpNode(k::Relu(a.value()), {a}, [a](Node* self) {
+  return MakeOpNode("Relu", k::Relu(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
       da.data()[i] = self->value.data()[i] > 0.f ? self->grad.data()[i] : 0.f;
@@ -88,7 +88,7 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return MakeOpNode(k::Sigmoid(a.value()), {a}, [a](Node* self) {
+  return MakeOpNode("Sigmoid", k::Sigmoid(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
       const float y = self->value.data()[i];
@@ -99,7 +99,7 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
-  return MakeOpNode(k::Tanh(a.value()), {a}, [a](Node* self) {
+  return MakeOpNode("Tanh", k::Tanh(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
       const float y = self->value.data()[i];
@@ -110,7 +110,7 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Softplus(const Tensor& a) {
-  return MakeOpNode(k::Softplus(a.value()), {a}, [a](Node* self) {
+  return MakeOpNode("Softplus", k::Softplus(a.value()), {a}, [a](Node* self) {
     // d softplus(x)/dx = sigmoid(x)
     Matrix sig = k::Sigmoid(a.value());
     a.raw()->AccumulateGrad(k::Hadamard(self->grad, sig));
@@ -118,7 +118,7 @@ Tensor Softplus(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
-  return MakeOpNode(k::SoftmaxRows(a.value()), {a}, [a](Node* self) {
+  return MakeOpNode("SoftmaxRows", k::SoftmaxRows(a.value()), {a}, [a](Node* self) {
     const Matrix& y = self->value;
     const Matrix& g = self->grad;
     Matrix da(y.rows(), y.cols());
@@ -137,7 +137,7 @@ Tensor SoftmaxRows(const Tensor& a) {
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
-  return MakeOpNode(
+  return MakeOpNode("ConcatCols",
       k::ConcatCols(a.value(), b.value()), {a, b}, [a, b](Node* self) {
         const int ca = a.cols(), cb = b.cols();
         Matrix da(a.rows(), ca), db(b.rows(), cb);
@@ -163,7 +163,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
     float* dst = out.row(r);
     for (int c = 0; c < len; ++c) dst[c] = src[start + c];
   }
-  return MakeOpNode(std::move(out), {a}, [a, start, len](Node* self) {
+  return MakeOpNode("SliceCols", std::move(out), {a}, [a, start, len](Node* self) {
     Matrix da(a.rows(), a.cols());
     for (int r = 0; r < a.rows(); ++r) {
       const float* g = self->grad.row(r);
@@ -175,7 +175,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
 }
 
 Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
-  return MakeOpNode(k::GatherRows(table.value(), ids), {table},
+  return MakeOpNode("Embedding", k::GatherRows(table.value(), ids), {table},
                     [table, ids](Node* self) {
                       Matrix dt(table.rows(), table.cols());
                       k::ScatterAddRows(self->grad, ids, &dt);
@@ -184,7 +184,7 @@ Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
 }
 
 Tensor Transpose(const Tensor& a) {
-  return MakeOpNode(k::Transpose(a.value()), {a}, [a](Node* self) {
+  return MakeOpNode("Transpose", k::Transpose(a.value()), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Transpose(self->grad));
   });
 }
@@ -209,7 +209,7 @@ Tensor SegmentMeanRows(
     const float inv = 1.f / static_cast<float>(ids.size());
     for (int c = 0; c < d; ++c) o[c] *= inv;
   }
-  return MakeOpNode(std::move(out), {table}, [table, lists, n, d](Node* self) {
+  return MakeOpNode("SegmentMeanRows", std::move(out), {table}, [table, lists, n, d](Node* self) {
     Matrix dt(table.rows(), d);
     for (int i = 0; i < n; ++i) {
       const std::vector<int>& ids = (*lists)[i];
@@ -227,7 +227,7 @@ Tensor SegmentMeanRows(
 
 Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
   NMCDR_CHECK(a != nullptr);
-  return MakeOpNode(a->Multiply(x.value()), {x}, [a, x](Node* self) {
+  return MakeOpNode("SpMM", a->Multiply(x.value()), {x}, [a, x](Node* self) {
     x.raw()->AccumulateGrad(a->MultiplyTransposed(self->grad));
   });
 }
@@ -235,7 +235,7 @@ Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
 Tensor Sum(const Tensor& a) {
   Matrix out(1, 1);
   out.At(0, 0) = a.value().Sum();
-  return MakeOpNode(std::move(out), {a}, [a](Node* self) {
+  return MakeOpNode("Sum", std::move(out), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(
         Matrix(a.rows(), a.cols(), self->grad.At(0, 0)));
   });
@@ -245,7 +245,7 @@ Tensor Mean(const Tensor& a) {
   const float inv = 1.f / static_cast<float>(a.value().size());
   Matrix out(1, 1);
   out.At(0, 0) = a.value().Sum() * inv;
-  return MakeOpNode(std::move(out), {a}, [a, inv](Node* self) {
+  return MakeOpNode("Mean", std::move(out), {a}, [a, inv](Node* self) {
     a.raw()->AccumulateGrad(
         Matrix(a.rows(), a.cols(), self->grad.At(0, 0) * inv));
   });
@@ -259,7 +259,7 @@ Tensor SumSquares(const Tensor& a) {
     acc += static_cast<double>(v) * v;
   }
   out.At(0, 0) = static_cast<float>(acc);
-  return MakeOpNode(std::move(out), {a}, [a](Node* self) {
+  return MakeOpNode("SumSquares", std::move(out), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Scale(a.value(), 2.f * self->grad.At(0, 0)));
   });
 }
@@ -267,7 +267,7 @@ Tensor SumSquares(const Tensor& a) {
 Tensor ColMean(const Tensor& a) {
   NMCDR_CHECK_GT(a.rows(), 0);
   const float inv = 1.f / static_cast<float>(a.rows());
-  return MakeOpNode(k::ColMean(a.value()), {a}, [a, inv](Node* self) {
+  return MakeOpNode("ColMean", k::ColMean(a.value()), {a}, [a, inv](Node* self) {
     Matrix da(a.rows(), a.cols());
     const float* g = self->grad.row(0);
     for (int r = 0; r < a.rows(); ++r) {
@@ -287,13 +287,13 @@ Tensor TileRows(const Tensor& a, int n) {
     float* dst = out.row(r);
     for (int c = 0; c < a.cols(); ++c) dst[c] = src[c];
   }
-  return MakeOpNode(std::move(out), {a}, [a](Node* self) {
+  return MakeOpNode("TileRows", std::move(out), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::ColSum(self->grad));
   });
 }
 
 Tensor RowDot(const Tensor& a, const Tensor& b) {
-  return MakeOpNode(
+  return MakeOpNode("RowDot",
       k::RowDot(a.value(), b.value()), {a, b}, [a, b](Node* self) {
         Matrix da(a.rows(), a.cols()), db(b.rows(), b.cols());
         for (int r = 0; r < a.rows(); ++r) {
@@ -322,7 +322,7 @@ Tensor ScaleRows(const Tensor& a, const Tensor& s) {
     float* o = out.row(r);
     for (int c = 0; c < a.cols(); ++c) o[c] = sv * ar[c];
   }
-  return MakeOpNode(std::move(out), {a, s}, [a, s](Node* self) {
+  return MakeOpNode("ScaleRows", std::move(out), {a, s}, [a, s](Node* self) {
     Matrix da(a.rows(), a.cols());
     Matrix ds(s.rows(), 1);
     for (int r = 0; r < a.rows(); ++r) {
@@ -356,7 +356,7 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
   }
   Matrix out(1, 1);
   out.At(0, 0) = static_cast<float>(total / n);
-  return MakeOpNode(std::move(out), {logits}, [logits, labels, n](Node* self) {
+  return MakeOpNode("BceWithLogits", std::move(out), {logits}, [logits, labels, n](Node* self) {
     const float g = self->grad.At(0, 0) / static_cast<float>(n);
     Matrix dz(n, 1);
     Matrix p = k::Sigmoid(logits.value());
@@ -378,7 +378,7 @@ Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
   }
   Matrix out(1, 1);
   out.At(0, 0) = static_cast<float>(total / n);
-  return MakeOpNode(
+  return MakeOpNode("BprLoss",
       std::move(out), {pos_scores, neg_scores},
       [pos_scores, neg_scores, n](Node* self) {
         const float g = self->grad.At(0, 0) / static_cast<float>(n);
@@ -441,7 +441,7 @@ Tensor NeighborAttention(
     }
   }
 
-  return MakeOpNode(
+  return MakeOpNode("NeighborAttention",
       std::move(out), {users, items},
       [users, items, candidates, alpha, n, d](Node* self) {
         const Matrix& u = users.value();

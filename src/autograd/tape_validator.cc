@@ -1,0 +1,88 @@
+#include "autograd/tape_validator.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace ag {
+
+namespace {
+
+[[noreturn]] void TapeFail(const std::string& what, const char* op) {
+  internal_check::CheckFail(
+      "autograd/tape_validator.cc", 0, "TAPE_VALIDATION",
+      what + " (op: " + (op != nullptr ? op : "leaf") + ")");
+}
+
+bool IsConsumedOpNode(const Node* n) {
+  // Leaves (parameters, detached values) have no backward closure and are
+  // never consumed; only executed op nodes are.
+  return n->consumed && n->backward != nullptr;
+}
+
+}  // namespace
+
+void ValidateTapeForBackward(Node* root) {
+  // Iterative DFS over the full parent graph with gray/black coloring:
+  // meeting a gray node again means a parent cycle; meeting a consumed op
+  // node means this tape already ran Backward.
+  enum : int { kGray = 1, kBlack = 2 };
+  std::unordered_map<const Node*, int> color;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+
+  if (IsConsumedOpNode(root)) {
+    TapeFail("double-backward: loss graph was already consumed by Backward",
+             root->op);
+  }
+  stack.push_back({root, 0});
+  color[root] = kGray;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* parent = f.node->parents[f.next_parent++].get();
+      auto it = color.find(parent);
+      if (it == color.end()) {
+        if (IsConsumedOpNode(parent)) {
+          TapeFail(
+              "double-backward: reachable op node was already consumed by "
+              "Backward",
+              parent->op);
+        }
+        color[parent] = kGray;
+        stack.push_back({parent, 0});
+      } else if (it->second == kGray) {
+        TapeFail("cycle detected in autograd parent graph", parent->op);
+      }
+    } else {
+      color[f.node] = kBlack;
+      stack.pop_back();
+    }
+  }
+}
+
+void MarkTapeConsumed(const std::vector<Node*>& order) {
+  for (Node* n : order) {
+    if (n->backward != nullptr) n->consumed = true;
+  }
+}
+
+void ValidateOpParents(const char* op, const std::vector<Tensor>& parents) {
+  for (const Tensor& p : parents) {
+    if (p.defined() && IsConsumedOpNode(p.raw())) {
+      TapeFail(std::string("use-after-Backward: op '") +
+                   (op != nullptr ? op : "?") +
+                   "' consumes an intermediate whose tape already ran "
+                   "Backward; Detach() it or rebuild the graph",
+               p.raw()->op);
+    }
+  }
+}
+
+}  // namespace ag
+}  // namespace nmcdr

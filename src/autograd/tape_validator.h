@@ -1,0 +1,43 @@
+#ifndef NMCDR_AUTOGRAD_TAPE_VALIDATOR_H_
+#define NMCDR_AUTOGRAD_TAPE_VALIDATOR_H_
+
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace nmcdr {
+namespace ag {
+
+/// Tape-integrity validation, active when TapeValidationEnabled() (see
+/// debug.h). Three failure modes of a reverse-mode tape are caught at the
+/// point of misuse instead of corrupting gradients silently:
+///
+///  - double-backward: Backward() over a graph whose op nodes were already
+///    consumed by a previous Backward() would re-accumulate gradients
+///    through stale closures;
+///  - use-after-Backward: feeding a consumed intermediate into a new op
+///    splices a dead subgraph into a fresh tape (its backward closures
+///    still point at the old graph's nodes);
+///  - parent cycles: a cycle in the parent graph (only constructible by
+///    mutating Node::parents through raw handles) would make the
+///    topological order — and therefore every gradient — undefined.
+///
+/// All three abort via NMCDR_CHECK-style diagnostics naming the op.
+
+/// Pre-Backward sweep over the graph rooted at `root`: aborts on a parent
+/// cycle or on an already-consumed op node (double-backward).
+void ValidateTapeForBackward(Node* root);
+
+/// Post-Backward sweep: marks every op node in `order` (the executed
+/// reverse-topological order) consumed. Leaves are never marked, so
+/// parameters survive across training steps.
+void MarkTapeConsumed(const std::vector<Node*>& order);
+
+/// Per-op check used by MakeOpNode: aborts if any parent is a consumed op
+/// node (use-after-Backward).
+void ValidateOpParents(const char* op, const std::vector<Tensor>& parents);
+
+}  // namespace ag
+}  // namespace nmcdr
+
+#endif  // NMCDR_AUTOGRAD_TAPE_VALIDATOR_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "autograd/debug.h"
+#include "autograd/tape_validator.h"
 #include "tensor/matrix_ops.h"
 #include "util/check.h"
 
@@ -25,7 +27,8 @@ void Node::AccumulateGrad(const Matrix& g) {
   AxpyInto(g, 1.f, &grad);
 }
 
-Tensor::Tensor(Matrix value, bool requires_grad) : node_(new Node) {
+Tensor::Tensor(Matrix value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
 }
@@ -68,13 +71,16 @@ NoGradGuard::NoGradGuard() : previous_(GradEnabledFlag()) {
 
 NoGradGuard::~NoGradGuard() { GradEnabledFlag() = previous_; }
 
-Tensor MakeOpNode(Matrix value, std::vector<Tensor> parents,
+Tensor MakeOpNode(const char* op, Matrix value, std::vector<Tensor> parents,
                   std::function<void(Node*)> backward) {
+  if (TapeValidationEnabled()) ValidateOpParents(op, parents);
   const bool record =
       GradEnabled() &&
       std::any_of(parents.begin(), parents.end(),
                   [](const Tensor& t) { return t.requires_grad(); });
+  internal_debug::TraceOpOutput(op, value, parents);
   Tensor out{Matrix(std::move(value)), /*requires_grad=*/record};
+  out.node()->op = op;
   if (record) {
     out.node()->parents.reserve(parents.size());
     for (const Tensor& p : parents) out.node()->parents.push_back(p.node());
@@ -88,6 +94,8 @@ void Backward(const Tensor& loss) {
   NMCDR_CHECK_EQ(loss.rows(), 1);
   NMCDR_CHECK_EQ(loss.cols(), 1);
   NMCDR_CHECK(loss.requires_grad());
+
+  if (TapeValidationEnabled()) ValidateTapeForBackward(loss.raw());
 
   // Iterative post-order DFS producing a reverse-topological order.
   std::vector<Node*> order;
@@ -117,6 +125,7 @@ void Backward(const Tensor& loss) {
     Node* n = *it;
     if (n->backward && !n->grad.empty()) n->backward(n);
   }
+  MarkTapeConsumed(order);
 }
 
 }  // namespace ag

@@ -30,6 +30,13 @@ class Node {
   std::function<void(Node*)> backward;
   /// Optional name (parameters set it) for debugging.
   std::string name;
+  /// Static-storage name of the op that produced this node ("leaf" for
+  /// leaves); used by the NaN tracer and tape validator diagnostics.
+  const char* op = "leaf";
+  /// Set once Backward has executed this node's closure; the tape
+  /// validator (tape_validator.h) uses it to catch double-backward and
+  /// use-after-Backward. Never set on leaves.
+  bool consumed = false;
 
   /// Adds `g` into this node's gradient if it requires grad.
   void AccumulateGrad(const Matrix& g);
@@ -97,8 +104,10 @@ class NoGradGuard {
 
 /// Internal helper for op implementations: creates a node computing
 /// `value` from `parents` with the given backward fn. If grad recording is
-/// off or no parent requires grad, the result is a plain leaf.
-Tensor MakeOpNode(Matrix value, std::vector<Tensor> parents,
+/// off or no parent requires grad, the result is a plain leaf. `op` must
+/// be a static-storage string naming the op (shown by the NaN tracer and
+/// tape-validation diagnostics).
+Tensor MakeOpNode(const char* op, Matrix value, std::vector<Tensor> parents,
                   std::function<void(Node*)> backward);
 
 }  // namespace ag

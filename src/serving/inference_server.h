@@ -93,9 +93,9 @@ class InferenceServer {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Pending> queue_;     // guarded by mu_
-  bool stopping_ = false;         // guarded by mu_
-  ServerStats stats_;             // guarded by mu_; wall filled on read
+  std::deque<Pending> queue_;     // GUARDED_BY(mu_)
+  bool stopping_ = false;         // GUARDED_BY(mu_)
+  ServerStats stats_;             // GUARDED_BY(mu_); wall filled on read
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,44 @@
+#ifndef NMCDR_TENSOR_FINITE_H_
+#define NMCDR_TENSOR_FINITE_H_
+
+#include <cmath>
+
+#include "tensor/matrix.h"
+
+namespace nmcdr {
+
+/// Location and value of the first non-finite entry of a matrix, in
+/// row-major scan order. `found == false` means every entry is finite.
+struct NonFiniteEntry {
+  bool found = false;
+  int row = 0;
+  int col = 0;
+  float value = 0.f;
+};
+
+/// Scans `m` row-major and reports the first NaN or +/-Inf entry. The
+/// NaN/Inf propagation tracer (src/autograd/debug.h) uses this to pin the
+/// first op whose output goes non-finite; also handy in tests and data
+/// importers.
+inline NonFiniteEntry FindFirstNonFinite(const Matrix& m) {
+  NonFiniteEntry e;
+  const float* p = m.data();
+  const int n = m.size();
+  for (int i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      e.found = true;
+      e.row = i / m.cols();
+      e.col = i % m.cols();
+      e.value = p[i];
+      return e;
+    }
+  }
+  return e;
+}
+
+/// True when every entry of `m` is finite (no NaN, no +/-Inf).
+inline bool AllFinite(const Matrix& m) { return !FindFirstNonFinite(m).found; }
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_TENSOR_FINITE_H_

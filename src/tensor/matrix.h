@@ -65,11 +65,18 @@ class Matrix {
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
-  /// Unchecked flat access for kernels.
+  /// Flat access for kernels: unchecked in Release, row-bounds-checked in
+  /// NMCDR_DEBUG_CHECKS builds (the DCHECK compiles out otherwise).
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* row(int r) {
+    NMCDR_DCHECK_GE(r, 0);
+    NMCDR_DCHECK_LT(r, rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
   const float* row(int r) const {
+    NMCDR_DCHECK_GE(r, 0);
+    NMCDR_DCHECK_LT(r, rows_);
     return data_.data() + static_cast<size_t>(r) * cols_;
   }
 

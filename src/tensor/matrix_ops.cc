@@ -299,6 +299,8 @@ Matrix CsrMatrix::Multiply(const Matrix& x) const {
   for (int r = 0; r < rows_; ++r) {
     float* orow = out.row(r);
     for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      NMCDR_DCHECK_GE(col_idx_[e], 0);
+      NMCDR_DCHECK_LT(col_idx_[e], cols_);
       const float v = values_[e];
       const float* xrow = x.row(col_idx_[e]);
       for (int c = 0; c < x.cols(); ++c) orow[c] += v * xrow[c];
@@ -313,6 +315,8 @@ Matrix CsrMatrix::MultiplyTransposed(const Matrix& x) const {
   for (int r = 0; r < rows_; ++r) {
     const float* xrow = x.row(r);
     for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      NMCDR_DCHECK_GE(col_idx_[e], 0);
+      NMCDR_DCHECK_LT(col_idx_[e], cols_);
       const float v = values_[e];
       float* orow = out.row(col_idx_[e]);
       for (int c = 0; c < x.cols(); ++c) orow[c] += v * xrow[c];

@@ -6,6 +6,8 @@
 namespace nmcdr {
 
 ModelRegistry& ModelRegistry::Instance() {
+  // NMCDR_LINT_ALLOW(naked-new): intentional leaky singleton; model
+  // factories registered at static init must outlive every client.
   static ModelRegistry* registry = new ModelRegistry();
   return *registry;
 }

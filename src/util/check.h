@@ -56,4 +56,45 @@ std::string FormatOperands(const A& a, const B& b) {
 #define NMCDR_CHECK_GT(a, b) NMCDR_CHECK_OP(>, a, b)
 #define NMCDR_CHECK_GE(a, b) NMCDR_CHECK_OP(>=, a, b)
 
+/// Debug-only variants: identical to NMCDR_CHECK* when the build defines
+/// NMCDR_DEBUG_CHECKS (cmake -DNMCDR_DEBUG_CHECKS=ON), otherwise compiled
+/// out entirely — the condition is not evaluated, so DCHECKs are free to
+/// guard hot inner loops (per-row bounds, per-op shape re-derivations) that
+/// would be too expensive to re-verify in Release benchmarks. Conditions
+/// must therefore be side-effect free.
+#ifdef NMCDR_DEBUG_CHECKS
+#define NMCDR_DCHECK(condition) NMCDR_CHECK(condition)
+#define NMCDR_DCHECK_OP(op, a, b) NMCDR_CHECK_OP(op, a, b)
+#else
+#define NMCDR_DCHECK(condition)       \
+  do {                                \
+    if (false) {                      \
+      (void)(condition);              \
+    }                                 \
+  } while (0)
+#define NMCDR_DCHECK_OP(op, a, b)     \
+  do {                                \
+    if (false) {                      \
+      (void)((a)op(b));               \
+    }                                 \
+  } while (0)
+#endif  // NMCDR_DEBUG_CHECKS
+
+#define NMCDR_DCHECK_EQ(a, b) NMCDR_DCHECK_OP(==, a, b)
+#define NMCDR_DCHECK_NE(a, b) NMCDR_DCHECK_OP(!=, a, b)
+#define NMCDR_DCHECK_LT(a, b) NMCDR_DCHECK_OP(<, a, b)
+#define NMCDR_DCHECK_LE(a, b) NMCDR_DCHECK_OP(<=, a, b)
+#define NMCDR_DCHECK_GT(a, b) NMCDR_DCHECK_OP(>, a, b)
+#define NMCDR_DCHECK_GE(a, b) NMCDR_DCHECK_OP(>=, a, b)
+
+/// True when this translation unit was compiled with the debug invariant
+/// layer; lets tests assert on the expected DCHECK behavior in both modes.
+inline constexpr bool NmcdrDebugChecksEnabled() {
+#ifdef NMCDR_DEBUG_CHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
 #endif  // NMCDR_UTIL_CHECK_H_

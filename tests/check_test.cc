@@ -1,0 +1,68 @@
+// Death-path coverage for src/util/check.h: the always-on NMCDR_CHECK*
+// family must abort with a useful diagnostic, and the NMCDR_DCHECK*
+// family must be exactly as strong in NMCDR_DEBUG_CHECKS builds and
+// completely free (condition unevaluated) otherwise.
+#include "util/check.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace nmcdr {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  NMCDR_CHECK(true);
+  NMCDR_CHECK_EQ(2, 2);
+  NMCDR_CHECK_NE(2, 3);
+  NMCDR_CHECK_LT(1, 2);
+  NMCDR_CHECK_LE(2, 2);
+  NMCDR_CHECK_GT(3, 2);
+  NMCDR_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithCondition) {
+  EXPECT_DEATH(NMCDR_CHECK(1 == 2), "CHECK\\(1 == 2\\)");
+}
+
+TEST(CheckDeathTest, CheckOpReportsOperands) {
+  const int a = 1;
+  const int b = 2;
+  EXPECT_DEATH(NMCDR_CHECK_EQ(a, b), "\\(1 vs. 2\\)");
+  EXPECT_DEATH(NMCDR_CHECK_GT(a, b), "CHECK\\(a > b\\)");
+}
+
+TEST(CheckDeathTest, CheckReportsFileAndLine) {
+  EXPECT_DEATH(NMCDR_CHECK(false), "check_test.cc");
+}
+
+TEST(CheckTest, DcheckEvaluatesOnlyInDebugChecksBuilds) {
+  bool evaluated = false;
+  NMCDR_DCHECK(([&] {
+    evaluated = true;
+    return true;
+  })());
+  EXPECT_EQ(evaluated, NmcdrDebugChecksEnabled());
+
+  bool op_evaluated = false;
+  const auto observed = [&] {
+    op_evaluated = true;
+    return 1;
+  };
+  NMCDR_DCHECK_EQ(observed(), 1);
+  EXPECT_EQ(op_evaluated, NmcdrDebugChecksEnabled());
+}
+
+TEST(CheckDeathTest, DcheckAbortsOnlyInDebugChecksBuilds) {
+  if (NmcdrDebugChecksEnabled()) {
+    EXPECT_DEATH(NMCDR_DCHECK(false), "CHECK\\(false\\)");
+    EXPECT_DEATH(NMCDR_DCHECK_EQ(1, 2), "\\(1 vs. 2\\)");
+  } else {
+    NMCDR_DCHECK(false);  // compiled out: must not abort
+    NMCDR_DCHECK_EQ(1, 2);
+    NMCDR_DCHECK_LT(5, 1);
+  }
+}
+
+}  // namespace
+}  // namespace nmcdr

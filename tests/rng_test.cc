@@ -129,7 +129,9 @@ TEST(ZipfSamplerTest, PmfSumsToOneAndDecreases) {
   double total = 0.0;
   for (int r = 0; r < 50; ++r) {
     total += zipf.Pmf(r);
-    if (r > 0) EXPECT_LE(zipf.Pmf(r), zipf.Pmf(r - 1) + 1e-12);
+    if (r > 0) {
+      EXPECT_LE(zipf.Pmf(r), zipf.Pmf(r - 1) + 1e-12);
+    }
   }
   EXPECT_NEAR(total, 1.0, 1e-9);
 }

@@ -34,6 +34,8 @@ struct PairFixture {
 
 PairFixture& Pair() {
   static PairFixture* fixture = [] {
+    // NMCDR_LINT_ALLOW(naked-new): leaked on purpose — the fixture must
+    // survive until the last test and dodge static-destruction order.
     auto* f = new PairFixture;
     f->data = testing_util::TinyData();
     NmcdrConfig config;

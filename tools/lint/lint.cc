@@ -1,0 +1,556 @@
+#include "tools/lint/lint.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace nmcdr {
+namespace lint {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds `tok` in `s` at a position where neither neighbor is a word
+/// character (so "rand" does not match inside "operand").
+size_t FindToken(const std::string& s, const std::string& tok,
+                 size_t from = 0) {
+  size_t pos = s.find(tok, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(s[pos - 1]);
+    const size_t end = pos + tok.size();
+    const bool right_ok = end >= s.size() || !IsWordChar(s[end]);
+    if (left_ok && right_ok) return pos;
+    pos = s.find(tok, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool HasToken(const std::string& s, const std::string& tok) {
+  return FindToken(s, tok) != std::string::npos;
+}
+
+/// True when `tok` appears as a token immediately followed (modulo
+/// whitespace) by '(' — i.e. a call or function-like macro use.
+bool HasTokenCall(const std::string& s, const std::string& tok) {
+  size_t pos = FindToken(s, tok);
+  while (pos != std::string::npos) {
+    size_t j = pos + tok.size();
+    while (j < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[j])) != 0) {
+      ++j;
+    }
+    if (j < s.size() && s[j] == '(') return true;
+    pos = FindToken(s, tok, pos + tok.size());
+  }
+  return false;
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// A suppression comment counts on the flagged line itself or anywhere in
+/// the contiguous comment-only block directly above it (the usual place
+/// for the justification sentence).
+bool Suppressed(const SourceFile& f, size_t line_idx,
+                const std::string& rule) {
+  const std::string marker = "NMCDR_LINT_ALLOW(" + rule + ")";
+  const auto has_marker = [&](size_t i) {
+    return i < f.comments.size() &&
+           f.comments[i].find(marker) != std::string::npos;
+  };
+  if (has_marker(line_idx)) return true;
+  for (size_t i = line_idx; i > 0; --i) {
+    const size_t above = i - 1;
+    if (above >= f.code.size() || !Trimmed(f.code[above]).empty() ||
+        f.comments[above].empty()) {
+      break;
+    }
+    if (has_marker(above)) return true;
+  }
+  return false;
+}
+
+/// Appends a diagnostic unless the line carries a matching
+/// NMCDR_LINT_ALLOW suppression comment.
+void Add(const SourceFile& f, size_t line_idx, const std::string& rule,
+         std::string message, std::vector<Diagnostic>* out) {
+  if (Suppressed(f, line_idx, rule)) return;
+  Diagnostic d;
+  d.file = f.path;
+  d.line = static_cast<int>(line_idx) + 1;
+  d.rule = rule;
+  d.message = std::move(message);
+  out->push_back(std::move(d));
+}
+
+bool IsHeader(const std::string& path) { return path.ends_with(".h"); }
+
+// ---------------------------------------------------------------------------
+// Rule: include-guard
+// ---------------------------------------------------------------------------
+
+void CheckIncludeGuard(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (!IsHeader(f.path)) return;
+  const std::string expected = ExpectedGuard(f.path);
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string line = Trimmed(f.code[i]);
+    if (!line.starts_with("#ifndef")) continue;
+    const std::string guard = Trimmed(line.substr(7));
+    if (guard != expected) {
+      Add(f, i, "include-guard",
+          "include guard '" + guard + "' does not match file path; expected '" +
+              expected + "'",
+          out);
+      return;
+    }
+    // The matching #define must follow on the next code-bearing line.
+    for (size_t j = i + 1; j < f.code.size(); ++j) {
+      const std::string next = Trimmed(f.code[j]);
+      if (next.empty()) continue;
+      if (Trimmed(next) != "#define " + expected &&
+          !(next.starts_with("#define") && Trimmed(next.substr(7)) == expected)) {
+        Add(f, j, "include-guard",
+            "#ifndef " + expected + " must be followed by #define " + expected,
+            out);
+      }
+      return;
+    }
+    return;
+  }
+  Add(f, 0, "include-guard", "header has no include guard; expected #ifndef " +
+                                 expected,
+      out);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: using-namespace-header
+// ---------------------------------------------------------------------------
+
+void CheckUsingNamespace(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (!IsHeader(f.path)) return;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const size_t u = FindToken(f.code[i], "using");
+    if (u == std::string::npos) continue;
+    const size_t ns = FindToken(f.code[i], "namespace", u);
+    if (ns == std::string::npos) continue;
+    // Only whitespace may separate the two tokens.
+    if (Trimmed(f.code[i].substr(u + 5, ns - (u + 5))).empty()) {
+      Add(f, i, "using-namespace-header",
+          "'using namespace' in a header leaks into every includer", out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: banned-rand / banned-assert
+// ---------------------------------------------------------------------------
+
+void CheckBannedCalls(const SourceFile& f, std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (HasTokenCall(line, "rand") || HasTokenCall(line, "srand") ||
+        HasTokenCall(line, "rand_r")) {
+      Add(f, i, "banned-rand",
+          "rand()/srand() is non-reproducible global state; use "
+          "nmcdr::Rng (src/tensor/rng.h)",
+          out);
+    }
+    if (HasTokenCall(line, "assert")) {
+      Add(f, i, "banned-assert",
+          "assert() vanishes under NDEBUG; use NMCDR_CHECK* "
+          "(src/util/check.h), which stays armed in Release",
+          out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: iostream-header
+// ---------------------------------------------------------------------------
+
+void CheckIostreamHeader(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (!IsHeader(f.path) || !f.path.starts_with("src/")) return;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string line = Trimmed(f.code[i]);
+    if (line.starts_with("#include") &&
+        line.find("<iostream>") != std::string::npos) {
+      Add(f, i, "iostream-header",
+          "<iostream> in a src/ header drags its static init and heavy "
+          "includes into every hot-path TU; use util/logging.h or move IO "
+          "into a .cc",
+          out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: naked-new
+// ---------------------------------------------------------------------------
+
+void CheckNakedNew(const SourceFile& f, std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (HasToken(line, "new")) {
+      Add(f, i, "naked-new",
+          "naked new; use std::make_unique/std::make_shared or a container",
+          out);
+    }
+    size_t pos = FindToken(line, "delete");
+    while (pos != std::string::npos) {
+      // `= delete` (deleted special members) is not a deallocation.
+      size_t k = pos;
+      while (k > 0 &&
+             std::isspace(static_cast<unsigned char>(line[k - 1])) != 0) {
+        --k;
+      }
+      if (k == 0 || line[k - 1] != '=') {
+        Add(f, i, "naked-new",
+            "naked delete; ownership must live in a smart pointer or "
+            "container",
+            out);
+        break;
+      }
+      pos = FindToken(line, "delete", pos + 6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: guarded-by
+// ---------------------------------------------------------------------------
+
+struct MutexMember {
+  std::string name;
+  size_t decl_line = 0;
+  int annotations = 0;
+};
+
+struct ClassRegion {
+  std::string name;
+  size_t begin = 0;  // line of the class token
+  size_t end = 0;    // line of the closing brace
+};
+
+/// Finds `class Foo { ... }` regions by brace matching over blanked code.
+/// `enum class` is skipped; forward declarations (';' before '{') too.
+std::vector<ClassRegion> FindClasses(const SourceFile& f) {
+  std::vector<ClassRegion> regions;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    size_t pos = FindToken(f.code[i], "class");
+    if (pos == std::string::npos) continue;
+    // Reject `enum class`.
+    const std::string before = Trimmed(f.code[i].substr(0, pos));
+    if (before.ends_with("enum")) continue;
+    // Class name: next identifier token.
+    size_t p = pos + 5;
+    while (p < f.code[i].size() &&
+           std::isspace(static_cast<unsigned char>(f.code[i][p])) != 0) {
+      ++p;
+    }
+    size_t q = p;
+    while (q < f.code[i].size() && IsWordChar(f.code[i][q])) ++q;
+    if (q == p) continue;
+    ClassRegion region;
+    region.name = f.code[i].substr(p, q - p);
+    region.begin = i;
+    // Scan forward for '{' (definition) or ';' (forward declaration).
+    int depth = 0;
+    bool open_found = false;
+    for (size_t j = i; j < f.code.size() && region.end == 0; ++j) {
+      const std::string& line = f.code[j];
+      for (size_t k = (j == i ? q : 0); k < line.size(); ++k) {
+        const char c = line[k];
+        if (!open_found) {
+          if (c == ';') break;  // forward declaration
+          if (c == '{') {
+            open_found = true;
+            depth = 1;
+          }
+          continue;
+        }
+        if (c == '{') ++depth;
+        if (c == '}' && --depth == 0) {
+          region.end = j;
+          break;
+        }
+      }
+      if (!open_found) break;
+    }
+    if (open_found && region.end != 0) regions.push_back(region);
+  }
+  return regions;
+}
+
+std::string ExtractGuardedByTarget(const std::string& comment) {
+  const size_t pos = comment.find("GUARDED_BY(");
+  if (pos == std::string::npos) return "";
+  const size_t open = pos + 11;
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) return "";
+  return Trimmed(comment.substr(open, close - open));
+}
+
+bool LineLocksMutex(const std::string& code, const std::string& mutex_name) {
+  if (!HasToken(code, mutex_name)) return false;
+  if (HasToken(code, "lock_guard") || HasToken(code, "unique_lock") ||
+      HasToken(code, "scoped_lock")) {
+    return true;
+  }
+  return code.find(mutex_name + ".lock()") != std::string::npos;
+}
+
+void CheckGuardedBy(const std::vector<SourceFile>& files,
+                    std::vector<Diagnostic>* out) {
+  std::unordered_map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+
+  for (const SourceFile& f : files) {
+    if (!f.path.starts_with("src/serving/") || !IsHeader(f.path)) continue;
+    const SourceFile* impl = nullptr;
+    const auto it = by_path.find(f.path.substr(0, f.path.size() - 2) + ".cc");
+    if (it != by_path.end()) impl = it->second;
+
+    for (const ClassRegion& region : FindClasses(f)) {
+      std::vector<MutexMember> mutexes;
+      for (size_t i = region.begin; i <= region.end; ++i) {
+        const size_t pos = f.code[i].find("std::mutex");
+        if (pos == std::string::npos) continue;
+        size_t p = pos + 10;
+        while (p < f.code[i].size() &&
+               std::isspace(static_cast<unsigned char>(f.code[i][p])) != 0) {
+          ++p;
+        }
+        size_t q = p;
+        while (q < f.code[i].size() && IsWordChar(f.code[i][q])) ++q;
+        if (q > p) mutexes.push_back({f.code[i].substr(p, q - p), i, 0});
+      }
+
+      for (size_t i = region.begin; i <= region.end; ++i) {
+        const std::string target = ExtractGuardedByTarget(f.comments[i]);
+        if (target.empty()) continue;
+        bool known = false;
+        for (MutexMember& m : mutexes) {
+          if (m.name == target) {
+            ++m.annotations;
+            known = true;
+          }
+        }
+        if (!known) {
+          Add(f, i, "guarded-by",
+              "GUARDED_BY(" + target + ") in class " + region.name +
+                  " names no std::mutex member of that class",
+              out);
+        }
+      }
+
+      for (const MutexMember& m : mutexes) {
+        if (m.annotations == 0) {
+          Add(f, m.decl_line, "guarded-by",
+              "std::mutex member '" + m.name + "' of serving class " +
+                  region.name +
+                  " has no GUARDED_BY member annotations; document what it "
+                  "protects",
+              out);
+          continue;
+        }
+        bool locked = false;
+        for (size_t i = region.begin; i <= region.end && !locked; ++i) {
+          locked = LineLocksMutex(f.code[i], m.name);
+        }
+        if (impl != nullptr) {
+          for (size_t i = 0; i < impl->code.size() && !locked; ++i) {
+            locked = LineLocksMutex(impl->code[i], m.name);
+          }
+        }
+        if (!locked) {
+          Add(f, m.decl_line, "guarded-by",
+              "mutex '" + m.name + "' of serving class " + region.name +
+                  " carries GUARDED_BY annotations but is never locked in " +
+                  f.path + (impl != nullptr ? " or its .cc" : ""),
+              out);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+SourceFile Preprocess(std::string path, const std::string& content) {
+  SourceFile f;
+  f.path = std::move(path);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string code_line;
+  std::string comment_line;
+  std::string raw_end;  // ')' + delim + '"' terminating the raw literal
+  const size_t n = content.size();
+  size_t i = 0;
+
+  const auto flush = [&] {
+    f.code.push_back(code_line);
+    f.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      flush();
+      ++i;
+      // Line comments end; unterminated string/char literals are abandoned
+      // (robustness over strictness); block comments and raw strings span.
+      if (state == State::kLineComment || state == State::kString ||
+          state == State::kChar) {
+        state = State::kCode;
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line += "//";
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_line += "/*";
+          i += 2;
+        } else if (c == '"') {
+          const bool raw_prefix =
+              !code_line.empty() && code_line.back() == 'R' &&
+              (code_line.size() < 2 ||
+               !IsWordChar(code_line[code_line.size() - 2]));
+          bool entered_raw = false;
+          if (raw_prefix) {
+            std::string delim;
+            size_t j = i + 1;
+            while (j < n && content[j] != '(' && content[j] != '"' &&
+                   content[j] != '\n' && delim.size() < 16) {
+              delim += content[j++];
+            }
+            if (j < n && content[j] == '(') {
+              raw_end = ")" + delim + "\"";
+              state = State::kRaw;
+              code_line += '"';
+              i = j + 1;
+              entered_raw = true;
+            }
+          }
+          if (!entered_raw) {
+            state = State::kString;
+            code_line += '"';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+          ++i;
+        } else {
+          code_line += c;
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          comment_line += "*/";
+          state = State::kCode;
+          i += 2;
+        } else {
+          comment_line += c;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          i += 2;
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+          ++i;
+        } else {
+          code_line += ' ';
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          i += 2;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+          ++i;
+        } else {
+          code_line += ' ';
+          ++i;
+        }
+        break;
+      case State::kRaw:
+        if (content.compare(i, raw_end.size(), raw_end) == 0) {
+          code_line += '"';
+          i += raw_end.size();
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+          ++i;
+        }
+        break;
+    }
+  }
+  if (!code_line.empty() || !comment_line.empty() || f.code.empty()) flush();
+  return f;
+}
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string p = path;
+  if (p.starts_with("src/")) p = p.substr(4);
+  std::string guard = "NMCDR_";
+  for (const char c : p) {
+    guard += IsWordChar(c)
+                 ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+std::vector<Diagnostic> LintFile(const SourceFile& file) {
+  std::vector<Diagnostic> out;
+  CheckIncludeGuard(file, &out);
+  CheckUsingNamespace(file, &out);
+  CheckBannedCalls(file, &out);
+  CheckIostreamHeader(file, &out);
+  CheckNakedNew(file, &out);
+  return out;
+}
+
+std::vector<Diagnostic> LintFileSet(const std::vector<SourceFile>& files) {
+  std::vector<Diagnostic> out;
+  for (const SourceFile& f : files) {
+    std::vector<Diagnostic> d = LintFile(f);
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  CheckGuardedBy(files, &out);
+  return out;
+}
+
+}  // namespace lint
+}  // namespace nmcdr

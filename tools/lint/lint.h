@@ -1,0 +1,76 @@
+#ifndef NMCDR_TOOLS_LINT_LINT_H_
+#define NMCDR_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace nmcdr {
+namespace lint {
+
+/// nmcdr_lint: a zero-dependency source-tree analyzer enforcing this
+/// repo's invariants over src/, tests/, tools/, and bench/. It is not a
+/// compiler front-end: a lexer-lite pass blanks comments and string
+/// literals while preserving line structure, and line/token-level rules
+/// run over the result. Registered as the `lint_test` CTest, so `ctest`
+/// fails on any violation.
+///
+/// Rules (rule ids in brackets):
+///  [include-guard]          header guards must derive from the file path
+///                           (src/util/check.h -> NMCDR_UTIL_CHECK_H_)
+///  [using-namespace-header] no `using namespace` at any scope in headers
+///  [banned-rand]            no rand()/srand()/std::rand — use
+///                           tensor/rng.h so seeds stay reproducible
+///  [banned-assert]          no assert() — use NMCDR_CHECK*, which stays
+///                           armed in Release builds
+///  [iostream-header]        no <iostream> in src/ headers — iostream's
+///                           static init and heavy includes don't belong
+///                           in hot-path headers; use util/logging.h
+///  [naked-new]              no naked new/delete — use smart pointers or
+///                           containers (deleted special members are fine)
+///  [guarded-by]             in src/serving headers, every std::mutex
+///                           member must have // GUARDED_BY(mu) member
+///                           annotations, every annotation must name a
+///                           declared mutex, and the annotated mutex must
+///                           actually be locked in the class's files
+///
+/// A violation on a line carrying a comment `NMCDR_LINT_ALLOW(rule-id):
+/// reason` is suppressed; use sparingly (intentional leaky singletons).
+
+/// One finding.
+struct Diagnostic {
+  std::string file;  // repo-relative path
+  int line = 0;      // 1-based
+  std::string rule;  // rule id, e.g. "naked-new"
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// A source file split for linting: `code[i]` is line i with comments and
+/// string/char literal contents blanked (structure preserved), and
+/// `comments[i]` is the comment text that appeared on line i.
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+/// Runs the lexer-lite pass over raw file contents.
+SourceFile Preprocess(std::string path, const std::string& content);
+
+/// Expected include-guard symbol for a header path: strip a leading
+/// "src/", uppercase, map non-alphanumerics to '_', prefix "NMCDR_",
+/// suffix '_' ("tests/test_util.h" -> "NMCDR_TESTS_TEST_UTIL_H_").
+std::string ExpectedGuard(const std::string& path);
+
+/// Per-file rules (everything except the cross-file guarded-by rule).
+std::vector<Diagnostic> LintFile(const SourceFile& file);
+
+/// All rules over a file set, including guarded-by, which cross-checks a
+/// serving header's annotations against lock sites in its sibling .cc.
+std::vector<Diagnostic> LintFileSet(const std::vector<SourceFile>& files);
+
+}  // namespace lint
+}  // namespace nmcdr
+
+#endif  // NMCDR_TOOLS_LINT_LINT_H_

@@ -1,0 +1,69 @@
+// Driver for nmcdr_lint: walks the repo's source directories, runs every
+// rule, prints findings compiler-style, and exits non-zero on any finding.
+// Registered as the `lint_test` CTest, so `ctest` enforces the invariants.
+//
+//   nmcdr_lint [repo_root] [subdir...]
+//
+// Defaults: repo_root = ".", subdirs = src tests tools bench.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  std::vector<std::string> subdirs;
+  for (int i = 2; i < argc; ++i) subdirs.push_back(argv[i]);
+  if (subdirs.empty()) subdirs = {"src", "tests", "tools", "bench"};
+
+  std::vector<nmcdr::lint::SourceFile> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) {
+      std::cerr << "nmcdr_lint: no such directory: " << dir << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) {
+        std::cerr << "nmcdr_lint: cannot read " << entry.path() << "\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      files.push_back(nmcdr::lint::Preprocess(rel, buffer.str()));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const nmcdr::lint::SourceFile& a,
+               const nmcdr::lint::SourceFile& b) { return a.path < b.path; });
+
+  const std::vector<nmcdr::lint::Diagnostic> diags =
+      nmcdr::lint::LintFileSet(files);
+  for (const nmcdr::lint::Diagnostic& d : diags) {
+    std::cout << d.ToString() << "\n";
+  }
+  std::cout << "nmcdr_lint: " << diags.size() << " finding"
+            << (diags.size() == 1 ? "" : "s") << " over " << files.size()
+            << " files\n";
+  return diags.empty() ? 0 : 1;
+}
