@@ -5,7 +5,7 @@
 
 #include <memory>
 
-#include "baselines/register_all.h"
+#include "train/registry.h"
 #include "bench/bench_util.h"
 
 namespace nmcdr {

@@ -4,7 +4,7 @@
 // leave-one-out remains feasible) — §III.B.5.
 #include <cstdio>
 
-#include "baselines/register_all.h"
+#include "train/registry.h"
 #include "bench/bench_util.h"
 #include "util/logging.h"
 #include "util/csv_writer.h"

@@ -11,7 +11,7 @@
 
 #include "baselines/multi_task.h"
 #include "baselines/partial_overlap.h"
-#include "baselines/register_all.h"
+#include "train/registry.h"
 #include "bench/bench_util.h"
 #include "core/multi_domain_nmcdr.h"
 #include "core/nmcdr_model.h"

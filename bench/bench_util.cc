@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/register_all.h"
+#include "train/registry.h"
 #include "util/csv_writer.h"
 #include "util/logging.h"
 #include "util/table_printer.h"

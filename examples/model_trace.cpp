@@ -23,7 +23,7 @@
 #include <cstring>
 #include <memory>
 
-#include "baselines/register_all.h"
+#include "train/registry.h"
 #include "bench/bench_util.h"
 #include "core/nmcdr_model.h"
 #include "util/logging.h"

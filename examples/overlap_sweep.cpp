@@ -9,7 +9,6 @@
 #include <cstdio>
 #include <cstring>
 
-#include "baselines/register_all.h"
 #include "data/presets.h"
 #include "train/registry.h"
 #include "util/table_printer.h"

@@ -17,6 +17,12 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Static verification gate: symbolically shape-check every registered model
+# over every scenario preset (plus the gradient-coverage audit) before any
+# training binary runs. Fails the reproduction on any finding.
+./build/tools/nmcdr_analyze --scale="$SCALE" --gradcheck \
+  --report=analyze_report.txt
+
 # In smoke mode, additionally run the sanitizer matrix (separate
 # instrumented build trees): the full suite under ASan+UBSan, and the
 # concurrent serving runtime under TSan. Each leg is skipped when the
@@ -57,4 +63,4 @@ mkdir -p "results/$SCALE"
 mv -f ./*.csv "results/$SCALE"/ 2>/dev/null || true
 
 echo
-echo "done: test_output.txt, bench_output.txt, results/$SCALE/*.csv"
+echo "done: test_output.txt, analyze_report.txt, bench_output.txt, results/$SCALE/*.csv"

@@ -1,0 +1,537 @@
+#include "autograd/meta.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace ag {
+namespace {
+
+bool& MetaEnabledFlag() {
+  thread_local bool enabled = false;
+  return enabled;
+}
+
+MetaTraceScope*& ActiveTrace() {
+  thread_local MetaTraceScope* active = nullptr;
+  return active;
+}
+
+std::string ShapeList(const std::vector<MetaShape>& shapes) {
+  std::string s;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    if (i > 0) s += " x ";
+    s += shapes[i].ToString();
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in shape rules, one per op in autograd/ops.cc. Each rule documents
+// the MetaAttrs convention its op's meta branch uses. Helper combinators
+// keep the table readable.
+// ---------------------------------------------------------------------------
+
+std::string ExpectArity(const char* op, const std::vector<MetaShape>& in,
+                        size_t n) {
+  if (in.size() == n) return "";
+  return std::string(op) + " expects " + std::to_string(n) + " inputs, got " +
+         std::to_string(in.size());
+}
+
+/// Unary elementwise: out = in.
+ShapeRule Elementwise1(const char* op) {
+  return [op](const std::vector<MetaShape>& in, const MetaAttrs&,
+              MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity(op, in, 1); !err.empty()) return err;
+    *out = in[0];
+    return "";
+  };
+}
+
+/// Binary elementwise: shapes must match, out = in[0].
+ShapeRule Elementwise2(const char* op) {
+  return [op](const std::vector<MetaShape>& in, const MetaAttrs&,
+              MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity(op, in, 2); !err.empty()) return err;
+    if (in[0].rows != in[1].rows || in[0].cols != in[1].cols) {
+      return std::string(op) + "(" + ShapeList(in) +
+             "): elementwise operands must have identical shapes";
+    }
+    *out = in[0];
+    return "";
+  };
+}
+
+/// Full reduction to a [1,1] scalar; the input must be non-empty (Mean
+/// divides by the element count).
+ShapeRule ReduceToScalar(const char* op) {
+  return [op](const std::vector<MetaShape>& in, const MetaAttrs&,
+              MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity(op, in, 1); !err.empty()) return err;
+    if (in[0].rows <= 0 || in[0].cols <= 0) {
+      return std::string(op) + "(" + in[0].ToString() +
+             "): reduction over an empty tensor";
+    }
+    *out = {1, 1};
+    return "";
+  };
+}
+
+/// [B,1] pairwise-loss operand check.
+std::string CheckColumnVector(const char* op, const MetaShape& s) {
+  if (s.cols != 1 || s.rows <= 0) {
+    return std::string(op) + ": operand " + s.ToString() +
+           " must be a non-empty [B,1] column";
+  }
+  return "";
+}
+
+/// Checks gathered ids against a table's row count. attrs carries
+/// {count, min_id, max_id}; max_id < 0 encodes "no ids at all".
+std::string CheckIdBounds(const char* op, const MetaAttrs& attrs,
+                          int table_rows, const char* what) {
+  if (attrs.ints.size() < 3) {
+    return std::string(op) + ": meta branch passed no id-bound attrs";
+  }
+  const int64_t min_id = attrs.ints[1];
+  const int64_t max_id = attrs.ints[2];
+  if (max_id < 0) return "";  // empty id set
+  if (min_id < 0 || max_id >= table_rows) {
+    return std::string(op) + ": " + what + " id range [" +
+           std::to_string(min_id) + ", " + std::to_string(max_id) +
+           "] exceeds table rows " + std::to_string(table_rows);
+  }
+  return "";
+}
+
+struct RuleEntry {
+  std::unordered_map<std::string, ShapeRule> rules;
+
+  void Add(const char* op, ShapeRule rule) { rules[op] = std::move(rule); }
+};
+
+RuleEntry BuildBuiltinRules() {
+  RuleEntry r;
+
+  r.Add("MatMul", [](const std::vector<MetaShape>& in, const MetaAttrs&,
+                     MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("MatMul", in, 2); !err.empty())
+      return err;
+    if (in[0].cols != in[1].rows) {
+      return "MatMul(" + ShapeList(in) + "): inner dimensions " +
+             std::to_string(in[0].cols) + " vs " + std::to_string(in[1].rows) +
+             " do not agree";
+    }
+    *out = {in[0].rows, in[1].cols};
+    return "";
+  });
+
+  r.Add("Add", Elementwise2("Add"));
+  r.Add("Sub", Elementwise2("Sub"));
+  r.Add("Hadamard", Elementwise2("Hadamard"));
+
+  r.Add("AddRowBroadcast",
+        [](const std::vector<MetaShape>& in, const MetaAttrs&,
+           MetaShape* out) -> std::string {
+          if (std::string err = ExpectArity("AddRowBroadcast", in, 2);
+              !err.empty()) {
+            return err;
+          }
+          if (in[1].rows != 1 || in[1].cols != in[0].cols) {
+            return "AddRowBroadcast(" + ShapeList(in) +
+                   "): bias must be [1," + std::to_string(in[0].cols) + "]";
+          }
+          *out = in[0];
+          return "";
+        });
+
+  r.Add("Scale", Elementwise1("Scale"));
+  r.Add("AddScalar", Elementwise1("AddScalar"));
+  r.Add("OneMinus", Elementwise1("OneMinus"));
+  r.Add("Exp", Elementwise1("Exp"));
+  r.Add("Relu", Elementwise1("Relu"));
+  r.Add("Sigmoid", Elementwise1("Sigmoid"));
+  r.Add("Tanh", Elementwise1("Tanh"));
+  r.Add("Softplus", Elementwise1("Softplus"));
+  r.Add("SoftmaxRows", Elementwise1("SoftmaxRows"));
+
+  r.Add("ConcatCols", [](const std::vector<MetaShape>& in, const MetaAttrs&,
+                         MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("ConcatCols", in, 2); !err.empty())
+      return err;
+    if (in[0].rows != in[1].rows) {
+      return "ConcatCols(" + ShapeList(in) + "): row counts " +
+             std::to_string(in[0].rows) + " vs " + std::to_string(in[1].rows) +
+             " differ";
+    }
+    *out = {in[0].rows, in[0].cols + in[1].cols};
+    return "";
+  });
+
+  // attrs: {start, len}.
+  r.Add("SliceCols", [](const std::vector<MetaShape>& in,
+                        const MetaAttrs& attrs, MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("SliceCols", in, 1); !err.empty())
+      return err;
+    if (attrs.ints.size() < 2) return "SliceCols: missing {start,len} attrs";
+    const int64_t start = attrs.ints[0];
+    const int64_t len = attrs.ints[1];
+    if (start < 0 || len <= 0 || start + len > in[0].cols) {
+      return "SliceCols(" + in[0].ToString() + ", start=" +
+             std::to_string(start) + ", len=" + std::to_string(len) +
+             "): slice exceeds " + std::to_string(in[0].cols) + " columns";
+    }
+    *out = {in[0].rows, static_cast<int>(len)};
+    return "";
+  });
+
+  // attrs: {num_ids, min_id, max_id}.
+  r.Add("Embedding", [](const std::vector<MetaShape>& in,
+                        const MetaAttrs& attrs, MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("Embedding", in, 1); !err.empty())
+      return err;
+    if (std::string err = CheckIdBounds("Embedding", attrs, in[0].rows, "row");
+        !err.empty()) {
+      return err + " of table " + in[0].ToString();
+    }
+    *out = {static_cast<int>(attrs.ints[0]), in[0].cols};
+    return "";
+  });
+
+  r.Add("Transpose", [](const std::vector<MetaShape>& in, const MetaAttrs&,
+                        MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("Transpose", in, 1); !err.empty())
+      return err;
+    *out = {in[0].cols, in[0].rows};
+    return "";
+  });
+
+  // attrs: {num_lists, min_id, max_id}.
+  r.Add("SegmentMeanRows",
+        [](const std::vector<MetaShape>& in, const MetaAttrs& attrs,
+           MetaShape* out) -> std::string {
+          if (std::string err = ExpectArity("SegmentMeanRows", in, 1);
+              !err.empty()) {
+            return err;
+          }
+          if (std::string err =
+                  CheckIdBounds("SegmentMeanRows", attrs, in[0].rows, "list");
+              !err.empty()) {
+            return err + " of table " + in[0].ToString();
+          }
+          *out = {static_cast<int>(attrs.ints[0]), in[0].cols};
+          return "";
+        });
+
+  // attrs: {adj_rows, adj_cols} of the fixed sparse operand.
+  r.Add("SpMM", [](const std::vector<MetaShape>& in, const MetaAttrs& attrs,
+                   MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("SpMM", in, 1); !err.empty()) return err;
+    if (attrs.ints.size() < 2) return "SpMM: missing {adj_rows,adj_cols} attrs";
+    const int64_t a_rows = attrs.ints[0];
+    const int64_t a_cols = attrs.ints[1];
+    if (a_cols != in[0].rows) {
+      return "SpMM(adj [" + std::to_string(a_rows) + "x" +
+             std::to_string(a_cols) + "] x " + in[0].ToString() +
+             "): adjacency columns " + std::to_string(a_cols) +
+             " vs dense rows " + std::to_string(in[0].rows) + " do not agree";
+    }
+    *out = {static_cast<int>(a_rows), in[0].cols};
+    return "";
+  });
+
+  r.Add("Sum", ReduceToScalar("Sum"));
+  r.Add("Mean", ReduceToScalar("Mean"));
+  r.Add("SumSquares", ReduceToScalar("SumSquares"));
+
+  r.Add("ColMean", [](const std::vector<MetaShape>& in, const MetaAttrs&,
+                      MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("ColMean", in, 1); !err.empty())
+      return err;
+    if (in[0].rows <= 0) {
+      return "ColMean(" + in[0].ToString() + "): mean over zero rows";
+    }
+    *out = {1, in[0].cols};
+    return "";
+  });
+
+  // attrs: {n}.
+  r.Add("TileRows", [](const std::vector<MetaShape>& in, const MetaAttrs& attrs,
+                       MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("TileRows", in, 1); !err.empty())
+      return err;
+    if (attrs.ints.empty()) return "TileRows: missing {n} attr";
+    if (in[0].rows != 1) {
+      return "TileRows(" + in[0].ToString() + "): input must be a [1,c] row";
+    }
+    if (attrs.ints[0] <= 0) {
+      return "TileRows: tile count " + std::to_string(attrs.ints[0]) +
+             " must be positive";
+    }
+    *out = {static_cast<int>(attrs.ints[0]), in[0].cols};
+    return "";
+  });
+
+  r.Add("RowDot", [](const std::vector<MetaShape>& in, const MetaAttrs&,
+                     MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("RowDot", in, 2); !err.empty())
+      return err;
+    if (in[0].rows != in[1].rows || in[0].cols != in[1].cols) {
+      return "RowDot(" + ShapeList(in) + "): operands must match row-for-row";
+    }
+    *out = {in[0].rows, 1};
+    return "";
+  });
+
+  r.Add("ScaleRows", [](const std::vector<MetaShape>& in, const MetaAttrs&,
+                        MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("ScaleRows", in, 2); !err.empty())
+      return err;
+    if (in[1].cols != 1 || in[1].rows != in[0].rows) {
+      return "ScaleRows(" + ShapeList(in) + "): scales must be [" +
+             std::to_string(in[0].rows) + ",1]";
+    }
+    *out = in[0];
+    return "";
+  });
+
+  // attrs: {num_labels}.
+  r.Add("BceWithLogits",
+        [](const std::vector<MetaShape>& in, const MetaAttrs& attrs,
+           MetaShape* out) -> std::string {
+          if (std::string err = ExpectArity("BceWithLogits", in, 1);
+              !err.empty()) {
+            return err;
+          }
+          if (std::string err = CheckColumnVector("BceWithLogits", in[0]);
+              !err.empty()) {
+            return err;
+          }
+          if (!attrs.ints.empty() && attrs.ints[0] != in[0].rows) {
+            return "BceWithLogits(" + in[0].ToString() + "): " +
+                   std::to_string(attrs.ints[0]) + " labels for " +
+                   std::to_string(in[0].rows) + " logits";
+          }
+          *out = {1, 1};
+          return "";
+        });
+
+  r.Add("BprLoss", [](const std::vector<MetaShape>& in, const MetaAttrs&,
+                      MetaShape* out) -> std::string {
+    if (std::string err = ExpectArity("BprLoss", in, 2); !err.empty())
+      return err;
+    if (std::string err = CheckColumnVector("BprLoss", in[0]); !err.empty())
+      return err;
+    if (in[1].rows != in[0].rows || in[1].cols != in[0].cols) {
+      return "BprLoss(" + ShapeList(in) +
+             "): positive and negative score columns must match";
+    }
+    *out = {1, 1};
+    return "";
+  });
+
+  // attrs: {num_candidate_lists, min_item_id, max_item_id}.
+  r.Add("NeighborAttention",
+        [](const std::vector<MetaShape>& in, const MetaAttrs& attrs,
+           MetaShape* out) -> std::string {
+          if (std::string err = ExpectArity("NeighborAttention", in, 2);
+              !err.empty()) {
+            return err;
+          }
+          if (in[0].cols != in[1].cols) {
+            return "NeighborAttention(" + ShapeList(in) +
+                   "): user and item dimensions " +
+                   std::to_string(in[0].cols) + " vs " +
+                   std::to_string(in[1].cols) + " differ";
+          }
+          if (!attrs.ints.empty() && attrs.ints[0] != in[0].rows) {
+            return "NeighborAttention(" + ShapeList(in) + "): " +
+                   std::to_string(attrs.ints[0]) + " candidate lists for " +
+                   std::to_string(in[0].rows) + " users";
+          }
+          if (std::string err = CheckIdBounds("NeighborAttention", attrs,
+                                              in[1].rows, "candidate");
+              !err.empty()) {
+            return err + " of items " + in[1].ToString();
+          }
+          *out = {in[0].rows, in[0].cols};
+          return "";
+        });
+
+  return r;
+}
+
+std::unordered_map<std::string, ShapeRule>& Registry() {
+  // NMCDR_LINT_ALLOW(naked-new): intentional leaky singleton; shape rules
+  // registered at static init must outlive every client.
+  static RuleEntry* entry = new RuleEntry(BuildBuiltinRules());
+  return entry->rules;
+}
+
+std::string NodeLabel(const Node* node) {
+  std::string label = node->op;
+  if (!node->name.empty()) label += " '" + node->name + "'";
+  label += "[" + std::to_string(node->value.rows()) + "x" +
+           std::to_string(node->value.cols()) + "]";
+  return label;
+}
+
+}  // namespace
+
+std::string MetaShape::ToString() const {
+  return "[" + std::to_string(rows) + "x" + std::to_string(cols) + "]";
+}
+
+void RegisterShapeRule(const std::string& op, ShapeRule rule) {
+  Registry()[op] = std::move(rule);
+}
+
+bool HasShapeRule(const std::string& op) {
+  return Registry().find(op) != Registry().end();
+}
+
+std::vector<std::string> RegisteredShapeRuleOps() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, rule] : Registry()) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string ApplyShapeRule(const std::string& op,
+                           const std::vector<MetaShape>& in,
+                           const MetaAttrs& attrs, MetaShape* out) {
+  const auto it = Registry().find(op);
+  if (it == Registry().end()) {
+    return "no shape rule registered for op '" + op + "'";
+  }
+  return it->second(in, attrs, out);
+}
+
+bool MetaEnabled() { return MetaEnabledFlag(); }
+
+MetaModeGuard::MetaModeGuard() : previous_(MetaEnabledFlag()) {
+  MetaEnabledFlag() = true;
+}
+
+MetaModeGuard::~MetaModeGuard() { MetaEnabledFlag() = previous_; }
+
+MetaTraceScope::MetaTraceScope() : previous_(ActiveTrace()) {
+  ActiveTrace() = this;
+}
+
+MetaTraceScope::~MetaTraceScope() { ActiveTrace() = previous_; }
+
+void MetaTraceScope::RecordOp(const char* op, int64_t output_elements) {
+  ++op_counts_[op];
+  total_output_elements_ += output_elements;
+}
+
+void MetaTraceScope::RecordUnregistered(const char* op) {
+  unregistered_ops_.push_back(op);
+}
+
+std::string ProvenanceChain(const Node* node, int max_depth) {
+  std::string chain;
+  const Node* cur = node;
+  for (int depth = 0; cur != nullptr && depth < max_depth; ++depth) {
+    if (depth > 0) chain += " <- ";
+    chain += NodeLabel(cur);
+    if (cur->parents.size() > 1) {
+      chain += " (+" + std::to_string(cur->parents.size() - 1) + " more)";
+    }
+    cur = cur->parents.empty() ? nullptr : cur->parents[0].get();
+  }
+  if (cur != nullptr) chain += " <- ...";
+  return chain;
+}
+
+Tensor MetaOp(const char* op, const std::vector<Tensor>& parents,
+              MetaAttrs attrs) {
+  std::vector<MetaShape> in;
+  in.reserve(parents.size());
+  for (const Tensor& p : parents) {
+    NMCDR_CHECK(p.defined());
+    in.push_back({p.rows(), p.cols()});
+  }
+
+  const auto it = Registry().find(op);
+  if (it == Registry().end()) {
+    throw MetaError(MetaErrorKind::kUnregisteredOp, op,
+                    std::string("op '") + op +
+                        "' has no registered shape rule (add one via "
+                        "ag::RegisterShapeRule or to the builtin table in "
+                        "autograd/meta.cc); inputs: " +
+                        ShapeList(in));
+  }
+
+  MetaShape out_shape;
+  const std::string err = it->second(in, attrs, &out_shape);
+  if (!err.empty()) {
+    std::string message = std::string("shape contradiction at op '") + op +
+                          "': " + err;
+    for (size_t i = 0; i < parents.size(); ++i) {
+      message += "\n  input " + std::to_string(i) + ": " +
+                 ProvenanceChain(parents[i].raw());
+    }
+    throw MetaError(MetaErrorKind::kShapeMismatch, op, std::move(message));
+  }
+
+  if (MetaTraceScope* trace = ActiveTrace()) {
+    trace->RecordOp(op, static_cast<int64_t>(out_shape.rows) * out_shape.cols);
+  }
+
+  // Shape-only output: zero storage of the derived shape, no kernel FLOPs.
+  // Parents are recorded unconditionally (provenance must survive
+  // NoGradGuard scoring paths); no backward closure is attached — in meta
+  // mode Backward() is a structural no-op and the closures' captured
+  // values would be meaningless anyway.
+  const bool record =
+      GradEnabled() &&
+      std::any_of(parents.begin(), parents.end(),
+                  [](const Tensor& t) { return t.requires_grad(); });
+  Tensor out{Matrix(out_shape.rows, out_shape.cols), /*requires_grad=*/record};
+  out.node()->op = op;
+  out.node()->parents.reserve(parents.size());
+  for (const Tensor& p : parents) out.node()->parents.push_back(p.node());
+  return out;
+}
+
+namespace internal_meta {
+
+void NoteKernelOpInMetaMode(const char* op, const Matrix& out,
+                            const std::vector<Tensor>& parents) {
+  MetaTraceScope* trace = ActiveTrace();
+  if (trace != nullptr) {
+    trace->RecordOp(op, static_cast<int64_t>(out.rows()) * out.cols());
+  }
+  const auto it = Registry().find(op);
+  if (it == Registry().end()) {
+    if (trace != nullptr) trace->RecordUnregistered(op);
+    return;
+  }
+  // Defense in depth: the kernel already produced a concrete shape; check
+  // it against the rule so a stale rule is caught by the same trace.
+  std::vector<MetaShape> in;
+  in.reserve(parents.size());
+  for (const Tensor& p : parents) in.push_back({p.rows(), p.cols()});
+  MetaShape predicted;
+  const std::string err = it->second(in, {}, &predicted);
+  if (err.empty() &&
+      (predicted.rows != out.rows() || predicted.cols != out.cols())) {
+    throw MetaError(
+        MetaErrorKind::kShapeMismatch, op,
+        std::string("shape rule for '") + op + "' predicts " +
+            predicted.ToString() + " but the kernel produced [" +
+            std::to_string(out.rows()) + "x" + std::to_string(out.cols()) +
+            "]");
+  }
+}
+
+}  // namespace internal_meta
+
+}  // namespace ag
+}  // namespace nmcdr

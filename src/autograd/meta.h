@@ -1,0 +1,180 @@
+#ifndef NMCDR_AUTOGRAD_META_H_
+#define NMCDR_AUTOGRAD_META_H_
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace nmcdr {
+namespace ag {
+
+/// Meta-tensor abstract interpretation for the autograd engine.
+///
+/// Inside a MetaModeGuard, every op in autograd/ops.cc short-circuits its
+/// forward kernel: instead of computing values, the op consults a per-op
+/// *shape rule* (keyed on the same op-name strings MakeOpNode threads
+/// through the tape) that validates the dimension contract of the call and
+/// derives the output shape. The output tensor carries a zero-initialized
+/// matrix of that shape — shape and storage layout only, no FLOPs — so
+/// downstream non-op code (loss-value reads, score extraction) keeps
+/// working while the whole graph is checked symbolically.
+///
+/// This is how the verifier (src/verify) proves, before any training step
+/// runs, that a model's entire computation graph is dimension-consistent:
+/// a shape contradiction surfaces as a MetaError carrying the op name and
+/// a provenance chain through the graph, thrown at graph-construction
+/// time — before any Backward() call, and 40 epochs before it would have
+/// surfaced numerically.
+///
+/// In meta mode Backward() is a structural no-op (there are no values to
+/// differentiate) and the tape validator / NaN tracer are bypassed.
+
+/// A symbolic tensor shape (this engine is float-only, so shape is the
+/// whole abstract value).
+struct MetaShape {
+  int rows = 0;
+  int cols = 0;
+
+  std::string ToString() const;
+};
+
+/// Scalar attributes of an op call that shape rules need: the sizes and id
+/// bounds of non-tensor arguments, in the op's argument order. Each op's
+/// convention is documented next to its rule in meta.cc.
+struct MetaAttrs {
+  std::vector<int64_t> ints;
+};
+
+/// What went wrong during a meta-mode op.
+enum class MetaErrorKind {
+  kShapeMismatch,    // a shape rule rejected the call's dimension contract
+  kUnregisteredOp,   // no shape rule registered under the op's name
+};
+
+/// Thrown by MetaOp at graph-construction time. `what()` contains the op
+/// name, the violated contract, and a provenance chain naming the ops (and
+/// parameter names) that produced each offending input.
+class MetaError : public std::exception {
+ public:
+  MetaError(MetaErrorKind kind, std::string op, std::string message)
+      : kind_(kind), op_(std::move(op)), message_(std::move(message)) {}
+
+  const char* what() const noexcept override { return message_.c_str(); }
+  MetaErrorKind kind() const { return kind_; }
+  const std::string& op() const { return op_; }
+
+ private:
+  MetaErrorKind kind_;
+  std::string op_;
+  std::string message_;
+};
+
+/// A shape rule: validates input shapes (+ attrs) and derives the output
+/// shape. Returns an empty string on success, else a human-readable
+/// description of the violated contract ("inner dimensions 16 vs 8").
+using ShapeRule = std::function<std::string(
+    const std::vector<MetaShape>& in, const MetaAttrs& attrs, MetaShape* out)>;
+
+/// Registers `rule` under `op` (replaces any previous rule). Rules for
+/// every built-in op in ops.cc are registered automatically; call this for
+/// new custom ops. `op` must match the name string the op passes to
+/// MakeOpNode.
+void RegisterShapeRule(const std::string& op, ShapeRule rule);
+
+bool HasShapeRule(const std::string& op);
+
+/// All op names with a registered shape rule, sorted.
+std::vector<std::string> RegisteredShapeRuleOps();
+
+/// Runs the shape rule registered for `op` directly (no tensors involved);
+/// used by the snapshot shape validator to check frozen weight chains
+/// against the same contracts as the training graph. Returns the rule's
+/// error string ("" on success).
+std::string ApplyShapeRule(const std::string& op,
+                           const std::vector<MetaShape>& in,
+                           const MetaAttrs& attrs, MetaShape* out);
+
+/// True while a MetaModeGuard is alive on this thread.
+bool MetaEnabled();
+
+/// RAII scope that switches this thread's op execution to abstract
+/// interpretation (see file comment).
+class MetaModeGuard {
+ public:
+  MetaModeGuard();
+  ~MetaModeGuard();
+  MetaModeGuard(const MetaModeGuard&) = delete;
+  MetaModeGuard& operator=(const MetaModeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// RAII scope that collects per-op statistics from every meta-mode op
+/// executed on this thread while it is alive (scopes nest; the innermost
+/// records). The verifier audits one model trace per scope.
+class MetaTraceScope {
+ public:
+  MetaTraceScope();
+  ~MetaTraceScope();
+  MetaTraceScope(const MetaTraceScope&) = delete;
+  MetaTraceScope& operator=(const MetaTraceScope&) = delete;
+
+  /// Op name -> number of times it executed in this scope.
+  const std::map<std::string, int>& op_counts() const { return op_counts_; }
+
+  /// Sum of output elements over all ops: an activation-footprint
+  /// estimate for one pass of the traced graph.
+  int64_t total_output_elements() const { return total_output_elements_; }
+
+  /// Ops that reached MakeOpNode in meta mode without a shape rule (a
+  /// future op missing its registration; the real kernel already supplied
+  /// the shape, so the trace survives and the gap is reported).
+  const std::vector<std::string>& unregistered_ops() const {
+    return unregistered_ops_;
+  }
+
+  /// Internal recording hooks used by MetaOp / MakeOpNode; not for users.
+  void RecordOp(const char* op, int64_t output_elements);
+  void RecordUnregistered(const char* op);
+
+ private:
+  MetaTraceScope* previous_;
+  std::map<std::string, int> op_counts_;
+  int64_t total_output_elements_ = 0;
+  std::vector<std::string> unregistered_ops_;
+};
+
+/// Executes `op` abstractly: looks up its shape rule, validates the
+/// contract, and returns a tensor of the derived shape whose node records
+/// `parents` (always, even under NoGradGuard) so shape errors carry full
+/// provenance. Throws MetaError on a missing rule or violated contract.
+/// Only meaningful in meta mode; ops.cc calls this from each op's
+/// meta branch.
+Tensor MetaOp(const char* op, const std::vector<Tensor>& parents,
+              MetaAttrs attrs = {});
+
+/// Formats the chain of ops that produced `node`, innermost first:
+///   "MatMul[80x8] <- Embedding[80x16] <- leaf 'z.user_emb'[100x16]".
+/// Multi-parent ops follow their first parent and annotate "(+N more)".
+std::string ProvenanceChain(const Node* node, int max_depth = 12);
+
+namespace internal_meta {
+
+/// Hook for MakeOpNode: records `op` into the active trace scope and
+/// cross-checks its shape rule (if any) against the kernel-computed output
+/// shape. Reached only when an op without a meta branch runs in meta mode.
+void NoteKernelOpInMetaMode(const char* op, const Matrix& out,
+                            const std::vector<Tensor>& parents);
+
+}  // namespace internal_meta
+
+}  // namespace ag
+}  // namespace nmcdr
+
+#endif  // NMCDR_AUTOGRAD_META_H_

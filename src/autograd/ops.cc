@@ -1,7 +1,9 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "autograd/meta.h"
 #include "util/check.h"
 
 namespace nmcdr {
@@ -11,9 +13,50 @@ namespace {
 // Shorthand: the dense kernels live in ::nmcdr.
 namespace k = ::nmcdr;
 
+// Every op below opens with a meta branch: under a MetaModeGuard
+// (autograd/meta.h) the call is interpreted abstractly — its shape rule
+// validates the dimension contract and derives the output shape — and the
+// kernel never runs. The branch must come before any eager NMCDR_CHECK so
+// contract violations surface as catchable MetaErrors with provenance
+// instead of aborting the verifier.
+
+/// {count, min_id, max_id} attrs for gathered-id ops; max_id = -1 when
+/// there are no ids.
+MetaAttrs IdBoundsAttrs(const std::vector<int>& ids) {
+  MetaAttrs attrs;
+  attrs.ints = {static_cast<int64_t>(ids.size()), 0, -1};
+  if (!ids.empty()) {
+    const auto [lo, hi] = std::minmax_element(ids.begin(), ids.end());
+    attrs.ints[1] = *lo;
+    attrs.ints[2] = *hi;
+  }
+  return attrs;
+}
+
+/// Same for a list-of-lists argument: {num_lists, min_id, max_id}.
+MetaAttrs ListBoundsAttrs(const std::vector<std::vector<int>>& lists) {
+  MetaAttrs attrs;
+  attrs.ints = {static_cast<int64_t>(lists.size()), 0, -1};
+  bool any = false;
+  for (const std::vector<int>& ids : lists) {
+    for (const int id : ids) {
+      if (!any) {
+        attrs.ints[1] = id;
+        attrs.ints[2] = id;
+        any = true;
+      } else {
+        attrs.ints[1] = std::min<int64_t>(attrs.ints[1], id);
+        attrs.ints[2] = std::max<int64_t>(attrs.ints[2], id);
+      }
+    }
+  }
+  return attrs;
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (MetaEnabled()) return MetaOp("MatMul", {a, b});
   Matrix out = k::MatMul(a.value(), b.value());
   return MakeOpNode("MatMul", std::move(out), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(k::MatMulTransB(self->grad, b.value()));
@@ -22,6 +65,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  if (MetaEnabled()) return MetaOp("Add", {a, b});
   return MakeOpNode("Add", k::Add(a.value(), b.value()), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
     b.raw()->AccumulateGrad(self->grad);
@@ -29,6 +73,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  if (MetaEnabled()) return MetaOp("Sub", {a, b});
   return MakeOpNode("Sub", k::Sub(a.value(), b.value()), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
     b.raw()->AccumulateGrad(k::Scale(self->grad, -1.f));
@@ -36,6 +81,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  if (MetaEnabled()) return MetaOp("Hadamard", {a, b});
   return MakeOpNode("Hadamard", k::Hadamard(a.value(), b.value()), {a, b},
                     [a, b](Node* self) {
                       a.raw()->AccumulateGrad(k::Hadamard(self->grad, b.value()));
@@ -44,6 +90,7 @@ Tensor Hadamard(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  if (MetaEnabled()) return MetaOp("AddRowBroadcast", {a, bias});
   return MakeOpNode("AddRowBroadcast", k::AddRowBroadcast(a.value(), bias.value()), {a, bias},
                     [a, bias](Node* self) {
                       a.raw()->AccumulateGrad(self->grad);
@@ -52,18 +99,21 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
 }
 
 Tensor Scale(const Tensor& a, float s) {
+  if (MetaEnabled()) return MetaOp("Scale", {a});
   return MakeOpNode("Scale", k::Scale(a.value(), s), {a}, [a, s](Node* self) {
     a.raw()->AccumulateGrad(k::Scale(self->grad, s));
   });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
+  if (MetaEnabled()) return MetaOp("AddScalar", {a});
   return MakeOpNode("AddScalar", k::AddScalar(a.value(), s), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
   });
 }
 
 Tensor OneMinus(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("OneMinus", {a});
   Matrix out(a.rows(), a.cols());
   for (int i = 0; i < out.size(); ++i) out.data()[i] = 1.f - a.value().data()[i];
   return MakeOpNode("OneMinus", std::move(out), {a}, [a](Node* self) {
@@ -72,12 +122,14 @@ Tensor OneMinus(const Tensor& a) {
 }
 
 Tensor Exp(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("Exp", {a});
   return MakeOpNode("Exp", k::Exp(a.value()), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Hadamard(self->grad, self->value));
   });
 }
 
 Tensor Relu(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("Relu", {a});
   return MakeOpNode("Relu", k::Relu(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -88,6 +140,7 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("Sigmoid", {a});
   return MakeOpNode("Sigmoid", k::Sigmoid(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -99,6 +152,7 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("Tanh", {a});
   return MakeOpNode("Tanh", k::Tanh(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -110,6 +164,7 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Softplus(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("Softplus", {a});
   return MakeOpNode("Softplus", k::Softplus(a.value()), {a}, [a](Node* self) {
     // d softplus(x)/dx = sigmoid(x)
     Matrix sig = k::Sigmoid(a.value());
@@ -118,6 +173,7 @@ Tensor Softplus(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("SoftmaxRows", {a});
   return MakeOpNode("SoftmaxRows", k::SoftmaxRows(a.value()), {a}, [a](Node* self) {
     const Matrix& y = self->value;
     const Matrix& g = self->grad;
@@ -137,6 +193,7 @@ Tensor SoftmaxRows(const Tensor& a) {
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  if (MetaEnabled()) return MetaOp("ConcatCols", {a, b});
   return MakeOpNode("ConcatCols",
       k::ConcatCols(a.value(), b.value()), {a, b}, [a, b](Node* self) {
         const int ca = a.cols(), cb = b.cols();
@@ -154,6 +211,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
 }
 
 Tensor SliceCols(const Tensor& a, int start, int len) {
+  if (MetaEnabled()) return MetaOp("SliceCols", {a}, {{start, len}});
   NMCDR_CHECK_GE(start, 0);
   NMCDR_CHECK_GT(len, 0);
   NMCDR_CHECK_LE(start + len, a.cols());
@@ -175,6 +233,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
 }
 
 Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
+  if (MetaEnabled()) return MetaOp("Embedding", {table}, IdBoundsAttrs(ids));
   return MakeOpNode("Embedding", k::GatherRows(table.value(), ids), {table},
                     [table, ids](Node* self) {
                       Matrix dt(table.rows(), table.cols());
@@ -184,6 +243,7 @@ Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
 }
 
 Tensor Transpose(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("Transpose", {a});
   return MakeOpNode("Transpose", k::Transpose(a.value()), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Transpose(self->grad));
   });
@@ -193,6 +253,9 @@ Tensor SegmentMeanRows(
     const Tensor& table,
     std::shared_ptr<const std::vector<std::vector<int>>> lists) {
   NMCDR_CHECK(lists != nullptr);
+  if (MetaEnabled()) {
+    return MetaOp("SegmentMeanRows", {table}, ListBoundsAttrs(*lists));
+  }
   const int n = static_cast<int>(lists->size());
   const int d = table.cols();
   Matrix out(n, d);
@@ -227,12 +290,14 @@ Tensor SegmentMeanRows(
 
 Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
   NMCDR_CHECK(a != nullptr);
+  if (MetaEnabled()) return MetaOp("SpMM", {x}, {{a->rows(), a->cols()}});
   return MakeOpNode("SpMM", a->Multiply(x.value()), {x}, [a, x](Node* self) {
     x.raw()->AccumulateGrad(a->MultiplyTransposed(self->grad));
   });
 }
 
 Tensor Sum(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("Sum", {a});
   Matrix out(1, 1);
   out.At(0, 0) = a.value().Sum();
   return MakeOpNode("Sum", std::move(out), {a}, [a](Node* self) {
@@ -242,6 +307,7 @@ Tensor Sum(const Tensor& a) {
 }
 
 Tensor Mean(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("Mean", {a});
   const float inv = 1.f / static_cast<float>(a.value().size());
   Matrix out(1, 1);
   out.At(0, 0) = a.value().Sum() * inv;
@@ -252,6 +318,7 @@ Tensor Mean(const Tensor& a) {
 }
 
 Tensor SumSquares(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("SumSquares", {a});
   Matrix out(1, 1);
   double acc = 0.0;
   for (int i = 0; i < a.value().size(); ++i) {
@@ -265,6 +332,7 @@ Tensor SumSquares(const Tensor& a) {
 }
 
 Tensor ColMean(const Tensor& a) {
+  if (MetaEnabled()) return MetaOp("ColMean", {a});
   NMCDR_CHECK_GT(a.rows(), 0);
   const float inv = 1.f / static_cast<float>(a.rows());
   return MakeOpNode("ColMean", k::ColMean(a.value()), {a}, [a, inv](Node* self) {
@@ -279,6 +347,7 @@ Tensor ColMean(const Tensor& a) {
 }
 
 Tensor TileRows(const Tensor& a, int n) {
+  if (MetaEnabled()) return MetaOp("TileRows", {a}, {{n}});
   NMCDR_CHECK_EQ(a.rows(), 1);
   NMCDR_CHECK_GT(n, 0);
   Matrix out(n, a.cols());
@@ -293,6 +362,7 @@ Tensor TileRows(const Tensor& a, int n) {
 }
 
 Tensor RowDot(const Tensor& a, const Tensor& b) {
+  if (MetaEnabled()) return MetaOp("RowDot", {a, b});
   return MakeOpNode("RowDot",
       k::RowDot(a.value(), b.value()), {a, b}, [a, b](Node* self) {
         Matrix da(a.rows(), a.cols()), db(b.rows(), b.cols());
@@ -313,6 +383,7 @@ Tensor RowDot(const Tensor& a, const Tensor& b) {
 }
 
 Tensor ScaleRows(const Tensor& a, const Tensor& s) {
+  if (MetaEnabled()) return MetaOp("ScaleRows", {a, s});
   NMCDR_CHECK_EQ(s.cols(), 1);
   NMCDR_CHECK_EQ(s.rows(), a.rows());
   Matrix out(a.rows(), a.cols());
@@ -343,6 +414,10 @@ Tensor ScaleRows(const Tensor& a, const Tensor& s) {
 }
 
 Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
+  if (MetaEnabled()) {
+    return MetaOp("BceWithLogits", {logits},
+                  {{static_cast<int64_t>(labels.size())}});
+  }
   NMCDR_CHECK_EQ(logits.cols(), 1);
   NMCDR_CHECK_EQ(logits.rows(), static_cast<int>(labels.size()));
   const int n = logits.rows();
@@ -366,6 +441,7 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
 }
 
 Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
+  if (MetaEnabled()) return MetaOp("BprLoss", {pos_scores, neg_scores});
   NMCDR_CHECK_EQ(pos_scores.cols(), 1);
   NMCDR_CHECK(pos_scores.value().SameShape(neg_scores.value()));
   const int n = pos_scores.rows();
@@ -401,6 +477,10 @@ Tensor NeighborAttention(
     const Tensor& users, const Tensor& items,
     std::shared_ptr<const std::vector<std::vector<int>>> candidates) {
   NMCDR_CHECK(candidates != nullptr);
+  if (MetaEnabled()) {
+    return MetaOp("NeighborAttention", {users, items},
+                  ListBoundsAttrs(*candidates));
+  }
   NMCDR_CHECK_EQ(static_cast<int>(candidates->size()), users.rows());
   NMCDR_CHECK_EQ(users.cols(), items.cols());
   const int n = users.rows();

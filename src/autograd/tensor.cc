@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "autograd/debug.h"
+#include "autograd/meta.h"
 #include "autograd/tape_validator.h"
 #include "tensor/matrix_ops.h"
 #include "util/check.h"
@@ -73,11 +74,24 @@ NoGradGuard::~NoGradGuard() { GradEnabledFlag() = previous_; }
 
 Tensor MakeOpNode(const char* op, Matrix value, std::vector<Tensor> parents,
                   std::function<void(Node*)> backward) {
-  if (TapeValidationEnabled()) ValidateOpParents(op, parents);
   const bool record =
       GradEnabled() &&
       std::any_of(parents.begin(), parents.end(),
                   [](const Tensor& t) { return t.requires_grad(); });
+  if (MetaEnabled()) {
+    // Abstract interpretation: ops with a meta branch never reach this
+    // point; one without (a future op) already ran its kernel, so audit the
+    // call against its shape rule, keep provenance, and skip the tape
+    // machinery — no backward closure is attached because Backward() is a
+    // structural no-op in meta mode.
+    internal_meta::NoteKernelOpInMetaMode(op, value, parents);
+    Tensor out{Matrix(std::move(value)), /*requires_grad=*/record};
+    out.node()->op = op;
+    out.node()->parents.reserve(parents.size());
+    for (const Tensor& p : parents) out.node()->parents.push_back(p.node());
+    return out;
+  }
+  if (TapeValidationEnabled()) ValidateOpParents(op, parents);
   internal_debug::TraceOpOutput(op, value, parents);
   Tensor out{Matrix(std::move(value)), /*requires_grad=*/record};
   out.node()->op = op;
@@ -93,6 +107,10 @@ void Backward(const Tensor& loss) {
   NMCDR_CHECK(loss.defined());
   NMCDR_CHECK_EQ(loss.rows(), 1);
   NMCDR_CHECK_EQ(loss.cols(), 1);
+  // Meta mode carries shapes, not values: the graph's dimension contracts
+  // were already verified at construction time, and there is nothing to
+  // differentiate.
+  if (MetaEnabled()) return;
   NMCDR_CHECK(loss.requires_grad());
 
   if (TapeValidationEnabled()) ValidateTapeForBackward(loss.raw());

@@ -105,8 +105,10 @@ class NoGradGuard {
 /// Internal helper for op implementations: creates a node computing
 /// `value` from `parents` with the given backward fn. If grad recording is
 /// off or no parent requires grad, the result is a plain leaf. `op` must
-/// be a static-storage string naming the op (shown by the NaN tracer and
-/// tape-validation diagnostics).
+/// be a static-storage string naming the op (shown by the NaN tracer,
+/// tape-validation diagnostics, and the meta-tensor shape verifier — see
+/// autograd/meta.h; under a MetaModeGuard, ops short-circuit to their
+/// registered shape rule instead of running kernels).
 Tensor MakeOpNode(const char* op, Matrix value, std::vector<Tensor> parents,
                   std::function<void(Node*)> backward);
 

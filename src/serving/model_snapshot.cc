@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "autograd/serialization.h"
+#include "tensor/finite.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -70,24 +71,111 @@ bool HeadsEqual(const FrozenPredictionHead& a, const FrozenPredictionHead& b) {
   return true;
 }
 
-/// Validates the invariants Load relies on; freezing paths construct them
-/// by design.
-bool DomainConsistent(const SnapshotDomain& dom, int num_persons) {
-  if (dom.frozen.user_reps.cols() != dom.frozen.item_reps.cols()) return false;
-  if (dom.frozen.head.dim() != dom.frozen.dim()) return false;
-  if (static_cast<int>(dom.user_to_person.size()) != dom.num_users()) {
-    return false;
+std::string Dims(const Matrix& m) {
+  return "[" + std::to_string(m.rows()) + "x" + std::to_string(m.cols()) + "]";
+}
+
+/// First non-finite entry across the domain's matrices, or "".
+std::string NonFiniteError(const SnapshotDomain& dom) {
+  const FrozenPredictionHead& head = dom.frozen.head;
+  std::vector<std::pair<std::string, const Matrix*>> tensors = {
+      {"user_reps", &dom.frozen.user_reps},
+      {"item_reps", &dom.frozen.item_reps},
+      {"head.w0_user", &head.w0_user},
+      {"head.w0_item", &head.w0_item},
+      {"head.b0", &head.b0},
+      {"head.gmf_w", &head.gmf_w},
+      {"head.gmf_b", &head.gmf_b}};
+  for (size_t i = 0; i < head.w.size(); ++i) {
+    tensors.emplace_back("head.w[" + std::to_string(i) + "]", &head.w[i]);
+    tensors.emplace_back("head.b[" + std::to_string(i) + "]", &head.b[i]);
   }
-  if (static_cast<int>(dom.person_to_user.size()) != num_persons) return false;
+  for (const auto& [name, m] : tensors) {
+    const NonFiniteEntry e = FindFirstNonFinite(*m);
+    if (e.found) {
+      return "non-finite value " + std::to_string(e.value) + " at " + name +
+             "(" + std::to_string(e.row) + "," + std::to_string(e.col) + ")";
+    }
+  }
+  return "";
+}
+
+/// Validates the invariants Load relies on — dimension consistency of the
+/// whole scoring chain (tables through head to the 1-column logit), person
+/// link ranges, and value finiteness. Returns "" when consistent, else a
+/// description with the exact dimension diff. Freezing paths construct
+/// these invariants by design; Load must not trust the file.
+std::string DomainError(const SnapshotDomain& dom, int num_persons) {
+  const FrozenDomainState& f = dom.frozen;
+  const FrozenPredictionHead& head = f.head;
+  if (f.user_reps.cols() != f.item_reps.cols()) {
+    return "user_reps " + Dims(f.user_reps) + " and item_reps " +
+           Dims(f.item_reps) + " disagree on the representation dim";
+  }
+  if (head.dim() != f.dim()) {
+    return "head.w0_user " + Dims(head.w0_user) + " expects dim " +
+           std::to_string(head.dim()) + " but the tables carry dim " +
+           std::to_string(f.dim());
+  }
+  if (!head.w0_item.SameShape(head.w0_user)) {
+    return "head.w0_item " + Dims(head.w0_item) +
+           " does not match head.w0_user " + Dims(head.w0_user);
+  }
+  if (head.b0.rows() != 1 || head.b0.cols() != head.w0_user.cols()) {
+    return "head.b0 " + Dims(head.b0) + " is not a [1x" +
+           std::to_string(head.w0_user.cols()) + "] row bias";
+  }
+  if (head.w.size() != head.b.size()) {
+    return "head has " + std::to_string(head.w.size()) + " weights but " +
+           std::to_string(head.b.size()) + " biases";
+  }
+  int width = head.w0_user.cols();
+  for (size_t i = 0; i < head.w.size(); ++i) {
+    if (head.w[i].rows() != width) {
+      return "head.w[" + std::to_string(i) + "] " + Dims(head.w[i]) +
+             " does not chain from the previous layer width " +
+             std::to_string(width);
+    }
+    width = head.w[i].cols();
+    if (head.b[i].rows() != 1 || head.b[i].cols() != width) {
+      return "head.b[" + std::to_string(i) + "] " + Dims(head.b[i]) +
+             " is not a [1x" + std::to_string(width) + "] row bias";
+    }
+  }
+  if (width != 1) {
+    return "head's last layer ends at width " + std::to_string(width) +
+           ", expected 1 logit column";
+  }
+  if (head.gmf_w.rows() != f.dim() || head.gmf_w.cols() != 1) {
+    return "head.gmf_w " + Dims(head.gmf_w) + " is not [" +
+           std::to_string(f.dim()) + "x1]";
+  }
+  if (head.gmf_b.rows() != 1 || head.gmf_b.cols() != 1) {
+    return "head.gmf_b " + Dims(head.gmf_b) + " is not [1x1]";
+  }
+  if (static_cast<int>(dom.user_to_person.size()) != dom.num_users()) {
+    return "user_to_person has " + std::to_string(dom.user_to_person.size()) +
+           " entries for " + std::to_string(dom.num_users()) + " users";
+  }
+  if (static_cast<int>(dom.person_to_user.size()) != num_persons) {
+    return "person_to_user has " + std::to_string(dom.person_to_user.size()) +
+           " entries for " + std::to_string(num_persons) + " persons";
+  }
   for (int u = 0; u < dom.num_users(); ++u) {
     const int p = dom.user_to_person[u];
-    if (p < -1 || p >= num_persons) return false;
+    if (p < -1 || p >= num_persons) {
+      return "user " + std::to_string(u) + " links to out-of-range person " +
+             std::to_string(p);
+    }
   }
   for (int p = 0; p < num_persons; ++p) {
     const int u = dom.person_to_user[p];
-    if (u < -1 || u >= dom.num_users()) return false;
+    if (u < -1 || u >= dom.num_users()) {
+      return "person " + std::to_string(p) + " links to out-of-range user " +
+             std::to_string(u);
+    }
   }
-  return true;
+  return NonFiniteError(dom);
 }
 
 }  // namespace
@@ -193,23 +281,24 @@ bool ModelSnapshot::Save(const std::string& path) const {
   return true;
 }
 
-bool ModelSnapshot::Load(const std::string& path, ModelSnapshot* snapshot) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    LOG_ERROR << "ModelSnapshot::Load: cannot open " << path;
+bool ModelSnapshot::Load(const std::string& path, ModelSnapshot* snapshot,
+                         std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    LOG_ERROR << "ModelSnapshot::Load: " << reason << " in " << path;
+    if (error != nullptr) *error = reason;
     return false;
-  }
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open file");
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    LOG_ERROR << "ModelSnapshot::Load: bad magic in " << path;
-    return false;
+    return fail("bad magic (not an NMCDRSV1 snapshot)");
   }
   uint32_t num_domains = 0, num_persons = 0;
   if (!ag::ReadU32(in, &num_domains) || num_domains > 256 ||
       !ag::ReadU32(in, &num_persons)) {
-    LOG_ERROR << "ModelSnapshot::Load: bad header in " << path;
-    return false;
+    return fail("bad header");
   }
   ModelSnapshot staged;
   staged.num_persons_ = static_cast<int>(num_persons);
@@ -221,15 +310,10 @@ bool ModelSnapshot::Load(const std::string& path, ModelSnapshot* snapshot) {
         !ReadHead(in, &dom.frozen.head) ||
         !ag::ReadIntVector(in, &dom.user_to_person) ||
         !ag::ReadIntVector(in, &dom.person_to_user)) {
-      LOG_ERROR << "ModelSnapshot::Load: truncated domain " << d << " in "
-                << path;
-      return false;
+      return fail("truncated domain " + std::to_string(d));
     }
-    if (!DomainConsistent(dom, staged.num_persons_)) {
-      LOG_ERROR << "ModelSnapshot::Load: inconsistent domain '" << dom.name
-                << "' in " << path;
-      return false;
-    }
+    const std::string err = DomainError(dom, staged.num_persons_);
+    if (!err.empty()) return fail("domain '" + dom.name + "': " + err);
     staged.domains_.push_back(std::move(dom));
   }
   *snapshot = std::move(staged);

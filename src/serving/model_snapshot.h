@@ -66,8 +66,13 @@ class ModelSnapshot {
   bool Save(const std::string& path) const;
 
   /// Reads a snapshot written by Save. Returns false (and logs) if the
-  /// file is unreadable, truncated, or structurally inconsistent.
-  static bool Load(const std::string& path, ModelSnapshot* snapshot);
+  /// file is unreadable, truncated, structurally inconsistent, dimension-
+  /// inconsistent (head weights not matching the representation tables,
+  /// with the exact dimension diff in the message), or carrying non-finite
+  /// values. On failure `*error` (when non-null) receives the reason; a
+  /// rejected file never leaves partial state in `*snapshot`.
+  static bool Load(const std::string& path, ModelSnapshot* snapshot,
+                   std::string* error = nullptr);
 
   /// Exact structural and bitwise value equality (round-trip checks).
   bool Equals(const ModelSnapshot& other) const;

@@ -1,9 +1,24 @@
 #include "train/registry.h"
 
+#include "baselines/cross_domain.h"
+#include "baselines/multi_task.h"
+#include "baselines/partial_overlap.h"
+#include "baselines/single_domain.h"
 #include "core/nmcdr_model.h"
 #include "util/check.h"
 
 namespace nmcdr {
+namespace {
+
+template <typename Model>
+void RegisterModel(const std::string& name) {
+  ModelRegistry::Instance().Register(
+      name, [](const ScenarioView& view, const CommonHyper& hyper, float lr) {
+        return std::make_unique<Model>(view, hyper, lr);
+      });
+}
+
+}  // namespace
 
 ModelRegistry& ModelRegistry::Instance() {
   // NMCDR_LINT_ALLOW(naked-new): intentional leaky singleton; model
@@ -39,6 +54,27 @@ bool ModelRegistry::Contains(const std::string& name) const {
 }
 
 std::vector<std::string> ModelRegistry::Names() const { return names_; }
+
+void RegisterAllModels() {
+  RegisterModel<LrModel>("LR");
+  RegisterModel<BprModel>("BPR");
+  RegisterModel<NeuMfModel>("NeuMF");
+  RegisterModel<MmoeModel>("MMoE");
+  RegisterModel<PleModel>("PLE");
+  RegisterModel<ConetModel>("CoNet");
+  RegisterModel<MinetModel>("MiNet");
+  RegisterModel<GaDtcdrModel>("GA-DTCDR");
+  RegisterModel<DmlModel>("DML");
+  RegisterModel<HeroGraphModel>("HeroGraph");
+  RegisterModel<PtupcdrModel>("PTUPCDR");
+  RegisterNmcdrModel();
+}
+
+std::vector<std::string> PaperModelOrder() {
+  return {"LR",    "BPR",      "NeuMF", "MMoE",      "PLE",
+          "CoNet", "MiNet",    "GA-DTCDR", "DML",    "HeroGraph",
+          "PTUPCDR", "NMCDR"};
+}
 
 void RegisterNmcdrModel() {
   ModelRegistry::Instance().Register(

@@ -39,6 +39,15 @@ class ModelRegistry {
 /// embed_dim) under "NMCDR".
 void RegisterNmcdrModel();
 
+/// Registers the 11 baselines of §III.A.3 plus NMCDR in the model
+/// registry. Call once from main() before using the registry.
+void RegisterAllModels();
+
+/// All model names in the paper's table row order:
+/// LR, BPR, NeuMF | MMoE, PLE | CoNet, MiNet, GA-DTCDR | DML, HeroGraph,
+/// PTUPCDR | NMCDR.
+std::vector<std::string> PaperModelOrder();
+
 }  // namespace nmcdr
 
 #endif  // NMCDR_TRAIN_REGISTRY_H_

@@ -1,0 +1,262 @@
+#include "verify/op_suite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "tensor/rng.h"
+
+namespace nmcdr {
+namespace verify {
+namespace {
+
+using ag::Tensor;
+
+Matrix Rand(int r, int c, uint64_t seed, float scale = 1.f) {
+  Rng rng(seed);
+  return Matrix::Gaussian(r, c, &rng, 0.f, scale);
+}
+
+std::vector<OpCase> BuildSuite() {
+  std::vector<OpCase> suite;
+  const auto add = [&suite](OpCase c) { suite.push_back(std::move(c)); };
+
+  add({"MatMul",
+       {"MatMul"},
+       {Rand(3, 4, 1), Rand(4, 2, 2)},
+       [](const auto& in) { return MatMul(in[0], in[1]); }});
+
+  add({"AddSubHadamard",
+       {"Add", "Sub", "Hadamard"},
+       {Rand(3, 3, 1), Rand(3, 3, 2)},
+       [](const auto& in) {
+         return Hadamard(Sub(Add(in[0], in[1]), in[1]), in[1]);
+       }});
+
+  add({"AddRowBroadcast",
+       {"AddRowBroadcast"},
+       {Rand(4, 3, 1), Rand(1, 3, 2)},
+       [](const auto& in) { return AddRowBroadcast(in[0], in[1]); }});
+
+  add({"ScaleAddScalarOneMinus",
+       {"Scale", "AddScalar", "OneMinus"},
+       {Rand(2, 3, 1)},
+       [](const auto& in) {
+         return OneMinus(AddScalar(Scale(in[0], -1.7f), 0.4f));
+       }});
+
+  // Exp on inputs bounded away from overflow.
+  add({"Exp",
+       {"Exp"},
+       {Rand(2, 3, 11, 0.5f)},
+       [](const auto& in) { return Exp(in[0]); }});
+
+  {
+    // Shift inputs away from the ReLU kink so finite differences are valid.
+    Matrix m = Rand(3, 3, 5);
+    for (int i = 0; i < m.size(); ++i) {
+      if (std::fabs(m.data()[i]) < 0.1f) m.data()[i] = 0.5f;
+    }
+    add({"ReluAwayFromKink",
+         {"Relu"},
+         {m},
+         [](const auto& in) { return Relu(in[0]); }});
+  }
+
+  add({"SigmoidTanhSoftplus",
+       {"Sigmoid", "Tanh", "Softplus"},
+       {Rand(2, 4, 7)},
+       [](const auto& in) { return Softplus(Tanh(Sigmoid(in[0]))); }});
+
+  add({"SoftmaxRows",
+       {"SoftmaxRows"},
+       {Rand(3, 5, 9)},
+       [](const auto& in) { return SoftmaxRows(in[0]); }});
+
+  add({"ConcatCols",
+       {"ConcatCols"},
+       {Rand(3, 2, 1), Rand(3, 4, 2)},
+       [](const auto& in) { return ConcatCols(in[0], in[1]); }});
+
+  add({"SliceCols",
+       {"SliceCols"},
+       {Rand(3, 6, 1)},
+       [](const auto& in) { return SliceCols(in[0], 2, 3); }});
+
+  add({"EmbeddingWithRepeatedIds",
+       {"Embedding"},
+       {Rand(5, 3, 1)},
+       [](const auto& in) { return Embedding(in[0], {4, 0, 4, 2}); }});
+
+  add({"Transpose",
+       {"Transpose"},
+       {Rand(3, 4, 2)},
+       [](const auto& in) { return MatMul(Transpose(in[0]), in[0]); }});
+
+  {
+    auto lists = std::make_shared<std::vector<std::vector<int>>>(
+        std::vector<std::vector<int>>{{0, 2}, {}, {1, 1, 3}});
+    add({"SegmentMeanRows",
+         {"SegmentMeanRows"},
+         {Rand(4, 3, 3)},
+         [lists](const auto& in) { return SegmentMeanRows(in[0], lists); }});
+  }
+
+  {
+    auto csr = std::make_shared<CsrMatrix>(
+        3, 4,
+        std::vector<std::vector<std::pair<int, float>>>{
+            {{0, 0.5f}, {2, 0.5f}}, {}, {{1, 1.f}, {3, -2.f}}});
+    add({"SpMM",
+         {"SpMM"},
+         {Rand(4, 3, 4)},
+         [csr](const auto& in) { return SpMM(csr, in[0]); }});
+  }
+
+  add({"Reductions",
+       {"Sum", "Mean", "SumSquares"},
+       {Rand(3, 3, 5)},
+       [](const auto& in) {
+         return ConcatCols(Sum(in[0]),
+                           ConcatCols(Mean(in[0]), SumSquares(in[0])));
+       }});
+
+  add({"ColMeanAndTileRows",
+       {"ColMean", "TileRows"},
+       {Rand(4, 3, 6)},
+       [](const auto& in) { return TileRows(ColMean(in[0]), 5); }});
+
+  add({"RowDot",
+       {"RowDot"},
+       {Rand(4, 3, 1), Rand(4, 3, 2)},
+       [](const auto& in) { return RowDot(in[0], in[1]); }});
+
+  add({"ScaleRows",
+       {"ScaleRows"},
+       {Rand(4, 3, 1), Rand(4, 1, 2)},
+       [](const auto& in) { return ScaleRows(in[0], in[1]); }});
+
+  {
+    const std::vector<float> labels = {1.f, 0.f, 1.f, 0.f};
+    add({"BceWithLogits",
+         {"BceWithLogits"},
+         {Rand(4, 1, 8)},
+         [labels](const auto& in) { return BceWithLogits(in[0], labels); }});
+  }
+
+  add({"BprLoss",
+       {"BprLoss"},
+       {Rand(4, 1, 1), Rand(4, 1, 2)},
+       [](const auto& in) { return BprLoss(in[0], in[1]); }});
+
+  {
+    auto cand = std::make_shared<std::vector<std::vector<int>>>(
+        std::vector<std::vector<int>>{{0, 1, 3}, {}, {2, 4}});
+    add({"NeighborAttention",
+         {"NeighborAttention"},
+         {Rand(3, 4, 1, 0.5f), Rand(5, 4, 2, 0.5f)},
+         [cand](const auto& in) {
+           return NeighborAttention(in[0], in[1], cand);
+         },
+         /*eps=*/5e-3f, /*tol=*/1.5e-2f});
+  }
+
+  // The Eq. 10/16 gating pattern end-to-end (composition regression).
+  add({"ComposedGatingBlock",
+       {"MatMul", "Add", "Hadamard", "OneMinus", "Sigmoid", "Tanh"},
+       {Rand(3, 4, 1, 0.5f), Rand(3, 4, 2, 0.5f), Rand(4, 4, 3, 0.5f),
+        Rand(4, 4, 4, 0.5f)},
+       [](const auto& in) {
+         Tensor gate =
+             Sigmoid(Add(MatMul(in[0], in[2]), MatMul(in[1], in[3])));
+         return Tanh(
+             Add(Hadamard(OneMinus(gate), in[0]), Hadamard(gate, in[1])));
+       }});
+
+  return suite;
+}
+
+/// Rebuilds the graph from scratch and returns the weighted-sum loss value.
+float LossValue(const std::vector<Matrix>& values, const OpCase& c,
+                const Matrix& mix_weights) {
+  std::vector<Tensor> inputs;
+  inputs.reserve(values.size());
+  for (const Matrix& v : values) inputs.emplace_back(v, /*requires_grad=*/true);
+  Tensor out = c.build(inputs);
+  Tensor loss = Sum(Hadamard(out, Tensor(mix_weights)));
+  return loss.value().At(0, 0);
+}
+
+}  // namespace
+
+const std::vector<OpCase>& OpSuite() {
+  static const std::vector<OpCase> suite = BuildSuite();
+  return suite;
+}
+
+std::vector<std::string> GradCheckedOps() {
+  std::set<std::string> ops;
+  for (const OpCase& c : OpSuite()) ops.insert(c.covers.begin(), c.covers.end());
+  return {ops.begin(), ops.end()};
+}
+
+std::vector<GradCheckIssue> RunGradCheck(const OpCase& c) {
+  std::vector<GradCheckIssue> issues;
+  const std::vector<Matrix>& values = c.inputs;
+
+  // Build once to learn the output shape, then fix the mixing weights that
+  // reduce the op's output to a scalar loss.
+  std::vector<Tensor> probe;
+  for (const Matrix& v : values) probe.emplace_back(v, true);
+  Tensor probe_out = c.build(probe);
+  Rng rng(99);
+  Matrix mix = Matrix::Gaussian(probe_out.rows(), probe_out.cols(), &rng);
+
+  // Analytic gradients.
+  std::vector<Tensor> inputs;
+  for (const Matrix& v : values) inputs.emplace_back(v, true);
+  Tensor out = c.build(inputs);
+  Tensor loss = Sum(Hadamard(out, Tensor(mix)));
+  ag::Backward(loss);
+
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Matrix& grad = inputs[i].grad();
+    if (grad.empty()) {
+      issues.push_back({c.name, "input " + std::to_string(i) +
+                                    " received no gradient from Backward()"});
+      continue;
+    }
+    for (int e = 0; e < values[i].size(); ++e) {
+      std::vector<Matrix> plus = values, minus = values;
+      plus[i].data()[e] += c.eps;
+      minus[i].data()[e] -= c.eps;
+      const float numeric =
+          (LossValue(plus, c, mix) - LossValue(minus, c, mix)) / (2.f * c.eps);
+      const float analytic = grad.data()[e];
+      const float scale =
+          std::max({1.f, std::fabs(numeric), std::fabs(analytic)});
+      if (std::fabs(analytic / scale - numeric / scale) > c.tol) {
+        issues.push_back(
+            {c.name, "input " + std::to_string(i) + " entry " +
+                         std::to_string(e) + ": analytic " +
+                         std::to_string(analytic) + " vs numeric " +
+                         std::to_string(numeric)});
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<GradCheckIssue> RunAllGradChecks() {
+  std::vector<GradCheckIssue> issues;
+  for (const OpCase& c : OpSuite()) {
+    std::vector<GradCheckIssue> i = RunGradCheck(c);
+    issues.insert(issues.end(), i.begin(), i.end());
+  }
+  return issues;
+}
+
+}  // namespace verify
+}  // namespace nmcdr

@@ -1,0 +1,60 @@
+#ifndef NMCDR_VERIFY_OP_SUITE_H_
+#define NMCDR_VERIFY_OP_SUITE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace nmcdr {
+namespace verify {
+
+/// One entry of the auto-enumerating gradient-check suite: deterministic
+/// inputs, a graph builder, and the list of autograd op names the built
+/// graph exercises. The suite drives two audits at once:
+///
+///  - RunGradCheck: finite-difference verification of every op's backward
+///    pass (the machinery behind tests/autograd_grad_check_test.cc);
+///  - GradCheckedOps: the union of `covers` lists, cross-checked by the
+///    analyzer against the ops a model's traced graph actually uses and
+///    against the registered shape rules, so adding an op to ops.cc
+///    without adding a suite entry fails the registry-completeness test.
+///
+/// Adding a new autograd op therefore means updating exactly one table:
+/// append an OpCase here (with the op in `covers`) and register its shape
+/// rule in autograd/meta.cc.
+struct OpCase {
+  std::string name;
+  /// Op names (as passed to MakeOpNode) this case's graph exercises.
+  std::vector<std::string> covers;
+  std::vector<Matrix> inputs;
+  std::function<ag::Tensor(const std::vector<ag::Tensor>&)> build;
+  float eps = 1e-2f;
+  float tol = 8e-3f;
+};
+
+/// The full suite; one case per op-cluster, every autograd op covered.
+const std::vector<OpCase>& OpSuite();
+
+/// Union of OpSuite covers lists, sorted, deduplicated.
+std::vector<std::string> GradCheckedOps();
+
+/// One finite-difference disagreement (or structural failure) from a
+/// gradient check.
+struct GradCheckIssue {
+  std::string case_name;
+  std::string detail;
+};
+
+/// Central-difference check of every input coordinate of `c` against the
+/// analytic gradients from Backward(). Empty result = pass.
+std::vector<GradCheckIssue> RunGradCheck(const OpCase& c);
+
+/// Runs the whole suite; empty result = all backward passes verified.
+std::vector<GradCheckIssue> RunAllGradChecks();
+
+}  // namespace verify
+}  // namespace nmcdr
+
+#endif  // NMCDR_VERIFY_OP_SUITE_H_

@@ -1,228 +1,63 @@
-// Finite-difference verification of every autograd op's backward pass.
-// Each op's output is reduced to a scalar through a fixed random weighting,
-// gradients are computed analytically via Backward(), and every input
-// coordinate is perturbed centrally to compare.
+// Finite-difference verification of every autograd op's backward pass,
+// driven by the auto-enumerating op suite (src/verify/op_suite.h): the
+// suite table is the single registration point for an op's gradient
+// coverage, and the analyzer cross-checks it against the shape-rule
+// registry, so a new op cannot ship without appearing here.
 
 #include <cmath>
-#include <functional>
-#include <memory>
-#include <vector>
 
 #include <gtest/gtest.h>
 
-#include "autograd/ops.h"
+#include "autograd/meta.h"
+#include "verify/op_suite.h"
 
 namespace nmcdr {
-namespace ag {
+namespace verify {
 namespace {
 
-using BuildFn = std::function<Tensor(const std::vector<Tensor>&)>;
+using ag::Tensor;
 
-/// Rebuilds the graph from scratch and returns the weighted-sum loss value.
-float LossValue(const std::vector<Matrix>& values, const BuildFn& build,
-                const Matrix& mix_weights) {
-  std::vector<Tensor> inputs;
-  inputs.reserve(values.size());
-  for (const Matrix& v : values) inputs.emplace_back(v, /*requires_grad=*/true);
-  Tensor out = build(inputs);
-  Tensor loss = Sum(Hadamard(out, Tensor(mix_weights)));
-  return loss.value().At(0, 0);
-}
+/// One gtest case per suite entry, so failures name the offending op
+/// cluster directly.
+class OpSuiteGradCheck : public ::testing::TestWithParam<size_t> {};
 
-/// Central-difference gradient check on every entry of every input.
-void CheckGradients(std::vector<Matrix> values, const BuildFn& build,
-                    float eps = 1e-2f, float tol = 8e-3f) {
-  // Build once to learn the output shape, then fix the mixing weights.
-  std::vector<Tensor> probe;
-  for (const Matrix& v : values) probe.emplace_back(v, true);
-  Tensor probe_out = build(probe);
-  Rng rng(99);
-  Matrix mix = Matrix::Gaussian(probe_out.rows(), probe_out.cols(), &rng);
-
-  // Analytic gradients.
-  std::vector<Tensor> inputs;
-  for (const Matrix& v : values) inputs.emplace_back(v, true);
-  Tensor out = build(inputs);
-  Tensor loss = Sum(Hadamard(out, Tensor(mix)));
-  Backward(loss);
-
-  for (size_t i = 0; i < values.size(); ++i) {
-    const Matrix& grad = inputs[i].grad();
-    ASSERT_FALSE(grad.empty()) << "input " << i << " received no gradient";
-    for (int e = 0; e < values[i].size(); ++e) {
-      std::vector<Matrix> plus = values, minus = values;
-      plus[i].data()[e] += eps;
-      minus[i].data()[e] -= eps;
-      const float numeric =
-          (LossValue(plus, build, mix) - LossValue(minus, build, mix)) /
-          (2.f * eps);
-      const float analytic = grad.data()[e];
-      const float scale = std::max({1.f, std::fabs(numeric),
-                                    std::fabs(analytic)});
-      EXPECT_NEAR(analytic / scale, numeric / scale, tol)
-          << "input " << i << " entry " << e;
-    }
+TEST_P(OpSuiteGradCheck, FiniteDifferencesMatchBackward) {
+  const OpCase& c = OpSuite()[GetParam()];
+  SCOPED_TRACE(c.name);
+  for (const GradCheckIssue& issue : RunGradCheck(c)) {
+    ADD_FAILURE() << issue.case_name << ": " << issue.detail;
   }
 }
 
-Matrix Rand(int r, int c, uint64_t seed, float scale = 1.f) {
-  Rng rng(seed);
-  return Matrix::Gaussian(r, c, &rng, 0.f, scale);
+std::string CaseName(const ::testing::TestParamInfo<size_t>& info) {
+  return OpSuite()[info.param].name;
 }
 
-TEST(GradCheck, MatMul) {
-  CheckGradients({Rand(3, 4, 1), Rand(4, 2, 2)}, [](const auto& in) {
-    return MatMul(in[0], in[1]);
-  });
+INSTANTIATE_TEST_SUITE_P(AllOps, OpSuiteGradCheck,
+                         ::testing::Range<size_t>(0, OpSuite().size()),
+                         CaseName);
+
+// The suite must cover every op the shape-rule registry knows, and vice
+// versa — the two tables enumerate the same op set by construction.
+TEST(OpSuiteCoverage, SuiteAndShapeRulesEnumerateTheSameOps) {
+  const std::vector<std::string> rules = ag::RegisteredShapeRuleOps();
+  const std::vector<std::string> checked = GradCheckedOps();
+  EXPECT_EQ(rules, checked);
 }
 
-TEST(GradCheck, AddSubHadamard) {
-  CheckGradients({Rand(3, 3, 1), Rand(3, 3, 2)}, [](const auto& in) {
-    return Hadamard(Sub(Add(in[0], in[1]), in[1]), in[1]);
-  });
-}
-
-TEST(GradCheck, AddRowBroadcast) {
-  CheckGradients({Rand(4, 3, 1), Rand(1, 3, 2)}, [](const auto& in) {
-    return AddRowBroadcast(in[0], in[1]);
-  });
-}
-
-TEST(GradCheck, ScaleAddScalarOneMinus) {
-  CheckGradients({Rand(2, 3, 1)}, [](const auto& in) {
-    return OneMinus(AddScalar(Scale(in[0], -1.7f), 0.4f));
-  });
-}
-
-TEST(GradCheck, ReluAwayFromKink) {
-  // Shift inputs away from 0 so finite differences are valid.
-  Matrix m = Rand(3, 3, 5);
-  for (int i = 0; i < m.size(); ++i) {
-    if (std::fabs(m.data()[i]) < 0.1f) m.data()[i] = 0.5f;
-  }
-  CheckGradients({m}, [](const auto& in) { return Relu(in[0]); });
-}
-
-TEST(GradCheck, SigmoidTanhSoftplus) {
-  CheckGradients({Rand(2, 4, 7)}, [](const auto& in) {
-    return Softplus(Tanh(Sigmoid(in[0])));
-  });
-}
-
-TEST(GradCheck, SoftmaxRows) {
-  CheckGradients({Rand(3, 5, 9)},
-                 [](const auto& in) { return SoftmaxRows(in[0]); });
-}
-
-TEST(GradCheck, ConcatCols) {
-  CheckGradients({Rand(3, 2, 1), Rand(3, 4, 2)}, [](const auto& in) {
-    return ConcatCols(in[0], in[1]);
-  });
-}
-
-TEST(GradCheck, SliceCols) {
-  CheckGradients({Rand(3, 6, 1)},
-                 [](const auto& in) { return SliceCols(in[0], 2, 3); });
-}
-
-TEST(GradCheck, EmbeddingWithRepeatedIds) {
-  CheckGradients({Rand(5, 3, 1)}, [](const auto& in) {
-    return Embedding(in[0], {4, 0, 4, 2});
-  });
-}
-
-TEST(GradCheck, Transpose) {
-  CheckGradients({Rand(3, 4, 2)}, [](const auto& in) {
-    return MatMul(Transpose(in[0]), in[0]);
-  });
-}
-
-TEST(GradCheck, SegmentMeanRows) {
-  auto lists = std::make_shared<std::vector<std::vector<int>>>(
-      std::vector<std::vector<int>>{{0, 2}, {}, {1, 1, 3}});
-  CheckGradients({Rand(4, 3, 3)}, [lists](const auto& in) {
-    return SegmentMeanRows(in[0], lists);
-  });
-}
-
-TEST(GradCheck, SpMM) {
-  auto csr = std::make_shared<CsrMatrix>(
-      3, 4,
-      std::vector<std::vector<std::pair<int, float>>>{
-          {{0, 0.5f}, {2, 0.5f}}, {}, {{1, 1.f}, {3, -2.f}}});
-  CheckGradients({Rand(4, 3, 4)},
-                 [csr](const auto& in) { return SpMM(csr, in[0]); });
-}
-
-TEST(GradCheck, Reductions) {
-  CheckGradients({Rand(3, 3, 5)}, [](const auto& in) {
-    return ConcatCols(Sum(in[0]), ConcatCols(Mean(in[0]), SumSquares(in[0])));
-  });
-}
-
-TEST(GradCheck, ColMeanAndTileRows) {
-  CheckGradients({Rand(4, 3, 6)}, [](const auto& in) {
-    return TileRows(ColMean(in[0]), 5);
-  });
-}
-
-TEST(GradCheck, RowDot) {
-  CheckGradients({Rand(4, 3, 1), Rand(4, 3, 2)}, [](const auto& in) {
-    return RowDot(in[0], in[1]);
-  });
-}
-
-TEST(GradCheck, ScaleRows) {
-  CheckGradients({Rand(4, 3, 1), Rand(4, 1, 2)}, [](const auto& in) {
-    return ScaleRows(in[0], in[1]);
-  });
-}
-
-TEST(GradCheck, BceWithLogits) {
-  const std::vector<float> labels = {1.f, 0.f, 1.f, 0.f};
-  CheckGradients({Rand(4, 1, 8)}, [labels](const auto& in) {
-    return BceWithLogits(in[0], labels);
-  });
-}
-
-TEST(GradCheck, BprLoss) {
-  CheckGradients({Rand(4, 1, 1), Rand(4, 1, 2)}, [](const auto& in) {
-    return BprLoss(in[0], in[1]);
-  });
-}
-
-TEST(GradCheck, NeighborAttention) {
-  auto cand = std::make_shared<std::vector<std::vector<int>>>(
-      std::vector<std::vector<int>>{{0, 1, 3}, {}, {2, 4}});
-  CheckGradients(
-      {Rand(3, 4, 1, 0.5f), Rand(5, 4, 2, 0.5f)},
-      [cand](const auto& in) { return NeighborAttention(in[0], in[1], cand); },
-      /*eps=*/5e-3f, /*tol=*/1.5e-2f);
-}
-
-TEST(GradCheck, ComposedGatingBlock) {
-  // The Eq. 10/16 gating pattern end-to-end.
-  CheckGradients({Rand(3, 4, 1, 0.5f), Rand(3, 4, 2, 0.5f),
-                  Rand(4, 4, 3, 0.5f), Rand(4, 4, 4, 0.5f)},
-                 [](const auto& in) {
-                   Tensor gate = Sigmoid(
-                       Add(MatMul(in[0], in[2]), MatMul(in[1], in[3])));
-                   return Tanh(Add(Hadamard(OneMinus(gate), in[0]),
-                                   Hadamard(gate, in[1])));
-                 });
-}
+// Behavioural invariants of the tape that the per-op checks don't touch.
 
 TEST(GradCheck, GradientAccumulatesWhenInputReused) {
   // y = x + x -> dy/dx = 2.
   Tensor x{Matrix::FromRows({{3.f}}), true};
   Tensor loss = Sum(Add(x, x));
-  Backward(loss);
+  ag::Backward(loss);
   EXPECT_NEAR(x.grad().At(0, 0), 2.f, 1e-6f);
 }
 
 TEST(GradCheck, NoGradGuardProducesLeaf) {
   Tensor x{Matrix::FromRows({{1.f}}), true};
-  NoGradGuard guard;
+  ag::NoGradGuard guard;
   Tensor y = Scale(x, 2.f);
   EXPECT_FALSE(y.requires_grad());
 }
@@ -234,5 +69,5 @@ TEST(GradCheck, DetachStopsGradient) {
 }
 
 }  // namespace
-}  // namespace ag
+}  // namespace verify
 }  // namespace nmcdr

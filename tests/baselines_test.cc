@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include "baselines/common.h"
-#include "baselines/register_all.h"
 #include "tests/test_util.h"
 #include "train/registry.h"
 

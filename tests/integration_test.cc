@@ -6,7 +6,6 @@
 #include <cmath>
 
 #include "analysis/embedding_stats.h"
-#include "baselines/register_all.h"
 #include "core/nmcdr_model.h"
 #include "tests/test_util.h"
 #include "train/registry.h"

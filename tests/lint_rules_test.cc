@@ -324,6 +324,115 @@ TEST(GuardedByTest, EnumClassDoesNotConfuseClassParser) {
   EXPECT_EQ(CountRule(diags, "guarded-by"), 0);
 }
 
+// ---------------------------------------------------------------------------
+// include-layering / include-cycle
+// ---------------------------------------------------------------------------
+
+TEST(IncludeGraphTest, PreprocessKeepsIncludePaths) {
+  SourceFile f = Preprocess("src/a.cc", "#include \"util/check.h\"\n");
+  EXPECT_NE(f.code[0].find("util/check.h"), std::string::npos);
+}
+
+TEST(IncludeLayeringTest, FiresWhenLowerLayerIncludesHigher) {
+  // tensor (layer 1) including train (layer 6) inverts the declared order.
+  SourceFile low = Preprocess("src/tensor/synth.cc",
+                              "#include \"train/registry.h\"\n");
+  SourceFile high = Preprocess(
+      "src/train/registry.h",
+      "#ifndef NMCDR_TRAIN_REGISTRY_H_\n#define NMCDR_TRAIN_REGISTRY_H_\n"
+      "#endif\n");
+  const auto diags = LintFileSet({low, high});
+  EXPECT_EQ(CountRule(diags, "include-layering"), 1);
+}
+
+TEST(IncludeLayeringTest, QuietOnDownwardAndSameLayerIncludes) {
+  SourceFile train = Preprocess("src/train/synth.cc",
+                                "#include \"eval/metrics.h\"\n"
+                                "#include \"baselines/common.h\"\n");
+  SourceFile eval = Preprocess(
+      "src/eval/metrics.h",
+      "#ifndef NMCDR_EVAL_METRICS_H_\n#define NMCDR_EVAL_METRICS_H_\n"
+      "#endif\n");
+  SourceFile base = Preprocess(
+      "src/baselines/common.h",
+      "#ifndef NMCDR_BASELINES_COMMON_H_\n#define NMCDR_BASELINES_COMMON_H_\n"
+      "#endif\n");
+  const auto diags = LintFileSet({train, eval, base});
+  EXPECT_EQ(CountRule(diags, "include-layering"), 0);
+}
+
+TEST(IncludeLayeringTest, FlagsModuleWithNoDeclaredLayer) {
+  SourceFile f = Preprocess("src/mystery/synth.cc",
+                            "#include \"util/check.h\"\n");
+  SourceFile util = Preprocess(
+      "src/util/check.h",
+      "#ifndef NMCDR_UTIL_CHECK_H_\n#define NMCDR_UTIL_CHECK_H_\n#endif\n");
+  const auto diags = LintFileSet({f, util});
+  EXPECT_EQ(CountRule(diags, "include-layering"), 1);
+}
+
+TEST(IncludeLayeringTest, IgnoresExternalAndUnresolvedIncludes) {
+  SourceFile f = Preprocess("src/tensor/synth.cc",
+                            "#include <vector>\n"
+                            "#include \"third_party/nothere.h\"\n");
+  const auto diags = LintFileSet({f});
+  EXPECT_EQ(CountRule(diags, "include-layering"), 0);
+}
+
+TEST(IncludeCycleTest, FiresOnTwoFileCycle) {
+  SourceFile a = Preprocess(
+      "src/core/a.h",
+      "#ifndef NMCDR_CORE_A_H_\n#define NMCDR_CORE_A_H_\n"
+      "#include \"core/b.h\"\n#endif\n");
+  SourceFile b = Preprocess(
+      "src/core/b.h",
+      "#ifndef NMCDR_CORE_B_H_\n#define NMCDR_CORE_B_H_\n"
+      "#include \"core/a.h\"\n#endif\n");
+  const auto diags = LintFileSet({a, b});
+  EXPECT_EQ(CountRule(diags, "include-cycle"), 1);
+}
+
+TEST(IncludeCycleTest, ReportsFullChainOnThreeFileCycle) {
+  SourceFile a = Preprocess(
+      "src/core/a.h",
+      "#ifndef NMCDR_CORE_A_H_\n#define NMCDR_CORE_A_H_\n"
+      "#include \"core/b.h\"\n#endif\n");
+  SourceFile b = Preprocess(
+      "src/core/b.h",
+      "#ifndef NMCDR_CORE_B_H_\n#define NMCDR_CORE_B_H_\n"
+      "#include \"core/c.h\"\n#endif\n");
+  SourceFile c = Preprocess(
+      "src/core/c.h",
+      "#ifndef NMCDR_CORE_C_H_\n#define NMCDR_CORE_C_H_\n"
+      "#include \"core/a.h\"\n#endif\n");
+  const auto diags = LintFileSet({a, b, c});
+  ASSERT_EQ(CountRule(diags, "include-cycle"), 1);
+  for (const Diagnostic& d : diags) {
+    if (d.rule != "include-cycle") continue;
+    EXPECT_NE(d.message.find("src/core/a.h"), std::string::npos);
+    EXPECT_NE(d.message.find("src/core/b.h"), std::string::npos);
+    EXPECT_NE(d.message.find("src/core/c.h"), std::string::npos);
+  }
+}
+
+TEST(IncludeCycleTest, QuietOnDiamondDag) {
+  SourceFile top = Preprocess("src/core/top.cc",
+                              "#include \"core/l.h\"\n#include \"core/r.h\"\n");
+  SourceFile l = Preprocess(
+      "src/core/l.h",
+      "#ifndef NMCDR_CORE_L_H_\n#define NMCDR_CORE_L_H_\n"
+      "#include \"core/base.h\"\n#endif\n");
+  SourceFile r = Preprocess(
+      "src/core/r.h",
+      "#ifndef NMCDR_CORE_R_H_\n#define NMCDR_CORE_R_H_\n"
+      "#include \"core/base.h\"\n#endif\n");
+  SourceFile base = Preprocess(
+      "src/core/base.h",
+      "#ifndef NMCDR_CORE_BASE_H_\n#define NMCDR_CORE_BASE_H_\n#endif\n");
+  const auto diags = LintFileSet({top, l, r, base});
+  EXPECT_EQ(CountRule(diags, "include-cycle"), 0);
+}
+
 }  // namespace
 }  // namespace lint
 }  // namespace nmcdr

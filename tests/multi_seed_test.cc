@@ -4,7 +4,6 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/register_all.h"
 #include "tests/test_util.h"
 #include "train/registry.h"
 

@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/register_all.h"
 #include "tests/test_util.h"
 
 namespace nmcdr {

@@ -1,0 +1,309 @@
+// Tests for the semantic tensor-program verifier: the meta-tensor
+// abstract interpreter (autograd/meta.h), the model analyzer
+// (verify/analyzer.h), and the registry-completeness invariant tying
+// ops.cc, the shape-rule table, and the gradient-check suite together.
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/meta.h"
+#include "autograd/ops.h"
+#include "serving/model_snapshot.h"
+#include "tests/test_util.h"
+#include "train/registry.h"
+#include "verify/analyzer.h"
+#include "verify/op_suite.h"
+
+namespace nmcdr {
+namespace {
+
+using ag::MetaError;
+using ag::MetaErrorKind;
+using ag::MetaModeGuard;
+using ag::MetaTraceScope;
+using ag::Tensor;
+
+// ---------------------------------------------------------------------------
+// Meta-tensor abstract interpretation
+// ---------------------------------------------------------------------------
+
+TEST(MetaMode, InfersShapesWithoutRunningKernels) {
+  Rng rng(1);
+  Tensor a{Matrix::Gaussian(3, 4, &rng), true};
+  Tensor w{Matrix::Gaussian(4, 2, &rng), true};
+  // Real execution fixes the expected shapes.
+  Tensor real = Sigmoid(MatMul(a, w));
+  ASSERT_EQ(real.rows(), 3);
+  ASSERT_EQ(real.cols(), 2);
+
+  MetaModeGuard meta;
+  Tensor symbolic = Sigmoid(MatMul(a, w));
+  EXPECT_EQ(symbolic.rows(), real.rows());
+  EXPECT_EQ(symbolic.cols(), real.cols());
+  // Meta outputs carry zero storage — shape only, no kernel ran.
+  EXPECT_EQ(symbolic.value().At(0, 0), 0.f);
+  EXPECT_EQ(symbolic.node()->op, std::string("Sigmoid"));
+}
+
+// The tentpole acceptance case: a dimension bug seeded into a graph is
+// caught at graph-construction time — before any Backward() call — with a
+// provenance chain naming the offending op and the parameter it came from.
+TEST(MetaMode, SeededShapeBugCaughtStaticallyWithProvenance) {
+  MetaModeGuard meta;
+  Tensor table{Matrix(100, 16), true};
+  table.node()->name = "z.user_emb";
+  Tensor emb = Embedding(table, {5, 17, 3});  // [3,16]
+  Tensor w{Matrix(8, 8), true};               // seeded bug: should be [16,8]
+  w.node()->name = "mlp.w0";
+
+  try {
+    MatMul(emb, w);  // throws here, at construction — Backward never runs
+    FAIL() << "shape contradiction was not caught";
+  } catch (const MetaError& e) {
+    EXPECT_EQ(e.kind(), MetaErrorKind::kShapeMismatch);
+    EXPECT_EQ(e.op(), "MatMul");
+    const std::string what = e.what();
+    // The violated contract, with the exact dimensions...
+    EXPECT_NE(what.find("inner dimensions 16 vs 8"), std::string::npos) << what;
+    // ...and the provenance chain of each input, through the op graph down
+    // to the named leaf parameters.
+    EXPECT_NE(what.find("input 0: Embedding[3x16] <- leaf 'z.user_emb'[100x16]"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("input 1: leaf 'mlp.w0'[8x8]"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(MetaMode, IdBoundsViolationCaughtWithTableShape) {
+  MetaModeGuard meta;
+  Tensor table{Matrix(10, 4), true};
+  try {
+    Embedding(table, {3, 12});  // id 12 out of range for 10 rows
+    FAIL() << "out-of-range gather was not caught";
+  } catch (const MetaError& e) {
+    EXPECT_EQ(e.kind(), MetaErrorKind::kShapeMismatch);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("id range [3, 12] exceeds table rows 10"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(MetaMode, UnregisteredOpThrowsFromMetaOp) {
+  MetaModeGuard meta;
+  Tensor x{Matrix(2, 2), true};
+  try {
+    ag::MetaOp("NoSuchOp", {x});
+    FAIL() << "unregistered op was not rejected";
+  } catch (const MetaError& e) {
+    EXPECT_EQ(e.kind(), MetaErrorKind::kUnregisteredOp);
+    EXPECT_EQ(e.op(), "NoSuchOp");
+  }
+}
+
+TEST(MetaMode, FallbackTraceFlagsKernelOpWithoutShapeRule) {
+  // A future op without a meta branch reaches MakeOpNode with its kernel
+  // output; the trace must flag the missing rule instead of throwing.
+  MetaModeGuard meta;
+  MetaTraceScope trace;
+  Tensor x{Matrix(2, 3), true};
+  Tensor out = ag::MakeOpNode("SynthFutureOp", Matrix(2, 3), {x}, nullptr);
+  EXPECT_EQ(out.rows(), 2);
+  ASSERT_EQ(trace.unregistered_ops().size(), 1u);
+  EXPECT_EQ(trace.unregistered_ops()[0], "SynthFutureOp");
+}
+
+TEST(MetaMode, BackwardIsStructuralNoOp) {
+  MetaModeGuard meta;
+  Tensor x{Matrix(3, 3), true};
+  Tensor loss = Sum(Relu(x));
+  ag::Backward(loss);  // must not touch gradients or crash
+  EXPECT_TRUE(x.grad().empty());
+}
+
+TEST(MetaMode, TraceCountsOpsAndActivationFootprint) {
+  MetaModeGuard meta;
+  MetaTraceScope trace;
+  Tensor a{Matrix(4, 8), true};
+  Tensor w{Matrix(8, 2), true};
+  Sigmoid(MatMul(a, w));
+  EXPECT_EQ(trace.op_counts().at("MatMul"), 1);
+  EXPECT_EQ(trace.op_counts().at("Sigmoid"), 1);
+  EXPECT_EQ(trace.total_output_elements(), 8 + 8);  // two [4,2] outputs
+}
+
+// ---------------------------------------------------------------------------
+// Registry completeness: ops.cc is the authoritative op list
+// ---------------------------------------------------------------------------
+
+/// Every op-name string literal passed to MetaOp / MakeOpNode in ops.cc.
+std::set<std::string> OpsDeclaredInSource() {
+  const std::string path = std::string(NMCDR_SOURCE_DIR) +
+                           "/src/autograd/ops.cc";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string src = buffer.str();
+
+  std::set<std::string> ops;
+  for (const std::string& marker : {std::string("MetaOp(\""),
+                                    std::string("MakeOpNode(\"")}) {
+    size_t pos = src.find(marker);
+    while (pos != std::string::npos) {
+      const size_t begin = pos + marker.size();
+      const size_t end = src.find('"', begin);
+      if (end != std::string::npos) ops.insert(src.substr(begin, end - begin));
+      pos = src.find(marker, begin);
+    }
+  }
+  return ops;
+}
+
+TEST(RegistryCompleteness, EveryOpInSourceHasAShapeRule) {
+  const std::set<std::string> declared = OpsDeclaredInSource();
+  ASSERT_FALSE(declared.empty());
+  for (const std::string& op : declared) {
+    EXPECT_TRUE(ag::HasShapeRule(op))
+        << "op '" << op << "' in ops.cc has no shape rule; register one in "
+        << "autograd/meta.cc";
+  }
+}
+
+TEST(RegistryCompleteness, EveryOpInSourceHasGradCheckCoverage) {
+  const std::set<std::string> declared = OpsDeclaredInSource();
+  const std::vector<std::string> checked = verify::GradCheckedOps();
+  const std::set<std::string> checked_set(checked.begin(), checked.end());
+  for (const std::string& op : declared) {
+    EXPECT_TRUE(checked_set.count(op) != 0)
+        << "op '" << op << "' in ops.cc has no gradient-check coverage; add "
+        << "an OpCase to verify/op_suite.cc";
+  }
+}
+
+TEST(RegistryCompleteness, NoOrphanShapeRules) {
+  const std::set<std::string> declared = OpsDeclaredInSource();
+  for (const std::string& op : ag::RegisteredShapeRuleOps()) {
+    EXPECT_TRUE(declared.count(op) != 0)
+        << "shape rule for '" << op << "' matches no op in ops.cc";
+  }
+}
+
+TEST(RegistryCompleteness, CoverageAuditIsClean) {
+  EXPECT_TRUE(verify::AuditOpCoverage().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Model analyzer
+// ---------------------------------------------------------------------------
+
+TEST(Analyzer, EveryRegisteredModelAuditsCleanOnTinyData) {
+  RegisterAllModels();
+  auto data = testing_util::TinyData();
+  const CommonHyper hyper;
+  for (const std::string& name : ModelRegistry::Instance().Names()) {
+    if (name == "BrokenSynth") continue;  // synthetic fixture of the test below
+    const verify::ModelAudit audit =
+        verify::AuditModel(name, *data, "tiny", hyper);
+    EXPECT_TRUE(audit.findings.empty()) << name << ": "
+                                        << audit.findings[0].ToString();
+    EXPECT_GT(audit.parameter_count, 0) << name;
+    EXPECT_GT(audit.activation_elements, 0) << name;
+    EXPECT_FALSE(audit.op_counts.empty()) << name;
+  }
+}
+
+TEST(Analyzer, AuditReportsShapeContradictionWithProvenance) {
+  // A deliberately broken model: its TrainStep multiplies mismatched
+  // parameter matrices. The audit must surface the contradiction as a
+  // finding (with the op chain), not crash, and before any Backward().
+  class BrokenModel : public RecModel {
+   public:
+    explicit BrokenModel(Rng* rng)
+        : a_(store_.Register("broken.a", Matrix::Gaussian(4, 8, rng))),
+          b_(store_.Register("broken.b", Matrix::Gaussian(4, 8, rng))) {}
+    std::string name() const override { return "Broken"; }
+    float TrainStep(const LabeledBatch&, const LabeledBatch&) override {
+      Tensor out = MatMul(a_, b_);  // [4,8] x [4,8]: inner dims disagree
+      return Sum(out).value().At(0, 0);
+    }
+    std::vector<float> Score(DomainSide, const std::vector<int>& users,
+                             const std::vector<int>&) override {
+      return std::vector<float>(users.size(), 0.f);
+    }
+    ag::ParameterStore* params() override { return &store_; }
+
+   private:
+    ag::ParameterStore store_;
+    Tensor a_;
+    Tensor b_;
+  };
+
+  RegisterAllModels();
+  ModelRegistry::Instance().Register(
+      "BrokenSynth", [](const ScenarioView&, const CommonHyper&, float) {
+        static Rng rng(3);
+        return std::make_unique<BrokenModel>(&rng);
+      });
+  auto data = testing_util::TinyData();
+  const verify::ModelAudit audit =
+      verify::AuditModel("BrokenSynth", *data, "tiny", CommonHyper{});
+  ASSERT_FALSE(audit.findings.empty());
+  const verify::Finding& f = audit.findings[0];
+  EXPECT_EQ(f.kind, verify::Finding::Kind::kShapeContradiction);
+  EXPECT_EQ(f.op, "MatMul");
+  EXPECT_NE(f.message.find("inner dimensions 8 vs 4"), std::string::npos)
+      << f.message;
+  EXPECT_NE(f.message.find("leaf 'broken.a'[4x8]"), std::string::npos)
+      << f.message;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot shape validation against the same rules
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotShapes, FrozenNmcdrSnapshotValidatesCleanly) {
+  RegisterAllModels();
+  auto data = testing_util::TinyData();
+  const CommonHyper hyper;
+  auto model = ModelRegistry::Instance().Get("NMCDR")(data->View(), hyper,
+                                                      /*lr=*/1e-3f);
+  ModelSnapshot snapshot;
+  ASSERT_TRUE(
+      ModelSnapshot::FreezePair(model.get(), data->scenario(), &snapshot));
+  EXPECT_TRUE(verify::VerifySnapshotShapes(snapshot).empty());
+}
+
+TEST(SnapshotShapes, StaleHeadRejectedWithDimensionDiff) {
+  RegisterAllModels();
+  auto data = testing_util::TinyData();
+  const CommonHyper hyper;
+  auto model = ModelRegistry::Instance().Get("NMCDR")(data->View(), hyper,
+                                                      /*lr=*/1e-3f);
+  ModelSnapshot snapshot;
+  ASSERT_TRUE(
+      ModelSnapshot::FreezePair(model.get(), data->scenario(), &snapshot));
+  // Simulate a stale snapshot: the head was trained at a different
+  // embedding dim than the tables (the object itself is non-const; the
+  // accessor is just read-only).
+  FrozenPredictionHead& head =
+      const_cast<SnapshotDomain&>(snapshot.domain(0)).frozen.head;
+  head.w0_user = Matrix(head.w0_user.rows() + 4, head.w0_user.cols());
+  const std::vector<verify::Finding> findings =
+      verify::VerifySnapshotShapes(snapshot);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].kind, verify::Finding::Kind::kSnapshotShape);
+  EXPECT_EQ(findings[0].op, "MatMul");
+  EXPECT_NE(findings[0].message.find("inner dimensions"), std::string::npos)
+      << findings[0].message;
+}
+
+}  // namespace
+}  // namespace nmcdr

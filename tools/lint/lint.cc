@@ -380,6 +380,178 @@ void CheckGuardedBy(const std::vector<SourceFile>& files,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rules: include-layering / include-cycle
+// ---------------------------------------------------------------------------
+
+/// Declared module layering over src/ subdirectories. An #include edge is
+/// legal when the includer's rank is >= the includee's rank (equal ranks
+/// form one layer; file-level cycles inside a layer are caught by the
+/// separate cycle rule). Derived from the dependency order
+///   util -> tensor -> {autograd, graph} -> data -> core ->
+///   {baselines, eval} -> train -> {analysis, serving, verify}.
+int ModuleRank(const std::string& module) {
+  static const std::unordered_map<std::string, int> kRanks = {
+      {"util", 0},      {"tensor", 1}, {"autograd", 2}, {"graph", 2},
+      {"data", 3},      {"core", 4},   {"baselines", 5}, {"eval", 5},
+      {"train", 6},     {"analysis", 7}, {"serving", 7}, {"verify", 7},
+  };
+  const auto it = kRanks.find(module);
+  return it == kRanks.end() ? -1 : it->second;
+}
+
+/// One quoted #include directive found in a file.
+struct IncludeEdge {
+  size_t line = 0;      // 0-based line of the directive
+  std::string target;   // path as written between the quotes
+};
+
+std::vector<IncludeEdge> ExtractIncludes(const SourceFile& f) {
+  std::vector<IncludeEdge> edges;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string line = Trimmed(f.code[i]);
+    if (!line.starts_with("#include")) continue;
+    const size_t open = line.find('"');
+    if (open == std::string::npos) continue;
+    const size_t close = line.find('"', open + 1);
+    if (close == std::string::npos || close == open + 1) continue;
+    edges.push_back({i, line.substr(open + 1, close - open - 1)});
+  }
+  return edges;
+}
+
+/// Module of a src/ path ("src/train/registry.h" -> "train"); "" for
+/// paths outside src/.
+std::string SrcModule(const std::string& path) {
+  if (!path.starts_with("src/")) return "";
+  const size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+/// Resolves a quoted include against the file set: project includes are
+/// rooted at src/ (every library adds src/ as an include dir), tool and
+/// test includes at the repo root. Returns "" for external headers.
+std::string ResolveInclude(
+    const std::string& target,
+    const std::unordered_map<std::string, const SourceFile*>& by_path) {
+  const std::string under_src = "src/" + target;
+  if (by_path.count(under_src) != 0) return under_src;
+  if (by_path.count(target) != 0) return target;
+  return "";
+}
+
+void CheckIncludeLayering(const std::vector<SourceFile>& files,
+                          std::vector<Diagnostic>* out) {
+  std::unordered_map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+  for (const SourceFile& f : files) {
+    const std::string from_module = SrcModule(f.path);
+    if (from_module.empty()) continue;
+    const int from_rank = ModuleRank(from_module);
+    for (const IncludeEdge& e : ExtractIncludes(f)) {
+      const std::string resolved = ResolveInclude(e.target, by_path);
+      const std::string to_module = SrcModule(resolved);
+      if (to_module.empty() || to_module == from_module) continue;
+      const int to_rank = ModuleRank(to_module);
+      if (from_rank < 0) {
+        Add(f, e.line, "include-layering",
+            "module '" + from_module +
+                "' has no declared layer; add it to ModuleRank in "
+                "tools/lint/lint.cc",
+            out);
+        break;  // one finding per undeclared module is enough
+      }
+      if (to_rank < 0) {
+        Add(f, e.line, "include-layering",
+            "included module '" + to_module +
+                "' has no declared layer; add it to ModuleRank in "
+                "tools/lint/lint.cc",
+            out);
+        continue;
+      }
+      if (from_rank < to_rank) {
+        Add(f, e.line, "include-layering",
+            "src/" + from_module + " (layer " + std::to_string(from_rank) +
+                ") must not include src/" + to_module + " (layer " +
+                std::to_string(to_rank) +
+                "); declared order: util -> tensor -> {autograd, graph} -> "
+                "data -> core -> {baselines, eval} -> train -> "
+                "{analysis, serving, verify}",
+            out);
+      }
+    }
+  }
+}
+
+void CheckIncludeCycles(const std::vector<SourceFile>& files,
+                        std::vector<Diagnostic>* out) {
+  std::unordered_map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+
+  // File-level include DAG restricted to files in the set.
+  std::unordered_map<std::string, std::vector<std::string>> graph;
+  std::unordered_map<std::string, size_t> first_include_line;
+  for (const SourceFile& f : files) {
+    for (const IncludeEdge& e : ExtractIncludes(f)) {
+      const std::string resolved = ResolveInclude(e.target, by_path);
+      if (resolved.empty() || resolved == f.path) continue;
+      graph[f.path].push_back(resolved);
+      if (first_include_line.count(f.path) == 0) {
+        first_include_line[f.path] = e.line;
+      }
+    }
+  }
+
+  // Iterative three-color DFS; a back edge closes a cycle, reported once
+  // with the full path along the DFS stack.
+  enum class Color { kWhite, kGray, kBlack };
+  std::unordered_map<std::string, Color> color;
+  std::vector<std::string> order;
+  order.reserve(files.size());
+  for (const SourceFile& f : files) order.push_back(f.path);
+
+  for (const std::string& root : order) {
+    if (color[root] != Color::kWhite) continue;
+    struct Frame {
+      std::string node;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root});
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::vector<std::string>& next = graph[frame.node];
+      if (frame.next >= next.size()) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& child = next[frame.next++];
+      if (color[child] == Color::kWhite) {
+        color[child] = Color::kGray;
+        stack.push_back({child});
+      } else if (color[child] == Color::kGray) {
+        // Cycle: child .. stack.back() .. child.
+        std::string chain = child;
+        size_t start = 0;
+        for (size_t i = 0; i < stack.size(); ++i) {
+          if (stack[i].node == child) start = i;
+        }
+        for (size_t i = start + 1; i < stack.size(); ++i) {
+          chain += " -> " + stack[i].node;
+        }
+        chain += " -> " + child;
+        const SourceFile* f = by_path.at(child);
+        Add(*f, first_include_line.count(child) ? first_include_line[child] : 0,
+            "include-cycle", "#include cycle: " + chain, out);
+        color[child] = Color::kBlack;  // report each cycle entry once
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string Diagnostic::ToString() const {
@@ -394,6 +566,7 @@ SourceFile Preprocess(std::string path, const std::string& content) {
   std::string code_line;
   std::string comment_line;
   std::string raw_end;  // ')' + delim + '"' terminating the raw literal
+  bool preserve_string = false;  // keep contents of "#include" paths
   const size_t n = content.size();
   size_t i = 0;
 
@@ -429,6 +602,9 @@ SourceFile Preprocess(std::string path, const std::string& content) {
           comment_line += "/*";
           i += 2;
         } else if (c == '"') {
+          // Include paths must survive blanking: the include-graph rules
+          // read them out of the code lines.
+          preserve_string = Trimmed(code_line).starts_with("#include");
           const bool raw_prefix =
               !code_line.empty() && code_line.back() == 'R' &&
               (code_line.size() < 2 ||
@@ -486,7 +662,7 @@ SourceFile Preprocess(std::string path, const std::string& content) {
           state = State::kCode;
           ++i;
         } else {
-          code_line += ' ';
+          code_line += preserve_string ? c : ' ';
           ++i;
         }
         break;
@@ -549,6 +725,8 @@ std::vector<Diagnostic> LintFileSet(const std::vector<SourceFile>& files) {
     out.insert(out.end(), d.begin(), d.end());
   }
   CheckGuardedBy(files, &out);
+  CheckIncludeLayering(files, &out);
+  CheckIncludeCycles(files, &out);
   return out;
 }
 

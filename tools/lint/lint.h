@@ -32,6 +32,13 @@ namespace lint {
 ///                           annotations, every annotation must name a
 ///                           declared mutex, and the annotated mutex must
 ///                           actually be locked in the class's files
+///  [include-layering]       src/ modules form layers (util -> tensor ->
+///                           {autograd, graph} -> data -> core ->
+///                           {baselines, eval} -> train -> {analysis,
+///                           serving, verify}); a module may only include
+///                           modules at its own or a lower layer
+///  [include-cycle]          the quoted-#include graph over the linted
+///                           file set must be acyclic (file-level)
 ///
 /// A violation on a line carrying a comment `NMCDR_LINT_ALLOW(rule-id):
 /// reason` is suppressed; use sparingly (intentional leaky singletons).

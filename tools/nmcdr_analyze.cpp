@@ -1,0 +1,93 @@
+// nmcdr_analyze: semantic tensor-program verifier for the whole model zoo.
+//
+// Symbolically executes every registered model's computation graph — one
+// TrainStep and one Score call per (model, scenario preset) — on meta
+// tensors (shape inference only, no FLOPs; src/autograd/meta.h) and
+// reports shape contradictions with op-provenance chains, ops without a
+// registered shape rule, ops without finite-difference backward coverage,
+// and per-model parameter/activation footprints. Exits non-zero on any
+// finding, so it gates CI (registered as the `analyze_test` CTest).
+//
+//   nmcdr_analyze [--scale=smoke|small|full] [--gradcheck]
+//                 [--snapshot=PATH] [--report=PATH]
+//
+//   --scale      scenario preset scale (default smoke; analysis cost is
+//                shape-only, so even full is cheap)
+//   --gradcheck  additionally run the finite-difference gradient checks of
+//                the op suite (real kernels; still fast)
+//   --snapshot   validate a frozen NMCDRSV1 snapshot file's scoring chain
+//                against the same shape rules
+//   --report     also write the report text to this path
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serving/model_snapshot.h"
+#include "util/flags.h"
+#include "verify/analyzer.h"
+#include "verify/op_suite.h"
+
+int main(int argc, char** argv) {
+  nmcdr::FlagParser flags(argc, argv);
+  const std::string scale_name = flags.GetString("scale", "smoke");
+  nmcdr::BenchScale scale = nmcdr::BenchScale::kSmoke;
+  if (scale_name == "small") {
+    scale = nmcdr::BenchScale::kSmall;
+  } else if (scale_name == "full") {
+    scale = nmcdr::BenchScale::kFull;
+  } else if (scale_name != "smoke") {
+    std::cerr << "nmcdr_analyze: unknown --scale '" << scale_name
+              << "' (want smoke|small|full)\n";
+    return 2;
+  }
+
+  nmcdr::verify::AnalyzeReport report =
+      nmcdr::verify::AnalyzeAllModels(scale);
+  std::string text = report.ToString();
+  int findings = report.finding_count();
+
+  if (flags.GetBool("gradcheck", false)) {
+    const std::vector<nmcdr::verify::GradCheckIssue> issues =
+        nmcdr::verify::RunAllGradChecks();
+    text += "\ngradcheck: " +
+            std::to_string(nmcdr::verify::OpSuite().size()) + " cases, " +
+            std::to_string(issues.size()) + " failures\n";
+    for (const nmcdr::verify::GradCheckIssue& i : issues) {
+      text += "  [gradcheck] " + i.case_name + ": " + i.detail + "\n";
+    }
+    findings += static_cast<int>(issues.size());
+  }
+
+  const std::string snapshot_path = flags.GetString("snapshot");
+  if (!snapshot_path.empty()) {
+    nmcdr::ModelSnapshot snapshot;
+    if (!nmcdr::ModelSnapshot::Load(snapshot_path, &snapshot)) {
+      text += "\nsnapshot " + snapshot_path + ": failed to load\n";
+      ++findings;
+    } else {
+      const std::vector<nmcdr::verify::Finding> snap_findings =
+          nmcdr::verify::VerifySnapshotShapes(snapshot);
+      text += "\nsnapshot " + snapshot_path + ": " +
+              std::to_string(snapshot.num_domains()) + " domains, " +
+              std::to_string(snap_findings.size()) + " shape findings\n";
+      for (const nmcdr::verify::Finding& f : snap_findings) {
+        text += "  " + f.ToString() + "\n";
+      }
+      findings += static_cast<int>(snap_findings.size());
+    }
+  }
+
+  std::cout << text;
+  const std::string report_path = flags.GetString("report");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::cerr << "nmcdr_analyze: cannot write " << report_path << "\n";
+      return 2;
+    }
+    out << text;
+  }
+  return findings == 0 ? 0 : 1;
+}

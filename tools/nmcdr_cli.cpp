@@ -23,7 +23,6 @@
 #include <memory>
 
 #include "autograd/serialization.h"
-#include "baselines/register_all.h"
 #include "core/nmcdr_model.h"
 #include "data/importer.h"
 #include "data/loader.h"
