@@ -1,0 +1,245 @@
+// Dense-kernel micro-benchmark for the execution backends
+// (src/tensor/backend.h): serial GFLOP/s plus serial-vs-parallel speedup at
+// 1/2/4 threads for the hot KernelBackend entry points on training-shaped
+// matrices (batch x hidden blocks as the trainer sees them). Before timing,
+// every kernel's parallel output is checked bit-equal to the serial one, so
+// the numbers can never come from a divergent code path.
+//
+// Writes BENCH_kernels.json next to the binary so the perf trajectory has a
+// machine-readable baseline; the file records hardware_concurrency because
+// speedups are only meaningful with as many cores as pool threads.
+//
+// `--smoke` shrinks the timing budget so the binary doubles as a CTest.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tensor/backend.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace nmcdr {
+namespace {
+
+/// Thread counts the parallel backend is measured at.
+const int kThreadCounts[] = {1, 2, 4};
+
+/// One benchmarked kernel: `run` executes it once under a backend and
+/// returns the result for the bit-equality check.
+struct KernelCase {
+  std::string name;
+  std::string shape;
+  double flops = 0.0;  // nominal flops per run, for the GFLOP/s column
+  std::function<Matrix(const KernelBackend&)> run;
+};
+
+struct KernelResult {
+  std::string name;
+  std::string shape;
+  double serial_gflops = 0.0;
+  std::vector<double> speedup;  // parallel to kThreadCounts, serial/parallel
+};
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-1.f, 1.f);
+  return m;
+}
+
+/// Seconds per run of `fn`, timed until `min_seconds` of work accumulated.
+double SecondsPerRun(const std::function<Matrix(const KernelBackend&)>& fn,
+                     const KernelBackend& backend, double min_seconds) {
+  fn(backend);  // warm-up
+  Stopwatch timer;
+  int64_t runs = 0;
+  do {
+    fn(backend);
+    ++runs;
+  } while (timer.ElapsedSeconds() < min_seconds);
+  return timer.ElapsedSeconds() / static_cast<double>(runs);
+}
+
+bool BitEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(),
+                                       sizeof(float) * a.size()) == 0);
+}
+
+/// Measures one kernel under the serial backend and the parallel backend at
+/// every thread count; dies loudly if any parallel result diverges.
+KernelResult MeasureKernel(const KernelCase& kernel, double min_seconds,
+                           bool* equivalence_ok) {
+  const SerialBackend& serial = SerialKernelBackend();
+  KernelResult result;
+  result.name = kernel.name;
+  result.shape = kernel.shape;
+  const Matrix want = kernel.run(serial);
+  const double serial_seconds =
+      SecondsPerRun(kernel.run, serial, min_seconds);
+  result.serial_gflops = kernel.flops / serial_seconds * 1e-9;
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const ParallelBackend parallel(&pool);
+    if (!BitEqual(want, kernel.run(parallel))) {
+      std::fprintf(stderr, "FAIL: %s diverges at %d threads\n",
+                   kernel.name.c_str(), threads);
+      *equivalence_ok = false;
+    }
+    const double parallel_seconds =
+        SecondsPerRun(kernel.run, parallel, min_seconds);
+    result.speedup.push_back(serial_seconds / parallel_seconds);
+  }
+  return result;
+}
+
+/// The benchmarked kernel set on training-shaped operands: a forward/
+/// backward pass over a 512-example batch with hidden width 64 against a
+/// 4096-row embedding table. Inputs live in `*store` so the lambdas can
+/// capture references that outlive this function.
+std::vector<KernelCase> BuildKernelCases(std::vector<Matrix>* store,
+                                         std::vector<int>* ids) {
+  Rng rng(29);
+  const int batch = 512, hidden = 64, table_rows = 4096;
+  store->clear();
+  store->push_back(RandomMatrix(batch, hidden, &rng));       // 0: activations
+  store->push_back(RandomMatrix(hidden, hidden, &rng));      // 1: weights
+  store->push_back(RandomMatrix(batch, hidden, &rng));       // 2: second act
+  store->push_back(RandomMatrix(table_rows, hidden, &rng));  // 3: table
+  const Matrix& act = (*store)[0];
+  const Matrix& w = (*store)[1];
+  const Matrix& act2 = (*store)[2];
+  const Matrix& table = (*store)[3];
+  ids->resize(batch);
+  for (int& id : *ids) id = static_cast<int>(rng.NextUint64(table_rows));
+  const std::vector<int>& id_ref = *ids;
+
+  const double gemm_flops = 2.0 * batch * hidden * hidden;
+  const double ew_flops = 1.0 * batch * hidden;
+  const std::string bxh =
+      std::to_string(batch) + "x" + std::to_string(hidden);
+  const std::string gemm_shape = bxh + " * " + std::to_string(hidden) + "x" +
+                                 std::to_string(hidden);
+
+  std::vector<KernelCase> cases;
+  cases.push_back({"MatMul", gemm_shape, gemm_flops,
+                   [&act, &w](const KernelBackend& b) {
+                     Matrix out(act.rows(), w.cols());
+                     b.MatMulAccumInto(act, w, &out);
+                     return out;
+                   }});
+  cases.push_back({"MatMulTransA", bxh + "^T * " + bxh, gemm_flops,
+                   [&act, &act2](const KernelBackend& b) {
+                     return b.MatMulTransA(act, act2);
+                   }});
+  cases.push_back({"MatMulTransB", gemm_shape + "^T", gemm_flops,
+                   [&act, &w](const KernelBackend& b) {
+                     return b.MatMulTransB(act, w);
+                   }});
+  cases.push_back({"Add", bxh, ew_flops,
+                   [&act, &act2](const KernelBackend& b) {
+                     return b.Add(act, act2);
+                   }});
+  cases.push_back({"Sigmoid", bxh, 4.0 * batch * hidden,
+                   [&act](const KernelBackend& b) { return b.Sigmoid(act); }});
+  cases.push_back({"SoftmaxRows", bxh, 5.0 * batch * hidden,
+                   [&act](const KernelBackend& b) {
+                     return b.SoftmaxRows(act);
+                   }});
+  cases.push_back({"ColSum", bxh, ew_flops,
+                   [&act](const KernelBackend& b) { return b.ColSum(act); }});
+  cases.push_back({"GatherRows",
+                   std::to_string(table.rows()) + "x" +
+                       std::to_string(hidden) + " [" +
+                       std::to_string(batch) + " ids]",
+                   ew_flops,
+                   [&table, &id_ref](const KernelBackend& b) {
+                     return b.GatherRows(table, id_ref);
+                   }});
+  cases.push_back({"ScatterAddRows",
+                   bxh + " -> " + std::to_string(table.rows()) + " rows",
+                   ew_flops,
+                   [&act, &table, &id_ref](const KernelBackend& b) {
+                     Matrix out(table.rows(), table.cols());
+                     b.ScatterAddRows(act, id_ref, &out);
+                     return out;
+                   }});
+  return cases;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<KernelResult>& results, bool smoke) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"thread_counts\": [1, 2, 4],\n";
+  out << "  \"kernels\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"shape\": \"" << r.shape
+        << "\", \"serial_gflops\": " << FormatFloat(r.serial_gflops, 4)
+        << ", \"speedup\": {";
+    for (size_t t = 0; t < r.speedup.size(); ++t) {
+      out << "\"" << kThreadCounts[t]
+          << "\": " << FormatFloat(r.speedup[t], 3)
+          << (t + 1 < r.speedup.size() ? ", " : "");
+    }
+    out << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Run(bool smoke) {
+  std::printf("bench_kernels (%s, hardware_concurrency=%u)\n",
+              smoke ? "smoke" : "full", std::thread::hardware_concurrency());
+  const double min_seconds = smoke ? 0.01 : 0.25;
+
+  std::vector<Matrix> store;
+  std::vector<int> ids;
+  const std::vector<KernelCase> cases = BuildKernelCases(&store, &ids);
+
+  bool equivalence_ok = true;
+  std::vector<KernelResult> results;
+  for (const KernelCase& kernel : cases) {
+    results.push_back(MeasureKernel(kernel, min_seconds, &equivalence_ok));
+  }
+
+  TablePrinter table;
+  table.SetHeader({"Kernel", "Shape", "Serial GFLOP/s", "x1", "x2", "x4"});
+  for (const KernelResult& r : results) {
+    table.AddRow({r.name, r.shape, FormatFloat(r.serial_gflops, 3),
+                  FormatFloat(r.speedup[0], 2) + "x",
+                  FormatFloat(r.speedup[1], 2) + "x",
+                  FormatFloat(r.speedup[2], 2) + "x"});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  WriteJson("BENCH_kernels.json", results, smoke);
+  // The speedup columns are advisory (they depend on free cores), but a
+  // parallel result that differs from serial is a hard failure.
+  return equivalence_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nmcdr
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return nmcdr::Run(smoke);
+}

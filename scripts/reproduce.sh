@@ -43,9 +43,15 @@ if [ "$SCALE" = "smoke" ]; then
   fi
   if sanitizer_available thread; then
     cmake -B build-tsan -G Ninja -DNMCDR_SANITIZE=thread
-    cmake --build build-tsan --target serving_engine_test serving_test
-    ./build-tsan/tests/serving_engine_test
-    ./build-tsan/tests/serving_test
+    cmake --build build-tsan --target serving_engine_test serving_test \
+      thread_pool_test backend_equivalence_test integration_test
+    # NMCDR_THREADS=4 sizes the shared pool so the parallel kernel backend
+    # and the pool-backed serving path actually run sharded under TSan.
+    NMCDR_THREADS=4 ./build-tsan/tests/serving_engine_test
+    NMCDR_THREADS=4 ./build-tsan/tests/serving_test
+    NMCDR_THREADS=4 ./build-tsan/tests/thread_pool_test
+    NMCDR_THREADS=4 ./build-tsan/tests/backend_equivalence_test
+    NMCDR_THREADS=4 ./build-tsan/tests/integration_test
   else
     echo "no TSan runtime available; skipping sanitized serving tests"
   fi

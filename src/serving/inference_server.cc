@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace nmcdr {
 
@@ -41,10 +44,6 @@ InferenceServer::InferenceServer(const ScoreEngine* engine, Options options)
   NMCDR_CHECK(engine != nullptr);
   NMCDR_CHECK_GT(options_.num_threads, 0);
   NMCDR_CHECK_GT(options_.max_batch, 0);
-  workers_.reserve(options_.num_threads);
-  for (int i = 0; i < options_.num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
 }
 
 InferenceServer::~InferenceServer() { Stop(); }
@@ -54,6 +53,7 @@ std::future<Recommendation> InferenceServer::Submit(RecRequest request) {
   pending.request = std::move(request);
   pending.enqueued = std::chrono::steady_clock::now();
   std::future<Recommendation> future = pending.promise.get_future();
+  bool dispatch_drainer = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -65,8 +65,17 @@ std::future<Recommendation> InferenceServer::Submit(RecRequest request) {
     ++stats_.requests_submitted;
     stats_.max_queue_depth = std::max(
         stats_.max_queue_depth, static_cast<int64_t>(queue_.size()));
+    // Keep the invariant: a non-empty queue always has a drainer coming.
+    // Extra drainers (up to num_threads) add parallelism under load.
+    if (active_drainers_ < options_.num_threads &&
+        active_drainers_ < static_cast<int>(queue_.size())) {
+      ++active_drainers_;
+      dispatch_drainer = true;
+    }
   }
-  cv_.notify_one();
+  if (dispatch_drainer) {
+    ThreadPool::Shared()->Submit([this] { DrainLoop(); });
+  }
   return future;
 }
 
@@ -80,23 +89,25 @@ Recommendation InferenceServer::Recommend(int domain, int user, int k) {
 }
 
 void InferenceServer::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  stopping_ = true;
+  // The invariant guarantees progress: every queued request has an active
+  // drainer coming for it, and drainers retire only on an empty queue.
+  drained_cv_.wait(lock,
+                   [this] { return queue_.empty() && active_drainers_ == 0; });
 }
 
-void InferenceServer::WorkerLoop() {
+void InferenceServer::DrainLoop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        // Retire. Submit will dispatch a fresh drainer for new work.
+        --active_drainers_;
+        if (active_drainers_ == 0) drained_cv_.notify_all();
+        return;
+      }
       const int count = static_cast<int>(std::min<size_t>(
           options_.max_batch, queue_.size()));
       batch.reserve(count);
@@ -105,8 +116,6 @@ void InferenceServer::WorkerLoop() {
         queue_.pop_front();
       }
     }
-    // Another worker may be waiting on remaining queued requests.
-    cv_.notify_one();
 
     std::vector<RecRequest> requests;
     requests.reserve(batch.size());
@@ -140,6 +149,11 @@ void InferenceServer::WorkerLoop() {
       batch[i].promise.set_value(results[i]);
     }
   }
+}
+
+int InferenceServer::active_drainers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_drainers_;
 }
 
 ServerStats InferenceServer::stats() const {

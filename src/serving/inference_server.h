@@ -7,8 +7,6 @@
 #include <future>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "serving/score_engine.h"
 #include "util/stopwatch.h"
@@ -38,32 +36,43 @@ struct ServerStats {
   std::string ToString() const;
 };
 
-/// Concurrent top-K serving runtime over a ScoreEngine: a fixed pool of
-/// worker threads drains a shared request queue, taking up to
-/// `max_batch` queued requests per wake-up (batching amortizes queue and
-/// wake-up overhead under load; under light load a request is picked up
-/// alone and immediately). Results are delivered through futures; the
-/// engine itself is const and lock-free, so workers score in parallel.
+/// Concurrent top-K serving runtime over a ScoreEngine. The server owns no
+/// threads: it drains its request queue through ThreadPool::Shared() by
+/// dispatching up to `num_threads` concurrent drainer tasks, each taking
+/// up to `max_batch` queued requests per pass (batching amortizes queue
+/// overhead under load; under light load a request is picked up alone and
+/// immediately). A drainer exits when the queue is empty, so pool workers
+/// are only occupied while requests exist. Results are delivered through
+/// futures; the engine itself is const and lock-free, so drainers score in
+/// parallel.
+///
+/// Invariant: whenever the queue is non-empty, at least one drainer is
+/// active (Submit dispatches one if needed), and Stop() returns only once
+/// the queue is empty and every drainer has exited — nothing is left
+/// running on the shared pool afterwards.
 class InferenceServer {
  public:
   struct Options {
+    /// Maximum concurrent drainer tasks (actual parallelism is also
+    /// bounded by the shared pool's size).
     int num_threads = 2;
-    /// Requests drained per worker wake-up.
+    /// Requests drained per pass.
     int max_batch = 8;
   };
 
-  /// `engine` must outlive the server. Workers start immediately.
+  /// `engine` must outlive the server. No threads start until the first
+  /// Submit.
   InferenceServer(const ScoreEngine* engine, Options options);
   explicit InferenceServer(const ScoreEngine* engine)
       : InferenceServer(engine, Options()) {}
 
-  /// Stops and joins the workers (serving every queued request first).
+  /// Stops the server (serving every queued request first).
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueues a request; the future resolves once a worker serves it.
+  /// Enqueues a request; the future resolves once a drainer serves it.
   /// Cross-domain requests (user_domain != target_domain) route through
   /// the snapshot's person links, falling back to the cold-start path.
   std::future<Recommendation> Submit(RecRequest request);
@@ -71,9 +80,14 @@ class InferenceServer {
   /// Blocking same-domain convenience wrapper around Submit.
   Recommendation Recommend(int domain, int user, int k);
 
-  /// Serves every queued request, then stops the workers. Idempotent;
-  /// Submit after Stop fails the returned future.
+  /// Serves every queued request, waits for all drainers to exit, then
+  /// returns. Idempotent; Submit after Stop fails the returned future.
+  /// Must not be called from inside a shared-pool task.
   void Stop();
+
+  /// Currently active drainer tasks (0 after Stop() by the class
+  /// invariant — asserted in serving_engine_test).
+  int active_drainers() const;
 
   /// Consistent snapshot of the counters.
   ServerStats stats() const;
@@ -85,18 +99,21 @@ class InferenceServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  /// One drainer pass: repeatedly serve batches until the queue is empty,
+  /// then retire (decrementing active_drainers_).
+  void DrainLoop();
 
   const ScoreEngine* engine_;
   Options options_;
   Stopwatch uptime_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;     // GUARDED_BY(mu_)
-  bool stopping_ = false;         // GUARDED_BY(mu_)
-  ServerStats stats_;             // GUARDED_BY(mu_); wall filled on read
-  std::vector<std::thread> workers_;
+  /// Signalled when a drainer retires or the queue empties (Stop waits).
+  std::condition_variable drained_cv_;
+  std::deque<Pending> queue_;  // GUARDED_BY(mu_)
+  int active_drainers_ = 0;    // GUARDED_BY(mu_)
+  bool stopping_ = false;      // GUARDED_BY(mu_)
+  ServerStats stats_;          // GUARDED_BY(mu_); wall filled on read
 };
 
 }  // namespace nmcdr

@@ -7,6 +7,7 @@
 
 #include "tensor/matrix_ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace nmcdr {
 namespace {
@@ -293,9 +294,16 @@ Recommendation ScoreEngine::TopK(const RecRequest& request) const {
 
 std::vector<Recommendation> ScoreEngine::TopKBatch(
     const std::vector<RecRequest>& requests) const {
-  std::vector<Recommendation> out;
-  out.reserve(requests.size());
-  for (const RecRequest& request : requests) out.push_back(TopK(request));
+  // Requests are independent, so the batch fans out across the shared
+  // pool (grain 1: one request is already a full-catalog scan). Each
+  // result is produced by exactly one chunk, and TopK itself is
+  // deterministic, so the output is identical to the serial loop.
+  std::vector<Recommendation> out(requests.size());
+  ThreadPool::Shared()->ParallelFor(
+      0, static_cast<int64_t>(requests.size()), /*grain=*/1,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) out[i] = TopK(requests[i]);
+      });
   return out;
 }
 

@@ -85,8 +85,9 @@ class ScoreEngine {
   Recommendation TopK(const RecRequest& request) const;
 
   /// Serves a batch of requests (the InferenceServer drains its queue
-  /// into this). Results are positionally aligned with `requests` and
-  /// identical to calling TopK per request.
+  /// into this), fanned out over ThreadPool::Shared(). Results are
+  /// positionally aligned with `requests` and identical to calling TopK
+  /// per request (requests are independent and TopK is deterministic).
   std::vector<Recommendation> TopKBatch(
       const std::vector<RecRequest>& requests) const;
 

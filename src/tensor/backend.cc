@@ -1,0 +1,731 @@
+#include "tensor/backend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+namespace nmcdr {
+namespace {
+
+/// Minimum scalar work per ParallelFor chunk. Below roughly this many
+/// flops the fork/join handshake costs more than the loop; tiny kernels
+/// therefore collapse to a single chunk and run inline on the caller.
+constexpr int64_t kMinWorkPerChunk = 1 << 15;
+
+/// Rows (or columns / flat elements) per chunk for a kernel whose
+/// per-row cost is `cost_per_row` scalar ops.
+int64_t GrainFor(int64_t cost_per_row) {
+  return std::max<int64_t>(1, kMinWorkPerChunk / std::max<int64_t>(1, cost_per_row));
+}
+
+// ---------------------------------------------------------------------------
+// Range kernels. Each computes output rows/columns/elements [begin, end)
+// with the exact floating-point operation order of the seed repo's serial
+// loops, so a sharded run is bit-identical to the serial one regardless of
+// chunk boundaries (every output element lives in exactly one chunk).
+// ---------------------------------------------------------------------------
+
+/// ikj loop order: streams over B and C rows, cache-friendly row-major.
+void MatMulAccumRows(const Matrix& a, const Matrix& b, Matrix* out,
+                     int64_t r0, int64_t r1) {
+  const int k = a.cols(), n = b.cols();
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = a.row(static_cast<int>(i));
+    float* crow = out->row(static_cast<int>(i));
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Output rows [r0, r1) of A^T * B. Per output element the contributions
+/// accumulate in ascending p, matching the serial p-outer loop.
+void MatMulTransARows(const Matrix& a, const Matrix& b, Matrix* out,
+                      int64_t r0, int64_t r1) {
+  const int k = a.rows(), n = b.cols(), m = a.cols();
+  for (int64_t i = r0; i < r1; ++i) {
+    float* crow = out->row(static_cast<int>(i));
+    for (int p = 0; p < k; ++p) {
+      const float av = a.data()[static_cast<size_t>(p) * m + i];
+      if (av == 0.f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBRows(const Matrix& a, const Matrix& b, Matrix* out,
+                      int64_t r0, int64_t r1) {
+  const int k = a.cols(), n = b.rows();
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = a.row(static_cast<int>(i));
+    float* crow = out->row(static_cast<int>(i));
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+/// Source rows [r0, r1): out(c, r) = a(r, c). A pure copy, so any shard
+/// order is bit-exact; sharding by source row keeps reads streaming.
+void TransposeRows(const Matrix& a, Matrix* out, int64_t r0, int64_t r1) {
+  const int cols = a.cols(), rows = a.rows();
+  for (int64_t r = r0; r < r1; ++r) {
+    const float* arow = a.row(static_cast<int>(r));
+    float* base = out->data() + r;
+    for (int c = 0; c < cols; ++c) base[static_cast<size_t>(c) * rows] = arow[c];
+  }
+}
+
+template <typename F>
+void EwRange(const Matrix& a, Matrix* out, int64_t i0, int64_t i1, F f) {
+  const float* in = a.data();
+  float* o = out->data();
+  for (int64_t i = i0; i < i1; ++i) o[i] = f(in[i]);
+}
+
+template <typename F>
+void Ew2Range(const Matrix& a, const Matrix& b, Matrix* out, int64_t i0,
+              int64_t i1, F f) {
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out->data();
+  for (int64_t i = i0; i < i1; ++i) o[i] = f(pa[i], pb[i]);
+}
+
+void AxpyRange(const Matrix& a, float alpha, Matrix* out, int64_t i0,
+               int64_t i1) {
+  const float* in = a.data();
+  float* o = out->data();
+  for (int64_t i = i0; i < i1; ++i) o[i] += alpha * in[i];
+}
+
+void AddRowBroadcastRows(const Matrix& a, const Matrix& b, Matrix* out,
+                         int64_t r0, int64_t r1) {
+  const int cols = a.cols();
+  const float* brow = b.row(0);
+  for (int64_t r = r0; r < r1; ++r) {
+    const float* arow = a.row(static_cast<int>(r));
+    float* orow = out->row(static_cast<int>(r));
+    for (int c = 0; c < cols; ++c) orow[c] = arow[c] + brow[c];
+  }
+}
+
+void SoftmaxRowsRange(const Matrix& a, Matrix* out, int64_t r0, int64_t r1) {
+  const int cols = a.cols();
+  for (int64_t r = r0; r < r1; ++r) {
+    const float* in = a.row(static_cast<int>(r));
+    float* o = out->row(static_cast<int>(r));
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double total = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      total += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int c = 0; c < cols; ++c) o[c] *= inv;
+  }
+}
+
+void RowSumRange(const Matrix& a, Matrix* out, int64_t r0, int64_t r1) {
+  const int cols = a.cols();
+  for (int64_t r = r0; r < r1; ++r) {
+    double acc = 0.0;
+    const float* arow = a.row(static_cast<int>(r));
+    for (int c = 0; c < cols; ++c) acc += arow[c];
+    out->At(static_cast<int>(r), 0) = static_cast<float>(acc);
+  }
+}
+
+void RowDotRange(const Matrix& a, const Matrix& b, Matrix* out, int64_t r0,
+                 int64_t r1) {
+  const int cols = a.cols();
+  for (int64_t r = r0; r < r1; ++r) {
+    const float* ar = a.row(static_cast<int>(r));
+    const float* br = b.row(static_cast<int>(r));
+    double acc = 0.0;
+    for (int c = 0; c < cols; ++c) acc += static_cast<double>(ar[c]) * br[c];
+    out->At(static_cast<int>(r), 0) = static_cast<float>(acc);
+  }
+}
+
+/// Columns [c0, c1): each column accumulates its rows in ascending row
+/// order — the same per-column addition sequence as the serial row-outer
+/// loop, so the column-sharded reduction is bit-exact.
+void ColSumCols(const Matrix& a, Matrix* out, int64_t c0, int64_t c1) {
+  const int rows = a.rows();
+  float* o = out->row(0);
+  for (int r = 0; r < rows; ++r) {
+    const float* arow = a.row(r);
+    for (int64_t c = c0; c < c1; ++c) o[c] += arow[c];
+  }
+}
+
+void GatherRowsRange(const Matrix& table, const std::vector<int>& ids,
+                     Matrix* out, int64_t i0, int64_t i1) {
+  const int cols = table.cols();
+  for (int64_t i = i0; i < i1; ++i) {
+    NMCDR_CHECK_GE(ids[i], 0);
+    NMCDR_CHECK_LT(ids[i], table.rows());
+    const float* src = table.row(ids[i]);
+    float* dst = out->row(static_cast<int>(i));
+    for (int c = 0; c < cols; ++c) dst[c] = src[c];
+  }
+}
+
+/// Destination rows [d0, d1): scans the whole id list and applies only the
+/// updates landing in this shard. Per destination row the updates happen
+/// in ascending i — the serial order — so colliding ids reduce bit-exactly
+/// while shards never write the same row.
+void ScatterAddDestRows(const Matrix& src, const std::vector<int>& ids,
+                        Matrix* out, int64_t d0, int64_t d1) {
+  const int cols = src.cols();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int id = ids[i];
+    if (id < d0 || id >= d1) continue;
+    const float* s = src.row(static_cast<int>(i));
+    float* d = out->row(id);
+    for (int c = 0; c < cols; ++c) d[c] += s[c];
+  }
+}
+
+void ConcatColsRows(const Matrix& a, const Matrix& b, Matrix* out, int64_t r0,
+                    int64_t r1) {
+  const int ac = a.cols(), bc = b.cols();
+  for (int64_t r = r0; r < r1; ++r) {
+    float* o = out->row(static_cast<int>(r));
+    const float* ar = a.row(static_cast<int>(r));
+    const float* br = b.row(static_cast<int>(r));
+    for (int c = 0; c < ac; ++c) o[c] = ar[c];
+    for (int c = 0; c < bc; ++c) o[ac + c] = br[c];
+  }
+}
+
+// Scalar bodies shared by both backends' activation kernels.
+
+inline float ReluScalar(float x) { return x > 0.f ? x : 0.f; }
+
+inline float SigmoidScalar(float x) {
+  // Numerically stable in both tails.
+  if (x >= 0.f) {
+    const float z = std::exp(-x);
+    return 1.f / (1.f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.f + z);
+}
+
+inline float TanhScalar(float x) { return std::tanh(x); }
+
+inline float SoftplusScalar(float x) {
+  // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
+  return (x > 0.f ? x : 0.f) + std::log1p(std::exp(-std::fabs(x)));
+}
+
+inline float ExpScalar(float x) { return std::exp(x); }
+
+inline float LogScalar(float x) {
+  return std::log(x > 1e-12f ? x : 1e-12f);
+}
+
+/// Transcendental loops get a smaller grain: each element costs ~10-30
+/// flops, so chunks amortize the handshake much sooner.
+constexpr int64_t kTranscendentalCost = 16;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SerialBackend: the range kernels over the full range on the caller.
+// ---------------------------------------------------------------------------
+
+void SerialBackend::MatMulAccumInto(const Matrix& a, const Matrix& b,
+                                    Matrix* out) const {
+  MatMulAccumRows(a, b, out, 0, a.rows());
+}
+
+Matrix SerialBackend::MatMulTransA(const Matrix& a, const Matrix& b) const {
+  // p-outer streaming loop (reads each A/B row once); per output element
+  // the accumulation order is ascending p, identical to MatMulTransARows.
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.f) continue;
+      float* crow = out.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix SerialBackend::MatMulTransB(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), b.rows());
+  MatMulTransBRows(a, b, &out, 0, a.rows());
+  return out;
+}
+
+Matrix SerialBackend::Transpose(const Matrix& a) const {
+  Matrix out(a.cols(), a.rows());
+  TransposeRows(a, &out, 0, a.rows());
+  return out;
+}
+
+Matrix SerialBackend::Add(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols());
+  Ew2Range(a, b, &out, 0, a.size(), [](float x, float y) { return x + y; });
+  return out;
+}
+
+Matrix SerialBackend::Sub(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols());
+  Ew2Range(a, b, &out, 0, a.size(), [](float x, float y) { return x - y; });
+  return out;
+}
+
+Matrix SerialBackend::Hadamard(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols());
+  Ew2Range(a, b, &out, 0, a.size(), [](float x, float y) { return x * y; });
+  return out;
+}
+
+Matrix SerialBackend::Axpby(const Matrix& a, float alpha, const Matrix& b,
+                            float beta) const {
+  Matrix out(a.rows(), a.cols());
+  Ew2Range(a, b, &out, 0, a.size(), [alpha, beta](float x, float y) {
+    return alpha * x + beta * y;
+  });
+  return out;
+}
+
+void SerialBackend::AxpyInto(const Matrix& a, float alpha, Matrix* out) const {
+  AxpyRange(a, alpha, out, 0, a.size());
+}
+
+Matrix SerialBackend::Scale(const Matrix& a, float s) const {
+  Matrix out(a.rows(), a.cols());
+  EwRange(a, &out, 0, a.size(), [s](float x) { return s * x; });
+  return out;
+}
+
+Matrix SerialBackend::AddScalar(const Matrix& a, float s) const {
+  Matrix out(a.rows(), a.cols());
+  EwRange(a, &out, 0, a.size(), [s](float x) { return x + s; });
+  return out;
+}
+
+Matrix SerialBackend::AddRowBroadcast(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols());
+  AddRowBroadcastRows(a, b, &out, 0, a.rows());
+  return out;
+}
+
+Matrix SerialBackend::Relu(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  EwRange(a, &out, 0, a.size(), ReluScalar);
+  return out;
+}
+
+Matrix SerialBackend::Sigmoid(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  EwRange(a, &out, 0, a.size(), SigmoidScalar);
+  return out;
+}
+
+Matrix SerialBackend::Tanh(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  EwRange(a, &out, 0, a.size(), TanhScalar);
+  return out;
+}
+
+Matrix SerialBackend::Softplus(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  EwRange(a, &out, 0, a.size(), SoftplusScalar);
+  return out;
+}
+
+Matrix SerialBackend::Exp(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  EwRange(a, &out, 0, a.size(), ExpScalar);
+  return out;
+}
+
+Matrix SerialBackend::Log(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  EwRange(a, &out, 0, a.size(), LogScalar);
+  return out;
+}
+
+Matrix SerialBackend::SoftmaxRows(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  SoftmaxRowsRange(a, &out, 0, a.rows());
+  return out;
+}
+
+Matrix SerialBackend::RowSum(const Matrix& a) const {
+  Matrix out(a.rows(), 1);
+  RowSumRange(a, &out, 0, a.rows());
+  return out;
+}
+
+Matrix SerialBackend::RowDot(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), 1);
+  RowDotRange(a, b, &out, 0, a.rows());
+  return out;
+}
+
+Matrix SerialBackend::ColSum(const Matrix& a) const {
+  Matrix out(1, a.cols());
+  ColSumCols(a, &out, 0, a.cols());
+  return out;
+}
+
+Matrix SerialBackend::GatherRows(const Matrix& table,
+                                 const std::vector<int>& ids) const {
+  Matrix out(static_cast<int>(ids.size()), table.cols());
+  GatherRowsRange(table, ids, &out, 0, static_cast<int64_t>(ids.size()));
+  return out;
+}
+
+void SerialBackend::ScatterAddRows(const Matrix& src,
+                                   const std::vector<int>& ids,
+                                   Matrix* out) const {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    NMCDR_CHECK_GE(ids[i], 0);
+    NMCDR_CHECK_LT(ids[i], out->rows());
+  }
+  ScatterAddDestRows(src, ids, out, 0, out->rows());
+}
+
+Matrix SerialBackend::ConcatCols(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols() + b.cols());
+  ConcatColsRows(a, b, &out, 0, a.rows());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelBackend: the same range kernels sharded over the pool.
+// ---------------------------------------------------------------------------
+
+void ParallelBackend::MatMulAccumInto(const Matrix& a, const Matrix& b,
+                                      Matrix* out) const {
+  const int64_t row_cost = static_cast<int64_t>(a.cols()) * b.cols();
+  pool()->ParallelFor(0, a.rows(), GrainFor(row_cost),
+                      [&](int64_t r0, int64_t r1) {
+                        MatMulAccumRows(a, b, out, r0, r1);
+                      });
+}
+
+Matrix ParallelBackend::MatMulTransA(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.cols(), b.cols());
+  const int64_t row_cost = static_cast<int64_t>(a.rows()) * b.cols();
+  pool()->ParallelFor(0, a.cols(), GrainFor(row_cost),
+                      [&](int64_t r0, int64_t r1) {
+                        MatMulTransARows(a, b, &out, r0, r1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::MatMulTransB(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), b.rows());
+  const int64_t row_cost = static_cast<int64_t>(a.cols()) * b.rows();
+  pool()->ParallelFor(0, a.rows(), GrainFor(row_cost),
+                      [&](int64_t r0, int64_t r1) {
+                        MatMulTransBRows(a, b, &out, r0, r1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Transpose(const Matrix& a) const {
+  Matrix out(a.cols(), a.rows());
+  pool()->ParallelFor(0, a.rows(), GrainFor(a.cols()),
+                      [&](int64_t r0, int64_t r1) {
+                        TransposeRows(a, &out, r0, r1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Add(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), kMinWorkPerChunk,
+                      [&](int64_t i0, int64_t i1) {
+                        Ew2Range(a, b, &out, i0, i1,
+                                 [](float x, float y) { return x + y; });
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Sub(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), kMinWorkPerChunk,
+                      [&](int64_t i0, int64_t i1) {
+                        Ew2Range(a, b, &out, i0, i1,
+                                 [](float x, float y) { return x - y; });
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Hadamard(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), kMinWorkPerChunk,
+                      [&](int64_t i0, int64_t i1) {
+                        Ew2Range(a, b, &out, i0, i1,
+                                 [](float x, float y) { return x * y; });
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Axpby(const Matrix& a, float alpha, const Matrix& b,
+                              float beta) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), kMinWorkPerChunk,
+                      [&](int64_t i0, int64_t i1) {
+                        Ew2Range(a, b, &out, i0, i1,
+                                 [alpha, beta](float x, float y) {
+                                   return alpha * x + beta * y;
+                                 });
+                      });
+  return out;
+}
+
+void ParallelBackend::AxpyInto(const Matrix& a, float alpha,
+                               Matrix* out) const {
+  pool()->ParallelFor(0, a.size(), kMinWorkPerChunk,
+                      [&](int64_t i0, int64_t i1) {
+                        AxpyRange(a, alpha, out, i0, i1);
+                      });
+}
+
+Matrix ParallelBackend::Scale(const Matrix& a, float s) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), kMinWorkPerChunk,
+                      [&](int64_t i0, int64_t i1) {
+                        EwRange(a, &out, i0, i1,
+                                [s](float x) { return s * x; });
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::AddScalar(const Matrix& a, float s) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), kMinWorkPerChunk,
+                      [&](int64_t i0, int64_t i1) {
+                        EwRange(a, &out, i0, i1,
+                                [s](float x) { return x + s; });
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::AddRowBroadcast(const Matrix& a,
+                                        const Matrix& b) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.rows(), GrainFor(a.cols()),
+                      [&](int64_t r0, int64_t r1) {
+                        AddRowBroadcastRows(a, b, &out, r0, r1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Relu(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), kMinWorkPerChunk,
+                      [&](int64_t i0, int64_t i1) {
+                        EwRange(a, &out, i0, i1, ReluScalar);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Sigmoid(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), GrainFor(kTranscendentalCost),
+                      [&](int64_t i0, int64_t i1) {
+                        EwRange(a, &out, i0, i1, SigmoidScalar);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Tanh(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), GrainFor(kTranscendentalCost),
+                      [&](int64_t i0, int64_t i1) {
+                        EwRange(a, &out, i0, i1, TanhScalar);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Softplus(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), GrainFor(kTranscendentalCost),
+                      [&](int64_t i0, int64_t i1) {
+                        EwRange(a, &out, i0, i1, SoftplusScalar);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Exp(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), GrainFor(kTranscendentalCost),
+                      [&](int64_t i0, int64_t i1) {
+                        EwRange(a, &out, i0, i1, ExpScalar);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::Log(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.size(), GrainFor(kTranscendentalCost),
+                      [&](int64_t i0, int64_t i1) {
+                        EwRange(a, &out, i0, i1, LogScalar);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::SoftmaxRows(const Matrix& a) const {
+  Matrix out(a.rows(), a.cols());
+  pool()->ParallelFor(0, a.rows(),
+                      GrainFor(static_cast<int64_t>(a.cols()) *
+                               kTranscendentalCost),
+                      [&](int64_t r0, int64_t r1) {
+                        SoftmaxRowsRange(a, &out, r0, r1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::RowSum(const Matrix& a) const {
+  Matrix out(a.rows(), 1);
+  pool()->ParallelFor(0, a.rows(), GrainFor(a.cols()),
+                      [&](int64_t r0, int64_t r1) {
+                        RowSumRange(a, &out, r0, r1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::RowDot(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), 1);
+  pool()->ParallelFor(0, a.rows(), GrainFor(a.cols()),
+                      [&](int64_t r0, int64_t r1) {
+                        RowDotRange(a, b, &out, r0, r1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::ColSum(const Matrix& a) const {
+  // Column-sharded: every shard walks all rows but owns a disjoint column
+  // range, keeping each column's accumulation in serial row order.
+  Matrix out(1, a.cols());
+  pool()->ParallelFor(0, a.cols(), GrainFor(a.rows()),
+                      [&](int64_t c0, int64_t c1) {
+                        ColSumCols(a, &out, c0, c1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::GatherRows(const Matrix& table,
+                                   const std::vector<int>& ids) const {
+  Matrix out(static_cast<int>(ids.size()), table.cols());
+  pool()->ParallelFor(0, static_cast<int64_t>(ids.size()),
+                      GrainFor(table.cols()), [&](int64_t i0, int64_t i1) {
+                        GatherRowsRange(table, ids, &out, i0, i1);
+                      });
+  return out;
+}
+
+void ParallelBackend::ScatterAddRows(const Matrix& src,
+                                     const std::vector<int>& ids,
+                                     Matrix* out) const {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    NMCDR_CHECK_GE(ids[i], 0);
+    NMCDR_CHECK_LT(ids[i], out->rows());
+  }
+  // Destination-row shards: each shard rescans the id list (cheap next to
+  // the row adds) and applies only its own rows, so colliding ids stay in
+  // serial order and shards never touch the same output row. The grain
+  // folds the scan overhead in by requiring enough expected add work per
+  // shard.
+  const int64_t adds = static_cast<int64_t>(ids.size()) * src.cols();
+  const int64_t per_dest_row =
+      out->rows() > 0 ? std::max<int64_t>(1, adds / out->rows()) : 1;
+  pool()->ParallelFor(0, out->rows(), GrainFor(per_dest_row),
+                      [&](int64_t d0, int64_t d1) {
+                        ScatterAddDestRows(src, ids, out, d0, d1);
+                      });
+}
+
+Matrix ParallelBackend::ConcatCols(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.rows(), a.cols() + b.cols());
+  pool()->ParallelFor(0, a.rows(), GrainFor(a.cols() + b.cols()),
+                      [&](int64_t r0, int64_t r1) {
+                        ConcatColsRows(a, b, &out, r0, r1);
+                      });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local const KernelBackend* tl_backend_override = nullptr;
+std::atomic<const KernelBackend*> g_default_backend{nullptr};
+
+const KernelBackend& BuiltinDefaultBackend() {
+  static const KernelBackend* const backend = [] {
+    const char* env = std::getenv("NMCDR_BACKEND");
+    if (env != nullptr && std::string_view(env) == "serial") {
+      return static_cast<const KernelBackend*>(&SerialKernelBackend());
+    }
+    return static_cast<const KernelBackend*>(&ParallelKernelBackend());
+  }();
+  return *backend;
+}
+
+}  // namespace
+
+const SerialBackend& SerialKernelBackend() {
+  static const SerialBackend backend;
+  return backend;
+}
+
+const ParallelBackend& ParallelKernelBackend() {
+  static const ParallelBackend backend;  // binds ThreadPool::Shared() lazily
+  return backend;
+}
+
+const KernelBackend& CurrentBackend() {
+  if (tl_backend_override != nullptr) return *tl_backend_override;
+  const KernelBackend* d = g_default_backend.load(std::memory_order_acquire);
+  return d != nullptr ? *d : BuiltinDefaultBackend();
+}
+
+void SetDefaultBackend(const KernelBackend* backend) {
+  g_default_backend.store(backend, std::memory_order_release);
+}
+
+BackendGuard::BackendGuard(const KernelBackend* backend)
+    : saved_(tl_backend_override), active_(backend != nullptr) {
+  if (active_) tl_backend_override = backend;
+}
+
+BackendGuard::~BackendGuard() {
+  if (active_) tl_backend_override = saved_;
+}
+
+const KernelBackend* BackendForThreads(int threads) {
+  if (threads <= 0) return nullptr;
+  if (threads == 1) return &SerialKernelBackend();
+  return &ParallelKernelBackend();
+}
+
+}  // namespace nmcdr

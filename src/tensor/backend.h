@@ -1,0 +1,198 @@
+#ifndef NMCDR_TENSOR_BACKEND_H_
+#define NMCDR_TENSOR_BACKEND_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/thread_pool.h"
+
+namespace nmcdr {
+
+/// Execution seam for the dense kernels: the free functions in
+/// tensor/matrix_ops.h are thin dispatchers over the current KernelBackend,
+/// so every consumer (autograd ops, model code, the serving ScoreEngine)
+/// picks up a backend change without touching a call site.
+///
+/// Contract: every backend must produce BIT-EXACT results for the same
+/// inputs — identical down to the float, not merely close. ParallelBackend
+/// achieves this by sharding each kernel so that every output element is
+/// computed by exactly one chunk using the serial code's floating-point
+/// operation order (rows for GEMMs, columns for the ColSum reduction,
+/// destination rows for ScatterAddRows); see DESIGN.md §9 for the
+/// determinism argument. backend_equivalence_test fuzzes the whole
+/// interface against this contract.
+///
+/// Shape validation lives in the matrix_ops.h dispatchers; backend methods
+/// may assume validated inputs (direct callers bypassing the dispatchers,
+/// like the equivalence fuzz, must pass well-formed shapes).
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  /// Stable name for logs / bench output ("serial", "parallel").
+  virtual const char* name() const = 0;
+
+  // Dense GEMM family. MatMul itself is derived: out = 0; MatMulAccumInto.
+  virtual void MatMulAccumInto(const Matrix& a, const Matrix& b,
+                               Matrix* out) const = 0;
+  virtual Matrix MatMulTransA(const Matrix& a, const Matrix& b) const = 0;
+  virtual Matrix MatMulTransB(const Matrix& a, const Matrix& b) const = 0;
+  virtual Matrix Transpose(const Matrix& a) const = 0;
+
+  // Elementwise / broadcast kernels.
+  virtual Matrix Add(const Matrix& a, const Matrix& b) const = 0;
+  virtual Matrix Sub(const Matrix& a, const Matrix& b) const = 0;
+  virtual Matrix Hadamard(const Matrix& a, const Matrix& b) const = 0;
+  virtual Matrix Axpby(const Matrix& a, float alpha, const Matrix& b,
+                       float beta) const = 0;
+  virtual void AxpyInto(const Matrix& a, float alpha, Matrix* out) const = 0;
+  virtual Matrix Scale(const Matrix& a, float s) const = 0;
+  virtual Matrix AddScalar(const Matrix& a, float s) const = 0;
+  virtual Matrix AddRowBroadcast(const Matrix& a, const Matrix& b) const = 0;
+
+  // Activations.
+  virtual Matrix Relu(const Matrix& a) const = 0;
+  virtual Matrix Sigmoid(const Matrix& a) const = 0;
+  virtual Matrix Tanh(const Matrix& a) const = 0;
+  virtual Matrix Softplus(const Matrix& a) const = 0;
+  virtual Matrix Exp(const Matrix& a) const = 0;
+  virtual Matrix Log(const Matrix& a) const = 0;
+  virtual Matrix SoftmaxRows(const Matrix& a) const = 0;
+
+  // Reductions and gather/scatter.
+  virtual Matrix RowSum(const Matrix& a) const = 0;
+  virtual Matrix RowDot(const Matrix& a, const Matrix& b) const = 0;
+  virtual Matrix ColSum(const Matrix& a) const = 0;
+  virtual Matrix GatherRows(const Matrix& table,
+                            const std::vector<int>& ids) const = 0;
+  virtual void ScatterAddRows(const Matrix& src, const std::vector<int>& ids,
+                              Matrix* out) const = 0;
+  virtual Matrix ConcatCols(const Matrix& a, const Matrix& b) const = 0;
+};
+
+/// The seed repo's single-threaded kernels, verbatim (moved here from
+/// matrix_ops.cc). The reference implementation every other backend must
+/// match bit-for-bit.
+class SerialBackend final : public KernelBackend {
+ public:
+  const char* name() const override { return "serial"; }
+  void MatMulAccumInto(const Matrix& a, const Matrix& b,
+                       Matrix* out) const override;
+  Matrix MatMulTransA(const Matrix& a, const Matrix& b) const override;
+  Matrix MatMulTransB(const Matrix& a, const Matrix& b) const override;
+  Matrix Transpose(const Matrix& a) const override;
+  Matrix Add(const Matrix& a, const Matrix& b) const override;
+  Matrix Sub(const Matrix& a, const Matrix& b) const override;
+  Matrix Hadamard(const Matrix& a, const Matrix& b) const override;
+  Matrix Axpby(const Matrix& a, float alpha, const Matrix& b,
+               float beta) const override;
+  void AxpyInto(const Matrix& a, float alpha, Matrix* out) const override;
+  Matrix Scale(const Matrix& a, float s) const override;
+  Matrix AddScalar(const Matrix& a, float s) const override;
+  Matrix AddRowBroadcast(const Matrix& a, const Matrix& b) const override;
+  Matrix Relu(const Matrix& a) const override;
+  Matrix Sigmoid(const Matrix& a) const override;
+  Matrix Tanh(const Matrix& a) const override;
+  Matrix Softplus(const Matrix& a) const override;
+  Matrix Exp(const Matrix& a) const override;
+  Matrix Log(const Matrix& a) const override;
+  Matrix SoftmaxRows(const Matrix& a) const override;
+  Matrix RowSum(const Matrix& a) const override;
+  Matrix RowDot(const Matrix& a, const Matrix& b) const override;
+  Matrix ColSum(const Matrix& a) const override;
+  Matrix GatherRows(const Matrix& table,
+                    const std::vector<int>& ids) const override;
+  void ScatterAddRows(const Matrix& src, const std::vector<int>& ids,
+                      Matrix* out) const override;
+  Matrix ConcatCols(const Matrix& a, const Matrix& b) const override;
+};
+
+/// Pool-backed kernels: row-blocked GEMMs, chunked elementwise and
+/// activation loops, sharded GatherRows, column-sharded ColSum, and
+/// destination-row-sharded ScatterAddRows. Small inputs (below a
+/// per-kernel work grain) run the serial path inline, so pervasive
+/// dispatch through this backend never slows tiny training-step tensors.
+class ParallelBackend final : public KernelBackend {
+ public:
+  /// `pool == nullptr` binds to ThreadPool::Shared() at call time (the
+  /// production configuration); benchmarks and tests pass private pools to
+  /// sweep thread counts inside one process.
+  explicit ParallelBackend(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  const char* name() const override { return "parallel"; }
+  void MatMulAccumInto(const Matrix& a, const Matrix& b,
+                       Matrix* out) const override;
+  Matrix MatMulTransA(const Matrix& a, const Matrix& b) const override;
+  Matrix MatMulTransB(const Matrix& a, const Matrix& b) const override;
+  Matrix Transpose(const Matrix& a) const override;
+  Matrix Add(const Matrix& a, const Matrix& b) const override;
+  Matrix Sub(const Matrix& a, const Matrix& b) const override;
+  Matrix Hadamard(const Matrix& a, const Matrix& b) const override;
+  Matrix Axpby(const Matrix& a, float alpha, const Matrix& b,
+               float beta) const override;
+  void AxpyInto(const Matrix& a, float alpha, Matrix* out) const override;
+  Matrix Scale(const Matrix& a, float s) const override;
+  Matrix AddScalar(const Matrix& a, float s) const override;
+  Matrix AddRowBroadcast(const Matrix& a, const Matrix& b) const override;
+  Matrix Relu(const Matrix& a) const override;
+  Matrix Sigmoid(const Matrix& a) const override;
+  Matrix Tanh(const Matrix& a) const override;
+  Matrix Softplus(const Matrix& a) const override;
+  Matrix Exp(const Matrix& a) const override;
+  Matrix Log(const Matrix& a) const override;
+  Matrix SoftmaxRows(const Matrix& a) const override;
+  Matrix RowSum(const Matrix& a) const override;
+  Matrix RowDot(const Matrix& a, const Matrix& b) const override;
+  Matrix ColSum(const Matrix& a) const override;
+  Matrix GatherRows(const Matrix& table,
+                    const std::vector<int>& ids) const override;
+  void ScatterAddRows(const Matrix& src, const std::vector<int>& ids,
+                      Matrix* out) const override;
+  Matrix ConcatCols(const Matrix& a, const Matrix& b) const override;
+
+  ThreadPool* pool() const {
+    return pool_ != nullptr ? pool_ : ThreadPool::Shared();
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+/// Long-lived singleton instances (function-local statics).
+const SerialBackend& SerialKernelBackend();
+const ParallelBackend& ParallelKernelBackend();  // over ThreadPool::Shared()
+
+/// The backend the matrix_ops.h dispatchers use on this thread: the
+/// innermost active BackendGuard if any, else the process default.
+const KernelBackend& CurrentBackend();
+
+/// Replaces the process-default backend (initially ParallelKernelBackend,
+/// or SerialKernelBackend when NMCDR_BACKEND=serial is set in the
+/// environment). Pass nullptr to restore the built-in default. Not a
+/// synchronization point: call during startup, before concurrent kernel
+/// users exist.
+void SetDefaultBackend(const KernelBackend* backend);
+
+/// RAII scoped backend override for the current thread only, so concurrent
+/// servers/trainers can pin different backends without racing. Guards
+/// nest; nullptr is a no-op guard (keeps whatever is current).
+class BackendGuard {
+ public:
+  explicit BackendGuard(const KernelBackend* backend);
+  ~BackendGuard();
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  const KernelBackend* saved_;
+  bool active_;
+};
+
+/// Maps a user-facing thread-count knob (TrainConfig::threads, --threads)
+/// to a backend override: 0 -> nullptr (inherit current), 1 ->
+/// SerialKernelBackend, >1 -> ParallelKernelBackend over the shared pool.
+const KernelBackend* BackendForThreads(int threads);
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_TENSOR_BACKEND_H_

@@ -1,8 +1,13 @@
 #include "tensor/matrix_ops.h"
 
-#include <cmath>
+#include "tensor/backend.h"
 
 namespace nmcdr {
+
+// The free functions below are thin dispatchers: they validate shapes, then
+// forward to the thread/process-selected KernelBackend (tensor/backend.h).
+// All backends are bit-exact with each other, so callers never observe the
+// dispatch.
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   Matrix out(a.rows(), b.cols());
@@ -14,205 +19,83 @@ void MatMulAccumInto(const Matrix& a, const Matrix& b, Matrix* out) {
   NMCDR_CHECK_EQ(a.cols(), b.rows());
   NMCDR_CHECK_EQ(out->rows(), a.rows());
   NMCDR_CHECK_EQ(out->cols(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  // ikj loop order: streams over B and C rows, cache-friendly row-major.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = out->row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.f) continue;
-      const float* brow = b.row(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  CurrentBackend().MatMulAccumInto(a, b, out);
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   NMCDR_CHECK_EQ(a.rows(), b.rows());
-  const int k = a.rows(), m = a.cols(), n = b.cols();
-  Matrix out(m, n);
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.row(p);
-    const float* brow = b.row(p);
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.f) continue;
-      float* crow = out.row(i);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-  return out;
+  return CurrentBackend().MatMulTransA(a, b);
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   NMCDR_CHECK_EQ(a.cols(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix out(m, n);
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = out.row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      double acc = 0.0;
-      for (int p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-      crow[j] = static_cast<float>(acc);
-    }
-  }
-  return out;
+  return CurrentBackend().MatMulTransB(a, b);
 }
 
-Matrix Transpose(const Matrix& a) {
-  Matrix out(a.cols(), a.rows());
-  for (int r = 0; r < a.rows(); ++r) {
-    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
-  }
-  return out;
-}
-
-namespace {
-
-template <typename F>
-Matrix Elementwise(const Matrix& a, F f) {
-  Matrix out(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) out.data()[i] = f(a.data()[i]);
-  return out;
-}
-
-template <typename F>
-Matrix Elementwise2(const Matrix& a, const Matrix& b, F f) {
-  NMCDR_CHECK(a.SameShape(b));
-  Matrix out(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) out.data()[i] = f(a.data()[i], b.data()[i]);
-  return out;
-}
-
-}  // namespace
+Matrix Transpose(const Matrix& a) { return CurrentBackend().Transpose(a); }
 
 Matrix Add(const Matrix& a, const Matrix& b) {
-  return Elementwise2(a, b, [](float x, float y) { return x + y; });
+  NMCDR_CHECK(a.SameShape(b));
+  return CurrentBackend().Add(a, b);
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
-  return Elementwise2(a, b, [](float x, float y) { return x - y; });
+  NMCDR_CHECK(a.SameShape(b));
+  return CurrentBackend().Sub(a, b);
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
-  return Elementwise2(a, b, [](float x, float y) { return x * y; });
+  NMCDR_CHECK(a.SameShape(b));
+  return CurrentBackend().Hadamard(a, b);
 }
 
 Matrix Axpby(const Matrix& a, float alpha, const Matrix& b, float beta) {
-  return Elementwise2(a, b, [alpha, beta](float x, float y) {
-    return alpha * x + beta * y;
-  });
+  NMCDR_CHECK(a.SameShape(b));
+  return CurrentBackend().Axpby(a, alpha, b, beta);
 }
 
 void AxpyInto(const Matrix& a, float alpha, Matrix* out) {
   NMCDR_CHECK(a.SameShape(*out));
-  for (int i = 0; i < a.size(); ++i) out->data()[i] += alpha * a.data()[i];
+  CurrentBackend().AxpyInto(a, alpha, out);
 }
 
-Matrix Scale(const Matrix& a, float s) {
-  return Elementwise(a, [s](float x) { return s * x; });
-}
+Matrix Scale(const Matrix& a, float s) { return CurrentBackend().Scale(a, s); }
 
 Matrix AddScalar(const Matrix& a, float s) {
-  return Elementwise(a, [s](float x) { return x + s; });
+  return CurrentBackend().AddScalar(a, s);
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& b) {
   NMCDR_CHECK_EQ(b.rows(), 1);
   NMCDR_CHECK_EQ(a.cols(), b.cols());
-  Matrix out(a.rows(), a.cols());
-  const float* brow = b.row(0);
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row(r);
-    float* orow = out.row(r);
-    for (int c = 0; c < a.cols(); ++c) orow[c] = arow[c] + brow[c];
-  }
-  return out;
+  return CurrentBackend().AddRowBroadcast(a, b);
 }
 
-Matrix Relu(const Matrix& a) {
-  return Elementwise(a, [](float x) { return x > 0.f ? x : 0.f; });
-}
+Matrix Relu(const Matrix& a) { return CurrentBackend().Relu(a); }
 
-Matrix Sigmoid(const Matrix& a) {
-  return Elementwise(a, [](float x) {
-    // Numerically stable in both tails.
-    if (x >= 0.f) {
-      const float z = std::exp(-x);
-      return 1.f / (1.f + z);
-    }
-    const float z = std::exp(x);
-    return z / (1.f + z);
-  });
-}
+Matrix Sigmoid(const Matrix& a) { return CurrentBackend().Sigmoid(a); }
 
-Matrix Tanh(const Matrix& a) {
-  return Elementwise(a, [](float x) { return std::tanh(x); });
-}
+Matrix Tanh(const Matrix& a) { return CurrentBackend().Tanh(a); }
 
-Matrix Softplus(const Matrix& a) {
-  return Elementwise(a, [](float x) {
-    // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
-    return (x > 0.f ? x : 0.f) + std::log1p(std::exp(-std::fabs(x)));
-  });
-}
+Matrix Softplus(const Matrix& a) { return CurrentBackend().Softplus(a); }
 
-Matrix Exp(const Matrix& a) {
-  return Elementwise(a, [](float x) { return std::exp(x); });
-}
+Matrix Exp(const Matrix& a) { return CurrentBackend().Exp(a); }
 
-Matrix Log(const Matrix& a) {
-  return Elementwise(a, [](float x) {
-    return std::log(x > 1e-12f ? x : 1e-12f);
-  });
-}
+Matrix Log(const Matrix& a) { return CurrentBackend().Log(a); }
 
 Matrix SoftmaxRows(const Matrix& a) {
-  Matrix out(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* in = a.row(r);
-    float* o = out.row(r);
-    float mx = in[0];
-    for (int c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
-    double total = 0.0;
-    for (int c = 0; c < a.cols(); ++c) {
-      o[c] = std::exp(in[c] - mx);
-      total += o[c];
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int c = 0; c < a.cols(); ++c) o[c] *= inv;
-  }
-  return out;
+  NMCDR_CHECK_GT(a.cols(), 0);
+  return CurrentBackend().SoftmaxRows(a);
 }
 
-Matrix RowSum(const Matrix& a) {
-  Matrix out(a.rows(), 1);
-  for (int r = 0; r < a.rows(); ++r) {
-    double acc = 0.0;
-    const float* arow = a.row(r);
-    for (int c = 0; c < a.cols(); ++c) acc += arow[c];
-    out.At(r, 0) = static_cast<float>(acc);
-  }
-  return out;
-}
+Matrix RowSum(const Matrix& a) { return CurrentBackend().RowSum(a); }
 
 Matrix RowMean(const Matrix& a) {
   NMCDR_CHECK_GT(a.cols(), 0);
   return Scale(RowSum(a), 1.f / static_cast<float>(a.cols()));
 }
 
-Matrix ColSum(const Matrix& a) {
-  Matrix out(1, a.cols());
-  float* o = out.row(0);
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row(r);
-    for (int c = 0; c < a.cols(); ++c) o[c] += arow[c];
-  }
-  return out;
-}
+Matrix ColSum(const Matrix& a) { return CurrentBackend().ColSum(a); }
 
 Matrix ColMean(const Matrix& a) {
   NMCDR_CHECK_GT(a.rows(), 0);
@@ -220,54 +103,24 @@ Matrix ColMean(const Matrix& a) {
 }
 
 Matrix GatherRows(const Matrix& table, const std::vector<int>& ids) {
-  Matrix out(static_cast<int>(ids.size()), table.cols());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    NMCDR_CHECK_GE(ids[i], 0);
-    NMCDR_CHECK_LT(ids[i], table.rows());
-    const float* src = table.row(ids[i]);
-    float* dst = out.row(static_cast<int>(i));
-    for (int c = 0; c < table.cols(); ++c) dst[c] = src[c];
-  }
-  return out;
+  return CurrentBackend().GatherRows(table, ids);
 }
 
 void ScatterAddRows(const Matrix& src, const std::vector<int>& ids,
                     Matrix* out) {
   NMCDR_CHECK_EQ(src.rows(), static_cast<int>(ids.size()));
   NMCDR_CHECK_EQ(src.cols(), out->cols());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    NMCDR_CHECK_GE(ids[i], 0);
-    NMCDR_CHECK_LT(ids[i], out->rows());
-    const float* s = src.row(static_cast<int>(i));
-    float* d = out->row(ids[i]);
-    for (int c = 0; c < src.cols(); ++c) d[c] += s[c];
-  }
+  CurrentBackend().ScatterAddRows(src, ids, out);
 }
 
 Matrix ConcatCols(const Matrix& a, const Matrix& b) {
   NMCDR_CHECK_EQ(a.rows(), b.rows());
-  Matrix out(a.rows(), a.cols() + b.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    float* o = out.row(r);
-    const float* ar = a.row(r);
-    const float* br = b.row(r);
-    for (int c = 0; c < a.cols(); ++c) o[c] = ar[c];
-    for (int c = 0; c < b.cols(); ++c) o[a.cols() + c] = br[c];
-  }
-  return out;
+  return CurrentBackend().ConcatCols(a, b);
 }
 
 Matrix RowDot(const Matrix& a, const Matrix& b) {
   NMCDR_CHECK(a.SameShape(b));
-  Matrix out(a.rows(), 1);
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* ar = a.row(r);
-    const float* br = b.row(r);
-    double acc = 0.0;
-    for (int c = 0; c < a.cols(); ++c) acc += static_cast<double>(ar[c]) * br[c];
-    out.At(r, 0) = static_cast<float>(acc);
-  }
-  return out;
+  return CurrentBackend().RowDot(a, b);
 }
 
 CsrMatrix::CsrMatrix(

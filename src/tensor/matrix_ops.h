@@ -10,6 +10,12 @@ namespace nmcdr {
 /// Dense kernels underlying the autograd ops. All functions allocate and
 /// return a fresh result unless they end in `Into`, which writes into an
 /// already-shaped output (accumulating where documented).
+///
+/// Each free function is a thin dispatcher: it validates shapes, then
+/// forwards to the currently selected KernelBackend (tensor/backend.h).
+/// Backends are bit-exact with each other — results do not depend on the
+/// backend or thread count. Select per-thread with BackendGuard or
+/// process-wide with SetDefaultBackend / NMCDR_BACKEND=serial.
 
 /// C = A * B. Shapes: [m,k] x [k,n] -> [m,n].
 Matrix MatMul(const Matrix& a, const Matrix& b);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/backend.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -54,6 +55,8 @@ LabeledBatch Trainer::NextBatch(DomainSide side, Rng* rng) {
 }
 
 TrainSummary Trainer::Train(RecModel* model) {
+  // Pin the kernel backend for the whole run (no-op when threads == 0).
+  BackendGuard backend_guard(BackendForThreads(config_.threads));
   Rng rng(config_.seed);
   TrainSummary summary;
   Stopwatch watch;

@@ -26,6 +26,11 @@ struct TrainConfig {
   /// With eval_every active, stop after this many non-improving
   /// evaluations (0 = never stop early).
   int early_stop_patience = 0;
+  /// Kernel threads for this run: 0 = inherit the process-wide backend,
+  /// 1 = force the serial backend, >1 = the parallel backend over the
+  /// shared pool. Results are bit-identical at any setting — backends are
+  /// bit-exact by contract (tensor/backend.h).
+  int threads = 0;
   bool verbose = false;
 };
 

@@ -1,0 +1,160 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace {
+
+/// Set while the current thread executes a pool task, so a ParallelFor
+/// issued from inside a task runs inline instead of deadlocking on its own
+/// pool.
+thread_local bool tl_in_pool_worker = false;
+
+/// Shared-pool startup state. `g_shared_started` flips exactly once, under
+/// the magic-static initialization of Shared(); SetSharedThreads is
+/// documented best-effort, so the benign race between a concurrent first
+/// Shared() and SetSharedThreads needs no stronger ordering.
+std::atomic<int> g_requested_threads{0};
+std::atomic<bool> g_shared_started{false};
+
+int SharedSizeFromEnvironment() {
+  const int requested = g_requested_threads.load(std::memory_order_acquire);
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("NMCDR_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  NMCDR_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NMCDR_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tl_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++tasks_executed_;
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  // Deterministic static chunking: a pure function of (begin, end, grain,
+  // num_threads()) so a given input always sees the same split.
+  const int64_t chunks =
+      std::min<int64_t>(num_threads_, std::max<int64_t>(1, n / grain));
+  if (chunks <= 1 || tl_in_pool_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t remaining = 0;
+    std::exception_ptr first_error;  // GUARDED_BY(mu)
+  };
+  ForState state;
+  state.remaining = chunks;
+
+  const int64_t base = n / chunks;
+  const int64_t extra = n % chunks;  // first `extra` chunks get one more
+  int64_t chunk_begin = begin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NMCDR_CHECK(!stopping_);
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t size = base + (c < extra ? 1 : 0);
+      const int64_t chunk_end = chunk_begin + size;
+      queue_.push_back([&state, &fn, chunk_begin, chunk_end] {
+        try {
+          fn(chunk_begin, chunk_end);
+        } catch (...) {
+          std::lock_guard<std::mutex> state_lock(state.mu);
+          if (!state.first_error) state.first_error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> state_lock(state.mu);
+        if (--state.remaining == 0) state.done.notify_all();
+      });
+      chunk_begin = chunk_end;
+    }
+  }
+  NMCDR_CHECK_EQ(chunk_begin, end);
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool pool(SharedSizeFromEnvironment());
+  g_shared_started.store(true, std::memory_order_release);
+  return &pool;
+}
+
+bool ThreadPool::SetSharedThreads(int num_threads) {
+  if (g_shared_started.load(std::memory_order_acquire)) return false;
+  g_requested_threads.store(std::max(1, num_threads),
+                            std::memory_order_release);
+  return true;
+}
+
+int ThreadPool::SharedThreads() {
+  if (g_shared_started.load(std::memory_order_acquire)) {
+    return Shared()->num_threads();
+  }
+  return SharedSizeFromEnvironment();
+}
+
+}  // namespace nmcdr

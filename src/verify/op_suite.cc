@@ -258,5 +258,10 @@ std::vector<GradCheckIssue> RunAllGradChecks() {
   return issues;
 }
 
+std::vector<GradCheckIssue> RunAllGradChecks(const KernelBackend* backend) {
+  BackendGuard guard(backend);
+  return RunAllGradChecks();
+}
+
 }  // namespace verify
 }  // namespace nmcdr

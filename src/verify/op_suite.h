@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "tensor/backend.h"
 
 namespace nmcdr {
 namespace verify {
@@ -53,6 +54,12 @@ std::vector<GradCheckIssue> RunGradCheck(const OpCase& c);
 
 /// Runs the whole suite; empty result = all backward passes verified.
 std::vector<GradCheckIssue> RunAllGradChecks();
+
+/// Same, but under an explicit kernel backend (BackendGuard for the run).
+/// Both built-in backends must pass: the finite-difference machinery only
+/// assumes the kernels are deterministic, which the bit-exactness contract
+/// guarantees for any backend.
+std::vector<GradCheckIssue> RunAllGradChecks(const KernelBackend* backend);
 
 }  // namespace verify
 }  // namespace nmcdr

@@ -37,6 +37,25 @@ INSTANTIATE_TEST_SUITE_P(AllOps, OpSuiteGradCheck,
                          ::testing::Range<size_t>(0, OpSuite().size()),
                          CaseName);
 
+// Every backward pass must verify under BOTH kernel backends — the
+// finite-difference machinery assumes nothing about the backend beyond
+// determinism, and the backends are bit-exact by contract, so a failure
+// here is a backend bug rather than a gradient bug.
+
+TEST(OpSuiteBackends, GradChecksPassUnderSerialBackend) {
+  for (const GradCheckIssue& issue :
+       RunAllGradChecks(&SerialKernelBackend())) {
+    ADD_FAILURE() << issue.case_name << ": " << issue.detail;
+  }
+}
+
+TEST(OpSuiteBackends, GradChecksPassUnderParallelBackend) {
+  for (const GradCheckIssue& issue :
+       RunAllGradChecks(&ParallelKernelBackend())) {
+    ADD_FAILURE() << issue.case_name << ": " << issue.detail;
+  }
+}
+
 // The suite must cover every op the shape-rule registry knows, and vice
 // versa — the two tables enumerate the same op set by construction.
 TEST(OpSuiteCoverage, SuiteAndShapeRulesEnumerateTheSameOps) {

@@ -168,6 +168,63 @@ TEST(BannedAssertTest, FiresOnAssertOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// banned-thread
+// ---------------------------------------------------------------------------
+
+TEST(BannedThreadTest, FiresOnThreadConstructionAndAsync) {
+  EXPECT_EQ(CountRule(RunLint("src/a.cc", "std::thread t([] {});\n"),
+                      "banned-thread"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("src/a.h",
+                          "#ifndef NMCDR_A_H_\n#define NMCDR_A_H_\n"
+                          "std::vector<std::thread> workers_;\n#endif\n"),
+                      "banned-thread"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("src/a.cc", "std::jthread t([] {});\n"),
+                      "banned-thread"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("src/a.cc",
+                          "auto f = std::async(std::launch::async, fn);\n"),
+                      "banned-thread"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("tests/a.cc", "std::thread t(fn);\n"),
+                      "banned-thread"),
+            1);
+}
+
+TEST(BannedThreadTest, AllowsHardwareConcurrencyAndThisThread) {
+  EXPECT_EQ(CountRule(RunLint("src/a.cc",
+                          "unsigned n = std::thread::hardware_concurrency();\n"),
+                      "banned-thread"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/a.cc",
+                          "std::this_thread::yield();\n"),
+                      "banned-thread"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/a.cc", "#include <thread>\n"),
+                      "banned-thread"),
+            0);
+}
+
+TEST(BannedThreadTest, ExemptsThreadPoolAndHonorsAllow) {
+  EXPECT_EQ(CountRule(RunLint("src/util/thread_pool.cc",
+                          "std::thread worker(fn);\n"),
+                      "banned-thread"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/util/thread_pool.h",
+                          "#ifndef NMCDR_UTIL_THREAD_POOL_H_\n"
+                          "#define NMCDR_UTIL_THREAD_POOL_H_\n"
+                          "std::vector<std::thread> workers_;\n#endif\n"),
+                      "banned-thread"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/a.cc",
+                          "std::thread t(fn);  "
+                          "// NMCDR_LINT_ALLOW(banned-thread): fixture\n"),
+                      "banned-thread"),
+            0);
+}
+
+// ---------------------------------------------------------------------------
 // iostream-header
 // ---------------------------------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "serving/score_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <future>
@@ -448,6 +449,38 @@ TEST(InferenceServerTest, RecommendBlocksAndMatchesTopK) {
   const Recommendation want = engine.TopK(request);
   EXPECT_EQ(got.items, want.items);
   EXPECT_EQ(got.scores, want.scores);
+}
+
+TEST(InferenceServerTest, StopDrainsQueueAndLeavesNoActiveDrainers) {
+  PairFixture& f = Pair();
+  ScoreEngine engine(&f.snapshot, {ScoreEngine::Mode::kFast, 64});
+  InferenceServer::Options options;
+  options.num_threads = 3;
+  options.max_batch = 2;
+  InferenceServer server(&engine, options);
+
+  // Burst-submit, then stop immediately: Stop() must block until every
+  // queued request has been served through the shared pool — no work is
+  // dropped and no drainer task outlives the server.
+  std::vector<std::future<Recommendation>> futures;
+  for (int i = 0; i < 32; ++i) {
+    RecRequest request;
+    request.target_domain = request.user_domain = i % 2;
+    request.user = i % 12;
+    request.k = 4;
+    futures.push_back(server.Submit(request));
+  }
+  server.Stop();
+  EXPECT_EQ(server.active_drainers(), 0);
+
+  for (std::future<Recommendation>& future : futures) {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_FALSE(future.get().items.empty());
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_submitted, 32);
+  EXPECT_EQ(stats.requests_served, 32);
 }
 
 TEST(InferenceServerTest, StopIsIdempotentAndFailsLateSubmits) {

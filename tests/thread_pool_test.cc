@@ -1,0 +1,183 @@
+// Unit tests for the shared worker pool (src/util/thread_pool.h): startup
+// and clamping, ParallelFor chunk determinism and coverage, exception
+// propagation, re-entrancy (nested ParallelFor runs inline), Submit, and
+// the shared-pool configuration surface.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace nmcdr {
+namespace {
+
+TEST(ThreadPoolTest, StartsRequestedWorkersAndClampsToOne) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  ThreadPool one(0);
+  EXPECT_EQ(one.num_threads(), 1);
+  ThreadPool negative(-4);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskOnWorker) {
+  ThreadPool pool(2);
+  std::promise<int> promise;
+  std::future<int> future = promise.get_future();
+  pool.Submit([&promise] { promise.set_value(42); });
+  EXPECT_EQ(future.get(), 42);
+  EXPECT_GE(pool.tasks_executed(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "element " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndReversedRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+/// Collects the chunk boundaries a ParallelFor produced, sorted by begin.
+std::vector<std::pair<int64_t, int64_t>> Chunks(ThreadPool* pool,
+                                                int64_t begin, int64_t end,
+                                                int64_t grain) {
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool->ParallelFor(begin, end, grain, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ThreadPoolTest, ChunksAreDeterministicContiguousAndGrainBounded) {
+  ThreadPool pool(4);
+  const auto first = Chunks(&pool, 0, 100, 30);
+  // floor(100 / 30) = 3 chunks, each at least the grain of 30 long.
+  ASSERT_EQ(first.size(), 3u);
+  int64_t expect_begin = 0;
+  for (const auto& [b, e] : first) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_GE(e - b, 30);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 100);
+  // Chunk sizes differ by at most one.
+  const std::pair<int64_t, int64_t> want_first{0, 34};
+  EXPECT_EQ(first[0], want_first);
+  // Boundaries are a pure function of (range, grain, num_threads): reruns
+  // split identically regardless of scheduling.
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(Chunks(&pool, 0, 100, 30), first);
+  }
+}
+
+TEST(ThreadPoolTest, LargeGrainCollapsesToSingleInlineChunk) {
+  ThreadPool pool(4);
+  const auto chunks = Chunks(&pool, 0, 10, 100);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 0);
+  EXPECT_EQ(chunks[0].second, 10);
+}
+
+TEST(ThreadPoolTest, ChunkCountIsBoundedByPoolSize) {
+  ThreadPool pool(2);
+  EXPECT_EQ(Chunks(&pool, 0, 1000, 1).size(), 2u);
+  ThreadPool wide(8);
+  EXPECT_EQ(Chunks(&wide, 0, 6, 1).size(), 6u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [](int64_t begin, int64_t) {
+                         if (begin == 0) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // Every chunk still completed; the pool serves later work normally.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 100, 1, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64 * 8);
+  pool.ParallelFor(0, 64, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      // A worker issuing ParallelFor on its own pool must not block on
+      // tasks behind it in the queue — the nested call runs inline.
+      pool.ParallelFor(0, 8, 1, [&, i](int64_t b, int64_t e) {
+        for (int64_t j = b; j < e; ++j) {
+          hits[i * 8 + j].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "element " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForFromSubmittedTaskCompletes) {
+  ThreadPool pool(2);
+  std::promise<int64_t> promise;
+  std::future<int64_t> future = promise.get_future();
+  pool.Submit([&pool, &promise] {
+    int64_t sum = 0;
+    pool.ParallelFor(0, 50, 1, [&sum](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) sum += i;  // inline: no race
+    });
+    promise.set_value(sum);
+  });
+  EXPECT_EQ(future.get(), 50 * 49 / 2);
+}
+
+TEST(ThreadPoolTest, TasksExecutedCountsChunks) {
+  ThreadPool pool(4);
+  const int64_t before = pool.tasks_executed();
+  pool.ParallelFor(0, 100, 1, [](int64_t, int64_t) {});
+  EXPECT_EQ(pool.tasks_executed(), before + 4);
+}
+
+TEST(SharedThreadPoolTest, SharedIsAStableSingleton) {
+  ThreadPool* shared = ThreadPool::Shared();
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(ThreadPool::Shared(), shared);
+  EXPECT_GE(shared->num_threads(), 1);
+  EXPECT_EQ(ThreadPool::SharedThreads(), shared->num_threads());
+}
+
+TEST(SharedThreadPoolTest, SetSharedThreadsFailsAfterStart) {
+  ThreadPool::Shared();  // force startup
+  EXPECT_FALSE(ThreadPool::SetSharedThreads(8));
+}
+
+}  // namespace
+}  // namespace nmcdr

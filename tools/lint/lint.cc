@@ -171,6 +171,55 @@ void CheckBannedCalls(const SourceFile& f, std::vector<Diagnostic>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: banned-thread
+// ---------------------------------------------------------------------------
+
+void CheckBannedThread(const SourceFile& f, std::vector<Diagnostic>* out) {
+  // The one sanctioned home of raw threads. Everything else goes through
+  // ThreadPool so thread count, shutdown order, and sanitizer coverage are
+  // decided in a single place.
+  if (f.path.starts_with("src/util/thread_pool.")) return;
+  static const std::string kThreadTypes[] = {"std::thread", "std::jthread"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool flagged = false;
+    for (const std::string& tok : kThreadTypes) {
+      // FindToken's word-boundary test works for qualified names too: ':'
+      // is not a word character, so "std::thread" neither matches inside
+      // "std::this_thread" nor needs special casing at its own edges.
+      size_t pos = FindToken(line, tok);
+      while (pos != std::string::npos && !flagged) {
+        // `std::thread::hardware_concurrency()` is a capability query, not
+        // a thread construction; a following "::" keeps it legal.
+        size_t j = pos + tok.size();
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        if (!(j + 1 < line.size() && line[j] == ':' && line[j + 1] == ':')) {
+          Add(f, i, "banned-thread",
+              tok + " outside src/util/thread_pool.*; run work on "
+                    "ThreadPool::Shared() (Submit/ParallelFor) so thread "
+                    "count, shutdown, and sanitizer coverage stay "
+                    "centralized",
+              out);
+          flagged = true;
+        }
+        pos = FindToken(line, tok, pos + tok.size());
+      }
+      if (flagged) break;
+    }
+    if (!flagged && FindToken(line, "std::async") != std::string::npos) {
+      Add(f, i, "banned-thread",
+          "std::async outside src/util/thread_pool.*; it spawns unmanaged "
+          "threads with blocking-future semantics — use "
+          "ThreadPool::Shared()->Submit with a promise instead",
+          out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: iostream-header
 // ---------------------------------------------------------------------------
 
@@ -713,6 +762,7 @@ std::vector<Diagnostic> LintFile(const SourceFile& file) {
   CheckIncludeGuard(file, &out);
   CheckUsingNamespace(file, &out);
   CheckBannedCalls(file, &out);
+  CheckBannedThread(file, &out);
   CheckIostreamHeader(file, &out);
   CheckNakedNew(file, &out);
   return out;

@@ -22,6 +22,13 @@ namespace lint {
 ///                           tensor/rng.h so seeds stay reproducible
 ///  [banned-assert]          no assert() — use NMCDR_CHECK*, which stays
 ///                           armed in Release builds
+///  [banned-thread]          no std::thread / std::jthread construction or
+///                           std::async outside src/util/thread_pool.* —
+///                           run work on ThreadPool::Shared() so thread
+///                           count, shutdown order, and sanitizer coverage
+///                           are decided in one place
+///                           (std::thread::hardware_concurrency stays
+///                           legal)
 ///  [iostream-header]        no <iostream> in src/ headers — iostream's
 ///                           static init and heavy includes don't belong
 ///                           in hot-path headers; use util/logging.h

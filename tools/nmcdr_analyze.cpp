@@ -14,7 +14,8 @@
 //   --scale      scenario preset scale (default smoke; analysis cost is
 //                shape-only, so even full is cheap)
 //   --gradcheck  additionally run the finite-difference gradient checks of
-//                the op suite (real kernels; still fast)
+//                the op suite (real kernels; still fast), once per kernel
+//                backend (serial and parallel)
 //   --snapshot   validate a frozen NMCDRSV1 snapshot file's scoring chain
 //                against the same shape rules
 //   --report     also write the report text to this path
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "serving/model_snapshot.h"
+#include "tensor/backend.h"
 #include "util/flags.h"
 #include "verify/analyzer.h"
 #include "verify/op_suite.h"
@@ -49,15 +51,23 @@ int main(int argc, char** argv) {
   int findings = report.finding_count();
 
   if (flags.GetBool("gradcheck", false)) {
-    const std::vector<nmcdr::verify::GradCheckIssue> issues =
-        nmcdr::verify::RunAllGradChecks();
-    text += "\ngradcheck: " +
-            std::to_string(nmcdr::verify::OpSuite().size()) + " cases, " +
-            std::to_string(issues.size()) + " failures\n";
-    for (const nmcdr::verify::GradCheckIssue& i : issues) {
-      text += "  [gradcheck] " + i.case_name + ": " + i.detail + "\n";
+    // Every backward pass must verify under BOTH kernel backends: the
+    // backends are bit-exact by contract, so any divergence here is a
+    // backend bug, not a gradient bug.
+    const nmcdr::KernelBackend* backends[] = {
+        &nmcdr::SerialKernelBackend(), &nmcdr::ParallelKernelBackend()};
+    for (const nmcdr::KernelBackend* backend : backends) {
+      const std::vector<nmcdr::verify::GradCheckIssue> issues =
+          nmcdr::verify::RunAllGradChecks(backend);
+      text += "\ngradcheck[" + std::string(backend->name()) + "]: " +
+              std::to_string(nmcdr::verify::OpSuite().size()) + " cases, " +
+              std::to_string(issues.size()) + " failures\n";
+      for (const nmcdr::verify::GradCheckIssue& i : issues) {
+        text += "  [gradcheck " + std::string(backend->name()) + "] " +
+                i.case_name + ": " + i.detail + "\n";
+      }
+      findings += static_cast<int>(issues.size());
     }
-    findings += static_cast<int>(issues.size());
   }
 
   const std::string snapshot_path = flags.GetString("snapshot");

@@ -10,10 +10,13 @@
 //       scenario on shared user keys.
 //   run --scenario music-movie [--file s.tsv] --model NMCDR --ku 0.5
 //       [--ds 1.0] [--dim 16] [--lr 0.002] [--steps 1200] [--seed 7]
-//       [--gat] [--dynamic-companion] [--save-checkpoint ckpt.bin]
-//       [--load-checkpoint ckpt.bin]
+//       [--threads N] [--gat] [--dynamic-companion]
+//       [--save-checkpoint ckpt.bin] [--load-checkpoint ckpt.bin]
 //       Train and evaluate one model on one configuration; prints
-//       HR@10 / NDCG@10 / MRR per domain.
+//       HR@10 / NDCG@10 / MRR per domain. --threads N sizes the shared
+//       kernel pool (N=1 forces the serial backend; results are
+//       bit-identical at any setting; default NMCDR_THREADS or all
+//       cores).
 //
 // Examples:
 //   nmcdr_cli run --scenario phone-elec --model NMCDR --ku 0.1
@@ -30,6 +33,7 @@
 #include "train/registry.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace nmcdr {
 namespace {
@@ -115,6 +119,9 @@ int CmdImport(const FlagParser& flags) {
 
 int CmdRun(const FlagParser& flags) {
   RegisterAllModels();
+  if (flags.Has("threads")) {
+    ThreadPool::SetSharedThreads(flags.GetInt("threads", 0));
+  }
   // 1. Scenario: preset or file.
   CdrScenario scenario;
   if (flags.Has("file")) {
@@ -155,6 +162,7 @@ int CmdRun(const FlagParser& flags) {
   train.batch_size = flags.GetInt("batch", 256);
   train.eval_every = -1;
   train.early_stop_patience = flags.GetInt("patience", 3);
+  train.threads = flags.GetInt("threads", 0);
   train.verbose = flags.GetBool("verbose", false);
 
   std::unique_ptr<RecModel> model;

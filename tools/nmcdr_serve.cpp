@@ -10,6 +10,10 @@
 // The tool prints the engine's usage counters and the server's latency /
 // throughput stats, and leaves the snapshot file on disk so a later run
 // can be pointed at it (skipping training) with --load-only.
+//
+// --threads N sizes both the shared kernel pool (training + batched
+// scoring; defaults to NMCDR_THREADS or all cores) and the server's
+// concurrent drainer limit.
 
 #include <cstdio>
 #include <future>
@@ -24,6 +28,7 @@
 #include "serving/score_engine.h"
 #include "train/experiment.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace nmcdr {
 namespace {
@@ -49,6 +54,9 @@ bool PresetByName(const std::string& name, BenchScale scale,
 
 int Run(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  if (flags.Has("threads")) {
+    ThreadPool::SetSharedThreads(flags.GetInt("threads", 0));
+  }
   const std::string snapshot_path =
       flags.GetString("snapshot", "model.snapshot");
   ModelSnapshot snapshot;
