@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Compares a BENCH_kernels.json run against the checked-in CI baseline.
+
+Usage: check_bench_regression.py CURRENT BASELINE [--tolerance 0.25]
+       check_bench_regression.py --self-test
+
+Per-kernel gate on serial throughput: the run FAILS when any kernel's
+`serial_gflops` drops below `baseline * (1 - tolerance)`. The default 25%
+tolerance absorbs shared-runner noise (the CI smoke run times each kernel
+for only ~10ms); tighten it locally with --tolerance 0.05 when hunting a
+specific regression. Kernels present in only one file are reported but
+never fail the gate, so adding or renaming a kernel doesn't require a
+baseline update in the same commit — regenerate the baseline afterwards:
+
+    build/bench/bench_kernels --smoke            # warm-up run, discarded
+    build/bench/bench_kernels --smoke
+    cp BENCH_kernels.json bench/baselines/ci_baseline.json
+
+`--self-test` verifies the gate itself trips: it synthesizes a run and a
+baseline inflated 2x above it, checks the comparison fails, then checks
+an identical pair passes. CI runs this before the real comparison so a
+parsing bug can't silently turn the gate green.
+
+Exit codes: 0 pass, 1 regression (or self-test failure), 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_kernels(path):
+    """Returns {kernel name: serial_gflops} from a BENCH_kernels.json."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    kernels = {}
+    for entry in doc.get("kernels", []):
+        kernels[entry["name"]] = float(entry["serial_gflops"])
+    if not kernels:
+        raise ValueError(f"{path}: no kernels[] entries")
+    return kernels
+
+
+def compare(current, baseline, tolerance):
+    """Returns (failures, lines): per-kernel verdicts and report text."""
+    failures = []
+    lines = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in baseline:
+            lines.append(f"  NEW      {name:24s} {current[name]:8.3f} gflops "
+                         "(not in baseline, not gated)")
+            continue
+        if name not in current:
+            lines.append(f"  MISSING  {name:24s} baseline "
+                         f"{baseline[name]:8.3f} gflops (not in current run, "
+                         "not gated)")
+            continue
+        floor = baseline[name] * (1.0 - tolerance)
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        verdict = "ok" if current[name] >= floor else "REGRESSED"
+        lines.append(f"  {verdict:8s} {name:24s} {current[name]:8.3f} vs "
+                     f"baseline {baseline[name]:8.3f} gflops "
+                     f"({ratio:6.1%}, floor {floor:.3f})")
+        if current[name] < floor:
+            failures.append(name)
+    return failures, lines
+
+
+def self_test(tolerance):
+    """The gate must fail on a 2x-inflated baseline and pass on identity."""
+    run = {"MatMulAccumInto": 10.0, "Add": 25.0, "SpMM": 4.0}
+    inflated = {k: 2.0 * v for k, v in run.items()}
+    failures, _ = compare(run, inflated, tolerance)
+    if sorted(failures) != sorted(run):
+        print("self-test FAILED: 2x-inflated baseline did not trip the gate "
+              f"(failures={failures})")
+        return 1
+    failures, _ = compare(run, dict(run), tolerance)
+    if failures:
+        print(f"self-test FAILED: identical run flagged ({failures})")
+        return 1
+    # A drop inside tolerance must pass; one outside must fail.
+    shaved = {k: v * (1.0 - tolerance * 0.5) for k, v in run.items()}
+    failures, _ = compare(shaved, run, tolerance)
+    if failures:
+        print(f"self-test FAILED: in-tolerance drop flagged ({failures})")
+        return 1
+    dropped = {k: v * (1.0 - tolerance * 1.5) for k, v in run.items()}
+    failures, _ = compare(dropped, run, tolerance)
+    if sorted(failures) != sorted(run):
+        print("self-test FAILED: out-of-tolerance drop not flagged "
+              f"(failures={failures})")
+        return 1
+    print(f"self-test passed (tolerance {tolerance:.0%})")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("current", nargs="?", help="BENCH_kernels.json from this run")
+    parser.add_argument("baseline", nargs="?",
+                        help="bench/baselines/ci_baseline.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional throughput drop (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on an inflated baseline")
+    args = parser.parse_args(argv)
+
+    if not 0.0 < args.tolerance < 1.0:
+        print(f"tolerance must be in (0, 1), got {args.tolerance}")
+        return 2
+    if args.self_test:
+        return self_test(args.tolerance)
+    if args.current is None or args.baseline is None:
+        parser.print_usage()
+        return 2
+
+    try:
+        current = load_kernels(args.current)
+        baseline = load_kernels(args.baseline)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print(f"error: {err}")
+        return 2
+
+    failures, lines = compare(current, baseline, args.tolerance)
+    print(f"perf gate: {args.current} vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} kernel(s) regressed more than "
+              f"{args.tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nPASS: {len(current)} kernels within {args.tolerance:.0%} of "
+          "baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,15 +2,35 @@
 # One-shot reproduction: build, run the test suite, regenerate every paper
 # table/figure, and collect the outputs.
 #
-#   scripts/reproduce.sh [smoke|small|full]
+#   scripts/reproduce.sh [--fast] [smoke|small|full]
 #
 # smoke finishes in minutes on one core; small (default) is the recorded
 # configuration; full is ~4x small.
+#
+# Sanitizer modes (smoke scale only):
+#   default  — thorough: the FULL test suite under ASan+UBSan, then the
+#              concurrent serving subset under TSan. This is the
+#              pre-release gate; budget ~3x the plain smoke time.
+#   --fast   — both sanitizer legs run only the TSan-filtered concurrent
+#              subset CI uses (serving_engine_test serving_test
+#              thread_pool_test backend_equivalence_test integration_test
+#              obs_test). Catches the races and lifetime bugs that
+#              actually involve threads in a fraction of the time; use it
+#              for iterating, keep the default for sign-off.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAST=0
+if [ "${1:-}" = "--fast" ]; then
+  FAST=1
+  shift
+fi
 SCALE="${1:-small}"
 export NMCDR_BENCH_SCALE="$SCALE"
+
+# The concurrent-surface test subset (mirrors the CI tsan-serving job).
+SANITIZER_SUBSET=(serving_engine_test serving_test thread_pool_test
+  backend_equivalence_test integration_test obs_test)
 
 cmake -B build -G Ninja
 cmake --build build
@@ -24,34 +44,43 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   --report=analyze_report.txt
 
 # In smoke mode, additionally run the sanitizer matrix (separate
-# instrumented build trees): the full suite under ASan+UBSan, and the
-# concurrent serving runtime under TSan. Each leg is skipped when the
-# toolchain lacks the runtime.
+# instrumented build trees): ASan+UBSan (full suite, or the concurrent
+# subset under --fast) and the concurrent serving runtime under TSan.
+# Each leg is skipped when the toolchain lacks the runtime.
 sanitizer_available() {
   echo 'int main(){return 0;}' \
     | c++ "-fsanitize=$1" -x c++ - -o "build/sanitize_probe_${1//,/_}" \
         2>/dev/null
 }
 
+run_subset() {
+  # NMCDR_THREADS=4 sizes the shared pool so the parallel kernel backend,
+  # the observability shards, and the pool-backed serving path actually
+  # run sharded under the sanitizer.
+  local tree="$1"
+  local t
+  for t in "${SANITIZER_SUBSET[@]}"; do
+    NMCDR_THREADS=4 "./$tree/tests/$t"
+  done
+}
+
 if [ "$SCALE" = "smoke" ]; then
   if sanitizer_available address,undefined; then
     cmake -B build-asan -G Ninja -DNMCDR_SANITIZE=address,undefined
-    cmake --build build-asan
-    ctest --test-dir build-asan --output-on-failure
+    if [ "$FAST" = 1 ]; then
+      cmake --build build-asan --target "${SANITIZER_SUBSET[@]}"
+      run_subset build-asan
+    else
+      cmake --build build-asan
+      ctest --test-dir build-asan --output-on-failure
+    fi
   else
     echo "no ASan/UBSan runtime available; skipping sanitized suite"
   fi
   if sanitizer_available thread; then
     cmake -B build-tsan -G Ninja -DNMCDR_SANITIZE=thread
-    cmake --build build-tsan --target serving_engine_test serving_test \
-      thread_pool_test backend_equivalence_test integration_test
-    # NMCDR_THREADS=4 sizes the shared pool so the parallel kernel backend
-    # and the pool-backed serving path actually run sharded under TSan.
-    NMCDR_THREADS=4 ./build-tsan/tests/serving_engine_test
-    NMCDR_THREADS=4 ./build-tsan/tests/serving_test
-    NMCDR_THREADS=4 ./build-tsan/tests/thread_pool_test
-    NMCDR_THREADS=4 ./build-tsan/tests/backend_equivalence_test
-    NMCDR_THREADS=4 ./build-tsan/tests/integration_test
+    cmake --build build-tsan --target "${SANITIZER_SUBSET[@]}"
+    run_subset build-tsan
   else
     echo "no TSan runtime available; skipping sanitized serving tests"
   fi

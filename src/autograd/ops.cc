@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "autograd/meta.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace nmcdr {
@@ -57,6 +58,7 @@ MetaAttrs ListBoundsAttrs(const std::vector<std::vector<int>>& lists) {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("MatMul", {a, b});
+  NMCDR_OBS_OP_SCOPE("MatMul");
   Matrix out = k::MatMul(a.value(), b.value());
   return MakeOpNode("MatMul", std::move(out), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(k::MatMulTransB(self->grad, b.value()));
@@ -66,6 +68,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("Add", {a, b});
+  NMCDR_OBS_OP_SCOPE("Add");
   return MakeOpNode("Add", k::Add(a.value(), b.value()), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
     b.raw()->AccumulateGrad(self->grad);
@@ -74,6 +77,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("Sub", {a, b});
+  NMCDR_OBS_OP_SCOPE("Sub");
   return MakeOpNode("Sub", k::Sub(a.value(), b.value()), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
     b.raw()->AccumulateGrad(k::Scale(self->grad, -1.f));
@@ -82,6 +86,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Hadamard(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("Hadamard", {a, b});
+  NMCDR_OBS_OP_SCOPE("Hadamard");
   return MakeOpNode("Hadamard", k::Hadamard(a.value(), b.value()), {a, b},
                     [a, b](Node* self) {
                       a.raw()->AccumulateGrad(k::Hadamard(self->grad, b.value()));
@@ -91,6 +96,7 @@ Tensor Hadamard(const Tensor& a, const Tensor& b) {
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   if (MetaEnabled()) return MetaOp("AddRowBroadcast", {a, bias});
+  NMCDR_OBS_OP_SCOPE("AddRowBroadcast");
   return MakeOpNode("AddRowBroadcast", k::AddRowBroadcast(a.value(), bias.value()), {a, bias},
                     [a, bias](Node* self) {
                       a.raw()->AccumulateGrad(self->grad);
@@ -100,6 +106,7 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
 
 Tensor Scale(const Tensor& a, float s) {
   if (MetaEnabled()) return MetaOp("Scale", {a});
+  NMCDR_OBS_OP_SCOPE("Scale");
   return MakeOpNode("Scale", k::Scale(a.value(), s), {a}, [a, s](Node* self) {
     a.raw()->AccumulateGrad(k::Scale(self->grad, s));
   });
@@ -107,6 +114,7 @@ Tensor Scale(const Tensor& a, float s) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   if (MetaEnabled()) return MetaOp("AddScalar", {a});
+  NMCDR_OBS_OP_SCOPE("AddScalar");
   return MakeOpNode("AddScalar", k::AddScalar(a.value(), s), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
   });
@@ -114,6 +122,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor OneMinus(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("OneMinus", {a});
+  NMCDR_OBS_OP_SCOPE("OneMinus");
   Matrix out(a.rows(), a.cols());
   for (int i = 0; i < out.size(); ++i) out.data()[i] = 1.f - a.value().data()[i];
   return MakeOpNode("OneMinus", std::move(out), {a}, [a](Node* self) {
@@ -123,6 +132,7 @@ Tensor OneMinus(const Tensor& a) {
 
 Tensor Exp(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Exp", {a});
+  NMCDR_OBS_OP_SCOPE("Exp");
   return MakeOpNode("Exp", k::Exp(a.value()), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Hadamard(self->grad, self->value));
   });
@@ -130,6 +140,7 @@ Tensor Exp(const Tensor& a) {
 
 Tensor Relu(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Relu", {a});
+  NMCDR_OBS_OP_SCOPE("Relu");
   return MakeOpNode("Relu", k::Relu(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -141,6 +152,7 @@ Tensor Relu(const Tensor& a) {
 
 Tensor Sigmoid(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Sigmoid", {a});
+  NMCDR_OBS_OP_SCOPE("Sigmoid");
   return MakeOpNode("Sigmoid", k::Sigmoid(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -153,6 +165,7 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Tanh", {a});
+  NMCDR_OBS_OP_SCOPE("Tanh");
   return MakeOpNode("Tanh", k::Tanh(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -165,6 +178,7 @@ Tensor Tanh(const Tensor& a) {
 
 Tensor Softplus(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Softplus", {a});
+  NMCDR_OBS_OP_SCOPE("Softplus");
   return MakeOpNode("Softplus", k::Softplus(a.value()), {a}, [a](Node* self) {
     // d softplus(x)/dx = sigmoid(x)
     Matrix sig = k::Sigmoid(a.value());
@@ -174,6 +188,7 @@ Tensor Softplus(const Tensor& a) {
 
 Tensor SoftmaxRows(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("SoftmaxRows", {a});
+  NMCDR_OBS_OP_SCOPE("SoftmaxRows");
   return MakeOpNode("SoftmaxRows", k::SoftmaxRows(a.value()), {a}, [a](Node* self) {
     const Matrix& y = self->value;
     const Matrix& g = self->grad;
@@ -194,6 +209,7 @@ Tensor SoftmaxRows(const Tensor& a) {
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("ConcatCols", {a, b});
+  NMCDR_OBS_OP_SCOPE("ConcatCols");
   return MakeOpNode("ConcatCols",
       k::ConcatCols(a.value(), b.value()), {a, b}, [a, b](Node* self) {
         const int ca = a.cols(), cb = b.cols();
@@ -212,6 +228,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
 
 Tensor SliceCols(const Tensor& a, int start, int len) {
   if (MetaEnabled()) return MetaOp("SliceCols", {a}, {{start, len}});
+  NMCDR_OBS_OP_SCOPE("SliceCols");
   NMCDR_CHECK_GE(start, 0);
   NMCDR_CHECK_GT(len, 0);
   NMCDR_CHECK_LE(start + len, a.cols());
@@ -234,6 +251,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
 
 Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
   if (MetaEnabled()) return MetaOp("Embedding", {table}, IdBoundsAttrs(ids));
+  NMCDR_OBS_OP_SCOPE("Embedding");
   return MakeOpNode("Embedding", k::GatherRows(table.value(), ids), {table},
                     [table, ids](Node* self) {
                       Matrix dt(table.rows(), table.cols());
@@ -244,6 +262,7 @@ Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
 
 Tensor Transpose(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Transpose", {a});
+  NMCDR_OBS_OP_SCOPE("Transpose");
   return MakeOpNode("Transpose", k::Transpose(a.value()), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Transpose(self->grad));
   });
@@ -256,6 +275,7 @@ Tensor SegmentMeanRows(
   if (MetaEnabled()) {
     return MetaOp("SegmentMeanRows", {table}, ListBoundsAttrs(*lists));
   }
+  NMCDR_OBS_OP_SCOPE("SegmentMeanRows");
   const int n = static_cast<int>(lists->size());
   const int d = table.cols();
   Matrix out(n, d);
@@ -291,6 +311,7 @@ Tensor SegmentMeanRows(
 Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
   NMCDR_CHECK(a != nullptr);
   if (MetaEnabled()) return MetaOp("SpMM", {x}, {{a->rows(), a->cols()}});
+  NMCDR_OBS_OP_SCOPE("SpMM");
   return MakeOpNode("SpMM", a->Multiply(x.value()), {x}, [a, x](Node* self) {
     x.raw()->AccumulateGrad(a->MultiplyTransposed(self->grad));
   });
@@ -298,6 +319,7 @@ Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
 
 Tensor Sum(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Sum", {a});
+  NMCDR_OBS_OP_SCOPE("Sum");
   Matrix out(1, 1);
   out.At(0, 0) = a.value().Sum();
   return MakeOpNode("Sum", std::move(out), {a}, [a](Node* self) {
@@ -308,6 +330,7 @@ Tensor Sum(const Tensor& a) {
 
 Tensor Mean(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Mean", {a});
+  NMCDR_OBS_OP_SCOPE("Mean");
   const float inv = 1.f / static_cast<float>(a.value().size());
   Matrix out(1, 1);
   out.At(0, 0) = a.value().Sum() * inv;
@@ -319,6 +342,7 @@ Tensor Mean(const Tensor& a) {
 
 Tensor SumSquares(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("SumSquares", {a});
+  NMCDR_OBS_OP_SCOPE("SumSquares");
   Matrix out(1, 1);
   double acc = 0.0;
   for (int i = 0; i < a.value().size(); ++i) {
@@ -333,6 +357,7 @@ Tensor SumSquares(const Tensor& a) {
 
 Tensor ColMean(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("ColMean", {a});
+  NMCDR_OBS_OP_SCOPE("ColMean");
   NMCDR_CHECK_GT(a.rows(), 0);
   const float inv = 1.f / static_cast<float>(a.rows());
   return MakeOpNode("ColMean", k::ColMean(a.value()), {a}, [a, inv](Node* self) {
@@ -348,6 +373,7 @@ Tensor ColMean(const Tensor& a) {
 
 Tensor TileRows(const Tensor& a, int n) {
   if (MetaEnabled()) return MetaOp("TileRows", {a}, {{n}});
+  NMCDR_OBS_OP_SCOPE("TileRows");
   NMCDR_CHECK_EQ(a.rows(), 1);
   NMCDR_CHECK_GT(n, 0);
   Matrix out(n, a.cols());
@@ -363,6 +389,7 @@ Tensor TileRows(const Tensor& a, int n) {
 
 Tensor RowDot(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("RowDot", {a, b});
+  NMCDR_OBS_OP_SCOPE("RowDot");
   return MakeOpNode("RowDot",
       k::RowDot(a.value(), b.value()), {a, b}, [a, b](Node* self) {
         Matrix da(a.rows(), a.cols()), db(b.rows(), b.cols());
@@ -384,6 +411,7 @@ Tensor RowDot(const Tensor& a, const Tensor& b) {
 
 Tensor ScaleRows(const Tensor& a, const Tensor& s) {
   if (MetaEnabled()) return MetaOp("ScaleRows", {a, s});
+  NMCDR_OBS_OP_SCOPE("ScaleRows");
   NMCDR_CHECK_EQ(s.cols(), 1);
   NMCDR_CHECK_EQ(s.rows(), a.rows());
   Matrix out(a.rows(), a.cols());
@@ -418,6 +446,7 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
     return MetaOp("BceWithLogits", {logits},
                   {{static_cast<int64_t>(labels.size())}});
   }
+  NMCDR_OBS_OP_SCOPE("BceWithLogits");
   NMCDR_CHECK_EQ(logits.cols(), 1);
   NMCDR_CHECK_EQ(logits.rows(), static_cast<int>(labels.size()));
   const int n = logits.rows();
@@ -442,6 +471,7 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
 
 Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
   if (MetaEnabled()) return MetaOp("BprLoss", {pos_scores, neg_scores});
+  NMCDR_OBS_OP_SCOPE("BprLoss");
   NMCDR_CHECK_EQ(pos_scores.cols(), 1);
   NMCDR_CHECK(pos_scores.value().SameShape(neg_scores.value()));
   const int n = pos_scores.rows();
@@ -481,6 +511,7 @@ Tensor NeighborAttention(
     return MetaOp("NeighborAttention", {users, items},
                   ListBoundsAttrs(*candidates));
   }
+  NMCDR_OBS_OP_SCOPE("NeighborAttention");
   NMCDR_CHECK_EQ(static_cast<int>(candidates->size()), users.rows());
   NMCDR_CHECK_EQ(users.cols(), items.cols());
   const int n = users.rows();

@@ -6,6 +6,7 @@
 #include "autograd/debug.h"
 #include "autograd/meta.h"
 #include "autograd/tape_validator.h"
+#include "obs/trace.h"
 #include "tensor/matrix_ops.h"
 #include "util/check.h"
 
@@ -139,9 +140,19 @@ void Backward(const Tensor& loss) {
   }
 
   loss.raw()->AccumulateGrad(Matrix(1, 1, 1.f));
+  // Flag sampled once per Backward: per-node wall time only under the obs
+  // profiling switch, so the default tape replay stays clock-free.
+  const bool profile = obs::ProfilingEnabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
-    if (n->backward && !n->grad.empty()) n->backward(n);
+    if (!n->backward || n->grad.empty()) continue;
+    if (profile) {
+      const int64_t t0 = obs::NowNs();
+      n->backward(n);
+      obs::RecordBackward(n->op, obs::NowNs() - t0);
+    } else {
+      n->backward(n);
+    }
   }
   MarkTapeConsumed(order);
 }

@@ -1,0 +1,250 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace nmcdr {
+namespace obs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trippable decimal; JSON has no Inf/NaN, so non-finite
+/// values degrade to 0.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string HumanNs(int64_t ns) {
+  char buf[40];
+  const double v = static_cast<double>(ns);
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", v * 1e-3);
+  } else if (ns < 10'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", v * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", v * 1e-9);
+  }
+  return buf;
+}
+
+struct HistogramSummary {
+  int64_t count;
+  double sum, min, max, mean, p50, p95, p99;
+};
+
+HistogramSummary Summarize(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.Count();
+  s.sum = h.Sum();
+  s.min = h.Min();
+  s.max = h.Max();
+  s.mean = h.Mean();
+  s.p50 = h.Quantile(0.50);
+  s.p95 = h.Quantile(0.95);
+  s.p99 = h.Quantile(0.99);
+  return s;
+}
+
+}  // namespace
+
+std::string DumpJson(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"" << kJsonSchemaVersion << "\",\n";
+  out << "  \"metrics_enabled\": " << (MetricsEnabled() ? "true" : "false")
+      << ",\n";
+  out << "  \"profiling_enabled\": " << (ProfilingEnabled() ? "true" : "false")
+      << ",\n";
+
+  out << "  \"counters\": {";
+  {
+    bool first = true;
+    for (const auto& [name, c] : registry.Counters()) {
+      out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+          << "\": " << c->Value();
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+  }
+
+  out << "  \"gauges\": {";
+  {
+    bool first = true;
+    for (const auto& [name, g] : registry.Gauges()) {
+      out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+          << "\": " << JsonNumber(g->Value());
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+  }
+
+  out << "  \"histograms\": {";
+  {
+    bool first = true;
+    for (const auto& [name, h] : registry.Histograms()) {
+      const HistogramSummary s = Summarize(*h);
+      out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
+          << "\"count\": " << s.count << ", \"sum\": " << JsonNumber(s.sum)
+          << ", \"min\": " << JsonNumber(s.min)
+          << ", \"max\": " << JsonNumber(s.max)
+          << ", \"mean\": " << JsonNumber(s.mean)
+          << ", \"p50\": " << JsonNumber(s.p50)
+          << ", \"p95\": " << JsonNumber(s.p95)
+          << ", \"p99\": " << JsonNumber(s.p99) << ", \"buckets\": [";
+      const std::vector<int64_t> counts = h->BucketCounts();
+      const std::vector<double>& bounds = h->boundaries();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i != 0) out << ", ";
+        // Overflow bucket carries the sentinel upper bound -1.
+        out << "{\"le\": "
+            << (i < bounds.size() ? JsonNumber(bounds[i]) : std::string("-1"))
+            << ", \"count\": " << counts[i] << "}";
+      }
+      out << "]}";
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+  }
+
+  out << "  \"ops\": {";
+  {
+    bool first = true;
+    for (const OpStatsRow& row : SnapshotOpStats()) {
+      out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(row.name)
+          << "\": {\"forward_calls\": " << row.forward_calls
+          << ", \"forward_ns\": " << row.forward_ns
+          << ", \"backward_calls\": " << row.backward_calls
+          << ", \"backward_ns\": " << row.backward_ns << "}";
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+  }
+
+  out << "  \"kernels\": {";
+  {
+    bool first = true;
+    for (const KernelStatsRow& row : SnapshotKernelStats()) {
+      out << (first ? "\n" : ",\n") << "    \"" << KernelName(row.kernel)
+          << "\": {\"calls\": " << row.calls << ", \"flops\": " << row.flops
+          << ", \"ns\": " << row.ns << "}";
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n";
+  }
+
+  out << "}\n";
+  return out.str();
+}
+
+std::string DumpText(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  out << "== nmcdr observability (metrics="
+      << (MetricsEnabled() ? "on" : "off")
+      << ", profiling=" << (ProfilingEnabled() ? "on" : "off") << ") ==\n";
+
+  const auto counters = registry.Counters();
+  if (!counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, c] : counters) {
+      out << "  " << name << " = " << c->Value() << "\n";
+    }
+  }
+
+  const auto gauges = registry.Gauges();
+  if (!gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, g] : gauges) {
+      out << "  " << name << " = " << g->Value() << "\n";
+    }
+  }
+
+  const auto histograms = registry.Histograms();
+  if (!histograms.empty()) {
+    out << "histograms:\n";
+    for (const auto& [name, h] : histograms) {
+      const HistogramSummary s = Summarize(*h);
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %s: count=%lld mean=%.4g p50=%.4g p95=%.4g p99=%.4g "
+                    "max=%.4g\n",
+                    name.c_str(), static_cast<long long>(s.count), s.mean,
+                    s.p50, s.p95, s.p99, s.max);
+      out << line;
+    }
+  }
+
+  const std::vector<OpStatsRow> ops = SnapshotOpStats();
+  if (!ops.empty()) {
+    out << "autograd ops:\n";
+    for (const OpStatsRow& row : ops) {
+      out << "  " << row.name << ": fwd=" << row.forward_calls;
+      if (row.forward_ns != 0) out << " (" << HumanNs(row.forward_ns) << ")";
+      out << " bwd=" << row.backward_calls;
+      if (row.backward_ns != 0) out << " (" << HumanNs(row.backward_ns) << ")";
+      out << "\n";
+    }
+  }
+
+  const std::vector<KernelStatsRow> kernels = SnapshotKernelStats();
+  if (!kernels.empty()) {
+    out << "kernels:\n";
+    for (const KernelStatsRow& row : kernels) {
+      out << "  " << KernelName(row.kernel) << ": calls=" << row.calls
+          << " flops=" << row.flops;
+      if (row.ns != 0) out << " time=" << HumanNs(row.ns);
+      out << "\n";
+    }
+  }
+
+  return out.str();
+}
+
+bool WriteJsonFile(const std::string& path, const MetricsRegistry& registry) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  f << DumpJson(registry);
+  f.close();
+  if (!f) {
+    std::fprintf(stderr, "obs: failed writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace nmcdr

@@ -1,0 +1,51 @@
+#ifndef NMCDR_OBS_EXPORT_H_
+#define NMCDR_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace nmcdr {
+namespace obs {
+
+/// Exporters over a MetricsRegistry plus the global op/kernel tables.
+///
+/// DumpJson emits the stable machine-readable form, versioned by the
+/// top-level "schema" key (kJsonSchemaVersion). Consumers must reject
+/// unknown versions. Layout (NMCDR_OBS_V1):
+///
+///   {
+///     "schema": "NMCDR_OBS_V1",
+///     "metrics_enabled": bool, "profiling_enabled": bool,
+///     "counters":  { "<name>": int, ... },
+///     "gauges":    { "<name>": double, ... },
+///     "histograms": { "<name>": { "count": int, "sum": double,
+///          "min": double, "max": double, "mean": double,
+///          "p50": double, "p95": double, "p99": double,
+///          "buckets": [ { "le": double, "count": int }, ... ] }, ... },
+///     "ops":     { "<op>": { "forward_calls": int, "forward_ns": int,
+///                            "backward_calls": int, "backward_ns": int } },
+///     "kernels": { "<kernel>": { "calls": int, "flops": int, "ns": int } }
+///   }
+///
+/// Maps are emitted sorted by name; the final histogram bucket entry is
+/// the overflow bucket, marked "le": -1. Zero-call op/kernel rows are
+/// omitted. DumpText renders the same data for humans.
+
+inline constexpr const char* kJsonSchemaVersion = "NMCDR_OBS_V1";
+
+std::string DumpText(const MetricsRegistry& registry);
+std::string DumpJson(const MetricsRegistry& registry);
+
+inline std::string DumpText() { return DumpText(MetricsRegistry::Global()); }
+inline std::string DumpJson() { return DumpJson(MetricsRegistry::Global()); }
+
+/// Writes DumpJson(registry) to `path`. Returns false (with a message on
+/// stderr) when the file cannot be written.
+bool WriteJsonFile(const std::string& path,
+                   const MetricsRegistry& registry = MetricsRegistry::Global());
+
+}  // namespace obs
+}  // namespace nmcdr
+
+#endif  // NMCDR_OBS_EXPORT_H_

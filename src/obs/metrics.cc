@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace obs {
+
+namespace internal {
+
+int ThreadShard() {
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+void AtomicAddDouble(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& a, double value) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !a.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>& a, double value) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur > value &&
+         !a.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const internal::ShardSlot& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::ShardSlot& s : shards_) {
+    s.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  NMCDR_CHECK(!boundaries_.empty());
+  NMCDR_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  const std::size_t n = boundaries_.size() + 1;  // + overflow
+  for (Shard& s : shards_) {
+    s.buckets = std::make_unique<std::atomic<int64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Record(double value) {
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - boundaries_.begin());
+  Shard& s = shards_[internal::ThreadShard()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(s.sum, value);
+  internal::AtomicMinDouble(s.min, value);
+  internal::AtomicMaxDouble(s.max, value);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  const int64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Min() const {
+  double out = 0.0;
+  bool seen = false;
+  for (const Shard& s : shards_) {
+    if (s.count.load(std::memory_order_relaxed) == 0) continue;
+    const double v = s.min.load(std::memory_order_relaxed);
+    out = seen ? std::min(out, v) : v;
+    seen = true;
+  }
+  return out;
+}
+
+double Histogram::Max() const {
+  double out = 0.0;
+  bool seen = false;
+  for (const Shard& s : shards_) {
+    if (s.count.load(std::memory_order_relaxed) == 0) continue;
+    const double v = s.max.load(std::memory_order_relaxed);
+    out = seen ? std::max(out, v) : v;
+    seen = true;
+  }
+  return out;
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> folded(boundaries_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < folded.size(); ++i) {
+      folded[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return folded;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (const int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  const double observed_min = Min();
+  const double observed_max = Max();
+  int64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target) {
+      if (i == counts.size() - 1) return observed_max;  // overflow bucket
+      const double hi = boundaries_[i];
+      const double lo = i == 0 ? std::min(observed_min, hi) : boundaries_[i - 1];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      const double est = lo + frac * (hi - lo);
+      return std::clamp(est, observed_min, observed_max);
+    }
+    cum = next;
+  }
+  return observed_max;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (std::size_t i = 0; i < boundaries_.size() + 1; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so instrumentation in static destructors stays safe.
+  static MetricsRegistry* const g =
+      new MetricsRegistry();  // NMCDR_LINT_ALLOW(naked-new): intentional leak
+  return *g;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());  // NMCDR_LINT_ALLOW(naked-new): private ctor
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());  // NMCDR_LINT_ALLOW(naked-new): private ctor
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> boundaries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) {
+    // NMCDR_LINT_ALLOW(naked-new): private ctor, unique_ptr takes ownership
+    slot.reset(new Histogram(std::move(boundaries)));
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetLatencyHistogram(const std::string& name) {
+  return GetHistogram(name, DefaultLatencyBucketsMs());
+}
+
+std::vector<double> MetricsRegistry::DefaultLatencyBucketsMs() {
+  // 0.05 ms .. ~26 s, x2 per bucket: fine resolution where serving
+  // latencies live, wide tail for stalls.
+  std::vector<double> b;
+  for (double ms = 0.05; ms < 30000.0; ms *= 2.0) b.push_back(ms);
+  return b;
+}
+
+std::vector<double> MetricsRegistry::DefaultTimeBucketsSeconds() {
+  // 1 ms .. ~2000 s, x2 per bucket: epoch / phase durations.
+  std::vector<double> b;
+  for (double s = 0.001; s < 2500.0; s *= 2.0) b.push_back(s);
+  return b;
+}
+
+std::vector<std::pair<std::string, const Counter*>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& kv : counters_) out.emplace_back(kv.first, kv.second.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::Gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& kv : gauges_) out.emplace_back(kv.first, kv.second.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& kv : histograms_) {
+    out.emplace_back(kv.first, kv.second.get());
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second->Reset();
+  for (auto& kv : gauges_) kv.second->Reset();
+  for (auto& kv : histograms_) kv.second->Reset();
+}
+
+}  // namespace obs
+}  // namespace nmcdr

@@ -1,0 +1,63 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace nmcdr {
+namespace obs {
+namespace {
+
+// Env-derived defaults, computed once. NMCDR_OBS=0 starts metrics off;
+// NMCDR_OBS_PROFILE=1 starts profiling on.
+bool EnvDisables(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::strcmp(v, "0") == 0;
+}
+
+bool EnvEnables(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::strcmp(v, "0") != 0 && std::strcmp(v, "") != 0;
+}
+
+std::atomic<bool>& MetricsAtom() {
+  static std::atomic<bool> atom(!EnvDisables("NMCDR_OBS"));
+  return atom;
+}
+
+std::atomic<bool>& ProfilingAtom() {
+  static std::atomic<bool> atom(EnvEnables("NMCDR_OBS_PROFILE"));
+  return atom;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool MetricsFlag() {
+  return MetricsAtom().load(std::memory_order_relaxed);
+}
+
+bool ProfilingFlag() {
+  return ProfilingAtom().load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+bool SetMetricsEnabled(bool enabled) {
+  return MetricsAtom().exchange(enabled, std::memory_order_relaxed);
+}
+
+bool SetProfilingEnabled(bool enabled) {
+  return ProfilingAtom().exchange(enabled, std::memory_order_relaxed);
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace nmcdr

@@ -1,0 +1,96 @@
+#ifndef NMCDR_OBS_OBS_H_
+#define NMCDR_OBS_OBS_H_
+
+#include <cstdint>
+
+namespace nmcdr {
+namespace obs {
+
+/// Observability master switches.
+///
+/// Two independent gates control the cost of instrumentation:
+///
+///  * compile time — the NMCDR_OBS CMake option (default ON). Building with
+///    -DNMCDR_OBS=OFF defines NMCDR_OBS_DISABLED, which turns kObsCompiled
+///    into a compile-time false: every instrumentation scope below folds to
+///    nothing and the optimizer deletes the probes entirely.
+///  * run time — MetricsEnabled() / ProfilingEnabled(), each a single
+///    relaxed atomic load. Scopes (obs/trace.h) read the flag ONCE at
+///    construction, so a disabled scope costs one load and one branch — no
+///    clock reads, no allocation (asserted by obs_test).
+///
+/// Metrics (counters, gauges, histograms — cheap sharded atomics) default
+/// ON; profiling (per-op and per-kernel wall-clock timing — two clock
+/// reads per probe) defaults OFF so pervasive op dispatch never pays for
+/// timestamps nobody asked for. Environment overrides, read once at first
+/// query: NMCDR_OBS=0 disables metrics, NMCDR_OBS_PROFILE=1 enables
+/// profiling.
+///
+/// Neither flag ever changes numerics: instrumentation only observes.
+/// backend_equivalence_test proves training results are bit-identical with
+/// observability fully on and fully off.
+
+#if defined(NMCDR_OBS_DISABLED)
+inline constexpr bool kObsCompiled = false;
+#else
+inline constexpr bool kObsCompiled = true;
+#endif
+
+namespace internal {
+bool MetricsFlag();
+bool ProfilingFlag();
+}  // namespace internal
+
+/// True when metric recording (counters / gauges / histograms attached to
+/// instrumentation scopes) is active.
+inline bool MetricsEnabled() {
+  return kObsCompiled && internal::MetricsFlag();
+}
+
+/// True when wall-clock probes (per-op, per-kernel, span timing) are
+/// active. Profiling implies metrics semantics for the timed tables.
+inline bool ProfilingEnabled() {
+  return kObsCompiled && internal::ProfilingFlag();
+}
+
+/// Runtime toggles (process-wide). Return the previous value so callers
+/// can restore it; tests use the RAII guards below instead.
+bool SetMetricsEnabled(bool enabled);
+bool SetProfilingEnabled(bool enabled);
+
+/// RAII flag override for tests and tools.
+class MetricsEnabledGuard {
+ public:
+  explicit MetricsEnabledGuard(bool enabled)
+      : previous_(SetMetricsEnabled(enabled)) {}
+  ~MetricsEnabledGuard() { SetMetricsEnabled(previous_); }
+  MetricsEnabledGuard(const MetricsEnabledGuard&) = delete;
+  MetricsEnabledGuard& operator=(const MetricsEnabledGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+class ProfilingEnabledGuard {
+ public:
+  explicit ProfilingEnabledGuard(bool enabled)
+      : previous_(SetProfilingEnabled(enabled)) {}
+  ~ProfilingEnabledGuard() { SetProfilingEnabled(previous_); }
+  ProfilingEnabledGuard(const ProfilingEnabledGuard&) = delete;
+  ProfilingEnabledGuard& operator=(const ProfilingEnabledGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Monotonic wall clock in nanoseconds. The observability layer is the
+/// sanctioned home of raw clock reads (with src/util's Stopwatch): the
+/// nmcdr_lint [banned-chrono] rule confines std::chrono::*_clock::now()
+/// to src/obs/ and src/util/ so every timing measurement flows through
+/// one of the two.
+int64_t NowNs();
+
+}  // namespace obs
+}  // namespace nmcdr
+
+#endif  // NMCDR_OBS_OBS_H_

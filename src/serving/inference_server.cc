@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -32,8 +33,9 @@ std::string ServerStats::ToString() const {
       << "  batches            : " << batches << " (mean size "
       << MeanBatchSize() << ", max " << max_batch_size << ")\n"
       << "  max queue depth    : " << max_queue_depth << "\n"
-      << "  latency            : mean " << MeanLatencyMs() << " ms, max "
-      << max_latency_ms << " ms\n"
+      << "  latency            : mean " << MeanLatencyMs() << " ms, p50 "
+      << p50_latency_ms << " ms, p95 " << p95_latency_ms << " ms, p99 "
+      << p99_latency_ms << " ms, max " << max_latency_ms << " ms\n"
       << "  throughput         : " << ThroughputPerSec() << " req/s over "
       << wall_seconds << " s\n";
   return out.str();
@@ -44,6 +46,22 @@ InferenceServer::InferenceServer(const ScoreEngine* engine, Options options)
   NMCDR_CHECK(engine != nullptr);
   NMCDR_CHECK_GT(options_.num_threads, 0);
   NMCDR_CHECK_GT(options_.max_batch, 0);
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  submitted_ = &metrics_->GetCounter("serving.requests_submitted");
+  served_ = &metrics_->GetCounter("serving.requests_served");
+  cold_start_ = &metrics_->GetCounter("serving.cold_start_served");
+  batches_ = &metrics_->GetCounter("serving.batches");
+  queue_depth_ = &metrics_->GetGauge("serving.queue_depth");
+  max_queue_depth_gauge_ = &metrics_->GetGauge("serving.max_queue_depth");
+  max_batch_size_gauge_ = &metrics_->GetGauge("serving.max_batch_size");
+  latency_ms_ = &metrics_->GetLatencyHistogram("serving.latency_ms");
+  batch_size_ = &metrics_->GetHistogram(
+      "serving.batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
 }
 
 InferenceServer::~InferenceServer() { Stop(); }
@@ -51,7 +69,7 @@ InferenceServer::~InferenceServer() { Stop(); }
 std::future<Recommendation> InferenceServer::Submit(RecRequest request) {
   Pending pending;
   pending.request = std::move(request);
-  pending.enqueued = std::chrono::steady_clock::now();
+  pending.enqueued_ns = obs::NowNs();
   std::future<Recommendation> future = pending.promise.get_future();
   bool dispatch_drainer = false;
   {
@@ -62,9 +80,13 @@ std::future<Recommendation> InferenceServer::Submit(RecRequest request) {
       return future;
     }
     queue_.push_back(std::move(pending));
-    ++stats_.requests_submitted;
-    stats_.max_queue_depth = std::max(
-        stats_.max_queue_depth, static_cast<int64_t>(queue_.size()));
+    submitted_->Add(1);
+    const int64_t depth = static_cast<int64_t>(queue_.size());
+    queue_depth_->Set(static_cast<double>(depth));
+    if (depth > max_queue_depth_) {
+      max_queue_depth_ = depth;
+      max_queue_depth_gauge_->Set(static_cast<double>(depth));
+    }
     // Keep the invariant: a non-empty queue always has a drainer coming.
     // Extra drainers (up to num_threads) add parallelism under load.
     if (active_drainers_ < options_.num_threads &&
@@ -115,6 +137,11 @@ void InferenceServer::DrainLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+      if (static_cast<int64_t>(batch.size()) > max_batch_size_) {
+        max_batch_size_ = static_cast<int64_t>(batch.size());
+        max_batch_size_gauge_->Set(static_cast<double>(max_batch_size_));
+      }
     }
 
     std::vector<RecRequest> requests;
@@ -122,27 +149,17 @@ void InferenceServer::DrainLoop() {
     for (const Pending& pending : batch) requests.push_back(pending.request);
     const std::vector<Recommendation> results = engine_->TopKBatch(requests);
 
-    const auto now = std::chrono::steady_clock::now();
+    const int64_t now_ns = obs::NowNs();
     int64_t cold = 0;
-    double latency_sum_ms = 0.0, latency_max_ms = 0.0;
     for (size_t i = 0; i < batch.size(); ++i) {
-      const double ms =
-          std::chrono::duration<double, std::milli>(now - batch[i].enqueued)
-              .count();
-      latency_sum_ms += ms;
-      latency_max_ms = std::max(latency_max_ms, ms);
+      latency_ms_->Record(static_cast<double>(now_ns - batch[i].enqueued_ns) *
+                          1e-6);
       if (results[i].cold_start) ++cold;
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.batches;
-      stats_.requests_served += static_cast<int64_t>(batch.size());
-      stats_.cold_start_served += cold;
-      stats_.max_batch_size = std::max(stats_.max_batch_size,
-                                       static_cast<int64_t>(batch.size()));
-      stats_.total_latency_ms += latency_sum_ms;
-      stats_.max_latency_ms = std::max(stats_.max_latency_ms, latency_max_ms);
-    }
+    batches_->Add(1);
+    served_->Add(static_cast<int64_t>(batch.size()));
+    cold_start_->Add(cold);
+    batch_size_->Record(static_cast<double>(batch.size()));
     // Fulfil promises after bookkeeping so stats() observed by a woken
     // caller already include its own request.
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -157,10 +174,23 @@ int InferenceServer::active_drainers() const {
 }
 
 ServerStats InferenceServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ServerStats copy = stats_;
-  copy.wall_seconds = uptime_.ElapsedSeconds();
-  return copy;
+  ServerStats out;
+  out.requests_submitted = submitted_->Value();
+  out.requests_served = served_->Value();
+  out.cold_start_served = cold_start_->Value();
+  out.batches = batches_->Value();
+  out.total_latency_ms = latency_ms_->Sum();
+  out.max_latency_ms = latency_ms_->Max();
+  out.p50_latency_ms = latency_ms_->Quantile(0.50);
+  out.p95_latency_ms = latency_ms_->Quantile(0.95);
+  out.p99_latency_ms = latency_ms_->Quantile(0.99);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.max_queue_depth = max_queue_depth_;
+    out.max_batch_size = max_batch_size_;
+  }
+  out.wall_seconds = uptime_.ElapsedSeconds();
+  return out;
 }
 
 }  // namespace nmcdr

@@ -1,20 +1,24 @@
 #ifndef NMCDR_SERVING_INFERENCE_SERVER_H_
 #define NMCDR_SERVING_INFERENCE_SERVER_H_
 
-#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
 #include "serving/score_engine.h"
 #include "util/stopwatch.h"
 
 namespace nmcdr {
 
-/// Aggregate serving counters, copied atomically by
-/// InferenceServer::stats(). Latencies are measured enqueue-to-response.
+/// Aggregate serving statistics, scraped from the server's metrics
+/// registry by InferenceServer::stats(). Latencies are measured
+/// enqueue-to-response; quantiles come from the serving.latency_ms
+/// histogram (obs/metrics.h), so p50/p95/p99 are bucket-interpolated
+/// estimates while count/sum/max are exact.
 struct ServerStats {
   int64_t requests_submitted = 0;
   int64_t requests_served = 0;
@@ -24,6 +28,9 @@ struct ServerStats {
   int64_t max_batch_size = 0;
   double total_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
   /// Seconds since the server started (filled when stats() is taken).
   double wall_seconds = 0.0;
 
@@ -50,6 +57,15 @@ struct ServerStats {
 /// active (Submit dispatches one if needed), and Stop() returns only once
 /// the queue is empty and every drainer has exited — nothing is left
 /// running on the shared pool afterwards.
+///
+/// Accounting lives in an obs::MetricsRegistry ("serving.*" names:
+/// request/batch counters, the serving.latency_ms and serving.batch_size
+/// histograms, queue-depth gauges) and is recorded unconditionally — the
+/// server's traffic counts are part of its contract (tests assert exact
+/// values), not optional instrumentation, so the obs enable flags do not
+/// apply here. By default each server owns a private registry, keeping
+/// counts per-server; pass Options::metrics = &obs::MetricsRegistry::
+/// Global() to surface them in --metrics-out dumps.
 class InferenceServer {
  public:
   struct Options {
@@ -58,6 +74,9 @@ class InferenceServer {
     int num_threads = 2;
     /// Requests drained per pass.
     int max_batch = 8;
+    /// Registry receiving the serving.* metrics; nullptr = a registry
+    /// private to this server (must outlive the server otherwise).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// `engine` must outlive the server. No threads start until the first
@@ -89,14 +108,22 @@ class InferenceServer {
   /// invariant — asserted in serving_engine_test).
   int active_drainers() const;
 
-  /// Consistent snapshot of the counters.
+  /// Scrapes the registry into a ServerStats. Each field is individually
+  /// exact; a scrape racing in-flight drainers may observe a request in
+  /// one field but not yet another. After every submitted future has
+  /// resolved the snapshot is fully consistent: drainers finish all
+  /// bookkeeping before fulfilling promises.
   ServerStats stats() const;
+
+  /// The registry this server records into (the private one unless
+  /// Options::metrics was set).
+  obs::MetricsRegistry& metrics_registry() const { return *metrics_; }
 
  private:
   struct Pending {
     RecRequest request;
     std::promise<Recommendation> promise;
-    std::chrono::steady_clock::time_point enqueued;
+    int64_t enqueued_ns = 0;  // obs::NowNs at Submit
   };
 
   /// One drainer pass: repeatedly serve batches until the queue is empty,
@@ -107,13 +134,27 @@ class InferenceServer {
   Options options_;
   Stopwatch uptime_;
 
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;  // owned_metrics_ or Options::metrics
+  // Resolved once in the constructor; Add/Record are lock-free-ish.
+  obs::Counter* submitted_;
+  obs::Counter* served_;
+  obs::Counter* cold_start_;
+  obs::Counter* batches_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* max_queue_depth_gauge_;
+  obs::Gauge* max_batch_size_gauge_;
+  obs::Histogram* latency_ms_;
+  obs::Histogram* batch_size_;
+
   mutable std::mutex mu_;
   /// Signalled when a drainer retires or the queue empties (Stop waits).
   std::condition_variable drained_cv_;
-  std::deque<Pending> queue_;  // GUARDED_BY(mu_)
-  int active_drainers_ = 0;    // GUARDED_BY(mu_)
-  bool stopping_ = false;      // GUARDED_BY(mu_)
-  ServerStats stats_;          // GUARDED_BY(mu_); wall filled on read
+  std::deque<Pending> queue_;    // GUARDED_BY(mu_)
+  int active_drainers_ = 0;      // GUARDED_BY(mu_)
+  bool stopping_ = false;        // GUARDED_BY(mu_)
+  int64_t max_queue_depth_ = 0;  // GUARDED_BY(mu_)
+  int64_t max_batch_size_ = 0;   // GUARDED_BY(mu_)
 };
 
 }  // namespace nmcdr

@@ -5,12 +5,35 @@
 #include <queue>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "tensor/matrix_ops.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace nmcdr {
 namespace {
+
+/// Mirrors the engine's own relaxed-atomic counters (the `counters()` API,
+/// always exact) into the global registry so scoring traffic shows up in
+/// --metrics-out dumps. Gated per call; the registry lookups resolve once.
+/// Safe from pool workers: statics are init-once, counters are sharded.
+void MirrorRequestMetric(bool cold_start) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter& requests =
+      obs::MetricsRegistry::Global().GetCounter("scoring.requests");
+  static obs::Counter& cold =
+      obs::MetricsRegistry::Global().GetCounter("scoring.cold_start_requests");
+  requests.Add(1);
+  if (cold_start) cold.Add(1);
+}
+
+void MirrorPairsMetric(int64_t n) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter& pairs =
+      obs::MetricsRegistry::Global().GetCounter("scoring.pairs_scored");
+  pairs.Add(n);
+}
 
 /// Activates h[0..n) in place; the dispatch happens once per call, not per
 /// element (the fast scoring loop is dominated by such per-scalar costs).
@@ -99,6 +122,7 @@ void ScoreEngine::ScoreIds(int target_domain, const float* u, const int* ids,
     }
     FastScoreIds(target_domain, u, u_first.data(), ids, n, out);
     pairs_scored_.fetch_add(n, std::memory_order_relaxed);
+    MirrorPairsMetric(n);
     return;
   }
 
@@ -138,6 +162,7 @@ void ScoreEngine::ScoreIds(int target_domain, const float* u, const int* ids,
     for (int i = 0; i < count; ++i) out[begin + i] = logits.At(i, 0);
   }
   pairs_scored_.fetch_add(n, std::memory_order_relaxed);
+  MirrorPairsMetric(n);
 }
 
 void ScoreEngine::FastScoreIds(int target_domain, const float* u,
@@ -217,6 +242,7 @@ std::vector<float> ScoreEngine::ScoreCandidates(
   if (resolved.cold_start) {
     cold_start_requests_.fetch_add(1, std::memory_order_relaxed);
   }
+  MirrorRequestMetric(resolved.cold_start);
   std::vector<float> scores(candidates.size());
   if (!candidates.empty()) {
     ScoreIds(target_domain, resolved.row, candidates.data(),
@@ -238,6 +264,7 @@ Recommendation ScoreEngine::TopK(const RecRequest& request) const {
   if (resolved.cold_start) {
     cold_start_requests_.fetch_add(1, std::memory_order_relaxed);
   }
+  MirrorRequestMetric(resolved.cold_start);
 
   const FrozenDomainState& frozen =
       snapshot_->domain(request.target_domain).frozen;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/backend.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -80,6 +82,11 @@ TrainSummary Trainer::Train(RecModel* model) {
   int stale_evals = 0;
   std::vector<Matrix> best_snapshot;
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    // "train.epoch" span: per-epoch wall time lands in histogram
+    // span.train.epoch.seconds; per-epoch loss in gauge train.last_epoch_loss
+    // below. Gated once here (not per step) — the step loop itself stays
+    // probe-free so observability never perturbs training numerics.
+    const obs::TraceSpan epoch_span("train.epoch");
     double loss_sum = 0.0;
     for (int step = 0; step < steps_per_epoch; ++step) {
       const LabeledBatch bz = NextBatch(DomainSide::kZ, &rng);
@@ -88,6 +95,12 @@ TrainSummary Trainer::Train(RecModel* model) {
     }
     summary.final_loss = static_cast<float>(loss_sum / steps_per_epoch);
     summary.epochs_run = epoch + 1;
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      reg.GetCounter("train.epochs").Add(1);
+      reg.GetCounter("train.steps").Add(steps_per_epoch);
+      reg.GetGauge("train.last_epoch_loss").Set(summary.final_loss);
+    }
     if (config_.verbose) {
       LOG_INFO << model->name() << " epoch " << epoch + 1 << "/" << epochs
                << " loss " << summary.final_loss;
@@ -119,6 +132,12 @@ TrainSummary Trainer::Train(RecModel* model) {
   }
   summary.best_valid_hr = std::max(best_hr, 0.0);
   summary.train_seconds = watch.ElapsedSeconds();
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetGauge("train.final_loss").Set(summary.final_loss);
+    reg.GetGauge("train.seconds").Set(summary.train_seconds);
+    reg.GetGauge("train.best_valid_hr").Set(summary.best_valid_hr);
+  }
   return summary;
 }
 

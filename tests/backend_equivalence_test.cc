@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/nmcdr_model.h"
+#include "obs/obs.h"
 #include "tensor/backend.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/rng.h"
@@ -251,6 +252,35 @@ TEST(BackendEquivalenceTest, TrainerFinalLossIdenticalAcrossBackends) {
   const float serial_loss = run(1);
   const float parallel_loss = run(4);
   EXPECT_EQ(serial_loss, parallel_loss);  // bitwise, not approximately
+}
+
+/// Observability is read-only: training with metrics + profiling enabled
+/// must produce the bit-identical final loss as training with both
+/// disabled. The probes (KernelScope, OpScope, TraceSpan, backward
+/// timing) may only observe — never perturb — the numeric path.
+TEST(BackendEquivalenceTest, TrainerFinalLossIdenticalWithObsOnAndOff) {
+  NmcdrConfig model_config;
+  model_config.hidden_dim = 8;
+  model_config.mlp_hidden = {16};
+
+  auto run = [&](bool metrics, bool profiling) {
+    obs::MetricsEnabledGuard metrics_guard(metrics);
+    obs::ProfilingEnabledGuard profiling_guard(profiling);
+    auto data = testing_util::TinyData();
+    NmcdrModel model(data->View(), model_config, /*seed=*/3, 1e-3f);
+    TrainConfig config;
+    config.epochs = 2;
+    config.batch_size = 64;
+    config.threads = 2;
+    Trainer trainer(data->View(), config);
+    return trainer.Train(&model).final_loss;
+  };
+
+  const float off_loss = run(/*metrics=*/false, /*profiling=*/false);
+  const float metrics_loss = run(/*metrics=*/true, /*profiling=*/false);
+  const float profiled_loss = run(/*metrics=*/true, /*profiling=*/true);
+  EXPECT_EQ(off_loss, metrics_loss);    // bitwise, not approximately
+  EXPECT_EQ(off_loss, profiled_loss);
 }
 
 }  // namespace

@@ -225,6 +225,73 @@ TEST(BannedThreadTest, ExemptsThreadPoolAndHonorsAllow) {
 }
 
 // ---------------------------------------------------------------------------
+// banned-chrono
+// ---------------------------------------------------------------------------
+
+TEST(BannedChronoTest, FiresOnClockNowOutsideObsAndUtil) {
+  EXPECT_EQ(CountRule(RunLint("src/serving/a.cc",
+                          "auto t = std::chrono::steady_clock::now();\n"),
+                      "banned-chrono"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("src/train/a.cc",
+                          "auto t = std::chrono::system_clock::now();\n"),
+                      "banned-chrono"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("tools/a.cpp",
+                          "auto t = high_resolution_clock::now();\n"),
+                      "banned-chrono"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("tests/a.cc",
+                          "auto t = steady_clock::now();\n"),
+                      "banned-chrono"),
+            1);
+  // Whitespace around the scope operator does not hide the call.
+  EXPECT_EQ(CountRule(RunLint("src/core/a.cc",
+                          "auto t = std::chrono::steady_clock :: now();\n"),
+                      "banned-chrono"),
+            1);
+}
+
+TEST(BannedChronoTest, AllowsClockTypeWithoutSamplingIt) {
+  EXPECT_EQ(CountRule(RunLint("src/serving/a.h",
+                          "#ifndef NMCDR_SERVING_A_H_\n"
+                          "#define NMCDR_SERVING_A_H_\n"
+                          "using Clock = std::chrono::steady_clock;\n"
+                          "#endif\n"),
+                      "banned-chrono"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/a.cc",
+                          "std::chrono::steady_clock::time_point start_;\n"),
+                      "banned-chrono"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/a.cc",
+                          "std::this_thread::sleep_for("
+                          "std::chrono::milliseconds(5));\n"),
+                      "banned-chrono"),
+            0);
+}
+
+TEST(BannedChronoTest, ExemptsObsAndUtilAndHonorsAllow) {
+  EXPECT_EQ(CountRule(RunLint("src/obs/obs.cc",
+                          "auto t = std::chrono::steady_clock::now();\n"),
+                      "banned-chrono"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/util/stopwatch.h",
+                          "#ifndef NMCDR_UTIL_STOPWATCH_H_\n"
+                          "#define NMCDR_UTIL_STOPWATCH_H_\n"
+                          "auto t = Clock::now();\n"
+                          "using Clock = std::chrono::steady_clock;\n"
+                          "#endif\n"),
+                      "banned-chrono"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/serving/a.cc",
+                          "auto t = std::chrono::steady_clock::now();  "
+                          "// NMCDR_LINT_ALLOW(banned-chrono): fixture\n"),
+                      "banned-chrono"),
+            0);
+}
+
+// ---------------------------------------------------------------------------
 // iostream-header
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,475 @@
+// Tests for the observability layer (src/obs/): histogram bucket boundary
+// semantics, per-thread shard folding under real ThreadPool::Shared()
+// contention (run under TSan by CI's tsan job and reproduce.sh smoke),
+// disabled-mode zero-allocation, the NMCDR_OBS_V1 JSON export (validated
+// by a minimal JSON parser), and the instrumentation scopes.
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <new>  // NMCDR_LINT_ALLOW(naked-new): header name, not an expression
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+#include "src/util/thread_pool.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: global operator new/delete overrides counting every
+// heap allocation in the process. The zero-allocation tests read the
+// counter around a probe region on a single thread with no concurrent
+// work, so a nonzero delta is attributable to the probes.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<int64_t> g_allocations{0};
+}  // namespace
+
+// The pair is matched (new mallocs, delete frees), but GCC's
+// -Wmismatched-new-delete can't see through the replacement and flags
+// the free() as mismatched.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+// NMCDR_LINT_ALLOW(naked-new): global allocation hook, not an ownership site
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+// NMCDR_LINT_ALLOW(naked-new): global allocation hook, not an ownership site
+void operator delete(void* p) noexcept { std::free(p); }
+// NMCDR_LINT_ALLOW(naked-new): global allocation hook, not an ownership site
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace nmcdr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounterTest, AddAndFold) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("c");
+  EXPECT_EQ(c.Value(), 0);
+  c.Add(1);
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+  EXPECT_EQ(&reg.GetCounter("c"), &c);  // same name -> same metric
+}
+
+TEST(ObsCounterTest, FoldsShardsWrittenByPoolThreads) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("contended");
+  constexpr int64_t kIters = 20000;
+  // Every pool worker lands in some shard; the fold must see every Add
+  // exactly once regardless of which thread made it.
+  ThreadPool::Shared()->ParallelFor(0, kIters, /*grain=*/64,
+                                    [&](int64_t, int64_t) {});
+  ThreadPool::Shared()->ParallelFor(
+      0, kIters, /*grain=*/64,
+      [&](int64_t begin, int64_t end) { c.Add(end - begin); });
+  EXPECT_EQ(c.Value(), kIters);
+}
+
+TEST(ObsGaugeTest, LastWriteWins) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.GetGauge("g");
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.Value(), -1.25);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.GetHistogram("h", {1.0, 2.0, 4.0});
+  // Bucket i counts values <= boundaries[i]; above the last boundary is
+  // the overflow bucket.
+  h.Record(0.5);   // bucket 0
+  h.Record(1.0);   // bucket 0 (boundary value belongs to its own bucket)
+  h.Record(1.5);   // bucket 1
+  h.Record(2.0);   // bucket 1
+  h.Record(2.001); // bucket 2
+  h.Record(4.0);   // bucket 2
+  h.Record(4.5);   // overflow
+  const std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.Count(), 7);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 4.5);
+  EXPECT_NEAR(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 2.001 + 4.0 + 4.5, 1e-12);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramReportsZeros) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.GetHistogram("h", {1.0});
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogramTest, QuantilesAreMonotoneAndClampedToObservedRange) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.GetLatencyHistogram("lat");
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 0.01);  // 0.01 .. 10.0
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.Max());
+  EXPECT_GE(p50, h.Min());
+  // Interpolation error is bounded by one bucket width around the true
+  // quantile (buckets double, so check a loose band).
+  EXPECT_NEAR(p50, 5.0, 3.0);
+  EXPECT_GT(p99, p50);
+  // Quantiles that land in the overflow bucket report the observed max.
+  obs::Histogram& tiny = reg.GetHistogram("tiny", {1.0});
+  tiny.Record(100.0);
+  tiny.Record(200.0);
+  EXPECT_DOUBLE_EQ(tiny.Quantile(0.99), 200.0);
+}
+
+TEST(ObsHistogramTest, FoldsShardsWrittenByPoolThreads) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.GetHistogram("contended", {10.0, 100.0, 1000.0});
+  constexpr int64_t kSamples = 10000;
+  ThreadPool::Shared()->ParallelFor(
+      0, kSamples, /*grain=*/32, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          h.Record(static_cast<double>(i % 2000));
+        }
+      });
+  EXPECT_EQ(h.Count(), kSamples);
+  int64_t bucket_total = 0;
+  for (const int64_t c : h.BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, kSamples);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1999.0);
+}
+
+TEST(ObsRegistryTest, ResetZeroesMetricsButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("c");
+  obs::Gauge& g = reg.GetGauge("g");
+  obs::Histogram& h = reg.GetHistogram("h", {1.0});
+  c.Add(5);
+  g.Set(1.0);
+  h.Record(0.5);
+  reg.Reset();
+  EXPECT_EQ(c.Value(), 0);
+  EXPECT_EQ(g.Value(), 0.0);
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Min(), 0.0);
+  // References stay valid and usable after Reset.
+  c.Add(1);
+  EXPECT_EQ(reg.GetCounter("c").Value(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled-mode zero cost
+// ---------------------------------------------------------------------------
+
+TEST(ObsDisabledTest, ScopesAllocateNothingWhenMetricsDisabled) {
+  obs::MetricsEnabledGuard metrics_off(false);
+  obs::ProfilingEnabledGuard profiling_off(false);
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.GetHistogram("h", {1.0});
+  obs::OpStats& stats = obs::OpStats::ForName("ZeroAllocProbe");
+  const int64_t fwd_before = stats.forward_calls.load();
+
+  const int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    const obs::KernelScope ks(obs::Kernel::kMatMulAccumInto, 123);
+    const obs::OpScope os(stats);
+    const obs::ScopedTimer t(&h);
+    const obs::TraceSpan span("disabled", reg);
+  }
+  const int64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0) << "disabled scopes must not allocate";
+  EXPECT_EQ(stats.forward_calls.load(), fwd_before);
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(reg.Counters().size(), 0u) << "disabled TraceSpan must not "
+                                          "register span metrics";
+}
+
+TEST(ObsDisabledTest, CounterAddItselfNeverAllocates) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("hot");
+  c.Add(1);  // warm the thread's shard slot
+  const int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) c.Add(1);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0);
+}
+
+TEST(ObsDisabledTest, FlagGuardsRestorePriorState) {
+  const bool prior = obs::MetricsEnabled();
+  {
+    obs::MetricsEnabledGuard off(false);
+    EXPECT_FALSE(obs::MetricsEnabled());
+    {
+      obs::MetricsEnabledGuard on(true);
+      // When the layer is compiled out, MetricsEnabled() is constant
+      // false no matter what the runtime flag says.
+      EXPECT_EQ(obs::MetricsEnabled(), obs::kObsCompiled);
+    }
+    EXPECT_FALSE(obs::MetricsEnabled());
+  }
+  EXPECT_EQ(obs::MetricsEnabled(), prior);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation scopes (enabled)
+// ---------------------------------------------------------------------------
+
+TEST(ObsScopeTest, KernelScopeCountsCallsAndFlops) {
+  if (!obs::kObsCompiled) GTEST_SKIP() << "observability compiled out";
+  obs::MetricsEnabledGuard metrics_on(true);
+  obs::ResetOpAndKernelStats();
+  {
+    const obs::KernelScope a(obs::Kernel::kRowSum, 100);
+    const obs::KernelScope b(obs::Kernel::kRowSum, 23);
+  }
+  bool found = false;
+  for (const obs::KernelStatsRow& row : obs::SnapshotKernelStats()) {
+    if (row.kernel == obs::Kernel::kRowSum) {
+      EXPECT_EQ(row.calls, 2);
+      EXPECT_EQ(row.flops, 123);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  obs::ResetOpAndKernelStats();
+}
+
+TEST(ObsScopeTest, OpScopeCountsForwardAndRecordBackwardAggregates) {
+  if (!obs::kObsCompiled) GTEST_SKIP() << "observability compiled out";
+  obs::MetricsEnabledGuard metrics_on(true);
+  obs::OpStats& stats = obs::OpStats::ForName("ObsScopeTestOp");
+  const int64_t fwd0 = stats.forward_calls.load();
+  { const obs::OpScope scope(stats); }
+  { const obs::OpScope scope(stats); }
+  EXPECT_EQ(stats.forward_calls.load() - fwd0, 2);
+
+  const int64_t bwd0 = stats.backward_calls.load();
+  const int64_t bwd_ns0 = stats.backward_ns.load();
+  obs::RecordBackward("ObsScopeTestOp", 500);
+  obs::RecordBackward("ObsScopeTestOp", 700);
+  EXPECT_EQ(stats.backward_calls.load() - bwd0, 2);
+  EXPECT_EQ(stats.backward_ns.load() - bwd_ns0, 1200);
+}
+
+TEST(ObsScopeTest, ProfilingRecordsWallTime) {
+  if (!obs::kObsCompiled) GTEST_SKIP() << "observability compiled out";
+  obs::MetricsEnabledGuard metrics_on(true);
+  obs::ProfilingEnabledGuard profiling_on(true);
+  obs::OpStats& stats = obs::OpStats::ForName("ObsProfiledOp");
+  const int64_t ns0 = stats.forward_ns.load();
+  {
+    const obs::OpScope scope(stats);
+    // Burn a little time so the probe records a strictly positive span.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 50000; ++i) sink = sink + i * 1e-9;
+  }
+  EXPECT_GT(stats.forward_ns.load(), ns0);
+}
+
+TEST(ObsScopeTest, TraceSpanRecordsCountAndSeconds) {
+  if (!obs::kObsCompiled) GTEST_SKIP() << "observability compiled out";
+  obs::MetricsEnabledGuard metrics_on(true);
+  obs::MetricsRegistry reg;
+  { const obs::TraceSpan span("phase", reg); }
+  { const obs::TraceSpan span("phase", reg); }
+  EXPECT_EQ(reg.GetCounter("span.phase.count").Value(), 2);
+  obs::Histogram& h = reg.GetHistogram(
+      "span.phase.seconds", obs::MetricsRegistry::DefaultTimeBucketsSeconds());
+  EXPECT_EQ(h.Count(), 2);
+  EXPECT_GE(h.Min(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON export: NMCDR_OBS_V1 round-trip through a minimal JSON parser
+// ---------------------------------------------------------------------------
+
+/// Minimal recursive-descent JSON well-formedness checker (objects,
+/// arrays, strings, numbers, booleans, null). Returns true when the whole
+/// input is exactly one valid value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    return Expect('"');
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(ObsExportTest, DumpJsonIsValidAndSchemaVersioned) {
+  obs::MetricsEnabledGuard metrics_on(true);
+  obs::MetricsRegistry reg;
+  reg.GetCounter("alpha.requests").Add(7);
+  reg.GetGauge("beta.loss").Set(0.5);
+  obs::Histogram& h = reg.GetLatencyHistogram("gamma.latency_ms");
+  h.Record(0.2);
+  h.Record(3.0);
+  const std::string json = obs::DumpJson(reg);
+
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"schema\": \"NMCDR_OBS_V1\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha.requests\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"beta.loss\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"gamma.latency_ms\""), std::string::npos);
+  for (const char* key :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"ops\"",
+        "\"kernels\"", "\"count\"", "\"p50\"", "\"p95\"", "\"p99\"",
+        "\"buckets\"", "\"le\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ObsExportTest, JsonEscapesMetricNames) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("weird\"name\\with\ncontrol").Add(1);
+  const std::string json = obs::DumpJson(reg);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\ncontrol"), std::string::npos);
+}
+
+TEST(ObsExportTest, EmptyRegistryStillValidJson) {
+  obs::MetricsRegistry reg;
+  const std::string json = obs::DumpJson(reg);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("NMCDR_OBS_V1"), std::string::npos);
+}
+
+TEST(ObsExportTest, DumpTextMentionsEveryMetric) {
+  obs::MetricsEnabledGuard metrics_on(true);
+  obs::MetricsRegistry reg;
+  reg.GetCounter("requests").Add(3);
+  reg.GetGauge("loss").Set(1.5);
+  reg.GetLatencyHistogram("latency_ms").Record(1.0);
+  const std::string text = obs::DumpText(reg);
+  EXPECT_NE(text.find("requests = 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("loss = 1.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("latency_ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace nmcdr

@@ -13,6 +13,7 @@
 
 #include "core/multi_domain_nmcdr.h"
 #include "core/nmcdr_model.h"
+#include "obs/metrics.h"
 #include "serving/ab_test.h"
 #include "serving/inference_server.h"
 #include "serving/model_snapshot.h"
@@ -481,6 +482,100 @@ TEST(InferenceServerTest, StopDrainsQueueAndLeavesNoActiveDrainers) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.requests_submitted, 32);
   EXPECT_EQ(stats.requests_served, 32);
+}
+
+TEST(InferenceServerTest, LatencyQuantilesAreMonotoneUnderLoad) {
+  PairFixture& f = Pair();
+  ScoreEngine engine(&f.snapshot, {ScoreEngine::Mode::kFast, 64});
+  InferenceServer::Options options;
+  options.num_threads = 4;
+  options.max_batch = 4;
+  InferenceServer server(&engine, options);
+
+  std::vector<std::future<Recommendation>> futures;
+  for (int i = 0; i < 128; ++i) {
+    RecRequest request;
+    request.target_domain = request.user_domain = i % 2;
+    request.user = i % 12;
+    request.k = 5;
+    futures.push_back(server.Submit(request));
+  }
+  for (std::future<Recommendation>& future : futures) future.get();
+  server.Stop();
+
+  const ServerStats stats = server.stats();
+  // Quantiles come from the serving.latency_ms histogram; they are
+  // bucket-interpolated estimates but must be monotone and bounded by
+  // the observed extremes.
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
+  EXPECT_LE(stats.p95_latency_ms, stats.p99_latency_ms);
+  EXPECT_LE(stats.p99_latency_ms, stats.max_latency_ms);
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("p50"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99"), std::string::npos) << text;
+}
+
+TEST(InferenceServerTest, CountersAreMonotoneAcrossConcurrentScrapes) {
+  PairFixture& f = Pair();
+  ScoreEngine engine(&f.snapshot, {ScoreEngine::Mode::kFast, 64});
+  InferenceServer::Options options;
+  options.num_threads = 3;
+  options.max_batch = 4;
+  InferenceServer server(&engine, options);
+
+  // Scrape stats() while requests are in flight: every counter must be
+  // non-decreasing from one scrape to the next, and served never
+  // overtakes submitted.
+  int64_t last_submitted = 0;
+  int64_t last_served = 0;
+  int64_t last_batches = 0;
+  std::vector<std::future<Recommendation>> futures;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      RecRequest request;
+      request.target_domain = request.user_domain = i % 2;
+      request.user = (round * 16 + i) % 12;
+      request.k = 4;
+      futures.push_back(server.Submit(request));
+    }
+    const ServerStats stats = server.stats();
+    EXPECT_GE(stats.requests_submitted, last_submitted);
+    EXPECT_GE(stats.requests_served, last_served);
+    EXPECT_GE(stats.batches, last_batches);
+    EXPECT_LE(stats.requests_served, stats.requests_submitted);
+    last_submitted = stats.requests_submitted;
+    last_served = stats.requests_served;
+    last_batches = stats.batches;
+  }
+  for (std::future<Recommendation>& future : futures) future.get();
+  server.Stop();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_submitted, 128);
+  EXPECT_EQ(stats.requests_served, 128);
+  EXPECT_GE(stats.requests_submitted, last_submitted);
+}
+
+TEST(InferenceServerTest, SharedRegistryReceivesServingMetrics) {
+  PairFixture& f = Pair();
+  ScoreEngine engine(&f.snapshot, {ScoreEngine::Mode::kFast, 64});
+  obs::MetricsRegistry registry;
+  InferenceServer::Options options;
+  options.num_threads = 2;
+  options.metrics = &registry;
+  InferenceServer server(&engine, options);
+  server.Recommend(0, 0, 4);
+  server.Recommend(1, 1, 4);
+  server.Stop();
+  EXPECT_EQ(registry.GetCounter("serving.requests_submitted").Value(), 2);
+  EXPECT_EQ(registry.GetCounter("serving.requests_served").Value(), 2);
+  EXPECT_EQ(
+      registry
+          .GetHistogram("serving.latency_ms",
+                        obs::MetricsRegistry::DefaultLatencyBucketsMs())
+          .Count(),
+      2);
 }
 
 TEST(InferenceServerTest, StopIsIdempotentAndFailsLateSubmits) {

@@ -220,6 +220,56 @@ void CheckBannedThread(const SourceFile& f, std::vector<Diagnostic>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: banned-chrono
+// ---------------------------------------------------------------------------
+
+void CheckBannedChrono(const SourceFile& f, std::vector<Diagnostic>* out) {
+  // Raw clock reads live in exactly two places: the observability layer
+  // (obs::NowNs) and util's Stopwatch. Everything else measures time
+  // through those, so every timing datum flows into one instrumentation
+  // pipeline and tests can reason about a single clock.
+  if (f.path.starts_with("src/obs/") || f.path.starts_with("src/util/")) {
+    return;
+  }
+  static const std::string kClockTypes[] = {"steady_clock", "system_clock",
+                                            "high_resolution_clock"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (const std::string& tok : kClockTypes) {
+      size_t pos = FindToken(line, tok);
+      bool flagged = false;
+      while (pos != std::string::npos && !flagged) {
+        // Only a `::now` use is a clock read; mentioning the type (say, in
+        // a time_point alias that never samples) is legal.
+        size_t j = pos + tok.size();
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        size_t k = j + 2;
+        while (k < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[k])) != 0) {
+          ++k;
+        }
+        if (j + 1 < line.size() && line[j] == ':' && line[j + 1] == ':' &&
+            FindToken(line, "now", k) == k) {
+          Add(f, i, "banned-chrono",
+              "std::chrono::" + tok +
+                  "::now() outside src/obs/ and src/util/; measure time "
+                  "through obs::NowNs / ScopedTimer / TraceSpan "
+                  "(src/obs/) or Stopwatch (src/util/) so all timing "
+                  "flows through the observability layer",
+              out);
+          flagged = true;
+        }
+        pos = FindToken(line, tok, pos + tok.size());
+      }
+      if (flagged) break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: iostream-header
 // ---------------------------------------------------------------------------
 
@@ -437,11 +487,14 @@ void CheckGuardedBy(const std::vector<SourceFile>& files,
 /// legal when the includer's rank is >= the includee's rank (equal ranks
 /// form one layer; file-level cycles inside a layer are caught by the
 /// separate cycle rule). Derived from the dependency order
-///   util -> tensor -> {autograd, graph} -> data -> core ->
+///   util -> {obs, tensor} -> {autograd, graph} -> data -> core ->
 ///   {baselines, eval} -> train -> {analysis, serving, verify}.
+/// obs sits beside tensor (above util only) so the kernel dispatchers can
+/// open KernelScopes while obs itself stays dependency-free.
 int ModuleRank(const std::string& module) {
   static const std::unordered_map<std::string, int> kRanks = {
-      {"util", 0},      {"tensor", 1}, {"autograd", 2}, {"graph", 2},
+      {"util", 0},      {"obs", 1},    {"tensor", 1},
+      {"autograd", 2},  {"graph", 2},
       {"data", 3},      {"core", 4},   {"baselines", 5}, {"eval", 5},
       {"train", 6},     {"analysis", 7}, {"serving", 7}, {"verify", 7},
   };
@@ -524,9 +577,9 @@ void CheckIncludeLayering(const std::vector<SourceFile>& files,
             "src/" + from_module + " (layer " + std::to_string(from_rank) +
                 ") must not include src/" + to_module + " (layer " +
                 std::to_string(to_rank) +
-                "); declared order: util -> tensor -> {autograd, graph} -> "
-                "data -> core -> {baselines, eval} -> train -> "
-                "{analysis, serving, verify}",
+                "); declared order: util -> {obs, tensor} -> "
+                "{autograd, graph} -> data -> core -> {baselines, eval} -> "
+                "train -> {analysis, serving, verify}",
             out);
       }
     }
@@ -763,6 +816,7 @@ std::vector<Diagnostic> LintFile(const SourceFile& file) {
   CheckUsingNamespace(file, &out);
   CheckBannedCalls(file, &out);
   CheckBannedThread(file, &out);
+  CheckBannedChrono(file, &out);
   CheckIostreamHeader(file, &out);
   CheckNakedNew(file, &out);
   return out;

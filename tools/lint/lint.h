@@ -29,6 +29,13 @@ namespace lint {
 ///                           are decided in one place
 ///                           (std::thread::hardware_concurrency stays
 ///                           legal)
+///  [banned-chrono]          no std::chrono::{steady,system,
+///                           high_resolution}_clock::now() outside
+///                           src/obs/ and src/util/ — measure time through
+///                           obs::NowNs / ScopedTimer / TraceSpan or
+///                           util's Stopwatch so every timing datum flows
+///                           through the observability layer (naming the
+///                           clock type without sampling it stays legal)
 ///  [iostream-header]        no <iostream> in src/ headers — iostream's
 ///                           static init and heavy includes don't belong
 ///                           in hot-path headers; use util/logging.h
@@ -39,11 +46,12 @@ namespace lint {
 ///                           annotations, every annotation must name a
 ///                           declared mutex, and the annotated mutex must
 ///                           actually be locked in the class's files
-///  [include-layering]       src/ modules form layers (util -> tensor ->
-///                           {autograd, graph} -> data -> core ->
-///                           {baselines, eval} -> train -> {analysis,
-///                           serving, verify}); a module may only include
-///                           modules at its own or a lower layer
+///  [include-layering]       src/ modules form layers (util ->
+///                           {obs, tensor} -> {autograd, graph} -> data ->
+///                           core -> {baselines, eval} -> train ->
+///                           {analysis, serving, verify}); a module may
+///                           only include modules at its own or a lower
+///                           layer
 ///  [include-cycle]          the quoted-#include graph over the linted
 ///                           file set must be acyclic (file-level)
 ///

@@ -10,6 +10,7 @@
 //
 //   nmcdr_analyze [--scale=smoke|small|full] [--gradcheck]
 //                 [--snapshot=PATH] [--report=PATH]
+//                 [--metrics-out=PATH]
 //
 //   --scale      scenario preset scale (default smoke; analysis cost is
 //                shape-only, so even full is cheap)
@@ -19,12 +20,17 @@
 //   --snapshot   validate a frozen NMCDRSV1 snapshot file's scoring chain
 //                against the same shape rules
 //   --report     also write the report text to this path
+//   --metrics-out  write the observability dump (NMCDR_OBS_V1 JSON,
+//                src/obs/export.h) after analysis — with --gradcheck the
+//                kernel table shows exactly which kernels the
+//                finite-difference suite exercised
 
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "serving/model_snapshot.h"
 #include "tensor/backend.h"
 #include "util/flags.h"
@@ -90,6 +96,10 @@ int main(int argc, char** argv) {
   }
 
   std::cout << text;
+  const std::string metrics_path = flags.GetString("metrics-out");
+  if (!metrics_path.empty() && !nmcdr::obs::WriteJsonFile(metrics_path)) {
+    return 2;
+  }
   const std::string report_path = flags.GetString("report");
   if (!report_path.empty()) {
     std::ofstream out(report_path);

@@ -12,11 +12,15 @@
 //       [--ds 1.0] [--dim 16] [--lr 0.002] [--steps 1200] [--seed 7]
 //       [--threads N] [--gat] [--dynamic-companion]
 //       [--save-checkpoint ckpt.bin] [--load-checkpoint ckpt.bin]
+//       [--metrics-out metrics.json] [--profile]
 //       Train and evaluate one model on one configuration; prints
 //       HR@10 / NDCG@10 / MRR per domain. --threads N sizes the shared
 //       kernel pool (N=1 forces the serial backend; results are
 //       bit-identical at any setting; default NMCDR_THREADS or all
-//       cores).
+//       cores). --metrics-out PATH writes the observability dump
+//       (schema NMCDR_OBS_V1, src/obs/export.h: trainer epoch spans,
+//       per-op call counts, per-kernel call/FLOP table) after the run;
+//       --profile also records per-op/per-kernel wall time.
 //
 // Examples:
 //   nmcdr_cli run --scenario phone-elec --model NMCDR --ku 0.1
@@ -29,6 +33,8 @@
 #include "core/nmcdr_model.h"
 #include "data/importer.h"
 #include "data/loader.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "data/presets.h"
 #include "train/registry.h"
 #include "util/flags.h"
@@ -119,6 +125,7 @@ int CmdImport(const FlagParser& flags) {
 
 int CmdRun(const FlagParser& flags) {
   RegisterAllModels();
+  if (flags.GetBool("profile", false)) obs::SetProfilingEnabled(true);
   if (flags.Has("threads")) {
     ThreadPool::SetSharedThreads(flags.GetInt("threads", 0));
   }
@@ -230,6 +237,11 @@ int CmdRun(const FlagParser& flags) {
     const std::string path = flags.GetString("save-checkpoint");
     if (!ag::SaveCheckpoint(*model->params(), path)) return 1;
     std::printf("saved checkpoint %s\n", path.c_str());
+  }
+  if (flags.Has("metrics-out")) {
+    const std::string path = flags.GetString("metrics-out");
+    if (!obs::WriteJsonFile(path)) return 1;
+    std::printf("wrote metrics dump to %s\n", path.c_str());
   }
   return 0;
 }

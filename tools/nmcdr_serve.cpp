@@ -6,6 +6,7 @@
 //               [--steps 600] [--dim 16] [--seed 7]
 //               [--snapshot model.snapshot] [--threads 4] [--batch 8]
 //               [--requests 400] [--k 10] [--mode exact|fast]
+//               [--metrics-out metrics.json] [--profile]
 //
 // The tool prints the engine's usage counters and the server's latency /
 // throughput stats, and leaves the snapshot file on disk so a later run
@@ -14,6 +15,13 @@
 // --threads N sizes both the shared kernel pool (training + batched
 // scoring; defaults to NMCDR_THREADS or all cores) and the server's
 // concurrent drainer limit.
+//
+// --metrics-out PATH writes the full observability dump (schema
+// NMCDR_OBS_V1, src/obs/export.h): trainer epoch spans, per-kernel call
+// counts + FLOP estimates, scoring counters, and the serving latency
+// histogram with p50/p95/p99 (the server is bound to the global registry
+// here). --profile additionally enables per-op / per-kernel wall-clock
+// timing for this run.
 
 #include <cstdio>
 #include <future>
@@ -23,6 +31,9 @@
 
 #include "core/nmcdr_model.h"
 #include "data/presets.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "serving/inference_server.h"
 #include "serving/model_snapshot.h"
 #include "serving/score_engine.h"
@@ -54,6 +65,8 @@ bool PresetByName(const std::string& name, BenchScale scale,
 
 int Run(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  if (flags.GetBool("profile", false)) obs::SetProfilingEnabled(true);
+  const std::string metrics_out = flags.GetString("metrics-out", "");
   if (flags.Has("threads")) {
     ThreadPool::SetSharedThreads(flags.GetInt("threads", 0));
   }
@@ -111,6 +124,9 @@ int Run(int argc, char** argv) {
   InferenceServer::Options server_options;
   server_options.num_threads = flags.GetInt("threads", 4);
   server_options.max_batch = flags.GetInt("batch", 8);
+  // Bind the server to the global registry so its serving.* metrics land
+  // in the --metrics-out dump alongside the trainer and kernel tables.
+  server_options.metrics = &obs::MetricsRegistry::Global();
   InferenceServer server(&engine, server_options);
 
   // Mixed request stream: same-domain traffic for both domains plus a
@@ -146,6 +162,10 @@ int Run(int argc, char** argv) {
               static_cast<long long>(counters.requests),
               static_cast<long long>(counters.pairs_scored));
   std::printf("%s", server.stats().ToString().c_str());
+  if (!metrics_out.empty()) {
+    if (!obs::WriteJsonFile(metrics_out)) return 1;
+    std::printf("wrote metrics dump to %s\n", metrics_out.c_str());
+  }
   return 0;
 }
 
