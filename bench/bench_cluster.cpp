@@ -1,0 +1,407 @@
+// bench_cluster — the millions-of-users serving-cluster latency bench.
+//
+// Freeze-only: tables come from ModelSnapshot::MakeSynthetic at
+// production-like row counts (no training), sharded by a uniform
+// ShardLayout and served through the ClusterServer. Two phases:
+//
+//  1. Hot swap under load: mixed interactive/batch traffic with a second
+//     snapshot version published mid-run. Asserts ZERO failed requests
+//     across the swap and reports interactive p50/p99 measured exactly
+//     (sorted response latencies) before and after the swap.
+//  2. Synthetic overload: batch-class traffic offered far beyond the
+//     batch queue capacity while interactive traffic keeps flowing.
+//     Asserts every interactive request is served and batch requests are
+//     shed (backpressure), and reports the interactive tail.
+//
+// Writes BENCH_cluster.json (obs exporter schema NMCDR_OBS_V1) so the CI
+// perf-gate can hold the p99s against bench/baselines/cluster_baseline
+// .json. `--smoke` shrinks the tables so the binary doubles as a CTest;
+// NMCDR_BENCH_SCALE=full runs 2M synthetic users.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/presets.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serving/cluster/cluster_server.h"
+#include "serving/cluster/shard_layout.h"
+#include "serving/cluster/sharded_snapshot.h"
+#include "serving/model_snapshot.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace nmcdr {
+namespace {
+
+struct ClusterBenchSpec {
+  int users_per_domain = 0;
+  int items_per_domain = 0;
+  int shards = 4;
+  int waves = 0;
+  int wave_interactive = 6;
+  int wave_batch = 2;
+  int overload_bursts = 0;
+};
+
+ClusterBenchSpec SpecFor(BenchScale scale) {
+  ClusterBenchSpec spec;
+  switch (scale) {
+    case BenchScale::kSmoke:
+      spec.users_per_domain = 20000;
+      spec.items_per_domain = 4000;
+      spec.shards = 4;
+      spec.waves = 24;
+      spec.overload_bursts = 4;
+      break;
+    case BenchScale::kSmall:
+      spec.users_per_domain = 200000;
+      spec.items_per_domain = 20000;
+      spec.shards = 8;
+      spec.waves = 60;
+      spec.overload_bursts = 8;
+      break;
+    case BenchScale::kFull:
+      // Two domains x 1M synthetic users: the millions-of-users target.
+      spec.users_per_domain = 1000000;
+      spec.items_per_domain = 50000;
+      spec.shards = 8;
+      spec.waves = 120;
+      spec.overload_bursts = 12;
+      break;
+  }
+  return spec;
+}
+
+/// Exact quantile over collected latencies (sorted copy, nearest-rank):
+/// the bench reports measured numbers, not histogram interpolations.
+double ExactQuantileMs(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+struct SwapResult {
+  int64_t requests = 0;
+  int64_t failed = 0;
+  int64_t served_on[2] = {0, 0};  // by snapshot version (1-based index - 1)
+  std::vector<double> interactive_before_ms;
+  std::vector<double> interactive_after_ms;
+  double qps = 0.0;
+  double swap_stall_ms = 0.0;  // wall time Publish() itself took
+};
+
+SwapResult RunSwapPhase(const ClusterBenchSpec& spec,
+                        const std::shared_ptr<const cluster::ShardedSnapshot>& a,
+                        const std::shared_ptr<const cluster::ShardedSnapshot>& b,
+                        const ModelSnapshot& source) {
+  cluster::ClusterServer::Options options;
+  options.num_threads = 4;
+  options.max_batch = 16;
+  cluster::ClusterServer server(a, options);
+
+  const int wave_size = spec.wave_interactive + spec.wave_batch;
+  struct Flight {
+    std::future<cluster::ClusterResponse> future;
+    cluster::RequestClass cls;
+  };
+  std::vector<Flight> flights;
+  flights.reserve(static_cast<size_t>(spec.waves) * wave_size);
+
+  const auto submit_wave = [&](int w) {
+    for (int i = 0; i < wave_size; ++i) {
+      cluster::ClusterRequest request;
+      request.cls = i < spec.wave_interactive
+                        ? cluster::RequestClass::kInteractive
+                        : cluster::RequestClass::kBatch;
+      request.rec.target_domain = (w + i) % source.num_domains();
+      request.rec.user_domain = i % 3 == 0
+                                    ? (request.rec.target_domain + 1) %
+                                          source.num_domains()
+                                    : request.rec.target_domain;
+      request.rec.user = (w * 7919 + i * 104729) % spec.users_per_domain;
+      request.rec.k = 10;
+      Flight flight;
+      flight.cls = request.cls;
+      flight.future = server.Submit(std::move(request));
+      flights.push_back(std::move(flight));
+    }
+  };
+
+  Stopwatch wall;
+  // Sliding-window pacing: keep kWindow waves in flight at all times, so
+  // the server is continuously loaded (including ACROSS the publish —
+  // those in-flight requests are the ones the RCU protocol must not
+  // fail) while queueing delay stays bounded and the before/after
+  // latency samples are comparable.
+  const int kWindow = 3;
+  const int mid = spec.waves / 2;
+  double swap_stall_ms = 0.0;
+  for (int w = 0; w < spec.waves; ++w) {
+    if (w == mid) {
+      Stopwatch swap_timer;
+      server.Publish(b);
+      swap_stall_ms = swap_timer.ElapsedSeconds() * 1e3;
+    }
+    submit_wave(w);
+    if (w >= kWindow) {
+      const size_t begin = static_cast<size_t>(w - kWindow) * wave_size;
+      for (size_t i = begin; i < begin + wave_size; ++i) {
+        flights[i].future.wait();
+      }
+    }
+  }
+
+  SwapResult result;
+  result.swap_stall_ms = swap_stall_ms;
+  for (Flight& flight : flights) {
+    cluster::ClusterResponse response = flight.future.get();
+    ++result.requests;
+    if (response.status != cluster::ClusterStatus::kOk) {
+      ++result.failed;
+      continue;
+    }
+    if (response.snapshot_version >= 1 && response.snapshot_version <= 2) {
+      ++result.served_on[response.snapshot_version - 1];
+    }
+    if (flight.cls == cluster::RequestClass::kInteractive) {
+      (response.snapshot_version == 1 ? result.interactive_before_ms
+                                      : result.interactive_after_ms)
+          .push_back(response.latency_ms);
+    }
+  }
+  result.qps =
+      static_cast<double>(result.requests) / wall.ElapsedSeconds();
+  server.Stop();
+  return result;
+}
+
+struct OverloadResult {
+  int64_t interactive_offered = 0;
+  int64_t interactive_served = 0;
+  int64_t batch_offered = 0;
+  int64_t batch_served = 0;
+  int64_t batch_shed = 0;
+  std::vector<double> interactive_ms;
+};
+
+OverloadResult RunOverloadPhase(
+    const ClusterBenchSpec& spec,
+    const std::shared_ptr<const cluster::ShardedSnapshot>& snapshot,
+    const ModelSnapshot& source) {
+  cluster::ClusterServer::Options options;
+  options.num_threads = 2;
+  options.max_batch = 8;
+  // The overload knobs: a tiny batch queue (so offered >> capacity sheds
+  // immediately) while interactive keeps a deep queue and strict
+  // priority.
+  options.admission.batch_capacity = 4;
+  options.admission.interactive_capacity = 1 << 16;
+  cluster::ClusterServer server(snapshot, options);
+
+  struct Flight {
+    std::future<cluster::ClusterResponse> future;
+    cluster::RequestClass cls;
+  };
+  std::vector<Flight> flights;
+  const int kBatchPerBurst = 64;
+  const int kInteractivePerBurst = 8;
+  for (int burst = 0; burst < spec.overload_bursts; ++burst) {
+    for (int i = 0; i < kBatchPerBurst + kInteractivePerBurst; ++i) {
+      cluster::ClusterRequest request;
+      // Interleave so interactive requests arrive while the batch flood
+      // is saturating the queue.
+      request.cls = i % 9 == 0 ? cluster::RequestClass::kInteractive
+                               : cluster::RequestClass::kBatch;
+      request.rec.target_domain = i % source.num_domains();
+      request.rec.user_domain = request.rec.target_domain;
+      request.rec.user = (burst * 31337 + i * 271) % spec.users_per_domain;
+      request.rec.k = 10;
+      Flight flight;
+      flight.cls = request.cls;
+      flight.future = server.Submit(std::move(request));
+      flights.push_back(std::move(flight));
+    }
+  }
+
+  OverloadResult result;
+  for (Flight& flight : flights) {
+    cluster::ClusterResponse response = flight.future.get();
+    const bool interactive =
+        flight.cls == cluster::RequestClass::kInteractive;
+    if (interactive) {
+      ++result.interactive_offered;
+    } else {
+      ++result.batch_offered;
+    }
+    switch (response.status) {
+      case cluster::ClusterStatus::kOk:
+        if (interactive) {
+          ++result.interactive_served;
+          result.interactive_ms.push_back(response.latency_ms);
+        } else {
+          ++result.batch_served;
+        }
+        break;
+      case cluster::ClusterStatus::kShedQueueFull:
+      case cluster::ClusterStatus::kShedDeadline:
+        ++result.batch_shed;
+        break;
+      case cluster::ClusterStatus::kStopped:
+        break;
+    }
+  }
+  server.Stop();
+  return result;
+}
+
+int Run(bool smoke) {
+  const BenchScale scale = smoke ? BenchScale::kSmoke : BenchScaleFromEnv();
+  const ClusterBenchSpec spec = SpecFor(scale);
+
+  SyntheticSnapshotSpec synth;
+  synth.num_domains = 2;
+  synth.users_per_domain = spec.users_per_domain;
+  synth.items_per_domain = spec.items_per_domain;
+  synth.dim = 16;
+  synth.hidden = 16;
+  synth.overlap = 0.2f;
+
+  std::printf(
+      "bench_cluster (scale: %s): %d domains x %d users, %d items, %d "
+      "shards\n",
+      BenchScaleName(scale).c_str(), synth.num_domains,
+      synth.users_per_domain, synth.items_per_domain, spec.shards);
+
+  Stopwatch build_timer;
+  synth.seed = 1;
+  const ModelSnapshot source_a = ModelSnapshot::MakeSynthetic(synth);
+  synth.seed = 2;
+  const ModelSnapshot source_b = ModelSnapshot::MakeSynthetic(synth);
+  const cluster::ShardLayout layout =
+      cluster::ShardLayout::Uniform(source_a, spec.shards);
+  const auto sharded_a =
+      std::make_shared<const cluster::ShardedSnapshot>(source_a, layout);
+  const auto sharded_b =
+      std::make_shared<const cluster::ShardedSnapshot>(source_b, layout);
+  std::printf("built 2 snapshot versions in %.1fs\n",
+              build_timer.ElapsedSeconds());
+
+  const SwapResult swap = RunSwapPhase(spec, sharded_a, sharded_b, source_a);
+  const double p50_before = ExactQuantileMs(swap.interactive_before_ms, 0.50);
+  const double p99_before = ExactQuantileMs(swap.interactive_before_ms, 0.99);
+  const double p50_after = ExactQuantileMs(swap.interactive_after_ms, 0.50);
+  const double p99_after = ExactQuantileMs(swap.interactive_after_ms, 0.99);
+
+  TablePrinter swap_table;
+  swap_table.SetHeader({"Swap phase", "requests", "p50 (ms)", "p99 (ms)"});
+  swap_table.AddRow({"before (v1)",
+                     std::to_string(swap.interactive_before_ms.size()),
+                     FormatFloat(p50_before, 3), FormatFloat(p99_before, 3)});
+  swap_table.AddRow({"after (v2)",
+                     std::to_string(swap.interactive_after_ms.size()),
+                     FormatFloat(p50_after, 3), FormatFloat(p99_after, 3)});
+  std::printf(
+      "\nHot swap under load (interactive class; publish stall %.3f ms, "
+      "%.0f req/s, %lld failed of %lld)\n%s",
+      swap.swap_stall_ms, swap.qps, static_cast<long long>(swap.failed),
+      static_cast<long long>(swap.requests), swap_table.ToString().c_str());
+
+  const OverloadResult overload =
+      RunOverloadPhase(spec, sharded_b, source_b);
+  const double overload_p50 = ExactQuantileMs(overload.interactive_ms, 0.50);
+  const double overload_p99 = ExactQuantileMs(overload.interactive_ms, 0.99);
+  const double shed_rate =
+      overload.batch_offered > 0
+          ? static_cast<double>(overload.batch_shed) /
+                static_cast<double>(overload.batch_offered)
+          : 0.0;
+  std::printf(
+      "\nOverload: interactive %lld/%lld served (p50 %.3f ms, p99 %.3f "
+      "ms); batch %lld served, %lld shed (shed rate %.2f)\n",
+      static_cast<long long>(overload.interactive_served),
+      static_cast<long long>(overload.interactive_offered), overload_p50,
+      overload_p99, static_cast<long long>(overload.batch_served),
+      static_cast<long long>(overload.batch_shed), shed_rate);
+
+  // Machine-readable summary for the CI perf-gate (gates the *_p99_ms
+  // gauges against bench/baselines/cluster_baseline.json).
+  obs::MetricsRegistry summary;
+  summary.GetGauge("cluster.users_total")
+      .Set(static_cast<double>(synth.num_domains) * synth.users_per_domain);
+  summary.GetGauge("cluster.shards").Set(spec.shards);
+  summary.GetGauge("cluster.swap.requests")
+      .Set(static_cast<double>(swap.requests));
+  summary.GetGauge("cluster.swap.failed")
+      .Set(static_cast<double>(swap.failed));
+  summary.GetGauge("cluster.swap.served_v1")
+      .Set(static_cast<double>(swap.served_on[0]));
+  summary.GetGauge("cluster.swap.served_v2")
+      .Set(static_cast<double>(swap.served_on[1]));
+  summary.GetGauge("cluster.swap.publish_stall_ms").Set(swap.swap_stall_ms);
+  summary.GetGauge("cluster.swap.qps").Set(swap.qps);
+  summary.GetGauge("cluster.swap.before_p50_ms").Set(p50_before);
+  summary.GetGauge("cluster.swap.before_p99_ms").Set(p99_before);
+  summary.GetGauge("cluster.swap.after_p50_ms").Set(p50_after);
+  summary.GetGauge("cluster.swap.after_p99_ms").Set(p99_after);
+  summary.GetGauge("cluster.overload.interactive_offered")
+      .Set(static_cast<double>(overload.interactive_offered));
+  summary.GetGauge("cluster.overload.interactive_served")
+      .Set(static_cast<double>(overload.interactive_served));
+  summary.GetGauge("cluster.overload.interactive_p50_ms").Set(overload_p50);
+  summary.GetGauge("cluster.overload.interactive_p99_ms").Set(overload_p99);
+  summary.GetGauge("cluster.overload.batch_served")
+      .Set(static_cast<double>(overload.batch_served));
+  summary.GetGauge("cluster.overload.batch_shed")
+      .Set(static_cast<double>(overload.batch_shed));
+  summary.GetGauge("cluster.overload.shed_rate").Set(shed_rate);
+  if (!obs::WriteJsonFile("BENCH_cluster.json", summary)) return 1;
+  std::printf("\nwrote BENCH_cluster.json\n");
+
+  // The acceptance gates — a regression here is a broken cluster, not a
+  // slow one, so the bench itself fails.
+  int failures = 0;
+  if (swap.failed != 0) {
+    std::fprintf(stderr, "FAIL: %lld requests failed across the swap\n",
+                 static_cast<long long>(swap.failed));
+    ++failures;
+  }
+  if (swap.served_on[0] == 0 || swap.served_on[1] == 0) {
+    std::fprintf(stderr,
+                 "FAIL: traffic did not span the swap (v1=%lld v2=%lld)\n",
+                 static_cast<long long>(swap.served_on[0]),
+                 static_cast<long long>(swap.served_on[1]));
+    ++failures;
+  }
+  if (overload.interactive_served != overload.interactive_offered) {
+    std::fprintf(stderr,
+                 "FAIL: interactive requests dropped under overload "
+                 "(%lld/%lld)\n",
+                 static_cast<long long>(overload.interactive_served),
+                 static_cast<long long>(overload.interactive_offered));
+    ++failures;
+  }
+  if (overload.batch_shed == 0) {
+    std::fprintf(stderr, "FAIL: overload did not shed any batch traffic\n");
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nmcdr
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return nmcdr::Run(smoke);
+}

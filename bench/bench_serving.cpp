@@ -11,6 +11,8 @@
 #include "bench/bench_util.h"
 #include "core/nmcdr_model.h"
 #include "data/presets.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "serving/inference_server.h"
 #include "serving/model_snapshot.h"
 #include "serving/score_engine.h"
@@ -55,6 +57,8 @@ struct BatchResult {
   int batch_size = 0;
   int64_t requests = 0;
   double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
   double throughput = 0.0;
 };
@@ -90,6 +94,8 @@ BatchResult MeasureServer(const ScoreEngine& engine,
   result.batch_size = batch_size;
   result.requests = stats.requests_served;
   result.mean_latency_ms = stats.MeanLatencyMs();
+  result.p50_latency_ms = stats.p50_latency_ms;
+  result.p99_latency_ms = stats.p99_latency_ms;
   result.max_latency_ms = stats.max_latency_ms;
   result.throughput = static_cast<double>(stats.requests_served) / seconds;
   return result;
@@ -160,12 +166,14 @@ int Run() {
     batches.push_back(MeasureServer(fast, scenario, batch_size, waves));
   }
   TablePrinter batch_table;
-  batch_table.SetHeader(
-      {"Batch", "Requests", "Mean lat (ms)", "Max lat (ms)", "Req/s"});
+  batch_table.SetHeader({"Batch", "Requests", "Mean lat (ms)", "p50 (ms)",
+                         "p99 (ms)", "Max lat (ms)", "Req/s"});
   for (const BatchResult& b : batches) {
     batch_table.AddRow({std::to_string(b.batch_size),
                         std::to_string(b.requests),
                         FormatFloat(b.mean_latency_ms, 3),
+                        FormatFloat(b.p50_latency_ms, 3),
+                        FormatFloat(b.p99_latency_ms, 3),
                         FormatFloat(b.max_latency_ms, 3),
                         FormatFloat(b.throughput, 0)});
   }
@@ -189,6 +197,27 @@ int Run() {
     }
     std::printf("\nwrote serving_perf.csv\n");
   }
+
+  // Machine-readable summary for the CI perf-gate (gates the *_p99_ms
+  // gauges against bench/baselines/serving_baseline.json).
+  obs::MetricsRegistry summary;
+  for (const PairCost& cost : costs) {
+    std::string key = cost.path == "autograd Score()" ? "autograd"
+                      : cost.path == "snapshot exact" ? "exact"
+                                                      : "fast";
+    summary.GetGauge("serving.pair_cost." + key + ".ns_per_pair")
+        .Set(cost.ns_per_pair);
+  }
+  for (const BatchResult& b : batches) {
+    const std::string prefix =
+        "serving.batch" + std::to_string(b.batch_size) + ".";
+    summary.GetGauge(prefix + "p50_ms").Set(b.p50_latency_ms);
+    summary.GetGauge(prefix + "p99_ms").Set(b.p99_latency_ms);
+    summary.GetGauge(prefix + "mean_ms").Set(b.mean_latency_ms);
+    summary.GetGauge(prefix + "qps").Set(b.throughput);
+  }
+  if (!obs::WriteJsonFile("BENCH_serving.json", summary)) return 1;
+  std::printf("wrote BENCH_serving.json\n");
   return 0;
 }
 

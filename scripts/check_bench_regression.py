@@ -1,25 +1,42 @@
 #!/usr/bin/env python3
-"""Compares a BENCH_kernels.json run against the checked-in CI baseline.
+"""Compares a bench JSON run against the checked-in CI baseline.
 
 Usage: check_bench_regression.py CURRENT BASELINE [--tolerance 0.25]
        check_bench_regression.py --self-test
 
-Per-kernel gate on serial throughput: the run FAILS when any kernel's
-`serial_gflops` drops below `baseline * (1 - tolerance)`. The default 25%
-tolerance absorbs shared-runner noise (the CI smoke run times each kernel
-for only ~10ms); tighten it locally with --tolerance 0.05 when hunting a
-specific regression. Kernels present in only one file are reported but
-never fail the gate, so adding or renaming a kernel doesn't require a
-baseline update in the same commit — regenerate the baseline afterwards:
+Two document kinds are auto-detected:
+
+* Kernel throughput (BENCH_kernels.json, `kernels[]` entries): per-kernel
+  gate on `serial_gflops` — the run FAILS when any kernel drops below
+  `baseline * (1 - tolerance)`. Higher is better.
+* Latency summaries (BENCH_serving.json / BENCH_cluster.json, obs-exporter
+  `gauges{}` docs): per-gauge gate on every gauge whose name contains
+  `p99` and ends in `_ms` — the run FAILS when the current value exceeds
+  `baseline * (1 + tolerance) + slack`. Lower is better. The absolute
+  slack (--latency-slack-ms, default 0.5) keeps sub-millisecond baselines
+  from tripping on scheduler jitter alone. Non-p99 gauges (p50, QPS, shed
+  counts) are informational context, never gated.
+
+The default 25% tolerance absorbs shared-runner noise (the CI smoke run
+times each kernel for only ~10ms); latency gates are noisier still, so CI
+passes a wider --tolerance for those. Tighten locally when hunting a
+specific regression. Entries present in only one file are reported but
+never fail the gate, so adding or renaming a kernel/gauge doesn't require
+a baseline update in the same commit — regenerate afterwards:
 
     build/bench/bench_kernels --smoke            # warm-up run, discarded
     build/bench/bench_kernels --smoke
     cp BENCH_kernels.json bench/baselines/ci_baseline.json
+    build/bench/bench_serving                    # NMCDR_BENCH_SCALE=smoke
+    cp BENCH_serving.json bench/baselines/serving_baseline.json
+    build/bench/bench_cluster --smoke
+    cp BENCH_cluster.json bench/baselines/cluster_baseline.json
 
-`--self-test` verifies the gate itself trips: it synthesizes a run and a
-baseline inflated 2x above it, checks the comparison fails, then checks
-an identical pair passes. CI runs this before the real comparison so a
-parsing bug can't silently turn the gate green.
+`--self-test` verifies the gate itself trips in both modes: a baseline
+inflated 2x above a throughput run must fail, a latency run inflated 2x
+above its baseline must fail, and identical pairs must pass. CI runs this
+before the real comparisons so a parsing bug can't silently turn the gate
+green.
 
 Exit codes: 0 pass, 1 regression (or self-test failure), 2 usage/IO error.
 """
@@ -29,20 +46,38 @@ import json
 import sys
 
 
-def load_kernels(path):
-    """Returns {kernel name: serial_gflops} from a BENCH_kernels.json."""
+def load_entries(path):
+    """Returns ("kernels"|"latency", {name: value}) from a bench JSON.
+
+    BENCH_kernels.json carries kernels[] (serial_gflops, higher-better);
+    obs-exporter docs (schema NMCDR_OBS_V1) carry gauges{} from which the
+    `*p99*_ms` latency gauges are gated (lower-better).
+    """
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
+    # Obs-exporter docs also carry a "kernels" section (per-kernel trace
+    # stats, a different shape), so detect by schema first: gauge docs are
+    # latency summaries, and only BENCH_kernels.json's list-of-dicts with
+    # serial_gflops is a kernel-throughput doc.
+    gauges = doc.get("gauges")
+    if isinstance(gauges, dict):
+        latencies = {name: float(value) for name, value in gauges.items()
+                     if "p99" in name and name.endswith("_ms")}
+        if latencies:
+            return "latency", latencies
+        raise ValueError(f"{path}: gauge doc has no *p99*_ms gauges")
     kernels = {}
-    for entry in doc.get("kernels", []):
-        kernels[entry["name"]] = float(entry["serial_gflops"])
-    if not kernels:
-        raise ValueError(f"{path}: no kernels[] entries")
-    return kernels
+    entries = doc.get("kernels", [])
+    if isinstance(entries, list):
+        for entry in entries:
+            kernels[entry["name"]] = float(entry["serial_gflops"])
+    if kernels:
+        return "kernels", kernels
+    raise ValueError(f"{path}: no kernels[] entries and no *p99*_ms gauges")
 
 
 def compare(current, baseline, tolerance):
-    """Returns (failures, lines): per-kernel verdicts and report text."""
+    """Throughput gate (higher is better): (failures, lines)."""
     failures = []
     lines = []
     for name in sorted(set(current) | set(baseline)):
@@ -66,8 +101,33 @@ def compare(current, baseline, tolerance):
     return failures, lines
 
 
-def self_test(tolerance):
-    """The gate must fail on a 2x-inflated baseline and pass on identity."""
+def compare_latency(current, baseline, tolerance, slack_ms):
+    """Latency gate (lower is better): (failures, lines)."""
+    failures = []
+    lines = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in baseline:
+            lines.append(f"  NEW      {name:40s} {current[name]:9.3f} ms "
+                         "(not in baseline, not gated)")
+            continue
+        if name not in current:
+            lines.append(f"  MISSING  {name:40s} baseline "
+                         f"{baseline[name]:9.3f} ms (not in current run, "
+                         "not gated)")
+            continue
+        ceiling = baseline[name] * (1.0 + tolerance) + slack_ms
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        verdict = "ok" if current[name] <= ceiling else "REGRESSED"
+        lines.append(f"  {verdict:8s} {name:40s} {current[name]:9.3f} vs "
+                     f"baseline {baseline[name]:9.3f} ms "
+                     f"({ratio:6.1%}, ceiling {ceiling:.3f})")
+        if current[name] > ceiling:
+            failures.append(name)
+    return failures, lines
+
+
+def self_test(tolerance, slack_ms):
+    """Both gates must fail on a 2x-worse run and pass on identity."""
     run = {"MatMulAccumInto": 10.0, "Add": 25.0, "SpMM": 4.0}
     inflated = {k: 2.0 * v for k, v in run.items()}
     failures, _ = compare(run, inflated, tolerance)
@@ -91,47 +151,94 @@ def self_test(tolerance):
         print("self-test FAILED: out-of-tolerance drop not flagged "
               f"(failures={failures})")
         return 1
-    print(f"self-test passed (tolerance {tolerance:.0%})")
+
+    # Latency mode: direction is inverted, and the absolute slack must
+    # shield tiny baselines but not large ones.
+    lat = {"serving.batch8.p99_ms": 5.0, "cluster.swap.after_p99_ms": 40.0}
+    doubled = {k: 2.0 * v for k, v in lat.items()}
+    failures, _ = compare_latency(doubled, lat, tolerance, slack_ms)
+    if sorted(failures) != sorted(lat):
+        print("self-test FAILED: 2x-slower latency run did not trip the gate "
+              f"(failures={failures})")
+        return 1
+    failures, _ = compare_latency(lat, dict(lat), tolerance, slack_ms)
+    if failures:
+        print(f"self-test FAILED: identical latency run flagged ({failures})")
+        return 1
+    tiny = {"serving.batch1.p99_ms": 0.01}
+    jittered = {"serving.batch1.p99_ms": 0.01 * (1.0 + tolerance) + slack_ms * 0.9}
+    failures, _ = compare_latency(jittered, tiny, tolerance, slack_ms)
+    if failures:
+        print("self-test FAILED: sub-slack jitter on a tiny baseline flagged "
+              f"({failures})")
+        return 1
+    faster = {k: v * 0.25 for k, v in lat.items()}
+    failures, _ = compare_latency(faster, lat, tolerance, slack_ms)
+    if failures:
+        print(f"self-test FAILED: faster latency run flagged ({failures})")
+        return 1
+    print(f"self-test passed (tolerance {tolerance:.0%}, "
+          f"latency slack {slack_ms:.2f} ms)")
     return 0
 
 
 def main(argv):
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("current", nargs="?", help="BENCH_kernels.json from this run")
+    parser.add_argument("current", nargs="?",
+                        help="BENCH_*.json from this run")
     parser.add_argument("baseline", nargs="?",
-                        help="bench/baselines/ci_baseline.json")
+                        help="matching file under bench/baselines/")
     parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional throughput drop (default 0.25)")
+                        help="allowed fractional change (default 0.25): "
+                             "throughput drop for kernels, p99 increase for "
+                             "latency docs")
+    parser.add_argument("--latency-slack-ms", type=float, default=0.5,
+                        help="absolute ms added to every latency ceiling "
+                             "(default 0.5) so sub-ms baselines don't trip "
+                             "on scheduler jitter")
     parser.add_argument("--self-test", action="store_true",
-                        help="verify the gate trips on an inflated baseline")
+                        help="verify both gates trip on a 2x-worse run")
     args = parser.parse_args(argv)
 
-    if not 0.0 < args.tolerance < 1.0:
-        print(f"tolerance must be in (0, 1), got {args.tolerance}")
+    if not 0.0 < args.tolerance < 10.0:
+        print(f"tolerance must be in (0, 10), got {args.tolerance}")
+        return 2
+    if args.latency_slack_ms < 0.0:
+        print(f"latency slack must be >= 0, got {args.latency_slack_ms}")
         return 2
     if args.self_test:
-        return self_test(args.tolerance)
+        return self_test(args.tolerance, args.latency_slack_ms)
     if args.current is None or args.baseline is None:
         parser.print_usage()
         return 2
 
     try:
-        current = load_kernels(args.current)
-        baseline = load_kernels(args.baseline)
+        current_kind, current = load_entries(args.current)
+        baseline_kind, baseline = load_entries(args.baseline)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
         print(f"error: {err}")
         return 2
+    if current_kind != baseline_kind:
+        print(f"error: {args.current} is a {current_kind} doc but "
+              f"{args.baseline} is a {baseline_kind} doc")
+        return 2
 
-    failures, lines = compare(current, baseline, args.tolerance)
-    print(f"perf gate: {args.current} vs {args.baseline} "
+    if current_kind == "kernels":
+        failures, lines = compare(current, baseline, args.tolerance)
+        unit, direction = "kernels", "regressed more than"
+    else:
+        failures, lines = compare_latency(current, baseline, args.tolerance,
+                                          args.latency_slack_ms)
+        unit, direction = "p99 gauges", "slowed more than"
+    print(f"perf gate [{current_kind}]: {args.current} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
     print("\n".join(lines))
     if failures:
-        print(f"\nFAIL: {len(failures)} kernel(s) regressed more than "
+        print(f"\nFAIL: {len(failures)} {unit} {direction} "
               f"{args.tolerance:.0%}: {', '.join(failures)}")
         return 1
-    print(f"\nPASS: {len(current)} kernels within {args.tolerance:.0%} of "
+    print(f"\nPASS: {len(current)} {unit} within {args.tolerance:.0%} of "
           "baseline")
     return 0
 

@@ -1,0 +1,123 @@
+#ifndef NMCDR_SERVING_CLUSTER_CLUSTER_SERVER_H_
+#define NMCDR_SERVING_CLUSTER_CLUSTER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "serving/cluster/admission.h"
+#include "serving/cluster/snapshot_registry.h"
+
+namespace nmcdr {
+namespace cluster {
+
+/// The cluster serving front end: admission control in front, the
+/// RCU-published ShardedSnapshot behind. Like InferenceServer it owns no
+/// threads — up to `num_threads` drainer tasks run on
+/// ThreadPool::Shared(), each pass popping up to `max_batch` admitted
+/// tickets (interactive first), acquiring the current snapshot version
+/// ONCE, and scoring the whole batch on it. A snapshot published
+/// mid-batch is picked up by the next pass; in-flight batches finish on
+/// the version they acquired — that, plus the registry's refcounting, is
+/// the zero-downtime swap (bench_cluster demonstrates it under load).
+///
+/// Invariant (same as InferenceServer): whenever the admission queue is
+/// non-empty, a drainer is active or being dispatched; Stop() returns
+/// only once the queue is drained and every drainer has retired.
+///
+/// Shedding is part of the contract, not an error path: a Submit against
+/// a full class queue resolves its future immediately with
+/// kShedQueueFull (the caller is backpressured, the queue never grows
+/// past capacity), and tickets that outlived their class deadline in
+/// queue resolve with kShedDeadline at drain time. All shed/served
+/// counts are recorded per class in the metrics registry
+/// (cluster.{submitted,served,shed_queue_full,shed_deadline}.<class>,
+/// cluster.latency_ms.<class>, cluster.queue_depth.<class>) —
+/// unconditionally, like InferenceServer's accounting.
+class ClusterServer {
+ public:
+  struct Options {
+    /// Maximum concurrent drainer tasks.
+    int num_threads = 2;
+    /// Tickets drained per pass.
+    int max_batch = 8;
+    AdmissionOptions admission;
+    /// Registry receiving cluster.* metrics; nullptr = private registry.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Publishes `initial` (must be non-null) as version 1, so the server
+  /// is never without a model.
+  ClusterServer(std::shared_ptr<const ShardedSnapshot> initial,
+                Options options);
+
+  /// Stops the server (draining queued admitted requests first).
+  ~ClusterServer();
+
+  ClusterServer(const ClusterServer&) = delete;
+  ClusterServer& operator=(const ClusterServer&) = delete;
+
+  /// Admits or sheds `request`. The future always resolves (with a
+  /// non-kOk status for shed/stopped requests) — no exceptions on the
+  /// shedding path, so overload handling is branch, not unwind.
+  std::future<ClusterResponse> Submit(ClusterRequest request);
+
+  /// Publishes a new snapshot version while traffic keeps flowing;
+  /// returns the new version. Thread-safe; callable from a pool task.
+  int64_t Publish(std::shared_ptr<const ShardedSnapshot> next);
+
+  /// Drains every admitted request, waits for drainers to retire, then
+  /// returns. Idempotent; Submit after Stop resolves with kStopped.
+  /// Must not be called from inside a shared-pool task.
+  void Stop();
+
+  int active_drainers() const;
+
+  /// Highest snapshot version any completed batch has observed
+  /// (monotone — asserted under TSan in cluster_test).
+  int64_t last_observed_version() const {
+    return last_observed_version_.load(std::memory_order_relaxed);
+  }
+
+  SnapshotRegistry& registry() { return registry_; }
+  const AdmissionQueue& admission() const { return admission_; }
+  obs::MetricsRegistry& metrics_registry() const { return *metrics_; }
+
+ private:
+  void DrainLoop();
+  /// Resolves a ticket's promise with a shed/stopped status and records
+  /// the per-class counter.
+  void Shed(AdmissionTicket ticket, ClusterStatus status);
+
+  Options options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;  // owned_metrics_ or Options::metrics
+  SnapshotRegistry registry_;
+  AdmissionQueue admission_;
+
+  // Resolved once in the constructor, indexed by RequestClass.
+  obs::Counter* submitted_[kNumRequestClasses];
+  obs::Counter* served_[kNumRequestClasses];
+  obs::Counter* shed_queue_full_[kNumRequestClasses];
+  obs::Counter* shed_deadline_[kNumRequestClasses];
+  obs::Counter* stopped_rejects_;
+  obs::Gauge* queue_depth_[kNumRequestClasses];
+  obs::Histogram* latency_ms_[kNumRequestClasses];
+
+  std::atomic<int64_t> last_observed_version_{0};
+
+  mutable std::mutex mu_;
+  /// Signalled when a drainer retires (Stop waits on it).
+  std::condition_variable drained_cv_;
+  int active_drainers_ = 0;  // GUARDED_BY(mu_)
+  bool stopping_ = false;    // GUARDED_BY(mu_)
+};
+
+}  // namespace cluster
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_CLUSTER_CLUSTER_SERVER_H_

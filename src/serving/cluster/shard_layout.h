@@ -1,0 +1,79 @@
+#ifndef NMCDR_SERVING_CLUSTER_SHARD_LAYOUT_H_
+#define NMCDR_SERVING_CLUSTER_SHARD_LAYOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "serving/model_snapshot.h"
+
+namespace nmcdr {
+namespace cluster {
+
+/// JSON schema tag written by ShardLayout::ToJson.
+inline constexpr const char* kShardLayoutSchema = "NMCDR_SHARD_LAYOUT_V1";
+
+/// How one domain's tables are cut across shards: split-point vectors of
+/// size num_shards + 1 (monotone non-decreasing, first 0, last the table
+/// row count). Shard s owns rows [splits[s], splits[s+1]); empty ranges
+/// are legal, so a 7-shard layout over a 5-item catalog validates.
+struct DomainSplits {
+  std::vector<int> user_splits;
+  std::vector<int> item_splits;
+};
+
+/// Declarative description of how a ModelSnapshot is partitioned across
+/// shards — the Hetu-style data-driven config: the partitioning is a
+/// serializable value, not code, so a deployment can pin, version, and
+/// diff its layout. Plain data; validity against a concrete snapshot is a
+/// separate Validate step (the same layout file can be checked against
+/// tomorrow's snapshot before a swap).
+///
+/// On-disk format (ToJson/Parse round-trip):
+///   {
+///     "schema": "NMCDR_SHARD_LAYOUT_V1",
+///     "num_shards": 2,
+///     "domains": [
+///       {"user_splits": [0, 3, 6], "item_splits": [0, 2, 4]},
+///       {"user_splits": [0, 2, 5], "item_splits": [0, 3, 5]}
+///     ]
+///   }
+struct ShardLayout {
+  int num_shards = 1;
+  std::vector<DomainSplits> domains;
+
+  /// Even contiguous partition of `snapshot` into `num_shards` ranges
+  /// (remainder rows spread one-per-shard from shard 0).
+  static ShardLayout Uniform(const ModelSnapshot& snapshot, int num_shards);
+
+  /// Checks structural validity against a concrete snapshot: one
+  /// DomainSplits per snapshot domain, every split vector of size
+  /// num_shards + 1, monotone, spanning exactly [0, row count]. On
+  /// failure returns false and fills *error (when non-null).
+  bool Validate(const ModelSnapshot& snapshot,
+                std::string* error = nullptr) const;
+
+  /// Shard owning user/item row `row` of domain `d` (layout must be
+  /// structurally valid; row must be inside the spanned range).
+  int UserShard(int d, int row) const;
+  int ItemShard(int d, int row) const;
+
+  bool Equals(const ShardLayout& other) const;
+
+  std::string ToJson() const;
+  /// Parses a ToJson document. Returns false (filling *error when
+  /// non-null) on malformed JSON, wrong schema tag, or structurally
+  /// inconsistent splits; *out is untouched on failure.
+  static bool Parse(const std::string& json, ShardLayout* out,
+                    std::string* error = nullptr);
+
+  /// File round-trip of ToJson/Parse. Load leaves *out untouched on
+  /// failure.
+  bool Save(const std::string& path) const;
+  static bool Load(const std::string& path, ShardLayout* out,
+                   std::string* error = nullptr);
+};
+
+}  // namespace cluster
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_CLUSTER_SHARD_LAYOUT_H_

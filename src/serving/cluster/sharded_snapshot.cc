@@ -1,0 +1,238 @@
+#include "serving/cluster/sharded_snapshot.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "serving/scoring_kernels.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace nmcdr {
+namespace cluster {
+namespace {
+
+/// (score, item) entry ordered so a priority_queue's top() is the WORST
+/// kept candidate (RanksBefore acts as the strict weak "less") — the same
+/// bounded-heap scheme as ScoreEngine::TopK, and the same total order, so
+/// the per-shard winners merge into exactly the global top-K.
+struct HeapWorstOnTop {
+  bool operator()(const std::pair<float, int>& a,
+                  const std::pair<float, int>& b) const {
+    return RanksBefore(a.first, a.second, b.first, b.second);
+  }
+};
+
+using BoundedHeap =
+    std::priority_queue<std::pair<float, int>,
+                        std::vector<std::pair<float, int>>, HeapWorstOnTop>;
+
+Matrix CopyRowRange(const Matrix& source, int begin, int end) {
+  Matrix out(end - begin, source.cols());
+  if (end > begin) {
+    std::copy(source.row(begin), source.row(begin) + out.size(), out.data());
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardedSnapshot::ShardedSnapshot(const ModelSnapshot& snapshot,
+                                 const ShardLayout& layout, Options options)
+    : layout_(layout), options_(options) {
+  std::string error;
+  if (!layout.Validate(snapshot, &error)) {
+    LOG_ERROR << "ShardedSnapshot: " << error;
+    NMCDR_CHECK(false);
+  }
+  NMCDR_CHECK_GT(snapshot.num_domains(), 0);
+  NMCDR_CHECK_GT(options_.item_block, 0);
+  num_persons_ = snapshot.num_persons();
+  dim_ = snapshot.domain(0).frozen.dim();
+  for (int d = 0; d < snapshot.num_domains(); ++d) {
+    const SnapshotDomain& source = snapshot.domain(d);
+    NMCDR_CHECK_EQ(source.frozen.dim(), dim_);
+    Domain domain;
+    domain.head = source.frozen.head;
+    domain.user_to_person = source.user_to_person;
+    domain.person_to_user = source.person_to_user;
+    domain.num_users = source.num_users();
+    domain.num_items = source.num_items();
+    for (int s = 0; s < layout_.num_shards; ++s) {
+      const DomainSplits& splits = layout_.domains[d];
+      DomainShard shard;
+      shard.user_begin = splits.user_splits[s];
+      shard.item_begin = splits.item_splits[s];
+      shard.user_rows = CopyRowRange(source.frozen.user_reps,
+                                     splits.user_splits[s],
+                                     splits.user_splits[s + 1]);
+      shard.item_rows = CopyRowRange(source.frozen.item_reps,
+                                     splits.item_splits[s],
+                                     splits.item_splits[s + 1]);
+      if (options_.mode == ScoreEngine::Mode::kFast) {
+        // Identical rows as the monolithic precompute (MatMul is row-
+        // independent), just computed slice-by-slice.
+        shard.item_first = scoring::BuildItemFirst(domain.head,
+                                                   shard.item_rows);
+      }
+      domain.shards.push_back(std::move(shard));
+    }
+    domains_.push_back(std::move(domain));
+  }
+}
+
+const float* ShardedSnapshot::UserRow(int d, int user) const {
+  const int s = layout_.UserShard(d, user);
+  const DomainShard& shard = domains_[d].shards[s];
+  return shard.user_rows.row(user - shard.user_begin);
+}
+
+ShardedSnapshot::ResolvedUser ShardedSnapshot::Resolve(int target_domain,
+                                                       int user_domain,
+                                                       int user) const {
+  NMCDR_CHECK_GE(target_domain, 0);
+  NMCDR_CHECK_LT(target_domain, num_domains());
+  NMCDR_CHECK_GE(user_domain, 0);
+  NMCDR_CHECK_LT(user_domain, num_domains());
+  NMCDR_CHECK_GE(user, 0);
+  NMCDR_CHECK_LT(user, domains_[user_domain].num_users);
+
+  int resolved = user;
+  if (user_domain != target_domain) {
+    const int person = domains_[user_domain].user_to_person[user];
+    resolved = (person < 0 || person >= num_persons_)
+                   ? -1
+                   : domains_[target_domain].person_to_user[person];
+  }
+  ResolvedUser out;
+  if (resolved >= 0) {
+    out.row = UserRow(target_domain, resolved);
+  } else {
+    // Cross-domain cold start, same policy as ScoreEngine::Resolve: rank
+    // with the home-domain representation.
+    out.row = UserRow(user_domain, user);
+    out.cold_start = true;
+  }
+  return out;
+}
+
+Recommendation ShardedSnapshot::TopK(const RecRequest& request) const {
+  NMCDR_CHECK_GT(request.k, 0);
+  const ResolvedUser resolved =
+      Resolve(request.target_domain, request.user_domain, request.user);
+  const Domain& domain = domains_[request.target_domain];
+  const float* u = resolved.row;
+
+  std::vector<uint8_t> excluded(domain.num_items, 0);
+  for (int item : request.exclude) {
+    NMCDR_CHECK_GE(item, 0);
+    NMCDR_CHECK_LT(item, domain.num_items);
+    excluded[item] = 1;
+  }
+
+  // kFast shares one user-side first-layer partial across shards (the
+  // monolithic path recomputes it per block; the computation is
+  // deterministic, so the bits are the same either way).
+  std::vector<float> u_first;
+  if (options_.mode == ScoreEngine::Mode::kFast) {
+    u_first.resize(domain.head.b0.cols());
+    scoring::UserFirstPartial(domain.head, u, u_first.data());
+  }
+
+  // Fan the per-shard catalog scans out over the shared pool (grain 1: a
+  // shard scan is a full pass over its slice). Each shard fills only its
+  // own slot, so the fan-out is race-free and deterministic.
+  std::vector<std::vector<std::pair<float, int>>> per_shard(
+      layout_.num_shards);
+  ThreadPool::Shared()->ParallelFor(
+      0, layout_.num_shards, /*grain=*/1, [&](int64_t begin, int64_t end) {
+        for (int64_t s = begin; s < end; ++s) {
+          const DomainShard& shard = domain.shards[s];
+          const int local_items = shard.item_rows.rows();
+          std::vector<int> candidates;
+          candidates.reserve(local_items);
+          for (int local = 0; local < local_items; ++local) {
+            if (!excluded[shard.item_begin + local]) {
+              candidates.push_back(local);
+            }
+          }
+          BoundedHeap heap;
+          std::vector<float> scores(options_.item_block);
+          for (size_t block = 0; block < candidates.size();
+               block += options_.item_block) {
+            const int count = static_cast<int>(std::min<size_t>(
+                options_.item_block, candidates.size() - block));
+            if (options_.mode == ScoreEngine::Mode::kFast) {
+              scoring::FastScoreIds(domain.head, shard.item_rows,
+                                    shard.item_first, u, u_first.data(),
+                                    candidates.data() + block, count,
+                                    scores.data());
+            } else {
+              scoring::ExactScoreIds(domain.head, shard.item_rows, u,
+                                     candidates.data() + block, count,
+                                     options_.item_block, scores.data());
+            }
+            for (int i = 0; i < count; ++i) {
+              const std::pair<float, int> entry(
+                  scores[i], shard.item_begin + candidates[block + i]);
+              if (static_cast<int>(heap.size()) < request.k) {
+                heap.push(entry);
+              } else if (RanksBefore(entry.first, entry.second,
+                                     heap.top().first, heap.top().second)) {
+                heap.pop();
+                heap.push(entry);
+              }
+            }
+          }
+          std::vector<std::pair<float, int>>& local_top = per_shard[s];
+          local_top.resize(heap.size());
+          for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
+            local_top[i] = heap.top();
+            heap.pop();
+          }
+        }
+      });
+
+  // Deterministic merge: every shard's winners under the shared total
+  // order; the best k of the union are exactly the global best k.
+  std::vector<std::pair<float, int>> merged;
+  for (const std::vector<std::pair<float, int>>& local : per_shard) {
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const std::pair<float, int>& a, const std::pair<float, int>& b) {
+              return RanksBefore(a.first, a.second, b.first, b.second);
+            });
+  if (static_cast<int>(merged.size()) > request.k) {
+    merged.resize(request.k);
+  }
+
+  Recommendation rec;
+  rec.cold_start = resolved.cold_start;
+  rec.items.reserve(merged.size());
+  rec.scores.reserve(merged.size());
+  for (const std::pair<float, int>& entry : merged) {
+    rec.items.push_back(entry.second);
+    rec.scores.push_back(entry.first);
+  }
+  return rec;
+}
+
+std::vector<Recommendation> ShardedSnapshot::TopKBatch(
+    const std::vector<RecRequest>& requests) const {
+  // One task per request; the nested per-shard ParallelFor inside TopK
+  // runs inline on the worker, so under batch load the parallelism comes
+  // from request fan-out and under single-request load from shard
+  // fan-out.
+  std::vector<Recommendation> out(requests.size());
+  ThreadPool::Shared()->ParallelFor(
+      0, static_cast<int64_t>(requests.size()), /*grain=*/1,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) out[i] = TopK(requests[i]);
+      });
+  return out;
+}
+
+}  // namespace cluster
+}  // namespace nmcdr

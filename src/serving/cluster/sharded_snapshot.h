@@ -1,0 +1,104 @@
+#ifndef NMCDR_SERVING_CLUSTER_SHARDED_SNAPSHOT_H_
+#define NMCDR_SERVING_CLUSTER_SHARDED_SNAPSHOT_H_
+
+#include <vector>
+
+#include "serving/cluster/shard_layout.h"
+#include "serving/score_engine.h"
+
+namespace nmcdr {
+namespace cluster {
+
+/// A ModelSnapshot partitioned for cluster serving: per domain, the user
+/// and item representation tables are cut into the contiguous row ranges
+/// a ShardLayout describes, each shard owning its slice (deep copies —
+/// the source snapshot can be freed or refrozen after construction, which
+/// is what lets the SnapshotRegistry retire old versions independently).
+/// The small prediction head and the person-link tables are replicated.
+///
+/// Top-K retrieval fans the per-shard scans out over the shared thread
+/// pool; each shard feeds its slice through the row-independent kernels
+/// of serving/scoring_kernels.h into a local bounded heap, and the
+/// per-shard winners are merged under the same deterministic total order
+/// (RanksBefore). Because per-item scores do not depend on shard
+/// composition and the order is total, the merged result is bit-identical
+/// to ScoreEngine::TopKBatch on the unsharded snapshot for ANY valid
+/// layout (asserted across 1/2/4/7 shards in tests/cluster_test.cc).
+///
+/// Immutable after construction; all methods are const and safe to call
+/// concurrently — the unit the RCU-style SnapshotRegistry publishes.
+class ShardedSnapshot {
+ public:
+  struct Options {
+    ScoreEngine::Mode mode = ScoreEngine::Mode::kFast;
+    /// Items scored per dense block during a shard's catalog scan.
+    int item_block = 256;
+  };
+
+  /// `layout` must Validate against `snapshot`. The snapshot is deep-
+  /// copied slice-by-slice; it is not referenced afterwards.
+  ShardedSnapshot(const ModelSnapshot& snapshot, const ShardLayout& layout,
+                  Options options);
+  ShardedSnapshot(const ModelSnapshot& snapshot, const ShardLayout& layout)
+      : ShardedSnapshot(snapshot, layout, Options()) {}
+
+  int num_shards() const { return layout_.num_shards; }
+  int num_domains() const { return static_cast<int>(domains_.size()); }
+  int num_users(int d) const { return domains_[d].num_users; }
+  int num_items(int d) const { return domains_[d].num_items; }
+  const ShardLayout& layout() const { return layout_; }
+  ScoreEngine::Mode mode() const { return options_.mode; }
+
+  /// Sharded full-catalog top-K with the request's exclusion set;
+  /// bit-identical to ScoreEngine::TopK on the source snapshot.
+  Recommendation TopK(const RecRequest& request) const;
+
+  /// Serves a batch, fanned out over ThreadPool::Shared() (one task per
+  /// request; each request's shard scans run inline inside it — nested
+  /// ParallelFor degrades gracefully). Identical to calling TopK per
+  /// request.
+  std::vector<Recommendation> TopKBatch(
+      const std::vector<RecRequest>& requests) const;
+
+ private:
+  /// One domain's slice owned by one shard. `user_begin`/`item_begin`
+  /// are the global ids of row 0 (layout splits), so global id g lives at
+  /// local row g - begin.
+  struct DomainShard {
+    Matrix user_rows;
+    Matrix item_rows;
+    Matrix item_first;  // kFast only: BuildItemFirst over item_rows
+    int user_begin = 0;
+    int item_begin = 0;
+  };
+
+  struct Domain {
+    FrozenPredictionHead head;  // replicated, small
+    std::vector<int> user_to_person;
+    std::vector<int> person_to_user;
+    std::vector<DomainShard> shards;
+    int num_users = 0;
+    int num_items = 0;
+  };
+
+  struct ResolvedUser {
+    const float* row = nullptr;  // user representation, dim floats
+    bool cold_start = false;
+  };
+
+  /// Mirrors ModelSnapshot::ResolveUser + ScoreEngine::Resolve over the
+  /// sharded tables (the owning shard is found through the layout).
+  ResolvedUser Resolve(int target_domain, int user_domain, int user) const;
+  const float* UserRow(int d, int user) const;
+
+  ShardLayout layout_;
+  Options options_;
+  std::vector<Domain> domains_;
+  int num_persons_ = 0;
+  int dim_ = 0;
+};
+
+}  // namespace cluster
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_CLUSTER_SHARDED_SNAPSHOT_H_

@@ -1,0 +1,59 @@
+#include "serving/cluster/snapshot_registry.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace nmcdr {
+namespace cluster {
+
+SnapshotRegistry::SnapshotRegistry(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    publishes_ = &metrics->GetCounter("cluster.publishes");
+    version_gauge_ = &metrics->GetGauge("cluster.snapshot_version");
+  }
+}
+
+SnapshotRegistry::SnapshotRegistry(
+    std::shared_ptr<const ShardedSnapshot> initial,
+    obs::MetricsRegistry* metrics)
+    : SnapshotRegistry(metrics) {
+  NMCDR_CHECK(initial != nullptr);
+  Publish(std::move(initial));
+}
+
+int64_t SnapshotRegistry::Publish(
+    std::shared_ptr<const ShardedSnapshot> next) {
+  NMCDR_CHECK(next != nullptr);
+  int64_t published = 0;
+  std::shared_ptr<const ShardedSnapshot> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Move the old pointer out so its (possibly final, possibly
+    // expensive) release runs after the lock is dropped — publishers
+    // never stall readers on a deallocation.
+    retired = std::move(current_snapshot_);
+    current_snapshot_ = std::move(next);
+    published = ++version_;
+  }
+  if (publishes_ != nullptr) publishes_->Add(1);
+  if (version_gauge_ != nullptr) {
+    version_gauge_->Set(static_cast<double>(published));
+  }
+  return published;
+}
+
+std::shared_ptr<const ShardedSnapshot> SnapshotRegistry::Acquire(
+    int64_t* version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version != nullptr) *version = version_;
+  return current_snapshot_;
+}
+
+int64_t SnapshotRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+}  // namespace cluster
+}  // namespace nmcdr

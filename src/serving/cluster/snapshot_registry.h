@@ -1,0 +1,75 @@
+#ifndef NMCDR_SERVING_CLUSTER_SNAPSHOT_REGISTRY_H_
+#define NMCDR_SERVING_CLUSTER_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "serving/cluster/sharded_snapshot.h"
+
+namespace nmcdr {
+namespace cluster {
+
+/// RCU-style versioned snapshot pointer: the single place where the
+/// cluster's "current model" changes hands (enforced tree-wide by the
+/// [rcu-only-publish] lint rule).
+///
+/// Publish protocol — read-copy-update with shared_ptr reference counts
+/// as the grace-period mechanism:
+///  1. The publisher builds a complete immutable ShardedSnapshot off to
+///     the side (the "copy"; snapshots are never mutated in place).
+///  2. Publish() swaps the registry's pointer under a brief mutex and
+///     bumps the monotonic version ("update"). The lock covers only the
+///     pointer/version exchange, never scoring work.
+///  3. Readers hold the shared_ptr an Acquire() returned for the duration
+///     of one batch; in-flight batches keep finishing on the version they
+///     acquired while new batches observe the new one — zero downtime,
+///     no torn state, by construction (immutability + atomic pointer
+///     exchange).
+///  4. When the last in-flight reader of a retired version drops its
+///     reference, the shared_ptr count reaching zero frees the old
+///     tables — the "grace period" needs no epoch bookkeeping
+///     (tests assert retired versions are actually freed).
+///
+/// Versions are monotonically increasing and never reused; version 0
+/// means "nothing published yet" when default-constructed without an
+/// initial snapshot.
+class SnapshotRegistry {
+ public:
+  /// `metrics` (optional) receives cluster.publishes /
+  /// cluster.snapshot_version on every Publish.
+  explicit SnapshotRegistry(obs::MetricsRegistry* metrics = nullptr);
+  /// Convenience: construct and publish `initial` as version 1.
+  SnapshotRegistry(std::shared_ptr<const ShardedSnapshot> initial,
+                   obs::MetricsRegistry* metrics);
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Atomically installs `next` as the current snapshot and returns its
+  /// version. Thread-safe against concurrent Acquire and Publish.
+  int64_t Publish(std::shared_ptr<const ShardedSnapshot> next);
+
+  /// Returns the current snapshot (never null once one was published;
+  /// null before that), filling `*version` (when non-null) with its
+  /// version. The returned reference keeps the version alive until the
+  /// caller drops it.
+  std::shared_ptr<const ShardedSnapshot> Acquire(
+      int64_t* version = nullptr) const;
+
+  /// Version of the currently published snapshot (0 when none yet).
+  int64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ShardedSnapshot> current_snapshot_;  // GUARDED_BY(mu_)
+  int64_t version_ = 0;                                      // GUARDED_BY(mu_)
+  obs::Counter* publishes_ = nullptr;     // null when metrics == null
+  obs::Gauge* version_gauge_ = nullptr;   // null when metrics == null
+};
+
+}  // namespace cluster
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_CLUSTER_SNAPSHOT_REGISTRY_H_

@@ -1,5 +1,6 @@
 #include "serving/model_snapshot.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -339,6 +340,78 @@ bool ModelSnapshot::Equals(const ModelSnapshot& other) const {
     }
   }
   return true;
+}
+
+ModelSnapshot ModelSnapshot::MakeSynthetic(const SyntheticSnapshotSpec& spec) {
+  NMCDR_CHECK_GT(spec.num_domains, 0);
+  NMCDR_CHECK_GT(spec.users_per_domain, 0);
+  NMCDR_CHECK_GT(spec.items_per_domain, 0);
+  NMCDR_CHECK_GT(spec.dim, 0);
+  NMCDR_CHECK_GT(spec.hidden, 0);
+  NMCDR_CHECK_GE(spec.overlap, 0.f);
+  NMCDR_CHECK_LE(spec.overlap, 1.f);
+  Rng rng(spec.seed);
+
+  // Cheap seeded fill — uniform rather than Xavier/Gaussian because the
+  // tables only need to be well-formed finite numbers at scale, and
+  // bench_cluster fills hundreds of millions of entries.
+  const auto fill = [&rng](Matrix* m, float scale) {
+    float* data = m->data();
+    for (int i = 0; i < m->size(); ++i) data[i] = rng.Uniform(-scale, scale);
+  };
+
+  // One shared head per domain, built once: every domain's head has the
+  // same shapes, so reuse would also work, but distinct weights keep
+  // cross-domain requests from degenerating into same-score ties.
+  const int users = spec.users_per_domain;
+  const int linked = static_cast<int>(
+      static_cast<float>(users) * spec.overlap);
+  ModelSnapshot out;
+  out.num_persons_ =
+      users + (spec.num_domains - 1) * (users - linked);
+
+  int next_fresh_person = users;
+  for (int d = 0; d < spec.num_domains; ++d) {
+    SnapshotDomain dom;
+    dom.name = "synthetic-" + std::to_string(d);
+    dom.frozen.user_reps = Matrix(users, spec.dim);
+    dom.frozen.item_reps = Matrix(spec.items_per_domain, spec.dim);
+    fill(&dom.frozen.user_reps, 1.f);
+    fill(&dom.frozen.item_reps, 1.f);
+
+    FrozenPredictionHead& head = dom.frozen.head;
+    head.w0_user = Matrix(spec.dim, spec.hidden);
+    head.w0_item = Matrix(spec.dim, spec.hidden);
+    head.b0 = Matrix(1, spec.hidden);
+    head.w.push_back(Matrix(spec.hidden, 1));
+    head.b.push_back(Matrix(1, 1));
+    head.gmf_w = Matrix(spec.dim, 1);
+    head.gmf_b = Matrix(1, 1);
+    const float head_scale = 1.f / std::sqrt(static_cast<float>(spec.dim));
+    fill(&head.w0_user, head_scale);
+    fill(&head.w0_item, head_scale);
+    fill(&head.b0, head_scale);
+    fill(&head.w[0], head_scale);
+    fill(&head.b[0], head_scale);
+    fill(&head.gmf_w, head_scale);
+    fill(&head.gmf_b, head_scale);
+
+    dom.user_to_person.resize(users);
+    for (int u = 0; u < users; ++u) {
+      if (d == 0 || u < linked) {
+        dom.user_to_person[u] = u;  // anchored to domain 0's person u
+      } else {
+        dom.user_to_person[u] = next_fresh_person++;
+      }
+    }
+    dom.person_to_user.assign(out.num_persons_, -1);
+    for (int u = 0; u < users; ++u) {
+      dom.person_to_user[dom.user_to_person[u]] = u;
+    }
+    out.domains_.push_back(std::move(dom));
+  }
+  NMCDR_CHECK_EQ(next_fresh_person, out.num_persons_);
+  return out;
 }
 
 }  // namespace nmcdr

@@ -24,6 +24,25 @@ struct SnapshotDomain {
   int num_items() const { return frozen.num_items(); }
 };
 
+/// Spec for ModelSnapshot::MakeSynthetic: a freeze-only snapshot with
+/// random tables at production-like row counts (no training, no autograd
+/// graph), so serving-scale harnesses (bench_cluster's millions of users)
+/// can exercise the cluster path without a millions-of-users training
+/// run. Domain 0 is the anchor: its user u is person u; in every other
+/// domain the first `overlap` fraction of users link to the same-id
+/// person (the cross-domain overlap), the rest are fresh persons.
+struct SyntheticSnapshotSpec {
+  int num_domains = 2;
+  int users_per_domain = 100000;
+  int items_per_domain = 20000;
+  int dim = 16;
+  /// First-layer width of the synthetic prediction head.
+  int hidden = 16;
+  /// Fraction of each non-anchor domain's users linked into domain 0.
+  float overlap = 0.2f;
+  uint64_t seed = 1;
+};
+
 /// A trained model frozen into plain embedding tables and prediction-head
 /// weights — the unit the online inference engine serves from. The
 /// industrial pattern (the paper's MYbank deployment, and the
@@ -49,6 +68,11 @@ class ModelSnapshot {
   static bool FreezeMultiDomain(MultiDomainNmcdrModel* model,
                                 const MultiDomainView& view,
                                 ModelSnapshot* out);
+
+  /// Builds a structurally valid snapshot with seeded random tables at
+  /// the spec's scale — serving benches only (the scores are meaningless,
+  /// the shapes and person links are real).
+  static ModelSnapshot MakeSynthetic(const SyntheticSnapshotSpec& spec);
 
   int num_domains() const { return static_cast<int>(domains_.size()); }
   int num_persons() const { return num_persons_; }

@@ -1,13 +1,12 @@
 #include "serving/score_engine.h"
 
 #include <algorithm>
-#include <cmath>
 #include <queue>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
-#include "tensor/matrix_ops.h"
+#include "serving/scoring_kernels.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -33,24 +32,6 @@ void MirrorPairsMetric(int64_t n) {
   static obs::Counter& pairs =
       obs::MetricsRegistry::Global().GetCounter("scoring.pairs_scored");
   pairs.Add(n);
-}
-
-/// Activates h[0..n) in place; the dispatch happens once per call, not per
-/// element (the fast scoring loop is dominated by such per-scalar costs).
-void ActivateInPlace(float* h, int n, ag::Activation act) {
-  switch (act) {
-    case ag::Activation::kNone:
-      return;
-    case ag::Activation::kRelu:
-      for (int j = 0; j < n; ++j) h[j] = h[j] > 0.f ? h[j] : 0.f;
-      return;
-    case ag::Activation::kSigmoid:
-      for (int j = 0; j < n; ++j) h[j] = 1.f / (1.f + std::exp(-h[j]));
-      return;
-    case ag::Activation::kTanh:
-      for (int j = 0; j < n; ++j) h[j] = std::tanh(h[j]);
-      return;
-  }
 }
 
 /// (score, item) entry ordered so a priority_queue's top() is the WORST
@@ -79,8 +60,8 @@ ScoreEngine::ScoreEngine(const ModelSnapshot* snapshot, Options options)
     // activation, and the tiny tail layers remain per pair.
     for (int d = 0; d < snapshot->num_domains(); ++d) {
       const FrozenDomainState& frozen = snapshot->domain(d).frozen;
-      item_first_.push_back(AddRowBroadcast(
-          MatMul(frozen.item_reps, frozen.head.w0_item), frozen.head.b0));
+      item_first_.push_back(
+          scoring::BuildItemFirst(frozen.head, frozen.item_reps));
     }
   }
 }
@@ -108,129 +89,18 @@ void ScoreEngine::ScoreIds(int target_domain, const float* u, const int* ids,
                            int n, float* out) const {
   const FrozenDomainState& frozen = snapshot_->domain(target_domain).frozen;
   const FrozenPredictionHead& head = frozen.head;
-  const int dim = frozen.dim();
-  const int hidden = head.b0.cols();
 
   if (options_.mode == Mode::kFast) {
-    // User-side first-layer partial without Matrix temporaries.
-    std::vector<float> u_first(hidden, 0.f);
-    for (int k = 0; k < dim; ++k) {
-      const float uk = u[k];
-      if (uk == 0.f) continue;
-      const float* wrow = head.w0_user.row(k);
-      for (int j = 0; j < hidden; ++j) u_first[j] += uk * wrow[j];
-    }
-    FastScoreIds(target_domain, u, u_first.data(), ids, n, out);
-    pairs_scored_.fetch_add(n, std::memory_order_relaxed);
-    MirrorPairsMetric(n);
-    return;
-  }
-
-  // User-side first-layer partial, shared by every candidate row.
-  Matrix u_row(1, dim);
-  std::copy(u, u + dim, u_row.data());
-  const Matrix u_first = MatMul(u_row, head.w0_user);
-
-  std::vector<int> block_ids;
-  for (int begin = 0; begin < n; begin += options_.item_block) {
-    const int count = std::min(options_.item_block, n - begin);
-    block_ids.assign(ids + begin, ids + begin + count);
-    const Matrix item_rows = GatherRows(frozen.item_reps, block_ids);
-
-    // First MLP layer over the block: every row starts from the user
-    // partial; the item half is then accumulated on top via the same
-    // in-order GEMM as the trainer, keeping kExact bit-equal.
-    Matrix h0(count, hidden);
-    for (int i = 0; i < count; ++i) {
-      std::copy(u_first.data(), u_first.data() + hidden, h0.row(i));
-    }
-    MatMulAccumInto(item_rows, head.w0_item, &h0);
-
-    // Weighted product term, bit-equal to the trainer's Hadamard + GEMM:
-    // same products, same fused-add order.
-    Matrix gmf_dot(count, 1);
-    for (int i = 0; i < count; ++i) {
-      const float* v = item_rows.row(i);
-      float acc = 0.f;
-      for (int j = 0; j < dim; ++j) {
-        acc += (u[j] * v[j]) * head.gmf_w.At(j, 0);
-      }
-      gmf_dot.At(i, 0) = acc;
-    }
-
-    const Matrix logits = head.ForwardFromHidden(std::move(h0), gmf_dot);
-    for (int i = 0; i < count; ++i) out[begin + i] = logits.At(i, 0);
+    std::vector<float> u_first(head.b0.cols());
+    scoring::UserFirstPartial(head, u, u_first.data());
+    scoring::FastScoreIds(head, frozen.item_reps, item_first_[target_domain],
+                          u, u_first.data(), ids, n, out);
+  } else {
+    scoring::ExactScoreIds(head, frozen.item_reps, u, ids, n,
+                           options_.item_block, out);
   }
   pairs_scored_.fetch_add(n, std::memory_order_relaxed);
   MirrorPairsMetric(n);
-}
-
-void ScoreEngine::FastScoreIds(int target_domain, const float* u,
-                               const float* u_first, const int* ids, int n,
-                               float* out) const {
-  // Fused serving path: no Matrix temporaries, one scratch pair reused
-  // across candidates. Per pair only the first-layer add (precomputed
-  // item partials), the activation, and the tiny tail layers remain, so
-  // the cost is dominated by ~3 * hidden flops instead of the trainer's
-  // full 2 * dim * hidden first-layer GEMM plus tape bookkeeping. Scores
-  // differ from kExact only by first-layer summation rounding.
-  const FrozenDomainState& frozen = snapshot_->domain(target_domain).frozen;
-  const FrozenPredictionHead& head = frozen.head;
-  const Matrix& partials = item_first_[target_domain];
-  const int dim = frozen.dim();
-  const int hidden = head.b0.cols();
-  const float* gmf_w = head.gmf_w.data();  // [dim, 1], contiguous
-  const float gmf_bias = head.gmf_b.data()[0];
-
-  int max_width = hidden;
-  for (const Matrix& w : head.w) max_width = std::max(max_width, w.cols());
-  std::vector<float> h(max_width), next(max_width);
-
-  for (int i = 0; i < n; ++i) {
-    const int item = ids[i];
-    const float* p = partials.row(item);  // item partial + b0
-    const float* v = frozen.item_reps.row(item);
-    for (int j = 0; j < hidden; ++j) h[j] = u_first[j] + p[j];
-    int width = hidden;
-    for (size_t l = 0; l < head.w.size(); ++l) {
-      const Matrix& w = head.w[l];
-      const int out_width = w.cols();
-      const float* bias = head.b[l].data();
-      std::copy(bias, bias + out_width, next.data());
-      ActivateInPlace(h.data(), width, head.hidden_act);
-      const float* wdata = w.data();
-      if (out_width == 1) {
-        // Four independent accumulators break the serial float-add
-        // dependency chain (the compiler cannot reassociate it itself).
-        float a0 = 0.f, a1 = 0.f, a2 = 0.f, a3 = 0.f;
-        int r = 0;
-        for (; r + 4 <= width; r += 4) {
-          a0 += h[r] * wdata[r];
-          a1 += h[r + 1] * wdata[r + 1];
-          a2 += h[r + 2] * wdata[r + 2];
-          a3 += h[r + 3] * wdata[r + 3];
-        }
-        for (; r < width; ++r) a0 += h[r] * wdata[r];
-        next[0] += (a0 + a1) + (a2 + a3);
-      } else {
-        for (int r = 0; r < width; ++r) {
-          const float hr = h[r];
-          const float* wrow = wdata + static_cast<size_t>(r) * out_width;
-          for (int c = 0; c < out_width; ++c) next[c] += hr * wrow[c];
-        }
-      }
-      h.swap(next);
-      width = out_width;
-    }
-    float g0 = 0.f, g1 = 0.f;
-    int j = 0;
-    for (; j + 2 <= dim; j += 2) {
-      g0 += (u[j] * v[j]) * gmf_w[j];
-      g1 += (u[j + 1] * v[j + 1]) * gmf_w[j + 1];
-    }
-    for (; j < dim; ++j) g0 += (u[j] * v[j]) * gmf_w[j];
-    out[i] = h[0] + (gmf_bias + g0 + g1);
-  }
 }
 
 std::vector<float> ScoreEngine::ScoreCandidates(

@@ -109,14 +109,11 @@ class ScoreEngine {
 
   /// Scores items `ids[0..n)` of `target_domain` for the user row `u`
   /// into `out[0..n)`: blocked GEMMs of options_.item_block in kExact,
-  /// the fused allocation-free path in kFast.
+  /// the fused allocation-free path in kFast. Both paths delegate to the
+  /// row-independent kernels in serving/scoring_kernels.h (shared with
+  /// the sharded cluster snapshot).
   void ScoreIds(int target_domain, const float* u, const int* ids, int n,
                 float* out) const;
-
-  /// kFast inner loop: fused head evaluation from the precomputed item
-  /// partials, no per-pair heap allocation.
-  void FastScoreIds(int target_domain, const float* u, const float* u_first,
-                    const int* ids, int n, float* out) const;
 
   const ModelSnapshot* snapshot_;
   Options options_;

@@ -1,0 +1,154 @@
+#include "serving/scoring_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/matrix_ops.h"
+
+namespace nmcdr {
+namespace scoring {
+
+void ActivateInPlace(float* h, int n, ag::Activation act) {
+  switch (act) {
+    case ag::Activation::kNone:
+      return;
+    case ag::Activation::kRelu:
+      for (int j = 0; j < n; ++j) h[j] = h[j] > 0.f ? h[j] : 0.f;
+      return;
+    case ag::Activation::kSigmoid:
+      for (int j = 0; j < n; ++j) h[j] = 1.f / (1.f + std::exp(-h[j]));
+      return;
+    case ag::Activation::kTanh:
+      for (int j = 0; j < n; ++j) h[j] = std::tanh(h[j]);
+      return;
+  }
+}
+
+Matrix BuildItemFirst(const FrozenPredictionHead& head,
+                      const Matrix& item_reps) {
+  return AddRowBroadcast(MatMul(item_reps, head.w0_item), head.b0);
+}
+
+void UserFirstPartial(const FrozenPredictionHead& head, const float* u,
+                      float* u_first) {
+  const int dim = head.dim();
+  const int hidden = head.b0.cols();
+  std::fill(u_first, u_first + hidden, 0.f);
+  for (int k = 0; k < dim; ++k) {
+    const float uk = u[k];
+    if (uk == 0.f) continue;
+    const float* wrow = head.w0_user.row(k);
+    for (int j = 0; j < hidden; ++j) u_first[j] += uk * wrow[j];
+  }
+}
+
+void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
+                  const Matrix& item_first, const float* u,
+                  const float* u_first, const int* ids, int n, float* out) {
+  // Fused serving path: no Matrix temporaries, one scratch pair reused
+  // across candidates. Per pair only the first-layer add (precomputed
+  // item partials), the activation, and the tiny tail layers remain, so
+  // the cost is dominated by ~3 * hidden flops instead of the trainer's
+  // full 2 * dim * hidden first-layer GEMM plus tape bookkeeping.
+  const int dim = head.dim();
+  const int hidden = head.b0.cols();
+  const float* gmf_w = head.gmf_w.data();  // [dim, 1], contiguous
+  const float gmf_bias = head.gmf_b.data()[0];
+
+  int max_width = hidden;
+  for (const Matrix& w : head.w) max_width = std::max(max_width, w.cols());
+  std::vector<float> h(max_width), next(max_width);
+
+  for (int i = 0; i < n; ++i) {
+    const int item = ids[i];
+    const float* p = item_first.row(item);  // item partial + b0
+    const float* v = item_reps.row(item);
+    for (int j = 0; j < hidden; ++j) h[j] = u_first[j] + p[j];
+    int width = hidden;
+    for (size_t l = 0; l < head.w.size(); ++l) {
+      const Matrix& w = head.w[l];
+      const int out_width = w.cols();
+      const float* bias = head.b[l].data();
+      std::copy(bias, bias + out_width, next.data());
+      ActivateInPlace(h.data(), width, head.hidden_act);
+      const float* wdata = w.data();
+      if (out_width == 1) {
+        // Four independent accumulators break the serial float-add
+        // dependency chain (the compiler cannot reassociate it itself).
+        float a0 = 0.f, a1 = 0.f, a2 = 0.f, a3 = 0.f;
+        int r = 0;
+        for (; r + 4 <= width; r += 4) {
+          a0 += h[r] * wdata[r];
+          a1 += h[r + 1] * wdata[r + 1];
+          a2 += h[r + 2] * wdata[r + 2];
+          a3 += h[r + 3] * wdata[r + 3];
+        }
+        for (; r < width; ++r) a0 += h[r] * wdata[r];
+        next[0] += (a0 + a1) + (a2 + a3);
+      } else {
+        for (int r = 0; r < width; ++r) {
+          const float hr = h[r];
+          const float* wrow = wdata + static_cast<size_t>(r) * out_width;
+          for (int c = 0; c < out_width; ++c) next[c] += hr * wrow[c];
+        }
+      }
+      h.swap(next);
+      width = out_width;
+    }
+    float g0 = 0.f, g1 = 0.f;
+    int j = 0;
+    for (; j + 2 <= dim; j += 2) {
+      g0 += (u[j] * v[j]) * gmf_w[j];
+      g1 += (u[j + 1] * v[j + 1]) * gmf_w[j + 1];
+    }
+    for (; j < dim; ++j) g0 += (u[j] * v[j]) * gmf_w[j];
+    out[i] = h[0] + (gmf_bias + g0 + g1);
+  }
+}
+
+void ExactScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
+                   const float* u, const int* ids, int n, int item_block,
+                   float* out) {
+  const int dim = head.dim();
+  const int hidden = head.b0.cols();
+
+  // User-side first-layer partial, shared by every candidate row.
+  Matrix u_row(1, dim);
+  std::copy(u, u + dim, u_row.data());
+  const Matrix u_first = MatMul(u_row, head.w0_user);
+
+  std::vector<int> block_ids;
+  for (int begin = 0; begin < n; begin += item_block) {
+    const int count = std::min(item_block, n - begin);
+    block_ids.assign(ids + begin, ids + begin + count);
+    const Matrix item_rows = GatherRows(item_reps, block_ids);
+
+    // First MLP layer over the block: every row starts from the user
+    // partial; the item half is then accumulated on top via the same
+    // in-order GEMM as the trainer, keeping kExact bit-equal.
+    Matrix h0(count, hidden);
+    for (int i = 0; i < count; ++i) {
+      std::copy(u_first.data(), u_first.data() + hidden, h0.row(i));
+    }
+    MatMulAccumInto(item_rows, head.w0_item, &h0);
+
+    // Weighted product term, bit-equal to the trainer's Hadamard + GEMM:
+    // same products, same fused-add order.
+    Matrix gmf_dot(count, 1);
+    for (int i = 0; i < count; ++i) {
+      const float* v = item_rows.row(i);
+      float acc = 0.f;
+      for (int j = 0; j < dim; ++j) {
+        acc += (u[j] * v[j]) * head.gmf_w.At(j, 0);
+      }
+      gmf_dot.At(i, 0) = acc;
+    }
+
+    const Matrix logits = head.ForwardFromHidden(std::move(h0), gmf_dot);
+    for (int i = 0; i < count; ++i) out[begin + i] = logits.At(i, 0);
+  }
+}
+
+}  // namespace scoring
+}  // namespace nmcdr

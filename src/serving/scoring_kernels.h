@@ -1,0 +1,53 @@
+#ifndef NMCDR_SERVING_SCORING_KERNELS_H_
+#define NMCDR_SERVING_SCORING_KERNELS_H_
+
+#include "core/prediction.h"
+#include "tensor/matrix.h"
+
+namespace nmcdr {
+namespace scoring {
+
+/// Autograd-free scoring inner loops shared by ScoreEngine (monolithic
+/// snapshot) and cluster::ShardedSnapshot (partitioned tables). Both
+/// callers evaluate the SAME code over the SAME per-item rows, which is
+/// what makes sharded top-K bit-identical to single-snapshot top-K: every
+/// kernel here is row-independent — the score of item row i never depends
+/// on which other rows share the block or the shard.
+
+/// Activates h[0..n) in place; the dispatch happens once per call, not per
+/// element (the fast scoring loop is dominated by such per-scalar costs).
+void ActivateInPlace(float* h, int n, ag::Activation act);
+
+/// kFast precompute: item-side first-layer partials with the bias folded
+/// in, item_reps * w0_item + b0, [num_items, H]. Computed once per frozen
+/// table (per domain, or per shard slice of a domain — identical rows
+/// either way, MatMul is row-independent).
+Matrix BuildItemFirst(const FrozenPredictionHead& head,
+                      const Matrix& item_reps);
+
+/// kFast per-request precompute: the user-side first-layer partial
+/// u * w0_user into u_first[0..H), without Matrix temporaries.
+void UserFirstPartial(const FrozenPredictionHead& head, const float* u,
+                      float* u_first);
+
+/// kFast inner loop: fused head evaluation from the precomputed item
+/// partials, no per-pair heap allocation. `ids[0..n)` index rows of
+/// `item_reps` / `item_first` (local ids when scoring a shard slice);
+/// scores land in out[0..n). Scores differ from the exact path only by
+/// first-layer summation rounding.
+void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
+                  const Matrix& item_first, const float* u,
+                  const float* u_first, const int* ids, int n, float* out);
+
+/// kExact path: replays the trainer's kernel sequence over blocks of
+/// `item_block` candidates — user partial first, item half accumulated on
+/// top via the same in-order GEMM — so scores equal RecModel::Score to the
+/// last bit. `ids` index rows of `item_reps`.
+void ExactScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
+                   const float* u, const int* ids, int n, int item_block,
+                   float* out);
+
+}  // namespace scoring
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_SCORING_KERNELS_H_

@@ -449,6 +449,63 @@ TEST(GuardedByTest, EnumClassDoesNotConfuseClassParser) {
 }
 
 // ---------------------------------------------------------------------------
+// rcu-only-publish
+// ---------------------------------------------------------------------------
+
+TEST(RcuOnlyPublishTest, FiresOnAssignResetAndSwapInServing) {
+  EXPECT_EQ(CountRule(RunLint("src/serving/engine.cc",
+                          "void F() { snapshot_ = next; }\n"),
+                      "rcu-only-publish"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("src/serving/engine.cc",
+                          "void F() { current_snapshot_.reset(); }\n"),
+                      "rcu-only-publish"),
+            1);
+  EXPECT_EQ(CountRule(RunLint("src/serving/engine.cc",
+                          "void F() { snapshot_.swap(other); }\n"),
+                      "rcu-only-publish"),
+            1);
+}
+
+TEST(RcuOnlyPublishTest, AllowsReadsInitListsAndComparisons) {
+  EXPECT_EQ(CountRule(RunLint("src/serving/engine.cc",
+                          "Engine::Engine(const S* s) : snapshot_(s) {}\n"
+                          "int Engine::N() { return snapshot_->n(); }\n"
+                          "bool Engine::Same(const S* s) {\n"
+                          "  return snapshot_ == s && snapshot_ != nullptr;\n"
+                          "}\n"),
+                      "rcu-only-publish"),
+            0);
+}
+
+TEST(RcuOnlyPublishTest, IgnoresOtherMembersAndNonServingPaths) {
+  // snapshot_version continues as an identifier — unrelated field.
+  EXPECT_EQ(CountRule(RunLint("src/serving/engine.cc",
+                          "void F() { r.snapshot_version = v; }\n"),
+                      "rcu-only-publish"),
+            0);
+  EXPECT_EQ(CountRule(RunLint("src/core/engine.cc",
+                          "void F() { snapshot_ = next; }\n"),
+                      "rcu-only-publish"),
+            0);
+}
+
+TEST(RcuOnlyPublishTest, ExemptsRegistryAndHonorsAllow) {
+  EXPECT_EQ(
+      CountRule(RunLint("src/serving/cluster/snapshot_registry.cc",
+                    "void R::Publish(P next) { current_snapshot_ = next; }\n"),
+                "rcu-only-publish"),
+      0);
+  EXPECT_EQ(
+      CountRule(
+          RunLint("src/serving/engine.cc",
+              "void F() { snapshot_ = n; }  "
+              "// NMCDR_LINT_ALLOW(rcu-only-publish): test-only override\n"),
+          "rcu-only-publish"),
+      0);
+}
+
+// ---------------------------------------------------------------------------
 // include-layering / include-cycle
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,40 @@
+# Regression test for the nmcdr_serve --metrics-out flush contract: the
+# observability dump must be written on EVERY exit path, including early
+# failures. Drives the tool down its fastest failure path (--load-only
+# against a snapshot file that does not exist), then requires (1) a
+# non-zero exit and (2) a well-formed NMCDR_OBS_V1 dump on disk anyway.
+#
+# Invoked by the serve_flush_test CTest (tools/CMakeLists.txt) with:
+#   -DSERVE_BIN=<path to nmcdr_serve>
+#   -DWORK_DIR=<scratch directory for the dump and the missing snapshot>
+
+if(NOT DEFINED SERVE_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSERVE_BIN=... -DWORK_DIR=... -P check_serve_flush.cmake")
+endif()
+
+set(out_json "${WORK_DIR}/serve_flush_metrics.json")
+file(REMOVE "${out_json}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${SERVE_BIN}"
+          --load-only
+          --snapshot "${WORK_DIR}/does_not_exist.snapshot"
+          --metrics-out "${out_json}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+
+if(rc EQUAL 0)
+  message(FATAL_ERROR "nmcdr_serve unexpectedly succeeded loading a missing snapshot\nstdout: ${stdout}")
+endif()
+if(NOT EXISTS "${out_json}")
+  message(FATAL_ERROR "nmcdr_serve exited with ${rc} but did not flush --metrics-out on the failure path\nstdout: ${stdout}\nstderr: ${stderr}")
+endif()
+
+file(READ "${out_json}" dump)
+if(NOT dump MATCHES "NMCDR_OBS_V1")
+  message(FATAL_ERROR "flushed metrics dump is not a NMCDR_OBS_V1 document: ${out_json}")
+endif()
+
+message(STATUS "serve_flush_test passed: early-exit run (rc ${rc}) still flushed ${out_json}")

@@ -321,6 +321,57 @@ void CheckNakedNew(const SourceFile& f, std::vector<Diagnostic>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: rcu-only-publish
+// ---------------------------------------------------------------------------
+
+void CheckRcuOnlyPublish(const SourceFile& f, std::vector<Diagnostic>* out) {
+  // Snapshot pointers held by serving components are RCU-published state:
+  // every replacement must go through SnapshotRegistry::Publish so swaps
+  // stay atomic, versioned, and metered. Outside the registry itself, no
+  // serving code may assign, reset, or swap a `*snapshot_` member
+  // directly. Constructor init-lists (`snapshot_(...)`) and reads
+  // (`snapshot_->`, `*snapshot_`) stay legal.
+  if (!f.path.starts_with("src/serving/")) return;
+  if (f.path.starts_with("src/serving/cluster/snapshot_registry.")) return;
+  static const std::string kMember = "snapshot_";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    size_t pos = line.find(kMember);
+    bool flagged = false;
+    while (pos != std::string::npos && !flagged) {
+      const size_t end = pos + kMember.size();
+      // `snapshot_` must END an identifier here (snapshot_version etc.
+      // continue with word characters and are unrelated fields).
+      if (end < line.size() && IsWordChar(line[end])) {
+        pos = line.find(kMember, pos + 1);
+        continue;
+      }
+      size_t j = end;
+      while (j < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+        ++j;
+      }
+      const bool assigns =
+          j < line.size() && line[j] == '=' &&
+          (j + 1 >= line.size() || line[j + 1] != '=');
+      const bool mutates = line.compare(j, 7, ".reset(") == 0 ||
+                           line.compare(j, 6, ".swap(") == 0;
+      if (assigns || mutates) {
+        Add(f, i, "rcu-only-publish",
+            "direct mutation of snapshot pointer '" +
+                line.substr(pos, kMember.size()) +
+                "' outside src/serving/cluster/snapshot_registry.*; route "
+                "snapshot replacement through SnapshotRegistry::Publish so "
+                "swaps stay atomic, versioned, and refcounted",
+            out);
+        flagged = true;
+      }
+      pos = line.find(kMember, pos + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: guarded-by
 // ---------------------------------------------------------------------------
 
@@ -819,6 +870,7 @@ std::vector<Diagnostic> LintFile(const SourceFile& file) {
   CheckBannedChrono(file, &out);
   CheckIostreamHeader(file, &out);
   CheckNakedNew(file, &out);
+  CheckRcuOnlyPublish(file, &out);
   return out;
 }
 

@@ -41,6 +41,14 @@ namespace lint {
 ///                           in hot-path headers; use util/logging.h
 ///  [naked-new]              no naked new/delete — use smart pointers or
 ///                           containers (deleted special members are fine)
+///  [rcu-only-publish]       in src/serving/ (outside
+///                           src/serving/cluster/snapshot_registry.*), no
+///                           direct assignment / .reset() / .swap() of an
+///                           identifier ending in `snapshot_` — snapshot
+///                           pointers are RCU-published state and every
+///                           replacement must go through
+///                           SnapshotRegistry::Publish; init-lists
+///                           (`snapshot_(...)`) and reads stay legal
 ///  [guarded-by]             in src/serving headers, every std::mutex
 ///                           member must have // GUARDED_BY(mu) member
 ///                           annotations, every annotation must name a

@@ -6,6 +6,7 @@
 //               [--steps 600] [--dim 16] [--seed 7]
 //               [--snapshot model.snapshot] [--threads 4] [--batch 8]
 //               [--requests 400] [--k 10] [--mode exact|fast]
+//               [--shards N] [--layout layout.json]
 //               [--metrics-out metrics.json] [--profile]
 //
 // The tool prints the engine's usage counters and the server's latency /
@@ -16,12 +17,23 @@
 // scoring; defaults to NMCDR_THREADS or all cores) and the server's
 // concurrent drainer limit.
 //
+// --shards N serves through the sharded cluster runtime instead of the
+// monolithic InferenceServer: the snapshot is partitioned by a uniform
+// ShardLayout into N shards, published through a SnapshotRegistry, and
+// the request mix is driven through the ClusterServer's admission queue
+// (every 4th request in the batch class, the rest interactive).
+// --layout PATH loads a declarative NMCDR_SHARD_LAYOUT_V1 JSON instead
+// of the uniform split; it must Validate against the snapshot.
+//
 // --metrics-out PATH writes the full observability dump (schema
 // NMCDR_OBS_V1, src/obs/export.h): trainer epoch spans, per-kernel call
 // counts + FLOP estimates, scoring counters, and the serving latency
 // histogram with p50/p95/p99 (the server is bound to the global registry
-// here). --profile additionally enables per-op / per-kernel wall-clock
-// timing for this run.
+// here; the cluster path lands its cluster.* metrics the same way). The
+// dump is flushed on EVERY exit path, including early failures, so a
+// crashed run still leaves its partial metrics behind for diagnosis.
+// --profile additionally enables per-op / per-kernel wall-clock timing
+// for this run.
 
 #include <cstdio>
 #include <future>
@@ -34,6 +46,9 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "serving/cluster/cluster_server.h"
+#include "serving/cluster/shard_layout.h"
+#include "serving/cluster/sharded_snapshot.h"
 #include "serving/inference_server.h"
 #include "serving/model_snapshot.h"
 #include "serving/score_engine.h"
@@ -49,6 +64,34 @@ BenchScale ParseScale(const std::string& s) {
   if (s == "full") return BenchScale::kFull;
   return BenchScale::kSmall;
 }
+
+/// Flushes the --metrics-out dump on every exit path. The early `return
+/// 1` failure paths (unreadable snapshot, freeze/save errors) used to
+/// skip the flush, losing exactly the metrics needed to diagnose the
+/// failure; scope-exit semantics make skipping impossible. Call Flush()
+/// on the success path to surface write errors in the exit code; the
+/// destructor's flush is the best-effort backstop for everything else.
+class MetricsFlusher {
+ public:
+  explicit MetricsFlusher(std::string path) : path_(std::move(path)) {}
+  ~MetricsFlusher() {
+    if (!flushed_) Flush();
+  }
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  bool Flush() {
+    flushed_ = true;
+    if (path_.empty()) return true;
+    if (!obs::WriteJsonFile(path_)) return false;
+    std::printf("wrote metrics dump to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  bool flushed_ = false;
+};
 
 bool PresetByName(const std::string& name, BenchScale scale,
                   SyntheticScenarioSpec* spec) {
@@ -66,7 +109,7 @@ bool PresetByName(const std::string& name, BenchScale scale,
 int Run(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.GetBool("profile", false)) obs::SetProfilingEnabled(true);
-  const std::string metrics_out = flags.GetString("metrics-out", "");
+  MetricsFlusher metrics_flusher(flags.GetString("metrics-out", ""));
   if (flags.Has("threads")) {
     ThreadPool::SetSharedThreads(flags.GetInt("threads", 0));
   }
@@ -119,6 +162,81 @@ int Run(int argc, char** argv) {
   engine_options.mode = flags.GetString("mode", "fast") == "exact"
                             ? ScoreEngine::Mode::kExact
                             : ScoreEngine::Mode::kFast;
+
+  // Sharded cluster path: --shards and/or --layout route the same mixed
+  // request stream through ShardedSnapshot + SnapshotRegistry +
+  // ClusterServer instead of the monolithic engine. Results are
+  // bit-exact either way (per-item scores are row-independent); what
+  // changes is the execution shape — per-shard fan-out over the shared
+  // pool and class-aware admission.
+  const int num_shards = flags.GetInt("shards", 0);
+  const std::string layout_path = flags.GetString("layout", "");
+  if (num_shards > 0 || !layout_path.empty()) {
+    cluster::ShardLayout layout;
+    std::string error;
+    if (!layout_path.empty()) {
+      if (!cluster::ShardLayout::Load(layout_path, &layout, &error)) {
+        std::fprintf(stderr, "--layout %s: %s\n", layout_path.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      if (!layout.Validate(snapshot, &error)) {
+        std::fprintf(stderr, "--layout %s does not match the snapshot: %s\n",
+                     layout_path.c_str(), error.c_str());
+        return 2;
+      }
+    } else {
+      layout = cluster::ShardLayout::Uniform(snapshot, num_shards);
+    }
+    cluster::ShardedSnapshot::Options sharded_options;
+    sharded_options.mode = engine_options.mode;
+    const auto sharded = std::make_shared<const cluster::ShardedSnapshot>(
+        snapshot, layout, sharded_options);
+
+    cluster::ClusterServer::Options cluster_options;
+    cluster_options.num_threads = flags.GetInt("threads", 4);
+    cluster_options.max_batch = flags.GetInt("batch", 8);
+    cluster_options.metrics = &obs::MetricsRegistry::Global();
+    cluster::ClusterServer server(sharded, cluster_options);
+
+    const int num_requests = flags.GetInt("requests", 400);
+    const int k = flags.GetInt("k", 10);
+    std::vector<std::future<cluster::ClusterResponse>> futures;
+    futures.reserve(num_requests);
+    for (int i = 0; i < num_requests; ++i) {
+      cluster::ClusterRequest request;
+      request.cls = i % 4 == 1 ? cluster::RequestClass::kBatch
+                               : cluster::RequestClass::kInteractive;
+      if (i % 4 == 3 && snapshot.num_domains() >= 2) {
+        request.rec.target_domain = 0;
+        request.rec.user_domain = 1;
+      } else {
+        request.rec.target_domain = request.rec.user_domain =
+            i % snapshot.num_domains();
+      }
+      request.rec.user =
+          i % snapshot.domain(request.rec.user_domain).num_users();
+      request.rec.k = k;
+      futures.push_back(server.Submit(std::move(request)));
+    }
+    int64_t served = 0;
+    int64_t cold = 0;
+    for (auto& future : futures) {
+      const cluster::ClusterResponse response = future.get();
+      if (response.status != cluster::ClusterStatus::kOk) continue;
+      ++served;
+      if (response.rec.cold_start) ++cold;
+    }
+    server.Stop();
+    std::printf(
+        "\ncluster: served %lld/%d top-%d requests (%lld cold-start) over "
+        "%d shards, snapshot v%lld\n",
+        static_cast<long long>(served), num_requests, k,
+        static_cast<long long>(cold), layout.num_shards,
+        static_cast<long long>(server.last_observed_version()));
+    return metrics_flusher.Flush() ? 0 : 1;
+  }
+
   ScoreEngine engine(&snapshot, engine_options);
 
   InferenceServer::Options server_options;
@@ -162,11 +280,7 @@ int Run(int argc, char** argv) {
               static_cast<long long>(counters.requests),
               static_cast<long long>(counters.pairs_scored));
   std::printf("%s", server.stats().ToString().c_str());
-  if (!metrics_out.empty()) {
-    if (!obs::WriteJsonFile(metrics_out)) return 1;
-    std::printf("wrote metrics dump to %s\n", metrics_out.c_str());
-  }
-  return 0;
+  return metrics_flusher.Flush() ? 0 : 1;
 }
 
 }  // namespace
