@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace nmcdr {
 namespace obs {
 
@@ -139,14 +141,14 @@ class MetricsRegistry {
   /// Process-wide registry used by default instrumentation and exporters.
   static MetricsRegistry& Global();
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
+  Counter& GetCounter(const std::string& name) NMCDR_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) NMCDR_EXCLUDES(mu_);
   /// Returns the histogram registered under `name`, creating it with the
   /// given bucket boundaries (ascending upper bounds) if absent. The
   /// boundaries of an existing histogram are kept — first registration
   /// wins.
   Histogram& GetHistogram(const std::string& name,
-                          std::vector<double> boundaries);
+                          std::vector<double> boundaries) NMCDR_EXCLUDES(mu_);
   /// Histogram with DefaultLatencyBucketsMs().
   Histogram& GetLatencyHistogram(const std::string& name);
 
@@ -157,19 +159,24 @@ class MetricsRegistry {
 
   /// Scrape views, sorted by name. Pointers remain valid while the
   /// registry lives; values fold the shards at call time.
-  std::vector<std::pair<std::string, const Counter*>> Counters() const;
-  std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
-  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+  std::vector<std::pair<std::string, const Counter*>> Counters() const
+      NMCDR_EXCLUDES(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> Gauges() const
+      NMCDR_EXCLUDES(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const
+      NMCDR_EXCLUDES(mu_);
 
   /// Zeroes every metric, keeping registrations (references stay valid).
   /// Callers must ensure no concurrent writers (test / tool shutdown use).
-  void Reset();
+  void Reset() NMCDR_EXCLUDES(mu_);
 
  private:
+  /// Guards the name->metric maps only; the metric objects themselves are
+  /// sharded atomics and are written without this lock.
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;    // GUARDED_BY(mu_)
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;        // GUARDED_BY(mu_)
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;  // GUARDED_BY(mu_)
 };
 
 }  // namespace obs

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "serving/score_engine.h"
+#include "util/thread_annotations.h"
 
 namespace nmcdr {
 namespace cluster {
@@ -99,17 +100,18 @@ class AdmissionQueue {
   /// Enqueues `ticket`, or returns false when its class queue is at
   /// capacity (the ticket is handed back untouched for the caller to
   /// shed).
-  bool TryPush(AdmissionTicket* ticket);
+  bool TryPush(AdmissionTicket* ticket) NMCDR_EXCLUDES(mu_);
 
   /// Pops up to `max_batch` tickets in priority order (all interactive
   /// before any batch, FIFO within a class). Tickets found past their
   /// class deadline (enqueued_ns + deadline < now_ns) are moved to *shed
   /// instead and do not count toward max_batch.
   std::vector<AdmissionTicket> PopBatch(int max_batch, int64_t now_ns,
-                                        std::vector<AdmissionTicket>* shed);
+                                        std::vector<AdmissionTicket>* shed)
+      NMCDR_EXCLUDES(mu_);
 
-  int Depth(RequestClass cls) const;
-  int TotalDepth() const;
+  int Depth(RequestClass cls) const NMCDR_EXCLUDES(mu_);
+  int TotalDepth() const NMCDR_EXCLUDES(mu_);
 
   const AdmissionOptions& options() const { return options_; }
 

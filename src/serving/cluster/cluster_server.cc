@@ -89,11 +89,7 @@ std::future<ClusterResponse> ClusterServer::Submit(ClusterRequest request) {
     queue_depth_[c]->Set(static_cast<double>(
         admission_.Depth(static_cast<RequestClass>(c))));
     // Keep the invariant: a non-empty queue always has a drainer coming.
-    if (active_drainers_ < options_.num_threads &&
-        active_drainers_ < admission_.TotalDepth()) {
-      ++active_drainers_;
-      dispatch_drainer = true;
-    }
+    dispatch_drainer = TryReserveDrainerLocked(admission_.TotalDepth());
   }
   if (dispatch_drainer) {
     ThreadPool::Shared()->Submit([this] { DrainLoop(); });
@@ -169,6 +165,14 @@ void ClusterServer::DrainLoop() {
       batch[i].promise.set_value(std::move(response));
     }
   }
+}
+
+bool ClusterServer::TryReserveDrainerLocked(int queued) {
+  if (active_drainers_ >= options_.num_threads || active_drainers_ >= queued) {
+    return false;
+  }
+  ++active_drainers_;
+  return true;
 }
 
 int ClusterServer::active_drainers() const {

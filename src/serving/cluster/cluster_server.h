@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "serving/cluster/admission.h"
 #include "serving/cluster/snapshot_registry.h"
+#include "util/thread_annotations.h"
 
 namespace nmcdr {
 namespace cluster {
@@ -64,7 +65,8 @@ class ClusterServer {
   /// Admits or sheds `request`. The future always resolves (with a
   /// non-kOk status for shed/stopped requests) — no exceptions on the
   /// shedding path, so overload handling is branch, not unwind.
-  std::future<ClusterResponse> Submit(ClusterRequest request);
+  std::future<ClusterResponse> Submit(ClusterRequest request)
+      NMCDR_EXCLUDES(mu_);
 
   /// Publishes a new snapshot version while traffic keeps flowing;
   /// returns the new version. Thread-safe; callable from a pool task.
@@ -73,9 +75,9 @@ class ClusterServer {
   /// Drains every admitted request, waits for drainers to retire, then
   /// returns. Idempotent; Submit after Stop resolves with kStopped.
   /// Must not be called from inside a shared-pool task.
-  void Stop();
+  void Stop() NMCDR_EXCLUDES(mu_);
 
-  int active_drainers() const;
+  int active_drainers() const NMCDR_EXCLUDES(mu_);
 
   /// Highest snapshot version any completed batch has observed
   /// (monotone — asserted under TSan in cluster_test).
@@ -88,10 +90,17 @@ class ClusterServer {
   obs::MetricsRegistry& metrics_registry() const { return *metrics_; }
 
  private:
-  void DrainLoop();
+  void DrainLoop() NMCDR_EXCLUDES(mu_);
   /// Resolves a ticket's promise with a shed/stopped status and records
-  /// the per-class counter.
+  /// the per-class counter. Lock-agnostic: touches only promises and
+  /// sharded counters, so it is called both with and without mu_ held.
   void Shed(AdmissionTicket ticket, ClusterStatus status);
+
+  /// Reserves a drainer slot when `queued` admitted tickets justify one
+  /// (same invariant as InferenceServer). Returns true when the caller
+  /// must dispatch a DrainLoop task — after releasing mu_, never under
+  /// it.
+  bool TryReserveDrainerLocked(int queued) NMCDR_REQUIRES(mu_);
 
   Options options_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;

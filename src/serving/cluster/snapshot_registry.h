@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "serving/cluster/sharded_snapshot.h"
+#include "util/thread_annotations.h"
 
 namespace nmcdr {
 namespace cluster {
@@ -49,17 +50,18 @@ class SnapshotRegistry {
 
   /// Atomically installs `next` as the current snapshot and returns its
   /// version. Thread-safe against concurrent Acquire and Publish.
-  int64_t Publish(std::shared_ptr<const ShardedSnapshot> next);
+  int64_t Publish(std::shared_ptr<const ShardedSnapshot> next)
+      NMCDR_EXCLUDES(mu_);
 
   /// Returns the current snapshot (never null once one was published;
   /// null before that), filling `*version` (when non-null) with its
   /// version. The returned reference keeps the version alive until the
   /// caller drops it.
-  std::shared_ptr<const ShardedSnapshot> Acquire(
-      int64_t* version = nullptr) const;
+  std::shared_ptr<const ShardedSnapshot> Acquire(int64_t* version = nullptr)
+      const NMCDR_EXCLUDES(mu_);
 
   /// Version of the currently published snapshot (0 when none yet).
-  int64_t version() const;
+  int64_t version() const NMCDR_EXCLUDES(mu_);
 
  private:
   mutable std::mutex mu_;

@@ -89,11 +89,8 @@ std::future<Recommendation> InferenceServer::Submit(RecRequest request) {
     }
     // Keep the invariant: a non-empty queue always has a drainer coming.
     // Extra drainers (up to num_threads) add parallelism under load.
-    if (active_drainers_ < options_.num_threads &&
-        active_drainers_ < static_cast<int>(queue_.size())) {
-      ++active_drainers_;
-      dispatch_drainer = true;
-    }
+    dispatch_drainer =
+        TryReserveDrainerLocked(static_cast<int>(queue_.size()));
   }
   if (dispatch_drainer) {
     ThreadPool::Shared()->Submit([this] { DrainLoop(); });
@@ -166,6 +163,14 @@ void InferenceServer::DrainLoop() {
       batch[i].promise.set_value(results[i]);
     }
   }
+}
+
+bool InferenceServer::TryReserveDrainerLocked(int queued) {
+  if (active_drainers_ >= options_.num_threads || active_drainers_ >= queued) {
+    return false;
+  }
+  ++active_drainers_;
+  return true;
 }
 
 int InferenceServer::active_drainers() const {

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "serving/score_engine.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace nmcdr {
 
@@ -94,7 +95,7 @@ class InferenceServer {
   /// Enqueues a request; the future resolves once a drainer serves it.
   /// Cross-domain requests (user_domain != target_domain) route through
   /// the snapshot's person links, falling back to the cold-start path.
-  std::future<Recommendation> Submit(RecRequest request);
+  std::future<Recommendation> Submit(RecRequest request) NMCDR_EXCLUDES(mu_);
 
   /// Blocking same-domain convenience wrapper around Submit.
   Recommendation Recommend(int domain, int user, int k);
@@ -102,18 +103,18 @@ class InferenceServer {
   /// Serves every queued request, waits for all drainers to exit, then
   /// returns. Idempotent; Submit after Stop fails the returned future.
   /// Must not be called from inside a shared-pool task.
-  void Stop();
+  void Stop() NMCDR_EXCLUDES(mu_);
 
   /// Currently active drainer tasks (0 after Stop() by the class
   /// invariant — asserted in serving_engine_test).
-  int active_drainers() const;
+  int active_drainers() const NMCDR_EXCLUDES(mu_);
 
   /// Scrapes the registry into a ServerStats. Each field is individually
   /// exact; a scrape racing in-flight drainers may observe a request in
   /// one field but not yet another. After every submitted future has
   /// resolved the snapshot is fully consistent: drainers finish all
   /// bookkeeping before fulfilling promises.
-  ServerStats stats() const;
+  ServerStats stats() const NMCDR_EXCLUDES(mu_);
 
   /// The registry this server records into (the private one unless
   /// Options::metrics was set).
@@ -128,7 +129,13 @@ class InferenceServer {
 
   /// One drainer pass: repeatedly serve batches until the queue is empty,
   /// then retire (decrementing active_drainers_).
-  void DrainLoop();
+  void DrainLoop() NMCDR_EXCLUDES(mu_);
+
+  /// Reserves a drainer slot when `queued` requests justify one (the
+  /// non-empty-queue-has-a-drainer invariant, plus extra parallelism up
+  /// to num_threads). Returns true when the caller must dispatch a
+  /// DrainLoop task — after releasing mu_, never under it.
+  bool TryReserveDrainerLocked(int queued) NMCDR_REQUIRES(mu_);
 
   const ScoreEngine* engine_;
   Options options_;

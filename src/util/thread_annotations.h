@@ -1,0 +1,31 @@
+#ifndef NMCDR_UTIL_THREAD_ANNOTATIONS_H_
+#define NMCDR_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Thread-safety annotations for the static concurrency analyzer
+/// (`nmcdr_lint --concurrency`, rule [thread-annotation] — see
+/// tools/lint/lint.h). The macros expand to nothing: they exist so the
+/// locking contract of a method is written where the method is declared
+/// and is *checked*, tree-wide, by the lint pass instead of by code
+/// review.
+///
+///   NMCDR_REQUIRES(mu)  The caller must hold `mu` (a std::mutex member
+///                       of the same class). The analyzer verifies every
+///                       resolved call site holds it and that the body
+///                       does not re-lock it, and seeds the hold into the
+///                       lock-order graph.
+///   NMCDR_EXCLUDES(mu)  The method locks `mu` itself, so callers must
+///                       NOT hold it (self-deadlock). The analyzer flags
+///                       any resolved call site that holds `mu`.
+///
+/// Placement: between the declarator and the terminating ';' (or body):
+///
+///   bool TryReserveDrainerLocked(int queued) NMCDR_REQUIRES(mu_);
+///   void Submit(std::function<void()> task) NMCDR_EXCLUDES(mu_);
+///
+/// Mutex members stay documented with `// GUARDED_BY(mu_)` comments (rule
+/// [guarded-by]); these macros carry the per-method side of the contract.
+
+#define NMCDR_REQUIRES(...)
+#define NMCDR_EXCLUDES(...)
+
+#endif  // NMCDR_UTIL_THREAD_ANNOTATIONS_H_

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace nmcdr {
 
 /// The repo's single threading entry point: a fixed pool of workers behind
@@ -41,13 +43,13 @@ class ThreadPool {
 
   /// Tasks run so far (Submit tasks + ParallelFor chunks); for tests and
   /// stats.
-  int64_t tasks_executed() const;
+  int64_t tasks_executed() const NMCDR_EXCLUDES(mu_);
 
   /// Enqueues a fire-and-forget task. The task must not throw (an escaped
   /// exception terminates the process) and must not block waiting on a
   /// condition another pool task will signal — ParallelFor from inside a
   /// task is safe (it runs inline), open-ended waits are not.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) NMCDR_EXCLUDES(mu_);
 
   /// Splits [begin, end) into at most num_threads() contiguous chunks of
   /// at least `grain` iterations each (sizes differ by at most one) and
@@ -59,7 +61,8 @@ class ThreadPool {
   /// exception thrown by a chunk is rethrown on the calling thread after
   /// every chunk completed.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& fn);
+                   const std::function<void(int64_t, int64_t)>& fn)
+      NMCDR_EXCLUDES(mu_);
 
   /// The process-wide shared pool, started lazily on first use and sized
   /// by SetSharedThreads() if called earlier, else the NMCDR_THREADS
@@ -75,7 +78,7 @@ class ThreadPool {
   static int SharedThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() NMCDR_EXCLUDES(mu_);
 
   const int num_threads_;
   mutable std::mutex mu_;

@@ -1,0 +1,41 @@
+// thread-annotation fixture (firing), four shapes:
+//  1. an annotation naming a mutex the class does not declare,
+//  2. a NMCDR_REQUIRES(mu_) body re-locking mu_ (self-deadlock),
+//  3. a caller invoking a REQUIRES(mu_) method without holding mu_,
+//  4. a caller invoking an EXCLUDES(mu_) method while holding mu_.
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+class Gamma {
+ public:
+  void Caller();
+  void NeedsLock() NMCDR_REQUIRES(mu_);
+  void SelfLock() NMCDR_REQUIRES(mu_);
+  void TakesLock() NMCDR_EXCLUDES(mu_);
+  void Phantom() NMCDR_REQUIRES(ghost_mu_);
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+void Gamma::Caller() {
+  NeedsLock();
+  std::lock_guard<std::mutex> lock(mu_);
+  TakesLock();
+}
+
+void Gamma::NeedsLock() { ++value_; }
+
+void Gamma::SelfLock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++value_;
+}
+
+void Gamma::TakesLock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++value_;
+}
+
+void Gamma::Phantom() { ++value_; }

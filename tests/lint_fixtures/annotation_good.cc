@@ -1,0 +1,31 @@
+// thread-annotation fixture (passing): the same contract shapes as
+// annotation_bad.cc with every contract honored — the REQUIRES method is
+// called under the lock and never re-locks, the EXCLUDES method is
+// called without the lock.
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+class Delta {
+ public:
+  void Caller();
+  void NeedsLock() NMCDR_REQUIRES(mu_);
+  void TakesLock() NMCDR_EXCLUDES(mu_);
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+void Delta::Caller() {
+  TakesLock();
+  std::lock_guard<std::mutex> lock(mu_);
+  NeedsLock();
+}
+
+void Delta::NeedsLock() { ++value_; }
+
+void Delta::TakesLock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++value_;
+}

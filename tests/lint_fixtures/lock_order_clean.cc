@@ -1,0 +1,24 @@
+// lock-order fixture (passing): two mutexes always taken in the same
+// mu_ -> nu_ order, from two different functions. The graph has the
+// edge; there is no cycle.
+#include <mutex>
+
+class Mono {
+ public:
+  void First();
+  void Second();
+
+ private:
+  std::mutex mu_;
+  std::mutex nu_;
+};
+
+void Mono::First() {
+  std::lock_guard<std::mutex> outer(mu_);
+  std::lock_guard<std::mutex> inner(nu_);
+}
+
+void Mono::Second() {
+  std::lock_guard<std::mutex> outer(mu_);
+  std::lock_guard<std::mutex> inner(nu_);
+}

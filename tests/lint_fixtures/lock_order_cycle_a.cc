@@ -1,0 +1,24 @@
+// lock-order fixture (firing), file A of a two-file cycle: Alpha locks
+// its own mu_ and then calls into Beta (which locks Beta::mu_), while
+// lock_order_cycle_b.cc does the mirror image — Alpha::mu_ -> Beta::mu_
+// -> Alpha::mu_ is a potential deadlock.
+#include <mutex>
+
+class Beta;
+
+class Alpha {
+ public:
+  void LockA();
+  void CrossAB();
+
+ private:
+  Beta* peer_;
+  std::mutex mu_;
+};
+
+void Alpha::LockA() { std::lock_guard<std::mutex> lock(mu_); }
+
+void Alpha::CrossAB() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_->LockB();
+}

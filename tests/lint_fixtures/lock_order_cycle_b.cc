@@ -1,0 +1,23 @@
+// lock-order fixture (firing), file B: the mirror of
+// lock_order_cycle_a.cc — Beta locks Beta::mu_ then calls back into
+// Alpha::LockA, closing the Alpha::mu_ -> Beta::mu_ -> Alpha::mu_ cycle.
+#include <mutex>
+
+class Alpha;
+
+class Beta {
+ public:
+  void LockB();
+  void CrossBA();
+
+ private:
+  Alpha* peer_;
+  std::mutex mu_;
+};
+
+void Beta::LockB() { std::lock_guard<std::mutex> lock(mu_); }
+
+void Beta::CrossBA() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_->LockA();
+}

@@ -1,0 +1,26 @@
+// pool-blocking fixture (firing): Kick dispatches a ThreadPool task
+// while holding mu_, and the task (Work) both re-locks mu_ — the
+// dispatcher can deadlock against its own pool — and calls sleep_for,
+// blocking a shared pool thread.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+class Pooler {
+ public:
+  void Kick();
+  void Work();
+
+ private:
+  std::mutex mu_;
+};
+
+void Pooler::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadPool::Shared()->Submit([this] { Work(); });
+}
+
+void Pooler::Work() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -1,0 +1,27 @@
+// pool-blocking fixture (passing): the dispatch happens after the lock
+// scope closes, and the pool task locks mu_ briefly without blocking —
+// the retire/dispatch handshake pattern used by the real servers.
+#include <mutex>
+
+class Pooler {
+ public:
+  void Kick();
+  void Work();
+
+ private:
+  std::mutex mu_;
+  int pending_ = 0;
+};
+
+void Pooler::Kick() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  ThreadPool::Shared()->Submit([this] { Work(); });
+}
+
+void Pooler::Work() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_;
+}

@@ -1,0 +1,30 @@
+// rcu-read-scope fixture (firing): snapshots from Acquire() escape the
+// acquiring scope three ways — stored straight into a member, returned
+// as a raw .get() pointer, and copied from a local into a member.
+#include <memory>
+
+class Holder {
+ public:
+  void Keep();
+  const Snapshot* Raw();
+  void Leak();
+
+ private:
+  Registry registry_;
+  std::shared_ptr<const Snapshot> kept_;
+  std::shared_ptr<const Snapshot> cached_;
+};
+
+void Holder::Keep() {
+  kept_ = registry_.Acquire();
+}
+
+const Snapshot* Holder::Raw() {
+  std::shared_ptr<const Snapshot> snap = registry_.Acquire();
+  return snap.get();
+}
+
+void Holder::Leak() {
+  auto local = registry_.Acquire();
+  cached_ = local;
+}

@@ -1,0 +1,17 @@
+// rcu-read-scope fixture (passing): the snapshot from Acquire() stays
+// local to the acquiring scope — used for one batch, then dropped.
+#include <memory>
+
+class Reader {
+ public:
+  int Score();
+
+ private:
+  Registry registry_;
+};
+
+int Reader::Score() {
+  const std::shared_ptr<const Snapshot> snap = registry_.Acquire();
+  int total = snap->TopK();
+  return total;
+}

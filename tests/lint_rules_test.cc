@@ -4,6 +4,12 @@
 // runs the driver over the real tree.
 #include "tools/lint/lint.h"
 
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -612,6 +618,254 @@ TEST(IncludeCycleTest, QuietOnDiamondDag) {
       "#ifndef NMCDR_CORE_BASE_H_\n#define NMCDR_CORE_BASE_H_\n#endif\n");
   const auto diags = LintFileSet({top, l, r, base});
   EXPECT_EQ(CountRule(diags, "include-cycle"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency passes (fixture-driven)
+//
+// The fixtures live in tests/lint_fixtures/ (deliberate violations, never
+// compiled, skipped by the tree-wide driver). Each is read from disk and
+// re-pathed under a synthetic src/serving/ prefix so the concurrency
+// passes apply.
+// ---------------------------------------------------------------------------
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path =
+      std::string(NMCDR_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+SourceFile Fixture(const std::string& name) {
+  return Preprocess("src/serving/" + name, ReadFixture(name));
+}
+
+std::vector<Diagnostic> RunConcurrency(const std::vector<SourceFile>& files) {
+  LintOptions options;
+  options.concurrency = true;
+  return LintFileSet(files, options);
+}
+
+TEST(LockOrderTest, CycleAcrossTwoFilesReportsBothAcquisitionSites) {
+  const auto diags = RunConcurrency(
+      {Fixture("lock_order_cycle_a.cc"), Fixture("lock_order_cycle_b.cc")});
+  ASSERT_EQ(CountRule(diags, "lock-order"), 1);
+  for (const Diagnostic& d : diags) {
+    if (d.rule != "lock-order") continue;
+    EXPECT_NE(d.message.find("potential deadlock"), std::string::npos);
+    EXPECT_NE(d.message.find("Alpha::mu_"), std::string::npos);
+    EXPECT_NE(d.message.find("Beta::mu_"), std::string::npos);
+    // Both edges carry their acquisition sites, one in each file.
+    EXPECT_NE(d.message.find("src/serving/lock_order_cycle_a.cc"),
+              std::string::npos);
+    EXPECT_NE(d.message.find("src/serving/lock_order_cycle_b.cc"),
+              std::string::npos);
+  }
+}
+
+TEST(LockOrderTest, ConsistentOrderIsQuiet) {
+  const auto diags = RunConcurrency({Fixture("lock_order_clean.cc")});
+  EXPECT_EQ(CountRule(diags, "lock-order"), 0);
+}
+
+TEST(LockOrderTest, GraphExposesNodesAndEdges) {
+  LockOrderGraph graph = BuildLockOrderGraph({Fixture("lock_order_clean.cc")});
+  ASSERT_EQ(graph.nodes.size(), 2u);
+  EXPECT_EQ(graph.nodes[0], "Mono::mu_");
+  EXPECT_EQ(graph.nodes[1], "Mono::nu_");
+  ASSERT_EQ(graph.edges.size(), 1u);  // deduped across First/Second
+  EXPECT_EQ(graph.edges[0].from, "Mono::mu_");
+  EXPECT_EQ(graph.edges[0].to, "Mono::nu_");
+  const std::string dot = LockOrderDot(graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"Mono::mu_\" -> \"Mono::nu_\""), std::string::npos);
+  const std::string text = LockOrderText(graph);
+  EXPECT_NE(text.find("edge Mono::mu_ -> Mono::nu_"), std::string::npos);
+}
+
+TEST(LockOrderTest, ConcurrencyRulesNeedTheOptIn) {
+  // Without LintOptions::concurrency the same cycle is not reported.
+  const auto diags = LintFileSet(
+      {Fixture("lock_order_cycle_a.cc"), Fixture("lock_order_cycle_b.cc")});
+  EXPECT_EQ(CountRule(diags, "lock-order"), 0);
+}
+
+TEST(ThreadAnnotationTest, BadFixtureFiresEveryShape) {
+  const auto diags = RunConcurrency({Fixture("annotation_bad.cc")});
+  // Unknown mutex name, REQUIRES self-lock, REQUIRES caller without the
+  // lock, EXCLUDES caller with the lock.
+  ASSERT_EQ(CountRule(diags, "thread-annotation"), 4);
+  std::string all;
+  for (const Diagnostic& d : diags) all += d.message + "\n";
+  EXPECT_NE(all.find("ghost_mu_"), std::string::npos);
+  EXPECT_NE(all.find("self-deadlock"), std::string::npos);
+  EXPECT_NE(all.find("requires Gamma::mu_ held"), std::string::npos);
+  EXPECT_NE(all.find("with Gamma::mu_ held"), std::string::npos);
+}
+
+TEST(ThreadAnnotationTest, HonoredContractsAreQuiet) {
+  const auto diags = RunConcurrency({Fixture("annotation_good.cc")});
+  EXPECT_EQ(CountRule(diags, "thread-annotation"), 0);
+}
+
+TEST(RcuReadScopeTest, EscapesFire) {
+  const auto diags = RunConcurrency({Fixture("rcu_escape_bad.cc")});
+  // Direct member store, returned .get() pointer, local copied to member.
+  ASSERT_EQ(CountRule(diags, "rcu-read-scope"), 3);
+  std::string all;
+  for (const Diagnostic& d : diags) all += d.message + "\n";
+  EXPECT_NE(all.find("kept_"), std::string::npos);
+  EXPECT_NE(all.find("escapes via return"), std::string::npos);
+  EXPECT_NE(all.find("cached_"), std::string::npos);
+}
+
+TEST(RcuReadScopeTest, LocalScopedSnapshotIsQuiet) {
+  const auto diags = RunConcurrency({Fixture("rcu_scope_good.cc")});
+  EXPECT_EQ(CountRule(diags, "rcu-read-scope"), 0);
+}
+
+TEST(RcuReadScopeTest, OnlyAppliesUnderServing) {
+  // The same escaping code outside src/serving/ is not this rule's
+  // business (nothing there speaks the SnapshotRegistry protocol).
+  const auto diags = RunConcurrency(
+      {Preprocess("src/core/rcu_escape_bad.cc", ReadFixture("rcu_escape_bad.cc"))});
+  EXPECT_EQ(CountRule(diags, "rcu-read-scope"), 0);
+}
+
+TEST(PoolBlockingTest, BlockingAndDispatchHeldMutexFire) {
+  const auto diags = RunConcurrency({Fixture("pool_blocking_bad.cc")});
+  // sleep_for in pool-reachable code + re-lock of the dispatch-held mu_.
+  ASSERT_EQ(CountRule(diags, "pool-blocking"), 2);
+  std::string all;
+  for (const Diagnostic& d : diags) all += d.message + "\n";
+  EXPECT_NE(all.find("sleep_for"), std::string::npos);
+  EXPECT_NE(all.find("held around a ThreadPool dispatch"), std::string::npos);
+}
+
+TEST(PoolBlockingTest, DispatchOutsideLockIsQuiet) {
+  const auto diags = RunConcurrency({Fixture("pool_blocking_good.cc")});
+  EXPECT_EQ(CountRule(diags, "pool-blocking"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-rule NMCDR_LINT_ALLOW suppressions
+// ---------------------------------------------------------------------------
+
+TEST(MultiRuleAllowTest, CommaListSuppressesEachNamedRule) {
+  const auto diags = RunLint(
+      "src/a.cc",
+      "T* t = new T; assert(t);  "
+      "// NMCDR_LINT_ALLOW(naked-new, banned-assert): fixture\n");
+  EXPECT_EQ(CountRule(diags, "naked-new"), 0);
+  EXPECT_EQ(CountRule(diags, "banned-assert"), 0);
+}
+
+TEST(MultiRuleAllowTest, UnlistedRuleStillFires) {
+  const auto diags = RunLint(
+      "src/a.cc",
+      "T* t = new T; int r = rand();  "
+      "// NMCDR_LINT_ALLOW(naked-new, banned-assert): fixture\n");
+  EXPECT_EQ(CountRule(diags, "naked-new"), 0);
+  EXPECT_EQ(CountRule(diags, "banned-rand"), 1);
+}
+
+TEST(MultiRuleAllowTest, CommentBlockAboveSuppressesMultipleRules) {
+  const auto diags = RunLint(
+      "src/a.cc",
+      "// NMCDR_LINT_ALLOW(naked-new, banned-rand): seeded fixture\n"
+      "T* t = new T(rand());\n");
+  EXPECT_EQ(CountRule(diags, "naked-new"), 0);
+  EXPECT_EQ(CountRule(diags, "banned-rand"), 0);
+}
+
+TEST(MultiRuleAllowTest, SuppressesConcurrencyRules) {
+  std::string content = ReadFixture("pool_blocking_bad.cc");
+  const std::string needle = "std::this_thread::sleep_for";
+  const size_t pos = content.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const size_t line_start = content.rfind('\n', pos) + 1;
+  content.insert(line_start,
+                 "  // NMCDR_LINT_ALLOW(pool-blocking): fixture\n");
+  const auto diags =
+      RunConcurrency({Preprocess("src/serving/pool_blocking_bad.cc", content)});
+  // The sleep_for finding is suppressed; the dispatch-held re-lock stays.
+  EXPECT_EQ(CountRule(diags, "pool-blocking"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalogue + driver exit codes
+// ---------------------------------------------------------------------------
+
+TEST(ListRulesTest, CataloguesEveryRuleWithConcurrencyTail) {
+  const std::vector<RuleInfo>& rules = ListRules();
+  ASSERT_GE(rules.size(), 16u);
+  int concurrency = 0;
+  for (const RuleInfo& r : rules) {
+    EXPECT_FALSE(r.id.empty());
+    EXPECT_FALSE(r.summary.empty());
+    if (r.concurrency_only) ++concurrency;
+  }
+  EXPECT_EQ(concurrency, 4);
+  EXPECT_EQ(rules.back().id, "pool-blocking");
+  EXPECT_TRUE(rules.back().concurrency_only);
+}
+
+int RunDriver(const std::string& args) {
+  const std::string cmd =
+      std::string(NMCDR_LINT_BIN) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << cmd;
+  return WEXITSTATUS(status);
+}
+
+class DriverExitCodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("nmcdr_lint_exit_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_ / "src");
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    std::ofstream out(root_ / rel, std::ios::binary);
+    out << content;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(DriverExitCodeTest, CleanTreeExitsZero) {
+  WriteFile("src/ok.cc", "int x = 0;\n");
+  EXPECT_EQ(RunDriver(root_.string() + " src"), 0);
+  EXPECT_EQ(RunDriver("--concurrency " + root_.string() + " src"), 0);
+}
+
+TEST_F(DriverExitCodeTest, ViolationExitsOne) {
+  WriteFile("src/bad.cc", "void F() { assert(1 == 1); }\n");
+  EXPECT_EQ(RunDriver(root_.string() + " src"), 1);
+}
+
+TEST_F(DriverExitCodeTest, MissingDirectoryExitsTwo) {
+  EXPECT_EQ(RunDriver(root_.string() + " nope"), 2);
+}
+
+TEST_F(DriverExitCodeTest, UnknownFlagExitsTwo) {
+  EXPECT_EQ(RunDriver("--bogus"), 2);
+}
+
+TEST_F(DriverExitCodeTest, ListRulesExitsZero) {
+  EXPECT_EQ(RunDriver("--list-rules"), 0);
+}
+
+TEST_F(DriverExitCodeTest, FixtureDirectoriesAreSkipped) {
+  std::filesystem::create_directories(root_ / "src" / "lint_fixtures");
+  WriteFile("src/lint_fixtures/bad.cc", "void F() { assert(1 == 1); }\n");
+  EXPECT_EQ(RunDriver(root_.string() + " src"), 0);
 }
 
 }  // namespace

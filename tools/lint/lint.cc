@@ -1,20 +1,25 @@
+// Core of the nmcdr_lint analyzer: the lexer-lite Preprocess pass, the
+// shared token/scope helpers, the suppression machinery, and the
+// LintFile/LintFileSet drivers. The rules themselves live in per-pass
+// translation units: rules_text.cc (line/token rules + guarded-by),
+// rules_include.cc (include graph), rules_concurrency.cc (the four
+// concurrency passes).
 #include "tools/lint/lint.h"
 
 #include <cctype>
 #include <unordered_map>
 
+#include "tools/lint/lint_internal.h"
+
 namespace nmcdr {
 namespace lint {
-namespace {
+namespace internal {
 
 bool IsWordChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// Finds `tok` in `s` at a position where neither neighbor is a word
-/// character (so "rand" does not match inside "operand").
-size_t FindToken(const std::string& s, const std::string& tok,
-                 size_t from = 0) {
+size_t FindToken(const std::string& s, const std::string& tok, size_t from) {
   size_t pos = s.find(tok, from);
   while (pos != std::string::npos) {
     const bool left_ok = pos == 0 || !IsWordChar(s[pos - 1]);
@@ -30,8 +35,6 @@ bool HasToken(const std::string& s, const std::string& tok) {
   return FindToken(s, tok) != std::string::npos;
 }
 
-/// True when `tok` appears as a token immediately followed (modulo
-/// whitespace) by '(' — i.e. a call or function-like macro use.
 bool HasTokenCall(const std::string& s, const std::string& tok) {
   size_t pos = FindToken(s, tok);
   while (pos != std::string::npos) {
@@ -54,15 +57,36 @@ std::string Trimmed(const std::string& s) {
   return s.substr(b, e - b);
 }
 
-/// A suppression comment counts on the flagged line itself or anywhere in
-/// the contiguous comment-only block directly above it (the usual place
-/// for the justification sentence).
+namespace {
+
+/// True when `comment` carries an NMCDR_LINT_ALLOW whose comma-separated
+/// rule list contains `rule`.
+bool AllowMarkerMatches(const std::string& comment, const std::string& rule) {
+  static const std::string kMarker = "NMCDR_LINT_ALLOW(";
+  size_t pos = comment.find(kMarker);
+  while (pos != std::string::npos) {
+    const size_t open = pos + kMarker.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) return false;
+    // Split the parenthesized list on commas; each entry is one rule id.
+    size_t entry = open;
+    while (entry < close) {
+      size_t comma = comment.find(',', entry);
+      if (comma == std::string::npos || comma > close) comma = close;
+      if (Trimmed(comment.substr(entry, comma - entry)) == rule) return true;
+      entry = comma + 1;
+    }
+    pos = comment.find(kMarker, close);
+  }
+  return false;
+}
+
+}  // namespace
+
 bool Suppressed(const SourceFile& f, size_t line_idx,
                 const std::string& rule) {
-  const std::string marker = "NMCDR_LINT_ALLOW(" + rule + ")";
   const auto has_marker = [&](size_t i) {
-    return i < f.comments.size() &&
-           f.comments[i].find(marker) != std::string::npos;
+    return i < f.comments.size() && AllowMarkerMatches(f.comments[i], rule);
   };
   if (has_marker(line_idx)) return true;
   for (size_t i = line_idx; i > 0; --i) {
@@ -76,8 +100,6 @@ bool Suppressed(const SourceFile& f, size_t line_idx,
   return false;
 }
 
-/// Appends a diagnostic unless the line carries a matching
-/// NMCDR_LINT_ALLOW suppression comment.
 void Add(const SourceFile& f, size_t line_idx, const std::string& rule,
          std::string message, std::vector<Diagnostic>* out) {
   if (Suppressed(f, line_idx, rule)) return;
@@ -91,304 +113,6 @@ void Add(const SourceFile& f, size_t line_idx, const std::string& rule,
 
 bool IsHeader(const std::string& path) { return path.ends_with(".h"); }
 
-// ---------------------------------------------------------------------------
-// Rule: include-guard
-// ---------------------------------------------------------------------------
-
-void CheckIncludeGuard(const SourceFile& f, std::vector<Diagnostic>* out) {
-  if (!IsHeader(f.path)) return;
-  const std::string expected = ExpectedGuard(f.path);
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string line = Trimmed(f.code[i]);
-    if (!line.starts_with("#ifndef")) continue;
-    const std::string guard = Trimmed(line.substr(7));
-    if (guard != expected) {
-      Add(f, i, "include-guard",
-          "include guard '" + guard + "' does not match file path; expected '" +
-              expected + "'",
-          out);
-      return;
-    }
-    // The matching #define must follow on the next code-bearing line.
-    for (size_t j = i + 1; j < f.code.size(); ++j) {
-      const std::string next = Trimmed(f.code[j]);
-      if (next.empty()) continue;
-      if (Trimmed(next) != "#define " + expected &&
-          !(next.starts_with("#define") && Trimmed(next.substr(7)) == expected)) {
-        Add(f, j, "include-guard",
-            "#ifndef " + expected + " must be followed by #define " + expected,
-            out);
-      }
-      return;
-    }
-    return;
-  }
-  Add(f, 0, "include-guard", "header has no include guard; expected #ifndef " +
-                                 expected,
-      out);
-}
-
-// ---------------------------------------------------------------------------
-// Rule: using-namespace-header
-// ---------------------------------------------------------------------------
-
-void CheckUsingNamespace(const SourceFile& f, std::vector<Diagnostic>* out) {
-  if (!IsHeader(f.path)) return;
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const size_t u = FindToken(f.code[i], "using");
-    if (u == std::string::npos) continue;
-    const size_t ns = FindToken(f.code[i], "namespace", u);
-    if (ns == std::string::npos) continue;
-    // Only whitespace may separate the two tokens.
-    if (Trimmed(f.code[i].substr(u + 5, ns - (u + 5))).empty()) {
-      Add(f, i, "using-namespace-header",
-          "'using namespace' in a header leaks into every includer", out);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rules: banned-rand / banned-assert
-// ---------------------------------------------------------------------------
-
-void CheckBannedCalls(const SourceFile& f, std::vector<Diagnostic>* out) {
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    if (HasTokenCall(line, "rand") || HasTokenCall(line, "srand") ||
-        HasTokenCall(line, "rand_r")) {
-      Add(f, i, "banned-rand",
-          "rand()/srand() is non-reproducible global state; use "
-          "nmcdr::Rng (src/tensor/rng.h)",
-          out);
-    }
-    if (HasTokenCall(line, "assert")) {
-      Add(f, i, "banned-assert",
-          "assert() vanishes under NDEBUG; use NMCDR_CHECK* "
-          "(src/util/check.h), which stays armed in Release",
-          out);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: banned-thread
-// ---------------------------------------------------------------------------
-
-void CheckBannedThread(const SourceFile& f, std::vector<Diagnostic>* out) {
-  // The one sanctioned home of raw threads. Everything else goes through
-  // ThreadPool so thread count, shutdown order, and sanitizer coverage are
-  // decided in a single place.
-  if (f.path.starts_with("src/util/thread_pool.")) return;
-  static const std::string kThreadTypes[] = {"std::thread", "std::jthread"};
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    bool flagged = false;
-    for (const std::string& tok : kThreadTypes) {
-      // FindToken's word-boundary test works for qualified names too: ':'
-      // is not a word character, so "std::thread" neither matches inside
-      // "std::this_thread" nor needs special casing at its own edges.
-      size_t pos = FindToken(line, tok);
-      while (pos != std::string::npos && !flagged) {
-        // `std::thread::hardware_concurrency()` is a capability query, not
-        // a thread construction; a following "::" keeps it legal.
-        size_t j = pos + tok.size();
-        while (j < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
-          ++j;
-        }
-        if (!(j + 1 < line.size() && line[j] == ':' && line[j + 1] == ':')) {
-          Add(f, i, "banned-thread",
-              tok + " outside src/util/thread_pool.*; run work on "
-                    "ThreadPool::Shared() (Submit/ParallelFor) so thread "
-                    "count, shutdown, and sanitizer coverage stay "
-                    "centralized",
-              out);
-          flagged = true;
-        }
-        pos = FindToken(line, tok, pos + tok.size());
-      }
-      if (flagged) break;
-    }
-    if (!flagged && FindToken(line, "std::async") != std::string::npos) {
-      Add(f, i, "banned-thread",
-          "std::async outside src/util/thread_pool.*; it spawns unmanaged "
-          "threads with blocking-future semantics — use "
-          "ThreadPool::Shared()->Submit with a promise instead",
-          out);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: banned-chrono
-// ---------------------------------------------------------------------------
-
-void CheckBannedChrono(const SourceFile& f, std::vector<Diagnostic>* out) {
-  // Raw clock reads live in exactly two places: the observability layer
-  // (obs::NowNs) and util's Stopwatch. Everything else measures time
-  // through those, so every timing datum flows into one instrumentation
-  // pipeline and tests can reason about a single clock.
-  if (f.path.starts_with("src/obs/") || f.path.starts_with("src/util/")) {
-    return;
-  }
-  static const std::string kClockTypes[] = {"steady_clock", "system_clock",
-                                            "high_resolution_clock"};
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    for (const std::string& tok : kClockTypes) {
-      size_t pos = FindToken(line, tok);
-      bool flagged = false;
-      while (pos != std::string::npos && !flagged) {
-        // Only a `::now` use is a clock read; mentioning the type (say, in
-        // a time_point alias that never samples) is legal.
-        size_t j = pos + tok.size();
-        while (j < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
-          ++j;
-        }
-        size_t k = j + 2;
-        while (k < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[k])) != 0) {
-          ++k;
-        }
-        if (j + 1 < line.size() && line[j] == ':' && line[j + 1] == ':' &&
-            FindToken(line, "now", k) == k) {
-          Add(f, i, "banned-chrono",
-              "std::chrono::" + tok +
-                  "::now() outside src/obs/ and src/util/; measure time "
-                  "through obs::NowNs / ScopedTimer / TraceSpan "
-                  "(src/obs/) or Stopwatch (src/util/) so all timing "
-                  "flows through the observability layer",
-              out);
-          flagged = true;
-        }
-        pos = FindToken(line, tok, pos + tok.size());
-      }
-      if (flagged) break;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: iostream-header
-// ---------------------------------------------------------------------------
-
-void CheckIostreamHeader(const SourceFile& f, std::vector<Diagnostic>* out) {
-  if (!IsHeader(f.path) || !f.path.starts_with("src/")) return;
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string line = Trimmed(f.code[i]);
-    if (line.starts_with("#include") &&
-        line.find("<iostream>") != std::string::npos) {
-      Add(f, i, "iostream-header",
-          "<iostream> in a src/ header drags its static init and heavy "
-          "includes into every hot-path TU; use util/logging.h or move IO "
-          "into a .cc",
-          out);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: naked-new
-// ---------------------------------------------------------------------------
-
-void CheckNakedNew(const SourceFile& f, std::vector<Diagnostic>* out) {
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    if (HasToken(line, "new")) {
-      Add(f, i, "naked-new",
-          "naked new; use std::make_unique/std::make_shared or a container",
-          out);
-    }
-    size_t pos = FindToken(line, "delete");
-    while (pos != std::string::npos) {
-      // `= delete` (deleted special members) is not a deallocation.
-      size_t k = pos;
-      while (k > 0 &&
-             std::isspace(static_cast<unsigned char>(line[k - 1])) != 0) {
-        --k;
-      }
-      if (k == 0 || line[k - 1] != '=') {
-        Add(f, i, "naked-new",
-            "naked delete; ownership must live in a smart pointer or "
-            "container",
-            out);
-        break;
-      }
-      pos = FindToken(line, "delete", pos + 6);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: rcu-only-publish
-// ---------------------------------------------------------------------------
-
-void CheckRcuOnlyPublish(const SourceFile& f, std::vector<Diagnostic>* out) {
-  // Snapshot pointers held by serving components are RCU-published state:
-  // every replacement must go through SnapshotRegistry::Publish so swaps
-  // stay atomic, versioned, and metered. Outside the registry itself, no
-  // serving code may assign, reset, or swap a `*snapshot_` member
-  // directly. Constructor init-lists (`snapshot_(...)`) and reads
-  // (`snapshot_->`, `*snapshot_`) stay legal.
-  if (!f.path.starts_with("src/serving/")) return;
-  if (f.path.starts_with("src/serving/cluster/snapshot_registry.")) return;
-  static const std::string kMember = "snapshot_";
-  for (size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    size_t pos = line.find(kMember);
-    bool flagged = false;
-    while (pos != std::string::npos && !flagged) {
-      const size_t end = pos + kMember.size();
-      // `snapshot_` must END an identifier here (snapshot_version etc.
-      // continue with word characters and are unrelated fields).
-      if (end < line.size() && IsWordChar(line[end])) {
-        pos = line.find(kMember, pos + 1);
-        continue;
-      }
-      size_t j = end;
-      while (j < line.size() &&
-             std::isspace(static_cast<unsigned char>(line[j])) != 0) {
-        ++j;
-      }
-      const bool assigns =
-          j < line.size() && line[j] == '=' &&
-          (j + 1 >= line.size() || line[j + 1] != '=');
-      const bool mutates = line.compare(j, 7, ".reset(") == 0 ||
-                           line.compare(j, 6, ".swap(") == 0;
-      if (assigns || mutates) {
-        Add(f, i, "rcu-only-publish",
-            "direct mutation of snapshot pointer '" +
-                line.substr(pos, kMember.size()) +
-                "' outside src/serving/cluster/snapshot_registry.*; route "
-                "snapshot replacement through SnapshotRegistry::Publish so "
-                "swaps stay atomic, versioned, and refcounted",
-            out);
-        flagged = true;
-      }
-      pos = line.find(kMember, pos + 1);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: guarded-by
-// ---------------------------------------------------------------------------
-
-struct MutexMember {
-  std::string name;
-  size_t decl_line = 0;
-  int annotations = 0;
-};
-
-struct ClassRegion {
-  std::string name;
-  size_t begin = 0;  // line of the class token
-  size_t end = 0;    // line of the closing brace
-};
-
-/// Finds `class Foo { ... }` regions by brace matching over blanked code.
-/// `enum class` is skipped; forward declarations (';' before '{') too.
 std::vector<ClassRegion> FindClasses(const SourceFile& f) {
   std::vector<ClassRegion> regions;
   for (size_t i = 0; i < f.code.size(); ++i) {
@@ -437,128 +161,6 @@ std::vector<ClassRegion> FindClasses(const SourceFile& f) {
   return regions;
 }
 
-std::string ExtractGuardedByTarget(const std::string& comment) {
-  const size_t pos = comment.find("GUARDED_BY(");
-  if (pos == std::string::npos) return "";
-  const size_t open = pos + 11;
-  const size_t close = comment.find(')', open);
-  if (close == std::string::npos) return "";
-  return Trimmed(comment.substr(open, close - open));
-}
-
-bool LineLocksMutex(const std::string& code, const std::string& mutex_name) {
-  if (!HasToken(code, mutex_name)) return false;
-  if (HasToken(code, "lock_guard") || HasToken(code, "unique_lock") ||
-      HasToken(code, "scoped_lock")) {
-    return true;
-  }
-  return code.find(mutex_name + ".lock()") != std::string::npos;
-}
-
-void CheckGuardedBy(const std::vector<SourceFile>& files,
-                    std::vector<Diagnostic>* out) {
-  std::unordered_map<std::string, const SourceFile*> by_path;
-  for (const SourceFile& f : files) by_path[f.path] = &f;
-
-  for (const SourceFile& f : files) {
-    if (!f.path.starts_with("src/serving/") || !IsHeader(f.path)) continue;
-    const SourceFile* impl = nullptr;
-    const auto it = by_path.find(f.path.substr(0, f.path.size() - 2) + ".cc");
-    if (it != by_path.end()) impl = it->second;
-
-    for (const ClassRegion& region : FindClasses(f)) {
-      std::vector<MutexMember> mutexes;
-      for (size_t i = region.begin; i <= region.end; ++i) {
-        const size_t pos = f.code[i].find("std::mutex");
-        if (pos == std::string::npos) continue;
-        size_t p = pos + 10;
-        while (p < f.code[i].size() &&
-               std::isspace(static_cast<unsigned char>(f.code[i][p])) != 0) {
-          ++p;
-        }
-        size_t q = p;
-        while (q < f.code[i].size() && IsWordChar(f.code[i][q])) ++q;
-        if (q > p) mutexes.push_back({f.code[i].substr(p, q - p), i, 0});
-      }
-
-      for (size_t i = region.begin; i <= region.end; ++i) {
-        const std::string target = ExtractGuardedByTarget(f.comments[i]);
-        if (target.empty()) continue;
-        bool known = false;
-        for (MutexMember& m : mutexes) {
-          if (m.name == target) {
-            ++m.annotations;
-            known = true;
-          }
-        }
-        if (!known) {
-          Add(f, i, "guarded-by",
-              "GUARDED_BY(" + target + ") in class " + region.name +
-                  " names no std::mutex member of that class",
-              out);
-        }
-      }
-
-      for (const MutexMember& m : mutexes) {
-        if (m.annotations == 0) {
-          Add(f, m.decl_line, "guarded-by",
-              "std::mutex member '" + m.name + "' of serving class " +
-                  region.name +
-                  " has no GUARDED_BY member annotations; document what it "
-                  "protects",
-              out);
-          continue;
-        }
-        bool locked = false;
-        for (size_t i = region.begin; i <= region.end && !locked; ++i) {
-          locked = LineLocksMutex(f.code[i], m.name);
-        }
-        if (impl != nullptr) {
-          for (size_t i = 0; i < impl->code.size() && !locked; ++i) {
-            locked = LineLocksMutex(impl->code[i], m.name);
-          }
-        }
-        if (!locked) {
-          Add(f, m.decl_line, "guarded-by",
-              "mutex '" + m.name + "' of serving class " + region.name +
-                  " carries GUARDED_BY annotations but is never locked in " +
-                  f.path + (impl != nullptr ? " or its .cc" : ""),
-              out);
-        }
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rules: include-layering / include-cycle
-// ---------------------------------------------------------------------------
-
-/// Declared module layering over src/ subdirectories. An #include edge is
-/// legal when the includer's rank is >= the includee's rank (equal ranks
-/// form one layer; file-level cycles inside a layer are caught by the
-/// separate cycle rule). Derived from the dependency order
-///   util -> {obs, tensor} -> {autograd, graph} -> data -> core ->
-///   {baselines, eval} -> train -> {analysis, serving, verify}.
-/// obs sits beside tensor (above util only) so the kernel dispatchers can
-/// open KernelScopes while obs itself stays dependency-free.
-int ModuleRank(const std::string& module) {
-  static const std::unordered_map<std::string, int> kRanks = {
-      {"util", 0},      {"obs", 1},    {"tensor", 1},
-      {"autograd", 2},  {"graph", 2},
-      {"data", 3},      {"core", 4},   {"baselines", 5}, {"eval", 5},
-      {"train", 6},     {"analysis", 7}, {"serving", 7}, {"verify", 7},
-  };
-  const auto it = kRanks.find(module);
-  return it == kRanks.end() ? -1 : it->second;
-}
-
-/// One quoted #include directive found in a file.
-struct IncludeEdge {
-  size_t line = 0;      // 0-based line of the directive
-  std::string target;   // path as written between the quotes
-};
-
 std::vector<IncludeEdge> ExtractIncludes(const SourceFile& f) {
   std::vector<IncludeEdge> edges;
   for (size_t i = 0; i < f.code.size(); ++i) {
@@ -573,8 +175,6 @@ std::vector<IncludeEdge> ExtractIncludes(const SourceFile& f) {
   return edges;
 }
 
-/// Module of a src/ path ("src/train/registry.h" -> "train"); "" for
-/// paths outside src/.
 std::string SrcModule(const std::string& path) {
   if (!path.starts_with("src/")) return "";
   const size_t slash = path.find('/', 4);
@@ -582,9 +182,6 @@ std::string SrcModule(const std::string& path) {
   return path.substr(4, slash - 4);
 }
 
-/// Resolves a quoted include against the file set: project includes are
-/// rooted at src/ (every library adds src/ as an include dir), tool and
-/// test includes at the repo root. Returns "" for external headers.
 std::string ResolveInclude(
     const std::string& target,
     const std::unordered_map<std::string, const SourceFile*>& by_path) {
@@ -594,124 +191,15 @@ std::string ResolveInclude(
   return "";
 }
 
-void CheckIncludeLayering(const std::vector<SourceFile>& files,
-                          std::vector<Diagnostic>* out) {
-  std::unordered_map<std::string, const SourceFile*> by_path;
-  for (const SourceFile& f : files) by_path[f.path] = &f;
-  for (const SourceFile& f : files) {
-    const std::string from_module = SrcModule(f.path);
-    if (from_module.empty()) continue;
-    const int from_rank = ModuleRank(from_module);
-    for (const IncludeEdge& e : ExtractIncludes(f)) {
-      const std::string resolved = ResolveInclude(e.target, by_path);
-      const std::string to_module = SrcModule(resolved);
-      if (to_module.empty() || to_module == from_module) continue;
-      const int to_rank = ModuleRank(to_module);
-      if (from_rank < 0) {
-        Add(f, e.line, "include-layering",
-            "module '" + from_module +
-                "' has no declared layer; add it to ModuleRank in "
-                "tools/lint/lint.cc",
-            out);
-        break;  // one finding per undeclared module is enough
-      }
-      if (to_rank < 0) {
-        Add(f, e.line, "include-layering",
-            "included module '" + to_module +
-                "' has no declared layer; add it to ModuleRank in "
-                "tools/lint/lint.cc",
-            out);
-        continue;
-      }
-      if (from_rank < to_rank) {
-        Add(f, e.line, "include-layering",
-            "src/" + from_module + " (layer " + std::to_string(from_rank) +
-                ") must not include src/" + to_module + " (layer " +
-                std::to_string(to_rank) +
-                "); declared order: util -> {obs, tensor} -> "
-                "{autograd, graph} -> data -> core -> {baselines, eval} -> "
-                "train -> {analysis, serving, verify}",
-            out);
-      }
-    }
-  }
-}
-
-void CheckIncludeCycles(const std::vector<SourceFile>& files,
-                        std::vector<Diagnostic>* out) {
-  std::unordered_map<std::string, const SourceFile*> by_path;
-  for (const SourceFile& f : files) by_path[f.path] = &f;
-
-  // File-level include DAG restricted to files in the set.
-  std::unordered_map<std::string, std::vector<std::string>> graph;
-  std::unordered_map<std::string, size_t> first_include_line;
-  for (const SourceFile& f : files) {
-    for (const IncludeEdge& e : ExtractIncludes(f)) {
-      const std::string resolved = ResolveInclude(e.target, by_path);
-      if (resolved.empty() || resolved == f.path) continue;
-      graph[f.path].push_back(resolved);
-      if (first_include_line.count(f.path) == 0) {
-        first_include_line[f.path] = e.line;
-      }
-    }
-  }
-
-  // Iterative three-color DFS; a back edge closes a cycle, reported once
-  // with the full path along the DFS stack.
-  enum class Color { kWhite, kGray, kBlack };
-  std::unordered_map<std::string, Color> color;
-  std::vector<std::string> order;
-  order.reserve(files.size());
-  for (const SourceFile& f : files) order.push_back(f.path);
-
-  for (const std::string& root : order) {
-    if (color[root] != Color::kWhite) continue;
-    struct Frame {
-      std::string node;
-      size_t next = 0;
-    };
-    std::vector<Frame> stack;
-    stack.push_back({root});
-    color[root] = Color::kGray;
-    while (!stack.empty()) {
-      Frame& frame = stack.back();
-      const std::vector<std::string>& next = graph[frame.node];
-      if (frame.next >= next.size()) {
-        color[frame.node] = Color::kBlack;
-        stack.pop_back();
-        continue;
-      }
-      const std::string& child = next[frame.next++];
-      if (color[child] == Color::kWhite) {
-        color[child] = Color::kGray;
-        stack.push_back({child});
-      } else if (color[child] == Color::kGray) {
-        // Cycle: child .. stack.back() .. child.
-        std::string chain = child;
-        size_t start = 0;
-        for (size_t i = 0; i < stack.size(); ++i) {
-          if (stack[i].node == child) start = i;
-        }
-        for (size_t i = start + 1; i < stack.size(); ++i) {
-          chain += " -> " + stack[i].node;
-        }
-        chain += " -> " + child;
-        const SourceFile* f = by_path.at(child);
-        Add(*f, first_include_line.count(child) ? first_include_line[child] : 0,
-            "include-cycle", "#include cycle: " + chain, out);
-        color[child] = Color::kBlack;  // report each cycle entry once
-      }
-    }
-  }
-}
-
-}  // namespace
+}  // namespace internal
 
 std::string Diagnostic::ToString() const {
   return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
 }
 
 SourceFile Preprocess(std::string path, const std::string& content) {
+  using internal::IsWordChar;
+  using internal::Trimmed;
   SourceFile f;
   f.path = std::move(path);
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
@@ -853,7 +341,7 @@ std::string ExpectedGuard(const std::string& path) {
   if (p.starts_with("src/")) p = p.substr(4);
   std::string guard = "NMCDR_";
   for (const char c : p) {
-    guard += IsWordChar(c)
+    guard += internal::IsWordChar(c)
                  ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
                  : '_';
   }
@@ -863,27 +351,67 @@ std::string ExpectedGuard(const std::string& path) {
 
 std::vector<Diagnostic> LintFile(const SourceFile& file) {
   std::vector<Diagnostic> out;
-  CheckIncludeGuard(file, &out);
-  CheckUsingNamespace(file, &out);
-  CheckBannedCalls(file, &out);
-  CheckBannedThread(file, &out);
-  CheckBannedChrono(file, &out);
-  CheckIostreamHeader(file, &out);
-  CheckNakedNew(file, &out);
-  CheckRcuOnlyPublish(file, &out);
+  internal::CheckTextRules(file, &out);
   return out;
 }
 
 std::vector<Diagnostic> LintFileSet(const std::vector<SourceFile>& files) {
+  return LintFileSet(files, LintOptions());
+}
+
+std::vector<Diagnostic> LintFileSet(const std::vector<SourceFile>& files,
+                                    const LintOptions& options) {
   std::vector<Diagnostic> out;
   for (const SourceFile& f : files) {
     std::vector<Diagnostic> d = LintFile(f);
     out.insert(out.end(), d.begin(), d.end());
   }
-  CheckGuardedBy(files, &out);
-  CheckIncludeLayering(files, &out);
-  CheckIncludeCycles(files, &out);
+  internal::CheckGuardedBy(files, &out);
+  internal::CheckIncludeRules(files, &out);
+  if (options.concurrency) internal::CheckConcurrency(files, &out);
   return out;
+}
+
+const std::vector<RuleInfo>& ListRules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"include-guard", "header guards must derive from the file path",
+       false},
+      {"using-namespace-header", "no `using namespace` in headers", false},
+      {"banned-rand", "no rand()/srand(); use tensor/rng.h", false},
+      {"banned-assert", "no assert(); use NMCDR_CHECK*", false},
+      {"banned-thread",
+       "no std::thread/std::async outside src/util/thread_pool.*", false},
+      {"banned-chrono",
+       "no raw clock reads outside src/obs/ and src/util/", false},
+      {"iostream-header", "no <iostream> in src/ headers", false},
+      {"naked-new", "no naked new/delete", false},
+      {"rcu-only-publish",
+       "snapshot pointer replacement only via SnapshotRegistry::Publish",
+       false},
+      {"guarded-by",
+       "mutex members in concurrent headers need checked GUARDED_BY "
+       "annotations",
+       false},
+      {"include-layering", "src/ module includes must respect the declared "
+                           "layer order", false},
+      {"include-cycle", "the quoted-#include graph must be acyclic", false},
+      {"lock-order",
+       "the acquires-while-holding graph over all lock sites must be "
+       "acyclic (potential deadlock)",
+       true},
+      {"thread-annotation",
+       "NMCDR_REQUIRES/NMCDR_EXCLUDES must name declared mutexes and hold "
+       "at call sites / lock scopes",
+       true},
+      {"rcu-read-scope",
+       "a snapshot acquired from a SnapshotRegistry must not escape the "
+       "acquiring scope",
+       true},
+      {"pool-blocking",
+       "pool-reachable code must not block or take dispatch-held mutexes",
+       true},
+  };
+  return kRules;
 }
 
 }  // namespace lint

@@ -11,10 +11,13 @@ namespace lint {
 /// repo's invariants over src/, tests/, tools/, and bench/. It is not a
 /// compiler front-end: a lexer-lite pass blanks comments and string
 /// literals while preserving line structure, and line/token-level rules
-/// run over the result. Registered as the `lint_test` CTest, so `ctest`
-/// fails on any violation.
+/// run over the result. A scope-tracking scanner (rules_concurrency.cc)
+/// additionally recovers brace nesting, lambda bodies, function
+/// definitions, and lock scopes for the concurrency passes. Registered as
+/// the `lint_test` / `concurrency_lint_test` CTests, so `ctest` fails on
+/// any violation.
 ///
-/// Rules (rule ids in brackets):
+/// Always-on rules (rule ids in brackets):
 ///  [include-guard]          header guards must derive from the file path
 ///                           (src/util/check.h -> NMCDR_UTIL_CHECK_H_)
 ///  [using-namespace-header] no `using namespace` at any scope in headers
@@ -49,11 +52,13 @@ namespace lint {
 ///                           replacement must go through
 ///                           SnapshotRegistry::Publish; init-lists
 ///                           (`snapshot_(...)`) and reads stay legal
-///  [guarded-by]             in src/serving headers, every std::mutex
-///                           member must have // GUARDED_BY(mu) member
-///                           annotations, every annotation must name a
-///                           declared mutex, and the annotated mutex must
-///                           actually be locked in the class's files
+///  [guarded-by]             in mutex-bearing headers (src/serving/**,
+///                           src/util/thread_pool.h, src/obs/metrics.h),
+///                           every std::mutex member must have
+///                           // GUARDED_BY(mu) member annotations, every
+///                           annotation must name a declared mutex, and
+///                           the annotated mutex must actually be locked
+///                           in the class's files
 ///  [include-layering]       src/ modules form layers (util ->
 ///                           {obs, tensor} -> {autograd, graph} -> data ->
 ///                           core -> {baselines, eval} -> train ->
@@ -63,8 +68,44 @@ namespace lint {
 ///  [include-cycle]          the quoted-#include graph over the linted
 ///                           file set must be acyclic (file-level)
 ///
+/// Concurrency rules (LintOptions::concurrency / `nmcdr_lint
+/// --concurrency` / `nmcdr_racecheck`), applied to src/ files:
+///  [lock-order]             the acquires-while-holding graph over every
+///                           std::lock_guard / unique_lock / scoped_lock
+///                           site (including lock acquisitions implied by
+///                           calling a method whose body locks, and holds
+///                           implied by NMCDR_REQUIRES) must be acyclic;
+///                           a cycle is a potential deadlock and is
+///                           reported with the file:line of every edge's
+///                           two acquisition sites
+///  [thread-annotation]      NMCDR_REQUIRES(mu) / NMCDR_EXCLUDES(mu)
+///                           function annotations
+///                           (src/util/thread_annotations.h) must name a
+///                           declared mutex member; a REQUIRES(mu) body
+///                           must not re-lock mu (self-deadlock) and its
+///                           same-class callers must hold mu; an
+///                           EXCLUDES(mu) method must not be called with
+///                           mu held
+///  [rcu-read-scope]         in src/serving/, a snapshot acquired from a
+///                           SnapshotRegistry (Acquire()) must not escape
+///                           the acquiring scope: no stores of the
+///                           shared_ptr or its .get() raw pointer into
+///                           members/globals/statics, no returning the
+///                           raw pointer — hardening [rcu-only-publish]
+///  [pool-blocking]          code reachable from ThreadPool dispatch
+///                           lambdas (Submit / ParallelFor bodies and the
+///                           methods they call) must not call blocking
+///                           primitives (sleep_for / sleep_until /
+///                           wait / wait_for / wait_until) outside
+///                           src/util/, and must not acquire a mutex that
+///                           is elsewhere held around a ThreadPool
+///                           dispatch (lock-holder waiting on a pool that
+///                           needs the lock)
+///
 /// A violation on a line carrying a comment `NMCDR_LINT_ALLOW(rule-id):
-/// reason` is suppressed; use sparingly (intentional leaky singletons).
+/// reason` is suppressed; a comma-separated list suppresses several rules
+/// on one line (`NMCDR_LINT_ALLOW(naked-new, banned-thread): reason`).
+/// Use sparingly (intentional leaky singletons).
 
 /// One finding.
 struct Diagnostic {
@@ -93,12 +134,65 @@ SourceFile Preprocess(std::string path, const std::string& content);
 /// suffix '_' ("tests/test_util.h" -> "NMCDR_TESTS_TEST_UTIL_H_").
 std::string ExpectedGuard(const std::string& path);
 
-/// Per-file rules (everything except the cross-file guarded-by rule).
+/// Which rule families LintFileSet runs.
+struct LintOptions {
+  /// Adds the four concurrency passes (lock-order, thread-annotation,
+  /// rcu-read-scope, pool-blocking) on top of the always-on rules.
+  bool concurrency = false;
+};
+
+/// Per-file rules (everything except the cross-file rules).
 std::vector<Diagnostic> LintFile(const SourceFile& file);
 
-/// All rules over a file set, including guarded-by, which cross-checks a
-/// serving header's annotations against lock sites in its sibling .cc.
+/// All always-on rules over a file set, including guarded-by and the
+/// include-graph rules.
 std::vector<Diagnostic> LintFileSet(const std::vector<SourceFile>& files);
+
+/// All rules selected by `options` over a file set.
+std::vector<Diagnostic> LintFileSet(const std::vector<SourceFile>& files,
+                                    const LintOptions& options);
+
+/// One registered rule, for --list-rules.
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+  bool concurrency_only = false;
+};
+
+/// Every rule id the analyzer knows, in stable (registration) order.
+const std::vector<RuleInfo>& ListRules();
+
+/// One acquires-while-holding edge: `to` was acquired at to_file:to_line
+/// while `from` (acquired at from_file:from_line) was held. `via` names
+/// the callee for call-implied edges ("" for textual nesting).
+struct LockOrderEdge {
+  std::string from;
+  std::string to;
+  std::string from_file;
+  int from_line = 0;
+  std::string to_file;
+  int to_line = 0;
+  std::string via;
+};
+
+/// The tree-wide lock-order graph (nodes are class-qualified mutex
+/// identities like "ClusterServer::mu_").
+struct LockOrderGraph {
+  std::vector<std::string> nodes;
+  std::vector<LockOrderEdge> edges;
+};
+
+/// Builds the acquires-while-holding graph over src/ files in the set —
+/// the artifact behind the [lock-order] rule, exposed for nmcdr_racecheck
+/// reports.
+LockOrderGraph BuildLockOrderGraph(const std::vector<SourceFile>& files);
+
+/// Graphviz rendering of the lock-order graph (one edge per unique
+/// from->to pair, labeled with its first acquisition site).
+std::string LockOrderDot(const LockOrderGraph& graph);
+
+/// Human-readable rendering: every node, then every edge with both sites.
+std::string LockOrderText(const LockOrderGraph& graph);
 
 }  // namespace lint
 }  // namespace nmcdr

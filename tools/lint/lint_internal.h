@@ -1,0 +1,101 @@
+#ifndef NMCDR_TOOLS_LINT_LINT_INTERNAL_H_
+#define NMCDR_TOOLS_LINT_LINT_INTERNAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+// Shared machinery for the per-pass rule translation units
+// (rules_text.cc, rules_include.cc, rules_concurrency.cc). Everything here
+// operates on the blanked SourceFile representation produced by
+// Preprocess() in lint.cc; nothing touches the filesystem.
+
+namespace nmcdr {
+namespace lint {
+namespace internal {
+
+bool IsWordChar(char c);
+
+/// Finds `tok` in `s` at a position where neither neighbor is a word
+/// character (so "rand" does not match inside "operand").
+size_t FindToken(const std::string& s, const std::string& tok,
+                 size_t from = 0);
+
+bool HasToken(const std::string& s, const std::string& tok);
+
+/// True when `tok` appears as a token immediately followed (modulo
+/// whitespace) by '(' — i.e. a call or function-like macro use.
+bool HasTokenCall(const std::string& s, const std::string& tok);
+
+std::string Trimmed(const std::string& s);
+
+/// A suppression comment counts on the flagged line itself or anywhere in
+/// the contiguous comment-only block directly above it. The marker accepts
+/// a comma-separated rule list: NMCDR_LINT_ALLOW(rule-a, rule-b): reason.
+bool Suppressed(const SourceFile& f, size_t line_idx, const std::string& rule);
+
+/// Appends a diagnostic unless the line carries a matching
+/// NMCDR_LINT_ALLOW suppression comment.
+void Add(const SourceFile& f, size_t line_idx, const std::string& rule,
+         std::string message, std::vector<Diagnostic>* out);
+
+bool IsHeader(const std::string& path);
+
+/// A `class Foo { ... }` region found by brace matching over blanked code.
+struct ClassRegion {
+  std::string name;
+  size_t begin = 0;  // line of the class token
+  size_t end = 0;    // line of the closing brace
+};
+
+/// Finds class regions in a file. `enum class` is skipped; forward
+/// declarations (';' before '{') too.
+std::vector<ClassRegion> FindClasses(const SourceFile& f);
+
+/// One quoted #include directive found in a file.
+struct IncludeEdge {
+  size_t line = 0;     // 0-based line of the directive
+  std::string target;  // path as written between the quotes
+};
+
+std::vector<IncludeEdge> ExtractIncludes(const SourceFile& f);
+
+/// Module of a src/ path ("src/train/registry.h" -> "train"); "" for
+/// paths outside src/.
+std::string SrcModule(const std::string& path);
+
+/// Resolves a quoted include against the file set: project includes are
+/// rooted at src/ (every library adds src/ as an include dir), tool and
+/// test includes at the repo root. Returns "" for external headers.
+std::string ResolveInclude(
+    const std::string& target,
+    const std::unordered_map<std::string, const SourceFile*>& by_path);
+
+// Per-pass entry points, called from LintFileSet (lint.cc).
+
+/// Per-file text rules: include-guard, using-namespace-header,
+/// banned-rand/assert/thread/chrono, iostream-header, naked-new,
+/// rcu-only-publish.
+void CheckTextRules(const SourceFile& f, std::vector<Diagnostic>* out);
+
+/// Cross-file guarded-by rule over the mutex-bearing headers
+/// (src/serving/**, src/util/thread_pool.h, src/obs/metrics.h).
+void CheckGuardedBy(const std::vector<SourceFile>& files,
+                    std::vector<Diagnostic>* out);
+
+/// include-layering and include-cycle over the file set.
+void CheckIncludeRules(const std::vector<SourceFile>& files,
+                       std::vector<Diagnostic>* out);
+
+/// The four concurrency passes (lock-order, thread-annotation,
+/// rcu-read-scope, pool-blocking) over src/ files in the set.
+void CheckConcurrency(const std::vector<SourceFile>& files,
+                      std::vector<Diagnostic>* out);
+
+}  // namespace internal
+}  // namespace lint
+}  // namespace nmcdr
+
+#endif  // NMCDR_TOOLS_LINT_LINT_INTERNAL_H_

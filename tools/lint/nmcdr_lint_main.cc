@@ -1,10 +1,16 @@
 // Driver for nmcdr_lint: walks the repo's source directories, runs every
-// rule, prints findings compiler-style, and exits non-zero on any finding.
-// Registered as the `lint_test` CTest, so `ctest` enforces the invariants.
+// rule, prints findings compiler-style, and exits deterministically:
+// 0 = clean, 1 = violations found, 2 = usage / IO error. Registered as
+// the `lint_test` and `concurrency_lint_test` CTests, so `ctest`
+// enforces the invariants.
 //
-//   nmcdr_lint [repo_root] [subdir...]
+//   nmcdr_lint [--concurrency] [--list-rules] [repo_root] [subdir...]
 //
 // Defaults: repo_root = ".", subdirs = src tests tools bench.
+// --concurrency adds the four concurrency passes (see tools/lint/lint.h);
+// --list-rules prints the rule catalogue and exits 0. Fixture trees under
+// a `lint_fixtures` directory hold deliberate violations for
+// tests/lint_rules_test.cc and are always skipped.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -24,12 +30,41 @@ bool IsSourceFile(const fs::path& p) {
   return ext == ".h" || ext == ".cc" || ext == ".cpp";
 }
 
+bool InFixtureDir(const std::string& rel) {
+  return rel.find("lint_fixtures/") != std::string::npos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
-  std::vector<std::string> subdirs;
-  for (int i = 2; i < argc; ++i) subdirs.push_back(argv[i]);
+  nmcdr::lint::LintOptions options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--concurrency") {
+      options.concurrency = true;
+    } else if (arg == "--list-rules") {
+      for (const nmcdr::lint::RuleInfo& r : nmcdr::lint::ListRules()) {
+        std::cout << r.id << (r.concurrency_only ? " [concurrency] " : " ")
+                  << "- " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg.starts_with("--")) {
+      std::cerr << "nmcdr_lint: unknown flag: " << arg << "\n"
+                << "usage: nmcdr_lint [--concurrency] [--list-rules] "
+                   "[repo_root] [subdir...]\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  const fs::path root =
+      positional.empty() ? fs::path(".") : fs::path(positional[0]);
+  std::vector<std::string> subdirs(positional.begin() + (positional.empty()
+                                                             ? 0
+                                                             : 1),
+                                   positional.end());
   if (subdirs.empty()) subdirs = {"src", "tests", "tools", "bench"};
 
   std::vector<nmcdr::lint::SourceFile> files;
@@ -41,6 +76,9 @@ int main(int argc, char** argv) {
     }
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
       if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      if (InFixtureDir(rel)) continue;
       std::ifstream in(entry.path(), std::ios::binary);
       if (!in) {
         std::cerr << "nmcdr_lint: cannot read " << entry.path() << "\n";
@@ -48,8 +86,6 @@ int main(int argc, char** argv) {
       }
       std::ostringstream buffer;
       buffer << in.rdbuf();
-      const std::string rel =
-          fs::relative(entry.path(), root).generic_string();
       files.push_back(nmcdr::lint::Preprocess(rel, buffer.str()));
     }
   }
@@ -58,12 +94,13 @@ int main(int argc, char** argv) {
                const nmcdr::lint::SourceFile& b) { return a.path < b.path; });
 
   const std::vector<nmcdr::lint::Diagnostic> diags =
-      nmcdr::lint::LintFileSet(files);
+      nmcdr::lint::LintFileSet(files, options);
   for (const nmcdr::lint::Diagnostic& d : diags) {
     std::cout << d.ToString() << "\n";
   }
   std::cout << "nmcdr_lint: " << diags.size() << " finding"
             << (diags.size() == 1 ? "" : "s") << " over " << files.size()
-            << " files\n";
+            << " files" << (options.concurrency ? " (with concurrency)" : "")
+            << "\n";
   return diags.empty() ? 0 : 1;
 }

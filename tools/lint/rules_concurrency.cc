@@ -1,0 +1,1457 @@
+// The four concurrency passes: [lock-order], [thread-annotation],
+// [rcu-read-scope], [pool-blocking]. See tools/lint/lint.h for the rule
+// catalogue.
+//
+// Everything here is built on a scope-tracking scanner over the blanked
+// code channel. The scanner is deliberately a heuristic, not a C++
+// front-end: it recovers namespaces, class-like regions, function
+// definitions, brace depth, lock scopes, and call sites well enough for
+// this repo's (clang-format style) code, and resolves identities
+// conservatively — an unresolvable receiver degrades to a file-qualified
+// mutex name and an unresolvable call is simply dropped from the call
+// graph (under-approximation: no false cycles from guessing).
+//
+// Pipeline:
+//   1. Per src/ file: structural walk -> class regions + function regions.
+//   2. Per class: mutex members and member->type map (trailing-underscore
+//      member naming convention).
+//   3. Per function: char-ordered event scan (lock acquisitions with the
+//      held-stack snapshot, call sites, blocking primitives, ThreadPool
+//      dispatch lambdas).
+//   4. Cross-file resolution: lock identities ("Class::mu_"), call keys,
+//      NMCDR_REQUIRES/NMCDR_EXCLUDES annotations.
+//   5. Effective-acquires fixpoint over the resolved call graph.
+//   6. The four passes emit diagnostics; BuildLockOrderGraph exports the
+//      acquires-while-holding graph for nmcdr_racecheck.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tools/lint/lint_internal.h"
+
+namespace nmcdr {
+namespace lint {
+namespace internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Site {
+  const SourceFile* file = nullptr;
+  size_t line = 0;  // 0-based
+};
+
+struct ClassInfo {
+  std::string name;
+  const SourceFile* file = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+  std::set<std::string> mutexes;                           // member names
+  std::unordered_map<std::string, std::string> members;    // name_ -> Type
+};
+
+/// One std::lock_guard / unique_lock / scoped_lock acquisition.
+struct AcqEvent {
+  std::string raw;       // argument text as written ("mu_", "state.mu")
+  std::string mutex;     // resolved identity ("ThreadPool::mu_")
+  Site site;
+  size_t pos = 0;        // column of the lock token
+  std::vector<size_t> held;  // indices into Func::acquires held at this site
+  bool in_dispatch = false;
+};
+
+/// One call site `name(...)`, with enough receiver context to resolve
+/// later against the global class/function tables.
+struct CallEvent {
+  std::string name;
+  std::string qualifier;      // X in `X::name(` or `X::Accessor()->name(`
+  std::string receiver;       // simple receiver ident in `recv.name(`
+  std::string receiver_text;  // raw receiver chars, for pool detection
+  bool via_this = false;
+  std::string resolved;       // function-index key, "" if unresolved
+  Site site;
+  size_t pos = 0;
+  std::vector<size_t> held;
+  bool in_dispatch = false;
+  bool is_dispatch = false;   // this call hands a lambda to the ThreadPool
+};
+
+struct BlockEvent {
+  std::string what;  // "sleep_for", "wait", ...
+  Site site;
+  size_t pos = 0;
+  std::vector<size_t> held;
+  bool in_dispatch = false;
+};
+
+struct Func {
+  std::string cls;   // "" for free functions
+  std::string name;
+  std::string key;   // "Class::Name" or "path::name"
+  const SourceFile* file = nullptr;
+  size_t head_line = 0;
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  std::vector<AcqEvent> acquires;
+  std::vector<CallEvent> calls;
+  std::vector<BlockEvent> blocking;
+  std::vector<std::string> requires_held;  // qualified, from NMCDR_REQUIRES
+};
+
+struct Model {
+  std::vector<ClassInfo> classes;
+  std::vector<Func> funcs;
+  std::unordered_map<std::string, size_t> class_by_name;
+  std::unordered_map<std::string, std::vector<size_t>> func_by_key;
+  std::unordered_map<std::string, const SourceFile*> file_by_path;
+};
+
+/// Control-flow / statement keywords: a block or call can never be named
+/// one of these. Type keywords are NOT here — function heads start with
+/// them ("void ThreadPool::Submit(...) {").
+bool IsControlKeyword(const std::string& s) {
+  static const std::set<std::string> kControl = {
+      "if", "for", "while", "switch", "return", "sizeof", "catch",
+      "new", "delete", "throw", "else", "do", "case", "default",
+      "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+      "alignof", "decltype", "noexcept", "operator", "co_await",
+      "lock_guard", "unique_lock", "scoped_lock", "defined"};
+  return kControl.count(s) != 0;
+}
+
+/// Words that can look like a call (`word(`) but never are one — the
+/// control keywords plus type names appearing in function-pointer /
+/// std::function parameter lists ("std::function<void(int64_t)>").
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string> kTypes = {
+      "void", "bool", "char", "int", "float", "double", "auto",
+      "int32_t", "int64_t", "uint32_t", "uint64_t", "size_t"};
+  return IsControlKeyword(s) || kTypes.count(s) != 0;
+}
+
+bool InUtil(const std::string& path) { return path.starts_with("src/util/"); }
+
+std::string IdentBefore(const std::string& s, size_t end) {
+  size_t b = end;
+  while (b > 0 && IsWordChar(s[b - 1])) --b;
+  return s.substr(b, end - b);
+}
+
+size_t SkipSpacesBack(const std::string& s, size_t pos) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(s[pos - 1])) != 0) {
+    --pos;
+  }
+  return pos;
+}
+
+// ---------------------------------------------------------------------------
+// Structural walk: class regions and function regions
+// ---------------------------------------------------------------------------
+
+struct FuncRegion {
+  std::string cls;
+  std::string name;
+  size_t head_line = 0;
+  size_t open_line = 0;
+  size_t open_col = 0;
+  size_t close_line = 0;
+};
+
+/// Extracts the function name ending just before the first '(' in `head`:
+/// "void ThreadPool::Submit(std..." -> "ThreadPool::Submit". Allows '::'
+/// and '~' so destructors and qualified definitions resolve. Returns ""
+/// when no plausible name precedes the paren (lambdas, initializers).
+std::string FuncNameFromHead(const std::string& head) {
+  const size_t paren = head.find('(');
+  if (paren == std::string::npos) return "";
+  size_t e = SkipSpacesBack(head, paren);
+  size_t b = e;
+  while (b > 0) {
+    const char c = head[b - 1];
+    if (IsWordChar(c) || c == '~') {
+      --b;
+    } else if (c == ':' && b > 1 && head[b - 2] == ':') {
+      b -= 2;
+    } else {
+      break;
+    }
+  }
+  std::string name = head.substr(b, e - b);
+  if (name.empty()) return "";
+  // The trailing simple identifier must not be a keyword ("if", "while").
+  const size_t sep = name.rfind("::");
+  const std::string last = sep == std::string::npos ? name : name.substr(sep + 2);
+  if (last.empty() || IsKeyword(last) ||
+      std::isdigit(static_cast<unsigned char>(last[0])) != 0) {
+    return "";
+  }
+  return name;
+}
+
+/// Walks a file's blanked code recovering class-like regions (class AND
+/// struct, skipping `enum class`) and function-definition regions with
+/// their body extents. Preprocessor lines are ignored entirely.
+void StructuralWalk(const SourceFile& f, std::vector<ClassInfo>* classes,
+                    std::vector<FuncRegion>* funcs) {
+  struct Frame {
+    enum Kind { kNamespace, kClass, kFunction, kOther } kind = kOther;
+    std::string name;       // class name or function name
+    size_t begin_line = 0;  // line of the '{'
+    size_t head_line = 0;
+    size_t func_index = 0;  // into *funcs for kFunction
+  };
+  std::vector<Frame> stack;
+  std::string head;
+  size_t head_line = 0;  // line where the current head started
+
+  const auto inside_function = [&] {
+    for (const Frame& fr : stack) {
+      if (fr.kind == Frame::kFunction) return true;
+    }
+    return false;
+  };
+  const auto enclosing_class = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == Frame::kClass) return it->name;
+    }
+    return "";
+  };
+
+  for (size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    if (Trimmed(line).starts_with("#")) continue;
+    for (size_t ci = 0; ci < line.size(); ++ci) {
+      const char c = line[ci];
+      if (c == ';' || c == '}') {
+        head.clear();
+        head_line = li;
+        if (c == '}') {
+          if (!stack.empty()) {
+            Frame done = stack.back();
+            stack.pop_back();
+            if (done.kind == Frame::kClass) {
+              ClassInfo info;
+              info.name = done.name;
+              info.file = &f;
+              info.begin = done.head_line;
+              info.end = li;
+              classes->push_back(info);
+            } else if (done.kind == Frame::kFunction) {
+              (*funcs)[done.func_index].close_line = li;
+            }
+          }
+        }
+        continue;
+      }
+      if (c != '{') {
+        head += c;
+        if (Trimmed(head).size() == 1) head_line = li;
+        continue;
+      }
+      // Classify the block this '{' opens from the statement head.
+      Frame fr;
+      fr.begin_line = li;
+      fr.head_line = head_line;
+      const std::string h = Trimmed(head);
+      head.clear();
+      head_line = li;
+      const size_t first_word_end = [&] {
+        size_t p = 0;
+        while (p < h.size() && IsWordChar(h[p])) ++p;
+        return p;
+      }();
+      const std::string first = h.substr(0, first_word_end);
+      if (HasToken(h, "namespace")) {
+        fr.kind = Frame::kNamespace;
+      } else if ((HasToken(h, "class") || HasToken(h, "struct")) &&
+                 !HasToken(h, "enum") && h.find('(') == std::string::npos &&
+                 !h.ends_with("=")) {
+        fr.kind = Frame::kClass;
+        const std::string tok = HasToken(h, "class") ? "class" : "struct";
+        size_t p = FindToken(h, tok) + tok.size();
+        while (p < h.size() &&
+               std::isspace(static_cast<unsigned char>(h[p])) != 0) {
+          ++p;
+        }
+        size_t q = p;
+        while (q < h.size() && IsWordChar(h[q])) ++q;
+        fr.name = h.substr(p, q - p);
+        if (fr.name.empty()) fr.kind = Frame::kOther;
+      } else if (!inside_function() && !h.empty() && !h.ends_with("=") &&
+                 !h.ends_with(",") && !h.ends_with("(") &&
+                 !IsControlKeyword(first)) {
+        const std::string name = FuncNameFromHead(h);
+        if (!name.empty()) {
+          fr.kind = Frame::kFunction;
+          FuncRegion region;
+          const size_t sep = name.rfind("::");
+          if (sep != std::string::npos) {
+            region.cls = name.substr(0, sep);
+            region.name = name.substr(sep + 2);
+            // Strip nested qualifiers ("A::B::f" -> class "B").
+            const size_t inner = region.cls.rfind("::");
+            if (inner != std::string::npos) {
+              region.cls = region.cls.substr(inner + 2);
+            }
+          } else {
+            region.cls = enclosing_class();
+            region.name = name;
+          }
+          region.head_line = fr.head_line;
+          region.open_line = li;
+          region.open_col = ci;
+          fr.func_index = funcs->size();
+          fr.name = region.name;
+          funcs->push_back(region);
+        }
+      }
+      stack.push_back(fr);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Class member extraction
+// ---------------------------------------------------------------------------
+
+/// Collects `std::mutex name;` members and the member->type map for
+/// trailing-underscore members whose type names a known class (resolved
+/// later; here we record the last identifier token before the member
+/// name, which handles both `AdmissionQueue admission_;` and
+/// `std::shared_ptr<ShardedSnapshot> snapshot_;`).
+void CollectMembers(const SourceFile& f, ClassInfo* info) {
+  for (size_t li = info->begin; li <= info->end && li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    // std::mutex members (any name; `mutable` prefix allowed).
+    size_t mpos = FindToken(line, "mutex");
+    if (mpos != std::string::npos && mpos >= 5 &&
+        line.compare(mpos - 5, 5, "std::") == 0) {
+      size_t p = mpos + 5;
+      while (p < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[p])) != 0) {
+        ++p;
+      }
+      size_t q = p;
+      while (q < line.size() && IsWordChar(line[q])) ++q;
+      if (q > p) info->mutexes.insert(line.substr(p, q - p));
+    }
+    // Member declarations: `<...Type...> name_;` (also `= ...;`, `{...};`).
+    const std::string t = Trimmed(line);
+    if (t.empty() || t[0] == '#') continue;
+    for (size_t ci = 0; ci < line.size(); ++ci) {
+      if (!IsWordChar(line[ci])) continue;
+      size_t q = ci;
+      while (q < line.size() && IsWordChar(line[q])) ++q;
+      const std::string word = line.substr(ci, q - ci);
+      size_t after = q;
+      while (after < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+        ++after;
+      }
+      if (word.size() > 1 && word.ends_with("_") && after < line.size() &&
+          (line[after] == ';' || line[after] == '=' || line[after] == '{') &&
+          line.find('(') == std::string::npos) {
+        // Type: last identifier token before the member name.
+        std::string type;
+        size_t p = 0;
+        while (p < ci) {
+          if (IsWordChar(line[p])) {
+            size_t e = p;
+            while (e < ci && IsWordChar(line[e])) ++e;
+            type = line.substr(p, e - p);
+            p = e;
+          } else {
+            ++p;
+          }
+        }
+        if (!type.empty() && type != "std") info->members[word] = type;
+      }
+      ci = q;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function body event scan
+// ---------------------------------------------------------------------------
+
+struct LineEvent {
+  enum Kind { kBrace, kLock, kCall, kBlock } kind = kBrace;
+  size_t pos = 0;
+  char brace = 0;
+  size_t index = 0;  // into the per-line lock/call/block staging vectors
+};
+
+/// Joins `line` with up to three successors so multi-line argument lists
+/// parse; only the first line's positions matter for events.
+std::string JoinedFrom(const SourceFile& f, size_t li, size_t col) {
+  std::string s = f.code[li].substr(col);
+  for (size_t j = li + 1; j < f.code.size() && j <= li + 3; ++j) {
+    s += " " + f.code[j];
+  }
+  return s;
+}
+
+/// Parses the constructor arguments of a lock declaration starting at the
+/// lock token: `lock_guard<std::mutex> l(mu_);` -> {"mu_"}. scoped_lock
+/// yields every argument; lock tag types (defer_lock etc.) are dropped.
+std::vector<std::string> LockArgs(const std::string& joined, bool all_args) {
+  size_t p = 0;
+  while (p < joined.size() && IsWordChar(joined[p])) ++p;  // the lock token
+  // Skip an optional template argument list.
+  while (p < joined.size() &&
+         std::isspace(static_cast<unsigned char>(joined[p])) != 0) {
+    ++p;
+  }
+  if (p < joined.size() && joined[p] == '<') {
+    int depth = 0;
+    while (p < joined.size()) {
+      if (joined[p] == '<') ++depth;
+      if (joined[p] == '>' && --depth == 0) {
+        ++p;
+        break;
+      }
+      ++p;
+    }
+  }
+  // Variable name.
+  while (p < joined.size() &&
+         (std::isspace(static_cast<unsigned char>(joined[p])) != 0 ||
+          IsWordChar(joined[p]))) {
+    ++p;
+  }
+  if (p >= joined.size() || joined[p] != '(') return {};
+  // Balanced argument list, split on top-level commas.
+  std::vector<std::string> args;
+  std::string cur;
+  int depth = 1;
+  ++p;
+  for (; p < joined.size() && depth > 0; ++p) {
+    const char c = joined[p];
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') {
+      if (--depth == 0) break;
+    }
+    if (c == ',' && depth == 1) {
+      args.push_back(Trimmed(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!Trimmed(cur).empty()) args.push_back(Trimmed(cur));
+  if (args.empty()) return {};
+  if (!all_args) args.resize(1);
+  std::vector<std::string> out;
+  for (std::string& a : args) {
+    if (a.find("defer_lock") != std::string::npos ||
+        a.find("adopt_lock") != std::string::npos ||
+        a.find("try_to_lock") != std::string::npos) {
+      continue;
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+/// Parses receiver context for a call whose name starts at `name_pos`.
+void ParseReceiver(const std::string& line, size_t name_pos, CallEvent* ev) {
+  size_t p = SkipSpacesBack(line, name_pos);
+  if (p >= 2 && line[p - 1] == ':' && line[p - 2] == ':') {
+    ev->qualifier = IdentBefore(line, SkipSpacesBack(line, p - 2));
+    return;
+  }
+  const bool dot = p >= 1 && line[p - 1] == '.';
+  const bool arrow = p >= 2 && line[p - 1] == '>' && line[p - 2] == '-';
+  if (!dot && !arrow) return;
+  size_t r = p - (dot ? 1 : 2);
+  r = SkipSpacesBack(line, r);
+  const size_t recv_end = r;
+  if (r >= 1 && line[r - 1] == ')') {
+    // Receiver is a call: `Qual::Accessor()->name(` — record the
+    // accessor's qualifier as the receiver-type hint (singleton pattern).
+    int depth = 0;
+    while (r > 0) {
+      if (line[r - 1] == ')') ++depth;
+      if (line[r - 1] == '(' && --depth == 0) {
+        --r;
+        break;
+      }
+      --r;
+    }
+    const size_t callee_end = SkipSpacesBack(line, r > 0 ? r - 1 + 1 : 0);
+    const std::string accessor = IdentBefore(line, callee_end);
+    size_t q = callee_end - accessor.size();
+    q = SkipSpacesBack(line, q);
+    if (q >= 2 && line[q - 1] == ':' && line[q - 2] == ':') {
+      ev->qualifier = IdentBefore(line, SkipSpacesBack(line, q - 2));
+    }
+    ev->receiver_text =
+        line.substr(std::min(q, callee_end), recv_end - std::min(q, callee_end));
+    if (!ev->qualifier.empty()) {
+      ev->receiver_text = ev->qualifier + "::" + ev->receiver_text;
+    }
+    return;
+  }
+  const std::string recv = IdentBefore(line, r);
+  ev->receiver_text = recv;
+  if (recv == "this") {
+    ev->via_this = true;
+  } else {
+    ev->receiver = recv;
+  }
+}
+
+/// True when `pos` names a blocking-wait member call: `.wait(`,
+/// `->wait_for(` etc.
+bool IsWaitCall(const std::string& line, size_t pos) {
+  const size_t p = SkipSpacesBack(line, pos);
+  return (p >= 1 && line[p - 1] == '.') ||
+         (p >= 2 && line[p - 1] == '>' && line[p - 2] == '-');
+}
+
+void ScanFunctionBody(const SourceFile& f, const FuncRegion& region,
+                      Func* func) {
+  func->file = &f;
+  func->head_line = region.head_line;
+  func->body_begin = region.open_line;
+  func->body_end = region.close_line;
+
+  struct ActiveLock {
+    size_t acq_index;
+    int depth;
+  };
+  std::vector<ActiveLock> active;
+  int depth = 0;
+  bool opened = false;
+
+  for (size_t li = region.open_line;
+       li <= region.close_line && li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    if (Trimmed(line).starts_with("#")) continue;
+    const size_t start = li == region.open_line ? region.open_col : 0;
+
+    // Stage this line's token events, then merge with braces in
+    // char order so held-lock snapshots are exact.
+    std::vector<LineEvent> events;
+    std::vector<std::vector<std::string>> lock_args;
+    std::vector<CallEvent> calls;
+    std::vector<BlockEvent> blocks;
+
+    for (const char* tok : {"lock_guard", "unique_lock", "scoped_lock"}) {
+      size_t pos = FindToken(line, tok, start);
+      while (pos != std::string::npos) {
+        LineEvent ev;
+        ev.kind = LineEvent::kLock;
+        ev.pos = pos;
+        ev.index = lock_args.size();
+        lock_args.push_back(LockArgs(JoinedFrom(f, li, pos),
+                                     std::string(tok) == "scoped_lock"));
+        events.push_back(ev);
+        pos = FindToken(line, tok, pos + 1);
+      }
+    }
+    for (const char* tok : {"sleep_for", "sleep_until"}) {
+      size_t pos = FindToken(line, tok, start);
+      while (pos != std::string::npos) {
+        LineEvent ev;
+        ev.kind = LineEvent::kBlock;
+        ev.pos = pos;
+        ev.index = blocks.size();
+        BlockEvent be;
+        be.what = tok;
+        be.site = {&f, li};
+        be.pos = pos;
+        blocks.push_back(be);
+        events.push_back(ev);
+        pos = FindToken(line, tok, pos + 1);
+      }
+    }
+    for (const char* tok : {"wait", "wait_for", "wait_until"}) {
+      size_t pos = FindToken(line, tok, start);
+      while (pos != std::string::npos) {
+        size_t after = pos + std::string(tok).size();
+        while (after < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+          ++after;
+        }
+        if (after < line.size() && line[after] == '(' &&
+            IsWaitCall(line, pos)) {
+          LineEvent ev;
+          ev.kind = LineEvent::kBlock;
+          ev.pos = pos;
+          ev.index = blocks.size();
+          BlockEvent be;
+          be.what = tok;
+          be.site = {&f, li};
+          be.pos = pos;
+          blocks.push_back(be);
+          events.push_back(ev);
+        }
+        pos = FindToken(line, tok, pos + 1);
+      }
+    }
+    // Call sites: identifier immediately followed by '('.
+    for (size_t ci = start; ci < line.size(); ++ci) {
+      if (!IsWordChar(line[ci]) || (ci > 0 && IsWordChar(line[ci - 1]))) {
+        continue;
+      }
+      size_t q = ci;
+      while (q < line.size() && IsWordChar(line[q])) ++q;
+      const std::string word = line.substr(ci, q - ci);
+      size_t after = q;
+      while (after < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+        ++after;
+      }
+      if (after >= line.size() || line[after] != '(' || IsKeyword(word) ||
+          word.starts_with("NMCDR_")) {
+        ci = q;
+        continue;
+      }
+      LineEvent ev;
+      ev.kind = LineEvent::kCall;
+      ev.pos = ci;
+      ev.index = calls.size();
+      CallEvent ce;
+      ce.name = word;
+      ce.site = {&f, li};
+      ce.pos = ci;
+      ParseReceiver(line, ci, &ce);
+      calls.push_back(ce);
+      events.push_back(ev);
+      ci = q;
+    }
+    for (size_t ci = start; ci < line.size(); ++ci) {
+      if (line[ci] == '{' || line[ci] == '}') {
+        LineEvent ev;
+        ev.kind = LineEvent::kBrace;
+        ev.pos = ci;
+        ev.brace = line[ci];
+        events.push_back(ev);
+      }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const LineEvent& a, const LineEvent& b) {
+                       return a.pos < b.pos;
+                     });
+
+    const auto held_now = [&] {
+      std::vector<size_t> held;
+      held.reserve(active.size());
+      for (const ActiveLock& al : active) held.push_back(al.acq_index);
+      return held;
+    };
+
+    bool done = false;
+    for (const LineEvent& ev : events) {
+      switch (ev.kind) {
+        case LineEvent::kBrace:
+          if (ev.brace == '{') {
+            ++depth;
+            opened = true;
+          } else {
+            --depth;
+            while (!active.empty() && active.back().depth > depth) {
+              active.pop_back();
+            }
+            if (opened && depth == 0) done = true;
+          }
+          break;
+        case LineEvent::kLock:
+          for (const std::string& arg : lock_args[ev.index]) {
+            AcqEvent ae;
+            ae.raw = arg;
+            ae.site = {&f, li};
+            ae.pos = ev.pos;
+            ae.held = held_now();
+            func->acquires.push_back(ae);
+            active.push_back({func->acquires.size() - 1, depth});
+          }
+          break;
+        case LineEvent::kCall: {
+          CallEvent ce = calls[ev.index];
+          ce.held = held_now();
+          func->calls.push_back(ce);
+          break;
+        }
+        case LineEvent::kBlock: {
+          BlockEvent be = blocks[ev.index];
+          be.held = held_now();
+          func->blocking.push_back(be);
+          break;
+        }
+      }
+      if (done) break;
+    }
+    if (done) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch lambdas
+// ---------------------------------------------------------------------------
+
+struct Range {
+  size_t begin_line = 0, begin_pos = 0;
+  size_t end_line = 0, end_pos = 0;
+  bool Contains(size_t line, size_t pos) const {
+    if (line < begin_line || line > end_line) return false;
+    if (line == begin_line && pos <= begin_pos) return false;
+    if (line == end_line && pos >= end_pos) return false;
+    return true;
+  }
+};
+
+/// Finds the `{ ... }` body of the lambda argument of a dispatch call:
+/// scan forward from the call name for '(', then '[', then the first '{'
+/// and its matching '}'.
+bool FindDispatchLambda(const SourceFile& f, size_t line, size_t pos,
+                        Range* out) {
+  int paren = 0;
+  bool saw_bracket = false;
+  int braces = 0;
+  for (size_t li = line; li < f.code.size() && li <= line + 80; ++li) {
+    const std::string& code = f.code[li];
+    for (size_t ci = li == line ? pos : 0; ci < code.size(); ++ci) {
+      const char c = code[ci];
+      if (braces == 0) {
+        if (c == '(') ++paren;
+        if (c == ')' && --paren == 0 && !saw_bracket) return false;
+        if (c == '[' && paren >= 1) saw_bracket = true;
+        if (c == '{' && saw_bracket) {
+          braces = 1;
+          out->begin_line = li;
+          out->begin_pos = ci;
+        }
+      } else {
+        if (c == '{') ++braces;
+        if (c == '}' && --braces == 0) {
+          out->end_line = li;
+          out->end_pos = ci;
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Resolution
+// ---------------------------------------------------------------------------
+
+std::string MemberType(const Model& model, const std::string& cls,
+                       const std::string& member) {
+  const auto cit = model.class_by_name.find(cls);
+  if (cit == model.class_by_name.end()) return "";
+  const auto& members = model.classes[cit->second].members;
+  const auto mit = members.find(member);
+  return mit == members.end() ? "" : mit->second;
+}
+
+/// Resolves a lock argument to a stable mutex identity. Class-qualified
+/// when the owner resolves; file-qualified otherwise (function-local
+/// structs, statics).
+std::string ResolveMutex(const Model& model, const Func& func,
+                         std::string raw) {
+  if (raw.starts_with("&")) raw = Trimmed(raw.substr(1));
+  if (raw.starts_with("this->")) raw = raw.substr(6);
+  const size_t dot = raw.find('.');
+  const size_t arrow = raw.find("->");
+  const size_t sep = std::min(dot, arrow);
+  if (sep == std::string::npos) {
+    // Bare identifier: a member of the enclosing class, else file-local.
+    const auto cit = model.class_by_name.find(func.cls);
+    if (cit != model.class_by_name.end() &&
+        model.classes[cit->second].mutexes.count(raw) != 0) {
+      return func.cls + "::" + raw;
+    }
+    return func.file->path + "::" + raw;
+  }
+  const std::string recv = Trimmed(raw.substr(0, sep));
+  const std::string name =
+      Trimmed(raw.substr(sep + (raw.compare(sep, 2, "->") == 0 ? 2 : 1)));
+  const std::string type = MemberType(model, func.cls, recv);
+  if (!type.empty()) {
+    const auto cit = model.class_by_name.find(type);
+    if (cit != model.class_by_name.end() &&
+        model.classes[cit->second].mutexes.count(name) != 0) {
+      return type + "::" + name;
+    }
+  }
+  return func.file->path + "::" + name;
+}
+
+/// Resolves a call to a function-index key; "" when unknown (the call is
+/// then simply absent from the call graph).
+std::string ResolveCall(const Model& model, const Func& func,
+                        const CallEvent& ev) {
+  const auto lookup = [&](const std::string& key) {
+    return model.func_by_key.count(key) != 0 ? key : std::string();
+  };
+  if (!ev.qualifier.empty()) return lookup(ev.qualifier + "::" + ev.name);
+  if (!ev.receiver.empty()) {
+    const std::string type = MemberType(model, func.cls, ev.receiver);
+    if (!type.empty()) return lookup(type + "::" + ev.name);
+    return "";
+  }
+  // Unqualified or this->: enclosing class method, else same-file free fn.
+  if (!func.cls.empty()) {
+    const std::string key = lookup(func.cls + "::" + ev.name);
+    if (!key.empty()) return key;
+  }
+  if (ev.via_this) return "";
+  return lookup(func.file->path + "::" + ev.name);
+}
+
+bool LooksLikePoolDispatch(const CallEvent& ev) {
+  if (ev.name != "Submit" && ev.name != "ParallelFor") return false;
+  if (ev.qualifier == "ThreadPool") return true;
+  const std::string& r = ev.receiver_text.empty() ? ev.receiver
+                                                  : ev.receiver_text;
+  return r.find("pool") != std::string::npos ||
+         r.find("Pool") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Model construction
+// ---------------------------------------------------------------------------
+
+Model BuildModel(const std::vector<SourceFile>& files) {
+  Model model;
+  std::vector<std::pair<const SourceFile*, FuncRegion>> regions;
+  for (const SourceFile& f : files) {
+    if (!f.path.starts_with("src/")) continue;
+    model.file_by_path[f.path] = &f;
+    std::vector<FuncRegion> funcs;
+    StructuralWalk(f, &model.classes, &funcs);
+    for (FuncRegion& r : funcs) {
+      if (r.close_line >= r.open_line) regions.emplace_back(&f, r);
+    }
+  }
+  for (size_t i = 0; i < model.classes.size(); ++i) {
+    CollectMembers(*model.classes[i].file, &model.classes[i]);
+    // First definition wins; redefinitions across files are merged into
+    // whichever parsed first (identical in practice).
+    model.class_by_name.emplace(model.classes[i].name, i);
+  }
+  for (auto& [file, region] : regions) {
+    Func func;
+    func.cls = region.cls;
+    func.name = region.name;
+    func.key = (region.cls.empty() ? file->path : region.cls) +
+               "::" + region.name;
+    ScanFunctionBody(*file, region, &func);
+    model.func_by_key[func.key].push_back(model.funcs.size());
+    model.funcs.push_back(std::move(func));
+  }
+  // Resolve lock identities, calls, and dispatch-lambda membership.
+  for (Func& func : model.funcs) {
+    for (AcqEvent& a : func.acquires) {
+      a.mutex = ResolveMutex(model, func, a.raw);
+    }
+    std::vector<Range> dispatch_bodies;
+    for (CallEvent& c : func.calls) {
+      c.resolved = ResolveCall(model, func, c);
+      if (LooksLikePoolDispatch(c)) {
+        c.is_dispatch = true;
+        Range body;
+        if (FindDispatchLambda(*func.file, c.site.line, c.pos + c.name.size(),
+                               &body)) {
+          dispatch_bodies.push_back(body);
+        }
+      }
+    }
+    for (const Range& body : dispatch_bodies) {
+      for (AcqEvent& a : func.acquires) {
+        if (body.Contains(a.site.line, a.pos)) a.in_dispatch = true;
+      }
+      for (CallEvent& c : func.calls) {
+        if (body.Contains(c.site.line, c.pos)) c.in_dispatch = true;
+      }
+      for (BlockEvent& b : func.blocking) {
+        if (body.Contains(b.site.line, b.pos)) b.in_dispatch = true;
+      }
+    }
+  }
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// Annotations (NMCDR_REQUIRES / NMCDR_EXCLUDES)
+// ---------------------------------------------------------------------------
+
+struct Annotation {
+  std::set<std::string> requires_held;  // qualified mutex ids
+  std::set<std::string> excludes;
+};
+
+/// The class region (from the model) enclosing `line` in `f`; innermost
+/// wins. Returns nullptr outside any class.
+const ClassInfo* EnclosingClass(const Model& model, const SourceFile& f,
+                                size_t line) {
+  const ClassInfo* best = nullptr;
+  for (const ClassInfo& c : model.classes) {
+    if (c.file != &f || line < c.begin || line > c.end) continue;
+    if (best == nullptr || c.begin > best->begin) best = &c;
+  }
+  return best;
+}
+
+/// Method name owning an annotation: the last `ident(` in the joined
+/// declaration statement before the macro token.
+std::string AnnotatedMethod(const SourceFile& f, size_t line, size_t pos) {
+  std::string stmt;
+  size_t start = line;
+  while (start > 0) {
+    const std::string prev = Trimmed(f.code[start - 1]);
+    if (prev.empty() || prev.ends_with(";") || prev.ends_with("{") ||
+        prev.ends_with("}") || prev.starts_with("#") || line - start >= 4) {
+      break;
+    }
+    --start;
+  }
+  size_t macro_pos = pos;
+  for (size_t li = start; li < line; ++li) {
+    stmt += f.code[li] + " ";
+  }
+  macro_pos += stmt.size();
+  stmt += f.code[line];
+
+  std::string method;
+  for (size_t ci = 0; ci < macro_pos && ci < stmt.size(); ++ci) {
+    if (!IsWordChar(stmt[ci]) || (ci > 0 && IsWordChar(stmt[ci - 1]))) {
+      continue;
+    }
+    size_t q = ci;
+    while (q < stmt.size() && IsWordChar(stmt[q])) ++q;
+    const std::string word = stmt.substr(ci, q - ci);
+    size_t after = q;
+    while (after < stmt.size() &&
+           std::isspace(static_cast<unsigned char>(stmt[after])) != 0) {
+      ++after;
+    }
+    if (after < stmt.size() && stmt[after] == '(' && !IsKeyword(word) &&
+        !word.starts_with("NMCDR_")) {
+      method = word;
+    }
+    ci = q;
+  }
+  return method;
+}
+
+std::map<std::string, Annotation> CollectAnnotations(
+    const Model& model, const std::vector<SourceFile>& files,
+    std::vector<Diagnostic>* out) {
+  std::map<std::string, Annotation> annotations;
+  for (const SourceFile& f : files) {
+    if (!f.path.starts_with("src/")) continue;
+    for (size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      if (Trimmed(line).starts_with("#")) continue;
+      for (const char* macro : {"NMCDR_REQUIRES", "NMCDR_EXCLUDES"}) {
+        size_t pos = FindToken(line, macro);
+        while (pos != std::string::npos) {
+          const size_t open = line.find('(', pos);
+          const size_t close =
+              open == std::string::npos ? std::string::npos
+                                        : line.find(')', open);
+          if (close == std::string::npos) break;
+          const ClassInfo* cls = EnclosingClass(model, f, li);
+          const std::string method = AnnotatedMethod(f, li, pos);
+          if (cls == nullptr || method.empty()) {
+            Add(f, li, "thread-annotation",
+                std::string(macro) +
+                    " must annotate a method declaration inside a class",
+                out);
+            pos = FindToken(line, macro, close);
+            continue;
+          }
+          // Parse the comma-separated mutex list.
+          size_t entry = open + 1;
+          while (entry < close) {
+            size_t comma = line.find(',', entry);
+            if (comma == std::string::npos || comma > close) comma = close;
+            std::string name = Trimmed(line.substr(entry, comma - entry));
+            if (name.starts_with("this->")) name = name.substr(6);
+            entry = comma + 1;
+            if (name.empty()) continue;
+            if (cls->mutexes.count(name) == 0) {
+              Add(f, li, "thread-annotation",
+                  std::string(macro) + "(" + name + ") on " + cls->name +
+                      "::" + method + ": '" + name +
+                      "' is not a declared std::mutex member of " + cls->name,
+                  out);
+              continue;
+            }
+            Annotation& a = annotations[cls->name + "::" + method];
+            if (std::string(macro) == "NMCDR_REQUIRES") {
+              a.requires_held.insert(cls->name + "::" + name);
+            } else {
+              a.excludes.insert(cls->name + "::" + name);
+            }
+          }
+          pos = FindToken(line, macro, close);
+        }
+      }
+    }
+  }
+  return annotations;
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order edges
+// ---------------------------------------------------------------------------
+
+struct InternalEdge {
+  std::string from, to;
+  Site from_site, to_site;
+  std::string via;
+};
+
+/// Qualified mutexes held at an event: the textual held-stack plus the
+/// function's NMCDR_REQUIRES-implied holds. Dispatch-lambda events run
+/// later on a pool thread, so their textual holds are discarded.
+std::vector<std::pair<std::string, Site>> HeldAt(
+    const Func& func, const std::vector<size_t>& held, bool in_dispatch) {
+  std::vector<std::pair<std::string, Site>> out;
+  if (in_dispatch) return out;
+  for (const std::string& m : func.requires_held) {
+    out.emplace_back(m, Site{func.file, func.head_line});
+  }
+  for (size_t idx : held) {
+    out.emplace_back(func.acquires[idx].mutex, func.acquires[idx].site);
+  }
+  return out;
+}
+
+/// Effective-acquires fixpoint: every (mutex, site) a call to `key` may
+/// acquire synchronously, through any chain of resolved calls. Dispatch
+/// lambdas are excluded (they run asynchronously).
+std::map<std::string, std::map<std::string, Site>> EffectiveAcquires(
+    const Model& model) {
+  std::map<std::string, std::map<std::string, Site>> eff;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Func& func : model.funcs) {
+      auto& mine = eff[func.key];
+      for (const AcqEvent& a : func.acquires) {
+        if (a.in_dispatch) continue;
+        if (mine.emplace(a.mutex, a.site).second) changed = true;
+      }
+      for (const CallEvent& c : func.calls) {
+        if (c.in_dispatch || c.resolved.empty()) continue;
+        const auto it = eff.find(c.resolved);
+        if (it == eff.end()) continue;
+        for (const auto& [m, s] : it->second) {
+          if (mine.emplace(m, s).second) changed = true;
+        }
+      }
+    }
+  }
+  return eff;
+}
+
+std::vector<InternalEdge> ComputeEdges(
+    const Model& model,
+    const std::map<std::string, std::map<std::string, Site>>& eff) {
+  std::vector<InternalEdge> edges;
+  std::set<std::string> seen;
+  const auto add_edge = [&](const std::string& from, const Site& fs,
+                            const std::string& to, const Site& ts,
+                            const std::string& via) {
+    const std::string key = from + "\n" + to + "\n" + via;
+    if (!seen.insert(key).second) return;
+    edges.push_back({from, to, fs, ts, via});
+  };
+  for (const Func& func : model.funcs) {
+    for (const AcqEvent& a : func.acquires) {
+      for (const auto& [m, s] : HeldAt(func, a.held, a.in_dispatch)) {
+        add_edge(m, s, a.mutex, a.site, "");
+      }
+    }
+    for (const CallEvent& c : func.calls) {
+      if (c.resolved.empty() || c.in_dispatch) continue;
+      const auto it = eff.find(c.resolved);
+      if (it == eff.end()) continue;
+      for (const auto& [m1, s1] : HeldAt(func, c.held, c.in_dispatch)) {
+        for (const auto& [m2, s2] : it->second) {
+          add_edge(m1, s1, m2, s2, c.resolved);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+void CheckLockOrder(const std::vector<InternalEdge>& edges,
+                    std::vector<Diagnostic>* out) {
+  std::map<std::string, std::vector<size_t>> adj;
+  std::set<std::string> nodes;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    adj[edges[i].from].push_back(i);
+    nodes.insert(edges[i].from);
+    nodes.insert(edges[i].to);
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const std::string& root : nodes) {
+    if (color[root] != Color::kWhite) continue;
+    struct Frame {
+      std::string node;
+      size_t next = 0;
+      size_t via_edge = 0;  // edge taken to enter this node
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root});
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      std::vector<size_t>& next = adj[frame.node];
+      if (frame.next >= next.size()) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const size_t ei = next[frame.next++];
+      const InternalEdge& e = edges[ei];
+      if (color[e.to] == Color::kWhite) {
+        color[e.to] = Color::kGray;
+        stack.push_back({e.to, 0, ei});
+      } else if (color[e.to] == Color::kGray) {
+        // Cycle: e.to .. frame.node -> e.to. Collect the edges.
+        std::vector<size_t> cycle;
+        size_t start = stack.size();
+        for (size_t i = 0; i < stack.size(); ++i) {
+          if (stack[i].node == e.to) start = i;
+        }
+        for (size_t i = start + 1; i < stack.size(); ++i) {
+          cycle.push_back(stack[i].via_edge);
+        }
+        cycle.push_back(ei);
+        std::string msg = "potential deadlock: lock-order cycle " + e.to;
+        for (const size_t ci : cycle) msg += " -> " + edges[ci].to;
+        for (const size_t ci : cycle) {
+          const InternalEdge& ce = edges[ci];
+          msg += "; " + ce.from + " (held since " + ce.from_site.file->path +
+                 ":" + std::to_string(ce.from_site.line + 1) + ") -> " +
+                 ce.to + " (acquired at " + ce.to_site.file->path + ":" +
+                 std::to_string(ce.to_site.line + 1) + ")";
+          if (!ce.via.empty()) msg += " via " + ce.via;
+        }
+        Add(*e.to_site.file, e.to_site.line, "lock-order", msg, out);
+        color[e.to] = Color::kBlack;  // report each cycle entry once
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Annotation checks
+// ---------------------------------------------------------------------------
+
+void CheckAnnotations(const Model& model,
+                      const std::map<std::string, Annotation>& annotations,
+                      std::vector<Diagnostic>* out) {
+  // A REQUIRES(m) body must not re-lock m.
+  for (const Func& func : model.funcs) {
+    const auto it = annotations.find(func.key);
+    if (it == annotations.end()) continue;
+    for (const std::string& m : it->second.requires_held) {
+      for (const AcqEvent& a : func.acquires) {
+        if (a.mutex == m && !a.in_dispatch) {
+          Add(*a.site.file, a.site.line, "thread-annotation",
+              func.key + " is NMCDR_REQUIRES(" + m +
+                  ") but re-locks it here (self-deadlock)",
+              out);
+        }
+      }
+    }
+  }
+  // Call sites must satisfy the callee's contract.
+  for (const Func& func : model.funcs) {
+    for (const CallEvent& c : func.calls) {
+      if (c.resolved.empty()) continue;
+      const auto it = annotations.find(c.resolved);
+      if (it == annotations.end()) continue;
+      std::set<std::string> held;
+      for (const auto& [m, s] : HeldAt(func, c.held, c.in_dispatch)) {
+        held.insert(m);
+      }
+      for (const std::string& m : it->second.requires_held) {
+        if (held.count(m) == 0) {
+          Add(*c.site.file, c.site.line, "thread-annotation",
+              "call to " + c.resolved + " requires " + m +
+                  " held (NMCDR_REQUIRES) but it is not held here",
+              out);
+        }
+      }
+      for (const std::string& m : it->second.excludes) {
+        if (held.count(m) != 0) {
+          Add(*c.site.file, c.site.line, "thread-annotation",
+              "call to " + c.resolved + " with " + m +
+                  " held; the callee locks it (NMCDR_EXCLUDES, "
+                  "self-deadlock)",
+              out);
+        }
+      }
+    }
+  }
+}
+
+/// Seeds REQUIRES-implied holds onto the function model; annotation-name
+/// validation diagnostics were already emitted by CollectAnnotations.
+void ApplyRequires(Model* model,
+                   const std::map<std::string, Annotation>& annotations) {
+  for (Func& func : model->funcs) {
+    const auto it = annotations.find(func.key);
+    if (it == annotations.end()) continue;
+    func.requires_held.assign(it->second.requires_held.begin(),
+                              it->second.requires_held.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RCU read-scope
+// ---------------------------------------------------------------------------
+
+/// In src/serving/, a raw snapshot obtained from SnapshotRegistry::Acquire
+/// must stay inside the acquiring scope: no member/static stores of the
+/// shared_ptr or its .get() pointer, no returning the raw pointer.
+void CheckRcuReadScope(const Model& model, std::vector<Diagnostic>* out) {
+  for (const Func& func : model.funcs) {
+    if (!func.file->path.starts_with("src/serving/")) continue;
+    const SourceFile& f = *func.file;
+    std::vector<std::string> locals;
+    for (size_t li = func.body_begin;
+         li <= func.body_end && li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      size_t apos = FindToken(line, "Acquire");
+      if (apos != std::string::npos && IsWaitCall(line, apos)) {
+        // Member-call Acquire: find the assignment target, if any.
+        size_t eq = line.rfind('=', apos);
+        while (eq != std::string::npos && eq > 0 &&
+               (line[eq - 1] == '=' || line[eq - 1] == '!' ||
+                line[eq - 1] == '<' || line[eq - 1] == '>' ||
+                (eq + 1 < line.size() && line[eq + 1] == '='))) {
+          eq = eq == 0 ? std::string::npos : line.rfind('=', eq - 1);
+        }
+        if (eq != std::string::npos) {
+          const std::string lhs = IdentBefore(line, SkipSpacesBack(line, eq));
+          if (!lhs.empty() && lhs.ends_with("_")) {
+            Add(f, li, "rcu-read-scope",
+                "snapshot from Acquire() stored directly into member '" +
+                    lhs + "'; keep it local to the acquiring scope",
+                out);
+          } else if (HasToken(line, "static")) {
+            Add(f, li, "rcu-read-scope",
+                "snapshot from Acquire() stored into a static; it must not "
+                "outlive the acquiring scope",
+                out);
+          } else if (!lhs.empty()) {
+            locals.push_back(lhs);
+          }
+        }
+        continue;
+      }
+      // Escapes of a tracked local snapshot.
+      for (const std::string& var : locals) {
+        const size_t vpos = FindToken(line, var);
+        if (vpos == std::string::npos) continue;
+        if (HasToken(line, "return") &&
+            line.compare(vpos, var.size() + 5, var + ".get(") == 0) {
+          Add(f, li, "rcu-read-scope",
+              "raw snapshot pointer '" + var +
+                  ".get()' escapes via return; return the shared_ptr or "
+                  "use it inside the acquiring scope",
+              out);
+          continue;
+        }
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos || eq > vpos) continue;
+        const std::string lhs = IdentBefore(line, SkipSpacesBack(line, eq));
+        std::string rhs = Trimmed(line.substr(eq + 1));
+        if (!rhs.empty() && rhs.back() == ';') {
+          rhs = Trimmed(rhs.substr(0, rhs.size() - 1));
+        }
+        const bool rhs_is_snapshot =
+            rhs == var || rhs == var + ".get()" || rhs == "&*" + var;
+        if (!rhs_is_snapshot) continue;
+        if (lhs.ends_with("_")) {
+          Add(f, li, "rcu-read-scope",
+              "snapshot '" + var + "' escapes into member '" + lhs +
+                  "'; RCU readers must not publish acquired snapshots",
+              out);
+        } else if (HasToken(line, "static")) {
+          Add(f, li, "rcu-read-scope",
+              "snapshot '" + var +
+                  "' escapes into a static; it must not outlive the "
+                  "acquiring scope",
+              out);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool blocking / reentrancy
+// ---------------------------------------------------------------------------
+
+void CheckPoolBlocking(const Model& model, std::vector<Diagnostic>* out) {
+  // D: mutexes held (textually) around a ThreadPool dispatch outside
+  // src/util/. A pool task re-acquiring one of these can deadlock the
+  // dispatcher against its own pool.
+  std::map<std::string, Site> dispatch_held;
+  for (const Func& func : model.funcs) {
+    if (InUtil(func.file->path)) continue;
+    for (const CallEvent& c : func.calls) {
+      if (!c.is_dispatch) continue;
+      for (const auto& [m, s] : HeldAt(func, c.held, c.in_dispatch)) {
+        dispatch_held.emplace(m, c.site);
+      }
+    }
+  }
+  // Pool-reachable functions: closure of resolved calls from dispatch
+  // lambda bodies.
+  std::set<std::string> reachable;
+  std::vector<std::string> work;
+  for (const Func& func : model.funcs) {
+    for (const CallEvent& c : func.calls) {
+      if (c.in_dispatch && !c.resolved.empty() &&
+          reachable.insert(c.resolved).second) {
+        work.push_back(c.resolved);
+      }
+    }
+  }
+  while (!work.empty()) {
+    const std::string key = work.back();
+    work.pop_back();
+    const auto it = model.func_by_key.find(key);
+    if (it == model.func_by_key.end()) continue;
+    for (const size_t fi : it->second) {
+      for (const CallEvent& c : model.funcs[fi].calls) {
+        if (!c.resolved.empty() && reachable.insert(c.resolved).second) {
+          work.push_back(c.resolved);
+        }
+      }
+    }
+  }
+  for (const Func& func : model.funcs) {
+    if (InUtil(func.file->path)) continue;
+    const bool func_reachable = reachable.count(func.key) != 0;
+    for (const BlockEvent& b : func.blocking) {
+      if (!b.in_dispatch && !func_reachable) continue;
+      Add(*b.site.file, b.site.line, "pool-blocking",
+          "blocking call '" + b.what +
+              "' in pool-reachable code; pool tasks must not block "
+              "(starves the shared ThreadPool)",
+          out);
+    }
+    for (const AcqEvent& a : func.acquires) {
+      if (!a.in_dispatch && !func_reachable) continue;
+      const auto it = dispatch_held.find(a.mutex);
+      if (it == dispatch_held.end()) continue;
+      Add(*a.site.file, a.site.line, "pool-blocking",
+          "pool-reachable code acquires " + a.mutex +
+              ", which is held around a ThreadPool dispatch at " +
+              it->second.file->path + ":" +
+              std::to_string(it->second.line + 1) +
+              " (dispatcher can deadlock against its own pool)",
+          out);
+    }
+  }
+}
+
+}  // namespace
+
+void CheckConcurrency(const std::vector<SourceFile>& files,
+                      std::vector<Diagnostic>* out) {
+  Model model = BuildModel(files);
+  const std::map<std::string, Annotation> annotations =
+      CollectAnnotations(model, files, out);
+  ApplyRequires(&model, annotations);
+  const auto eff = EffectiveAcquires(model);
+  CheckLockOrder(ComputeEdges(model, eff), out);
+  CheckAnnotations(model, annotations, out);
+  CheckRcuReadScope(model, out);
+  CheckPoolBlocking(model, out);
+}
+
+}  // namespace internal
+
+LockOrderGraph BuildLockOrderGraph(const std::vector<SourceFile>& files) {
+  using internal::Add;
+  internal::Model model = internal::BuildModel(files);
+  std::vector<Diagnostic> sink;  // annotation-name diags are not our job
+  const auto annotations = internal::CollectAnnotations(model, files, &sink);
+  internal::ApplyRequires(&model, annotations);
+  const auto eff = internal::EffectiveAcquires(model);
+  const std::vector<internal::InternalEdge> internal_edges =
+      internal::ComputeEdges(model, eff);
+
+  LockOrderGraph graph;
+  std::set<std::string> nodes;
+  for (const internal::Func& func : model.funcs) {
+    for (const internal::AcqEvent& a : func.acquires) nodes.insert(a.mutex);
+  }
+  for (const internal::InternalEdge& e : internal_edges) {
+    nodes.insert(e.from);
+    nodes.insert(e.to);
+    LockOrderEdge edge;
+    edge.from = e.from;
+    edge.to = e.to;
+    edge.from_file = e.from_site.file->path;
+    edge.from_line = static_cast<int>(e.from_site.line) + 1;
+    edge.to_file = e.to_site.file->path;
+    edge.to_line = static_cast<int>(e.to_site.line) + 1;
+    edge.via = e.via;
+    graph.edges.push_back(std::move(edge));
+  }
+  graph.nodes.assign(nodes.begin(), nodes.end());
+  return graph;
+}
+
+std::string LockOrderDot(const LockOrderGraph& graph) {
+  std::string dot = "digraph lock_order {\n";
+  for (const std::string& n : graph.nodes) {
+    dot += "  \"" + n + "\";\n";
+  }
+  std::set<std::string> seen;
+  for (const LockOrderEdge& e : graph.edges) {
+    if (!seen.insert(e.from + "\n" + e.to).second) continue;
+    dot += "  \"" + e.from + "\" -> \"" + e.to + "\" [label=\"" + e.to_file +
+           ":" + std::to_string(e.to_line) + "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+std::string LockOrderText(const LockOrderGraph& graph) {
+  std::string text = "lock-order graph: " +
+                     std::to_string(graph.nodes.size()) + " nodes, " +
+                     std::to_string(graph.edges.size()) + " edges\n";
+  for (const std::string& n : graph.nodes) {
+    text += "node " + n + "\n";
+  }
+  for (const LockOrderEdge& e : graph.edges) {
+    text += "edge " + e.from + " -> " + e.to + "\n";
+    text += "  from: " + e.from_file + ":" + std::to_string(e.from_line) +
+            " (held since)\n";
+    text += "  to:   " + e.to_file + ":" + std::to_string(e.to_line) +
+            " (acquired at)\n";
+    if (!e.via.empty()) text += "  via:  " + e.via + "\n";
+  }
+  return text;
+}
+
+}  // namespace lint
+}  // namespace nmcdr

@@ -1,0 +1,155 @@
+// Include-graph rules: include-layering (the src/ module DAG) and
+// include-cycle (file-level acyclicity). See tools/lint/lint.h for the
+// rule catalogue.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tools/lint/lint_internal.h"
+
+namespace nmcdr {
+namespace lint {
+namespace internal {
+namespace {
+
+/// Layer of a src/ module; -1 for unknown. Including across modules is
+/// only legal downward or sideways in this order (same-module includes
+/// are always fine; cycles among files are caught by the separate cycle
+/// rule). Derived from the dependency order
+///   util -> {obs, tensor} -> {autograd, graph} -> data -> core ->
+///   {baselines, eval} -> train -> {analysis, serving, verify}.
+/// obs sits beside tensor (above util only) so the kernel dispatchers can
+/// open KernelScopes while obs itself stays dependency-free.
+int ModuleRank(const std::string& module) {
+  static const std::unordered_map<std::string, int> kRanks = {
+      {"util", 0},      {"obs", 1},    {"tensor", 1},
+      {"autograd", 2},  {"graph", 2},
+      {"data", 3},      {"core", 4},   {"baselines", 5}, {"eval", 5},
+      {"train", 6},     {"analysis", 7}, {"serving", 7}, {"verify", 7},
+  };
+  const auto it = kRanks.find(module);
+  return it == kRanks.end() ? -1 : it->second;
+}
+
+void CheckIncludeLayering(const std::vector<SourceFile>& files,
+                          std::vector<Diagnostic>* out) {
+  std::unordered_map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+  for (const SourceFile& f : files) {
+    const std::string from_module = SrcModule(f.path);
+    if (from_module.empty()) continue;
+    const int from_rank = ModuleRank(from_module);
+    for (const IncludeEdge& e : ExtractIncludes(f)) {
+      const std::string resolved = ResolveInclude(e.target, by_path);
+      const std::string to_module = SrcModule(resolved);
+      if (to_module.empty() || to_module == from_module) continue;
+      const int to_rank = ModuleRank(to_module);
+      if (from_rank < 0) {
+        Add(f, e.line, "include-layering",
+            "module '" + from_module +
+                "' has no declared layer; add it to ModuleRank in "
+                "tools/lint/rules_include.cc",
+            out);
+        break;  // one finding per undeclared module is enough
+      }
+      if (to_rank < 0) {
+        Add(f, e.line, "include-layering",
+            "included module '" + to_module +
+                "' has no declared layer; add it to ModuleRank in "
+                "tools/lint/rules_include.cc",
+            out);
+        continue;
+      }
+      if (from_rank < to_rank) {
+        Add(f, e.line, "include-layering",
+            "src/" + from_module + " (layer " + std::to_string(from_rank) +
+                ") must not include src/" + to_module + " (layer " +
+                std::to_string(to_rank) +
+                "); declared order: util -> {obs, tensor} -> "
+                "{autograd, graph} -> data -> core -> {baselines, eval} -> "
+                "train -> {analysis, serving, verify}",
+            out);
+      }
+    }
+  }
+}
+
+void CheckIncludeCycles(const std::vector<SourceFile>& files,
+                        std::vector<Diagnostic>* out) {
+  std::unordered_map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+
+  // File-level include DAG restricted to files in the set.
+  std::unordered_map<std::string, std::vector<std::string>> graph;
+  std::unordered_map<std::string, size_t> first_include_line;
+  for (const SourceFile& f : files) {
+    for (const IncludeEdge& e : ExtractIncludes(f)) {
+      const std::string resolved = ResolveInclude(e.target, by_path);
+      if (resolved.empty() || resolved == f.path) continue;
+      graph[f.path].push_back(resolved);
+      if (first_include_line.count(f.path) == 0) {
+        first_include_line[f.path] = e.line;
+      }
+    }
+  }
+
+  // Iterative three-color DFS; a back edge closes a cycle, reported once
+  // with the full path along the DFS stack.
+  enum class Color { kWhite, kGray, kBlack };
+  std::unordered_map<std::string, Color> color;
+  std::vector<std::string> order;
+  order.reserve(files.size());
+  for (const SourceFile& f : files) order.push_back(f.path);
+
+  for (const std::string& root : order) {
+    if (color[root] != Color::kWhite) continue;
+    struct Frame {
+      std::string node;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root});
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::vector<std::string>& next = graph[frame.node];
+      if (frame.next >= next.size()) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& child = next[frame.next++];
+      if (color[child] == Color::kWhite) {
+        color[child] = Color::kGray;
+        stack.push_back({child});
+      } else if (color[child] == Color::kGray) {
+        // Cycle: child .. stack.back() .. child.
+        std::string chain = child;
+        size_t start = 0;
+        for (size_t i = 0; i < stack.size(); ++i) {
+          if (stack[i].node == child) start = i;
+        }
+        for (size_t i = start + 1; i < stack.size(); ++i) {
+          chain += " -> " + stack[i].node;
+        }
+        chain += " -> " + child;
+        const SourceFile* f = by_path.at(child);
+        Add(*f, first_include_line.count(child) ? first_include_line[child] : 0,
+            "include-cycle", "#include cycle: " + chain, out);
+        color[child] = Color::kBlack;  // report each cycle entry once
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CheckIncludeRules(const std::vector<SourceFile>& files,
+                       std::vector<Diagnostic>* out) {
+  CheckIncludeLayering(files, out);
+  CheckIncludeCycles(files, out);
+}
+
+}  // namespace internal
+}  // namespace lint
+}  // namespace nmcdr

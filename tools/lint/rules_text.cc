@@ -1,0 +1,426 @@
+// Line/token-level rules: include-guard, using-namespace-header,
+// banned-rand/assert/thread/chrono, iostream-header, naked-new,
+// rcu-only-publish, and the cross-file guarded-by rule. See
+// tools/lint/lint.h for the rule catalogue.
+#include <cctype>
+#include <unordered_map>
+
+#include "tools/lint/lint_internal.h"
+
+namespace nmcdr {
+namespace lint {
+namespace internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule: include-guard
+// ---------------------------------------------------------------------------
+
+void CheckIncludeGuard(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (!IsHeader(f.path)) return;
+  const std::string expected = ExpectedGuard(f.path);
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string line = Trimmed(f.code[i]);
+    if (!line.starts_with("#ifndef")) continue;
+    const std::string guard = Trimmed(line.substr(7));
+    if (guard != expected) {
+      Add(f, i, "include-guard",
+          "include guard '" + guard + "' does not match file path; expected '" +
+              expected + "'",
+          out);
+      return;
+    }
+    // The matching #define must follow on the next code-bearing line.
+    for (size_t j = i + 1; j < f.code.size(); ++j) {
+      const std::string next = Trimmed(f.code[j]);
+      if (next.empty()) continue;
+      if (Trimmed(next) != "#define " + expected &&
+          !(next.starts_with("#define") && Trimmed(next.substr(7)) == expected)) {
+        Add(f, j, "include-guard",
+            "#ifndef " + expected + " must be followed by #define " + expected,
+            out);
+      }
+      return;
+    }
+    return;
+  }
+  Add(f, 0, "include-guard", "header has no include guard; expected #ifndef " +
+                                 expected,
+      out);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: using-namespace-header
+// ---------------------------------------------------------------------------
+
+void CheckUsingNamespace(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (!IsHeader(f.path)) return;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const size_t u = FindToken(f.code[i], "using");
+    if (u == std::string::npos) continue;
+    const size_t ns = FindToken(f.code[i], "namespace", u);
+    if (ns == std::string::npos) continue;
+    // Only whitespace may separate the two tokens.
+    if (Trimmed(f.code[i].substr(u + 5, ns - (u + 5))).empty()) {
+      Add(f, i, "using-namespace-header",
+          "'using namespace' in a header leaks into every includer", out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: banned-rand / banned-assert
+// ---------------------------------------------------------------------------
+
+void CheckBannedCalls(const SourceFile& f, std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (HasTokenCall(line, "rand") || HasTokenCall(line, "srand") ||
+        HasTokenCall(line, "rand_r")) {
+      Add(f, i, "banned-rand",
+          "rand()/srand() is non-reproducible global state; use "
+          "nmcdr::Rng (src/tensor/rng.h)",
+          out);
+    }
+    if (HasTokenCall(line, "assert")) {
+      Add(f, i, "banned-assert",
+          "assert() vanishes under NDEBUG; use NMCDR_CHECK* "
+          "(src/util/check.h), which stays armed in Release",
+          out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-thread
+// ---------------------------------------------------------------------------
+
+void CheckBannedThread(const SourceFile& f, std::vector<Diagnostic>* out) {
+  // The one sanctioned home of raw threads. Everything else goes through
+  // ThreadPool so thread count, shutdown order, and sanitizer coverage are
+  // decided in a single place.
+  if (f.path.starts_with("src/util/thread_pool.")) return;
+  static const std::string kThreadTypes[] = {"std::thread", "std::jthread"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool flagged = false;
+    for (const std::string& tok : kThreadTypes) {
+      // FindToken's word-boundary test works for qualified names too: ':'
+      // is not a word character, so "std::thread" neither matches inside
+      // "std::this_thread" nor needs special casing at its own edges.
+      size_t pos = FindToken(line, tok);
+      while (pos != std::string::npos && !flagged) {
+        // `std::thread::hardware_concurrency()` is a capability query, not
+        // a thread construction; a following "::" keeps it legal.
+        size_t j = pos + tok.size();
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        if (!(j + 1 < line.size() && line[j] == ':' && line[j + 1] == ':')) {
+          Add(f, i, "banned-thread",
+              tok + " outside src/util/thread_pool.*; run work on "
+                    "ThreadPool::Shared() (Submit/ParallelFor) so thread "
+                    "count, shutdown, and sanitizer coverage stay "
+                    "centralized",
+              out);
+          flagged = true;
+        }
+        pos = FindToken(line, tok, pos + tok.size());
+      }
+      if (flagged) break;
+    }
+    if (!flagged && FindToken(line, "std::async") != std::string::npos) {
+      Add(f, i, "banned-thread",
+          "std::async outside src/util/thread_pool.*; it spawns unmanaged "
+          "threads with blocking-future semantics — use "
+          "ThreadPool::Shared()->Submit with a promise instead",
+          out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-chrono
+// ---------------------------------------------------------------------------
+
+void CheckBannedChrono(const SourceFile& f, std::vector<Diagnostic>* out) {
+  // Raw clock reads live in exactly two places: the observability layer
+  // (obs::NowNs) and util's Stopwatch. Everything else measures time
+  // through those, so every timing datum flows into one instrumentation
+  // pipeline and tests can reason about a single clock.
+  if (f.path.starts_with("src/obs/") || f.path.starts_with("src/util/")) {
+    return;
+  }
+  static const std::string kClockTypes[] = {"steady_clock", "system_clock",
+                                            "high_resolution_clock"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (const std::string& tok : kClockTypes) {
+      size_t pos = FindToken(line, tok);
+      bool flagged = false;
+      while (pos != std::string::npos && !flagged) {
+        // Only a `::now` use is a clock read; mentioning the type (say, in
+        // a time_point alias that never samples) is legal.
+        size_t j = pos + tok.size();
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+          ++j;
+        }
+        size_t k = j + 2;
+        while (k < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[k])) != 0) {
+          ++k;
+        }
+        if (j + 1 < line.size() && line[j] == ':' && line[j + 1] == ':' &&
+            FindToken(line, "now", k) == k) {
+          Add(f, i, "banned-chrono",
+              "std::chrono::" + tok +
+                  "::now() outside src/obs/ and src/util/; measure time "
+                  "through obs::NowNs / ScopedTimer / TraceSpan "
+                  "(src/obs/) or Stopwatch (src/util/) so all timing "
+                  "flows through the observability layer",
+              out);
+          flagged = true;
+        }
+        pos = FindToken(line, tok, pos + tok.size());
+      }
+      if (flagged) break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: iostream-header
+// ---------------------------------------------------------------------------
+
+void CheckIostreamHeader(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (!IsHeader(f.path) || !f.path.starts_with("src/")) return;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string line = Trimmed(f.code[i]);
+    if (line.starts_with("#include") &&
+        line.find("<iostream>") != std::string::npos) {
+      Add(f, i, "iostream-header",
+          "<iostream> in a src/ header drags its static init and heavy "
+          "includes into every hot-path TU; use util/logging.h or move IO "
+          "into a .cc",
+          out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: naked-new
+// ---------------------------------------------------------------------------
+
+void CheckNakedNew(const SourceFile& f, std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (HasToken(line, "new")) {
+      Add(f, i, "naked-new",
+          "naked new; use std::make_unique/std::make_shared or a container",
+          out);
+    }
+    size_t pos = FindToken(line, "delete");
+    while (pos != std::string::npos) {
+      // `= delete` (deleted special members) is not a deallocation.
+      size_t k = pos;
+      while (k > 0 &&
+             std::isspace(static_cast<unsigned char>(line[k - 1])) != 0) {
+        --k;
+      }
+      if (k == 0 || line[k - 1] != '=') {
+        Add(f, i, "naked-new",
+            "naked delete; ownership must live in a smart pointer or "
+            "container",
+            out);
+        break;
+      }
+      pos = FindToken(line, "delete", pos + 6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: rcu-only-publish
+// ---------------------------------------------------------------------------
+
+void CheckRcuOnlyPublish(const SourceFile& f, std::vector<Diagnostic>* out) {
+  // Snapshot pointers held by serving components are RCU-published state:
+  // every replacement must go through SnapshotRegistry::Publish so swaps
+  // stay atomic, versioned, and metered. Outside the registry itself, no
+  // serving code may assign, reset, or swap a `*snapshot_` member
+  // directly. Constructor init-lists (`snapshot_(...)`) and reads
+  // (`snapshot_->`, `*snapshot_`) stay legal.
+  if (!f.path.starts_with("src/serving/")) return;
+  if (f.path.starts_with("src/serving/cluster/snapshot_registry.")) return;
+  static const std::string kMember = "snapshot_";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    size_t pos = line.find(kMember);
+    bool flagged = false;
+    while (pos != std::string::npos && !flagged) {
+      const size_t end = pos + kMember.size();
+      // `snapshot_` must END an identifier here (snapshot_version etc.
+      // continue with word characters and are unrelated fields).
+      if (end < line.size() && IsWordChar(line[end])) {
+        pos = line.find(kMember, pos + 1);
+        continue;
+      }
+      size_t j = end;
+      while (j < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+        ++j;
+      }
+      const bool assigns =
+          j < line.size() && line[j] == '=' &&
+          (j + 1 >= line.size() || line[j + 1] != '=');
+      const bool mutates = line.compare(j, 7, ".reset(") == 0 ||
+                           line.compare(j, 6, ".swap(") == 0;
+      if (assigns || mutates) {
+        Add(f, i, "rcu-only-publish",
+            "direct mutation of snapshot pointer '" +
+                line.substr(pos, kMember.size()) +
+                "' outside src/serving/cluster/snapshot_registry.*; route "
+                "snapshot replacement through SnapshotRegistry::Publish so "
+                "swaps stay atomic, versioned, and refcounted",
+            out);
+        flagged = true;
+      }
+      pos = line.find(kMember, pos + 1);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rule: guarded-by
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MutexMember {
+  std::string name;
+  size_t decl_line = 0;
+  int annotations = 0;
+};
+
+std::string ExtractGuardedByTarget(const std::string& comment) {
+  const size_t pos = comment.find("GUARDED_BY(");
+  if (pos == std::string::npos) return "";
+  const size_t open = pos + 11;
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) return "";
+  return Trimmed(comment.substr(open, close - open));
+}
+
+bool LineLocksMutex(const std::string& code, const std::string& mutex_name) {
+  if (!HasToken(code, mutex_name)) return false;
+  if (HasToken(code, "lock_guard") || HasToken(code, "unique_lock") ||
+      HasToken(code, "scoped_lock")) {
+    return true;
+  }
+  return code.find(mutex_name + ".lock()") != std::string::npos;
+}
+
+/// The headers whose mutex members must carry checked annotations: the
+/// whole serving tier plus the two shared concurrent foundations (the
+/// thread pool and the metrics registry).
+bool GuardedByApplies(const std::string& path) {
+  return path.starts_with("src/serving/") ||
+         path.starts_with("src/util/thread_pool.") ||
+         path.starts_with("src/obs/metrics.");
+}
+
+}  // namespace
+
+void CheckGuardedBy(const std::vector<SourceFile>& files,
+                    std::vector<Diagnostic>* out) {
+  std::unordered_map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+
+  for (const SourceFile& f : files) {
+    if (!GuardedByApplies(f.path) || !IsHeader(f.path)) continue;
+    const SourceFile* impl = nullptr;
+    const auto it = by_path.find(f.path.substr(0, f.path.size() - 2) + ".cc");
+    if (it != by_path.end()) impl = it->second;
+
+    for (const ClassRegion& region : FindClasses(f)) {
+      std::vector<MutexMember> mutexes;
+      for (size_t i = region.begin; i <= region.end; ++i) {
+        const size_t pos = f.code[i].find("std::mutex");
+        if (pos == std::string::npos) continue;
+        size_t p = pos + 10;
+        while (p < f.code[i].size() &&
+               std::isspace(static_cast<unsigned char>(f.code[i][p])) != 0) {
+          ++p;
+        }
+        size_t q = p;
+        while (q < f.code[i].size() && IsWordChar(f.code[i][q])) ++q;
+        if (q > p) mutexes.push_back({f.code[i].substr(p, q - p), i, 0});
+      }
+
+      for (size_t i = region.begin; i <= region.end; ++i) {
+        const std::string target = ExtractGuardedByTarget(f.comments[i]);
+        if (target.empty()) continue;
+        bool known = false;
+        for (MutexMember& m : mutexes) {
+          if (m.name == target) {
+            ++m.annotations;
+            known = true;
+          }
+        }
+        if (!known) {
+          Add(f, i, "guarded-by",
+              "GUARDED_BY(" + target + ") in class " + region.name +
+                  " names no std::mutex member of that class",
+              out);
+        }
+      }
+
+      for (const MutexMember& m : mutexes) {
+        if (m.annotations == 0) {
+          Add(f, m.decl_line, "guarded-by",
+              "std::mutex member '" + m.name + "' of concurrent class " +
+                  region.name +
+                  " has no GUARDED_BY member annotations; document what it "
+                  "protects",
+              out);
+          continue;
+        }
+        bool locked = false;
+        for (size_t i = region.begin; i <= region.end && !locked; ++i) {
+          locked = LineLocksMutex(f.code[i], m.name);
+        }
+        if (impl != nullptr) {
+          for (size_t i = 0; i < impl->code.size() && !locked; ++i) {
+            locked = LineLocksMutex(impl->code[i], m.name);
+          }
+        }
+        if (!locked) {
+          Add(f, m.decl_line, "guarded-by",
+              "mutex '" + m.name + "' of concurrent class " + region.name +
+                  " carries GUARDED_BY annotations but is never locked in " +
+                  f.path + (impl != nullptr ? " or its .cc" : ""),
+              out);
+        }
+      }
+    }
+  }
+}
+
+void CheckTextRules(const SourceFile& f, std::vector<Diagnostic>* out) {
+  CheckIncludeGuard(f, out);
+  CheckUsingNamespace(f, out);
+  CheckBannedCalls(f, out);
+  CheckBannedThread(f, out);
+  CheckBannedChrono(f, out);
+  CheckIostreamHeader(f, out);
+  CheckNakedNew(f, out);
+  CheckRcuOnlyPublish(f, out);
+}
+
+}  // namespace internal
+}  // namespace lint
+}  // namespace nmcdr
