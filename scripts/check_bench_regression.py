@@ -177,6 +177,29 @@ def self_test(tolerance, slack_ms):
     if failures:
         print(f"self-test FAILED: faster latency run flagged ({failures})")
         return 1
+
+    # Missing/new entries warn but never gate, in either direction: renaming
+    # a kernel or adding a gauge must not force a same-commit baseline bump.
+    skewed_run = dict(run)
+    skewed_run.pop("SpMM")
+    skewed_run["BrandNewKernel"] = 0.001
+    failures, lines = compare(skewed_run, run, tolerance)
+    if failures:
+        print(f"self-test FAILED: missing/new kernel entries gated ({failures})")
+        return 1
+    if not any("MISSING" in l for l in lines) or not any("NEW" in l for l in lines):
+        print("self-test FAILED: missing/new kernel entries not reported")
+        return 1
+    skewed_lat = dict(lat)
+    skewed_lat.pop("serving.batch8.p99_ms")
+    skewed_lat["brand.new.p99_ms"] = 1e9
+    failures, lines = compare_latency(skewed_lat, lat, tolerance, slack_ms)
+    if failures:
+        print(f"self-test FAILED: missing/new latency gauges gated ({failures})")
+        return 1
+    if not any("MISSING" in l for l in lines) or not any("NEW" in l for l in lines):
+        print("self-test FAILED: missing/new latency gauges not reported")
+        return 1
     print(f"self-test passed (tolerance {tolerance:.0%}, "
           f"latency slack {slack_ms:.2f} ms)")
     return 0

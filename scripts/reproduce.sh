@@ -43,6 +43,14 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 ./build/tools/nmcdr_analyze --scale="$SCALE" --gradcheck \
   --report=analyze_report.txt
 
+# Static hot-path gate: the serving hot path must stay allocation-, throw-,
+# and copy-free (ctest already ran hotpath_lint_test; re-running here keeps
+# the report next to the other gates and renders the hot call tree that
+# documents exactly which functions the zero-alloc discipline covers).
+./build/tools/nmcdr_lint --hotpath . 2>&1 | tee hotpath_lint_report.txt
+./build/tools/nmcdr_hotpath --dot=hot_path.dot --text=hot_path.txt . \
+  | tee hotpath_report.txt
+
 # In smoke mode, additionally run the sanitizer matrix (separate
 # instrumented build trees): ASan+UBSan (full suite, or the concurrent
 # subset under --fast) and the concurrent serving runtime under TSan.
@@ -98,4 +106,5 @@ mkdir -p "results/$SCALE"
 mv -f ./*.csv "results/$SCALE"/ 2>/dev/null || true
 
 echo
-echo "done: test_output.txt, analyze_report.txt, bench_output.txt, results/$SCALE/*.csv"
+echo "done: test_output.txt, analyze_report.txt, hotpath_lint_report.txt," \
+     "hotpath_report.txt, bench_output.txt, results/$SCALE/*.csv"

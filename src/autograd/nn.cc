@@ -103,6 +103,7 @@ Mlp::Mlp(ParameterStore* store, const std::string& name,
          const std::vector<int>& dims, Rng* rng, Activation hidden_act)
     : hidden_act_(hidden_act) {
   NMCDR_CHECK_GE(dims.size(), 2u);
+  layers_.reserve(dims.size() - 1);
   for (size_t i = 0; i + 1 < dims.size(); ++i) {
     layers_.emplace_back(store, name + ".l" + std::to_string(i), dims[i],
                          dims[i + 1], rng);

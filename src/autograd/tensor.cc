@@ -73,7 +73,8 @@ NoGradGuard::NoGradGuard() : previous_(GradEnabledFlag()) {
 
 NoGradGuard::~NoGradGuard() { GradEnabledFlag() = previous_; }
 
-Tensor MakeOpNode(const char* op, Matrix value, std::vector<Tensor> parents,
+Tensor MakeOpNode(const char* op, Matrix value,
+                  const std::vector<Tensor>& parents,
                   std::function<void(Node*)> backward) {
   const bool record =
       GradEnabled() &&

@@ -109,7 +109,8 @@ class NoGradGuard {
 /// tape-validation diagnostics, and the meta-tensor shape verifier — see
 /// autograd/meta.h; under a MetaModeGuard, ops short-circuit to their
 /// registered shape rule instead of running kernels).
-Tensor MakeOpNode(const char* op, Matrix value, std::vector<Tensor> parents,
+Tensor MakeOpNode(const char* op, Matrix value,
+                  const std::vector<Tensor>& parents,
                   std::function<void(Node*)> backward);
 
 }  // namespace ag

@@ -39,6 +39,9 @@ bool SplitPairwise(const LabeledBatch& batch, std::vector<int>* pos_users,
   neg_items->clear();
   int current_user = -1, current_item = -1;
   bool have_pos = false;
+  pos_users->reserve(batch.size());
+  pos_items->reserve(batch.size());
+  neg_items->reserve(batch.size());
   for (int i = 0; i < batch.size(); ++i) {
     if (batch.labels[i] > 0.5f) {
       current_user = batch.users[i];

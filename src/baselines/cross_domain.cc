@@ -123,6 +123,7 @@ MinetModel::MinetModel(const ScenarioView& view, const CommonHyper& hyper,
     dom->transfer = std::make_unique<ag::Linear>(&store_, prefix + ".transfer",
                                                  d, d, &rng_);
     std::vector<int> dims = {4 * d};
+    dims.reserve(hyper.mlp_hidden.size() + 2);
     for (int hdim : hyper.mlp_hidden) dims.push_back(hdim);
     dims.push_back(1);
     dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp", dims, &rng_);
@@ -215,6 +216,7 @@ GaDtcdrModel::GaDtcdrModel(const ScenarioView& view, const CommonHyper& hyper,
     dom->gate = std::make_unique<ag::Linear>(&store_, prefix + ".gate", 2 * d,
                                              d, &rng_);
     std::vector<int> dims = {2 * d};
+    dims.reserve(hyper.mlp_hidden.size() + 2);
     for (int hdim : hyper.mlp_hidden) dims.push_back(hdim);
     dims.push_back(1);
     dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp", dims, &rng_);

@@ -7,6 +7,7 @@ namespace {
 
 std::vector<int> TowerDims(int in, const std::vector<int>& hidden) {
   std::vector<int> dims = {in};
+  dims.reserve(hidden.size() + 2);
   for (int h : hidden) dims.push_back(h);
   dims.push_back(1);
   return dims;
@@ -56,6 +57,7 @@ MmoeModel::MmoeModel(const ScenarioView& view, const CommonHyper& hyper,
   item_emb_zbar = store_.Register(
       "item_zbar",
       Matrix::Gaussian(view.scenario->zbar.num_items, d, &rng_, 0.f, 0.1f));
+  experts_.reserve(kNumExperts);
   for (int k = 0; k < kNumExperts; ++k) {
     experts_.push_back(std::make_unique<ag::Linear>(
         &store_, "expert" + std::to_string(k), 2 * d, d, &rng_));
@@ -82,6 +84,7 @@ ag::Tensor MmoeModel::Logits(DomainSide side, const std::vector<int>& users,
       ag::Embedding(is_z ? item_emb_z : item_emb_zbar, items);
   const ag::Tensor x = ag::ConcatCols(u, v);
   std::vector<const ag::Linear*> experts;
+  experts.reserve(experts_.size());
   for (const auto& e : experts_) experts.push_back(e.get());
   const ag::Tensor mixed =
       ExpertMixture(x, is_z ? *gate_z_ : *gate_zbar_, experts);
@@ -133,10 +136,13 @@ PleModel::PleModel(const ScenarioView& view, const CommonHyper& hyper,
   item_emb_zbar = store_.Register(
       "item_zbar",
       Matrix::Gaussian(view.scenario->zbar.num_items, d, &rng_, 0.f, 0.1f));
+  shared_experts_.reserve(kSharedExperts);
   for (int k = 0; k < kSharedExperts; ++k) {
     shared_experts_.push_back(std::make_unique<ag::Linear>(
         &store_, "shared_expert" + std::to_string(k), 2 * d, d, &rng_));
   }
+  experts_z_.reserve(kTaskExperts);
+  experts_zbar_.reserve(kTaskExperts);
   for (int k = 0; k < kTaskExperts; ++k) {
     experts_z_.push_back(std::make_unique<ag::Linear>(
         &store_, "expert_z" + std::to_string(k), 2 * d, d, &rng_));
@@ -167,6 +173,7 @@ ag::Tensor PleModel::Logits(DomainSide side, const std::vector<int>& users,
   // Progressive extraction: the task gate addresses its own experts first,
   // then the shared pool.
   std::vector<const ag::Linear*> experts;
+  experts.reserve(kTaskExperts + kSharedExperts);
   for (const auto& e : (is_z ? experts_z_ : experts_zbar_)) {
     experts.push_back(e.get());
   }

@@ -18,6 +18,7 @@ std::vector<float> ReadLogits(const ag::Tensor& logits) {
 
 std::vector<int> MlpDims(int in, const std::vector<int>& hidden) {
   std::vector<int> dims = {in};
+  dims.reserve(hidden.size() + 2);
   for (int h : hidden) dims.push_back(h);
   dims.push_back(1);
   return dims;
@@ -94,6 +95,8 @@ float DmlModel::TrainStep(const LabeledBatch& batch_z,
 
   // Dual metric alignment on the visible overlapped pairs in this batch.
   std::vector<int> linked_z, linked_zbar;
+  linked_z.reserve(batch_z.users.size());
+  linked_zbar.reserve(batch_z.users.size());
   for (int u : batch_z.users) {
     const int m = view_.scenario->z_to_zbar[u];
     if (m >= 0) {
@@ -294,6 +297,7 @@ ag::Tensor PtupcdrModel::EffectiveUsers(DomainSide side,
   // Source profile p_u: mean of the linked user's source-domain history
   // (the characteristic encoder); zero rows for unlinked users.
   auto profiles = std::make_shared<std::vector<std::vector<int>>>();
+  profiles->reserve(users.size());
   std::vector<int> idx(users.size(), 0);
   Matrix mask(static_cast<int>(users.size()), 1);
   for (size_t i = 0; i < users.size(); ++i) {

@@ -29,6 +29,7 @@ LrModel::LrModel(const ScenarioView& view, const CommonHyper& hyper, float lr)
     dom->item_emb = EmbeddingTable(&store_, prefix + ".item", data.num_items,
                                    hyper.embed_dim, &rng_);
     std::vector<int> dims = {2 * hyper.embed_dim};
+    dims.reserve(hyper.mlp_hidden.size() + 2);
     for (int h : hyper.mlp_hidden) dims.push_back(h);
     dims.push_back(1);
     dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp", dims, &rng_);
@@ -141,6 +142,7 @@ NeuMfModel::NeuMfModel(const ScenarioView& view, const CommonHyper& hyper,
     dom->mlp_item =
         EmbeddingTable(&store_, prefix + ".mlp_v", data.num_items, d, &rng_);
     std::vector<int> dims = {2 * d};
+    dims.reserve(hyper.mlp_hidden.size() + 1);
     for (int h : hyper.mlp_hidden) dims.push_back(h);
     dom->mlp = std::make_unique<ag::Mlp>(&store_, prefix + ".mlp", dims, &rng_);
     dom->fuse = std::make_unique<ag::Linear>(

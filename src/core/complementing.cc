@@ -31,6 +31,7 @@ std::shared_ptr<const std::vector<std::vector<int>>> BuildComplementCandidates(
     list = train_graph.UserNeighbors(u);
     if (observed_only || extra <= 0) continue;
     const int budget = std::min(extra, num_items - train_graph.UserDegree(u));
+    list.reserve(list.size() + budget);
     // "Potential missing interactions": propose items from the user's
     // two-hop neighbourhood (items of users who share an item with u) —
     // plausible virtual links rather than uniform noise. Draw a co-user,

@@ -75,6 +75,7 @@ MultiDomainNmcdrModel::MultiDomainNmcdrModel(const MultiDomainView& view,
       if (person >= 0) dom.person_to_user[person] = u;
     }
     dom.non_overlap_pool.clear();
+    dom.non_overlap_pool.reserve(data.num_users);
     for (int u = 0; u < data.num_users; ++u) {
       // Non-overlapped from the perspective of other domains: users whose
       // person id is unknown or present in this domain only.
@@ -262,6 +263,7 @@ void MultiDomainNmcdrModel::RefreshEvalReps() {
   std::vector<ag::Tensor> reps =
       ForwardAll(&eval_rng, /*force_candidate_refresh=*/true);
   cached_reps_.clear();
+  cached_reps_.reserve(reps.size());
   for (const ag::Tensor& t : reps) cached_reps_.push_back(t.value());
   for (DomainState& dom : domains_) dom.complement_cache = nullptr;
   reps_dirty_ = false;

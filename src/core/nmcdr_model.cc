@@ -38,6 +38,8 @@ void NmcdrModel::InitDomain(DomainSide side, DomainState* dom, Rng* rng) {
       Matrix::Gaussian(data.num_items, d, rng, 0.f, 0.1f));
   dom->encoder = std::make_unique<HeteroGraphEncoder>(
       &store_, prefix, d, config_.hge_layers, rng, config_.gnn_kernel);
+  dom->intra.reserve(config_.intra_inter_layers);
+  dom->inter.reserve(config_.intra_inter_layers);
   for (int l = 0; l < config_.intra_inter_layers; ++l) {
     dom->intra.push_back(std::make_unique<IntraMatchingComponent>(
         &store_, prefix + ".intra" + std::to_string(l), d, rng,
@@ -46,6 +48,7 @@ void NmcdrModel::InitDomain(DomainSide side, DomainState* dom, Rng* rng) {
         &store_, prefix + ".inter" + std::to_string(l), d, rng,
         config_.gate_fusion));
   }
+  dom->complement.reserve(config_.complement_layers);
   for (int l = 0; l < config_.complement_layers; ++l) {
     dom->complement.push_back(std::make_unique<ComplementingComponent>(
         &store_, prefix + ".comp" + std::to_string(l), d, rng));
@@ -74,6 +77,7 @@ void NmcdrModel::ForwardBoth(Rng* rng, StageTensors* z, StageTensors* zbar,
   // could be cached; kept explicit for clarity and low cost).
   auto build_non_overlap = [](const std::vector<int>& self_index) {
     std::vector<int> pool;
+    pool.reserve(self_index.size());
     for (size_t u = 0; u < self_index.size(); ++u) {
       if (self_index[u] < 0) pool.push_back(static_cast<int>(u));
     }

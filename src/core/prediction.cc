@@ -8,6 +8,7 @@ namespace {
 
 std::vector<int> MlpDims(int dim, const std::vector<int>& hidden) {
   std::vector<int> dims;
+  dims.reserve(hidden.size() + 2);
   dims.push_back(2 * dim);
   for (int h : hidden) dims.push_back(h);
   dims.push_back(1);
@@ -41,10 +42,10 @@ Matrix FrozenPredictionHead::Forward(const Matrix& user_rows,
   Matrix h0 = MatMul(user_rows, w0_user);
   MatMulAccumInto(item_rows, w0_item, &h0);
   const Matrix gmf_dot = MatMul(Hadamard(user_rows, item_rows), gmf_w);
-  return ForwardFromHidden(std::move(h0), gmf_dot);
+  return ForwardFromHidden(h0, gmf_dot);
 }
 
-Matrix FrozenPredictionHead::ForwardFromHidden(Matrix h0,
+Matrix FrozenPredictionHead::ForwardFromHidden(const Matrix& h0,
                                                const Matrix& gmf_dot) const {
   NMCDR_CHECK_EQ(h0.cols(), b0.cols());
   NMCDR_CHECK_EQ(w.size(), b.size());
@@ -86,6 +87,8 @@ FrozenPredictionHead PredictionLayer::Freeze() const {
     }
   }
   head.b0 = mlp_.layer(0).bias().value();
+  head.w.reserve(mlp_.num_layers() - 1);
+  head.b.reserve(mlp_.num_layers() - 1);
   for (int l = 1; l < mlp_.num_layers(); ++l) {
     head.w.push_back(mlp_.layer(l).weight().value());
     head.b.push_back(mlp_.layer(l).bias().value());

@@ -37,7 +37,7 @@ struct FrozenPredictionHead {
   /// [B,H] (user+item partial sums, bias NOT yet added) and the per-row
   /// weighted products `gmf_dot` [B,1] (= (u (.) v) . gmf_w, bias NOT yet
   /// added). Split out so engines can precompute either input per block.
-  Matrix ForwardFromHidden(Matrix h0, const Matrix& gmf_dot) const;
+  Matrix ForwardFromHidden(const Matrix& h0, const Matrix& gmf_dot) const;
 };
 
 /// Prediction layer (§II.F, Eq. 20): stacked MLPs over [u || v] plus an

@@ -54,6 +54,7 @@ void CdrScenario::CheckConsistency() const {
 
 std::vector<int> DomainSplit::TestUsers() const {
   std::vector<int> out;
+  out.reserve(test_item.size());
   for (size_t u = 0; u < test_item.size(); ++u) {
     if (test_item[u] >= 0) out.push_back(static_cast<int>(u));
   }
@@ -62,6 +63,7 @@ std::vector<int> DomainSplit::TestUsers() const {
 
 std::vector<int> DomainSplit::ValidUsers() const {
   std::vector<int> out;
+  out.reserve(valid_item.size());
   for (size_t u = 0; u < valid_item.size(); ++u) {
     if (valid_item[u] >= 0) out.push_back(static_cast<int>(u));
   }
@@ -100,6 +102,7 @@ CdrScenario ApplyOverlapRatio(const CdrScenario& scenario, double ratio,
   NMCDR_CHECK_GE(ratio, 0.0);
   NMCDR_CHECK_LE(ratio, 1.0);
   std::vector<int> linked;
+  linked.reserve(scenario.z.num_users);
   for (int u = 0; u < scenario.z.num_users; ++u) {
     if (scenario.z_to_zbar[u] >= 0) linked.push_back(u);
   }
@@ -131,6 +134,7 @@ DomainData ApplyDensityToDomain(const DomainData& domain, double ratio,
   }
   DomainData out = domain;
   out.interactions.clear();
+  out.interactions.reserve(domain.interactions.size());
   for (int u = 0; u < domain.num_users; ++u) {
     std::vector<int>& items = per_user[u];
     const int n = static_cast<int>(items.size());

@@ -85,6 +85,9 @@ bool ImportInteractions(const std::string& path, const ImportOptions& options,
   imported.domain.name = path;
   std::unordered_map<std::string, int> user_ids, item_ids;
   std::unordered_map<int64_t, bool> dedup;
+  imported.user_keys.reserve(raw.size());
+  imported.item_keys.reserve(raw.size());
+  imported.domain.interactions.reserve(raw.size());
   for (const RawInteraction& r : raw) {
     if (user_counts[r.user] < options.min_user_interactions) continue;
     auto [uit, user_inserted] =

@@ -61,6 +61,10 @@ DomainData GenerateDomainFromLatents(const SyntheticDomainSpec& spec,
   rng->Shuffle(&rank_to_item);
 
   constexpr int kCandidateWindow = 24;
+  out->interactions.reserve(
+      static_cast<size_t>(spec.num_users) *
+      (static_cast<size_t>(min_interactions) +
+       static_cast<size_t>(spec.mean_extra_interactions) + 1));
   for (int u = 0; u < spec.num_users; ++u) {
     const int target =
         DrawActivity(spec.mean_extra_interactions, min_interactions,

@@ -24,6 +24,7 @@ RankingMetrics EvaluateRanking(RecModel* model, DomainSide side,
     int num_negatives;
   };
   std::vector<Case> cases;
+  cases.reserve(held_out.size());
   for (size_t u = 0; u < held_out.size(); ++u) {
     if (held_out[u] < 0) continue;
     const int available =
@@ -38,6 +39,8 @@ RankingMetrics EvaluateRanking(RecModel* model, DomainSide side,
   while (start < cases.size()) {
     // Assemble a chunk of roughly score_batch pairs.
     std::vector<int> users, items;
+    users.reserve(config.score_batch + config.num_negatives + 1);
+    items.reserve(config.score_batch + config.num_negatives + 1);
     std::vector<int> chunk_negs;
     size_t end = start;
     int pairs = 0;

@@ -57,6 +57,7 @@ bool InteractionGraph::HasInteraction(int user, int item) const {
 
 std::vector<int> InteractionGraph::HeadUsers(int k_head) const {
   std::vector<int> out;
+  out.reserve(num_users_);
   for (int u = 0; u < num_users_; ++u) {
     if (UserDegree(u) > k_head) out.push_back(u);
   }
@@ -65,6 +66,7 @@ std::vector<int> InteractionGraph::HeadUsers(int k_head) const {
 
 std::vector<int> InteractionGraph::TailUsers(int k_head) const {
   std::vector<int> out;
+  out.reserve(num_users_);
   for (int u = 0; u < num_users_; ++u) {
     if (UserDegree(u) <= k_head) out.push_back(u);
   }

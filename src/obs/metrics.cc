@@ -234,6 +234,7 @@ std::vector<double> MetricsRegistry::DefaultLatencyBucketsMs() {
   // 0.05 ms .. ~26 s, x2 per bucket: fine resolution where serving
   // latencies live, wide tail for stalls.
   std::vector<double> b;
+  b.reserve(20);
   for (double ms = 0.05; ms < 30000.0; ms *= 2.0) b.push_back(ms);
   return b;
 }
@@ -241,6 +242,7 @@ std::vector<double> MetricsRegistry::DefaultLatencyBucketsMs() {
 std::vector<double> MetricsRegistry::DefaultTimeBucketsSeconds() {
   // 1 ms .. ~2000 s, x2 per bucket: epoch / phase durations.
   std::vector<double> b;
+  b.reserve(22);
   for (double s = 0.001; s < 2500.0; s *= 2.0) b.push_back(s);
   return b;
 }

@@ -139,9 +139,12 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Process-wide registry used by default instrumentation and exporters.
-  static MetricsRegistry& Global();
+  /// NMCDR_COLD: hot paths resolve metric references once (function-local
+  /// static or constructor), never per request.
+  static MetricsRegistry& Global() NMCDR_COLD;
 
-  Counter& GetCounter(const std::string& name) NMCDR_EXCLUDES(mu_);
+  Counter& GetCounter(const std::string& name) NMCDR_COLD
+      NMCDR_EXCLUDES(mu_);
   Gauge& GetGauge(const std::string& name) NMCDR_EXCLUDES(mu_);
   /// Returns the histogram registered under `name`, creating it with the
   /// given bucket boundaries (ascending upper bounds) if absent. The

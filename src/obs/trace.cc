@@ -144,6 +144,7 @@ KernelSlot& KernelSlotFor(Kernel k) {
 
 std::vector<KernelStatsRow> SnapshotKernelStats() {
   std::vector<KernelStatsRow> rows;
+  rows.reserve(static_cast<size_t>(Kernel::kCount));
   for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i) {
     const Kernel k = static_cast<Kernel>(i);
     const internal::KernelSlot& s = internal::KernelSlotFor(k);

@@ -21,8 +21,9 @@ double Logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
 }  // namespace
 
-ServingWorld::ServingWorld(std::vector<DomainSpec> specs, int num_persons,
-                           std::vector<double> membership_prob,
+ServingWorld::ServingWorld(const std::vector<DomainSpec>& specs,
+                           int num_persons,
+                           const std::vector<double>& membership_prob,
                            int latent_dim, double preference_sharpness,
                            uint64_t seed)
     : sharpness_(preference_sharpness) {
@@ -83,6 +84,7 @@ ServingWorld::ServingWorld(std::vector<DomainSpec> specs, int num_persons,
     // the target CVR: solve E[sigmoid(s * affinity + b)] = target by
     // bisection over random (user, item) pairs.
     std::vector<float> sample_affinity;
+    sample_affinity.reserve(4000);
     for (int i = 0; i < 4000; ++i) {
       const int u = static_cast<int>(rng.NextUint64(spec.num_users));
       const int v = static_cast<int>(rng.NextUint64(spec.num_items));
@@ -193,6 +195,7 @@ std::vector<GroupResult> RunAbTest(
 
 Ranker PopularityRanker(const ServingWorld& world) {
   std::vector<std::vector<int>> popularity;
+  popularity.reserve(world.num_domains());
   for (int d = 0; d < world.num_domains(); ++d) {
     popularity.push_back(world.ItemPopularity(d));
   }

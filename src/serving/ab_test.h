@@ -27,8 +27,8 @@ class ServingWorld {
 
   /// `membership[d][p]` — handled internally: each person joins domain d
   /// with probability `membership_prob[d]`, always joining at least one.
-  ServingWorld(std::vector<DomainSpec> specs, int num_persons,
-               std::vector<double> membership_prob, int latent_dim,
+  ServingWorld(const std::vector<DomainSpec>& specs, int num_persons,
+               const std::vector<double>& membership_prob, int latent_dim,
                double preference_sharpness, uint64_t seed);
 
   int num_domains() const { return static_cast<int>(domains_.size()); }

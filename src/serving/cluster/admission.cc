@@ -43,14 +43,20 @@ bool AdmissionQueue::TryPush(AdmissionTicket* ticket) {
   return true;
 }
 
-std::vector<AdmissionTicket> AdmissionQueue::PopBatch(
-    int max_batch, int64_t now_ns, std::vector<AdmissionTicket>* shed) {
-  std::vector<AdmissionTicket> batch;
+void AdmissionQueue::PopBatch(int max_batch, int64_t now_ns,
+                              std::vector<AdmissionTicket>* batch,
+                              std::vector<AdmissionTicket>* shed) {
+  batch->clear();
+  shed->clear();
   std::lock_guard<std::mutex> lock(mu_);
+  batch->reserve(max_batch > 0 ? max_batch : 0);
+  // Worst case every queued ticket is past deadline; capacities are
+  // bounded, so this converges to a high-water no-op.
+  shed->reserve(interactive_.size() + batch_.size());
   std::deque<AdmissionTicket>* queues[kNumRequestClasses] = {&interactive_,
                                                              &batch_};
   for (std::deque<AdmissionTicket>* queue : queues) {
-    while (!queue->empty() && static_cast<int>(batch.size()) < max_batch) {
+    while (!queue->empty() && static_cast<int>(batch->size()) < max_batch) {
       AdmissionTicket ticket = std::move(queue->front());
       queue->pop_front();
       const double deadline_ms =
@@ -62,11 +68,10 @@ std::vector<AdmissionTicket> AdmissionQueue::PopBatch(
       if (expired) {
         shed->push_back(std::move(ticket));
       } else {
-        batch.push_back(std::move(ticket));
+        batch->push_back(std::move(ticket));
       }
     }
   }
-  return batch;
 }
 
 int AdmissionQueue::Depth(RequestClass cls) const {

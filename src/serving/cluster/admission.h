@@ -103,12 +103,15 @@ class AdmissionQueue {
   bool TryPush(AdmissionTicket* ticket) NMCDR_EXCLUDES(mu_);
 
   /// Pops up to `max_batch` tickets in priority order (all interactive
-  /// before any batch, FIFO within a class). Tickets found past their
-  /// class deadline (enqueued_ns + deadline < now_ns) are moved to *shed
-  /// instead and do not count toward max_batch.
-  std::vector<AdmissionTicket> PopBatch(int max_batch, int64_t now_ns,
-                                        std::vector<AdmissionTicket>* shed)
-      NMCDR_EXCLUDES(mu_);
+  /// before any batch, FIFO within a class) into *batch. Tickets found
+  /// past their class deadline (enqueued_ns + deadline < now_ns) are
+  /// moved to *shed instead and do not count toward max_batch. Both
+  /// out-vectors are cleared first and reserved to their bounds, so a
+  /// drainer reusing them across passes pops allocation-free at steady
+  /// state.
+  void PopBatch(int max_batch, int64_t now_ns,
+                std::vector<AdmissionTicket>* batch,
+                std::vector<AdmissionTicket>* shed) NMCDR_EXCLUDES(mu_);
 
   int Depth(RequestClass cls) const NMCDR_EXCLUDES(mu_);
   int TotalDepth() const NMCDR_EXCLUDES(mu_);

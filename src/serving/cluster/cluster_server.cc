@@ -52,7 +52,7 @@ ClusterServer::ClusterServer(std::shared_ptr<const ShardedSnapshot> initial,
 
 ClusterServer::~ClusterServer() { Stop(); }
 
-void ClusterServer::Shed(AdmissionTicket ticket, ClusterStatus status) {
+void ClusterServer::Shed(AdmissionTicket&& ticket, ClusterStatus status) {
   const int c = static_cast<int>(ticket.request.cls);
   if (status == ClusterStatus::kShedQueueFull) {
     shed_queue_full_[c]->Add(1);
@@ -67,6 +67,12 @@ void ClusterServer::Shed(AdmissionTicket ticket, ClusterStatus status) {
 }
 
 std::future<ClusterResponse> ClusterServer::Submit(ClusterRequest request) {
+  // Validate at the edge (aborts on malformed input, in the caller's
+  // thread) so drainers can run the snapshot's NMCDR_DCHECK-only scratch
+  // core. Geometry (domain count, table sizes) is fixed per model, so a
+  // request valid against the current version stays valid across
+  // republications of it.
+  registry_.Acquire()->ValidateRequest(request.rec);
   AdmissionTicket ticket;
   ticket.request = std::move(request);
   ticket.enqueued_ns = obs::NowNs();
@@ -113,10 +119,16 @@ void ClusterServer::Stop() {
 }
 
 void ClusterServer::DrainLoop() {
+  // Drainer-owned buffers, reused across passes: at steady state the loop
+  // runs allocation-free outside the snapshot's per-batch result vector
+  // (requests were validated at the Submit edge, so the DCHECK-only
+  // scratch core is safe here).
+  std::vector<AdmissionTicket> batch;
+  std::vector<AdmissionTicket> shed;
+  std::vector<RecRequest> requests;
+  BatchShardScratch scratch;
   for (;;) {
-    std::vector<AdmissionTicket> shed;
-    std::vector<AdmissionTicket> batch =
-        admission_.PopBatch(options_.max_batch, obs::NowNs(), &shed);
+    admission_.PopBatch(options_.max_batch, obs::NowNs(), &batch, &shed);
     for (AdmissionTicket& ticket : shed) {
       Shed(std::move(ticket), ClusterStatus::kShedDeadline);
     }
@@ -143,12 +155,13 @@ void ClusterServer::DrainLoop() {
     int64_t version = 0;
     const std::shared_ptr<const ShardedSnapshot> snap =
         registry_.Acquire(&version);
-    std::vector<RecRequest> requests;
+    requests.clear();
     requests.reserve(batch.size());
     for (const AdmissionTicket& ticket : batch) {
       requests.push_back(ticket.request.rec);
     }
-    const std::vector<Recommendation> results = snap->TopKBatch(requests);
+    const std::vector<Recommendation> results =
+        snap->TopKBatchWithScratch(requests, &scratch);
     AtomicMax(last_observed_version_, version);
 
     const int64_t now_ns = obs::NowNs();

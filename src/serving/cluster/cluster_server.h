@@ -65,6 +65,8 @@ class ClusterServer {
   /// Admits or sheds `request`. The future always resolves (with a
   /// non-kOk status for shed/stopped requests) — no exceptions on the
   /// shedding path, so overload handling is branch, not unwind.
+  /// Validates `request.rec` against the current snapshot (aborts on
+  /// malformed input) so drainers can run the DCHECK-only scratch core.
   std::future<ClusterResponse> Submit(ClusterRequest request)
       NMCDR_EXCLUDES(mu_);
 
@@ -94,7 +96,7 @@ class ClusterServer {
   /// Resolves a ticket's promise with a shed/stopped status and records
   /// the per-class counter. Lock-agnostic: touches only promises and
   /// sharded counters, so it is called both with and without mu_ held.
-  void Shed(AdmissionTicket ticket, ClusterStatus status);
+  void Shed(AdmissionTicket&& ticket, ClusterStatus status);
 
   /// Reserves a drainer slot when `queued` admitted tickets justify one
   /// (same invariant as InferenceServer). Returns true when the caller

@@ -81,6 +81,8 @@ struct Cursor {
     for (;;) {
       int value = 0;
       if (!ParseInt(&value)) return false;
+      // NMCDR_LINT_ALLOW(reserve-before-growth): parse loop with no length
+      // prefix in the wire format; element count is unknowable up front.
       out->push_back(value);
       if (Peek(']')) return Consume(']');
       if (!Consume(',')) return false;
@@ -131,8 +133,8 @@ std::vector<int> UniformSplits(int count, int num_shards) {
 /// Shard owning `row`: the last shard s with splits[s] <= row (skipping
 /// empty ranges so the owner actually contains the row).
 int ShardOf(const std::vector<int>& splits, int row) {
-  NMCDR_CHECK_GE(row, 0);
-  NMCDR_CHECK_LT(row, splits.back());
+  NMCDR_DCHECK_GE(row, 0);
+  NMCDR_DCHECK_LT(row, splits.back());
   const auto it = std::upper_bound(splits.begin(), splits.end(), row);
   return static_cast<int>(it - splits.begin()) - 1;
 }
@@ -144,6 +146,7 @@ ShardLayout ShardLayout::Uniform(const ModelSnapshot& snapshot,
   NMCDR_CHECK_GT(num_shards, 0);
   ShardLayout layout;
   layout.num_shards = num_shards;
+  layout.domains.reserve(snapshot.num_domains());
   for (int d = 0; d < snapshot.num_domains(); ++d) {
     DomainSplits splits;
     splits.user_splits =
@@ -194,14 +197,14 @@ bool ShardLayout::Validate(const ModelSnapshot& snapshot,
 }
 
 int ShardLayout::UserShard(int d, int row) const {
-  NMCDR_CHECK_GE(d, 0);
-  NMCDR_CHECK_LT(d, static_cast<int>(domains.size()));
+  NMCDR_DCHECK_GE(d, 0);
+  NMCDR_DCHECK_LT(d, static_cast<int>(domains.size()));
   return ShardOf(domains[d].user_splits, row);
 }
 
 int ShardLayout::ItemShard(int d, int row) const {
-  NMCDR_CHECK_GE(d, 0);
-  NMCDR_CHECK_LT(d, static_cast<int>(domains.size()));
+  NMCDR_DCHECK_GE(d, 0);
+  NMCDR_DCHECK_LT(d, static_cast<int>(domains.size()));
   return ShardOf(domains[d].item_splits, row);
 }
 

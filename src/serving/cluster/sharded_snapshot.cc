@@ -1,7 +1,6 @@
 #include "serving/cluster/sharded_snapshot.h"
 
 #include <algorithm>
-#include <queue>
 #include <utility>
 
 #include "serving/scoring_kernels.h"
@@ -13,20 +12,18 @@ namespace nmcdr {
 namespace cluster {
 namespace {
 
-/// (score, item) entry ordered so a priority_queue's top() is the WORST
-/// kept candidate (RanksBefore acts as the strict weak "less") — the same
-/// bounded-heap scheme as ScoreEngine::TopK, and the same total order, so
-/// the per-shard winners merge into exactly the global top-K.
+/// (score, item) entry ordered so a worst-on-top binary heap's front() is
+/// the WORST kept candidate (RanksBefore acts as the strict weak "less")
+/// — the same bounded-heap scheme as ScoreEngine::TopKWithScratch, and
+/// the same total order, so the per-shard winners merge into exactly the
+/// global top-K. Used with std::push_heap / std::pop_heap over a
+/// ShardScratch::Slot's heap vector.
 struct HeapWorstOnTop {
   bool operator()(const std::pair<float, int>& a,
                   const std::pair<float, int>& b) const {
     return RanksBefore(a.first, a.second, b.first, b.second);
   }
 };
-
-using BoundedHeap =
-    std::priority_queue<std::pair<float, int>,
-                        std::vector<std::pair<float, int>>, HeapWorstOnTop>;
 
 Matrix CopyRowRange(const Matrix& source, int begin, int end) {
   Matrix out(end - begin, source.cols());
@@ -37,6 +34,33 @@ Matrix CopyRowRange(const Matrix& source, int begin, int end) {
 }
 
 }  // namespace
+
+void ShardScratch::Prepare(int num_items, int item_block, int head_width,
+                           int num_shards) {
+  // Growth-only, converging to the snapshot's geometry so later calls are
+  // no-ops. `excluded` grows zero-filled and the core restores the zeros
+  // it sets, keeping the all-zero invariant.
+  if (static_cast<int>(excluded.size()) < num_items) {
+    excluded.resize(num_items, 0);
+  }
+  if (static_cast<int>(u_first.size()) < head_width) u_first.resize(head_width);
+  if (static_cast<int>(per_shard.size()) < num_shards) {
+    per_shard.resize(num_shards);
+  }
+  for (Slot& slot : per_shard) {
+    if (static_cast<int>(slot.scores.size()) < item_block) {
+      slot.scores.resize(item_block);
+    }
+    if (static_cast<int>(slot.h.size()) < head_width) {
+      slot.h.resize(head_width);
+      slot.next.resize(head_width);
+    }
+  }
+}
+
+void BatchShardScratch::Prepare(size_t n) {
+  if (per_request.size() < n) per_request.resize(n);
+}
 
 ShardedSnapshot::ShardedSnapshot(const ModelSnapshot& snapshot,
                                  const ShardLayout& layout, Options options)
@@ -50,6 +74,7 @@ ShardedSnapshot::ShardedSnapshot(const ModelSnapshot& snapshot,
   NMCDR_CHECK_GT(options_.item_block, 0);
   num_persons_ = snapshot.num_persons();
   dim_ = snapshot.domain(0).frozen.dim();
+  domains_.reserve(snapshot.num_domains());
   for (int d = 0; d < snapshot.num_domains(); ++d) {
     const SnapshotDomain& source = snapshot.domain(d);
     NMCDR_CHECK_EQ(source.frozen.dim(), dim_);
@@ -59,6 +84,7 @@ ShardedSnapshot::ShardedSnapshot(const ModelSnapshot& snapshot,
     domain.person_to_user = source.person_to_user;
     domain.num_users = source.num_users();
     domain.num_items = source.num_items();
+    domain.shards.reserve(layout_.num_shards);
     for (int s = 0; s < layout_.num_shards; ++s) {
       const DomainSplits& splits = layout_.domains[d];
       DomainShard shard;
@@ -88,15 +114,30 @@ const float* ShardedSnapshot::UserRow(int d, int user) const {
   return shard.user_rows.row(user - shard.user_begin);
 }
 
+void ShardedSnapshot::ValidateRequest(const RecRequest& request) const {
+  NMCDR_CHECK_GE(request.target_domain, 0);
+  NMCDR_CHECK_LT(request.target_domain, num_domains());
+  NMCDR_CHECK_GE(request.user_domain, 0);
+  NMCDR_CHECK_LT(request.user_domain, num_domains());
+  NMCDR_CHECK_GE(request.user, 0);
+  NMCDR_CHECK_LT(request.user, domains_[request.user_domain].num_users);
+  NMCDR_CHECK_GT(request.k, 0);
+  const int num_items = domains_[request.target_domain].num_items;
+  for (int item : request.exclude) {
+    NMCDR_CHECK_GE(item, 0);
+    NMCDR_CHECK_LT(item, num_items);
+  }
+}
+
 ShardedSnapshot::ResolvedUser ShardedSnapshot::Resolve(int target_domain,
                                                        int user_domain,
                                                        int user) const {
-  NMCDR_CHECK_GE(target_domain, 0);
-  NMCDR_CHECK_LT(target_domain, num_domains());
-  NMCDR_CHECK_GE(user_domain, 0);
-  NMCDR_CHECK_LT(user_domain, num_domains());
-  NMCDR_CHECK_GE(user, 0);
-  NMCDR_CHECK_LT(user, domains_[user_domain].num_users);
+  NMCDR_DCHECK_GE(target_domain, 0);
+  NMCDR_DCHECK_LT(target_domain, num_domains());
+  NMCDR_DCHECK_GE(user_domain, 0);
+  NMCDR_DCHECK_LT(user_domain, num_domains());
+  NMCDR_DCHECK_GE(user, 0);
+  NMCDR_DCHECK_LT(user, domains_[user_domain].num_users);
 
   int resolved = user;
   if (user_domain != target_domain) {
@@ -118,118 +159,151 @@ ShardedSnapshot::ResolvedUser ShardedSnapshot::Resolve(int target_domain,
 }
 
 Recommendation ShardedSnapshot::TopK(const RecRequest& request) const {
-  NMCDR_CHECK_GT(request.k, 0);
+  ValidateRequest(request);
+  ShardScratch scratch;
+  return TopKWithScratch(request, &scratch);
+}
+
+Recommendation ShardedSnapshot::TopKWithScratch(const RecRequest& request,
+                                                ShardScratch* scratch) const {
+  NMCDR_DCHECK_GT(request.k, 0);
   const ResolvedUser resolved =
       Resolve(request.target_domain, request.user_domain, request.user);
   const Domain& domain = domains_[request.target_domain];
   const float* u = resolved.row;
+  scratch->Prepare(domain.num_items, options_.item_block,
+                   scoring::MaxHeadWidth(domain.head), layout_.num_shards);
 
-  std::vector<uint8_t> excluded(domain.num_items, 0);
+  // Sparse exclusion bitmap: all-zero between calls, so marking costs
+  // O(|exclude|) and the restore loop below undoes exactly these writes.
+  std::vector<uint8_t>& excluded = scratch->excluded;
   for (int item : request.exclude) {
-    NMCDR_CHECK_GE(item, 0);
-    NMCDR_CHECK_LT(item, domain.num_items);
+    NMCDR_DCHECK_GE(item, 0);
+    NMCDR_DCHECK_LT(item, domain.num_items);
     excluded[item] = 1;
   }
 
   // kFast shares one user-side first-layer partial across shards (the
   // monolithic path recomputes it per block; the computation is
   // deterministic, so the bits are the same either way).
-  std::vector<float> u_first;
   if (options_.mode == ScoreEngine::Mode::kFast) {
-    u_first.resize(domain.head.b0.cols());
-    scoring::UserFirstPartial(domain.head, u, u_first.data());
+    scoring::UserFirstPartial(domain.head, u, scratch->u_first.data());
   }
 
   // Fan the per-shard catalog scans out over the shared pool (grain 1: a
-  // shard scan is a full pass over its slice). Each shard fills only its
-  // own slot, so the fan-out is race-free and deterministic.
-  std::vector<std::vector<std::pair<float, int>>> per_shard(
-      layout_.num_shards);
+  // shard scan is a full pass over its slice). Shard s only touches
+  // scratch slot s, so the fan-out is race-free and deterministic.
   ThreadPool::Shared()->ParallelFor(
       0, layout_.num_shards, /*grain=*/1, [&](int64_t begin, int64_t end) {
         for (int64_t s = begin; s < end; ++s) {
           const DomainShard& shard = domain.shards[s];
           const int local_items = shard.item_rows.rows();
-          std::vector<int> candidates;
+          ShardScratch::Slot& slot = scratch->per_shard[s];
+          std::vector<int>& candidates = slot.candidates;
+          candidates.clear();
           candidates.reserve(local_items);
           for (int local = 0; local < local_items; ++local) {
             if (!excluded[shard.item_begin + local]) {
               candidates.push_back(local);
             }
           }
-          BoundedHeap heap;
-          std::vector<float> scores(options_.item_block);
+          // Bounded worst-on-top heap over the slot's heap vector:
+          // front() is the worst of the best-k-so-far — the exact element
+          // set a std::priority_queue<HeapWorstOnTop> would keep.
+          std::vector<std::pair<float, int>>& heap = slot.heap;
+          heap.clear();
+          heap.reserve(request.k);
+          float* scores = slot.scores.data();
           for (size_t block = 0; block < candidates.size();
                block += options_.item_block) {
             const int count = static_cast<int>(std::min<size_t>(
                 options_.item_block, candidates.size() - block));
             if (options_.mode == ScoreEngine::Mode::kFast) {
               scoring::FastScoreIds(domain.head, shard.item_rows,
-                                    shard.item_first, u, u_first.data(),
+                                    shard.item_first, u,
+                                    scratch->u_first.data(),
                                     candidates.data() + block, count,
-                                    scores.data());
+                                    slot.h.data(), slot.next.data(), scores);
             } else {
               scoring::ExactScoreIds(domain.head, shard.item_rows, u,
                                      candidates.data() + block, count,
-                                     options_.item_block, scores.data());
+                                     options_.item_block, scores);
             }
             for (int i = 0; i < count; ++i) {
               const std::pair<float, int> entry(
                   scores[i], shard.item_begin + candidates[block + i]);
               if (static_cast<int>(heap.size()) < request.k) {
-                heap.push(entry);
+                heap.push_back(entry);
+                std::push_heap(heap.begin(), heap.end(), HeapWorstOnTop());
               } else if (RanksBefore(entry.first, entry.second,
-                                     heap.top().first, heap.top().second)) {
-                heap.pop();
-                heap.push(entry);
+                                     heap.front().first,
+                                     heap.front().second)) {
+                std::pop_heap(heap.begin(), heap.end(), HeapWorstOnTop());
+                heap.back() = entry;
+                std::push_heap(heap.begin(), heap.end(), HeapWorstOnTop());
               }
             }
-          }
-          std::vector<std::pair<float, int>>& local_top = per_shard[s];
-          local_top.resize(heap.size());
-          for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
-            local_top[i] = heap.top();
-            heap.pop();
           }
         }
       });
 
+  // Restore the all-zero bitmap invariant (only the bits set above).
+  for (int item : request.exclude) excluded[item] = 0;
+
   // Deterministic merge: every shard's winners under the shared total
-  // order; the best k of the union are exactly the global best k.
-  std::vector<std::pair<float, int>> merged;
-  for (const std::vector<std::pair<float, int>>& local : per_shard) {
-    merged.insert(merged.end(), local.begin(), local.end());
+  // order; the best k of the union are exactly the global best k. Global
+  // item ids are unique across shards, so the sorted order is unique
+  // regardless of the shards' heap layouts.
+  std::vector<std::pair<float, int>>& merged = scratch->merged;
+  merged.clear();
+  merged.reserve(static_cast<size_t>(layout_.num_shards) * request.k);
+  for (int s = 0; s < layout_.num_shards; ++s) {
+    for (const std::pair<float, int>& entry : scratch->per_shard[s].heap) {
+      merged.push_back(entry);
+    }
   }
   std::sort(merged.begin(), merged.end(),
             [](const std::pair<float, int>& a, const std::pair<float, int>& b) {
               return RanksBefore(a.first, a.second, b.first, b.second);
             });
-  if (static_cast<int>(merged.size()) > request.k) {
-    merged.resize(request.k);
-  }
+  const size_t keep =
+      std::min<size_t>(merged.size(), static_cast<size_t>(request.k));
 
   Recommendation rec;
   rec.cold_start = resolved.cold_start;
-  rec.items.reserve(merged.size());
-  rec.scores.reserve(merged.size());
-  for (const std::pair<float, int>& entry : merged) {
-    rec.items.push_back(entry.second);
-    rec.scores.push_back(entry.first);
+  rec.items.reserve(keep);
+  rec.scores.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    rec.items.push_back(merged[i].second);
+    rec.scores.push_back(merged[i].first);
   }
   return rec;
 }
 
 std::vector<Recommendation> ShardedSnapshot::TopKBatch(
     const std::vector<RecRequest>& requests) const {
-  // One task per request; the nested per-shard ParallelFor inside TopK
-  // runs inline on the worker, so under batch load the parallelism comes
-  // from request fan-out and under single-request load from shard
-  // fan-out.
+  for (const RecRequest& request : requests) ValidateRequest(request);
+  BatchShardScratch scratch;
+  return TopKBatchWithScratch(requests, &scratch);
+}
+
+std::vector<Recommendation> ShardedSnapshot::TopKBatchWithScratch(
+    const std::vector<RecRequest>& requests,
+    BatchShardScratch* scratch) const {
+  // One task per request; the nested per-shard ParallelFor inside
+  // TopKWithScratch runs inline on the worker, so under batch load the
+  // parallelism comes from request fan-out and under single-request load
+  // from shard fan-out. Request i always uses scratch slot i, so
+  // concurrent requests touch disjoint buffers.
+  scratch->Prepare(requests.size());
+  // NMCDR_LINT_ALLOW(hot-alloc): output materialization, one per batch.
   std::vector<Recommendation> out(requests.size());
   ThreadPool::Shared()->ParallelFor(
       0, static_cast<int64_t>(requests.size()), /*grain=*/1,
       [&](int64_t begin, int64_t end) {
-        for (int64_t i = begin; i < end; ++i) out[i] = TopK(requests[i]);
+        for (int64_t i = begin; i < end; ++i) {
+          out[i] = TopKWithScratch(requests[i], &scratch->per_request[i]);
+        }
       });
   return out;
 }

@@ -9,6 +9,46 @@
 namespace nmcdr {
 namespace cluster {
 
+/// Caller-owned reusable buffers for the allocation-free sharded
+/// retrieval core (ShardedSnapshot::TopKWithScratch). One slot per shard
+/// keeps the pool fan-out race-free: shard s only ever touches
+/// per_shard[s]. Prepare() is the only growth point (NMCDR_COLD,
+/// amortized: a no-op once buffers reached the snapshot's geometry).
+/// Invariant between calls: `excluded` is all-zero — the core sets and
+/// clears only the request's own exclusion bits.
+struct ShardScratch {
+  /// Per-shard buffers; candidates/heap hold shard-local state during the
+  /// fanned-out scan.
+  struct Slot {
+    std::vector<int> candidates;
+    std::vector<float> scores;
+    std::vector<float> h;
+    std::vector<float> next;
+    std::vector<std::pair<float, int>> heap;
+  };
+
+  std::vector<uint8_t> excluded;
+  std::vector<float> u_first;
+  std::vector<std::pair<float, int>> merged;
+  std::vector<Slot> per_shard;
+
+  /// Grows every buffer to the given geometry (target catalog size,
+  /// scoring block, widest head layer — scoring::MaxHeadWidth — and the
+  /// layout's shard count).
+  void Prepare(int num_items, int item_block, int head_width,
+               int num_shards) NMCDR_COLD;
+};
+
+/// Per-batch scratch for TopKBatchWithScratch fan-out: request i always
+/// uses slot i, so concurrent requests touch disjoint buffers and results
+/// never depend on the pool schedule.
+struct BatchShardScratch {
+  std::vector<ShardScratch> per_request;
+
+  /// Grows the slot vector to `n` slots.
+  void Prepare(size_t n) NMCDR_COLD;
+};
+
 /// A ModelSnapshot partitioned for cluster serving: per domain, the user
 /// and item representation tables are cut into the contiguous row ranges
 /// a ShardLayout describes, each shard owning its slice (deep copies —
@@ -51,14 +91,38 @@ class ShardedSnapshot {
 
   /// Sharded full-catalog top-K with the request's exclusion set;
   /// bit-identical to ScoreEngine::TopK on the source snapshot.
+  /// Convenience wrapper: validates the request (aborts on malformed
+  /// input) and runs the scratch core over a local ShardScratch.
   Recommendation TopK(const RecRequest& request) const;
+
+  /// The allocation-free retrieval core: identical results to TopK, but
+  /// every buffer lives in `scratch` (typically owned by a drainer and
+  /// reused across requests) and inputs are only NMCDR_DCHECK'd —
+  /// validate at the edge (ValidateRequest / the TopK wrapper) first.
+  Recommendation TopKWithScratch(const RecRequest& request,
+                                 ShardScratch* scratch) const NMCDR_HOT;
 
   /// Serves a batch, fanned out over ThreadPool::Shared() (one task per
   /// request; each request's shard scans run inline inside it — nested
   /// ParallelFor degrades gracefully). Identical to calling TopK per
-  /// request.
+  /// request. Validates every request, then runs the scratch core over a
+  /// local BatchShardScratch.
   std::vector<Recommendation> TopKBatch(
       const std::vector<RecRequest>& requests) const;
+
+  /// Batch core for drainers holding reusable scratch. The output vector
+  /// is the one per-batch materialization (NMCDR_LINT_ALLOW'd in the
+  /// implementation).
+  std::vector<Recommendation> TopKBatchWithScratch(
+      const std::vector<RecRequest>& requests,
+      BatchShardScratch* scratch) const NMCDR_HOT;
+
+  /// Aborts (NMCDR_CHECK) unless `request` is well-formed against this
+  /// snapshot: domains in range, user in range for its domain, k
+  /// positive, every excluded item in the target catalog. Serving edges
+  /// (ClusterServer admission, the TopK/TopKBatch wrappers) call this so
+  /// the hot core can run on NMCDR_DCHECKs alone.
+  void ValidateRequest(const RecRequest& request) const;
 
  private:
   /// One domain's slice owned by one shard. `user_begin`/`item_begin`
@@ -88,8 +152,9 @@ class ShardedSnapshot {
 
   /// Mirrors ModelSnapshot::ResolveUser + ScoreEngine::Resolve over the
   /// sharded tables (the owning shard is found through the layout).
-  ResolvedUser Resolve(int target_domain, int user_domain, int user) const;
-  const float* UserRow(int d, int user) const;
+  ResolvedUser Resolve(int target_domain, int user_domain, int user) const
+      NMCDR_HOT;
+  const float* UserRow(int d, int user) const NMCDR_HOT;
 
   ShardLayout layout_;
   Options options_;

@@ -67,6 +67,9 @@ InferenceServer::InferenceServer(const ScoreEngine* engine, Options options)
 InferenceServer::~InferenceServer() { Stop(); }
 
 std::future<Recommendation> InferenceServer::Submit(RecRequest request) {
+  // Validate at the edge (aborts on malformed input) so the drain loop
+  // can run the engine's NMCDR_DCHECK-only scratch core.
+  engine_->ValidateRequest(request);
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued_ns = obs::NowNs();
@@ -117,8 +120,15 @@ void InferenceServer::Stop() {
 }
 
 void InferenceServer::DrainLoop() {
+  // Drainer-owned buffers, reused across iterations: at steady state the
+  // loop runs allocation-free outside the engine's per-batch result
+  // vector (requests were validated at the Submit edge, so the DCHECK-only
+  // scratch core is safe here).
+  std::vector<Pending> batch;
+  std::vector<RecRequest> requests;
+  BatchScoreScratch scratch;
   for (;;) {
-    std::vector<Pending> batch;
+    batch.clear();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (queue_.empty()) {
@@ -141,10 +151,11 @@ void InferenceServer::DrainLoop() {
       }
     }
 
-    std::vector<RecRequest> requests;
+    requests.clear();
     requests.reserve(batch.size());
     for (const Pending& pending : batch) requests.push_back(pending.request);
-    const std::vector<Recommendation> results = engine_->TopKBatch(requests);
+    const std::vector<Recommendation> results =
+        engine_->TopKBatchWithScratch(requests, &scratch);
 
     const int64_t now_ns = obs::NowNs();
     int64_t cold = 0;

@@ -87,6 +87,7 @@ std::string NonFiniteError(const SnapshotDomain& dom) {
       {"head.b0", &head.b0},
       {"head.gmf_w", &head.gmf_w},
       {"head.gmf_b", &head.gmf_b}};
+  tensors.reserve(tensors.size() + 2 * head.w.size());
   for (size_t i = 0; i < head.w.size(); ++i) {
     tensors.emplace_back("head.w[" + std::to_string(i) + "]", &head.w[i]);
     tensors.emplace_back("head.b[" + std::to_string(i) + "]", &head.b[i]);
@@ -223,6 +224,7 @@ bool ModelSnapshot::FreezeMultiDomain(MultiDomainNmcdrModel* model,
                                       ModelSnapshot* out) {
   NMCDR_CHECK_EQ(model->num_domains(), view.num_domains());
   out->domains_.clear();
+  out->domains_.reserve(view.num_domains());
   out->num_persons_ = view.num_persons;
   for (int d = 0; d < view.num_domains(); ++d) {
     SnapshotDomain dom;
@@ -241,18 +243,18 @@ bool ModelSnapshot::FreezeMultiDomain(MultiDomainNmcdrModel* model,
 }
 
 int ModelSnapshot::UserOfPerson(int d, int person) const {
-  NMCDR_CHECK_GE(d, 0);
-  NMCDR_CHECK_LT(d, num_domains());
+  NMCDR_DCHECK_GE(d, 0);
+  NMCDR_DCHECK_LT(d, num_domains());
   if (person < 0 || person >= num_persons_) return -1;
   return domains_[d].person_to_user[person];
 }
 
 int ModelSnapshot::ResolveUser(int user_domain, int user,
                                int target_domain) const {
-  NMCDR_CHECK_GE(user_domain, 0);
-  NMCDR_CHECK_LT(user_domain, num_domains());
-  NMCDR_CHECK_GE(user, 0);
-  NMCDR_CHECK_LT(user, domains_[user_domain].num_users());
+  NMCDR_DCHECK_GE(user_domain, 0);
+  NMCDR_DCHECK_LT(user_domain, num_domains());
+  NMCDR_DCHECK_GE(user, 0);
+  NMCDR_DCHECK_LT(user, domains_[user_domain].num_users());
   if (user_domain == target_domain) return user;
   return UserOfPerson(target_domain,
                       domains_[user_domain].user_to_person[user]);
@@ -303,6 +305,7 @@ bool ModelSnapshot::Load(const std::string& path, ModelSnapshot* snapshot,
   }
   ModelSnapshot staged;
   staged.num_persons_ = static_cast<int>(num_persons);
+  staged.domains_.reserve(num_domains);
   for (uint32_t d = 0; d < num_domains; ++d) {
     SnapshotDomain dom;
     if (!ag::ReadString(in, &dom.name) ||
@@ -371,6 +374,7 @@ ModelSnapshot ModelSnapshot::MakeSynthetic(const SyntheticSnapshotSpec& spec) {
       users + (spec.num_domains - 1) * (users - linked);
 
   int next_fresh_person = users;
+  out.domains_.reserve(spec.num_domains);
   for (int d = 0; d < spec.num_domains; ++d) {
     SnapshotDomain dom;
     dom.name = "synthetic-" + std::to_string(d);
@@ -383,6 +387,8 @@ ModelSnapshot ModelSnapshot::MakeSynthetic(const SyntheticSnapshotSpec& spec) {
     head.w0_user = Matrix(spec.dim, spec.hidden);
     head.w0_item = Matrix(spec.dim, spec.hidden);
     head.b0 = Matrix(1, spec.hidden);
+    head.w.reserve(1);
+    head.b.reserve(1);
     head.w.push_back(Matrix(spec.hidden, 1));
     head.b.push_back(Matrix(1, 1));
     head.gmf_w = Matrix(spec.dim, 1);

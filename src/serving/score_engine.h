@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "serving/model_snapshot.h"
+#include "util/thread_annotations.h"
 
 namespace nmcdr {
 
@@ -31,6 +33,37 @@ struct Recommendation {
   std::vector<float> scores;
   /// True when served via the cross-domain cold-start path.
   bool cold_start = false;
+};
+
+/// Caller-owned reusable buffers for the allocation-free retrieval core
+/// (ScoreEngine::TopKWithScratch). Prepare() is the only growth point
+/// (NMCDR_COLD: amortized capacity, a no-op once the buffers reached the
+/// engine's geometry). Invariant between calls: `excluded` is all-zero —
+/// the core sets and then clears only the request's own exclusion bits,
+/// so per-request reset costs O(|exclude|), not O(catalog).
+struct ScoreScratch {
+  std::vector<uint8_t> excluded;
+  std::vector<int> candidates;
+  std::vector<float> scores;
+  std::vector<float> u_first;
+  std::vector<float> h;
+  std::vector<float> next;
+  std::vector<std::pair<float, int>> heap;
+
+  /// Grows every buffer to the given geometry (catalog size, scoring
+  /// block, widest head layer — scoring::MaxHeadWidth).
+  void Prepare(int num_items, int item_block, int head_width) NMCDR_COLD;
+};
+
+/// Per-batch scratch for TopKWithScratch fan-out: request i always uses
+/// slot i, so concurrent chunks touch disjoint slots (race-free) and the
+/// result never depends on the pool schedule. Slots persist at their
+/// high-water geometry across batches.
+struct BatchScoreScratch {
+  std::vector<ScoreScratch> per_request;
+
+  /// Grows the slot vector to `n` slots.
+  void Prepare(size_t n) NMCDR_COLD;
 };
 
 /// The ranking order shared by the engine's heap and any brute-force
@@ -82,14 +115,38 @@ class ScoreEngine {
                                      const std::vector<int>& candidates) const;
 
   /// Full-catalog top-K retrieval with the request's exclusion set.
+  /// Convenience wrapper: validates the request (aborts on malformed
+  /// input) and runs the scratch core over a local ScoreScratch.
   Recommendation TopK(const RecRequest& request) const;
 
-  /// Serves a batch of requests (the InferenceServer drains its queue
-  /// into this), fanned out over ThreadPool::Shared(). Results are
-  /// positionally aligned with `requests` and identical to calling TopK
-  /// per request (requests are independent and TopK is deterministic).
+  /// The allocation-free retrieval core: identical results to TopK, but
+  /// every buffer lives in `scratch` (typically owned by a drainer and
+  /// reused across requests) and inputs are only NMCDR_DCHECK'd —
+  /// validate at the edge (ValidateRequest / the TopK wrapper) first.
+  Recommendation TopKWithScratch(const RecRequest& request,
+                                 ScoreScratch* scratch) const NMCDR_HOT;
+
+  /// Serves a batch of requests, fanned out over ThreadPool::Shared().
+  /// Results are positionally aligned with `requests` and identical to
+  /// calling TopK per request (requests are independent and TopK is
+  /// deterministic). Validates every request, then runs the scratch core
+  /// over a local BatchScoreScratch.
   std::vector<Recommendation> TopKBatch(
       const std::vector<RecRequest>& requests) const;
+
+  /// Batch core for drainers holding reusable scratch. The output vector
+  /// is the one per-batch materialization
+  /// (NMCDR_LINT_ALLOW'd in the implementation).
+  std::vector<Recommendation> TopKBatchWithScratch(
+      const std::vector<RecRequest>& requests,
+      BatchScoreScratch* scratch) const NMCDR_HOT;
+
+  /// Aborts (NMCDR_CHECK) unless `request` is well-formed against this
+  /// engine's snapshot: domains in range, user in range for its domain,
+  /// k positive, every excluded item in the target catalog. Serving edges
+  /// (InferenceServer::Submit, the TopK/TopKBatch wrappers) call this so
+  /// the hot core can run on NMCDR_DCHECKs alone.
+  void ValidateRequest(const RecRequest& request) const;
 
   /// Monotonic usage counters (atomics snapshot).
   struct Counters {
@@ -105,15 +162,17 @@ class ScoreEngine {
     bool cold_start = false;
   };
 
-  ResolvedUser Resolve(int target_domain, int user_domain, int user) const;
+  ResolvedUser Resolve(int target_domain, int user_domain, int user) const
+      NMCDR_HOT;
 
   /// Scores items `ids[0..n)` of `target_domain` for the user row `u`
   /// into `out[0..n)`: blocked GEMMs of options_.item_block in kExact,
-  /// the fused allocation-free path in kFast. Both paths delegate to the
-  /// row-independent kernels in serving/scoring_kernels.h (shared with
-  /// the sharded cluster snapshot).
+  /// the fused allocation-free path in kFast (whose per-call buffers live
+  /// in `scratch`). Both paths delegate to the row-independent kernels in
+  /// serving/scoring_kernels.h (shared with the sharded cluster
+  /// snapshot).
   void ScoreIds(int target_domain, const float* u, const int* ids, int n,
-                float* out) const;
+                ScoreScratch* scratch, float* out) const NMCDR_HOT;
 
   const ModelSnapshot* snapshot_;
   Options options_;

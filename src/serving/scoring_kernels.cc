@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "tensor/matrix_ops.h"
@@ -30,6 +31,12 @@ Matrix BuildItemFirst(const FrozenPredictionHead& head,
   return AddRowBroadcast(MatMul(item_reps, head.w0_item), head.b0);
 }
 
+int MaxHeadWidth(const FrozenPredictionHead& head) {
+  int max_width = head.b0.cols();
+  for (const Matrix& w : head.w) max_width = std::max(max_width, w.cols());
+  return max_width;
+}
+
 void UserFirstPartial(const FrozenPredictionHead& head, const float* u,
                       float* u_first) {
   const int dim = head.dim();
@@ -45,9 +52,11 @@ void UserFirstPartial(const FrozenPredictionHead& head, const float* u,
 
 void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
                   const Matrix& item_first, const float* u,
-                  const float* u_first, const int* ids, int n, float* out) {
-  // Fused serving path: no Matrix temporaries, one scratch pair reused
-  // across candidates. Per pair only the first-layer add (precomputed
+                  const float* u_first, const int* ids, int n, float* h_buf,
+                  float* next_buf, float* out) {
+  // Fused serving path: no Matrix temporaries, the caller-owned scratch
+  // pair reused across candidates (and across calls — this function never
+  // touches the heap). Per pair only the first-layer add (precomputed
   // item partials), the activation, and the tiny tail layers remain, so
   // the cost is dominated by ~3 * hidden flops instead of the trainer's
   // full 2 * dim * hidden first-layer GEMM plus tape bookkeeping.
@@ -56,9 +65,8 @@ void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
   const float* gmf_w = head.gmf_w.data();  // [dim, 1], contiguous
   const float gmf_bias = head.gmf_b.data()[0];
 
-  int max_width = hidden;
-  for (const Matrix& w : head.w) max_width = std::max(max_width, w.cols());
-  std::vector<float> h(max_width), next(max_width);
+  float* h = h_buf;
+  float* next = next_buf;
 
   for (int i = 0; i < n; ++i) {
     const int item = ids[i];
@@ -70,8 +78,8 @@ void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
       const Matrix& w = head.w[l];
       const int out_width = w.cols();
       const float* bias = head.b[l].data();
-      std::copy(bias, bias + out_width, next.data());
-      ActivateInPlace(h.data(), width, head.hidden_act);
+      std::copy(bias, bias + out_width, next);
+      ActivateInPlace(h, width, head.hidden_act);
       const float* wdata = w.data();
       if (out_width == 1) {
         // Four independent accumulators break the serial float-add
@@ -93,7 +101,7 @@ void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
           for (int c = 0; c < out_width; ++c) next[c] += hr * wrow[c];
         }
       }
-      h.swap(next);
+      std::swap(h, next);
       width = out_width;
     }
     float g0 = 0.f, g1 = 0.f;
@@ -145,7 +153,7 @@ void ExactScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
       gmf_dot.At(i, 0) = acc;
     }
 
-    const Matrix logits = head.ForwardFromHidden(std::move(h0), gmf_dot);
+    const Matrix logits = head.ForwardFromHidden(h0, gmf_dot);
     for (int i = 0; i < count; ++i) out[begin + i] = logits.At(i, 0);
   }
 }

@@ -3,6 +3,7 @@
 
 #include "core/prediction.h"
 #include "tensor/matrix.h"
+#include "util/thread_annotations.h"
 
 namespace nmcdr {
 namespace scoring {
@@ -16,36 +17,48 @@ namespace scoring {
 
 /// Activates h[0..n) in place; the dispatch happens once per call, not per
 /// element (the fast scoring loop is dominated by such per-scalar costs).
-void ActivateInPlace(float* h, int n, ag::Activation act);
+void ActivateInPlace(float* h, int n, ag::Activation act) NMCDR_HOT;
 
 /// kFast precompute: item-side first-layer partials with the bias folded
 /// in, item_reps * w0_item + b0, [num_items, H]. Computed once per frozen
 /// table (per domain, or per shard slice of a domain — identical rows
 /// either way, MatMul is row-independent).
 Matrix BuildItemFirst(const FrozenPredictionHead& head,
-                      const Matrix& item_reps);
+                      const Matrix& item_reps) NMCDR_COLD;
+
+/// Widest layer FastScoreIds flows through: the size its two scratch
+/// buffers (`h_buf` / `next_buf`) must have. Scratch Prepare() helpers
+/// call this once per geometry change.
+int MaxHeadWidth(const FrozenPredictionHead& head) NMCDR_COLD;
 
 /// kFast per-request precompute: the user-side first-layer partial
 /// u * w0_user into u_first[0..H), without Matrix temporaries.
 void UserFirstPartial(const FrozenPredictionHead& head, const float* u,
-                      float* u_first);
+                      float* u_first) NMCDR_HOT;
 
 /// kFast inner loop: fused head evaluation from the precomputed item
-/// partials, no per-pair heap allocation. `ids[0..n)` index rows of
-/// `item_reps` / `item_first` (local ids when scoring a shard slice);
-/// scores land in out[0..n). Scores differ from the exact path only by
-/// first-layer summation rounding.
+/// partials, no heap allocation at all — `h_buf` and `next_buf` are
+/// caller-owned scratch of MaxHeadWidth(head) floats each (distinct,
+/// non-aliasing). `ids[0..n)` index rows of `item_reps` / `item_first`
+/// (local ids when scoring a shard slice); scores land in out[0..n).
+/// Scores differ from the exact path only by first-layer summation
+/// rounding.
 void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
                   const Matrix& item_first, const float* u,
-                  const float* u_first, const int* ids, int n, float* out);
+                  const float* u_first, const int* ids, int n, float* h_buf,
+                  float* next_buf, float* out) NMCDR_HOT;
 
 /// kExact path: replays the trainer's kernel sequence over blocks of
 /// `item_block` candidates — user partial first, item half accumulated on
 /// top via the same in-order GEMM — so scores equal RecModel::Score to the
 /// last bit. `ids` index rows of `item_reps`.
+/// The Matrix temporaries this path materializes per block are the price
+/// of bit-replaying the trainer (documented hot-alloc exemption: the
+/// analyzer deliberately does not flag Matrix construction — see
+/// DESIGN.md's static hot-path cost model).
 void ExactScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
                    const float* u, const int* ids, int n, int item_block,
-                   float* out);
+                   float* out) NMCDR_HOT;
 
 }  // namespace scoring
 }  // namespace nmcdr

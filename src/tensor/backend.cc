@@ -174,8 +174,8 @@ void GatherRowsRange(const Matrix& table, const std::vector<int>& ids,
                      Matrix* out, int64_t i0, int64_t i1) {
   const int cols = table.cols();
   for (int64_t i = i0; i < i1; ++i) {
-    NMCDR_CHECK_GE(ids[i], 0);
-    NMCDR_CHECK_LT(ids[i], table.rows());
+    NMCDR_DCHECK_GE(ids[i], 0);
+    NMCDR_DCHECK_LT(ids[i], table.rows());
     const float* src = table.row(ids[i]);
     float* dst = out->row(static_cast<int>(i));
     for (int c = 0; c < cols; ++c) dst[c] = src[c];

@@ -27,6 +27,10 @@ MultiSeedResult RunExperimentMultiSeed(const ExperimentData& data,
                                        const std::vector<uint64_t>& seeds) {
   NMCDR_CHECK(!seeds.empty());
   std::vector<double> hr_z, ndcg_z, hr_zbar, ndcg_zbar;
+  hr_z.reserve(seeds.size());
+  ndcg_z.reserve(seeds.size());
+  hr_zbar.reserve(seeds.size());
+  ndcg_zbar.reserve(seeds.size());
   for (uint64_t seed : seeds) {
     CommonHyper seeded_hyper = hyper;
     seeded_hyper.seed = seed;

@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/check.h"
@@ -7,6 +8,7 @@
 namespace nmcdr {
 
 FlagParser::FlagParser(int argc, const char* const* argv) {
+  positional_.reserve(argc > 0 ? argc - 1 : 0);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -70,6 +72,8 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
 std::vector<std::string> FlagParser::GetList(const std::string& name) const {
   std::vector<std::string> out;
   const std::string value = GetString(name);
+  // Upper bound: one element per comma plus the trailing token.
+  out.reserve(std::count(value.begin(), value.end(), ',') + 1);
   std::string token;
   for (char c : value) {
     if (c == ',') {

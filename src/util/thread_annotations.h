@@ -24,8 +24,33 @@
 ///
 /// Mutex members stay documented with `// GUARDED_BY(mu_)` comments (rule
 /// [guarded-by]); these macros carry the per-method side of the contract.
+///
+/// Hot-path annotations for the static cost analyzer (`nmcdr_lint
+/// --hotpath`, rules [hot-alloc] / [throw-hot] — see tools/lint/lint.h):
+///
+///   NMCDR_HOT   Declares a hot root: this function and everything
+///               reachable from it through the resolved call graph is
+///               steady-state request-path code and must not heap-allocate
+///               (operator new, make_unique/make_shared, container growth,
+///               std::string construction) nor throw / NMCDR_CHECK
+///               (NMCDR_DCHECK stays legal). ThreadPool dispatch lambda
+///               bodies are hot implicitly and need no annotation.
+///   NMCDR_COLD  Prunes a function out of the hot closure even when it is
+///               called from hot code: the function is excluded from the
+///               steady-state zero-alloc invariant. Reserve this for
+///               amortized capacity growth (scratch Prepare() methods) and
+///               output materialization, where allocation happens O(1)
+///               times, not per request.
+///
+/// Placement matches REQUIRES/EXCLUDES; free functions may be annotated
+/// too (scoring kernels):
+///
+///   std::vector<Recommendation> TopKBatch(...) NMCDR_HOT;
+///   void Prepare(int num_items, int block) NMCDR_COLD;
 
 #define NMCDR_REQUIRES(...)
 #define NMCDR_EXCLUDES(...)
+#define NMCDR_HOT
+#define NMCDR_COLD
 
 #endif  // NMCDR_UTIL_THREAD_ANNOTATIONS_H_

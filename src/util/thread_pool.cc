@@ -116,6 +116,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     for (int64_t c = 0; c < chunks; ++c) {
       const int64_t size = base + (c < extra ? 1 : 0);
       const int64_t chunk_end = chunk_begin + size;
+      // NMCDR_LINT_ALLOW(reserve-before-growth): queue_ is a std::deque;
+      // segmented growth is the point (no reallocation-copy to avoid).
       queue_.push_back([&state, &fn, chunk_begin, chunk_end] {
         try {
           fn(chunk_begin, chunk_end);

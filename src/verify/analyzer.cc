@@ -36,6 +36,9 @@ std::string KindName(Finding::Kind kind) {
 LabeledBatch ProbeBatch(const DomainSplit& split, int max_pairs) {
   LabeledBatch batch;
   const int n = std::min<int>(max_pairs, static_cast<int>(split.train.size()));
+  batch.users.reserve(n);
+  batch.items.reserve(n);
+  batch.labels.reserve(n);
   for (int i = 0; i < n; ++i) {
     batch.users.push_back(split.train[i].user);
     batch.items.push_back(split.train[i].item);
@@ -128,6 +131,8 @@ ModelAudit AuditModel(const std::string& model_name, const ExperimentData& data,
     audit.op_counts = trace.op_counts();
     audit.activation_elements = trace.total_output_elements();
     std::set<std::string> seen;
+    audit.findings.reserve(audit.findings.size() +
+                           trace.unregistered_ops().size());
     for (const std::string& op : trace.unregistered_ops()) {
       if (!seen.insert(op).second) continue;
       Finding f;
@@ -143,6 +148,7 @@ ModelAudit AuditModel(const std::string& model_name, const ExperimentData& data,
 
   const std::vector<std::string> checked = GradCheckedOps();
   const std::set<std::string> checked_set(checked.begin(), checked.end());
+  audit.findings.reserve(audit.findings.size() + audit.op_counts.size());
   for (const auto& [op, count] : audit.op_counts) {
     if (checked_set.count(op) != 0) continue;
     Finding f;
@@ -196,6 +202,8 @@ AnalyzeReport AnalyzeAllModels(BenchScale scale) {
   if (ModelRegistry::Instance().Names().empty()) RegisterAllModels();
   AnalyzeReport report;
   const CommonHyper hyper;
+  report.audits.reserve(AllScenarioSpecs(scale).size() *
+                        ModelRegistry::Instance().Names().size());
   for (const SyntheticScenarioSpec& spec : AllScenarioSpecs(scale)) {
     ExperimentData data(GenerateScenario(spec), /*seed=*/spec.seed + 1);
     for (const std::string& name : ModelRegistry::Instance().Names()) {
@@ -212,6 +220,7 @@ std::vector<Finding> AuditOpCoverage() {
   const std::vector<std::string> checked = GradCheckedOps();
   const std::set<std::string> rule_set(rules.begin(), rules.end());
   const std::set<std::string> checked_set(checked.begin(), checked.end());
+  findings.reserve(rules.size() + checked.size());
   for (const std::string& op : rules) {
     if (checked_set.count(op) != 0) continue;
     Finding f;
@@ -237,6 +246,8 @@ std::vector<Finding> AuditOpCoverage() {
 
 std::vector<Finding> VerifySnapshotShapes(const ModelSnapshot& snapshot) {
   std::vector<Finding> findings;
+  // Worst case one finding per verified step per domain (~14 steps).
+  findings.reserve(static_cast<size_t>(snapshot.num_domains()) * 14);
   // Symbolic candidate batch; any B works, the rules carry it through.
   constexpr int kBatch = 2;
   for (int d = 0; d < snapshot.num_domains(); ++d) {

@@ -315,8 +315,8 @@ TEST(AdmissionQueueTest, InteractiveDrainsBeforeBatch) {
     ASSERT_TRUE(queue.TryPush(&interactive));
   }
   std::vector<AdmissionTicket> shed;
-  const std::vector<AdmissionTicket> popped =
-      queue.PopBatch(/*max_batch=*/4, /*now_ns=*/100, &shed);
+  std::vector<AdmissionTicket> popped;
+  queue.PopBatch(/*max_batch=*/4, /*now_ns=*/100, &popped, &shed);
   ASSERT_EQ(popped.size(), 4u);
   EXPECT_TRUE(shed.empty());
   // All 3 interactive tickets first (FIFO), then the oldest batch one.
@@ -357,8 +357,8 @@ TEST(AdmissionQueueTest, ExpiredTicketsAreShedNotServed) {
   ASSERT_TRUE(queue.TryPush(&fresh));
   ASSERT_TRUE(queue.TryPush(&old_batch));
   std::vector<AdmissionTicket> shed;
-  const std::vector<AdmissionTicket> popped =
-      queue.PopBatch(/*max_batch=*/8, /*now_ns=*/2000000, &shed);
+  std::vector<AdmissionTicket> popped;
+  queue.PopBatch(/*max_batch=*/8, /*now_ns=*/2000000, &popped, &shed);
   ASSERT_EQ(shed.size(), 1u);
   EXPECT_EQ(shed[0].enqueued_ns, 0);
   EXPECT_EQ(shed[0].request.cls, RequestClass::kInteractive);

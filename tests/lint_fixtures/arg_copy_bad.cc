@@ -1,0 +1,16 @@
+// Fixture: [arg-copy] shapes — heavy types passed by value with no sink
+// move. Applies tree-wide (no NMCDR_HOT needed).
+#include <string>
+#include <vector>
+
+float SumAll(Matrix rows) {  // heavy nominal type by value
+  return rows.At(0, 0);
+}
+
+int CountIds(std::vector<int> ids) {  // container by value, never moved
+  return static_cast<int>(ids.size());
+}
+
+int NameLength(std::string name) {  // string by value, never moved
+  return static_cast<int>(name.size());
+}

@@ -1,0 +1,28 @@
+// Fixture: the legal parameter shapes — const&, pointers, cheap wrapper
+// types, and by-value sinks that std::move into a member. [arg-copy]
+// must stay quiet.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+float SumAll(const Matrix& rows) { return rows.At(0, 0); }
+
+int CountIds(const std::vector<int>& ids) {
+  return static_cast<int>(ids.size());
+}
+
+void Publish(std::shared_ptr<int> snapshot) { (void)snapshot; }
+
+class NameHolder {
+ public:
+  explicit NameHolder(std::string name) : name_(std::move(name)) {}
+
+  void Adopt(std::vector<int> ids) {
+    ids_ = std::move(ids);  // sink: by-value then moved stays legal
+  }
+
+ private:
+  std::string name_;
+  std::vector<int> ids_;
+};

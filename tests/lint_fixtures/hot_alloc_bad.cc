@@ -1,0 +1,27 @@
+// Fixture: every [hot-alloc] shape inside an NMCDR_HOT method. Never
+// compiled; exercised by lint_rules_test (HotAllocTest).
+#include <memory>
+#include <string>
+#include <vector>
+
+class AllocEngine {
+ public:
+  void Serve(int n) NMCDR_HOT;
+
+ private:
+  std::vector<int> items_;
+};
+
+void AllocEngine::Serve(int n) {
+  int* raw = new int[4];                    // operator new
+  auto owned = std::make_unique<int>(7);    // make_unique
+  items_.push_back(n);                      // growth without prior reserve
+  items_.resize(n);                         // resize always flags
+  std::string label("req");                 // std::string construction
+  std::to_string(n);                        // to_string
+  std::vector<float> tmp(n);                // sized vector construction
+  (void)raw;
+  (void)owned;
+  (void)label;
+  (void)tmp;
+}

@@ -1,0 +1,28 @@
+// Fixture: the sanctioned zero-alloc serving patterns — a NMCDR_COLD
+// Prepare() owning all growth, and reserve-then-push_back scratch reuse
+// inside the hot method. [hot-alloc] must stay quiet.
+#include <vector>
+
+class ScratchEngine {
+ public:
+  void Prepare(int n) NMCDR_COLD;
+  void Serve(int n) NMCDR_HOT;
+
+ private:
+  std::vector<int> scratch_;
+};
+
+void ScratchEngine::Prepare(int n) {
+  // Cold: amortized capacity growth is this function's whole job.
+  scratch_.resize(n);
+  scratch_.push_back(0);
+}
+
+void ScratchEngine::Serve(int n) {
+  Prepare(n);  // cold callee is pruned, not descended into
+  scratch_.clear();
+  scratch_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    scratch_.push_back(i);  // legal: prior same-receiver reserve
+  }
+}

@@ -1,0 +1,12 @@
+// Fixture (pairs with hot_reach_b.cc): the hot root. FeedRoot::Drive is
+// annotated NMCDR_HOT and calls FeedWorker::Grow, defined in the other
+// file — the allocation there must be reported with a two-file
+// provenance chain.
+class FeedRoot {
+ public:
+  void Drive(int n) NMCDR_HOT;
+};
+
+void FeedRoot::Drive(int n) {
+  FeedWorker::Grow(n);
+}

@@ -1,0 +1,22 @@
+// Fixture (pairs with hot_reach_a.cc): hot only transitively — no
+// annotation here; FeedWorker::Grow is reached from FeedRoot::Drive in
+// the other file. FeedWorker::Refill is NMCDR_COLD, so its allocations
+// are pruned out of the closure even though Grow calls it.
+#include <vector>
+
+class FeedWorker {
+ public:
+  static void Grow(int n);
+  static void Refill(int n) NMCDR_COLD;
+};
+
+void FeedWorker::Grow(int n) {
+  Refill(n);
+  int* scratch = new int[8];  // flagged, chain Drive -> Grow
+  (void)scratch;
+}
+
+void FeedWorker::Refill(int n) {
+  std::vector<int> pool;
+  pool.resize(n);  // cold: pruned, never reported
+}

@@ -1,0 +1,18 @@
+// Fixture: [reserve-before-growth] — looped push_back with no prior
+// same-receiver reserve(). The rule applies to cold code too, so no
+// NMCDR_HOT annotation is needed.
+#include <vector>
+
+std::vector<int> Evens(int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Odds(int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) out.push_back(2 * i + 1);  // braceless body
+  return out;
+}

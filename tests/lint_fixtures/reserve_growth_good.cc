@@ -1,0 +1,26 @@
+// Fixture: the sanctioned growth shapes — reserve before the loop, a
+// push_back outside any loop, and a deque receiver (chunked growth, no
+// reserve() to call). [reserve-before-growth] must stay quiet.
+#include <deque>
+#include <vector>
+
+std::vector<int> Evens(int n) {
+  std::vector<int> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Single(int n) {
+  std::vector<int> out;
+  out.push_back(n);  // not inside a for loop
+  return out;
+}
+
+std::deque<int> Queue(int n) {
+  std::deque<int> pending;
+  for (int i = 0; i < n; ++i) pending.push_back(i);  // deque exempt
+  return pending;
+}

@@ -1,0 +1,12 @@
+// Fixture: [throw-hot] shapes — a throw and an always-armed NMCDR_CHECK
+// inside an NMCDR_HOT method.
+class ThrowEngine {
+ public:
+  int Serve(int n) NMCDR_HOT;
+};
+
+int ThrowEngine::Serve(int n) {
+  NMCDR_CHECK_GE(n, 0);  // armed in Release: formats + aborts
+  if (n > 100) throw n;  // unwinding in steady-state request work
+  return n;
+}

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned hot-path validation split — NMCDR_DCHECK* in
+// the hot core (compiled out unless NMCDR_DEBUG_CHECKS), NMCDR_CHECK*
+// only in the cold public wrapper. [throw-hot] must stay quiet.
+class CheckedEngine {
+ public:
+  int Submit(int n) NMCDR_COLD;
+  int Serve(int n) NMCDR_HOT;
+};
+
+int CheckedEngine::Submit(int n) {
+  NMCDR_CHECK_GE(n, 0);  // cold edge validation, legal
+  return Serve(n);
+}
+
+int CheckedEngine::Serve(int n) {
+  NMCDR_DCHECK_GE(n, 0);  // debug-only, legal in hot code
+  return n + 1;
+}

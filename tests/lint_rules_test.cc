@@ -796,21 +796,165 @@ TEST(MultiRuleAllowTest, SuppressesConcurrencyRules) {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-path passes (fixture-driven)
+//
+// Same pattern as the concurrency fixtures: deliberate violations under
+// tests/lint_fixtures/, re-pathed to src/serving/ so the hot-path passes
+// apply, run through LintFileSet with LintOptions::hotpath.
+// ---------------------------------------------------------------------------
+
+std::vector<Diagnostic> RunHotpath(const std::vector<SourceFile>& files) {
+  LintOptions options;
+  options.hotpath = true;
+  return LintFileSet(files, options);
+}
+
+TEST(HotAllocTest, BadFixtureFiresEveryAllocationShape) {
+  const auto diags = RunHotpath({Fixture("hot_alloc_bad.cc")});
+  // new, make_unique, push_back (no reserve), resize, std::string,
+  // to_string, sized std::vector — one finding each.
+  EXPECT_EQ(CountRule(diags, "hot-alloc"), 7);
+  for (const Diagnostic& d : diags) {
+    if (d.rule != "hot-alloc") continue;
+    // Every finding carries its hot-reachability provenance.
+    EXPECT_NE(d.message.find("hot via"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("AllocEngine::Serve"), std::string::npos)
+        << d.message;
+  }
+}
+
+TEST(HotAllocTest, ScratchPatternsAreQuiet) {
+  // NMCDR_COLD Prepare() plus reserve-then-push_back in the hot body.
+  const auto diags = RunHotpath({Fixture("hot_alloc_good.cc")});
+  EXPECT_EQ(CountRule(diags, "hot-alloc"), 0);
+}
+
+TEST(HotAllocTest, TwoFileTransitiveReachabilityCarriesTheChain) {
+  const auto diags =
+      RunHotpath({Fixture("hot_reach_a.cc"), Fixture("hot_reach_b.cc")});
+  // FeedWorker::Grow is hot only through FeedRoot::Drive (other file);
+  // its `new` is the only finding — the NMCDR_COLD Refill is pruned.
+  ASSERT_EQ(CountRule(diags, "hot-alloc"), 1);
+  for (const Diagnostic& d : diags) {
+    if (d.rule != "hot-alloc") continue;
+    EXPECT_NE(d.file.find("hot_reach_b.cc"), std::string::npos);
+    EXPECT_NE(d.message.find("FeedRoot::Drive -> FeedWorker::Grow"),
+              std::string::npos)
+        << d.message;
+  }
+}
+
+TEST(HotAllocTest, ColdCalleeIsNotScannedWithoutTheHotRoot) {
+  // hot_reach_b.cc alone has no hot root: nothing fires, including the
+  // cold Refill's resize.
+  const auto diags = RunHotpath({Fixture("hot_reach_b.cc")});
+  EXPECT_EQ(CountRule(diags, "hot-alloc"), 0);
+}
+
+TEST(HotAllocTest, NeedsTheOptIn) {
+  const auto diags = LintFileSet({Fixture("hot_alloc_bad.cc")});
+  EXPECT_EQ(CountRule(diags, "hot-alloc"), 0);
+  EXPECT_EQ(CountRule(diags, "throw-hot"), 0);
+}
+
+TEST(ThrowHotTest, BadFixtureFiresThrowAndCheck) {
+  const auto diags = RunHotpath({Fixture("throw_hot_bad.cc")});
+  // One `throw`, one NMCDR_CHECK_GE.
+  EXPECT_EQ(CountRule(diags, "throw-hot"), 2);
+}
+
+TEST(ThrowHotTest, DcheckCoreAndColdCheckWrapperAreQuiet) {
+  const auto diags = RunHotpath({Fixture("throw_hot_good.cc")});
+  EXPECT_EQ(CountRule(diags, "throw-hot"), 0);
+}
+
+TEST(ArgCopyTest, BadFixtureFiresOnEveryByValueHeavyParam) {
+  const auto diags = RunHotpath({Fixture("arg_copy_bad.cc")});
+  // Matrix, std::vector, std::string — by value, never moved.
+  EXPECT_EQ(CountRule(diags, "arg-copy"), 3);
+}
+
+TEST(ArgCopyTest, ConstRefWrappersAndSinksAreQuiet) {
+  const auto diags = RunHotpath({Fixture("arg_copy_good.cc")});
+  EXPECT_EQ(CountRule(diags, "arg-copy"), 0);
+}
+
+TEST(ReserveBeforeGrowthTest, BadFixtureFiresInBracedAndBracelessLoops) {
+  const auto diags = RunHotpath({Fixture("reserve_growth_bad.cc")});
+  EXPECT_EQ(CountRule(diags, "reserve-before-growth"), 2);
+}
+
+TEST(ReserveBeforeGrowthTest, ReserveSingleShotAndDequeAreQuiet) {
+  const auto diags = RunHotpath({Fixture("reserve_growth_good.cc")});
+  EXPECT_EQ(CountRule(diags, "reserve-before-growth"), 0);
+}
+
+TEST(HotPathAllowTest, SuppressesAFindingOnTheFlaggedLine) {
+  std::string content = ReadFixture("hot_alloc_bad.cc");
+  const std::string needle = "new int[4]";
+  const size_t pos = content.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const size_t line_start = content.rfind('\n', pos) + 1;
+  content.insert(line_start,
+                 "  // NMCDR_LINT_ALLOW(hot-alloc): fixture\n");
+  const auto diags =
+      RunHotpath({Preprocess("src/serving/hot_alloc_bad.cc", content)});
+  EXPECT_EQ(CountRule(diags, "hot-alloc"), 6);  // only the new is suppressed
+}
+
+TEST(HotPathGraphTest, ExposesRootsEdgesAndRenderings) {
+  HotPathGraph graph = BuildHotPathGraph(
+      {Fixture("hot_reach_a.cc"), Fixture("hot_reach_b.cc")});
+  bool found_root = false, found_transitive = false;
+  for (const HotPathNode& n : graph.nodes) {
+    if (n.key == "FeedRoot::Drive") {
+      found_root = true;
+      EXPECT_TRUE(n.root);
+    }
+    if (n.key == "FeedWorker::Grow") {
+      found_transitive = true;
+      EXPECT_FALSE(n.root);
+    }
+    EXPECT_NE(n.key, "FeedWorker::Refill");  // cold: pruned
+  }
+  EXPECT_TRUE(found_root);
+  EXPECT_TRUE(found_transitive);
+  bool found_edge = false;
+  for (const HotPathEdge& e : graph.edges) {
+    if (e.from == "FeedRoot::Drive" && e.to == "FeedWorker::Grow") {
+      found_edge = true;
+    }
+  }
+  EXPECT_TRUE(found_edge);
+  ASSERT_EQ(graph.sites.size(), 1u);
+  EXPECT_EQ(graph.sites[0].rule, "hot-alloc");
+  const std::string dot = HotPathDot(graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"FeedRoot::Drive\" -> \"FeedWorker::Grow\""),
+            std::string::npos);
+  const std::string text = HotPathText(graph);
+  EXPECT_NE(text.find("FeedRoot::Drive"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Rule catalogue + driver exit codes
 // ---------------------------------------------------------------------------
 
 TEST(ListRulesTest, CataloguesEveryRuleWithConcurrencyTail) {
   const std::vector<RuleInfo>& rules = ListRules();
-  ASSERT_GE(rules.size(), 16u);
+  ASSERT_GE(rules.size(), 20u);
   int concurrency = 0;
+  int hotpath = 0;
   for (const RuleInfo& r : rules) {
     EXPECT_FALSE(r.id.empty());
     EXPECT_FALSE(r.summary.empty());
     if (r.concurrency_only) ++concurrency;
+    if (r.hotpath_only) ++hotpath;
   }
   EXPECT_EQ(concurrency, 4);
-  EXPECT_EQ(rules.back().id, "pool-blocking");
-  EXPECT_TRUE(rules.back().concurrency_only);
+  EXPECT_EQ(hotpath, 4);
+  EXPECT_EQ(rules.back().id, "reserve-before-growth");
+  EXPECT_TRUE(rules.back().hotpath_only);
 }
 
 int RunDriver(const std::string& args) {
@@ -860,6 +1004,17 @@ TEST_F(DriverExitCodeTest, UnknownFlagExitsTwo) {
 
 TEST_F(DriverExitCodeTest, ListRulesExitsZero) {
   EXPECT_EQ(RunDriver("--list-rules"), 0);
+}
+
+TEST_F(DriverExitCodeTest, HotpathViolationExitsOneOnlyWithTheFlag) {
+  WriteFile("src/hot.cc",
+            "class E {\n"
+            " public:\n"
+            "  void Serve() NMCDR_HOT;\n"
+            "};\n"
+            "void E::Serve() { int n = 3; (void)std::to_string(n); }\n");
+  EXPECT_EQ(RunDriver("--hotpath " + root_.string() + " src"), 1);
+  EXPECT_EQ(RunDriver(root_.string() + " src"), 0);
 }
 
 TEST_F(DriverExitCodeTest, FixtureDirectoriesAreSkipped) {

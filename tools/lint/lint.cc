@@ -3,7 +3,8 @@
 // LintFile/LintFileSet drivers. The rules themselves live in per-pass
 // translation units: rules_text.cc (line/token rules + guarded-by),
 // rules_include.cc (include graph), rules_concurrency.cc (the four
-// concurrency passes).
+// concurrency passes), rules_hotpath.cc (the four hot-path passes); the
+// two whole-program families share the structural model in model.cc.
 #include "tools/lint/lint.h"
 
 #include <cctype>
@@ -369,6 +370,33 @@ std::vector<Diagnostic> LintFileSet(const std::vector<SourceFile>& files,
   internal::CheckGuardedBy(files, &out);
   internal::CheckIncludeRules(files, &out);
   if (options.concurrency) internal::CheckConcurrency(files, &out);
+  if (options.hotpath) internal::CheckHotPath(files, &out);
+  return out;
+}
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      // '<' / '>' would read as an HTML-like label delimiter in some DOT
+      // consumers; render them as readable escapes.
+      case '<':
+        out += "\\<";
+        break;
+      case '>':
+        out += "\\>";
+        break;
+      default:
+        out += c;
+    }
+  }
   return out;
 }
 
@@ -410,6 +438,22 @@ const std::vector<RuleInfo>& ListRules() {
       {"pool-blocking",
        "pool-reachable code must not block or take dispatch-held mutexes",
        true},
+      {"hot-alloc",
+       "no heap allocation or container growth in NMCDR_HOT-reachable "
+       "code (reserve-then-push_back stays legal)",
+       false, true},
+      {"throw-hot",
+       "no throw or NMCDR_CHECK* in NMCDR_HOT-reachable code "
+       "(NMCDR_DCHECK* stays legal)",
+       false, true},
+      {"arg-copy",
+       "no by-value heavy-type parameters (Matrix, std::vector, "
+       "std::string, snapshot/layout types) in src/",
+       false, true},
+      {"reserve-before-growth",
+       "push_back inside a for loop requires a prior same-receiver "
+       "reserve()",
+       false, true},
   };
   return kRules;
 }

@@ -102,6 +102,39 @@ namespace lint {
 ///                           dispatch (lock-holder waiting on a pool that
 ///                           needs the lock)
 ///
+/// Hot-path rules (LintOptions::hotpath / `nmcdr_lint --hotpath` /
+/// `nmcdr_hotpath`), applied to src/ files. "Hot" functions are the
+/// closure over the resolved call graph of (a) functions annotated
+/// NMCDR_HOT (src/util/thread_annotations.h) and (b) ThreadPool
+/// dispatch-lambda bodies outside src/util/; NMCDR_COLD prunes a function
+/// out of the closure (amortized capacity growth, output
+/// materialization):
+///  [hot-alloc]              hot code must not heap-allocate: no operator
+///                           new, make_unique / make_shared, container
+///                           growth (push_back / emplace_back / resize /
+///                           insert / emplace — push_back after a
+///                           same-receiver reserve() in the same function
+///                           is the sanctioned amortized pattern and
+///                           stays legal), std::string construction, or
+///                           sized std::vector construction. Every
+///                           finding carries its hot-reachability
+///                           provenance ("hot via A -> B -> C")
+///  [throw-hot]              hot code must not `throw` nor use
+///                           NMCDR_CHECK* (which stays armed in Release
+///                           and formats + aborts); NMCDR_DCHECK* stays
+///                           legal (compiled out unless
+///                           NMCDR_DEBUG_CHECKS)
+///  [arg-copy]               anywhere in src/: no by-value parameters of
+///                           heavy types (Matrix, std::vector,
+///                           std::string, request / response / snapshot /
+///                           layout types) — pass const& / span, or
+///                           std::move the parameter in the body (sink
+///                           arguments stay legal)
+///  [reserve-before-growth]  anywhere in src/ (cold code included): a
+///                           push_back / emplace_back inside a `for` loop
+///                           requires a prior same-receiver reserve() in
+///                           the same function
+///
 /// A violation on a line carrying a comment `NMCDR_LINT_ALLOW(rule-id):
 /// reason` is suppressed; a comma-separated list suppresses several rules
 /// on one line (`NMCDR_LINT_ALLOW(naked-new, banned-thread): reason`).
@@ -139,6 +172,9 @@ struct LintOptions {
   /// Adds the four concurrency passes (lock-order, thread-annotation,
   /// rcu-read-scope, pool-blocking) on top of the always-on rules.
   bool concurrency = false;
+  /// Adds the four hot-path passes (hot-alloc, throw-hot, arg-copy,
+  /// reserve-before-growth) on top of the always-on rules.
+  bool hotpath = false;
 };
 
 /// Per-file rules (everything except the cross-file rules).
@@ -157,6 +193,7 @@ struct RuleInfo {
   std::string id;
   std::string summary;
   bool concurrency_only = false;
+  bool hotpath_only = false;
 };
 
 /// Every rule id the analyzer knows, in stable (registration) order.
@@ -193,6 +230,60 @@ std::string LockOrderDot(const LockOrderGraph& graph);
 
 /// Human-readable rendering: every node, then every edge with both sites.
 std::string LockOrderText(const LockOrderGraph& graph);
+
+/// Escapes a string for use inside a double-quoted DOT label or node id:
+/// backslash-escapes '"' and '\' and replaces '<'/'>' (which would start
+/// an HTML-like label) with their readable escapes. Shared by
+/// LockOrderDot and HotPathDot.
+std::string DotEscape(const std::string& s);
+
+/// One hot-path finding attached to the call tree (a [hot-alloc] or
+/// [throw-hot] site inside `func`).
+struct HotPathSite {
+  std::string func;  // owning hot function key
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// One hot function: `why` is its reachability provenance — the root
+/// annotation or dispatch site for roots, a "A -> B -> C" chain
+/// otherwise.
+struct HotPathNode {
+  std::string key;   // "Class::Name" or "path::name"
+  std::string file;  // defining file
+  int line = 0;      // 1-based head line
+  std::string why;
+  bool root = false;
+};
+
+/// One hot call edge: `from` (hot) resolves a call to `to` (hot).
+struct HotPathEdge {
+  std::string from;
+  std::string to;
+};
+
+/// The annotated hot call tree plus its findings — the artifact behind
+/// `nmcdr_lint --hotpath`, exposed for nmcdr_hotpath reports.
+struct HotPathGraph {
+  std::vector<HotPathNode> nodes;
+  std::vector<HotPathEdge> edges;
+  std::vector<HotPathSite> sites;
+};
+
+/// Builds the hot call tree over src/ files in the set and attaches the
+/// [hot-alloc]/[throw-hot] findings (NMCDR_LINT_ALLOW-suppressed sites
+/// excluded, matching the lint pass).
+HotPathGraph BuildHotPathGraph(const std::vector<SourceFile>& files);
+
+/// Graphviz rendering: hot functions as boxes (roots double-bordered,
+/// allocating nodes red with their site count), hot call edges.
+std::string HotPathDot(const HotPathGraph& graph);
+
+/// Human-readable rendering: every hot function with provenance, then
+/// every finding grouped under its function.
+std::string HotPathText(const HotPathGraph& graph);
 
 }  // namespace lint
 }  // namespace nmcdr

@@ -94,6 +94,11 @@ void CheckIncludeRules(const std::vector<SourceFile>& files,
 void CheckConcurrency(const std::vector<SourceFile>& files,
                       std::vector<Diagnostic>* out);
 
+/// The four hot-path passes (hot-alloc, throw-hot, arg-copy,
+/// reserve-before-growth) over src/ files in the set.
+void CheckHotPath(const std::vector<SourceFile>& files,
+                  std::vector<Diagnostic>* out);
+
 }  // namespace internal
 }  // namespace lint
 }  // namespace nmcdr

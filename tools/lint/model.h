@@ -1,0 +1,165 @@
+#ifndef NMCDR_TOOLS_LINT_MODEL_H_
+#define NMCDR_TOOLS_LINT_MODEL_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+// The structural source model shared by the whole-program lint passes
+// (rules_concurrency.cc, rules_hotpath.cc). A scope-tracking scanner over
+// the blanked code channel recovers namespaces, class-like regions,
+// function definitions, lock scopes, call sites, blocking primitives, and
+// ThreadPool dispatch-lambda bodies, then resolves identities across the
+// file set. It is deliberately a heuristic, not a C++ front-end: it
+// handles this repo's clang-format style and resolves conservatively — an
+// unresolvable receiver degrades to a file-qualified name and an
+// unresolvable call is simply dropped from the call graph
+// (under-approximation: no false edges from guessing).
+
+namespace nmcdr {
+namespace lint {
+namespace internal {
+
+struct Site {
+  const SourceFile* file = nullptr;
+  size_t line = 0;  // 0-based
+};
+
+struct ClassInfo {
+  std::string name;
+  const SourceFile* file = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+  std::set<std::string> mutexes;                           // member names
+  std::unordered_map<std::string, std::string> members;    // name_ -> Type
+};
+
+/// One std::lock_guard / unique_lock / scoped_lock acquisition.
+struct AcqEvent {
+  std::string raw;       // argument text as written ("mu_", "state.mu")
+  std::string mutex;     // resolved identity ("ThreadPool::mu_")
+  Site site;
+  size_t pos = 0;        // column of the lock token
+  std::vector<size_t> held;  // indices into Func::acquires held at this site
+  bool in_dispatch = false;
+};
+
+/// One call site `name(...)`, with enough receiver context to resolve
+/// later against the global class/function tables.
+struct CallEvent {
+  std::string name;
+  std::string qualifier;      // X in `X::name(` or `X::Accessor()->name(`
+  std::string receiver;       // simple receiver ident in `recv.name(`
+  std::string receiver_text;  // raw receiver chars, for pool detection
+  bool via_this = false;
+  std::string resolved;       // function-index key, "" if unresolved
+  Site site;
+  size_t pos = 0;
+  std::vector<size_t> held;
+  bool in_dispatch = false;
+  bool is_dispatch = false;   // this call hands a lambda to the ThreadPool
+};
+
+struct BlockEvent {
+  std::string what;  // "sleep_for", "wait", ...
+  Site site;
+  size_t pos = 0;
+  std::vector<size_t> held;
+  bool in_dispatch = false;
+};
+
+/// A character range inside one file (dispatch-lambda bodies).
+struct Range {
+  size_t begin_line = 0, begin_pos = 0;
+  size_t end_line = 0, end_pos = 0;
+  bool Contains(size_t line, size_t pos) const {
+    if (line < begin_line || line > end_line) return false;
+    if (line == begin_line && pos <= begin_pos) return false;
+    if (line == end_line && pos >= end_pos) return false;
+    return true;
+  }
+};
+
+struct Func {
+  std::string cls;   // "" for free functions
+  std::string name;
+  std::string key;   // "Class::Name" or "path::name"
+  const SourceFile* file = nullptr;
+  size_t head_line = 0;
+  size_t body_begin = 0;      // line of the opening '{'
+  size_t body_begin_col = 0;  // column of the opening '{'
+  size_t body_end = 0;
+  std::vector<AcqEvent> acquires;
+  std::vector<CallEvent> calls;
+  std::vector<BlockEvent> blocking;
+  std::vector<std::string> requires_held;  // qualified, from NMCDR_REQUIRES
+  std::vector<Range> dispatch_bodies;      // lambda bodies handed to the pool
+};
+
+struct Model {
+  std::vector<ClassInfo> classes;
+  std::vector<Func> funcs;
+  std::unordered_map<std::string, size_t> class_by_name;
+  std::unordered_map<std::string, std::vector<size_t>> func_by_key;
+  std::unordered_map<std::string, const SourceFile*> file_by_path;
+};
+
+/// Control-flow / statement keywords: a block or call can never be named
+/// one of these. Type keywords are NOT here — function heads start with
+/// them ("void ThreadPool::Submit(...) {").
+bool IsControlKeyword(const std::string& s);
+
+/// Words that can look like a call (`word(`) but never are one — the
+/// control keywords plus type names appearing in function-pointer /
+/// std::function parameter lists ("std::function<void(int64_t)>").
+bool IsKeyword(const std::string& s);
+
+bool InUtil(const std::string& path);
+
+std::string IdentBefore(const std::string& s, size_t end);
+
+size_t SkipSpacesBack(const std::string& s, size_t pos);
+
+/// True when `pos` names a member call: `.wait(`, `->wait_for(` etc.
+bool IsWaitCall(const std::string& line, size_t pos);
+
+/// Joins `f.code[li]` from `col` with up to three successor lines so
+/// multi-line argument lists parse; only the first line's positions
+/// matter for events.
+std::string JoinedFrom(const SourceFile& f, size_t li, size_t col);
+
+/// Parses the constructor arguments of a `token<T...> name(args)`
+/// declaration whose token starts `joined`:
+/// "lock_guard<std::mutex> l(mu_);" -> {"mu_"}. With `all_args` every
+/// argument is returned, otherwise only the first; lock tag types
+/// (defer_lock etc.) are dropped.
+std::vector<std::string> LockArgs(const std::string& joined, bool all_args);
+
+/// Member->type lookup through the class table ("" when unknown).
+std::string MemberType(const Model& model, const std::string& cls,
+                       const std::string& member);
+
+/// The class region (from the model) enclosing `line` in `f`; innermost
+/// wins. Returns nullptr outside any class.
+const ClassInfo* EnclosingClass(const Model& model, const SourceFile& f,
+                                size_t line);
+
+/// Method name owning an annotation macro at (line, pos): the last
+/// `ident(` in the joined declaration statement before the macro token.
+std::string AnnotatedMethod(const SourceFile& f, size_t line, size_t pos);
+
+/// Builds the whole-program model over the src/ files in the set:
+/// structural walk, member extraction, body event scans, cross-file
+/// resolution of lock identities and call keys, and dispatch-lambda
+/// membership (Func::dispatch_bodies plus the per-event in_dispatch
+/// bits).
+Model BuildModel(const std::vector<SourceFile>& files);
+
+}  // namespace internal
+}  // namespace lint
+}  // namespace nmcdr
+
+#endif  // NMCDR_TOOLS_LINT_MODEL_H_

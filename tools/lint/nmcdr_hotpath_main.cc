@@ -1,0 +1,120 @@
+// nmcdr_hotpath: report mode for the static hot-path cost analyzer. Runs
+// the four hot-path passes over src/ and prints the annotated hot call
+// tree — every NMCDR_HOT-reachable function with its reachability
+// provenance and any allocation/throw sites — so the steady-state
+// allocation surface is an inspectable artifact instead of only a
+// pass/fail bit.
+//
+//   nmcdr_hotpath [--dot=FILE] [--text=FILE] [repo_root]
+//
+// Exit codes: 0 = clean, 1 = hot-path findings, 2 = usage / IO error.
+// CI runs this after the tree-wide lint and uploads the DOT + text tree
+// renderings as build artifacts.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "nmcdr_hotpath: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dot_path;
+  std::string text_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.starts_with("--dot=")) {
+      dot_path = arg.substr(6);
+    } else if (arg.starts_with("--text=")) {
+      text_path = arg.substr(7);
+    } else if (arg.starts_with("--")) {
+      std::cerr << "nmcdr_hotpath: unknown flag: " << arg << "\n"
+                << "usage: nmcdr_hotpath [--dot=FILE] [--text=FILE] "
+                   "[repo_root]\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() > 1) {
+    std::cerr << "nmcdr_hotpath: expected at most one repo_root\n";
+    return 2;
+  }
+  const fs::path root =
+      positional.empty() ? fs::path(".") : fs::path(positional[0]);
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    std::cerr << "nmcdr_hotpath: no such directory: " << src << "\n";
+    return 2;
+  }
+
+  std::vector<nmcdr::lint::SourceFile> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) {
+      std::cerr << "nmcdr_hotpath: cannot read " << entry.path() << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel = fs::relative(entry.path(), root).generic_string();
+    files.push_back(nmcdr::lint::Preprocess(rel, buffer.str()));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const nmcdr::lint::SourceFile& a,
+               const nmcdr::lint::SourceFile& b) { return a.path < b.path; });
+
+  const nmcdr::lint::HotPathGraph graph =
+      nmcdr::lint::BuildHotPathGraph(files);
+  const std::string text = nmcdr::lint::HotPathText(graph);
+  std::cout << text;
+  if (!text_path.empty() && !WriteFileOrDie(text_path, text)) return 2;
+  if (!dot_path.empty() &&
+      !WriteFileOrDie(dot_path, nmcdr::lint::HotPathDot(graph))) {
+    return 2;
+  }
+
+  nmcdr::lint::LintOptions options;
+  options.hotpath = true;
+  std::vector<nmcdr::lint::Diagnostic> findings;
+  for (const nmcdr::lint::Diagnostic& d :
+       nmcdr::lint::LintFileSet(files, options)) {
+    // Report mode is about the hot-path surface; the always-on rules
+    // already gate CI through lint_test.
+    for (const nmcdr::lint::RuleInfo& r : nmcdr::lint::ListRules()) {
+      if (r.id == d.rule && r.hotpath_only) {
+        findings.push_back(d);
+        break;
+      }
+    }
+  }
+  for (const nmcdr::lint::Diagnostic& d : findings) {
+    std::cout << d.ToString() << "\n";
+  }
+  std::cout << "nmcdr_hotpath: " << findings.size() << " hot-path finding"
+            << (findings.size() == 1 ? "" : "s") << " over " << files.size()
+            << " src files\n";
+  return findings.empty() ? 0 : 1;
+}

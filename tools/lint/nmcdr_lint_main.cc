@@ -4,11 +4,13 @@
 // the `lint_test` and `concurrency_lint_test` CTests, so `ctest`
 // enforces the invariants.
 //
-//   nmcdr_lint [--concurrency] [--list-rules] [repo_root] [subdir...]
+//   nmcdr_lint [--concurrency] [--hotpath] [--list-rules]
+//              [repo_root] [subdir...]
 //
 // Defaults: repo_root = ".", subdirs = src tests tools bench.
-// --concurrency adds the four concurrency passes (see tools/lint/lint.h);
-// --list-rules prints the rule catalogue and exits 0. Fixture trees under
+// --concurrency adds the four concurrency passes and --hotpath the four
+// hot-path passes (see tools/lint/lint.h); --list-rules prints the rule
+// catalogue and exits 0. Fixture trees under
 // a `lint_fixtures` directory hold deliberate violations for
 // tests/lint_rules_test.cc and are always skipped.
 #include <algorithm>
@@ -43,16 +45,20 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--concurrency") {
       options.concurrency = true;
+    } else if (arg == "--hotpath") {
+      options.hotpath = true;
     } else if (arg == "--list-rules") {
       for (const nmcdr::lint::RuleInfo& r : nmcdr::lint::ListRules()) {
-        std::cout << r.id << (r.concurrency_only ? " [concurrency] " : " ")
-                  << "- " << r.summary << "\n";
+        const char* tag = r.concurrency_only ? " [concurrency] "
+                          : r.hotpath_only   ? " [hotpath] "
+                                             : " ";
+        std::cout << r.id << tag << "- " << r.summary << "\n";
       }
       return 0;
     } else if (arg.starts_with("--")) {
       std::cerr << "nmcdr_lint: unknown flag: " << arg << "\n"
-                << "usage: nmcdr_lint [--concurrency] [--list-rules] "
-                   "[repo_root] [subdir...]\n";
+                << "usage: nmcdr_lint [--concurrency] [--hotpath] "
+                   "[--list-rules] [repo_root] [subdir...]\n";
       return 2;
     } else {
       positional.push_back(arg);
@@ -101,6 +107,6 @@ int main(int argc, char** argv) {
   std::cout << "nmcdr_lint: " << diags.size() << " finding"
             << (diags.size() == 1 ? "" : "s") << " over " << files.size()
             << " files" << (options.concurrency ? " (with concurrency)" : "")
-            << "\n";
+            << (options.hotpath ? " (with hotpath)" : "") << "\n";
   return diags.empty() ? 0 : 1;
 }

@@ -2,887 +2,26 @@
 // [rcu-read-scope], [pool-blocking]. See tools/lint/lint.h for the rule
 // catalogue.
 //
-// Everything here is built on a scope-tracking scanner over the blanked
-// code channel. The scanner is deliberately a heuristic, not a C++
-// front-end: it recovers namespaces, class-like regions, function
-// definitions, brace depth, lock scopes, and call sites well enough for
-// this repo's (clang-format style) code, and resolves identities
-// conservatively — an unresolvable receiver degrades to a file-qualified
-// mutex name and an unresolvable call is simply dropped from the call
-// graph (under-approximation: no false cycles from guessing).
-//
-// Pipeline:
-//   1. Per src/ file: structural walk -> class regions + function regions.
-//   2. Per class: mutex members and member->type map (trailing-underscore
-//      member naming convention).
-//   3. Per function: char-ordered event scan (lock acquisitions with the
-//      held-stack snapshot, call sites, blocking primitives, ThreadPool
-//      dispatch lambdas).
-//   4. Cross-file resolution: lock identities ("Class::mu_"), call keys,
-//      NMCDR_REQUIRES/NMCDR_EXCLUDES annotations.
-//   5. Effective-acquires fixpoint over the resolved call graph.
-//   6. The four passes emit diagnostics; BuildLockOrderGraph exports the
+// The passes run over the shared structural model (tools/lint/model.h):
+// classes, mutex members, function bodies with char-ordered lock / call /
+// blocking events, resolved call keys, and ThreadPool dispatch-lambda
+// membership. This file owns only concurrency-specific analysis:
+//   1. NMCDR_REQUIRES/NMCDR_EXCLUDES annotation collection + validation.
+//   2. Effective-acquires fixpoint over the resolved call graph.
+//   3. The four passes; BuildLockOrderGraph exports the
 //      acquires-while-holding graph for nmcdr_racecheck.
-#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "tools/lint/lint_internal.h"
+#include "tools/lint/model.h"
 
 namespace nmcdr {
 namespace lint {
 namespace internal {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Model
-// ---------------------------------------------------------------------------
-
-struct Site {
-  const SourceFile* file = nullptr;
-  size_t line = 0;  // 0-based
-};
-
-struct ClassInfo {
-  std::string name;
-  const SourceFile* file = nullptr;
-  size_t begin = 0;
-  size_t end = 0;
-  std::set<std::string> mutexes;                           // member names
-  std::unordered_map<std::string, std::string> members;    // name_ -> Type
-};
-
-/// One std::lock_guard / unique_lock / scoped_lock acquisition.
-struct AcqEvent {
-  std::string raw;       // argument text as written ("mu_", "state.mu")
-  std::string mutex;     // resolved identity ("ThreadPool::mu_")
-  Site site;
-  size_t pos = 0;        // column of the lock token
-  std::vector<size_t> held;  // indices into Func::acquires held at this site
-  bool in_dispatch = false;
-};
-
-/// One call site `name(...)`, with enough receiver context to resolve
-/// later against the global class/function tables.
-struct CallEvent {
-  std::string name;
-  std::string qualifier;      // X in `X::name(` or `X::Accessor()->name(`
-  std::string receiver;       // simple receiver ident in `recv.name(`
-  std::string receiver_text;  // raw receiver chars, for pool detection
-  bool via_this = false;
-  std::string resolved;       // function-index key, "" if unresolved
-  Site site;
-  size_t pos = 0;
-  std::vector<size_t> held;
-  bool in_dispatch = false;
-  bool is_dispatch = false;   // this call hands a lambda to the ThreadPool
-};
-
-struct BlockEvent {
-  std::string what;  // "sleep_for", "wait", ...
-  Site site;
-  size_t pos = 0;
-  std::vector<size_t> held;
-  bool in_dispatch = false;
-};
-
-struct Func {
-  std::string cls;   // "" for free functions
-  std::string name;
-  std::string key;   // "Class::Name" or "path::name"
-  const SourceFile* file = nullptr;
-  size_t head_line = 0;
-  size_t body_begin = 0;
-  size_t body_end = 0;
-  std::vector<AcqEvent> acquires;
-  std::vector<CallEvent> calls;
-  std::vector<BlockEvent> blocking;
-  std::vector<std::string> requires_held;  // qualified, from NMCDR_REQUIRES
-};
-
-struct Model {
-  std::vector<ClassInfo> classes;
-  std::vector<Func> funcs;
-  std::unordered_map<std::string, size_t> class_by_name;
-  std::unordered_map<std::string, std::vector<size_t>> func_by_key;
-  std::unordered_map<std::string, const SourceFile*> file_by_path;
-};
-
-/// Control-flow / statement keywords: a block or call can never be named
-/// one of these. Type keywords are NOT here — function heads start with
-/// them ("void ThreadPool::Submit(...) {").
-bool IsControlKeyword(const std::string& s) {
-  static const std::set<std::string> kControl = {
-      "if", "for", "while", "switch", "return", "sizeof", "catch",
-      "new", "delete", "throw", "else", "do", "case", "default",
-      "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
-      "alignof", "decltype", "noexcept", "operator", "co_await",
-      "lock_guard", "unique_lock", "scoped_lock", "defined"};
-  return kControl.count(s) != 0;
-}
-
-/// Words that can look like a call (`word(`) but never are one — the
-/// control keywords plus type names appearing in function-pointer /
-/// std::function parameter lists ("std::function<void(int64_t)>").
-bool IsKeyword(const std::string& s) {
-  static const std::set<std::string> kTypes = {
-      "void", "bool", "char", "int", "float", "double", "auto",
-      "int32_t", "int64_t", "uint32_t", "uint64_t", "size_t"};
-  return IsControlKeyword(s) || kTypes.count(s) != 0;
-}
-
-bool InUtil(const std::string& path) { return path.starts_with("src/util/"); }
-
-std::string IdentBefore(const std::string& s, size_t end) {
-  size_t b = end;
-  while (b > 0 && IsWordChar(s[b - 1])) --b;
-  return s.substr(b, end - b);
-}
-
-size_t SkipSpacesBack(const std::string& s, size_t pos) {
-  while (pos > 0 &&
-         std::isspace(static_cast<unsigned char>(s[pos - 1])) != 0) {
-    --pos;
-  }
-  return pos;
-}
-
-// ---------------------------------------------------------------------------
-// Structural walk: class regions and function regions
-// ---------------------------------------------------------------------------
-
-struct FuncRegion {
-  std::string cls;
-  std::string name;
-  size_t head_line = 0;
-  size_t open_line = 0;
-  size_t open_col = 0;
-  size_t close_line = 0;
-};
-
-/// Extracts the function name ending just before the first '(' in `head`:
-/// "void ThreadPool::Submit(std..." -> "ThreadPool::Submit". Allows '::'
-/// and '~' so destructors and qualified definitions resolve. Returns ""
-/// when no plausible name precedes the paren (lambdas, initializers).
-std::string FuncNameFromHead(const std::string& head) {
-  const size_t paren = head.find('(');
-  if (paren == std::string::npos) return "";
-  size_t e = SkipSpacesBack(head, paren);
-  size_t b = e;
-  while (b > 0) {
-    const char c = head[b - 1];
-    if (IsWordChar(c) || c == '~') {
-      --b;
-    } else if (c == ':' && b > 1 && head[b - 2] == ':') {
-      b -= 2;
-    } else {
-      break;
-    }
-  }
-  std::string name = head.substr(b, e - b);
-  if (name.empty()) return "";
-  // The trailing simple identifier must not be a keyword ("if", "while").
-  const size_t sep = name.rfind("::");
-  const std::string last = sep == std::string::npos ? name : name.substr(sep + 2);
-  if (last.empty() || IsKeyword(last) ||
-      std::isdigit(static_cast<unsigned char>(last[0])) != 0) {
-    return "";
-  }
-  return name;
-}
-
-/// Walks a file's blanked code recovering class-like regions (class AND
-/// struct, skipping `enum class`) and function-definition regions with
-/// their body extents. Preprocessor lines are ignored entirely.
-void StructuralWalk(const SourceFile& f, std::vector<ClassInfo>* classes,
-                    std::vector<FuncRegion>* funcs) {
-  struct Frame {
-    enum Kind { kNamespace, kClass, kFunction, kOther } kind = kOther;
-    std::string name;       // class name or function name
-    size_t begin_line = 0;  // line of the '{'
-    size_t head_line = 0;
-    size_t func_index = 0;  // into *funcs for kFunction
-  };
-  std::vector<Frame> stack;
-  std::string head;
-  size_t head_line = 0;  // line where the current head started
-
-  const auto inside_function = [&] {
-    for (const Frame& fr : stack) {
-      if (fr.kind == Frame::kFunction) return true;
-    }
-    return false;
-  };
-  const auto enclosing_class = [&]() -> std::string {
-    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-      if (it->kind == Frame::kClass) return it->name;
-    }
-    return "";
-  };
-
-  for (size_t li = 0; li < f.code.size(); ++li) {
-    const std::string& line = f.code[li];
-    if (Trimmed(line).starts_with("#")) continue;
-    for (size_t ci = 0; ci < line.size(); ++ci) {
-      const char c = line[ci];
-      if (c == ';' || c == '}') {
-        head.clear();
-        head_line = li;
-        if (c == '}') {
-          if (!stack.empty()) {
-            Frame done = stack.back();
-            stack.pop_back();
-            if (done.kind == Frame::kClass) {
-              ClassInfo info;
-              info.name = done.name;
-              info.file = &f;
-              info.begin = done.head_line;
-              info.end = li;
-              classes->push_back(info);
-            } else if (done.kind == Frame::kFunction) {
-              (*funcs)[done.func_index].close_line = li;
-            }
-          }
-        }
-        continue;
-      }
-      if (c != '{') {
-        head += c;
-        if (Trimmed(head).size() == 1) head_line = li;
-        continue;
-      }
-      // Classify the block this '{' opens from the statement head.
-      Frame fr;
-      fr.begin_line = li;
-      fr.head_line = head_line;
-      const std::string h = Trimmed(head);
-      head.clear();
-      head_line = li;
-      const size_t first_word_end = [&] {
-        size_t p = 0;
-        while (p < h.size() && IsWordChar(h[p])) ++p;
-        return p;
-      }();
-      const std::string first = h.substr(0, first_word_end);
-      if (HasToken(h, "namespace")) {
-        fr.kind = Frame::kNamespace;
-      } else if ((HasToken(h, "class") || HasToken(h, "struct")) &&
-                 !HasToken(h, "enum") && h.find('(') == std::string::npos &&
-                 !h.ends_with("=")) {
-        fr.kind = Frame::kClass;
-        const std::string tok = HasToken(h, "class") ? "class" : "struct";
-        size_t p = FindToken(h, tok) + tok.size();
-        while (p < h.size() &&
-               std::isspace(static_cast<unsigned char>(h[p])) != 0) {
-          ++p;
-        }
-        size_t q = p;
-        while (q < h.size() && IsWordChar(h[q])) ++q;
-        fr.name = h.substr(p, q - p);
-        if (fr.name.empty()) fr.kind = Frame::kOther;
-      } else if (!inside_function() && !h.empty() && !h.ends_with("=") &&
-                 !h.ends_with(",") && !h.ends_with("(") &&
-                 !IsControlKeyword(first)) {
-        const std::string name = FuncNameFromHead(h);
-        if (!name.empty()) {
-          fr.kind = Frame::kFunction;
-          FuncRegion region;
-          const size_t sep = name.rfind("::");
-          if (sep != std::string::npos) {
-            region.cls = name.substr(0, sep);
-            region.name = name.substr(sep + 2);
-            // Strip nested qualifiers ("A::B::f" -> class "B").
-            const size_t inner = region.cls.rfind("::");
-            if (inner != std::string::npos) {
-              region.cls = region.cls.substr(inner + 2);
-            }
-          } else {
-            region.cls = enclosing_class();
-            region.name = name;
-          }
-          region.head_line = fr.head_line;
-          region.open_line = li;
-          region.open_col = ci;
-          fr.func_index = funcs->size();
-          fr.name = region.name;
-          funcs->push_back(region);
-        }
-      }
-      stack.push_back(fr);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Class member extraction
-// ---------------------------------------------------------------------------
-
-/// Collects `std::mutex name;` members and the member->type map for
-/// trailing-underscore members whose type names a known class (resolved
-/// later; here we record the last identifier token before the member
-/// name, which handles both `AdmissionQueue admission_;` and
-/// `std::shared_ptr<ShardedSnapshot> snapshot_;`).
-void CollectMembers(const SourceFile& f, ClassInfo* info) {
-  for (size_t li = info->begin; li <= info->end && li < f.code.size(); ++li) {
-    const std::string& line = f.code[li];
-    // std::mutex members (any name; `mutable` prefix allowed).
-    size_t mpos = FindToken(line, "mutex");
-    if (mpos != std::string::npos && mpos >= 5 &&
-        line.compare(mpos - 5, 5, "std::") == 0) {
-      size_t p = mpos + 5;
-      while (p < line.size() &&
-             std::isspace(static_cast<unsigned char>(line[p])) != 0) {
-        ++p;
-      }
-      size_t q = p;
-      while (q < line.size() && IsWordChar(line[q])) ++q;
-      if (q > p) info->mutexes.insert(line.substr(p, q - p));
-    }
-    // Member declarations: `<...Type...> name_;` (also `= ...;`, `{...};`).
-    const std::string t = Trimmed(line);
-    if (t.empty() || t[0] == '#') continue;
-    for (size_t ci = 0; ci < line.size(); ++ci) {
-      if (!IsWordChar(line[ci])) continue;
-      size_t q = ci;
-      while (q < line.size() && IsWordChar(line[q])) ++q;
-      const std::string word = line.substr(ci, q - ci);
-      size_t after = q;
-      while (after < line.size() &&
-             std::isspace(static_cast<unsigned char>(line[after])) != 0) {
-        ++after;
-      }
-      if (word.size() > 1 && word.ends_with("_") && after < line.size() &&
-          (line[after] == ';' || line[after] == '=' || line[after] == '{') &&
-          line.find('(') == std::string::npos) {
-        // Type: last identifier token before the member name.
-        std::string type;
-        size_t p = 0;
-        while (p < ci) {
-          if (IsWordChar(line[p])) {
-            size_t e = p;
-            while (e < ci && IsWordChar(line[e])) ++e;
-            type = line.substr(p, e - p);
-            p = e;
-          } else {
-            ++p;
-          }
-        }
-        if (!type.empty() && type != "std") info->members[word] = type;
-      }
-      ci = q;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Function body event scan
-// ---------------------------------------------------------------------------
-
-struct LineEvent {
-  enum Kind { kBrace, kLock, kCall, kBlock } kind = kBrace;
-  size_t pos = 0;
-  char brace = 0;
-  size_t index = 0;  // into the per-line lock/call/block staging vectors
-};
-
-/// Joins `line` with up to three successors so multi-line argument lists
-/// parse; only the first line's positions matter for events.
-std::string JoinedFrom(const SourceFile& f, size_t li, size_t col) {
-  std::string s = f.code[li].substr(col);
-  for (size_t j = li + 1; j < f.code.size() && j <= li + 3; ++j) {
-    s += " " + f.code[j];
-  }
-  return s;
-}
-
-/// Parses the constructor arguments of a lock declaration starting at the
-/// lock token: `lock_guard<std::mutex> l(mu_);` -> {"mu_"}. scoped_lock
-/// yields every argument; lock tag types (defer_lock etc.) are dropped.
-std::vector<std::string> LockArgs(const std::string& joined, bool all_args) {
-  size_t p = 0;
-  while (p < joined.size() && IsWordChar(joined[p])) ++p;  // the lock token
-  // Skip an optional template argument list.
-  while (p < joined.size() &&
-         std::isspace(static_cast<unsigned char>(joined[p])) != 0) {
-    ++p;
-  }
-  if (p < joined.size() && joined[p] == '<') {
-    int depth = 0;
-    while (p < joined.size()) {
-      if (joined[p] == '<') ++depth;
-      if (joined[p] == '>' && --depth == 0) {
-        ++p;
-        break;
-      }
-      ++p;
-    }
-  }
-  // Variable name.
-  while (p < joined.size() &&
-         (std::isspace(static_cast<unsigned char>(joined[p])) != 0 ||
-          IsWordChar(joined[p]))) {
-    ++p;
-  }
-  if (p >= joined.size() || joined[p] != '(') return {};
-  // Balanced argument list, split on top-level commas.
-  std::vector<std::string> args;
-  std::string cur;
-  int depth = 1;
-  ++p;
-  for (; p < joined.size() && depth > 0; ++p) {
-    const char c = joined[p];
-    if (c == '(' || c == '<' || c == '[') ++depth;
-    if (c == ')' || c == '>' || c == ']') {
-      if (--depth == 0) break;
-    }
-    if (c == ',' && depth == 1) {
-      args.push_back(Trimmed(cur));
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!Trimmed(cur).empty()) args.push_back(Trimmed(cur));
-  if (args.empty()) return {};
-  if (!all_args) args.resize(1);
-  std::vector<std::string> out;
-  for (std::string& a : args) {
-    if (a.find("defer_lock") != std::string::npos ||
-        a.find("adopt_lock") != std::string::npos ||
-        a.find("try_to_lock") != std::string::npos) {
-      continue;
-    }
-    out.push_back(std::move(a));
-  }
-  return out;
-}
-
-/// Parses receiver context for a call whose name starts at `name_pos`.
-void ParseReceiver(const std::string& line, size_t name_pos, CallEvent* ev) {
-  size_t p = SkipSpacesBack(line, name_pos);
-  if (p >= 2 && line[p - 1] == ':' && line[p - 2] == ':') {
-    ev->qualifier = IdentBefore(line, SkipSpacesBack(line, p - 2));
-    return;
-  }
-  const bool dot = p >= 1 && line[p - 1] == '.';
-  const bool arrow = p >= 2 && line[p - 1] == '>' && line[p - 2] == '-';
-  if (!dot && !arrow) return;
-  size_t r = p - (dot ? 1 : 2);
-  r = SkipSpacesBack(line, r);
-  const size_t recv_end = r;
-  if (r >= 1 && line[r - 1] == ')') {
-    // Receiver is a call: `Qual::Accessor()->name(` — record the
-    // accessor's qualifier as the receiver-type hint (singleton pattern).
-    int depth = 0;
-    while (r > 0) {
-      if (line[r - 1] == ')') ++depth;
-      if (line[r - 1] == '(' && --depth == 0) {
-        --r;
-        break;
-      }
-      --r;
-    }
-    const size_t callee_end = SkipSpacesBack(line, r > 0 ? r - 1 + 1 : 0);
-    const std::string accessor = IdentBefore(line, callee_end);
-    size_t q = callee_end - accessor.size();
-    q = SkipSpacesBack(line, q);
-    if (q >= 2 && line[q - 1] == ':' && line[q - 2] == ':') {
-      ev->qualifier = IdentBefore(line, SkipSpacesBack(line, q - 2));
-    }
-    ev->receiver_text =
-        line.substr(std::min(q, callee_end), recv_end - std::min(q, callee_end));
-    if (!ev->qualifier.empty()) {
-      ev->receiver_text = ev->qualifier + "::" + ev->receiver_text;
-    }
-    return;
-  }
-  const std::string recv = IdentBefore(line, r);
-  ev->receiver_text = recv;
-  if (recv == "this") {
-    ev->via_this = true;
-  } else {
-    ev->receiver = recv;
-  }
-}
-
-/// True when `pos` names a blocking-wait member call: `.wait(`,
-/// `->wait_for(` etc.
-bool IsWaitCall(const std::string& line, size_t pos) {
-  const size_t p = SkipSpacesBack(line, pos);
-  return (p >= 1 && line[p - 1] == '.') ||
-         (p >= 2 && line[p - 1] == '>' && line[p - 2] == '-');
-}
-
-void ScanFunctionBody(const SourceFile& f, const FuncRegion& region,
-                      Func* func) {
-  func->file = &f;
-  func->head_line = region.head_line;
-  func->body_begin = region.open_line;
-  func->body_end = region.close_line;
-
-  struct ActiveLock {
-    size_t acq_index;
-    int depth;
-  };
-  std::vector<ActiveLock> active;
-  int depth = 0;
-  bool opened = false;
-
-  for (size_t li = region.open_line;
-       li <= region.close_line && li < f.code.size(); ++li) {
-    const std::string& line = f.code[li];
-    if (Trimmed(line).starts_with("#")) continue;
-    const size_t start = li == region.open_line ? region.open_col : 0;
-
-    // Stage this line's token events, then merge with braces in
-    // char order so held-lock snapshots are exact.
-    std::vector<LineEvent> events;
-    std::vector<std::vector<std::string>> lock_args;
-    std::vector<CallEvent> calls;
-    std::vector<BlockEvent> blocks;
-
-    for (const char* tok : {"lock_guard", "unique_lock", "scoped_lock"}) {
-      size_t pos = FindToken(line, tok, start);
-      while (pos != std::string::npos) {
-        LineEvent ev;
-        ev.kind = LineEvent::kLock;
-        ev.pos = pos;
-        ev.index = lock_args.size();
-        lock_args.push_back(LockArgs(JoinedFrom(f, li, pos),
-                                     std::string(tok) == "scoped_lock"));
-        events.push_back(ev);
-        pos = FindToken(line, tok, pos + 1);
-      }
-    }
-    for (const char* tok : {"sleep_for", "sleep_until"}) {
-      size_t pos = FindToken(line, tok, start);
-      while (pos != std::string::npos) {
-        LineEvent ev;
-        ev.kind = LineEvent::kBlock;
-        ev.pos = pos;
-        ev.index = blocks.size();
-        BlockEvent be;
-        be.what = tok;
-        be.site = {&f, li};
-        be.pos = pos;
-        blocks.push_back(be);
-        events.push_back(ev);
-        pos = FindToken(line, tok, pos + 1);
-      }
-    }
-    for (const char* tok : {"wait", "wait_for", "wait_until"}) {
-      size_t pos = FindToken(line, tok, start);
-      while (pos != std::string::npos) {
-        size_t after = pos + std::string(tok).size();
-        while (after < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[after])) != 0) {
-          ++after;
-        }
-        if (after < line.size() && line[after] == '(' &&
-            IsWaitCall(line, pos)) {
-          LineEvent ev;
-          ev.kind = LineEvent::kBlock;
-          ev.pos = pos;
-          ev.index = blocks.size();
-          BlockEvent be;
-          be.what = tok;
-          be.site = {&f, li};
-          be.pos = pos;
-          blocks.push_back(be);
-          events.push_back(ev);
-        }
-        pos = FindToken(line, tok, pos + 1);
-      }
-    }
-    // Call sites: identifier immediately followed by '('.
-    for (size_t ci = start; ci < line.size(); ++ci) {
-      if (!IsWordChar(line[ci]) || (ci > 0 && IsWordChar(line[ci - 1]))) {
-        continue;
-      }
-      size_t q = ci;
-      while (q < line.size() && IsWordChar(line[q])) ++q;
-      const std::string word = line.substr(ci, q - ci);
-      size_t after = q;
-      while (after < line.size() &&
-             std::isspace(static_cast<unsigned char>(line[after])) != 0) {
-        ++after;
-      }
-      if (after >= line.size() || line[after] != '(' || IsKeyword(word) ||
-          word.starts_with("NMCDR_")) {
-        ci = q;
-        continue;
-      }
-      LineEvent ev;
-      ev.kind = LineEvent::kCall;
-      ev.pos = ci;
-      ev.index = calls.size();
-      CallEvent ce;
-      ce.name = word;
-      ce.site = {&f, li};
-      ce.pos = ci;
-      ParseReceiver(line, ci, &ce);
-      calls.push_back(ce);
-      events.push_back(ev);
-      ci = q;
-    }
-    for (size_t ci = start; ci < line.size(); ++ci) {
-      if (line[ci] == '{' || line[ci] == '}') {
-        LineEvent ev;
-        ev.kind = LineEvent::kBrace;
-        ev.pos = ci;
-        ev.brace = line[ci];
-        events.push_back(ev);
-      }
-    }
-    std::stable_sort(events.begin(), events.end(),
-                     [](const LineEvent& a, const LineEvent& b) {
-                       return a.pos < b.pos;
-                     });
-
-    const auto held_now = [&] {
-      std::vector<size_t> held;
-      held.reserve(active.size());
-      for (const ActiveLock& al : active) held.push_back(al.acq_index);
-      return held;
-    };
-
-    bool done = false;
-    for (const LineEvent& ev : events) {
-      switch (ev.kind) {
-        case LineEvent::kBrace:
-          if (ev.brace == '{') {
-            ++depth;
-            opened = true;
-          } else {
-            --depth;
-            while (!active.empty() && active.back().depth > depth) {
-              active.pop_back();
-            }
-            if (opened && depth == 0) done = true;
-          }
-          break;
-        case LineEvent::kLock:
-          for (const std::string& arg : lock_args[ev.index]) {
-            AcqEvent ae;
-            ae.raw = arg;
-            ae.site = {&f, li};
-            ae.pos = ev.pos;
-            ae.held = held_now();
-            func->acquires.push_back(ae);
-            active.push_back({func->acquires.size() - 1, depth});
-          }
-          break;
-        case LineEvent::kCall: {
-          CallEvent ce = calls[ev.index];
-          ce.held = held_now();
-          func->calls.push_back(ce);
-          break;
-        }
-        case LineEvent::kBlock: {
-          BlockEvent be = blocks[ev.index];
-          be.held = held_now();
-          func->blocking.push_back(be);
-          break;
-        }
-      }
-      if (done) break;
-    }
-    if (done) break;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Dispatch lambdas
-// ---------------------------------------------------------------------------
-
-struct Range {
-  size_t begin_line = 0, begin_pos = 0;
-  size_t end_line = 0, end_pos = 0;
-  bool Contains(size_t line, size_t pos) const {
-    if (line < begin_line || line > end_line) return false;
-    if (line == begin_line && pos <= begin_pos) return false;
-    if (line == end_line && pos >= end_pos) return false;
-    return true;
-  }
-};
-
-/// Finds the `{ ... }` body of the lambda argument of a dispatch call:
-/// scan forward from the call name for '(', then '[', then the first '{'
-/// and its matching '}'.
-bool FindDispatchLambda(const SourceFile& f, size_t line, size_t pos,
-                        Range* out) {
-  int paren = 0;
-  bool saw_bracket = false;
-  int braces = 0;
-  for (size_t li = line; li < f.code.size() && li <= line + 80; ++li) {
-    const std::string& code = f.code[li];
-    for (size_t ci = li == line ? pos : 0; ci < code.size(); ++ci) {
-      const char c = code[ci];
-      if (braces == 0) {
-        if (c == '(') ++paren;
-        if (c == ')' && --paren == 0 && !saw_bracket) return false;
-        if (c == '[' && paren >= 1) saw_bracket = true;
-        if (c == '{' && saw_bracket) {
-          braces = 1;
-          out->begin_line = li;
-          out->begin_pos = ci;
-        }
-      } else {
-        if (c == '{') ++braces;
-        if (c == '}' && --braces == 0) {
-          out->end_line = li;
-          out->end_pos = ci;
-          return true;
-        }
-      }
-    }
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Resolution
-// ---------------------------------------------------------------------------
-
-std::string MemberType(const Model& model, const std::string& cls,
-                       const std::string& member) {
-  const auto cit = model.class_by_name.find(cls);
-  if (cit == model.class_by_name.end()) return "";
-  const auto& members = model.classes[cit->second].members;
-  const auto mit = members.find(member);
-  return mit == members.end() ? "" : mit->second;
-}
-
-/// Resolves a lock argument to a stable mutex identity. Class-qualified
-/// when the owner resolves; file-qualified otherwise (function-local
-/// structs, statics).
-std::string ResolveMutex(const Model& model, const Func& func,
-                         std::string raw) {
-  if (raw.starts_with("&")) raw = Trimmed(raw.substr(1));
-  if (raw.starts_with("this->")) raw = raw.substr(6);
-  const size_t dot = raw.find('.');
-  const size_t arrow = raw.find("->");
-  const size_t sep = std::min(dot, arrow);
-  if (sep == std::string::npos) {
-    // Bare identifier: a member of the enclosing class, else file-local.
-    const auto cit = model.class_by_name.find(func.cls);
-    if (cit != model.class_by_name.end() &&
-        model.classes[cit->second].mutexes.count(raw) != 0) {
-      return func.cls + "::" + raw;
-    }
-    return func.file->path + "::" + raw;
-  }
-  const std::string recv = Trimmed(raw.substr(0, sep));
-  const std::string name =
-      Trimmed(raw.substr(sep + (raw.compare(sep, 2, "->") == 0 ? 2 : 1)));
-  const std::string type = MemberType(model, func.cls, recv);
-  if (!type.empty()) {
-    const auto cit = model.class_by_name.find(type);
-    if (cit != model.class_by_name.end() &&
-        model.classes[cit->second].mutexes.count(name) != 0) {
-      return type + "::" + name;
-    }
-  }
-  return func.file->path + "::" + name;
-}
-
-/// Resolves a call to a function-index key; "" when unknown (the call is
-/// then simply absent from the call graph).
-std::string ResolveCall(const Model& model, const Func& func,
-                        const CallEvent& ev) {
-  const auto lookup = [&](const std::string& key) {
-    return model.func_by_key.count(key) != 0 ? key : std::string();
-  };
-  if (!ev.qualifier.empty()) return lookup(ev.qualifier + "::" + ev.name);
-  if (!ev.receiver.empty()) {
-    const std::string type = MemberType(model, func.cls, ev.receiver);
-    if (!type.empty()) return lookup(type + "::" + ev.name);
-    return "";
-  }
-  // Unqualified or this->: enclosing class method, else same-file free fn.
-  if (!func.cls.empty()) {
-    const std::string key = lookup(func.cls + "::" + ev.name);
-    if (!key.empty()) return key;
-  }
-  if (ev.via_this) return "";
-  return lookup(func.file->path + "::" + ev.name);
-}
-
-bool LooksLikePoolDispatch(const CallEvent& ev) {
-  if (ev.name != "Submit" && ev.name != "ParallelFor") return false;
-  if (ev.qualifier == "ThreadPool") return true;
-  const std::string& r = ev.receiver_text.empty() ? ev.receiver
-                                                  : ev.receiver_text;
-  return r.find("pool") != std::string::npos ||
-         r.find("Pool") != std::string::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Model construction
-// ---------------------------------------------------------------------------
-
-Model BuildModel(const std::vector<SourceFile>& files) {
-  Model model;
-  std::vector<std::pair<const SourceFile*, FuncRegion>> regions;
-  for (const SourceFile& f : files) {
-    if (!f.path.starts_with("src/")) continue;
-    model.file_by_path[f.path] = &f;
-    std::vector<FuncRegion> funcs;
-    StructuralWalk(f, &model.classes, &funcs);
-    for (FuncRegion& r : funcs) {
-      if (r.close_line >= r.open_line) regions.emplace_back(&f, r);
-    }
-  }
-  for (size_t i = 0; i < model.classes.size(); ++i) {
-    CollectMembers(*model.classes[i].file, &model.classes[i]);
-    // First definition wins; redefinitions across files are merged into
-    // whichever parsed first (identical in practice).
-    model.class_by_name.emplace(model.classes[i].name, i);
-  }
-  for (auto& [file, region] : regions) {
-    Func func;
-    func.cls = region.cls;
-    func.name = region.name;
-    func.key = (region.cls.empty() ? file->path : region.cls) +
-               "::" + region.name;
-    ScanFunctionBody(*file, region, &func);
-    model.func_by_key[func.key].push_back(model.funcs.size());
-    model.funcs.push_back(std::move(func));
-  }
-  // Resolve lock identities, calls, and dispatch-lambda membership.
-  for (Func& func : model.funcs) {
-    for (AcqEvent& a : func.acquires) {
-      a.mutex = ResolveMutex(model, func, a.raw);
-    }
-    std::vector<Range> dispatch_bodies;
-    for (CallEvent& c : func.calls) {
-      c.resolved = ResolveCall(model, func, c);
-      if (LooksLikePoolDispatch(c)) {
-        c.is_dispatch = true;
-        Range body;
-        if (FindDispatchLambda(*func.file, c.site.line, c.pos + c.name.size(),
-                               &body)) {
-          dispatch_bodies.push_back(body);
-        }
-      }
-    }
-    for (const Range& body : dispatch_bodies) {
-      for (AcqEvent& a : func.acquires) {
-        if (body.Contains(a.site.line, a.pos)) a.in_dispatch = true;
-      }
-      for (CallEvent& c : func.calls) {
-        if (body.Contains(c.site.line, c.pos)) c.in_dispatch = true;
-      }
-      for (BlockEvent& b : func.blocking) {
-        if (body.Contains(b.site.line, b.pos)) b.in_dispatch = true;
-      }
-    }
-  }
-  return model;
-}
 
 // ---------------------------------------------------------------------------
 // Annotations (NMCDR_REQUIRES / NMCDR_EXCLUDES)
@@ -892,60 +31,6 @@ struct Annotation {
   std::set<std::string> requires_held;  // qualified mutex ids
   std::set<std::string> excludes;
 };
-
-/// The class region (from the model) enclosing `line` in `f`; innermost
-/// wins. Returns nullptr outside any class.
-const ClassInfo* EnclosingClass(const Model& model, const SourceFile& f,
-                                size_t line) {
-  const ClassInfo* best = nullptr;
-  for (const ClassInfo& c : model.classes) {
-    if (c.file != &f || line < c.begin || line > c.end) continue;
-    if (best == nullptr || c.begin > best->begin) best = &c;
-  }
-  return best;
-}
-
-/// Method name owning an annotation: the last `ident(` in the joined
-/// declaration statement before the macro token.
-std::string AnnotatedMethod(const SourceFile& f, size_t line, size_t pos) {
-  std::string stmt;
-  size_t start = line;
-  while (start > 0) {
-    const std::string prev = Trimmed(f.code[start - 1]);
-    if (prev.empty() || prev.ends_with(";") || prev.ends_with("{") ||
-        prev.ends_with("}") || prev.starts_with("#") || line - start >= 4) {
-      break;
-    }
-    --start;
-  }
-  size_t macro_pos = pos;
-  for (size_t li = start; li < line; ++li) {
-    stmt += f.code[li] + " ";
-  }
-  macro_pos += stmt.size();
-  stmt += f.code[line];
-
-  std::string method;
-  for (size_t ci = 0; ci < macro_pos && ci < stmt.size(); ++ci) {
-    if (!IsWordChar(stmt[ci]) || (ci > 0 && IsWordChar(stmt[ci - 1]))) {
-      continue;
-    }
-    size_t q = ci;
-    while (q < stmt.size() && IsWordChar(stmt[q])) ++q;
-    const std::string word = stmt.substr(ci, q - ci);
-    size_t after = q;
-    while (after < stmt.size() &&
-           std::isspace(static_cast<unsigned char>(stmt[after])) != 0) {
-      ++after;
-    }
-    if (after < stmt.size() && stmt[after] == '(' && !IsKeyword(word) &&
-        !word.starts_with("NMCDR_")) {
-      method = word;
-    }
-    ci = q;
-  }
-  return method;
-}
 
 std::map<std::string, Annotation> CollectAnnotations(
     const Model& model, const std::vector<SourceFile>& files,
@@ -1423,13 +508,14 @@ LockOrderGraph BuildLockOrderGraph(const std::vector<SourceFile>& files) {
 std::string LockOrderDot(const LockOrderGraph& graph) {
   std::string dot = "digraph lock_order {\n";
   for (const std::string& n : graph.nodes) {
-    dot += "  \"" + n + "\";\n";
+    dot += "  \"" + DotEscape(n) + "\";\n";
   }
   std::set<std::string> seen;
   for (const LockOrderEdge& e : graph.edges) {
     if (!seen.insert(e.from + "\n" + e.to).second) continue;
-    dot += "  \"" + e.from + "\" -> \"" + e.to + "\" [label=\"" + e.to_file +
-           ":" + std::to_string(e.to_line) + "\"];\n";
+    dot += "  \"" + DotEscape(e.from) + "\" -> \"" + DotEscape(e.to) +
+           "\" [label=\"" + DotEscape(e.to_file) + ":" +
+           std::to_string(e.to_line) + "\"];\n";
   }
   dot += "}\n";
   return dot;
