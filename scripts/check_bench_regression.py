@@ -4,11 +4,18 @@
 Usage: check_bench_regression.py CURRENT BASELINE [--tolerance 0.25]
        check_bench_regression.py --self-test
 
-Two document kinds are auto-detected:
+Three document kinds are auto-detected:
 
 * Kernel throughput (BENCH_kernels.json, `kernels[]` entries): per-kernel
   gate on `serial_gflops` — the run FAILS when any kernel drops below
   `baseline * (1 - tolerance)`. Higher is better.
+* Trainer fusion speedup (BENCH_trainer.json, `trainer[]` entries): per-run
+  gate on `fused_speedup` (fused epoch time vs eager epoch time) — the run
+  FAILS when the ratio drops below `baseline * (1 - tolerance)`. Higher is
+  better. A speedup is a ratio of two runs on the same machine, so it is
+  far less noise-prone than an absolute time; bitwise equality and the
+  zero-alloc steady state are asserted inside bench_trainer itself and
+  never reach this gate.
 * Latency summaries (BENCH_serving.json / BENCH_cluster.json, obs-exporter
   `gauges{}` docs): per-gauge gate on every gauge whose name contains
   `p99` and ends in `_ms` — the run FAILS when the current value exceeds
@@ -31,6 +38,8 @@ a baseline update in the same commit — regenerate afterwards:
     cp BENCH_serving.json bench/baselines/serving_baseline.json
     build/bench/bench_cluster --smoke
     cp BENCH_cluster.json bench/baselines/cluster_baseline.json
+    build/bench/bench_trainer --smoke
+    cp BENCH_trainer.json bench/baselines/trainer_baseline.json
 
 `--self-test` verifies the gate itself trips in both modes: a baseline
 inflated 2x above a throughput run must fail, a latency run inflated 2x
@@ -47,9 +56,10 @@ import sys
 
 
 def load_entries(path):
-    """Returns ("kernels"|"latency", {name: value}) from a bench JSON.
+    """Returns ("kernels"|"trainer"|"latency", {name: value}) from a bench JSON.
 
     BENCH_kernels.json carries kernels[] (serial_gflops, higher-better);
+    BENCH_trainer.json carries trainer[] (fused_speedup, higher-better);
     obs-exporter docs (schema NMCDR_OBS_V1) carry gauges{} from which the
     `*p99*_ms` latency gauges are gated (lower-better).
     """
@@ -66,6 +76,10 @@ def load_entries(path):
         if latencies:
             return "latency", latencies
         raise ValueError(f"{path}: gauge doc has no *p99*_ms gauges")
+    runs = doc.get("trainer", [])
+    if isinstance(runs, list) and runs:
+        return "trainer", {entry["name"]: float(entry["fused_speedup"])
+                           for entry in runs}
     kernels = {}
     entries = doc.get("kernels", [])
     if isinstance(entries, list):
@@ -73,28 +87,29 @@ def load_entries(path):
             kernels[entry["name"]] = float(entry["serial_gflops"])
     if kernels:
         return "kernels", kernels
-    raise ValueError(f"{path}: no kernels[] entries and no *p99*_ms gauges")
+    raise ValueError(f"{path}: no kernels[], no trainer[], and no "
+                     "*p99*_ms gauges")
 
 
-def compare(current, baseline, tolerance):
-    """Throughput gate (higher is better): (failures, lines)."""
+def compare(current, baseline, tolerance, unit="gflops"):
+    """Higher-is-better gate (throughput, speedups): (failures, lines)."""
     failures = []
     lines = []
     for name in sorted(set(current) | set(baseline)):
         if name not in baseline:
-            lines.append(f"  NEW      {name:24s} {current[name]:8.3f} gflops "
+            lines.append(f"  NEW      {name:24s} {current[name]:8.3f} {unit} "
                          "(not in baseline, not gated)")
             continue
         if name not in current:
             lines.append(f"  MISSING  {name:24s} baseline "
-                         f"{baseline[name]:8.3f} gflops (not in current run, "
+                         f"{baseline[name]:8.3f} {unit} (not in current run, "
                          "not gated)")
             continue
         floor = baseline[name] * (1.0 - tolerance)
         ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
         verdict = "ok" if current[name] >= floor else "REGRESSED"
         lines.append(f"  {verdict:8s} {name:24s} {current[name]:8.3f} vs "
-                     f"baseline {baseline[name]:8.3f} gflops "
+                     f"baseline {baseline[name]:8.3f} {unit} "
                      f"({ratio:6.1%}, floor {floor:.3f})")
         if current[name] < floor:
             failures.append(name)
@@ -150,6 +165,20 @@ def self_test(tolerance, slack_ms):
     if sorted(failures) != sorted(run):
         print("self-test FAILED: out-of-tolerance drop not flagged "
               f"(failures={failures})")
+        return 1
+
+    # Trainer speedups ride the same higher-is-better gate; check the
+    # realistic failure shape (fusion quietly losing its edge).
+    speedups = {"NMCDR Music-Movie": 1.6}
+    stalled = {k: 1.0 for k in speedups}
+    failures, _ = compare(stalled, speedups, tolerance, unit="x")
+    if sorted(failures) != sorted(speedups):
+        print("self-test FAILED: fused speedup collapsing to 1.0x did not "
+              f"trip the gate (failures={failures})")
+        return 1
+    failures, _ = compare(dict(speedups), speedups, tolerance, unit="x")
+    if failures:
+        print(f"self-test FAILED: identical speedup run flagged ({failures})")
         return 1
 
     # Latency mode: direction is inverted, and the absolute slack must
@@ -250,6 +279,9 @@ def main(argv):
     if current_kind == "kernels":
         failures, lines = compare(current, baseline, args.tolerance)
         unit, direction = "kernels", "regressed more than"
+    elif current_kind == "trainer":
+        failures, lines = compare(current, baseline, args.tolerance, unit="x")
+        unit, direction = "trainer speedups", "regressed more than"
     else:
         failures, lines = compare_latency(current, baseline, args.tolerance,
                                           args.latency_slack_ms)

@@ -14,7 +14,9 @@
 #   --fast   — both sanitizer legs run only the TSan-filtered concurrent
 #              subset CI uses (serving_engine_test serving_test
 #              thread_pool_test backend_equivalence_test integration_test
-#              obs_test). Catches the races and lifetime bugs that
+#              obs_test program_test trainer_test — the last two cover the
+#              fused graph-program replay, which dispatches onto the same
+#              shared pool). Catches the races and lifetime bugs that
 #              actually involve threads in a fraction of the time; use it
 #              for iterating, keep the default for sign-off.
 set -euo pipefail
@@ -29,8 +31,12 @@ SCALE="${1:-small}"
 export NMCDR_BENCH_SCALE="$SCALE"
 
 # The concurrent-surface test subset (mirrors the CI tsan-serving job).
+# program_test / trainer_test exercise the fused graph-program replay —
+# fusion is default-on, so the sanitizers see the fused kernels sharded
+# across the 4-thread pool.
 SANITIZER_SUBSET=(serving_engine_test serving_test thread_pool_test
-  backend_equivalence_test integration_test obs_test)
+  backend_equivalence_test integration_test obs_test program_test
+  trainer_test)
 
 cmake -B build -G Ninja
 cmake --build build

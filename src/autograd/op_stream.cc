@@ -1,0 +1,59 @@
+#include "autograd/op_stream.h"
+
+namespace nmcdr {
+namespace ag {
+namespace {
+
+thread_local OpStreamHandler* tl_op_stream = nullptr;
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMatMul: return "MatMul";
+    case OpKind::kAdd: return "Add";
+    case OpKind::kSub: return "Sub";
+    case OpKind::kHadamard: return "Hadamard";
+    case OpKind::kAddRowBroadcast: return "AddRowBroadcast";
+    case OpKind::kScale: return "Scale";
+    case OpKind::kAddScalar: return "AddScalar";
+    case OpKind::kOneMinus: return "OneMinus";
+    case OpKind::kExp: return "Exp";
+    case OpKind::kRelu: return "Relu";
+    case OpKind::kSigmoid: return "Sigmoid";
+    case OpKind::kTanh: return "Tanh";
+    case OpKind::kSoftplus: return "Softplus";
+    case OpKind::kSoftmaxRows: return "SoftmaxRows";
+    case OpKind::kConcatCols: return "ConcatCols";
+    case OpKind::kSliceCols: return "SliceCols";
+    case OpKind::kEmbedding: return "Embedding";
+    case OpKind::kTranspose: return "Transpose";
+    case OpKind::kSegmentMeanRows: return "SegmentMeanRows";
+    case OpKind::kSpMM: return "SpMM";
+    case OpKind::kSum: return "Sum";
+    case OpKind::kMean: return "Mean";
+    case OpKind::kSumSquares: return "SumSquares";
+    case OpKind::kColMean: return "ColMean";
+    case OpKind::kTileRows: return "TileRows";
+    case OpKind::kRowDot: return "RowDot";
+    case OpKind::kScaleRows: return "ScaleRows";
+    case OpKind::kBceWithLogits: return "BceWithLogits";
+    case OpKind::kBprLoss: return "BprLoss";
+    case OpKind::kNeighborAttention: return "NeighborAttention";
+  }
+  return "?";
+}
+
+OpStreamHandler* ActiveOpStream() { return tl_op_stream; }
+
+OpStreamScope::OpStreamScope(OpStreamHandler* handler)
+    : saved_(tl_op_stream), active_(handler != nullptr) {
+  if (active_) tl_op_stream = handler;
+}
+
+OpStreamScope::~OpStreamScope() {
+  if (active_) tl_op_stream = saved_;
+}
+
+}  // namespace ag
+}  // namespace nmcdr

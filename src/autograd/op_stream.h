@@ -1,0 +1,109 @@
+#ifndef NMCDR_AUTOGRAD_OP_STREAM_H_
+#define NMCDR_AUTOGRAD_OP_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace nmcdr {
+
+class CsrMatrix;
+
+namespace ag {
+
+/// Stable identity of each eager op, used by the graph-program layer
+/// (src/program) to record and verify the per-step op stream. Order is
+/// arbitrary but must not be reused across versions of a recorded program
+/// (programs never outlive the process, so no serialization concerns).
+enum class OpKind : int {
+  kMatMul,
+  kAdd,
+  kSub,
+  kHadamard,
+  kAddRowBroadcast,
+  kScale,
+  kAddScalar,
+  kOneMinus,
+  kExp,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kSoftplus,
+  kSoftmaxRows,
+  kConcatCols,
+  kSliceCols,
+  kEmbedding,
+  kTranspose,
+  kSegmentMeanRows,
+  kSpMM,
+  kSum,
+  kMean,
+  kSumSquares,
+  kColMean,
+  kTileRows,
+  kRowDot,
+  kScaleRows,
+  kBceWithLogits,
+  kBprLoss,
+  kNeighborAttention,
+};
+
+/// Static-storage name for diagnostics.
+const char* OpKindName(OpKind kind);
+
+/// Interception seam between the eager ops (autograd/ops.cc) and the
+/// graph-program compiler/replayer (src/program). Autograd sits below
+/// src/program in the include order, so the program layer implements this
+/// interface and installs it with an OpStreamScope; the ops only know the
+/// abstract handler.
+///
+/// Every op calls OnOpEntry (or OnSpMM) right after its meta branch. A
+/// `true` return means the handler produced the result (`*out`) — a fused
+/// kernel output or a deferred placeholder — and the eager body is
+/// skipped. `false` runs the eager body unchanged, whose MakeOpNode then
+/// reports the created node through OnNodeCreated.
+class OpStreamHandler {
+ public:
+  virtual ~OpStreamHandler() = default;
+
+  /// `in` are the op's tensor arguments in signature order; `scalars` are
+  /// its float attributes (only Scale / AddScalar carry one). Returns true
+  /// when the handler produced `*out` itself.
+  virtual bool OnOpEntry(OpKind kind, const Tensor* const* in, int num_in,
+                         const float* scalars, int num_scalars,
+                         Tensor* out) = 0;
+
+  /// SpMM carries its adjacency operand separately so the handler can key
+  /// static gather/scatter plans on the CSR identity.
+  virtual bool OnSpMM(const std::shared_ptr<const CsrMatrix>& a,
+                      const Tensor& x, Tensor* out) = 0;
+
+  /// Called by MakeOpNode for every eagerly executed op (i.e. whenever
+  /// OnOpEntry returned false), with the finished result tensor.
+  virtual void OnNodeCreated(const char* op, const Tensor& result,
+                             const std::vector<Tensor>& parents) = 0;
+};
+
+/// The handler receiving this thread's op stream (nullptr = none, the
+/// default: ops run fully eager with zero overhead beyond a TLS read).
+OpStreamHandler* ActiveOpStream();
+
+/// RAII scope binding `handler` as this thread's op-stream handler. Scopes
+/// nest; the innermost wins. nullptr is a no-op scope.
+class OpStreamScope {
+ public:
+  explicit OpStreamScope(OpStreamHandler* handler);
+  ~OpStreamScope();
+  OpStreamScope(const OpStreamScope&) = delete;
+  OpStreamScope& operator=(const OpStreamScope&) = delete;
+
+ private:
+  OpStreamHandler* saved_;
+  bool active_;
+};
+
+}  // namespace ag
+}  // namespace nmcdr
+
+#endif  // NMCDR_AUTOGRAD_OP_STREAM_H_

@@ -4,11 +4,39 @@
 #include <cmath>
 
 #include "autograd/meta.h"
+#include "autograd/op_stream.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
 namespace nmcdr {
 namespace ag {
+
+// Op-stream interception prologue (see autograd/op_stream.h): gives the
+// active handler — the graph-program recorder/replayer — a chance to
+// produce the result itself (fused kernel or deferred placeholder) before
+// the eager body runs. A nullptr handler costs one TLS read.
+#define NMCDR_OP_STREAM_ENTRY(kind, ...)                                     \
+  if (OpStreamHandler* hdl = ActiveOpStream()) {                             \
+    const Tensor* ins[] = {__VA_ARGS__};                                     \
+    Tensor strm_out;                                                         \
+    if (hdl->OnOpEntry(kind, ins, sizeof(ins) / sizeof(ins[0]), nullptr, 0,  \
+                       &strm_out)) {                                         \
+      return strm_out;                                                       \
+    }                                                                        \
+  }
+
+// Same, for ops carrying one float attribute (Scale / AddScalar).
+#define NMCDR_OP_STREAM_ENTRY_S(kind, scalar, ...)                          \
+  if (OpStreamHandler* hdl = ActiveOpStream()) {                            \
+    const Tensor* ins[] = {__VA_ARGS__};                                    \
+    const float scl[] = {scalar};                                           \
+    Tensor strm_out;                                                        \
+    if (hdl->OnOpEntry(kind, ins, sizeof(ins) / sizeof(ins[0]), scl, 1,     \
+                       &strm_out)) {                                        \
+      return strm_out;                                                      \
+    }                                                                       \
+  }
+
 namespace {
 
 // Shorthand: the dense kernels live in ::nmcdr.
@@ -59,6 +87,7 @@ MetaAttrs ListBoundsAttrs(const std::vector<std::vector<int>>& lists) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("MatMul", {a, b});
   NMCDR_OBS_OP_SCOPE("MatMul");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kMatMul, &a, &b);
   Matrix out = k::MatMul(a.value(), b.value());
   return MakeOpNode("MatMul", std::move(out), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(k::MatMulTransB(self->grad, b.value()));
@@ -69,6 +98,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor Add(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("Add", {a, b});
   NMCDR_OBS_OP_SCOPE("Add");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kAdd, &a, &b);
   return MakeOpNode("Add", k::Add(a.value(), b.value()), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
     b.raw()->AccumulateGrad(self->grad);
@@ -78,6 +108,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("Sub", {a, b});
   NMCDR_OBS_OP_SCOPE("Sub");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kSub, &a, &b);
   return MakeOpNode("Sub", k::Sub(a.value(), b.value()), {a, b}, [a, b](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
     b.raw()->AccumulateGrad(k::Scale(self->grad, -1.f));
@@ -87,6 +118,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Hadamard(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("Hadamard", {a, b});
   NMCDR_OBS_OP_SCOPE("Hadamard");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kHadamard, &a, &b);
   return MakeOpNode("Hadamard", k::Hadamard(a.value(), b.value()), {a, b},
                     [a, b](Node* self) {
                       a.raw()->AccumulateGrad(k::Hadamard(self->grad, b.value()));
@@ -97,6 +129,7 @@ Tensor Hadamard(const Tensor& a, const Tensor& b) {
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   if (MetaEnabled()) return MetaOp("AddRowBroadcast", {a, bias});
   NMCDR_OBS_OP_SCOPE("AddRowBroadcast");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kAddRowBroadcast, &a, &bias);
   return MakeOpNode("AddRowBroadcast", k::AddRowBroadcast(a.value(), bias.value()), {a, bias},
                     [a, bias](Node* self) {
                       a.raw()->AccumulateGrad(self->grad);
@@ -107,6 +140,7 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
 Tensor Scale(const Tensor& a, float s) {
   if (MetaEnabled()) return MetaOp("Scale", {a});
   NMCDR_OBS_OP_SCOPE("Scale");
+  NMCDR_OP_STREAM_ENTRY_S(OpKind::kScale, s, &a);
   return MakeOpNode("Scale", k::Scale(a.value(), s), {a}, [a, s](Node* self) {
     a.raw()->AccumulateGrad(k::Scale(self->grad, s));
   });
@@ -115,6 +149,7 @@ Tensor Scale(const Tensor& a, float s) {
 Tensor AddScalar(const Tensor& a, float s) {
   if (MetaEnabled()) return MetaOp("AddScalar", {a});
   NMCDR_OBS_OP_SCOPE("AddScalar");
+  NMCDR_OP_STREAM_ENTRY_S(OpKind::kAddScalar, s, &a);
   return MakeOpNode("AddScalar", k::AddScalar(a.value(), s), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(self->grad);
   });
@@ -123,6 +158,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 Tensor OneMinus(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("OneMinus", {a});
   NMCDR_OBS_OP_SCOPE("OneMinus");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kOneMinus, &a);
   Matrix out(a.rows(), a.cols());
   for (int i = 0; i < out.size(); ++i) out.data()[i] = 1.f - a.value().data()[i];
   return MakeOpNode("OneMinus", std::move(out), {a}, [a](Node* self) {
@@ -133,6 +169,7 @@ Tensor OneMinus(const Tensor& a) {
 Tensor Exp(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Exp", {a});
   NMCDR_OBS_OP_SCOPE("Exp");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kExp, &a);
   return MakeOpNode("Exp", k::Exp(a.value()), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Hadamard(self->grad, self->value));
   });
@@ -141,6 +178,7 @@ Tensor Exp(const Tensor& a) {
 Tensor Relu(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Relu", {a});
   NMCDR_OBS_OP_SCOPE("Relu");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kRelu, &a);
   return MakeOpNode("Relu", k::Relu(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -153,6 +191,7 @@ Tensor Relu(const Tensor& a) {
 Tensor Sigmoid(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Sigmoid", {a});
   NMCDR_OBS_OP_SCOPE("Sigmoid");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kSigmoid, &a);
   return MakeOpNode("Sigmoid", k::Sigmoid(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -166,6 +205,7 @@ Tensor Sigmoid(const Tensor& a) {
 Tensor Tanh(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Tanh", {a});
   NMCDR_OBS_OP_SCOPE("Tanh");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kTanh, &a);
   return MakeOpNode("Tanh", k::Tanh(a.value()), {a}, [a](Node* self) {
     Matrix da(self->grad.rows(), self->grad.cols());
     for (int i = 0; i < da.size(); ++i) {
@@ -179,6 +219,7 @@ Tensor Tanh(const Tensor& a) {
 Tensor Softplus(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Softplus", {a});
   NMCDR_OBS_OP_SCOPE("Softplus");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kSoftplus, &a);
   return MakeOpNode("Softplus", k::Softplus(a.value()), {a}, [a](Node* self) {
     // d softplus(x)/dx = sigmoid(x)
     Matrix sig = k::Sigmoid(a.value());
@@ -189,6 +230,7 @@ Tensor Softplus(const Tensor& a) {
 Tensor SoftmaxRows(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("SoftmaxRows", {a});
   NMCDR_OBS_OP_SCOPE("SoftmaxRows");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kSoftmaxRows, &a);
   return MakeOpNode("SoftmaxRows", k::SoftmaxRows(a.value()), {a}, [a](Node* self) {
     const Matrix& y = self->value;
     const Matrix& g = self->grad;
@@ -210,6 +252,7 @@ Tensor SoftmaxRows(const Tensor& a) {
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("ConcatCols", {a, b});
   NMCDR_OBS_OP_SCOPE("ConcatCols");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kConcatCols, &a, &b);
   return MakeOpNode("ConcatCols",
       k::ConcatCols(a.value(), b.value()), {a, b}, [a, b](Node* self) {
         const int ca = a.cols(), cb = b.cols();
@@ -229,6 +272,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
 Tensor SliceCols(const Tensor& a, int start, int len) {
   if (MetaEnabled()) return MetaOp("SliceCols", {a}, {{start, len}});
   NMCDR_OBS_OP_SCOPE("SliceCols");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kSliceCols, &a);
   NMCDR_CHECK_GE(start, 0);
   NMCDR_CHECK_GT(len, 0);
   NMCDR_CHECK_LE(start + len, a.cols());
@@ -252,6 +296,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
 Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
   if (MetaEnabled()) return MetaOp("Embedding", {table}, IdBoundsAttrs(ids));
   NMCDR_OBS_OP_SCOPE("Embedding");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kEmbedding, &table);
   return MakeOpNode("Embedding", k::GatherRows(table.value(), ids), {table},
                     [table, ids](Node* self) {
                       Matrix dt(table.rows(), table.cols());
@@ -263,6 +308,7 @@ Tensor Embedding(const Tensor& table, const std::vector<int>& ids) {
 Tensor Transpose(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Transpose", {a});
   NMCDR_OBS_OP_SCOPE("Transpose");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kTranspose, &a);
   return MakeOpNode("Transpose", k::Transpose(a.value()), {a}, [a](Node* self) {
     a.raw()->AccumulateGrad(k::Transpose(self->grad));
   });
@@ -276,6 +322,7 @@ Tensor SegmentMeanRows(
     return MetaOp("SegmentMeanRows", {table}, ListBoundsAttrs(*lists));
   }
   NMCDR_OBS_OP_SCOPE("SegmentMeanRows");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kSegmentMeanRows, &table);
   const int n = static_cast<int>(lists->size());
   const int d = table.cols();
   Matrix out(n, d);
@@ -312,6 +359,10 @@ Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
   NMCDR_CHECK(a != nullptr);
   if (MetaEnabled()) return MetaOp("SpMM", {x}, {{a->rows(), a->cols()}});
   NMCDR_OBS_OP_SCOPE("SpMM");
+  if (OpStreamHandler* hdl = ActiveOpStream()) {
+    Tensor strm_out;
+    if (hdl->OnSpMM(a, x, &strm_out)) return strm_out;
+  }
   return MakeOpNode("SpMM", a->Multiply(x.value()), {x}, [a, x](Node* self) {
     x.raw()->AccumulateGrad(a->MultiplyTransposed(self->grad));
   });
@@ -320,6 +371,7 @@ Tensor SpMM(std::shared_ptr<const CsrMatrix> a, const Tensor& x) {
 Tensor Sum(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Sum", {a});
   NMCDR_OBS_OP_SCOPE("Sum");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kSum, &a);
   Matrix out(1, 1);
   out.At(0, 0) = a.value().Sum();
   return MakeOpNode("Sum", std::move(out), {a}, [a](Node* self) {
@@ -331,6 +383,7 @@ Tensor Sum(const Tensor& a) {
 Tensor Mean(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("Mean", {a});
   NMCDR_OBS_OP_SCOPE("Mean");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kMean, &a);
   const float inv = 1.f / static_cast<float>(a.value().size());
   Matrix out(1, 1);
   out.At(0, 0) = a.value().Sum() * inv;
@@ -343,6 +396,7 @@ Tensor Mean(const Tensor& a) {
 Tensor SumSquares(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("SumSquares", {a});
   NMCDR_OBS_OP_SCOPE("SumSquares");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kSumSquares, &a);
   Matrix out(1, 1);
   double acc = 0.0;
   for (int i = 0; i < a.value().size(); ++i) {
@@ -358,6 +412,7 @@ Tensor SumSquares(const Tensor& a) {
 Tensor ColMean(const Tensor& a) {
   if (MetaEnabled()) return MetaOp("ColMean", {a});
   NMCDR_OBS_OP_SCOPE("ColMean");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kColMean, &a);
   NMCDR_CHECK_GT(a.rows(), 0);
   const float inv = 1.f / static_cast<float>(a.rows());
   return MakeOpNode("ColMean", k::ColMean(a.value()), {a}, [a, inv](Node* self) {
@@ -374,6 +429,7 @@ Tensor ColMean(const Tensor& a) {
 Tensor TileRows(const Tensor& a, int n) {
   if (MetaEnabled()) return MetaOp("TileRows", {a}, {{n}});
   NMCDR_OBS_OP_SCOPE("TileRows");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kTileRows, &a);
   NMCDR_CHECK_EQ(a.rows(), 1);
   NMCDR_CHECK_GT(n, 0);
   Matrix out(n, a.cols());
@@ -390,6 +446,7 @@ Tensor TileRows(const Tensor& a, int n) {
 Tensor RowDot(const Tensor& a, const Tensor& b) {
   if (MetaEnabled()) return MetaOp("RowDot", {a, b});
   NMCDR_OBS_OP_SCOPE("RowDot");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kRowDot, &a, &b);
   return MakeOpNode("RowDot",
       k::RowDot(a.value(), b.value()), {a, b}, [a, b](Node* self) {
         Matrix da(a.rows(), a.cols()), db(b.rows(), b.cols());
@@ -412,6 +469,7 @@ Tensor RowDot(const Tensor& a, const Tensor& b) {
 Tensor ScaleRows(const Tensor& a, const Tensor& s) {
   if (MetaEnabled()) return MetaOp("ScaleRows", {a, s});
   NMCDR_OBS_OP_SCOPE("ScaleRows");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kScaleRows, &a, &s);
   NMCDR_CHECK_EQ(s.cols(), 1);
   NMCDR_CHECK_EQ(s.rows(), a.rows());
   Matrix out(a.rows(), a.cols());
@@ -447,6 +505,7 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
                   {{static_cast<int64_t>(labels.size())}});
   }
   NMCDR_OBS_OP_SCOPE("BceWithLogits");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kBceWithLogits, &logits);
   NMCDR_CHECK_EQ(logits.cols(), 1);
   NMCDR_CHECK_EQ(logits.rows(), static_cast<int>(labels.size()));
   const int n = logits.rows();
@@ -472,6 +531,7 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
 Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores) {
   if (MetaEnabled()) return MetaOp("BprLoss", {pos_scores, neg_scores});
   NMCDR_OBS_OP_SCOPE("BprLoss");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kBprLoss, &pos_scores, &neg_scores);
   NMCDR_CHECK_EQ(pos_scores.cols(), 1);
   NMCDR_CHECK(pos_scores.value().SameShape(neg_scores.value()));
   const int n = pos_scores.rows();
@@ -512,6 +572,7 @@ Tensor NeighborAttention(
                   ListBoundsAttrs(*candidates));
   }
   NMCDR_OBS_OP_SCOPE("NeighborAttention");
+  NMCDR_OP_STREAM_ENTRY(OpKind::kNeighborAttention, &users, &items);
   NMCDR_CHECK_EQ(static_cast<int>(candidates->size()), users.rows());
   NMCDR_CHECK_EQ(users.cols(), items.cols());
   const int n = users.rows();

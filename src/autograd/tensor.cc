@@ -5,6 +5,7 @@
 
 #include "autograd/debug.h"
 #include "autograd/meta.h"
+#include "autograd/op_stream.h"
 #include "autograd/tape_validator.h"
 #include "obs/trace.h"
 #include "tensor/matrix_ops.h"
@@ -102,6 +103,7 @@ Tensor MakeOpNode(const char* op, Matrix value,
     for (const Tensor& p : parents) out.node()->parents.push_back(p.node());
     out.node()->backward = std::move(backward);
   }
+  if (OpStreamHandler* h = ActiveOpStream()) h->OnNodeCreated(op, out, parents);
   return out;
 }
 

@@ -128,6 +128,10 @@ const char* KernelName(Kernel k) {
     case Kernel::kConcatCols: return "ConcatCols";
     case Kernel::kSpMM: return "SpMM";
     case Kernel::kSpMMTransposed: return "SpMMTransposed";
+    case Kernel::kFusedMatMulBiasAct: return "FusedMatMulBiasAct";
+    case Kernel::kFusedEltwise: return "FusedEltwise";
+    case Kernel::kPlannedMatMulTransA: return "PlannedMatMulTransA";
+    case Kernel::kPlannedMatMulTransB: return "PlannedMatMulTransB";
     case Kernel::kCount: break;
   }
   return "?";

@@ -171,6 +171,12 @@ enum class Kernel : int {
   kConcatCols,
   kSpMM,
   kSpMMTransposed,
+  // Graph-program replay kernels (src/program dispatches these directly on
+  // the backend; the scopes live at those call sites).
+  kFusedMatMulBiasAct,
+  kFusedEltwise,
+  kPlannedMatMulTransA,
+  kPlannedMatMulTransB,
   kCount,
 };
 

@@ -6,6 +6,9 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "tensor/fused_kernels.h"
+#include "tensor/scalar_kernels.h"
+
 namespace nmcdr {
 namespace {
 
@@ -73,6 +76,11 @@ void MatMulTransBRows(const Matrix& a, const Matrix& b, Matrix* out,
     }
   }
 }
+
+// The register-blocked GEMM cores and fused range kernels that replay
+// these loops live in fused_kernels.cc (same operation sequence per output
+// element, compiled at a higher optimization level — see the note there
+// and in CMakeLists.txt).
 
 /// Source rows [r0, r1): out(c, r) = a(r, c). A pure copy, so any shard
 /// order is bit-exact; sharding by source row keeps reads streaming.
@@ -210,36 +218,8 @@ void ConcatColsRows(const Matrix& a, const Matrix& b, Matrix* out, int64_t r0,
   }
 }
 
-// Scalar bodies shared by both backends' activation kernels.
-
-inline float ReluScalar(float x) { return x > 0.f ? x : 0.f; }
-
-inline float SigmoidScalar(float x) {
-  // Numerically stable in both tails.
-  if (x >= 0.f) {
-    const float z = std::exp(-x);
-    return 1.f / (1.f + z);
-  }
-  const float z = std::exp(x);
-  return z / (1.f + z);
-}
-
-inline float TanhScalar(float x) { return std::tanh(x); }
-
-inline float SoftplusScalar(float x) {
-  // log(1+e^x) = max(x,0) + log1p(e^{-|x|})
-  return (x > 0.f ? x : 0.f) + std::log1p(std::exp(-std::fabs(x)));
-}
-
-inline float ExpScalar(float x) { return std::exp(x); }
-
-inline float LogScalar(float x) {
-  return std::log(x > 1e-12f ? x : 1e-12f);
-}
-
-/// Transcendental loops get a smaller grain: each element costs ~10-30
-/// flops, so chunks amortize the handshake much sooner.
-constexpr int64_t kTranscendentalCost = 16;
+// Scalar activation bodies (ReluScalar etc.) come from scalar_kernels.h;
+// the fused range kernels and planned GEMM cores from fused_kernels.h.
 
 }  // namespace
 
@@ -411,6 +391,35 @@ void SerialBackend::ScatterAddRows(const Matrix& src,
 Matrix SerialBackend::ConcatCols(const Matrix& a, const Matrix& b) const {
   Matrix out(a.rows(), a.cols() + b.cols());
   ConcatColsRows(a, b, &out, 0, a.rows());
+  return out;
+}
+
+void SerialBackend::FusedMatMulBiasActInto(const Matrix& a, const Matrix& b,
+                                           const Matrix* bias, FusedAct act,
+                                           Matrix* out) const {
+  FusedMatMulRows(a, b, bias, act, out, 0, a.rows());
+}
+
+void SerialBackend::FusedEltwiseInto(const Matrix& a, const EltwiseStep* steps,
+                                     int num_steps, Matrix* out) const {
+  FusedEltwiseRange(a, steps, num_steps, out, 0, a.size());
+}
+
+Matrix SerialBackend::PlannedMatMulTransA(const Matrix& a,
+                                          const Matrix& b) const {
+  Matrix out(a.cols(), b.cols());
+  PlannedMatMulTransARows(a, b, &out, 0, a.cols());
+  return out;
+}
+
+Matrix SerialBackend::PlannedMatMulTransB(const Matrix& a,
+                                          const Matrix& b) const {
+  // Transposing B once costs k*n float moves against the m*k*n GEMM and
+  // buys contiguous tile loads; the per-element double chain is untouched.
+  Matrix bt(b.cols(), b.rows());
+  TransposeRows(b, &bt, 0, b.rows());
+  Matrix out(a.rows(), b.rows());
+  PlannedMatMulTransBRows(a, bt, &out, 0, a.rows());
   return out;
 }
 
@@ -667,6 +676,54 @@ Matrix ParallelBackend::ConcatCols(const Matrix& a, const Matrix& b) const {
   pool()->ParallelFor(0, a.rows(), GrainFor(a.cols() + b.cols()),
                       [&](int64_t r0, int64_t r1) {
                         ConcatColsRows(a, b, &out, r0, r1);
+                      });
+  return out;
+}
+
+void ParallelBackend::FusedMatMulBiasActInto(const Matrix& a, const Matrix& b,
+                                             const Matrix* bias, FusedAct act,
+                                             Matrix* out) const {
+  const int64_t epilogue =
+      act != FusedAct::kNone ? kTranscendentalCost : int64_t{1};
+  const int64_t row_cost =
+      static_cast<int64_t>(a.cols()) * b.cols() + b.cols() * epilogue;
+  pool()->ParallelFor(0, a.rows(), GrainFor(row_cost),
+                      [&](int64_t r0, int64_t r1) {
+                        FusedMatMulRows(a, b, bias, act, out, r0, r1);
+                      });
+}
+
+void ParallelBackend::FusedEltwiseInto(const Matrix& a,
+                                       const EltwiseStep* steps, int num_steps,
+                                       Matrix* out) const {
+  pool()->ParallelFor(0, a.size(), GrainFor(EltwiseChainCost(steps, num_steps)),
+                      [&](int64_t i0, int64_t i1) {
+                        FusedEltwiseRange(a, steps, num_steps, out, i0, i1);
+                      });
+}
+
+Matrix ParallelBackend::PlannedMatMulTransA(const Matrix& a,
+                                            const Matrix& b) const {
+  Matrix out(a.cols(), b.cols());
+  const int64_t row_cost = static_cast<int64_t>(a.rows()) * b.cols();
+  pool()->ParallelFor(0, a.cols(), GrainFor(row_cost),
+                      [&](int64_t r0, int64_t r1) {
+                        PlannedMatMulTransARows(a, b, &out, r0, r1);
+                      });
+  return out;
+}
+
+Matrix ParallelBackend::PlannedMatMulTransB(const Matrix& a,
+                                            const Matrix& b) const {
+  // B is transposed once, inline (it is k*n against the m*k*n GEMM), then
+  // the GEMM rows shard; every shard reads the same bt.
+  Matrix bt(b.cols(), b.rows());
+  TransposeRows(b, &bt, 0, b.rows());
+  Matrix out(a.rows(), b.rows());
+  const int64_t row_cost = static_cast<int64_t>(a.cols()) * b.rows();
+  pool()->ParallelFor(0, a.rows(), GrainFor(row_cost),
+                      [&](int64_t r0, int64_t r1) {
+                        PlannedMatMulTransBRows(a, bt, &out, r0, r1);
                       });
   return out;
 }

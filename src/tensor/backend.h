@@ -1,12 +1,47 @@
 #ifndef NMCDR_TENSOR_BACKEND_H_
 #define NMCDR_TENSOR_BACKEND_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace nmcdr {
+
+/// Activation folded into the fused matmul epilogue (kNone = bias only).
+enum class FusedAct : uint8_t { kNone, kRelu, kSigmoid, kTanh };
+
+/// One step of a fused elementwise chain, interpreted per element by
+/// FusedEltwiseInto. The graph-program compiler (src/program) lowers a run
+/// of eager elementwise ops into a step list; each step transforms the
+/// running value `cur` (seeded from the chain's primary input) with the
+/// exact scalar expression of the eager kernel it replaces, so the fused
+/// loop is bit-identical to the op-by-op sequence.
+enum class EltwiseOp : uint8_t {
+  kAddMat,     // cur + side[i]
+  kSubMat,     // cur - side[i], or side[i] - cur when rhs is set
+  kMulMat,     // cur * side[i]           (Hadamard)
+  kScale,      // scalar * cur
+  kAddScalar,  // cur + scalar
+  kOneMinus,   // 1 - cur
+  kSoftplus,   // softplus(cur)
+  kRelu,       // relu(cur)
+  kSigmoid,    // sigmoid(cur)
+  kTanh,       // tanh(cur)
+  kExp,        // exp(cur)
+};
+
+struct EltwiseStep {
+  EltwiseOp op = EltwiseOp::kAddMat;
+  /// kSubMat orientation: the chain value is the subtrahend (side - cur).
+  bool rhs = false;
+  /// kScale / kAddScalar operand.
+  float scalar = 0.f;
+  /// kAddMat / kSubMat / kMulMat operand, same element count as the output.
+  const float* side = nullptr;
+};
 
 /// Execution seam for the dense kernels: the free functions in
 /// tensor/matrix_ops.h are thin dispatchers over the current KernelBackend,
@@ -68,6 +103,31 @@ class KernelBackend {
   virtual void ScatterAddRows(const Matrix& src, const std::vector<int>& ids,
                               Matrix* out) const = 0;
   virtual Matrix ConcatCols(const Matrix& a, const Matrix& b) const = 0;
+
+  // Fused kernels (graph-program replay path, src/program). Bit-exact with
+  // the op sequence each replaces — same per-element float operation order
+  // as the separate kernels, at any thread count.
+
+  /// out += a * b, then per row out = act(out + bias) (bias optional, a
+  /// 1 x b.cols() row vector; nullptr skips it). `out` must be pre-zeroed,
+  /// matching MatMul = Zeros + MatMulAccumInto.
+  virtual void FusedMatMulBiasActInto(const Matrix& a, const Matrix& b,
+                                      const Matrix* bias, FusedAct act,
+                                      Matrix* out) const = 0;
+
+  /// out[i] = steps applied to a[i] in order (see EltwiseStep).
+  virtual void FusedEltwiseInto(const Matrix& a, const EltwiseStep* steps,
+                                int num_steps, Matrix* out) const = 0;
+
+  /// Register-blocked backward GEMMs (graph-program replay path). Bit-exact
+  /// with MatMulTransA / MatMulTransB — each output element sees the exact
+  /// same float (resp. double) accumulation sequence in ascending p — but a
+  /// block of output elements rides in local accumulators, so independent
+  /// per-element chains overlap instead of serializing through memory.
+  virtual Matrix PlannedMatMulTransA(const Matrix& a,
+                                     const Matrix& b) const = 0;
+  virtual Matrix PlannedMatMulTransB(const Matrix& a,
+                                     const Matrix& b) const = 0;
 };
 
 /// The seed repo's single-threaded kernels, verbatim (moved here from
@@ -105,6 +165,15 @@ class SerialBackend final : public KernelBackend {
   void ScatterAddRows(const Matrix& src, const std::vector<int>& ids,
                       Matrix* out) const override;
   Matrix ConcatCols(const Matrix& a, const Matrix& b) const override;
+  void FusedMatMulBiasActInto(const Matrix& a, const Matrix& b,
+                              const Matrix* bias, FusedAct act,
+                              Matrix* out) const override NMCDR_HOT;
+  void FusedEltwiseInto(const Matrix& a, const EltwiseStep* steps,
+                        int num_steps, Matrix* out) const override NMCDR_HOT;
+  Matrix PlannedMatMulTransA(const Matrix& a,
+                             const Matrix& b) const override NMCDR_HOT;
+  Matrix PlannedMatMulTransB(const Matrix& a,
+                             const Matrix& b) const override NMCDR_HOT;
 };
 
 /// Pool-backed kernels: row-blocked GEMMs, chunked elementwise and
@@ -149,6 +218,15 @@ class ParallelBackend final : public KernelBackend {
   void ScatterAddRows(const Matrix& src, const std::vector<int>& ids,
                       Matrix* out) const override;
   Matrix ConcatCols(const Matrix& a, const Matrix& b) const override;
+  void FusedMatMulBiasActInto(const Matrix& a, const Matrix& b,
+                              const Matrix* bias, FusedAct act,
+                              Matrix* out) const override NMCDR_HOT;
+  void FusedEltwiseInto(const Matrix& a, const EltwiseStep* steps,
+                        int num_steps, Matrix* out) const override NMCDR_HOT;
+  Matrix PlannedMatMulTransA(const Matrix& a,
+                             const Matrix& b) const override NMCDR_HOT;
+  Matrix PlannedMatMulTransB(const Matrix& a,
+                             const Matrix& b) const override NMCDR_HOT;
 
   ThreadPool* pool() const {
     return pool_ != nullptr ? pool_ : ThreadPool::Shared();

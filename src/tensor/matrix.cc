@@ -3,21 +3,114 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
+
+#include "tensor/arena.h"
 
 namespace nmcdr {
+namespace {
 
-Matrix::Matrix(int rows, int cols)
-    : rows_(rows), cols_(cols),
-      data_(static_cast<size_t>(rows) * cols, 0.f) {
-  NMCDR_CHECK_GE(rows, 0);
-  NMCDR_CHECK_GE(cols, 0);
+thread_local int64_t tl_heap_alloc_count = 0;
+
+}  // namespace
+
+int64_t Matrix::HeapAllocCount() { return tl_heap_alloc_count; }
+
+void Matrix::AllocStorage(size_t n, float fill) {
+  if (n == 0) {
+    ptr_ = nullptr;
+    return;
+  }
+  BumpArena* arena = ActiveArena();
+  if (arena != nullptr) {
+    borrowed_ = true;
+    ptr_ = arena->Alloc(n);
+    for (size_t i = 0; i < n; ++i) ptr_[i] = fill;
+    return;
+  }
+  const bool grows = owned_.capacity() < n;
+  owned_.assign(n, fill);
+  if (grows) ++tl_heap_alloc_count;
+  ptr_ = owned_.data();
 }
 
-Matrix::Matrix(int rows, int cols, float fill)
-    : rows_(rows), cols_(cols),
-      data_(static_cast<size_t>(rows) * cols, fill) {
+Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
   NMCDR_CHECK_GE(rows, 0);
   NMCDR_CHECK_GE(cols, 0);
+  AllocStorage(static_cast<size_t>(rows) * cols, 0.f);
+}
+
+Matrix::Matrix(int rows, int cols, float fill) : rows_(rows), cols_(cols) {
+  NMCDR_CHECK_GE(rows, 0);
+  NMCDR_CHECK_GE(cols, 0);
+  AllocStorage(static_cast<size_t>(rows) * cols, fill);
+}
+
+Matrix::Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+  // Copies always own their storage (never borrow the source's arena).
+  const size_t n = static_cast<size_t>(rows_) * cols_;
+  if (n == 0) return;
+  NMCDR_DCHECK(other.has_storage());
+  ++tl_heap_alloc_count;
+  owned_.assign(other.ptr_, other.ptr_ + n);
+  ptr_ = owned_.data();
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  borrowed_ = false;
+  const size_t n = static_cast<size_t>(rows_) * cols_;
+  if (n == 0) {
+    owned_.clear();
+    ptr_ = nullptr;
+    return *this;
+  }
+  NMCDR_DCHECK(other.has_storage());
+  // Reuses existing capacity: steady-state member copies are alloc-free.
+  const bool grows = owned_.capacity() < n;
+  owned_.assign(other.ptr_, other.ptr_ + n);
+  if (grows) ++tl_heap_alloc_count;
+  ptr_ = owned_.data();
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      ptr_(other.ptr_),
+      borrowed_(other.borrowed_),
+      owned_(std::move(other.owned_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.ptr_ = nullptr;
+  other.borrowed_ = false;
+  other.owned_.clear();
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  ptr_ = other.ptr_;
+  borrowed_ = other.borrowed_;
+  owned_ = std::move(other.owned_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.ptr_ = nullptr;
+  other.borrowed_ = false;
+  other.owned_.clear();
+  return *this;
+}
+
+Matrix Matrix::ShapeOnly(int rows, int cols) {
+  NMCDR_DCHECK_GE(rows, 0);
+  NMCDR_DCHECK_GE(cols, 0);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  return m;
 }
 
 Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
@@ -51,12 +144,12 @@ Matrix Matrix::Xavier(int rows, int cols, Rng* rng) {
 }
 
 void Matrix::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(ptr_, ptr_ + size(), value);
 }
 
 float Matrix::Sum() const {
   double acc = 0.0;
-  for (float v : data_) acc += v;
+  for (int i = 0; i < size(); ++i) acc += ptr_[i];
   return static_cast<float>(acc);
 }
 
@@ -67,17 +160,17 @@ float Matrix::Mean() const {
 
 float Matrix::Min() const {
   NMCDR_CHECK_GT(size(), 0);
-  return *std::min_element(data_.begin(), data_.end());
+  return *std::min_element(ptr_, ptr_ + size());
 }
 
 float Matrix::Max() const {
   NMCDR_CHECK_GT(size(), 0);
-  return *std::max_element(data_.begin(), data_.end());
+  return *std::max_element(ptr_, ptr_ + size());
 }
 
 float Matrix::FrobeniusNorm() const {
   double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  for (int i = 0; i < size(); ++i) acc += static_cast<double>(ptr_[i]) * ptr_[i];
   return static_cast<float>(std::sqrt(acc));
 }
 

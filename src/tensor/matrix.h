@@ -1,6 +1,7 @@
 #ifndef NMCDR_TENSOR_MATRIX_H_
 #define NMCDR_TENSOR_MATRIX_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,15 @@ namespace nmcdr {
 /// autograd engine. A row vector is a 1xN matrix; scalars are 1x1.
 ///
 /// Copyable and movable; copies are deep.
+///
+/// Storage: normally an owning heap buffer. Inside an ArenaScope
+/// (tensor/arena.h) the sized constructors borrow step-lifetime storage
+/// from the active BumpArena instead — the graph-program replay path uses
+/// this to run steady-state training with zero per-op heap allocations.
+/// Copy construction/assignment ALWAYS produces owning heap storage (and
+/// copy-assignment reuses existing capacity), so copying an op result into
+/// a long-lived member remains safe under an arena and allocation-free
+/// once capacity is warm. Moves preserve whatever storage the source had.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
@@ -23,6 +33,32 @@ class Matrix {
 
   /// rows x cols matrix filled with `fill`.
   Matrix(int rows, int cols, float fill);
+
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix() = default;
+
+  /// A matrix that carries shape but NO storage: data() is null and any
+  /// element access faults loudly. The program replay path hands these out
+  /// for fused-away intermediates whose values are never materialized;
+  /// only rows()/cols() may be read.
+  static Matrix ShapeOnly(int rows, int cols);
+
+  /// True when elements are actually backed by storage (empty matrices
+  /// count as backed). False only for ShapeOnly results.
+  bool has_storage() const { return ptr_ != nullptr || size() == 0; }
+
+  /// True when the storage is borrowed from a BumpArena (valid only until
+  /// the arena's next ResetStep).
+  bool arena_backed() const { return borrowed_; }
+
+  /// Process-wide count of heap buffer allocations made by matrices on
+  /// this thread (owning constructions plus capacity growth on
+  /// copy-assign). The zero-alloc training tests assert this stays flat
+  /// across steady-state replay steps.
+  static int64_t HeapAllocCount();
 
   /// Builds a matrix from nested initializer data (row-major), used by
   /// tests for literal fixtures. All rows must have equal length.
@@ -55,29 +91,29 @@ class Matrix {
     NMCDR_CHECK_LT(r, rows_);
     NMCDR_CHECK_GE(c, 0);
     NMCDR_CHECK_LT(c, cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    return ptr_[static_cast<size_t>(r) * cols_ + c];
   }
   float At(int r, int c) const {
     NMCDR_CHECK_GE(r, 0);
     NMCDR_CHECK_LT(r, rows_);
     NMCDR_CHECK_GE(c, 0);
     NMCDR_CHECK_LT(c, cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    return ptr_[static_cast<size_t>(r) * cols_ + c];
   }
 
   /// Flat access for kernels: unchecked in Release, row-bounds-checked in
   /// NMCDR_DEBUG_CHECKS builds (the DCHECK compiles out otherwise).
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
   float* row(int r) {
     NMCDR_DCHECK_GE(r, 0);
     NMCDR_DCHECK_LT(r, rows_);
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return ptr_ + static_cast<size_t>(r) * cols_;
   }
   const float* row(int r) const {
     NMCDR_DCHECK_GE(r, 0);
     NMCDR_DCHECK_LT(r, rows_);
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return ptr_ + static_cast<size_t>(r) * cols_;
   }
 
   /// True if shapes match.
@@ -108,9 +144,18 @@ class Matrix {
   std::string DebugString() const;
 
  private:
+  /// Points ptr_ at a fresh buffer of `n` floats filled with `fill`:
+  /// borrowed from the active arena when one is in scope, else owning heap
+  /// storage (reusing owned_ capacity where possible).
+  void AllocStorage(size_t n, float fill);
+
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  /// Element storage: owned_.data() when owning, an arena pointer when
+  /// borrowed_, nullptr when empty or shape-only.
+  float* ptr_ = nullptr;
+  bool borrowed_ = false;
+  std::vector<float> owned_;
 };
 
 /// True if a and b have the same shape and all entries differ by <= atol.

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "program/program.h"
 #include "tensor/backend.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -78,6 +79,15 @@ TrainSummary Trainer::Train(RecModel* model) {
   int eval_every = config_.eval_every;
   if (eval_every < 0) eval_every = std::max(1, epochs / 8);
 
+  // Graph-program fusion: the first step records the model's op stream
+  // eagerly; the scope exit compiles it into fused groups + an arena plan,
+  // and every later step replays the program. Replay is bitwise-identical
+  // to eager (tensor/backend.h fused-kernel contract), and any divergence
+  // from the recorded stream retires the program to plain eager mode.
+  const bool fuse = config_.fusion && prog::FusionEnvEnabled();
+  prog::GraphProgram program;
+  bool recorded = false;
+
   double best_hr = -1.0;
   int stale_evals = 0;
   std::vector<Matrix> best_snapshot;
@@ -91,7 +101,18 @@ TrainSummary Trainer::Train(RecModel* model) {
     for (int step = 0; step < steps_per_epoch; ++step) {
       const LabeledBatch bz = NextBatch(DomainSide::kZ, &rng);
       const LabeledBatch bzbar = NextBatch(DomainSide::kZbar, &rng);
-      loss_sum += model->TrainStep(bz, bzbar);
+      if (!fuse) {
+        loss_sum += model->TrainStep(bz, bzbar);
+      } else if (!recorded) {
+        prog::GraphProgram::RecordScope record(&program);
+        loss_sum += model->TrainStep(bz, bzbar);
+        recorded = true;
+      } else if (program.usable()) {
+        prog::GraphProgram::ReplayScope replay(&program);
+        loss_sum += model->TrainStep(bz, bzbar);
+      } else {
+        loss_sum += model->TrainStep(bz, bzbar);
+      }
     }
     summary.final_loss = static_cast<float>(loss_sum / steps_per_epoch);
     summary.epochs_run = epoch + 1;
@@ -137,6 +158,7 @@ TrainSummary Trainer::Train(RecModel* model) {
     reg.GetGauge("train.final_loss").Set(summary.final_loss);
     reg.GetGauge("train.seconds").Set(summary.train_seconds);
     reg.GetGauge("train.best_valid_hr").Set(summary.best_valid_hr);
+    if (fuse) program.PublishMetrics();
   }
   return summary;
 }

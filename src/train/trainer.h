@@ -31,6 +31,12 @@ struct TrainConfig {
   /// shared pool. Results are bit-identical at any setting — backends are
   /// bit-exact by contract (tensor/backend.h).
   int threads = 0;
+  /// Compile the first training step into a graph program (src/program)
+  /// and replay it — fused kernels + arena-planned buffers — for the rest
+  /// of the run. Bitwise-identical to eager by contract; ANDed with the
+  /// NMCDR_FUSION environment switch. Any unfusable op stream falls back
+  /// to eager deterministically.
+  bool fusion = true;
   bool verbose = false;
 };
 

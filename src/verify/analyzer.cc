@@ -1,11 +1,14 @@
 #include "verify/analyzer.h"
 
+#include <cstring>
 #include <exception>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "autograd/meta.h"
+#include "autograd/op_stream.h"
+#include "program/program.h"
 #include "train/registry.h"
 #include "verify/op_suite.h"
 
@@ -27,9 +30,39 @@ std::string KindName(Finding::Kind kind) {
       return "model-failure";
     case Finding::Kind::kSnapshotShape:
       return "snapshot-shape";
+    case Finding::Kind::kProgramMismatch:
+      return "program-mismatch";
   }
   return "unknown";
 }
+
+/// Passive op-stream observer: counts every eagerly executed op (by node
+/// creation, mirroring what GraphProgram records) without intercepting
+/// anything. Used to cross-check a compiled program against the live
+/// eager stream of an identically seeded twin model.
+class OpCountingHandler final : public ag::OpStreamHandler {
+ public:
+  bool OnOpEntry(ag::OpKind, const ag::Tensor* const*, int, const float*, int,
+                 ag::Tensor*) override {
+    return false;
+  }
+  bool OnSpMM(const std::shared_ptr<const CsrMatrix>&, const ag::Tensor&,
+              ag::Tensor*) override {
+    return false;
+  }
+  void OnNodeCreated(const char* op, const ag::Tensor& result,
+                     const std::vector<ag::Tensor>&) override {
+    ++counts_[op];
+    elements_ += static_cast<int64_t>(result.value().size());
+  }
+
+  const std::map<std::string, int>& counts() const { return counts_; }
+  int64_t elements() const { return elements_; }
+
+ private:
+  std::map<std::string, int> counts_;
+  int64_t elements_ = 0;
+};
 
 /// First few train positives of one domain as a labeled batch (alternating
 /// positive/negative labels; ids are real, so gather bounds hold).
@@ -211,6 +244,163 @@ AnalyzeReport AnalyzeAllModels(BenchScale scale) {
     }
   }
   report.coverage = AuditOpCoverage();
+  return report;
+}
+
+namespace {
+
+void NoteProgramMismatch(const std::string& message, ProgramAudit* audit) {
+  Finding f;
+  f.kind = Finding::Kind::kProgramMismatch;
+  f.model = audit->model;
+  f.scenario = audit->scenario;
+  f.message = message;
+  audit->findings.push_back(std::move(f));
+}
+
+bool BitwiseEqual(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(float)) == 0;
+}
+
+ProgramAudit AuditProgram(const std::string& model_name,
+                          const ExperimentData& data,
+                          const std::string& scenario_name,
+                          const CommonHyper& hyper) {
+  ProgramAudit audit;
+  audit.model = model_name;
+  audit.scenario = scenario_name;
+
+  std::unique_ptr<RecModel> eager;
+  std::unique_ptr<RecModel> fused;
+  try {
+    const auto& factory = ModelRegistry::Instance().Get(model_name);
+    eager = factory(data.View(), hyper, /*lr=*/1e-3f);
+    fused = factory(data.View(), hyper, /*lr=*/1e-3f);
+  } catch (const std::exception& e) {
+    NoteProgramMismatch(std::string("model construction failed: ") + e.what(),
+                        &audit);
+    return audit;
+  }
+
+  const LabeledBatch batch_z = ProbeBatch(data.split_z(), /*max_pairs=*/8);
+  const LabeledBatch batch_zbar = ProbeBatch(data.split_zbar(), 8);
+
+  // Eager twin: the first step runs under a passive op counter so its live
+  // op stream can be compared against what the program recorded.
+  OpCountingHandler counter;
+  float eager_loss0 = 0.f;
+  {
+    ag::OpStreamScope scope(&counter);
+    eager_loss0 = eager->TrainStep(batch_z, batch_zbar);
+  }
+  const float eager_loss1 = eager->TrainStep(batch_z, batch_zbar);
+
+  // Fused twin: record the first step, replay the second.
+  prog::GraphProgram program;
+  float fused_loss0 = 0.f;
+  float fused_loss1 = 0.f;
+  bool replayed = false;
+  {
+    prog::GraphProgram::RecordScope record(&program);
+    fused_loss0 = fused->TrainStep(batch_z, batch_zbar);
+  }
+  {
+    prog::GraphProgram::ReplayScope replay(&program);
+    fused_loss1 = fused->TrainStep(batch_z, batch_zbar);
+    replayed = replay.replayed();
+  }
+
+  const prog::ProgramStats stats = program.stats();
+  audit.compiled = stats.compiled;
+  audit.instrs = stats.instrs;
+  audit.fusion_groups = stats.fusion_groups;
+  audit.fused_ops = stats.fused_ops;
+  audit.spmm_plans = stats.spmm_plans;
+  audit.arena_reserved_bytes = stats.arena_reserved_bytes;
+  audit.arena_peak_bytes = stats.arena_peak_bytes;
+  audit.groups = program.DescribeGroups();
+
+  // Shape equivalence: the recorded program must enumerate exactly the ops
+  // (and output elements) the eager twin executed.
+  if (audit.compiled) {
+    if (program.OpCounts() != counter.counts()) {
+      NoteProgramMismatch("recorded op-kind counts differ from the eager "
+                          "twin's op stream",
+                          &audit);
+    }
+    if (program.TotalOutputElements() != counter.elements()) {
+      NoteProgramMismatch("recorded output elements differ from the eager "
+                          "twin's op stream",
+                          &audit);
+    }
+    if (!replayed) {
+      NoteProgramMismatch("replay of the second step diverged from the "
+                          "recorded program",
+                          &audit);
+    }
+  }
+  // Numeric equivalence holds whether or not the program compiled: an
+  // uncompilable or diverged step must still fall back to exact eager.
+  if (!BitwiseEqual(eager_loss0, fused_loss0) ||
+      !BitwiseEqual(eager_loss1, fused_loss1)) {
+    std::ostringstream os;
+    os << "fused losses (" << fused_loss0 << ", " << fused_loss1
+       << ") are not bitwise equal to eager losses (" << eager_loss0 << ", "
+       << eager_loss1 << ")";
+    NoteProgramMismatch(os.str(), &audit);
+  }
+  return audit;
+}
+
+}  // namespace
+
+bool ProgramReport::clean() const { return finding_count() == 0; }
+
+int ProgramReport::finding_count() const {
+  int n = 0;
+  for (const ProgramAudit& a : audits) n += static_cast<int>(a.findings.size());
+  return n;
+}
+
+std::string ProgramReport::ToString() const {
+  std::ostringstream out;
+  out << "program audit: " << audits.size() << " (model, scenario) pairs, "
+      << finding_count() << " findings\n";
+  if (audits.empty()) {
+    out << "  (fusion disabled via NMCDR_FUSION; nothing to audit)\n";
+    return out.str();
+  }
+  for (const ProgramAudit& a : audits) {
+    out << "  [" << a.scenario << "] " << a.model << ": ";
+    if (!a.compiled) {
+      out << "uncompilable (eager fallback)\n";
+    } else {
+      out << a.instrs << " instrs, " << a.fusion_groups << " fusion groups ("
+          << a.fused_ops << " fused ops), " << a.spmm_plans
+          << " spmm plans, arena reserved " << a.arena_reserved_bytes / 1024
+          << " KiB peak " << a.arena_peak_bytes / 1024 << " KiB\n";
+      std::istringstream lines(a.groups);
+      std::string line;
+      while (std::getline(lines, line)) out << "      " << line << "\n";
+    }
+    for (const Finding& f : a.findings) out << "    " << f.ToString() << "\n";
+  }
+  return out.str();
+}
+
+ProgramReport AuditPrograms(BenchScale scale) {
+  ProgramReport report;
+  if (!prog::FusionEnvEnabled()) return report;
+  if (ModelRegistry::Instance().Names().empty()) RegisterAllModels();
+  const CommonHyper hyper;
+  report.audits.reserve(AllScenarioSpecs(scale).size() *
+                        ModelRegistry::Instance().Names().size());
+  for (const SyntheticScenarioSpec& spec : AllScenarioSpecs(scale)) {
+    ExperimentData data(GenerateScenario(spec), /*seed=*/spec.seed + 1);
+    for (const std::string& name : ModelRegistry::Instance().Names()) {
+      report.audits.push_back(AuditProgram(name, data, spec.name, hyper));
+    }
+  }
   return report;
 }
 

@@ -39,6 +39,7 @@ struct Finding {
     kMissingShapeRule,    // op covered by the suite but with no shape rule
     kModelFailure,        // model factory / audit infrastructure failed
     kSnapshotShape,       // frozen snapshot violates the head shape chain
+    kProgramMismatch,     // compiled graph program diverged from eager
   };
 
   Kind kind = Kind::kShapeContradiction;
@@ -89,6 +90,41 @@ struct AnalyzeReport {
 /// of `scale` (data/presets.h), plus the registry-wide coverage audit.
 /// Registers all models if the registry is empty.
 AnalyzeReport AnalyzeAllModels(BenchScale scale);
+
+/// Program audit of one (model, scenario): records one real training step
+/// into a graph program (src/program) on a fresh model instance, replays a
+/// second step, and cross-checks against an identically seeded eager twin —
+/// per-op-kind counts and total output elements must match the eager op
+/// stream (shape equivalence), and both step losses must be bitwise equal
+/// (numeric equivalence). Also reports the compiled fusion groups and the
+/// arena plan (reserved capacity / observed peak).
+struct ProgramAudit {
+  std::string model;
+  std::string scenario;
+  bool compiled = false;
+  int instrs = 0;
+  int fusion_groups = 0;
+  int fused_ops = 0;
+  int spmm_plans = 0;
+  int64_t arena_reserved_bytes = 0;
+  int64_t arena_peak_bytes = 0;
+  /// DescribeGroups() text — one fusion group per line.
+  std::string groups;
+  std::vector<Finding> findings;
+};
+
+struct ProgramReport {
+  std::vector<ProgramAudit> audits;
+
+  bool clean() const;
+  int finding_count() const;
+  std::string ToString() const;
+};
+
+/// Runs the program audit for every registered model over every scenario
+/// preset of `scale`. Respects the NMCDR_FUSION environment switch: when
+/// fusion is disabled the report is empty (and says so).
+ProgramReport AuditPrograms(BenchScale scale);
 
 /// Cross-checks the shape-rule registry against the gradient-check suite:
 /// every op with a shape rule needs finite-difference backward coverage

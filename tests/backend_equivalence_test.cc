@@ -17,6 +17,7 @@
 #include "tensor/matrix_ops.h"
 #include "tensor/rng.h"
 #include "tests/test_util.h"
+#include "train/registry.h"
 #include "util/thread_pool.h"
 
 namespace nmcdr {
@@ -252,6 +253,46 @@ TEST(BackendEquivalenceTest, TrainerFinalLossIdenticalAcrossBackends) {
   const float serial_loss = run(1);
   const float parallel_loss = run(4);
   EXPECT_EQ(serial_loss, parallel_loss);  // bitwise, not approximately
+}
+
+/// Graph-program fusion is numerics-neutral: every registered model
+/// trained with the compiled fused program (TrainConfig::fusion) reaches
+/// the bit-identical final loss of a fully eager run — under the serial
+/// backend and under the parallel backend. This is the model-zoo-wide
+/// enforcement arm of the src/program bitwise contract; models whose op
+/// streams the compiler cannot cover fall back to eager and must still
+/// match trivially.
+TEST(BackendEquivalenceTest, TrainerFinalLossIdenticalFusedVsEager) {
+  RegisterAllModels();
+  CommonHyper hyper;
+  hyper.embed_dim = 8;
+  hyper.mlp_hidden = {16};
+  hyper.seed = 3;
+
+  for (const std::string& name : ModelRegistry::Instance().Names()) {
+    SCOPED_TRACE("model " + name);
+    auto run = [&](bool fusion, int threads) {
+      auto data = testing_util::TinyData();
+      auto model = ModelRegistry::Instance().Get(name)(data->View(), hyper,
+                                                       /*lr=*/1e-3f);
+      TrainConfig config;
+      config.epochs = 2;
+      config.batch_size = 64;
+      config.threads = threads;
+      config.fusion = fusion;
+      Trainer trainer(data->View(), config, &data->full_graph_z(),
+                      &data->full_graph_zbar());
+      return trainer.Train(model.get()).final_loss;
+    };
+
+    const float eager_serial = run(/*fusion=*/false, /*threads=*/1);
+    const float fused_serial = run(/*fusion=*/true, /*threads=*/1);
+    const float eager_parallel = run(/*fusion=*/false, /*threads=*/4);
+    const float fused_parallel = run(/*fusion=*/true, /*threads=*/4);
+    EXPECT_EQ(eager_serial, fused_serial);      // bitwise, not approximately
+    EXPECT_EQ(eager_parallel, fused_parallel);
+    EXPECT_EQ(eager_serial, eager_parallel);
+  }
 }
 
 /// Observability is read-only: training with metrics + profiling enabled

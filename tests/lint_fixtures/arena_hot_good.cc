@@ -1,0 +1,38 @@
+// Fixture: the bump arena is the sanctioned hot-path allocator. A hot
+// function may call BumpArena::Alloc / BumpArena::ResetStep freely; their
+// bodies (the amortized block-growth machinery) are pruned like
+// NMCDR_COLD. [hot-alloc] and [throw-hot] must stay quiet.
+#include <vector>
+
+class BumpArena {
+ public:
+  float* Alloc(unsigned long elems);
+  void ResetStep();
+
+ private:
+  std::vector<float*> blocks_;
+};
+
+float* BumpArena::Alloc(unsigned long elems) {
+  // Growth machinery: would fire [hot-alloc] twice if scanned.
+  float* block = new float[elems];
+  blocks_.push_back(block);
+  return block;
+}
+
+void BumpArena::ResetStep() {
+  NMCDR_CHECK(!blocks_.empty());  // would fire [throw-hot] if scanned
+}
+
+class ArenaEngine {
+ public:
+  float* Step(unsigned long n) NMCDR_HOT;
+
+ private:
+  BumpArena arena_;
+};
+
+float* ArenaEngine::Step(unsigned long n) {
+  arena_.ResetStep();
+  return arena_.Alloc(n);
+}

@@ -829,6 +829,14 @@ TEST(HotAllocTest, ScratchPatternsAreQuiet) {
   EXPECT_EQ(CountRule(diags, "hot-alloc"), 0);
 }
 
+TEST(HotAllocTest, ArenaAllocAndResetAreSanctionedInHotCode) {
+  // BumpArena::Alloc / ResetStep are implicitly cold: a hot caller is
+  // legal and their growth-machinery bodies are never scanned.
+  const auto diags = RunHotpath({Fixture("arena_hot_good.cc")});
+  EXPECT_EQ(CountRule(diags, "hot-alloc"), 0);
+  EXPECT_EQ(CountRule(diags, "throw-hot"), 0);
+}
+
 TEST(HotAllocTest, TwoFileTransitiveReachabilityCarriesTheChain) {
   const auto diags =
       RunHotpath({Fixture("hot_reach_a.cc"), Fixture("hot_reach_b.cc")});

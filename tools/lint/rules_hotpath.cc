@@ -12,7 +12,9 @@
 //   close  = BFS over Func::calls' resolved keys, recording a provenance
 //            chain ("A -> B -> C") per reached function
 //   prune  = NMCDR_COLD functions are neither scanned nor descended into
-//            (amortized capacity growth, output materialization)
+//            (amortized capacity growth, output materialization);
+//            BumpArena::{Alloc, ResetStep} are implicitly cold — the bump
+//            arena IS the sanctioned hot-path allocator
 //
 // [hot-alloc] and [throw-hot] then scan every hot function body plus
 // every dispatch-lambda body of non-hot functions; src/util/ is exempt
@@ -91,6 +93,14 @@ HotComputation ComputeHot(const std::vector<SourceFile>& files,
   std::set<std::pair<std::string, std::string>> hot_pairs;
   std::set<std::pair<std::string, std::string>> cold_pairs;
   CollectHotAnnotations(hc.model, files, &hot_pairs, &cold_pairs, out);
+  // The bump arena is the sanctioned hot-path allocator: Alloc() is a
+  // pointer bump and ResetStep() a rewind, so hot code may call both
+  // freely. Their bodies are pruned like NMCDR_COLD — any allocation
+  // inside them is the arena's own amortized growth machinery (counted by
+  // growth_events(), asserted flat in steady state by program_test), not
+  // per-op heap traffic.
+  cold_pairs.emplace("BumpArena", "Alloc");
+  cold_pairs.emplace("BumpArena", "ResetStep");
 
   std::vector<std::string> work;
   for (const Func& func : hc.model.funcs) {

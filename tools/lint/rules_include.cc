@@ -16,15 +16,18 @@ namespace {
 /// only legal downward or sideways in this order (same-module includes
 /// are always fine; cycles among files are caught by the separate cycle
 /// rule). Derived from the dependency order
-///   util -> {obs, tensor} -> {autograd, graph} -> data -> core ->
-///   {baselines, eval} -> train -> {analysis, serving, verify}.
+///   util -> {obs, tensor} -> {autograd, graph} -> {data, program} ->
+///   core -> {baselines, eval} -> train -> {analysis, serving, verify}.
 /// obs sits beside tensor (above util only) so the kernel dispatchers can
-/// open KernelScopes while obs itself stays dependency-free.
+/// open KernelScopes while obs itself stays dependency-free. program (the
+/// graph-program compiler/replayer) sits above autograd: it implements the
+/// OpStreamHandler seam autograd defines.
 int ModuleRank(const std::string& module) {
   static const std::unordered_map<std::string, int> kRanks = {
       {"util", 0},      {"obs", 1},    {"tensor", 1},
       {"autograd", 2},  {"graph", 2},
-      {"data", 3},      {"core", 4},   {"baselines", 5}, {"eval", 5},
+      {"data", 3},      {"program", 3},
+      {"core", 4},      {"baselines", 5}, {"eval", 5},
       {"train", 6},     {"analysis", 7}, {"serving", 7}, {"verify", 7},
   };
   const auto it = kRanks.find(module);

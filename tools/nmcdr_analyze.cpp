@@ -8,8 +8,8 @@
 // and per-model parameter/activation footprints. Exits non-zero on any
 // finding, so it gates CI (registered as the `analyze_test` CTest).
 //
-//   nmcdr_analyze [--scale=smoke|small|full] [--gradcheck]
-//                 [--snapshot=PATH] [--report=PATH]
+//   nmcdr_analyze [--scale=smoke|small|full] [--gradcheck] [--programs]
+//                 [--no-fusion] [--snapshot=PATH] [--report=PATH]
 //                 [--metrics-out=PATH]
 //
 //   --scale      scenario preset scale (default smoke; analysis cost is
@@ -17,6 +17,14 @@
 //   --gradcheck  additionally run the finite-difference gradient checks of
 //                the op suite (real kernels; still fast), once per kernel
 //                backend (serial and parallel)
+//   --programs   additionally audit the graph-program compiler
+//                (src/program): per (model, scenario), record one real
+//                training step, replay a second, and require the compiled
+//                program to match an eager twin bitwise (losses) and
+//                structurally (op counts / output elements); reports
+//                fusion groups and arena reserved/peak bytes
+//   --no-fusion  skip the program audit even with --programs (also
+//                honored via NMCDR_FUSION=0 in the environment)
 //   --snapshot   validate a frozen NMCDRSV1 snapshot file's scoring chain
 //                against the same shape rules
 //   --report     also write the report text to this path
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "program/program.h"
 #include "serving/model_snapshot.h"
 #include "tensor/backend.h"
 #include "util/flags.h"
@@ -55,6 +64,18 @@ int main(int argc, char** argv) {
       nmcdr::verify::AnalyzeAllModels(scale);
   std::string text = report.ToString();
   int findings = report.finding_count();
+
+  if (flags.GetBool("programs", false)) {
+    if (flags.GetBool("no-fusion", false) ||
+        !nmcdr::prog::FusionEnvEnabled()) {
+      text += "\nprogram audit: skipped (fusion disabled)\n";
+    } else {
+      const nmcdr::verify::ProgramReport programs =
+          nmcdr::verify::AuditPrograms(scale);
+      text += "\n" + programs.ToString();
+      findings += programs.finding_count();
+    }
+  }
 
   if (flags.GetBool("gradcheck", false)) {
     // Every backward pass must verify under BOTH kernel backends: the

@@ -10,14 +10,18 @@
 //       scenario on shared user keys.
 //   run --scenario music-movie [--file s.tsv] --model NMCDR --ku 0.5
 //       [--ds 1.0] [--dim 16] [--lr 0.002] [--steps 1200] [--seed 7]
-//       [--threads N] [--gat] [--dynamic-companion]
+//       [--threads N] [--no-fusion] [--gat] [--dynamic-companion]
 //       [--save-checkpoint ckpt.bin] [--load-checkpoint ckpt.bin]
 //       [--metrics-out metrics.json] [--profile]
 //       Train and evaluate one model on one configuration; prints
 //       HR@10 / NDCG@10 / MRR per domain. --threads N sizes the shared
 //       kernel pool (N=1 forces the serial backend; results are
 //       bit-identical at any setting; default NMCDR_THREADS or all
-//       cores). --metrics-out PATH writes the observability dump
+//       cores). --no-fusion trains fully eager instead of compiling the
+//       step into a graph program (src/program); fused and eager runs
+//       are bitwise identical, so this is a debugging/benchmark switch
+//       (NMCDR_FUSION=0 in the environment does the same).
+//       --metrics-out PATH writes the observability dump
 //       (schema NMCDR_OBS_V1, src/obs/export.h: trainer epoch spans,
 //       per-op call counts, per-kernel call/FLOP table) after the run;
 //       --profile also records per-op/per-kernel wall time.
@@ -170,6 +174,7 @@ int CmdRun(const FlagParser& flags) {
   train.eval_every = -1;
   train.early_stop_patience = flags.GetInt("patience", 3);
   train.threads = flags.GetInt("threads", 0);
+  train.fusion = !flags.GetBool("no-fusion", false);
   train.verbose = flags.GetBool("verbose", false);
 
   std::unique_ptr<RecModel> model;
