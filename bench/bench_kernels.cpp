@@ -1,9 +1,19 @@
 // Dense-kernel micro-benchmark for the execution backends
-// (src/tensor/backend.h): serial GFLOP/s plus serial-vs-parallel speedup at
-// 1/2/4 threads for the hot KernelBackend entry points on training-shaped
-// matrices (batch x hidden blocks as the trainer sees them). Before timing,
-// every kernel's parallel output is checked bit-equal to the serial one, so
-// the numbers can never come from a divergent code path.
+// (src/tensor/backend.h): serial GFLOP/s, vector-backend GFLOP/s for the
+// register-blocked GEMM family, and parallel thread-scaling at 1/2/4
+// threads for the hot KernelBackend entry points on training-shaped
+// matrices (batch x hidden blocks as the trainer sees them). Before
+// timing, every kernel's vector and parallel outputs are checked
+// bit-equal to the serial reference, so the numbers can never come from
+// a divergent code path.
+//
+// Speedup columns report thread scaling of the parallel backend itself
+// (parallel@1 / parallel@t seconds), so they isolate the tile-sharding
+// win from the vectorization win that `vector_gflops` already captures.
+// With >= 4 free cores, a kernel whose 4-thread scaling falls below the
+// floor (0.9 full, 0.7 smoke — the looser smoke floor absorbs the short
+// timing budget's noise) fails the run: that is the regression gate that
+// caught ScatterAddRows scattering slower in parallel than inline.
 //
 // Writes BENCH_kernels.json next to the binary so the perf trajectory has a
 // machine-readable baseline; the file records hardware_concurrency because
@@ -32,11 +42,14 @@ namespace {
 const int kThreadCounts[] = {1, 2, 4};
 
 /// One benchmarked kernel: `run` executes it once under a backend and
-/// returns the result for the bit-equality check.
+/// returns the result for the bit-equality check. `vectorized` marks the
+/// GEMM-family kernels the vector backend reimplements (the rest delegate
+/// to serial, so timing them under it would just measure serial twice).
 struct KernelCase {
   std::string name;
   std::string shape;
   double flops = 0.0;  // nominal flops per run, for the GFLOP/s column
+  bool vectorized = false;
   std::function<Matrix(const KernelBackend&)> run;
 };
 
@@ -44,7 +57,8 @@ struct KernelResult {
   std::string name;
   std::string shape;
   double serial_gflops = 0.0;
-  std::vector<double> speedup;  // parallel to kThreadCounts, serial/parallel
+  double vector_gflops = 0.0;   // 0 when the kernel is not vectorized
+  std::vector<double> speedup;  // parallel@1 / parallel@t, t in kThreadCounts
 };
 
 Matrix RandomMatrix(int rows, int cols, Rng* rng) {
@@ -72,8 +86,8 @@ bool BitEqual(const Matrix& a, const Matrix& b) {
                                        sizeof(float) * a.size()) == 0);
 }
 
-/// Measures one kernel under the serial backend and the parallel backend at
-/// every thread count; dies loudly if any parallel result diverges.
+/// Measures one kernel under the serial, vector, and parallel backends;
+/// dies loudly if any non-serial result diverges from the reference.
 KernelResult MeasureKernel(const KernelCase& kernel, double min_seconds,
                            bool* equivalence_ok) {
   const SerialBackend& serial = SerialKernelBackend();
@@ -84,6 +98,23 @@ KernelResult MeasureKernel(const KernelCase& kernel, double min_seconds,
   const double serial_seconds =
       SecondsPerRun(kernel.run, serial, min_seconds);
   result.serial_gflops = kernel.flops / serial_seconds * 1e-9;
+
+  const VectorBackend& vector = VectorKernelBackend();
+  if (!BitEqual(want, kernel.run(vector))) {
+    std::fprintf(stderr, "FAIL: %s diverges under the vector backend\n",
+                 kernel.name.c_str());
+    *equivalence_ok = false;
+  }
+  if (kernel.vectorized) {
+    const double vector_seconds =
+        SecondsPerRun(kernel.run, vector, min_seconds);
+    result.vector_gflops = kernel.flops / vector_seconds * 1e-9;
+  }
+
+  // Thread scaling: time the parallel backend at every count and report
+  // each relative to its own 1-thread time, so the column measures the
+  // tile sharding alone (its kernels already run the vector cores).
+  std::vector<double> parallel_seconds;
   for (int threads : kThreadCounts) {
     ThreadPool pool(threads);
     const ParallelBackend parallel(&pool);
@@ -92,9 +123,11 @@ KernelResult MeasureKernel(const KernelCase& kernel, double min_seconds,
                    kernel.name.c_str(), threads);
       *equivalence_ok = false;
     }
-    const double parallel_seconds =
-        SecondsPerRun(kernel.run, parallel, min_seconds);
-    result.speedup.push_back(serial_seconds / parallel_seconds);
+    parallel_seconds.push_back(
+        SecondsPerRun(kernel.run, parallel, min_seconds));
+  }
+  for (double seconds : parallel_seconds) {
+    result.speedup.push_back(parallel_seconds.front() / seconds);
   }
   return result;
 }
@@ -112,10 +145,12 @@ std::vector<KernelCase> BuildKernelCases(std::vector<Matrix>* store,
   store->push_back(RandomMatrix(hidden, hidden, &rng));      // 1: weights
   store->push_back(RandomMatrix(batch, hidden, &rng));       // 2: second act
   store->push_back(RandomMatrix(table_rows, hidden, &rng));  // 3: table
+  store->push_back(RandomMatrix(1, hidden, &rng));           // 4: bias row
   const Matrix& act = (*store)[0];
   const Matrix& w = (*store)[1];
   const Matrix& act2 = (*store)[2];
   const Matrix& table = (*store)[3];
+  const Matrix& bias = (*store)[4];
   ids->resize(batch);
   for (int& id : *ids) id = static_cast<int>(rng.NextUint64(table_rows));
   const std::vector<int>& id_ref = *ids;
@@ -128,43 +163,54 @@ std::vector<KernelCase> BuildKernelCases(std::vector<Matrix>* store,
                                  std::to_string(hidden);
 
   std::vector<KernelCase> cases;
-  cases.push_back({"MatMul", gemm_shape, gemm_flops,
+  cases.push_back({"MatMul", gemm_shape, gemm_flops, true,
                    [&act, &w](const KernelBackend& b) {
                      Matrix out(act.rows(), w.cols());
                      b.MatMulAccumInto(act, w, &out);
                      return out;
                    }});
-  cases.push_back({"MatMulTransA", bxh + "^T * " + bxh, gemm_flops,
+  cases.push_back({"MatMulTransA", bxh + "^T * " + bxh, gemm_flops, true,
                    [&act, &act2](const KernelBackend& b) {
                      return b.MatMulTransA(act, act2);
                    }});
-  cases.push_back({"MatMulTransB", gemm_shape + "^T", gemm_flops,
+  cases.push_back({"MatMulTransB", gemm_shape + "^T", gemm_flops, true,
                    [&act, &w](const KernelBackend& b) {
                      return b.MatMulTransB(act, w);
                    }});
-  cases.push_back({"Add", bxh, ew_flops,
+  // The graph-program replay epilogue: GEMM + bias + relu in one pass, the
+  // shape every fused forward layer takes. Exercises the vector epilogue's
+  // bit-exactness against serial on every run.
+  cases.push_back({"FusedMatMulBiasAct", gemm_shape + " +b relu",
+                   gemm_flops + 2.0 * batch * hidden, true,
+                   [&act, &w, &bias](const KernelBackend& b) {
+                     Matrix out(act.rows(), w.cols());
+                     b.FusedMatMulBiasActInto(act, w, &bias, FusedAct::kRelu,
+                                              &out);
+                     return out;
+                   }});
+  cases.push_back({"Add", bxh, ew_flops, false,
                    [&act, &act2](const KernelBackend& b) {
                      return b.Add(act, act2);
                    }});
-  cases.push_back({"Sigmoid", bxh, 4.0 * batch * hidden,
+  cases.push_back({"Sigmoid", bxh, 4.0 * batch * hidden, false,
                    [&act](const KernelBackend& b) { return b.Sigmoid(act); }});
-  cases.push_back({"SoftmaxRows", bxh, 5.0 * batch * hidden,
+  cases.push_back({"SoftmaxRows", bxh, 5.0 * batch * hidden, false,
                    [&act](const KernelBackend& b) {
                      return b.SoftmaxRows(act);
                    }});
-  cases.push_back({"ColSum", bxh, ew_flops,
+  cases.push_back({"ColSum", bxh, ew_flops, false,
                    [&act](const KernelBackend& b) { return b.ColSum(act); }});
   cases.push_back({"GatherRows",
                    std::to_string(table.rows()) + "x" +
                        std::to_string(hidden) + " [" +
                        std::to_string(batch) + " ids]",
-                   ew_flops,
+                   ew_flops, false,
                    [&table, &id_ref](const KernelBackend& b) {
                      return b.GatherRows(table, id_ref);
                    }});
   cases.push_back({"ScatterAddRows",
                    bxh + " -> " + std::to_string(table.rows()) + " rows",
-                   ew_flops,
+                   ew_flops, false,
                    [&act, &table, &id_ref](const KernelBackend& b) {
                      Matrix out(table.rows(), table.cols());
                      b.ScatterAddRows(act, id_ref, &out);
@@ -189,8 +235,11 @@ void WriteJson(const std::string& path,
   for (size_t i = 0; i < results.size(); ++i) {
     const KernelResult& r = results[i];
     out << "    {\"name\": \"" << r.name << "\", \"shape\": \"" << r.shape
-        << "\", \"serial_gflops\": " << FormatFloat(r.serial_gflops, 4)
-        << ", \"speedup\": {";
+        << "\", \"serial_gflops\": " << FormatFloat(r.serial_gflops, 4);
+    if (r.vector_gflops > 0.0) {
+      out << ", \"vector_gflops\": " << FormatFloat(r.vector_gflops, 4);
+    }
+    out << ", \"speedup\": {";
     for (size_t t = 0; t < r.speedup.size(); ++t) {
       out << "\"" << kThreadCounts[t]
           << "\": " << FormatFloat(r.speedup[t], 3)
@@ -218,9 +267,12 @@ int Run(bool smoke) {
   }
 
   TablePrinter table;
-  table.SetHeader({"Kernel", "Shape", "Serial GFLOP/s", "x1", "x2", "x4"});
+  table.SetHeader({"Kernel", "Shape", "Serial GFLOP/s", "Vector GFLOP/s",
+                   "x1", "x2", "x4"});
   for (const KernelResult& r : results) {
     table.AddRow({r.name, r.shape, FormatFloat(r.serial_gflops, 3),
+                  r.vector_gflops > 0.0 ? FormatFloat(r.vector_gflops, 3)
+                                        : std::string("-"),
                   FormatFloat(r.speedup[0], 2) + "x",
                   FormatFloat(r.speedup[1], 2) + "x",
                   FormatFloat(r.speedup[2], 2) + "x"});
@@ -228,9 +280,26 @@ int Run(bool smoke) {
   std::printf("%s", table.ToString().c_str());
 
   WriteJson("BENCH_kernels.json", results, smoke);
-  // The speedup columns are advisory (they depend on free cores), but a
-  // parallel result that differs from serial is a hard failure.
-  return equivalence_ok ? 0 : 1;
+
+  // With enough free cores for the 4-thread pool, thread scaling below the
+  // floor is a real regression (a kernel whose parallel path is slower
+  // than its own 1-thread run), not noise — fail the run so CI gates it.
+  bool scaling_ok = true;
+  if (std::thread::hardware_concurrency() >= 4) {
+    const double floor = smoke ? 0.7 : 0.9;
+    for (const KernelResult& r : results) {
+      const double x4 = r.speedup.back();
+      if (x4 < floor) {
+        std::fprintf(stderr,
+                     "FAIL: %s 4-thread scaling %.2fx below the %.1fx floor\n",
+                     r.name.c_str(), x4, floor);
+        scaling_ok = false;
+      }
+    }
+  }
+  // The speedup columns depend on free cores, but a vector or parallel
+  // result that differs from serial is always a hard failure.
+  return equivalence_ok && scaling_ok ? 0 : 1;
 }
 
 }  // namespace

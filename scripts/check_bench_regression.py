@@ -4,11 +4,18 @@
 Usage: check_bench_regression.py CURRENT BASELINE [--tolerance 0.25]
        check_bench_regression.py --self-test
 
-Three document kinds are auto-detected:
+Four document kinds are auto-detected:
 
 * Kernel throughput (BENCH_kernels.json, `kernels[]` entries): per-kernel
-  gate on `serial_gflops` — the run FAILS when any kernel drops below
-  `baseline * (1 - tolerance)`. Higher is better.
+  gate on `serial_gflops` and, for the GEMM family, `vector_gflops`
+  (reported as `Name[vector]`) — the run FAILS when any entry drops below
+  `baseline * (1 - tolerance)`. Higher is better. On top of the baseline
+  trajectory, two machine-relative absolute floors gate within the
+  current run alone (no baseline needed, so they hold on any hardware):
+  the vector MatMul must stay >= 3x its own serial GFLOP/s, and — when
+  the run had >= 4 cores — every kernel's 4-thread scaling must stay
+  above 0.9 (0.7 smoke) with MatMul above 1.5 (1.2 smoke), the
+  tile-sharding floor.
 * Trainer fusion speedup (BENCH_trainer.json, `trainer[]` entries): per-run
   gate on `fused_speedup` (fused epoch time vs eager epoch time) — the run
   FAILS when the ratio drops below `baseline * (1 - tolerance)`. Higher is
@@ -16,6 +23,12 @@ Three document kinds are auto-detected:
   far less noise-prone than an absolute time; bitwise equality and the
   zero-alloc steady state are asserted inside bench_trainer itself and
   never reach this gate.
+* Quantized-serving accuracy (BENCH_quant.json, `quant{}` block): gate on
+  `overlap_at_10` / `overlap_at_50` — quantized-vs-fp-exact top-K
+  agreement. Higher is better, compared against the baseline AND against
+  absolute floors (overlap@10 >= 0.99 full / 0.95 smoke, overlap@50 >=
+  0.98 full / 0.90 smoke) so a drifting baseline can never launder an
+  accuracy loss.
 * Latency summaries (BENCH_serving.json / BENCH_cluster.json, obs-exporter
   `gauges{}` docs): per-gauge gate on every gauge whose name contains
   `p99` and ends in `_ms` — the run FAILS when the current value exceeds
@@ -40,12 +53,21 @@ a baseline update in the same commit — regenerate afterwards:
     cp BENCH_cluster.json bench/baselines/cluster_baseline.json
     build/bench/bench_trainer --smoke
     cp BENCH_trainer.json bench/baselines/trainer_baseline.json
+    build/bench/bench_quant --smoke
+    cp BENCH_quant.json bench/baselines/quant_baseline.json
 
-`--self-test` verifies the gate itself trips in both modes: a baseline
+(The checked-in ci_baseline.json damps the `[vector]` entries below the
+machine they were measured on: absolute vector throughput varies with the
+runner's SIMD width and clocks, and the machine-relative >= 3x floor is
+the real vectorization gate. Keep the damping when regenerating.)
+
+`--self-test` verifies the gate itself trips in every mode: a baseline
 inflated 2x above a throughput run must fail, a latency run inflated 2x
-above its baseline must fail, and identical pairs must pass. CI runs this
-before the real comparisons so a parsing bug can't silently turn the gate
-green.
+above its baseline must fail, degraded quantized overlap must fail both
+the baseline and the absolute gate, broken thread scaling must trip the
+absolute kernel floors (and be ignored on single-core runs), and
+identical pairs must pass. CI runs this before the real comparisons so a
+parsing bug can't silently turn the gate green.
 
 Exit codes: 0 pass, 1 regression (or self-test failure), 2 usage/IO error.
 """
@@ -56,12 +78,10 @@ import sys
 
 
 def load_entries(path):
-    """Returns ("kernels"|"trainer"|"latency", {name: value}) from a bench JSON.
+    """Returns (kind, {name: value}, doc) from a bench JSON.
 
-    BENCH_kernels.json carries kernels[] (serial_gflops, higher-better);
-    BENCH_trainer.json carries trainer[] (fused_speedup, higher-better);
-    obs-exporter docs (schema NMCDR_OBS_V1) carry gauges{} from which the
-    `*p99*_ms` latency gauges are gated (lower-better).
+    kind is "kernels", "trainer", "quant", or "latency"; the raw doc rides
+    along for the machine-relative absolute floors.
     """
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
@@ -74,21 +94,29 @@ def load_entries(path):
         latencies = {name: float(value) for name, value in gauges.items()
                      if "p99" in name and name.endswith("_ms")}
         if latencies:
-            return "latency", latencies
+            return "latency", latencies, doc
         raise ValueError(f"{path}: gauge doc has no *p99*_ms gauges")
+    quant = doc.get("quant")
+    if isinstance(quant, dict):
+        return "quant", {name: float(quant[name])
+                         for name in ("overlap_at_10", "overlap_at_50")
+                         if name in quant}, doc
     runs = doc.get("trainer", [])
     if isinstance(runs, list) and runs:
         return "trainer", {entry["name"]: float(entry["fused_speedup"])
-                           for entry in runs}
+                           for entry in runs}, doc
     kernels = {}
     entries = doc.get("kernels", [])
     if isinstance(entries, list):
         for entry in entries:
             kernels[entry["name"]] = float(entry["serial_gflops"])
+            if "vector_gflops" in entry:
+                kernels[entry["name"] + "[vector]"] = float(
+                    entry["vector_gflops"])
     if kernels:
-        return "kernels", kernels
-    raise ValueError(f"{path}: no kernels[], no trainer[], and no "
-                     "*p99*_ms gauges")
+        return "kernels", kernels, doc
+    raise ValueError(f"{path}: no kernels[], no trainer[], no quant{{}}, "
+                     "and no *p99*_ms gauges")
 
 
 def compare(current, baseline, tolerance, unit="gflops"):
@@ -141,8 +169,63 @@ def compare_latency(current, baseline, tolerance, slack_ms):
     return failures, lines
 
 
+# Machine-relative floors applied to the CURRENT doc alone (no baseline):
+# a drifting or regenerated baseline can never relax these.
+VECTOR_MATMUL_MIN_RATIO = 3.0
+SCALING_FLOORS = {"full": (0.9, 1.5), "smoke": (0.7, 1.2)}
+QUANT_FLOORS = {"full": (0.99, 0.98), "smoke": (0.95, 0.90)}
+
+
+def absolute_floors(kind, doc):
+    """Within-run floors for kernels/quant docs: (failures, lines)."""
+    failures = []
+    lines = []
+    smoke = bool(doc.get("smoke", False))
+    budget = "smoke" if smoke else "full"
+    if kind == "kernels":
+        cores = int(doc.get("hardware_concurrency", 0))
+        any_floor, matmul_floor = SCALING_FLOORS[budget]
+        for entry in doc.get("kernels", []):
+            name = entry["name"]
+            serial = float(entry["serial_gflops"])
+            if name == "MatMul" and "vector_gflops" in entry and serial > 0:
+                ratio = float(entry["vector_gflops"]) / serial
+                verdict = ("ok" if ratio >= VECTOR_MATMUL_MIN_RATIO
+                           else "BELOW FLOOR")
+                lines.append(f"  {verdict:11s} {name}[vector] {ratio:5.2f}x "
+                             f"serial (floor {VECTOR_MATMUL_MIN_RATIO:.1f}x)")
+                if ratio < VECTOR_MATMUL_MIN_RATIO:
+                    failures.append(f"{name}[vector]/serial")
+            if cores < 4:
+                continue  # scaling floors need as many cores as threads
+            x4 = float(entry.get("speedup", {}).get("4", 0.0))
+            floor = matmul_floor if name == "MatMul" else any_floor
+            verdict = "ok" if x4 >= floor else "BELOW FLOOR"
+            lines.append(f"  {verdict:11s} {name}@4t {x4:5.2f}x "
+                         f"(floor {floor:.1f}x, {budget})")
+            if x4 < floor:
+                failures.append(f"{name}@4t")
+        if cores < 4:
+            lines.append(f"  (thread-scaling floors skipped: "
+                         f"{cores} core(s) < 4)")
+    elif kind == "quant":
+        floor10, floor50 = QUANT_FLOORS[budget]
+        quant = doc.get("quant", {})
+        for name, floor in (("overlap_at_10", floor10),
+                            ("overlap_at_50", floor50)):
+            if name not in quant:
+                continue
+            value = float(quant[name])
+            verdict = "ok" if value >= floor else "BELOW FLOOR"
+            lines.append(f"  {verdict:11s} {name} {value:7.4f} "
+                         f"(floor {floor:.2f}, {budget})")
+            if value < floor:
+                failures.append(name)
+    return failures, lines
+
+
 def self_test(tolerance, slack_ms):
-    """Both gates must fail on a 2x-worse run and pass on identity."""
+    """Every gate must fail on a degraded run and pass on identity."""
     run = {"MatMulAccumInto": 10.0, "Add": 25.0, "SpMM": 4.0}
     inflated = {k: 2.0 * v for k, v in run.items()}
     failures, _ = compare(run, inflated, tolerance)
@@ -164,6 +247,16 @@ def self_test(tolerance, slack_ms):
     failures, _ = compare(dropped, run, tolerance)
     if sorted(failures) != sorted(run):
         print("self-test FAILED: out-of-tolerance drop not flagged "
+              f"(failures={failures})")
+        return 1
+
+    # Vector entries ride the kernels gate under their [vector] suffix; a
+    # vector-only regression must trip even when serial holds.
+    vec_base = {"MatMul": 3.0, "MatMul[vector]": 12.0}
+    vec_run = {"MatMul": 3.0, "MatMul[vector]": 12.0 * (1.0 - tolerance * 1.5)}
+    failures, _ = compare(vec_run, vec_base, tolerance)
+    if failures != ["MatMul[vector]"]:
+        print("self-test FAILED: vector-only regression not isolated "
               f"(failures={failures})")
         return 1
 
@@ -205,6 +298,69 @@ def self_test(tolerance, slack_ms):
     failures, _ = compare_latency(faster, lat, tolerance, slack_ms)
     if failures:
         print(f"self-test FAILED: faster latency run flagged ({failures})")
+        return 1
+
+    # Quantized accuracy: baseline trajectory plus absolute floors.
+    quant_good = {"overlap_at_10": 0.999, "overlap_at_50": 0.995}
+    quant_bad = {k: v * 0.5 for k, v in quant_good.items()}
+    failures, _ = compare(quant_bad, quant_good, tolerance, unit="overlap")
+    if sorted(failures) != sorted(quant_good):
+        print("self-test FAILED: halved quantized overlap did not trip the "
+              f"baseline gate (failures={failures})")
+        return 1
+    good_doc = {"smoke": False, "quant": dict(quant_good)}
+    failures, _ = absolute_floors("quant", good_doc)
+    if failures:
+        print(f"self-test FAILED: passing quant doc hit floors ({failures})")
+        return 1
+    bad_doc = {"smoke": False,
+               "quant": {"overlap_at_10": 0.97, "overlap_at_50": 0.995}}
+    failures, _ = absolute_floors("quant", bad_doc)
+    if failures != ["overlap_at_10"]:
+        print("self-test FAILED: overlap@10 below the full floor not caught "
+              f"(failures={failures})")
+        return 1
+    smoke_doc = {"smoke": True,
+                 "quant": {"overlap_at_10": 0.97, "overlap_at_50": 0.92}}
+    failures, _ = absolute_floors("quant", smoke_doc)
+    if failures:
+        print("self-test FAILED: smoke floors applied full thresholds "
+              f"({failures})")
+        return 1
+
+    # Kernel absolute floors: thread scaling gated only with >= 4 cores,
+    # the vector >= 3x ratio gated everywhere.
+    kdoc = {"smoke": False, "hardware_concurrency": 8, "kernels": [
+        {"name": "MatMul", "serial_gflops": 3.0, "vector_gflops": 12.0,
+         "speedup": {"1": 1.0, "2": 1.5, "4": 2.0}},
+        {"name": "ScatterAddRows", "serial_gflops": 0.3,
+         "speedup": {"1": 1.0, "2": 0.9, "4": 0.5}},
+    ]}
+    failures, _ = absolute_floors("kernels", kdoc)
+    if failures != ["ScatterAddRows@4t"]:
+        print("self-test FAILED: sub-0.9x 4-thread scaling not caught "
+              f"(failures={failures})")
+        return 1
+    kdoc["kernels"][1]["speedup"]["4"] = 1.0
+    kdoc["kernels"][0]["speedup"]["4"] = 1.3  # below the 1.5x MatMul floor
+    failures, _ = absolute_floors("kernels", kdoc)
+    if failures != ["MatMul@4t"]:
+        print("self-test FAILED: MatMul below the 1.5x tile floor not caught "
+              f"(failures={failures})")
+        return 1
+    kdoc["hardware_concurrency"] = 1
+    failures, _ = absolute_floors("kernels", kdoc)
+    if failures:
+        print("self-test FAILED: scaling floors applied on a 1-core run "
+              f"({failures})")
+        return 1
+    slow_vector = {"smoke": True, "hardware_concurrency": 1, "kernels": [
+        {"name": "MatMul", "serial_gflops": 3.0, "vector_gflops": 6.0,
+         "speedup": {"1": 1.0, "2": 1.0, "4": 1.0}}]}
+    failures, _ = absolute_floors("kernels", slow_vector)
+    if failures != ["MatMul[vector]/serial"]:
+        print("self-test FAILED: vector MatMul below 3x serial not caught "
+              f"(failures={failures})")
         return 1
 
     # Missing/new entries warn but never gate, in either direction: renaming
@@ -250,7 +406,7 @@ def main(argv):
                              "(default 0.5) so sub-ms baselines don't trip "
                              "on scheduler jitter")
     parser.add_argument("--self-test", action="store_true",
-                        help="verify both gates trip on a 2x-worse run")
+                        help="verify every gate trips on a degraded run")
     args = parser.parse_args(argv)
 
     if not 0.0 < args.tolerance < 10.0:
@@ -266,8 +422,8 @@ def main(argv):
         return 2
 
     try:
-        current_kind, current = load_entries(args.current)
-        baseline_kind, baseline = load_entries(args.baseline)
+        current_kind, current, current_doc = load_entries(args.current)
+        baseline_kind, baseline, _ = load_entries(args.baseline)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
         print(f"error: {err}")
         return 2
@@ -282,6 +438,10 @@ def main(argv):
     elif current_kind == "trainer":
         failures, lines = compare(current, baseline, args.tolerance, unit="x")
         unit, direction = "trainer speedups", "regressed more than"
+    elif current_kind == "quant":
+        failures, lines = compare(current, baseline, args.tolerance,
+                                  unit="overlap")
+        unit, direction = "quant metrics", "regressed more than"
     else:
         failures, lines = compare_latency(current, baseline, args.tolerance,
                                           args.latency_slack_ms)
@@ -289,9 +449,17 @@ def main(argv):
     print(f"perf gate [{current_kind}]: {args.current} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
     print("\n".join(lines))
-    if failures:
-        print(f"\nFAIL: {len(failures)} {unit} {direction} "
-              f"{args.tolerance:.0%}: {', '.join(failures)}")
+    floor_failures, floor_lines = absolute_floors(current_kind, current_doc)
+    if floor_lines:
+        print("absolute floors (machine-relative, baseline-independent):")
+        print("\n".join(floor_lines))
+    if failures or floor_failures:
+        if failures:
+            print(f"\nFAIL: {len(failures)} {unit} {direction} "
+                  f"{args.tolerance:.0%}: {', '.join(failures)}")
+        if floor_failures:
+            print(f"\nFAIL: {len(floor_failures)} absolute floor(s) broken: "
+                  f"{', '.join(floor_failures)}")
         return 1
     print(f"\nPASS: {len(current)} {unit} within {args.tolerance:.0%} of "
           "baseline")

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "serving/quantized_snapshot.h"
 #include "serving/scoring_kernels.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -36,7 +37,7 @@ Matrix CopyRowRange(const Matrix& source, int begin, int end) {
 }  // namespace
 
 void ShardScratch::Prepare(int num_items, int item_block, int head_width,
-                           int num_shards) {
+                           int num_shards, int dim) {
   // Growth-only, converging to the snapshot's geometry so later calls are
   // no-ops. `excluded` grows zero-filled and the core restores the zeros
   // it sets, keeping the all-zero invariant.
@@ -44,6 +45,10 @@ void ShardScratch::Prepare(int num_items, int item_block, int head_width,
     excluded.resize(num_items, 0);
   }
   if (static_cast<int>(u_first.size()) < head_width) u_first.resize(head_width);
+  if (static_cast<int>(uw.size()) < dim) {
+    uw.resize(dim);
+    qu.resize(dim);
+  }
   if (static_cast<int>(per_shard.size()) < num_shards) {
     per_shard.resize(num_shards);
   }
@@ -93,14 +98,25 @@ ShardedSnapshot::ShardedSnapshot(const ModelSnapshot& snapshot,
       shard.user_rows = CopyRowRange(source.frozen.user_reps,
                                      splits.user_splits[s],
                                      splits.user_splits[s + 1]);
-      shard.item_rows = CopyRowRange(source.frozen.item_reps,
-                                     splits.item_splits[s],
-                                     splits.item_splits[s + 1]);
-      if (options_.mode == ScoreEngine::Mode::kFast) {
-        // Identical rows as the monolithic precompute (MatMul is row-
-        // independent), just computed slice-by-slice.
-        shard.item_first = scoring::BuildItemFirst(domain.head,
-                                                   shard.item_rows);
+      Matrix item_rows = CopyRowRange(source.frozen.item_reps,
+                                      splits.item_splits[s],
+                                      splits.item_splits[s + 1]);
+      if (options_.mode == ScoreEngine::Mode::kQuantized) {
+        // Quantize-at-freeze, slice-by-slice: identical rows as the
+        // monolithic QuantizedSnapshot::Quantize tables (BuildItemFirst
+        // and per-row quantization are both row-independent). The float
+        // item slice is NOT kept — the quantized tables replace it.
+        shard.item_first_q = QuantizeRows(
+            scoring::BuildItemFirst(domain.head, item_rows));
+        shard.item_gmf_q = QuantizeRows(item_rows);
+      } else {
+        shard.item_rows = std::move(item_rows);
+        if (options_.mode == ScoreEngine::Mode::kFast) {
+          // Identical rows as the monolithic precompute (MatMul is row-
+          // independent), just computed slice-by-slice.
+          shard.item_first = scoring::BuildItemFirst(domain.head,
+                                                     shard.item_rows);
+        }
       }
       domain.shards.push_back(std::move(shard));
     }
@@ -172,7 +188,8 @@ Recommendation ShardedSnapshot::TopKWithScratch(const RecRequest& request,
   const Domain& domain = domains_[request.target_domain];
   const float* u = resolved.row;
   scratch->Prepare(domain.num_items, options_.item_block,
-                   scoring::MaxHeadWidth(domain.head), layout_.num_shards);
+                   scoring::MaxHeadWidth(domain.head), layout_.num_shards,
+                   dim_);
 
   // Sparse exclusion bitmap: all-zero between calls, so marking costs
   // O(|exclude|) and the restore loop below undoes exactly these writes.
@@ -183,11 +200,19 @@ Recommendation ShardedSnapshot::TopKWithScratch(const RecRequest& request,
     excluded[item] = 1;
   }
 
-  // kFast shares one user-side first-layer partial across shards (the
-  // monolithic path recomputes it per block; the computation is
-  // deterministic, so the bits are the same either way).
-  if (options_.mode == ScoreEngine::Mode::kFast) {
+  // kFast/kQuantized share one user-side first-layer partial across
+  // shards (the monolithic path recomputes it per block; the computation
+  // is deterministic, so the bits are the same either way). kQuantized
+  // additionally quantizes the user-side gmf operand once — a pure
+  // function of u and the head, so the codes match the monolithic
+  // engine's bit for bit.
+  scoring::QuantizedUser quser;
+  if (options_.mode != ScoreEngine::Mode::kExact) {
     scoring::UserFirstPartial(domain.head, u, scratch->u_first.data());
+  }
+  if (options_.mode == ScoreEngine::Mode::kQuantized) {
+    quser = scoring::QuantizeUserGmf(domain.head, u, scratch->uw.data(),
+                                     scratch->qu.data());
   }
 
   // Fan the per-shard catalog scans out over the shared pool (grain 1: a
@@ -197,7 +222,7 @@ Recommendation ShardedSnapshot::TopKWithScratch(const RecRequest& request,
       0, layout_.num_shards, /*grain=*/1, [&](int64_t begin, int64_t end) {
         for (int64_t s = begin; s < end; ++s) {
           const DomainShard& shard = domain.shards[s];
-          const int local_items = shard.item_rows.rows();
+          const int local_items = shard.num_local_items();
           ShardScratch::Slot& slot = scratch->per_shard[s];
           std::vector<int>& candidates = slot.candidates;
           candidates.clear();
@@ -224,6 +249,13 @@ Recommendation ShardedSnapshot::TopKWithScratch(const RecRequest& request,
                                     scratch->u_first.data(),
                                     candidates.data() + block, count,
                                     slot.h.data(), slot.next.data(), scores);
+            } else if (options_.mode == ScoreEngine::Mode::kQuantized) {
+              scoring::QuantizedScoreIds(domain.head, shard.item_first_q,
+                                         shard.item_gmf_q,
+                                         scratch->u_first.data(), quser,
+                                         candidates.data() + block, count,
+                                         slot.h.data(), slot.next.data(),
+                                         scores);
             } else {
               scoring::ExactScoreIds(domain.head, shard.item_rows, u,
                                      candidates.data() + block, count,

@@ -31,12 +31,17 @@ struct ShardScratch {
   std::vector<float> u_first;
   std::vector<std::pair<float, int>> merged;
   std::vector<Slot> per_shard;
+  /// kQuantized only: the per-request user-side gmf operand (floats, then
+  /// its int8 codes — scoring::QuantizeUserGmf), shared by every shard.
+  std::vector<float> uw;
+  std::vector<int8_t> qu;
 
   /// Grows every buffer to the given geometry (target catalog size,
-  /// scoring block, widest head layer — scoring::MaxHeadWidth — and the
-  /// layout's shard count).
-  void Prepare(int num_items, int item_block, int head_width,
-               int num_shards) NMCDR_COLD;
+  /// scoring block, widest head layer — scoring::MaxHeadWidth — the
+  /// layout's shard count, and, for the quantized mode, the
+  /// representation dim).
+  void Prepare(int num_items, int item_block, int head_width, int num_shards,
+               int dim = 0) NMCDR_COLD;
 };
 
 /// Per-batch scratch for TopKBatchWithScratch fan-out: request i always
@@ -70,6 +75,11 @@ struct BatchShardScratch {
 class ShardedSnapshot {
  public:
   struct Options {
+    /// kExact/kFast behave as in ScoreEngine. kQuantized stores each
+    /// shard's item tables as per-row int8 (no float item slice at all);
+    /// because quantization is row-independent, sharded quantized top-K
+    /// is bit-identical to ScoreEngine::Mode::kQuantized on the
+    /// unsharded snapshot.
     ScoreEngine::Mode mode = ScoreEngine::Mode::kFast;
     /// Items scored per dense block during a shard's catalog scan.
     int item_block = 256;
@@ -130,10 +140,21 @@ class ShardedSnapshot {
   /// local row g - begin.
   struct DomainShard {
     Matrix user_rows;
+    /// kExact/kFast: the float item slice. Empty under kQuantized — the
+    /// quantized tables below fully replace it (the memory win).
     Matrix item_rows;
     Matrix item_first;  // kFast only: BuildItemFirst over item_rows
+    /// kQuantized only: both per-candidate item tables as per-row int8.
+    /// Row-independent quantization makes each slice bit-identical to the
+    /// corresponding rows of the monolithic quantized tables.
+    QuantizedRows item_first_q;
+    QuantizedRows item_gmf_q;
     int user_begin = 0;
     int item_begin = 0;
+
+    int num_local_items() const {
+      return item_gmf_q.rows > 0 ? item_gmf_q.rows : item_rows.rows();
+    }
   };
 
   struct Domain {

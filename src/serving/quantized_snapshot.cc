@@ -1,0 +1,281 @@
+#include "serving/quantized_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "autograd/serialization.h"
+#include "serving/scoring_kernels.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace nmcdr {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'M', 'C', 'D', 'R', 'Q', 'S', '1'};
+
+/// Zero points stay far inside int32 so every correction term of the
+/// integer dot (n * z_u * z_v with n ≤ 64k, |z| ≤ kMaxZero) fits int64
+/// without overflow. Reached only by pathological rows (tiny spread very
+/// far from zero); clamping costs a little extra quantization error
+/// there, never correctness.
+constexpr long kMaxZero = 1L << 20;
+
+/// The shared per-span quantizer: full [-128, 127] code range over
+/// [min, max] when the span has spread, symmetric scale for constant
+/// spans. Deterministic and span-independent — the contract the
+/// bit-identical sharding argument rests on.
+void QuantizeSpan(const float* v, int n, int8_t* q, float* scale,
+                  int32_t* zero, int32_t* qsum) {
+  if (n <= 0) {
+    *scale = 1.f;
+    *zero = 0;
+    *qsum = 0;
+    return;
+  }
+  float mn = v[0], mx = v[0];
+  for (int j = 1; j < n; ++j) {
+    mn = std::min(mn, v[j]);
+    mx = std::max(mx, v[j]);
+  }
+  double s;
+  long z;
+  if (mx > mn) {
+    s = (static_cast<double>(mx) - static_cast<double>(mn)) / 255.0;
+    z = std::lround(-128.0 - static_cast<double>(mn) / s);
+    z = std::clamp(z, -kMaxZero, kMaxZero);
+  } else {
+    // Constant span (including all-zero): representable exactly up to
+    // one rounding with a symmetric scale and no offset.
+    const double a = std::fabs(static_cast<double>(mn));
+    s = a > 0.0 ? a / 127.0 : 1.0;
+    z = 0;
+  }
+  // Keep the stored float scale strictly positive (Load rejects
+  // non-positive scales; a denormal-range spread could otherwise flush).
+  s = std::max(s, 1e-30);
+  int32_t sum = 0;
+  for (int j = 0; j < n; ++j) {
+    const long code = std::clamp(
+        std::lround(static_cast<double>(v[j]) / s) + z, -128L, 127L);
+    q[j] = static_cast<int8_t>(code);
+    sum += static_cast<int32_t>(code);
+  }
+  *scale = static_cast<float>(s);
+  *zero = static_cast<int32_t>(z);
+  *qsum = sum;
+}
+
+void WriteRows(std::ostream& out, const QuantizedRows& rows) {
+  ag::WriteU32(out, static_cast<uint32_t>(rows.rows));
+  ag::WriteU32(out, static_cast<uint32_t>(rows.cols));
+  out.write(reinterpret_cast<const char*>(rows.q.data()),
+            static_cast<std::streamsize>(rows.q.size()));
+  out.write(reinterpret_cast<const char*>(rows.scale.data()),
+            static_cast<std::streamsize>(rows.scale.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(rows.zero.data()),
+            static_cast<std::streamsize>(rows.zero.size() * sizeof(int32_t)));
+  out.write(reinterpret_cast<const char*>(rows.qsum.data()),
+            static_cast<std::streamsize>(rows.qsum.size() * sizeof(int32_t)));
+}
+
+bool ReadExact(std::istream& in, void* p, size_t n) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  return static_cast<bool>(in);
+}
+
+/// Reads and FULLY validates one quantized table: sane shape, finite
+/// positive scales, bounded zero points, and code sums that match the
+/// codes (an integrity check that catches payload corruption the shape
+/// fields cannot).
+bool ReadRows(std::istream& in, QuantizedRows* rows, std::string* why) {
+  uint32_t r = 0, c = 0;
+  if (!ag::ReadU32(in, &r) || !ag::ReadU32(in, &c)) {
+    *why = "truncated table header";
+    return false;
+  }
+  if (r > (1u << 27) || c == 0 || c > (1u << 16) ||
+      static_cast<uint64_t>(r) * c > (1ull << 30)) {
+    *why = "implausible table shape";
+    return false;
+  }
+  rows->rows = static_cast<int>(r);
+  rows->cols = static_cast<int>(c);
+  rows->q.resize(static_cast<size_t>(r) * c);
+  rows->scale.resize(r);
+  rows->zero.resize(r);
+  rows->qsum.resize(r);
+  if (!ReadExact(in, rows->q.data(), rows->q.size()) ||
+      !ReadExact(in, rows->scale.data(), r * sizeof(float)) ||
+      !ReadExact(in, rows->zero.data(), r * sizeof(int32_t)) ||
+      !ReadExact(in, rows->qsum.data(), r * sizeof(int32_t))) {
+    *why = "truncated table payload";
+    return false;
+  }
+  for (uint32_t i = 0; i < r; ++i) {
+    if (!std::isfinite(rows->scale[i]) || !(rows->scale[i] > 0.f)) {
+      *why = "corrupt quantization scale (non-finite or non-positive)";
+      return false;
+    }
+    if (rows->zero[i] > kMaxZero || rows->zero[i] < -kMaxZero) {
+      *why = "corrupt zero point (out of range)";
+      return false;
+    }
+    int32_t sum = 0;
+    const int8_t* row = rows->row(static_cast<int>(i));
+    for (uint32_t j = 0; j < c; ++j) sum += row[j];
+    if (sum != rows->qsum[i]) {
+      *why = "code sum does not match codes (corrupt payload)";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RowsEqual(const QuantizedRows& a, const QuantizedRows& b) {
+  return a.rows == b.rows && a.cols == b.cols && a.q == b.q &&
+         a.zero == b.zero && a.qsum == b.qsum &&
+         std::memcmp(a.scale.data(), b.scale.data(),
+                     a.scale.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+bool QuantizedRows::Equals(const QuantizedRows& other) const {
+  return RowsEqual(*this, other);
+}
+
+QuantizedRows QuantizeRows(const Matrix& m) {
+  QuantizedRows out;
+  out.rows = m.rows();
+  out.cols = m.cols();
+  out.q.resize(static_cast<size_t>(out.rows) * out.cols);
+  out.scale.resize(out.rows);
+  out.zero.resize(out.rows);
+  out.qsum.resize(out.rows);
+  for (int r = 0; r < out.rows; ++r) {
+    QuantizeSpan(m.row(r), out.cols,
+                 out.q.data() + static_cast<size_t>(r) * out.cols,
+                 &out.scale[r], &out.zero[r], &out.qsum[r]);
+  }
+  return out;
+}
+
+void QuantizeVectorInto(const float* v, int n, int8_t* q, float* scale,
+                        int32_t* zero, int32_t* qsum) {
+  QuantizeSpan(v, n, q, scale, zero, qsum);
+}
+
+QuantizedSnapshot QuantizedSnapshot::Quantize(const ModelSnapshot& snapshot) {
+  QuantizedSnapshot out;
+  out.domains_.resize(snapshot.num_domains());
+  for (int d = 0; d < snapshot.num_domains(); ++d) {
+    const FrozenDomainState& frozen = snapshot.domain(d).frozen;
+    out.domains_[d].item_first =
+        QuantizeRows(scoring::BuildItemFirst(frozen.head, frozen.item_reps));
+    out.domains_[d].item_gmf = QuantizeRows(frozen.item_reps);
+  }
+  return out;
+}
+
+bool QuantizedSnapshot::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    LOG_ERROR << "QuantizedSnapshot::Save: cannot open " << path;
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  ag::WriteU32(out, static_cast<uint32_t>(domains_.size()));
+  for (const QuantizedDomain& dom : domains_) {
+    WriteRows(out, dom.item_first);
+    WriteRows(out, dom.item_gmf);
+  }
+  out.flush();
+  if (!out) {
+    LOG_ERROR << "QuantizedSnapshot::Save: write failed for " << path;
+    return false;
+  }
+  return true;
+}
+
+bool QuantizedSnapshot::Load(const std::string& path,
+                             QuantizedSnapshot* snapshot, std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    LOG_ERROR << "QuantizedSnapshot::Load: " << reason << " in " << path;
+    if (error != nullptr) *error = reason;
+    return false;
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open file");
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic (not an NMCDRQS1 quantized snapshot)");
+  }
+  uint32_t num_domains = 0;
+  if (!ag::ReadU32(in, &num_domains) || num_domains == 0 ||
+      num_domains > 256) {
+    return fail("bad header");
+  }
+  QuantizedSnapshot staged;
+  staged.domains_.resize(num_domains);
+  std::string why;
+  for (uint32_t d = 0; d < num_domains; ++d) {
+    if (!ReadRows(in, &staged.domains_[d].item_first, &why)) {
+      return fail("domain " + std::to_string(d) + " item_first: " + why);
+    }
+    if (!ReadRows(in, &staged.domains_[d].item_gmf, &why)) {
+      return fail("domain " + std::to_string(d) + " item_gmf: " + why);
+    }
+    if (staged.domains_[d].item_first.rows !=
+        staged.domains_[d].item_gmf.rows) {
+      return fail("domain " + std::to_string(d) +
+                  ": item_first/item_gmf row counts disagree");
+    }
+  }
+  in.peek();
+  if (!in.eof()) return fail("trailing bytes after last table");
+  *snapshot = std::move(staged);
+  return true;
+}
+
+bool QuantizedSnapshot::Equals(const QuantizedSnapshot& other) const {
+  if (domains_.size() != other.domains_.size()) return false;
+  for (size_t d = 0; d < domains_.size(); ++d) {
+    if (!RowsEqual(domains_[d].item_first, other.domains_[d].item_first) ||
+        !RowsEqual(domains_[d].item_gmf, other.domains_[d].item_gmf)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool QuantizedSnapshot::Matches(const ModelSnapshot& snapshot,
+                                std::string* error) const {
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason;
+    return false;
+  };
+  if (num_domains() != snapshot.num_domains()) {
+    return fail("domain count mismatch");
+  }
+  for (int d = 0; d < num_domains(); ++d) {
+    const FrozenDomainState& frozen = snapshot.domain(d).frozen;
+    const QuantizedDomain& qd = domains_[d];
+    if (qd.item_first.rows != frozen.num_items() ||
+        qd.item_gmf.rows != frozen.num_items()) {
+      return fail("domain " + std::to_string(d) + ": item count mismatch");
+    }
+    if (qd.item_first.cols != frozen.head.b0.cols()) {
+      return fail("domain " + std::to_string(d) +
+                  ": first-layer width mismatch");
+    }
+    if (qd.item_gmf.cols != frozen.dim()) {
+      return fail("domain " + std::to_string(d) + ": dim mismatch");
+    }
+  }
+  return true;
+}
+
+}  // namespace nmcdr

@@ -1,0 +1,105 @@
+#ifndef NMCDR_SERVING_QUANTIZED_SNAPSHOT_H_
+#define NMCDR_SERVING_QUANTIZED_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/model_snapshot.h"
+#include "tensor/matrix.h"
+#include "util/thread_annotations.h"
+
+namespace nmcdr {
+
+/// Per-row affine int8 quantization of a float matrix: row r stores int8
+/// codes q with v ≈ scale[r] * (q - zero[r]). `qsum[r]` carries the row's
+/// code sum so integer dot products can correct for both zero points
+/// without dequantizing (see scoring::QuantizedScoreIds):
+///
+///   dot(u, v) ≈ s_u * s_v * [Σ q_u q_v − z_v Σ q_u − z_u Σ q_v + n z_u z_v]
+///
+/// Quantization is ROW-INDEPENDENT — row r's codes depend only on row r's
+/// floats — which is what keeps sharded quantized serving bit-identical
+/// to the monolithic engine: a shard slice quantizes to exactly the rows
+/// the whole-table quantization produces.
+struct QuantizedRows {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int8_t> q;       // [rows * cols], row-major
+  std::vector<float> scale;    // [rows], finite and > 0
+  std::vector<int32_t> zero;   // [rows], zero point (integer, |z| bounded)
+  std::vector<int32_t> qsum;   // [rows], sum of the row's codes
+
+  const int8_t* row(int r) const {
+    return q.data() + static_cast<size_t>(r) * cols;
+  }
+
+  bool Equals(const QuantizedRows& other) const;
+};
+
+/// Quantizes every row of `m` (deterministic, row-independent). Rows with
+/// spread use the full [-128, 127] code range over [min, max]; constant
+/// rows (including all-zero) get a symmetric scale so the value is
+/// representable exactly up to one rounding.
+QuantizedRows QuantizeRows(const Matrix& m) NMCDR_COLD;
+
+/// One float vector quantized with the same per-row scheme, into
+/// caller-owned storage (the serving hot path quantizes the user-side gmf
+/// operand once per request — no allocation). Writes n codes to `q`.
+void QuantizeVectorInto(const float* v, int n, int8_t* q, float* scale,
+                        int32_t* zero, int32_t* qsum) NMCDR_HOT;
+
+/// One domain's quantized item-side tables (the only tables the
+/// quantized scoring mode reads per candidate): the first-layer partials
+/// item_reps * w0_item + b0, and the raw item representations for the
+/// gmf dot. 1 byte per element instead of 4 — the memory-traffic
+/// reduction that pays at catalog scale.
+struct QuantizedDomain {
+  QuantizedRows item_first;  // [num_items, hidden]
+  QuantizedRows item_gmf;    // [num_items, dim]
+};
+
+/// The quantize-at-freeze artifact behind ScoreEngine::Mode::kQuantized
+/// and the quantized cluster mode: built once from a frozen ModelSnapshot
+/// (Quantize), servable after a disk round-trip (Save/Load). The fp
+/// snapshot remains the source of truth for the user tables, person
+/// links, and the (tiny) head weights; only the per-candidate item tables
+/// are quantized.
+class QuantizedSnapshot {
+ public:
+  QuantizedSnapshot() = default;
+
+  /// Quantizes every domain's item tables (item_first computed via
+  /// scoring::BuildItemFirst, then both tables through QuantizeRows).
+  static QuantizedSnapshot Quantize(const ModelSnapshot& snapshot) NMCDR_COLD;
+
+  int num_domains() const { return static_cast<int>(domains_.size()); }
+  const QuantizedDomain& domain(int d) const { return domains_[d]; }
+
+  /// Writes the tables to `path`. Returns false (and logs) on failure.
+  bool Save(const std::string& path) const;
+
+  /// Reads tables written by Save. Returns false (and reports through
+  /// `error` when non-null) if the file is unreadable, truncated,
+  /// structurally inconsistent, or carrying corrupt quantization
+  /// parameters (non-finite or non-positive scales, out-of-range zero
+  /// points, code sums not matching the codes). A rejected file never
+  /// leaves partial state in `*snapshot`.
+  static bool Load(const std::string& path, QuantizedSnapshot* snapshot,
+                   std::string* error = nullptr);
+
+  /// Exact structural and bitwise value equality (round-trip checks).
+  bool Equals(const QuantizedSnapshot& other) const;
+
+  /// Whether these tables fit `snapshot`'s geometry (domain count, item
+  /// counts, hidden width, dim) — checked before serving a loaded
+  /// artifact against an fp snapshot.
+  bool Matches(const ModelSnapshot& snapshot, std::string* error) const;
+
+ private:
+  std::vector<QuantizedDomain> domains_;
+};
+
+}  // namespace nmcdr
+
+#endif  // NMCDR_SERVING_QUANTIZED_SNAPSHOT_H_

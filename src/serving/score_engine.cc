@@ -1,12 +1,14 @@
 #include "serving/score_engine.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "serving/scoring_kernels.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace nmcdr {
@@ -47,7 +49,8 @@ struct HeapWorstOnTop {
 
 }  // namespace
 
-void ScoreScratch::Prepare(int num_items, int item_block, int head_width) {
+void ScoreScratch::Prepare(int num_items, int item_block, int head_width,
+                           int dim) {
   // Growth-only: capacities converge to the engine's geometry and every
   // later call is a no-op, which is what lets the hot core run
   // allocation-free at steady state. `excluded` grows zero-filled, and
@@ -60,6 +63,10 @@ void ScoreScratch::Prepare(int num_items, int item_block, int head_width) {
     u_first.resize(head_width);
     h.resize(head_width);
     next.resize(head_width);
+  }
+  if (static_cast<int>(uw.size()) < dim) {
+    uw.resize(dim);
+    qu.resize(dim);
   }
 }
 
@@ -86,7 +93,28 @@ ScoreEngine::ScoreEngine(const ModelSnapshot* snapshot, Options options)
       item_first_.push_back(
           scoring::BuildItemFirst(frozen.head, frozen.item_reps));
     }
+  } else if (options_.mode == Mode::kQuantized) {
+    // Quantize-at-freeze: the float item tables exist only transiently
+    // inside Quantize — the engine retains 1-byte codes plus per-row
+    // (scale, zero, qsum).
+    quant_ = QuantizedSnapshot::Quantize(*snapshot);
   }
+}
+
+ScoreEngine::ScoreEngine(const ModelSnapshot* snapshot, Options options,
+                         QuantizedSnapshot quantized)
+    : snapshot_(snapshot), options_(options) {
+  NMCDR_CHECK(snapshot != nullptr);
+  NMCDR_CHECK_GT(snapshot->num_domains(), 0);
+  NMCDR_CHECK_GT(options_.item_block, 0);
+  NMCDR_CHECK(options_.mode == Mode::kQuantized);
+  std::string why;
+  if (!quantized.Matches(*snapshot, &why)) {
+    LOG_ERROR << "ScoreEngine: quantized tables do not fit the snapshot: "
+              << why;
+    NMCDR_CHECK(quantized.Matches(*snapshot, &why));
+  }
+  quant_ = std::move(quantized);
 }
 
 void ScoreEngine::ValidateRequest(const RecRequest& request) const {
@@ -135,6 +163,14 @@ void ScoreEngine::ScoreIds(int target_domain, const float* u, const int* ids,
     scoring::FastScoreIds(head, frozen.item_reps, item_first_[target_domain],
                           u, scratch->u_first.data(), ids, n,
                           scratch->h.data(), scratch->next.data(), out);
+  } else if (options_.mode == Mode::kQuantized) {
+    scoring::UserFirstPartial(head, u, scratch->u_first.data());
+    const scoring::QuantizedUser user = scoring::QuantizeUserGmf(
+        head, u, scratch->uw.data(), scratch->qu.data());
+    const QuantizedDomain& qd = quant_.domain(target_domain);
+    scoring::QuantizedScoreIds(head, qd.item_first, qd.item_gmf,
+                               scratch->u_first.data(), user, ids, n,
+                               scratch->h.data(), scratch->next.data(), out);
   } else {
     scoring::ExactScoreIds(head, frozen.item_reps, u, ids, n,
                            options_.item_block, out);
@@ -163,7 +199,7 @@ std::vector<float> ScoreEngine::ScoreCandidates(
       snapshot_->domain(target_domain).frozen.head;
   ScoreScratch scratch;
   scratch.Prepare(/*num_items=*/0, options_.item_block,
-                  scoring::MaxHeadWidth(head));
+                  scoring::MaxHeadWidth(head), head.dim());
   std::vector<float> scores(candidates.size());
   if (!candidates.empty()) {
     ScoreIds(target_domain, resolved.row, candidates.data(),
@@ -198,7 +234,7 @@ Recommendation ScoreEngine::TopKWithScratch(const RecRequest& request,
       snapshot_->domain(request.target_domain).frozen;
   const int num_items = frozen.num_items();
   scratch->Prepare(num_items, options_.item_block,
-                   scoring::MaxHeadWidth(frozen.head));
+                   scoring::MaxHeadWidth(frozen.head), frozen.head.dim());
 
   // Sparse exclusion bitmap: `excluded` is all-zero between calls, so
   // marking costs O(|exclude|) and the restore loop below undoes exactly

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "serving/model_snapshot.h"
+#include "serving/quantized_snapshot.h"
 #include "util/thread_annotations.h"
 
 namespace nmcdr {
@@ -49,10 +50,16 @@ struct ScoreScratch {
   std::vector<float> h;
   std::vector<float> next;
   std::vector<std::pair<float, int>> heap;
+  /// kQuantized only: the per-request user-side gmf operand (floats, then
+  /// its int8 codes — scoring::QuantizeUserGmf).
+  std::vector<float> uw;
+  std::vector<int8_t> qu;
 
   /// Grows every buffer to the given geometry (catalog size, scoring
-  /// block, widest head layer — scoring::MaxHeadWidth).
-  void Prepare(int num_items, int item_block, int head_width) NMCDR_COLD;
+  /// block, widest head layer — scoring::MaxHeadWidth — and, for the
+  /// quantized mode, the representation dim).
+  void Prepare(int num_items, int item_block, int head_width,
+               int dim = 0) NMCDR_COLD;
 };
 
 /// Per-batch scratch for TopKWithScratch fan-out: request i always uses
@@ -86,8 +93,13 @@ class ScoreEngine {
   /// precomputes the item-side first-layer partial sums per domain at
   /// construction; per pair only the tiny head tail remains, at the cost
   /// of scores differing from the trainer path by first-layer summation
-  /// rounding (rankings agree except on sub-ulp near-ties).
-  enum class Mode { kExact, kFast };
+  /// rounding (rankings agree except on sub-ulp near-ties). kQuantized
+  /// stores both per-candidate item tables as per-row affine int8
+  /// (serving/quantized_snapshot.h) — 4x less item-table memory traffic —
+  /// at the cost of bounded quantization error in the scores; the
+  /// measured ranking agreement vs kExact (top-K overlap, HR/NDCG delta)
+  /// is reported by bench_quant and gated in CI.
+  enum class Mode { kExact, kFast, kQuantized };
 
   struct Options {
     Mode mode = Mode::kFast;
@@ -95,12 +107,26 @@ class ScoreEngine {
     int item_block = 256;
   };
 
+  /// Under Mode::kQuantized the constructor quantizes the item tables at
+  /// construction (quantize-at-freeze); use the three-argument overload
+  /// to serve a prebuilt artifact instead.
   ScoreEngine(const ModelSnapshot* snapshot, Options options);
   explicit ScoreEngine(const ModelSnapshot* snapshot)
       : ScoreEngine(snapshot, Options()) {}
 
+  /// Serves a prebuilt quantized artifact (typically
+  /// QuantizedSnapshot::Load of a file written at freeze time) against
+  /// the fp snapshot it was built from. Requires options.mode ==
+  /// Mode::kQuantized and quantized.Matches(*snapshot) (checked).
+  ScoreEngine(const ModelSnapshot* snapshot, Options options,
+              QuantizedSnapshot quantized);
+
   const ModelSnapshot& snapshot() const { return *snapshot_; }
   Mode mode() const { return options_.mode; }
+
+  /// kQuantized only: the quantized item tables this engine serves from
+  /// (empty otherwise).
+  const QuantizedSnapshot& quantized() const { return quant_; }
 
   /// Scores an explicit candidate list of `target_domain` for the user
   /// known in `user_domain`; `cold_start` (optional) reports whether the
@@ -179,6 +205,8 @@ class ScoreEngine {
   /// kFast only: per domain, item-side first-layer partials
   /// item_reps * w0_item, [num_items, H].
   std::vector<Matrix> item_first_;
+  /// kQuantized only: per domain, both item tables as per-row int8.
+  QuantizedSnapshot quant_;
 
   mutable std::atomic<int64_t> requests_{0};
   mutable std::atomic<int64_t> pairs_scored_{0};

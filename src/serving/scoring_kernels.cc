@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "serving/quantized_snapshot.h"
 #include "tensor/matrix_ops.h"
 
 namespace nmcdr {
@@ -112,6 +113,96 @@ void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
     }
     for (; j < dim; ++j) g0 += (u[j] * v[j]) * gmf_w[j];
     out[i] = h[0] + (gmf_bias + g0 + g1);
+  }
+}
+
+QuantizedUser QuantizeUserGmf(const FrozenPredictionHead& head, const float* u,
+                              float* uw_buf, int8_t* q_buf) {
+  const int dim = head.dim();
+  const float* gmf_w = head.gmf_w.data();  // [dim, 1], contiguous
+  for (int j = 0; j < dim; ++j) uw_buf[j] = u[j] * gmf_w[j];
+  QuantizedUser user;
+  user.q = q_buf;
+  QuantizeVectorInto(uw_buf, dim, q_buf, &user.scale, &user.zero, &user.qsum);
+  return user;
+}
+
+void QuantizedScoreIds(const FrozenPredictionHead& head,
+                       const QuantizedRows& item_first,
+                       const QuantizedRows& item_gmf, const float* u_first,
+                       const QuantizedUser& user, const int* ids, int n,
+                       float* h_buf, float* next_buf, float* out) {
+  // Structure mirrors FastScoreIds; only the two item-table reads change:
+  // 1 byte per element instead of 4, dequantized on the fly (first layer)
+  // or never (gmf dot). The MLP tail is the identical float code.
+  const int dim = head.dim();
+  const int hidden = head.b0.cols();
+  const float gmf_bias = head.gmf_b.data()[0];
+  const int32_t zu = user.zero;
+
+  float* h = h_buf;
+  float* next = next_buf;
+
+  for (int i = 0; i < n; ++i) {
+    const int item = ids[i];
+    const int8_t* p = item_first.row(item);
+    const float ps = item_first.scale[item];
+    // Fold the zero point into a float offset once per candidate; per
+    // element only a subtract and a multiply remain next to the add.
+    const float pz = static_cast<float>(item_first.zero[item]);
+    for (int j = 0; j < hidden; ++j) {
+      h[j] = u_first[j] + ps * (static_cast<float>(p[j]) - pz);
+    }
+    int width = hidden;
+    for (size_t l = 0; l < head.w.size(); ++l) {
+      const Matrix& w = head.w[l];
+      const int out_width = w.cols();
+      const float* bias = head.b[l].data();
+      std::copy(bias, bias + out_width, next);
+      ActivateInPlace(h, width, head.hidden_act);
+      const float* wdata = w.data();
+      if (out_width == 1) {
+        float a0 = 0.f, a1 = 0.f, a2 = 0.f, a3 = 0.f;
+        int r = 0;
+        for (; r + 4 <= width; r += 4) {
+          a0 += h[r] * wdata[r];
+          a1 += h[r + 1] * wdata[r + 1];
+          a2 += h[r + 2] * wdata[r + 2];
+          a3 += h[r + 3] * wdata[r + 3];
+        }
+        for (; r < width; ++r) a0 += h[r] * wdata[r];
+        next[0] += (a0 + a1) + (a2 + a3);
+      } else {
+        for (int r = 0; r < width; ++r) {
+          const float hr = h[r];
+          const float* wrow = wdata + static_cast<size_t>(r) * out_width;
+          for (int c = 0; c < out_width; ++c) next[c] += hr * wrow[c];
+        }
+      }
+      std::swap(h, next);
+      width = out_width;
+    }
+    // Dequantization-free weighted-product term: exact integer code dot
+    // (two independent accumulators; |code product| ≤ 2^14 so even a 2^16
+    // dim cannot overflow int32), then both zero-point corrections in
+    // int64 and a single scale multiply.
+    const int8_t* qv = item_gmf.row(item);
+    int32_t acc0 = 0, acc1 = 0;
+    int j = 0;
+    for (; j + 2 <= dim; j += 2) {
+      acc0 += static_cast<int32_t>(user.q[j]) * qv[j];
+      acc1 += static_cast<int32_t>(user.q[j + 1]) * qv[j + 1];
+    }
+    for (; j < dim; ++j) acc0 += static_cast<int32_t>(user.q[j]) * qv[j];
+    const int32_t zv = item_gmf.zero[item];
+    const int64_t bracket =
+        static_cast<int64_t>(acc0) + acc1 -
+        static_cast<int64_t>(zv) * user.qsum -
+        static_cast<int64_t>(zu) * item_gmf.qsum[item] +
+        static_cast<int64_t>(dim) * zu * zv;
+    const float g =
+        user.scale * item_gmf.scale[item] * static_cast<float>(bracket);
+    out[i] = h[0] + (gmf_bias + g);
   }
 }
 

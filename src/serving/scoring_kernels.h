@@ -1,11 +1,16 @@
 #ifndef NMCDR_SERVING_SCORING_KERNELS_H_
 #define NMCDR_SERVING_SCORING_KERNELS_H_
 
+#include <cstdint>
+
 #include "core/prediction.h"
 #include "tensor/matrix.h"
 #include "util/thread_annotations.h"
 
 namespace nmcdr {
+
+struct QuantizedRows;  // serving/quantized_snapshot.h
+
 namespace scoring {
 
 /// Autograd-free scoring inner loops shared by ScoreEngine (monolithic
@@ -47,6 +52,41 @@ void FastScoreIds(const FrozenPredictionHead& head, const Matrix& item_reps,
                   const Matrix& item_first, const float* u,
                   const float* u_first, const int* ids, int n, float* h_buf,
                   float* next_buf, float* out) NMCDR_HOT;
+
+/// The user-side operand of the quantized gmf dot, quantized once per
+/// request into caller-owned storage (QuantizeUserGmf).
+struct QuantizedUser {
+  const int8_t* q = nullptr;  // [dim] codes
+  float scale = 1.f;
+  int32_t zero = 0;
+  int32_t qsum = 0;
+};
+
+/// kQuantized per-request precompute: quantizes the user-side gmf operand
+/// u[j] * gmf_w[j] (folding the learned per-dimension weight into the
+/// user half, so the per-candidate dot is a pure int8 x int8 dot).
+/// `uw_buf` and `q_buf` are caller-owned scratch of dim floats / codes;
+/// the returned view aliases `q_buf`. No allocation.
+QuantizedUser QuantizeUserGmf(const FrozenPredictionHead& head, const float* u,
+                              float* uw_buf, int8_t* q_buf) NMCDR_HOT;
+
+/// kQuantized inner loop: like FastScoreIds, but the two per-candidate
+/// item tables are int8 (serving/quantized_snapshot.h). The first MLP
+/// layer fuses the dequantization of the item partial into the add; the
+/// gmf term is a dequantization-free int32 code dot corrected for both
+/// zero points:
+///
+///   gmf ≈ s_u s_v [Σ q_u q_v − z_v Σ q_u − z_u Σ q_v + dim z_u z_v]
+///
+/// with the bracket exact in integer arithmetic — the float sequence per
+/// candidate is fixed, so scores are deterministic and row-independent
+/// (sharded == monolithic, bit for bit). Scores differ from kFast only by
+/// the quantization error of the item tables and the user gmf operand.
+void QuantizedScoreIds(const FrozenPredictionHead& head,
+                       const QuantizedRows& item_first,
+                       const QuantizedRows& item_gmf, const float* u_first,
+                       const QuantizedUser& user, const int* ids, int n,
+                       float* h_buf, float* next_buf, float* out) NMCDR_HOT;
 
 /// kExact path: replays the trainer's kernel sequence over blocks of
 /// `item_block` candidates — user partial first, item half accumulated on

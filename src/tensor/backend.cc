@@ -8,6 +8,7 @@
 
 #include "tensor/fused_kernels.h"
 #include "tensor/scalar_kernels.h"
+#include "tensor/vector_kernels.h"
 
 namespace nmcdr {
 namespace {
@@ -46,21 +47,10 @@ void MatMulAccumRows(const Matrix& a, const Matrix& b, Matrix* out,
   }
 }
 
-/// Output rows [r0, r1) of A^T * B. Per output element the contributions
-/// accumulate in ascending p, matching the serial p-outer loop.
-void MatMulTransARows(const Matrix& a, const Matrix& b, Matrix* out,
-                      int64_t r0, int64_t r1) {
-  const int k = a.rows(), n = b.cols(), m = a.cols();
-  for (int64_t i = r0; i < r1; ++i) {
-    float* crow = out->row(static_cast<int>(i));
-    for (int p = 0; p < k; ++p) {
-      const float av = a.data()[static_cast<size_t>(p) * m + i];
-      if (av == 0.f) continue;
-      const float* brow = b.row(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
+// (The row-range TransA kernel the parallel backend used to shard is
+// gone: both the vector backend and the tile-sharded parallel path now
+// run VectorMatMulTransATile, whose per-element chain — ascending p with
+// the zero skip — still matches the serial p-outer reference below.)
 
 void MatMulTransBRows(const Matrix& a, const Matrix& b, Matrix* out,
                       int64_t r0, int64_t r1) {
@@ -219,7 +209,28 @@ void ConcatColsRows(const Matrix& a, const Matrix& b, Matrix* out, int64_t r0,
 }
 
 // Scalar activation bodies (ReluScalar etc.) come from scalar_kernels.h;
-// the fused range kernels and planned GEMM cores from fused_kernels.h.
+// the fused range kernels and planned GEMM cores from fused_kernels.h;
+// the vectorized GEMM tile cores from vector_kernels.h.
+
+/// Runs a GEMM tile core over the 2-D output grid MakeGemmTileGrid picks
+/// for this pool, fanning the flattened tile index out over ParallelFor.
+/// Bit-exact for any grid: the vector cores compute each output element
+/// with the serial reference's IEEE sequence, and every element lives in
+/// exactly one tile.
+template <typename TileFn>
+void TiledGemm(ThreadPool* pool, int64_t rows, int64_t cols, int64_t k,
+               TileFn tile) {
+  const GemmTileGrid grid =
+      MakeGemmTileGrid(rows, cols, k, pool->num_threads());
+  pool->ParallelFor(0, grid.num_tiles(), /*grain=*/1,
+                    [&](int64_t t0, int64_t t1) {
+                      for (int64_t t = t0; t < t1; ++t) {
+                        int64_t r0, r1, c0, c1;
+                        grid.TileBounds(t, &r0, &r1, &c0, &c1);
+                        tile(r0, r1, c0, c1);
+                      }
+                    });
+}
 
 }  // namespace
 
@@ -424,35 +435,179 @@ Matrix SerialBackend::PlannedMatMulTransB(const Matrix& a,
 }
 
 // ---------------------------------------------------------------------------
-// ParallelBackend: the same range kernels sharded over the pool.
+// VectorBackend: the explicitly vectorized tile cores over the full output
+// on the caller's thread; everything outside the GEMM family delegates to
+// the serial reference (those kernels are memory-bound copies/element
+// loops the vector cores would not improve).
+// ---------------------------------------------------------------------------
+
+void VectorBackend::MatMulAccumInto(const Matrix& a, const Matrix& b,
+                                    Matrix* out) const {
+  VectorMatMulAccumTile(a, b, out, 0, a.rows(), 0, b.cols());
+}
+
+Matrix VectorBackend::MatMulTransA(const Matrix& a, const Matrix& b) const {
+  Matrix out(a.cols(), b.cols());
+  VectorMatMulTransATile(a, b, &out, 0, a.cols(), 0, b.cols());
+  return out;
+}
+
+Matrix VectorBackend::MatMulTransB(const Matrix& a, const Matrix& b) const {
+  // One k*n transpose buys contiguous lane loads for the m*k*n GEMM; the
+  // per-element double chain is untouched (see PlannedMatMulTransB).
+  Matrix bt(b.cols(), b.rows());
+  TransposeRows(b, &bt, 0, b.rows());
+  Matrix out(a.rows(), b.rows());
+  VectorMatMulTransBTile(a, bt, &out, 0, a.rows(), 0, b.rows());
+  return out;
+}
+
+Matrix VectorBackend::Transpose(const Matrix& a) const {
+  return SerialKernelBackend().Transpose(a);
+}
+
+Matrix VectorBackend::Add(const Matrix& a, const Matrix& b) const {
+  return SerialKernelBackend().Add(a, b);
+}
+
+Matrix VectorBackend::Sub(const Matrix& a, const Matrix& b) const {
+  return SerialKernelBackend().Sub(a, b);
+}
+
+Matrix VectorBackend::Hadamard(const Matrix& a, const Matrix& b) const {
+  return SerialKernelBackend().Hadamard(a, b);
+}
+
+Matrix VectorBackend::Axpby(const Matrix& a, float alpha, const Matrix& b,
+                            float beta) const {
+  return SerialKernelBackend().Axpby(a, alpha, b, beta);
+}
+
+void VectorBackend::AxpyInto(const Matrix& a, float alpha, Matrix* out) const {
+  SerialKernelBackend().AxpyInto(a, alpha, out);
+}
+
+Matrix VectorBackend::Scale(const Matrix& a, float s) const {
+  return SerialKernelBackend().Scale(a, s);
+}
+
+Matrix VectorBackend::AddScalar(const Matrix& a, float s) const {
+  return SerialKernelBackend().AddScalar(a, s);
+}
+
+Matrix VectorBackend::AddRowBroadcast(const Matrix& a, const Matrix& b) const {
+  return SerialKernelBackend().AddRowBroadcast(a, b);
+}
+
+Matrix VectorBackend::Relu(const Matrix& a) const {
+  return SerialKernelBackend().Relu(a);
+}
+
+Matrix VectorBackend::Sigmoid(const Matrix& a) const {
+  return SerialKernelBackend().Sigmoid(a);
+}
+
+Matrix VectorBackend::Tanh(const Matrix& a) const {
+  return SerialKernelBackend().Tanh(a);
+}
+
+Matrix VectorBackend::Softplus(const Matrix& a) const {
+  return SerialKernelBackend().Softplus(a);
+}
+
+Matrix VectorBackend::Exp(const Matrix& a) const {
+  return SerialKernelBackend().Exp(a);
+}
+
+Matrix VectorBackend::Log(const Matrix& a) const {
+  return SerialKernelBackend().Log(a);
+}
+
+Matrix VectorBackend::SoftmaxRows(const Matrix& a) const {
+  return SerialKernelBackend().SoftmaxRows(a);
+}
+
+Matrix VectorBackend::RowSum(const Matrix& a) const {
+  return SerialKernelBackend().RowSum(a);
+}
+
+Matrix VectorBackend::RowDot(const Matrix& a, const Matrix& b) const {
+  return SerialKernelBackend().RowDot(a, b);
+}
+
+Matrix VectorBackend::ColSum(const Matrix& a) const {
+  return SerialKernelBackend().ColSum(a);
+}
+
+Matrix VectorBackend::GatherRows(const Matrix& table,
+                                 const std::vector<int>& ids) const {
+  return SerialKernelBackend().GatherRows(table, ids);
+}
+
+void VectorBackend::ScatterAddRows(const Matrix& src,
+                                   const std::vector<int>& ids,
+                                   Matrix* out) const {
+  SerialKernelBackend().ScatterAddRows(src, ids, out);
+}
+
+Matrix VectorBackend::ConcatCols(const Matrix& a, const Matrix& b) const {
+  return SerialKernelBackend().ConcatCols(a, b);
+}
+
+void VectorBackend::FusedMatMulBiasActInto(const Matrix& a, const Matrix& b,
+                                           const Matrix* bias, FusedAct act,
+                                           Matrix* out) const {
+  VectorFusedMatMulTile(a, b, bias, act, out, 0, a.rows(), 0, b.cols());
+}
+
+void VectorBackend::FusedEltwiseInto(const Matrix& a, const EltwiseStep* steps,
+                                     int num_steps, Matrix* out) const {
+  FusedEltwiseRange(a, steps, num_steps, out, 0, a.size());
+}
+
+Matrix VectorBackend::PlannedMatMulTransA(const Matrix& a,
+                                          const Matrix& b) const {
+  return MatMulTransA(a, b);
+}
+
+Matrix VectorBackend::PlannedMatMulTransB(const Matrix& a,
+                                          const Matrix& b) const {
+  return MatMulTransB(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelBackend: GEMMs shard 2-D output tiles running the vector cores
+// (a 512x64 product splits into a tile grid instead of starving on 512
+// rows' worth of grain); everything else shards the serial range kernels.
 // ---------------------------------------------------------------------------
 
 void ParallelBackend::MatMulAccumInto(const Matrix& a, const Matrix& b,
                                       Matrix* out) const {
-  const int64_t row_cost = static_cast<int64_t>(a.cols()) * b.cols();
-  pool()->ParallelFor(0, a.rows(), GrainFor(row_cost),
-                      [&](int64_t r0, int64_t r1) {
-                        MatMulAccumRows(a, b, out, r0, r1);
-                      });
+  TiledGemm(pool(), a.rows(), b.cols(), a.cols(),
+            [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+              VectorMatMulAccumTile(a, b, out, r0, r1, c0, c1);
+            });
 }
 
 Matrix ParallelBackend::MatMulTransA(const Matrix& a, const Matrix& b) const {
   Matrix out(a.cols(), b.cols());
-  const int64_t row_cost = static_cast<int64_t>(a.rows()) * b.cols();
-  pool()->ParallelFor(0, a.cols(), GrainFor(row_cost),
-                      [&](int64_t r0, int64_t r1) {
-                        MatMulTransARows(a, b, &out, r0, r1);
-                      });
+  TiledGemm(pool(), a.cols(), b.cols(), a.rows(),
+            [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+              VectorMatMulTransATile(a, b, &out, r0, r1, c0, c1);
+            });
   return out;
 }
 
 Matrix ParallelBackend::MatMulTransB(const Matrix& a, const Matrix& b) const {
+  // B is transposed once, inline (k*n against the m*k*n GEMM), then the
+  // output tiles shard; every tile reads the same bt.
+  Matrix bt(b.cols(), b.rows());
+  TransposeRows(b, &bt, 0, b.rows());
   Matrix out(a.rows(), b.rows());
-  const int64_t row_cost = static_cast<int64_t>(a.cols()) * b.rows();
-  pool()->ParallelFor(0, a.rows(), GrainFor(row_cost),
-                      [&](int64_t r0, int64_t r1) {
-                        MatMulTransBRows(a, b, &out, r0, r1);
-                      });
+  TiledGemm(pool(), a.rows(), b.rows(), a.cols(),
+            [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+              VectorMatMulTransBTile(a, bt, &out, r0, r1, c0, c1);
+            });
   return out;
 }
 
@@ -657,15 +812,26 @@ void ParallelBackend::ScatterAddRows(const Matrix& src,
     NMCDR_CHECK_GE(ids[i], 0);
     NMCDR_CHECK_LT(ids[i], out->rows());
   }
-  // Destination-row shards: each shard rescans the id list (cheap next to
-  // the row adds) and applies only its own rows, so colliding ids stay in
-  // serial order and shards never touch the same output row. The grain
-  // folds the scan overhead in by requiring enough expected add work per
-  // shard.
+  // Destination-row shards: each shard rescans the id list and applies
+  // only its own rows, so colliding ids stay in serial order and shards
+  // never touch the same output row. The rescan is pure overhead
+  // multiplied by the shard count, so small scatters (the training-step
+  // norm: a few hundred ids into a wide table) run the serial loop
+  // inline — forking used to cost more than the adds (0.66x at 4 threads
+  // in BENCH_kernels.json). Larger scatters fold the scan cost into the
+  // grain: every shard must carry enough add work to pay for its own
+  // pass over the id list.
   const int64_t adds = static_cast<int64_t>(ids.size()) * src.cols();
+  if (adds < 4 * kMinWorkPerChunk) {
+    ScatterAddDestRows(src, ids, out, 0, out->rows());
+    return;
+  }
   const int64_t per_dest_row =
       out->rows() > 0 ? std::max<int64_t>(1, adds / out->rows()) : 1;
-  pool()->ParallelFor(0, out->rows(), GrainFor(per_dest_row),
+  const int64_t min_work =
+      kMinWorkPerChunk + static_cast<int64_t>(ids.size());
+  pool()->ParallelFor(0, out->rows(),
+                      std::max<int64_t>(1, min_work / per_dest_row),
                       [&](int64_t d0, int64_t d1) {
                         ScatterAddDestRows(src, ids, out, d0, d1);
                       });
@@ -683,14 +849,12 @@ Matrix ParallelBackend::ConcatCols(const Matrix& a, const Matrix& b) const {
 void ParallelBackend::FusedMatMulBiasActInto(const Matrix& a, const Matrix& b,
                                              const Matrix* bias, FusedAct act,
                                              Matrix* out) const {
-  const int64_t epilogue =
-      act != FusedAct::kNone ? kTranscendentalCost : int64_t{1};
-  const int64_t row_cost =
-      static_cast<int64_t>(a.cols()) * b.cols() + b.cols() * epilogue;
-  pool()->ParallelFor(0, a.rows(), GrainFor(row_cost),
-                      [&](int64_t r0, int64_t r1) {
-                        FusedMatMulRows(a, b, bias, act, out, r0, r1);
-                      });
+  // The epilogue is column-wise independent, so it tiles with the GEMM:
+  // each tile applies bias + activation to exactly its own elements.
+  TiledGemm(pool(), a.rows(), b.cols(), a.cols(),
+            [&](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+              VectorFusedMatMulTile(a, b, bias, act, out, r0, r1, c0, c1);
+            });
 }
 
 void ParallelBackend::FusedEltwiseInto(const Matrix& a,
@@ -704,28 +868,15 @@ void ParallelBackend::FusedEltwiseInto(const Matrix& a,
 
 Matrix ParallelBackend::PlannedMatMulTransA(const Matrix& a,
                                             const Matrix& b) const {
-  Matrix out(a.cols(), b.cols());
-  const int64_t row_cost = static_cast<int64_t>(a.rows()) * b.cols();
-  pool()->ParallelFor(0, a.cols(), GrainFor(row_cost),
-                      [&](int64_t r0, int64_t r1) {
-                        PlannedMatMulTransARows(a, b, &out, r0, r1);
-                      });
-  return out;
+  // The planned (replay-path) backward GEMMs ride the same vector tile
+  // cores: bit-exact with PlannedMatMulTransARows by the shared
+  // per-element chain, and tile-sharded for the same scaling reason.
+  return MatMulTransA(a, b);
 }
 
 Matrix ParallelBackend::PlannedMatMulTransB(const Matrix& a,
                                             const Matrix& b) const {
-  // B is transposed once, inline (it is k*n against the m*k*n GEMM), then
-  // the GEMM rows shard; every shard reads the same bt.
-  Matrix bt(b.cols(), b.rows());
-  TransposeRows(b, &bt, 0, b.rows());
-  Matrix out(a.rows(), b.rows());
-  const int64_t row_cost = static_cast<int64_t>(a.cols()) * b.rows();
-  pool()->ParallelFor(0, a.rows(), GrainFor(row_cost),
-                      [&](int64_t r0, int64_t r1) {
-                        PlannedMatMulTransBRows(a, bt, &out, r0, r1);
-                      });
-  return out;
+  return MatMulTransB(a, b);
 }
 
 // ---------------------------------------------------------------------------
@@ -740,8 +891,11 @@ std::atomic<const KernelBackend*> g_default_backend{nullptr};
 const KernelBackend& BuiltinDefaultBackend() {
   static const KernelBackend* const backend = [] {
     const char* env = std::getenv("NMCDR_BACKEND");
-    if (env != nullptr && std::string_view(env) == "serial") {
-      return static_cast<const KernelBackend*>(&SerialKernelBackend());
+    if (env != nullptr) {
+      const KernelBackend* named = BackendByName(env);
+      if (named != nullptr) return named;
+      // Unknown value: fall through to the production default rather than
+      // aborting — the knob is a tuning hint, not configuration.
     }
     return static_cast<const KernelBackend*>(&ParallelKernelBackend());
   }();
@@ -753,6 +907,18 @@ const KernelBackend& BuiltinDefaultBackend() {
 const SerialBackend& SerialKernelBackend() {
   static const SerialBackend backend;
   return backend;
+}
+
+const VectorBackend& VectorKernelBackend() {
+  static const VectorBackend backend;
+  return backend;
+}
+
+const KernelBackend* BackendByName(std::string_view name) {
+  if (name == "serial") return &SerialKernelBackend();
+  if (name == "vector") return &VectorKernelBackend();
+  if (name == "parallel") return &ParallelKernelBackend();
+  return nullptr;
 }
 
 const ParallelBackend& ParallelKernelBackend() {

@@ -1,10 +1,12 @@
 // Bit-exactness fuzz for the kernel backends (src/tensor/backend.h): every
 // KernelBackend entry point must produce byte-identical results under the
-// serial backend and under the parallel backend at several pool sizes,
-// including 0-row, 1-row, and ragged-tail shapes. This is the enforcement
-// arm of the backend contract — training and serving results must not
-// depend on the backend or thread count. A trainer-level test closes the
-// loop end to end: identical final loss serial vs parallel.
+// serial backend, under the explicitly vectorized backend (register-blocked
+// SIMD GEMM family), and under the parallel backend at several pool sizes,
+// including 0-row, 1-row, and ragged-tail shapes — tails are where SIMD
+// remainder handling breaks first. This is the enforcement arm of the
+// backend contract — training and serving results must not depend on the
+// backend or thread count. Trainer-level tests close the loop end to end:
+// identical final loss serial vs vector vs parallel, across the model zoo.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -76,10 +78,16 @@ const int kPoolSizes[] = {1, 2, 3, 5};
 const int kShapes[][2] = {{0, 4}, {1, 1},  {1, 7},  {3, 5},
                           {7, 3}, {5, 17}, {33, 9}, {64, 1}};
 
-/// Runs `check(serial, parallel)` for every fuzzed pool size.
+/// Runs `check(serial, other)` once with the vector backend and once per
+/// fuzzed pool size with the parallel backend, so every call site fuzzes
+/// all non-reference backends against the serial reference.
 template <typename Fn>
-void ForEachParallelBackend(Fn check) {
+void ForEachCheckedBackend(Fn check) {
   const SerialBackend& serial = SerialKernelBackend();
+  {
+    SCOPED_TRACE("vector backend");
+    check(serial, VectorKernelBackend());
+  }
   for (int pool_size : kPoolSizes) {
     SCOPED_TRACE("pool size " + std::to_string(pool_size));
     ThreadPool pool(pool_size);
@@ -90,7 +98,7 @@ void ForEachParallelBackend(Fn check) {
 
 TEST(BackendEquivalenceTest, MatMulFamily) {
   Rng rng(11);
-  ForEachParallelBackend([&](const KernelBackend& s, const KernelBackend& p) {
+  ForEachCheckedBackend([&](const KernelBackend& s, const KernelBackend& p) {
     for (const auto& shape : kShapes) {
       const int m = shape[0], k = shape[1];
       const int n = 1 + static_cast<int>(rng.NextUint64(19));
@@ -119,7 +127,7 @@ TEST(BackendEquivalenceTest, MatMulFamily) {
 
 TEST(BackendEquivalenceTest, ElementwiseAndBroadcast) {
   Rng rng(12);
-  ForEachParallelBackend([&](const KernelBackend& s, const KernelBackend& p) {
+  ForEachCheckedBackend([&](const KernelBackend& s, const KernelBackend& p) {
     for (const auto& shape : kShapes) {
       const int r = shape[0], c = shape[1];
       SCOPED_TRACE(std::to_string(r) + "x" + std::to_string(c));
@@ -149,7 +157,7 @@ TEST(BackendEquivalenceTest, ElementwiseAndBroadcast) {
 
 TEST(BackendEquivalenceTest, Activations) {
   Rng rng(13);
-  ForEachParallelBackend([&](const KernelBackend& s, const KernelBackend& p) {
+  ForEachCheckedBackend([&](const KernelBackend& s, const KernelBackend& p) {
     for (const auto& shape : kShapes) {
       const int r = shape[0], c = shape[1];
       SCOPED_TRACE(std::to_string(r) + "x" + std::to_string(c));
@@ -170,7 +178,7 @@ TEST(BackendEquivalenceTest, Activations) {
 
 TEST(BackendEquivalenceTest, Reductions) {
   Rng rng(14);
-  ForEachParallelBackend([&](const KernelBackend& s, const KernelBackend& p) {
+  ForEachCheckedBackend([&](const KernelBackend& s, const KernelBackend& p) {
     for (const auto& shape : kShapes) {
       const int r = shape[0], c = shape[1];
       SCOPED_TRACE(std::to_string(r) + "x" + std::to_string(c));
@@ -185,7 +193,7 @@ TEST(BackendEquivalenceTest, Reductions) {
 
 TEST(BackendEquivalenceTest, GatherAndScatter) {
   Rng rng(15);
-  ForEachParallelBackend([&](const KernelBackend& s, const KernelBackend& p) {
+  ForEachCheckedBackend([&](const KernelBackend& s, const KernelBackend& p) {
     const int table_rows = 23;
     for (int cols : {1, 5, 16}) {
       const Matrix table = RandomMatrix(table_rows, cols, &rng);
@@ -203,6 +211,63 @@ TEST(BackendEquivalenceTest, GatherAndScatter) {
         p.ScatterAddRows(src, ids, &out_p);
         EXPECT_TRUE(BitEqual(out_s, out_p));
       }
+    }
+  });
+}
+
+/// The fused kernels (graph-program replay path): the GEMM+bias+activation
+/// epilogue in every activation variant with and without bias, the fused
+/// elementwise chain, and the planned backward GEMMs — all bit-exact with
+/// serial under the vector backend (whose epilogues run inside the SIMD
+/// tile cores) and the parallel backend at every pool size.
+TEST(BackendEquivalenceTest, FusedEpilogues) {
+  Rng rng(17);
+  const FusedAct kActs[] = {FusedAct::kNone, FusedAct::kRelu,
+                            FusedAct::kSigmoid, FusedAct::kTanh};
+  ForEachCheckedBackend([&](const KernelBackend& s, const KernelBackend& p) {
+    for (const auto& shape : kShapes) {
+      const int m = shape[0], k = shape[1];
+      const int n = 1 + static_cast<int>(rng.NextUint64(19));
+      const Matrix a = RandomMatrix(m, k, &rng);
+      const Matrix b = RandomMatrix(k, n, &rng);
+      const Matrix bias = RandomMatrix(1, n, &rng);
+      SCOPED_TRACE(std::to_string(m) + "x" + std::to_string(k) + " * " +
+                   std::to_string(k) + "x" + std::to_string(n));
+      for (const FusedAct act : kActs) {
+        SCOPED_TRACE("act " + std::to_string(static_cast<int>(act)));
+        for (const Matrix* bias_arg : {&bias, static_cast<const Matrix*>(
+                                                  nullptr)}) {
+          Matrix out_s(m, n);
+          Matrix out_p(m, n);
+          s.FusedMatMulBiasActInto(a, b, bias_arg, act, &out_s);
+          p.FusedMatMulBiasActInto(a, b, bias_arg, act, &out_p);
+          EXPECT_TRUE(BitEqual(out_s, out_p));
+        }
+      }
+
+      const Matrix ta = RandomMatrix(k, m, &rng);
+      const Matrix tb = RandomMatrix(k, n, &rng);
+      EXPECT_TRUE(BitEqual(s.PlannedMatMulTransA(ta, tb),
+                           p.PlannedMatMulTransA(ta, tb)));
+      const Matrix bb = RandomMatrix(n, k, &rng);
+      EXPECT_TRUE(BitEqual(s.PlannedMatMulTransB(a, bb),
+                           p.PlannedMatMulTransB(a, bb)));
+
+      // A representative fused elementwise chain (the sigmoid-BCE shape):
+      // sigmoid(cur), then side - cur, then scale.
+      const Matrix side = RandomMatrix(m, k, &rng);
+      EltwiseStep steps[3];
+      steps[0].op = EltwiseOp::kSigmoid;
+      steps[1].op = EltwiseOp::kSubMat;
+      steps[1].rhs = true;
+      steps[1].side = side.data();
+      steps[2].op = EltwiseOp::kScale;
+      steps[2].scalar = 0.5f;
+      Matrix ew_s(m, k);
+      Matrix ew_p(m, k);
+      s.FusedEltwiseInto(a, steps, 3, &ew_s);
+      p.FusedEltwiseInto(a, steps, 3, &ew_p);
+      EXPECT_TRUE(BitEqual(ew_s, ew_p));
     }
   });
 }
@@ -253,6 +318,41 @@ TEST(BackendEquivalenceTest, TrainerFinalLossIdenticalAcrossBackends) {
   const float serial_loss = run(1);
   const float parallel_loss = run(4);
   EXPECT_EQ(serial_loss, parallel_loss);  // bitwise, not approximately
+}
+
+/// The vector backend end to end, across the model zoo: every registered
+/// model trained with the register-blocked SIMD kernels (BackendGuard
+/// pinning the vector backend; TrainConfig::threads = 0 inherits it)
+/// reaches the bit-identical final loss of the serial run. This is the
+/// trainer-level arm of the vector bit-exactness contract — the same
+/// guarantee NMCDR_BACKEND=vector relies on in the release-vector CI leg.
+TEST(BackendEquivalenceTest, TrainerFinalLossIdenticalVectorAcrossModels) {
+  RegisterAllModels();
+  CommonHyper hyper;
+  hyper.embed_dim = 8;
+  hyper.mlp_hidden = {16};
+  hyper.seed = 3;
+
+  for (const std::string& name : ModelRegistry::Instance().Names()) {
+    SCOPED_TRACE("model " + name);
+    auto run = [&](const KernelBackend* backend) {
+      BackendGuard guard(backend);
+      auto data = testing_util::TinyData();
+      auto model = ModelRegistry::Instance().Get(name)(data->View(), hyper,
+                                                       /*lr=*/1e-3f);
+      TrainConfig config;
+      config.epochs = 2;
+      config.batch_size = 64;
+      config.threads = 0;  // inherit the guard's backend
+      Trainer trainer(data->View(), config, &data->full_graph_z(),
+                      &data->full_graph_zbar());
+      return trainer.Train(model.get()).final_loss;
+    };
+
+    const float serial_loss = run(&SerialKernelBackend());
+    const float vector_loss = run(&VectorKernelBackend());
+    EXPECT_EQ(serial_loss, vector_loss);  // bitwise, not approximately
+  }
 }
 
 /// Graph-program fusion is numerics-neutral: every registered model

@@ -10,14 +10,19 @@
 //       scenario on shared user keys.
 //   run --scenario music-movie [--file s.tsv] --model NMCDR --ku 0.5
 //       [--ds 1.0] [--dim 16] [--lr 0.002] [--steps 1200] [--seed 7]
-//       [--threads N] [--no-fusion] [--gat] [--dynamic-companion]
+//       [--threads N] [--backend serial|vector|parallel]
+//       [--no-fusion] [--gat] [--dynamic-companion]
 //       [--save-checkpoint ckpt.bin] [--load-checkpoint ckpt.bin]
 //       [--metrics-out metrics.json] [--profile]
 //       Train and evaluate one model on one configuration; prints
 //       HR@10 / NDCG@10 / MRR per domain. --threads N sizes the shared
 //       kernel pool (N=1 forces the serial backend; results are
 //       bit-identical at any setting; default NMCDR_THREADS or all
-//       cores). --no-fusion trains fully eager instead of compiling the
+//       cores). --backend pins the process-default kernel backend
+//       (overrides NMCDR_BACKEND): serial reference, register-blocked
+//       vector SIMD, or pool-sharded parallel — bit-identical results
+//       by the backend contract, so this is a perf/debug switch.
+//       --no-fusion trains fully eager instead of compiling the
 //       step into a graph program (src/program); fused and eager runs
 //       are bitwise identical, so this is a debugging/benchmark switch
 //       (NMCDR_FUSION=0 in the environment does the same).
@@ -40,6 +45,7 @@
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "data/presets.h"
+#include "tensor/backend.h"
 #include "train/registry.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
@@ -132,6 +138,18 @@ int CmdRun(const FlagParser& flags) {
   if (flags.GetBool("profile", false)) obs::SetProfilingEnabled(true);
   if (flags.Has("threads")) {
     ThreadPool::SetSharedThreads(flags.GetInt("threads", 0));
+  }
+  if (flags.Has("backend")) {
+    const std::string backend_name = flags.GetString("backend", "");
+    const KernelBackend* backend = BackendByName(backend_name);
+    if (backend == nullptr) {
+      std::fprintf(stderr,
+                   "--backend %s: unknown (serial, vector, parallel)\n",
+                   backend_name.c_str());
+      return 2;
+    }
+    SetDefaultBackend(backend);
+    std::printf("kernel backend: %s\n", backend->name());
   }
   // 1. Scenario: preset or file.
   CdrScenario scenario;

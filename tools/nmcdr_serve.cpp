@@ -5,7 +5,8 @@
 //   nmcdr_serve [--scenario loan-fund] [--scale smoke|small|full]
 //               [--steps 600] [--dim 16] [--seed 7]
 //               [--snapshot model.snapshot] [--threads 4] [--batch 8]
-//               [--requests 400] [--k 10] [--mode exact|fast]
+//               [--requests 400] [--k 10] [--mode exact|fast|quantized]
+//               [--backend serial|vector|parallel]
 //               [--shards N] [--layout layout.json]
 //               [--metrics-out metrics.json] [--profile]
 //
@@ -16,6 +17,18 @@
 // --threads N sizes both the shared kernel pool (training + batched
 // scoring; defaults to NMCDR_THREADS or all cores) and the server's
 // concurrent drainer limit.
+//
+// --backend pins the process-default kernel backend (same knob as
+// NMCDR_BACKEND, which it overrides): `serial` is the bit-exact
+// reference, `vector` the register-blocked SIMD kernels, `parallel`
+// (default) the pool-sharded tiles over the vector cores. Results are
+// bit-identical across all three by the backend contract.
+//
+// --mode quantized serves the per-row int8 item tables
+// (serving/quantized_snapshot.h): the tool quantizes at freeze, saves the
+// artifact next to the snapshot (<snapshot>.quant), reloads it, and
+// serves from the reloaded artifact — the full deployment pipeline.
+// Ranking agreement vs exact is reported by bench_quant and gated in CI.
 //
 // --shards N serves through the sharded cluster runtime instead of the
 // monolithic InferenceServer: the snapshot is partitioned by a uniform
@@ -51,7 +64,9 @@
 #include "serving/cluster/sharded_snapshot.h"
 #include "serving/inference_server.h"
 #include "serving/model_snapshot.h"
+#include "serving/quantized_snapshot.h"
 #include "serving/score_engine.h"
+#include "tensor/backend.h"
 #include "train/experiment.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -113,6 +128,32 @@ int Run(int argc, char** argv) {
   if (flags.Has("threads")) {
     ThreadPool::SetSharedThreads(flags.GetInt("threads", 0));
   }
+  if (flags.Has("backend")) {
+    const std::string backend_name = flags.GetString("backend", "");
+    const KernelBackend* backend = BackendByName(backend_name);
+    if (backend == nullptr) {
+      std::fprintf(stderr,
+                   "--backend %s: unknown (serial, vector, parallel)\n",
+                   backend_name.c_str());
+      return 2;
+    }
+    SetDefaultBackend(backend);
+    std::printf("kernel backend: %s\n", backend->name());
+  }
+  // Flag validation before the (seconds-long) train/freeze work below.
+  ScoreEngine::Options engine_options;
+  const std::string mode_name = flags.GetString("mode", "fast");
+  if (mode_name == "exact") {
+    engine_options.mode = ScoreEngine::Mode::kExact;
+  } else if (mode_name == "quantized") {
+    engine_options.mode = ScoreEngine::Mode::kQuantized;
+  } else if (mode_name == "fast") {
+    engine_options.mode = ScoreEngine::Mode::kFast;
+  } else {
+    std::fprintf(stderr, "--mode %s: unknown (exact, fast, quantized)\n",
+                 mode_name.c_str());
+    return 2;
+  }
   const std::string snapshot_path =
       flags.GetString("snapshot", "model.snapshot");
   ModelSnapshot snapshot;
@@ -157,11 +198,6 @@ int Run(int argc, char** argv) {
     snapshot = std::move(reloaded);
     std::printf("froze + saved %s\n", snapshot_path.c_str());
   }
-
-  ScoreEngine::Options engine_options;
-  engine_options.mode = flags.GetString("mode", "fast") == "exact"
-                            ? ScoreEngine::Mode::kExact
-                            : ScoreEngine::Mode::kFast;
 
   // Sharded cluster path: --shards and/or --layout route the same mixed
   // request stream through ShardedSnapshot + SnapshotRegistry +
@@ -237,7 +273,33 @@ int Run(int argc, char** argv) {
     return metrics_flusher.Flush() ? 0 : 1;
   }
 
-  ScoreEngine engine(&snapshot, engine_options);
+  // Quantized mode runs the full artifact pipeline: quantize at freeze,
+  // save, reload, verify the round trip bit-exactly, and serve from the
+  // reloaded artifact (the three-argument engine constructor).
+  std::unique_ptr<ScoreEngine> engine_storage;
+  if (engine_options.mode == ScoreEngine::Mode::kQuantized) {
+    const std::string quant_path = snapshot_path + ".quant";
+    const QuantizedSnapshot quantized = QuantizedSnapshot::Quantize(snapshot);
+    if (!quantized.Save(quant_path)) return 1;
+    QuantizedSnapshot reloaded;
+    std::string error;
+    if (!QuantizedSnapshot::Load(quant_path, &reloaded, &error)) {
+      std::fprintf(stderr, "reload %s: %s\n", quant_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (!quantized.Equals(reloaded)) {
+      std::fprintf(stderr, "quantized artifact round-trip mismatch\n");
+      return 1;
+    }
+    std::printf("quantized + saved %s (int8 item tables, %d domains)\n",
+                quant_path.c_str(), reloaded.num_domains());
+    engine_storage = std::make_unique<ScoreEngine>(&snapshot, engine_options,
+                                                   std::move(reloaded));
+  } else {
+    engine_storage = std::make_unique<ScoreEngine>(&snapshot, engine_options);
+  }
+  const ScoreEngine& engine = *engine_storage;
 
   InferenceServer::Options server_options;
   server_options.num_threads = flags.GetInt("threads", 4);
